@@ -1,0 +1,741 @@
+//! A uniform runner over (algorithm × platform) for the benchmark
+//! harness: executes any of the paper's 12 algorithms on any applicable
+//! platform, returning the run metrics plus a per-(vertex, time-point)
+//! result digest so the harness can assert that all platforms produce
+//! identical outcomes (paper Sec. VII-B1).
+
+use crate::common::{digest_interval_states, AlgLabels, ResultDigest};
+use crate::{bfs, gof_cluster, gof_paths, lcc, pagerank, scc, tc, td_paths, tgb_paths, wcc};
+use graphite_baselines::chlonos::{run_chlonos, ChlConfig};
+use graphite_baselines::goffish::{run_goffish, GofConfig};
+use graphite_baselines::msb::{run_msb, MsbConfig};
+use graphite_baselines::tgb::run_tgb;
+use graphite_baselines::vcm::VcmConfig;
+use graphite_baselines::EdgeWeights;
+use graphite_bsp::metrics::RunMetrics;
+use graphite_icm::prelude::*;
+use graphite_tgraph::graph::{TemporalGraph, VIdx, VertexId};
+use graphite_tgraph::snapshot::snapshot_window;
+use graphite_tgraph::time::{Interval, Time};
+use graphite_tgraph::transform::{transform_for_paths, TransformOptions, TransformedGraph};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The paper's 12 algorithms (Sec. VII-A1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// Breadth-first search (TI).
+    Bfs,
+    /// Weakly connected components (TI).
+    Wcc,
+    /// Strongly connected components (TI).
+    Scc,
+    /// PageRank (TI).
+    Pr,
+    /// Temporal single-source shortest path (TD).
+    Sssp,
+    /// Earliest arrival time (TD).
+    Eat,
+    /// Fastest path (TD).
+    Fast,
+    /// Latest departure (TD).
+    Ld,
+    /// Time-minimum spanning tree (TD).
+    Tmst,
+    /// Temporal reachability (TD).
+    Reach,
+    /// Local clustering coefficient (TD clustering).
+    Lcc,
+    /// Triangle counting (TD clustering).
+    Tc,
+}
+
+impl Algo {
+    /// All twelve, in the paper's order.
+    pub const ALL: [Algo; 12] = [
+        Algo::Bfs,
+        Algo::Wcc,
+        Algo::Scc,
+        Algo::Pr,
+        Algo::Sssp,
+        Algo::Eat,
+        Algo::Fast,
+        Algo::Ld,
+        Algo::Tmst,
+        Algo::Reach,
+        Algo::Lcc,
+        Algo::Tc,
+    ];
+
+    /// Whether this is a time-independent algorithm.
+    pub fn is_ti(&self) -> bool {
+        matches!(self, Algo::Bfs | Algo::Wcc | Algo::Scc | Algo::Pr)
+    }
+
+    /// Short display name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Bfs => "BFS",
+            Algo::Wcc => "WCC",
+            Algo::Scc => "SCC",
+            Algo::Pr => "PR",
+            Algo::Sssp => "SSSP",
+            Algo::Eat => "EAT",
+            Algo::Fast => "FAST",
+            Algo::Ld => "LD",
+            Algo::Tmst => "TMST",
+            Algo::Reach => "RH",
+            Algo::Lcc => "LCC",
+            Algo::Tc => "TC",
+        }
+    }
+}
+
+/// The five platforms of the evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// GRAPHITE / the interval-centric model.
+    Icm,
+    /// Multi-snapshot baseline (TI).
+    Msb,
+    /// Chronos clone (TI).
+    Chlonos,
+    /// Transformed-graph baseline (TD).
+    Tgb,
+    /// GoFFish-TS (TD).
+    Goffish,
+}
+
+impl Platform {
+    /// All five.
+    pub const ALL: [Platform; 5] =
+        [Platform::Icm, Platform::Msb, Platform::Chlonos, Platform::Tgb, Platform::Goffish];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Platform::Icm => "ICM",
+            Platform::Msb => "MSB",
+            Platform::Chlonos => "CHL",
+            Platform::Tgb => "TGB",
+            Platform::Goffish => "GOF",
+        }
+    }
+
+    /// Whether `algo` runs on this platform, mirroring the paper's matrix:
+    /// TI algorithms on ICM/MSB/Chlonos; TD algorithms on ICM/TGB/GoFFish,
+    /// except the clustering pair on TGB (the transformation is
+    /// path-family-specific).
+    pub fn supports(&self, algo: Algo) -> bool {
+        match self {
+            Platform::Icm => true,
+            Platform::Msb | Platform::Chlonos => algo.is_ti(),
+            Platform::Goffish => !algo.is_ti(),
+            Platform::Tgb => {
+                matches!(algo, Algo::Sssp | Algo::Eat | Algo::Fast | Algo::Ld | Algo::Tmst | Algo::Reach)
+            }
+        }
+    }
+}
+
+/// Options for a registry run.
+#[derive(Clone, Debug)]
+pub struct RunOpts {
+    /// BSP workers.
+    pub workers: usize,
+    /// Source (TD traversals) — defaults to the smallest vid.
+    pub source: Option<VertexId>,
+    /// Journey start time for EAT/TMST/RH.
+    pub start: Time,
+    /// Deadline for LD — defaults to the window's last time-point.
+    pub deadline: Option<Time>,
+    /// Chlonos batch size.
+    pub batch_size: usize,
+    /// ICM inline warp combiner.
+    pub combiner: bool,
+    /// ICM warp suppression threshold.
+    pub suppression: Option<f64>,
+    /// PageRank iterations.
+    pub pr_iterations: u64,
+    /// Superstep safety cap.
+    pub max_supersteps: u64,
+    /// Compute the result digest (costs per-point expansion).
+    pub digest: bool,
+    /// Let MSB/Chlonos reuse a single snapshot on fully static topologies
+    /// (the paper's manual optimization on USRN, Sec. VII-B6; on by
+    /// default to mirror the paper's Table 2 setup).
+    pub static_topology_reuse: bool,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            workers: 4,
+            source: None,
+            start: 0,
+            deadline: None,
+            batch_size: 16,
+            combiner: true,
+            suppression: Some(0.7),
+            pr_iterations: pagerank::DEFAULT_ITERATIONS,
+            max_supersteps: 100_000,
+            digest: true,
+            static_topology_reuse: true,
+        }
+    }
+}
+
+/// The outcome of a registry run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Primitive counts and timing splits.
+    pub metrics: RunMetrics,
+    /// Per-(vertex, time-point) result digest over the snapshot window,
+    /// when requested. PageRank values are quantized to 1e-6; LD results
+    /// from window-bound platforms are clipped identically.
+    pub digest: Option<ResultDigest>,
+}
+
+/// Returned when a platform does not implement an algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Unsupported {
+    /// The algorithm requested.
+    pub algo: Algo,
+    /// The platform requested.
+    pub platform: Platform,
+}
+
+impl fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} does not support {}", self.platform.name(), self.algo.name())
+    }
+}
+
+impl std::error::Error for Unsupported {}
+
+fn weights(graph: &TemporalGraph) -> EdgeWeights {
+    EdgeWeights { w1: graph.label("travel-cost"), w2: graph.label("travel-time") }
+}
+
+fn default_source(graph: &TemporalGraph) -> VertexId {
+    graph.vertices().map(|(_, v)| v.vid).min().unwrap_or(VertexId(0))
+}
+
+/// Digest per-snapshot platform results (`Vec<(Time, HashMap<dense, S>)>`).
+fn digest_per_snapshot<S, F>(
+    graph: &TemporalGraph,
+    per_snapshot: &[(Time, HashMap<u32, S>)],
+    mut encode: F,
+) -> ResultDigest
+where
+    F: FnMut(&S) -> u64,
+{
+    let mut d = ResultDigest::default();
+    for (t, snapshot) in per_snapshot {
+        for (v, s) in snapshot {
+            d.fold(graph.vertex(VIdx(*v)).vid, *t, encode(s));
+        }
+    }
+    d
+}
+
+/// Digest ICM interval states over the snapshot window.
+fn digest_icm<S, F>(graph: &TemporalGraph, result: &IcmResult<S>, encode: F) -> ResultDigest
+where
+    F: FnMut(&S) -> u64,
+{
+    let window = snapshot_window(graph).unwrap_or_else(|| Interval::new(0, 1));
+    digest_interval_states(&result.states, window, encode)
+}
+
+/// Runs `algo` on `platform` over `graph`. A pre-built transformed graph
+/// may be supplied for TGB runs (otherwise one is built on the fly).
+pub fn run(
+    algo: Algo,
+    platform: Platform,
+    graph: Arc<TemporalGraph>,
+    transformed: Option<Arc<TransformedGraph>>,
+    opts: &RunOpts,
+) -> Result<RunOutcome, Unsupported> {
+    if !platform.supports(algo) {
+        return Err(Unsupported { algo, platform });
+    }
+    let labels = AlgLabels::resolve(&graph);
+    let w = weights(&graph);
+    let source = opts.source.unwrap_or_else(|| default_source(&graph));
+    let window = snapshot_window(&graph).unwrap_or_else(|| Interval::new(0, 1));
+    let deadline = opts.deadline.unwrap_or(window.end() - 1);
+
+    let icm_cfg = IcmConfig {
+        workers: opts.workers,
+        combiner: opts.combiner,
+        suppression_threshold: opts.suppression,
+        max_supersteps: opts.max_supersteps,
+        keep_per_step_timing: false,
+    };
+    let msb_cfg = |need_in: bool| MsbConfig {
+        workers: opts.workers,
+        max_supersteps: opts.max_supersteps,
+        weights: w,
+        window: Some(window),
+        collect_states: opts.digest,
+        need_in_edges: need_in,
+        exploit_static_topology: opts.static_topology_reuse,
+    };
+    let chl_cfg = |need_in: bool| ChlConfig {
+        workers: opts.workers,
+        batch_size: opts.batch_size,
+        max_supersteps: opts.max_supersteps,
+        weights: w,
+        window: Some(window),
+        collect_states: opts.digest,
+        need_in_edges: need_in,
+        exploit_static_topology: opts.static_topology_reuse,
+    };
+    let gof_cfg = |reverse: bool| GofConfig {
+        workers: opts.workers,
+        max_supersteps: opts.max_supersteps,
+        weights: w,
+        window: Some(window),
+        collect_states: opts.digest,
+        reverse,
+    };
+    let vcm_cfg = |need_in: bool| VcmConfig {
+        workers: opts.workers,
+        max_supersteps: opts.max_supersteps,
+        need_in_edges: need_in,
+        keep_per_step_timing: false,
+    };
+    let transform_opts = TransformOptions { window: Some(window), ..Default::default() };
+    let get_transformed = || {
+        transformed
+            .clone()
+            .unwrap_or_else(|| Arc::new(transform_for_paths(&graph, &transform_opts)))
+    };
+
+    // Encoders shared by equivalent state types across platforms.
+    let enc_i64 = |s: &i64| *s as u64;
+    let enc_bool = |s: &bool| u64::from(*s);
+    let enc_u64 = |s: &u64| *s;
+
+    let outcome = match (algo, platform) {
+        // ---------------- TI ----------------
+        (Algo::Bfs, Platform::Icm) => {
+            let r = run_icm(Arc::clone(&graph), Arc::new(bfs::IcmBfs { source }), &icm_cfg);
+            RunOutcome {
+                digest: opts.digest.then(|| digest_icm(&graph, &r, enc_i64)),
+                metrics: r.metrics,
+            }
+        }
+        (Algo::Bfs, Platform::Msb) => {
+            let r = run_msb(Arc::clone(&graph), |_| Arc::new(bfs::VcmBfs { source }), &msb_cfg(false));
+            RunOutcome {
+                digest: opts.digest.then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_i64)),
+                metrics: r.metrics,
+            }
+        }
+        (Algo::Bfs, Platform::Chlonos) => {
+            let r = run_chlonos(Arc::clone(&graph), Arc::new(bfs::VcmBfs { source }), &chl_cfg(false));
+            RunOutcome {
+                digest: opts.digest.then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_i64)),
+                metrics: r.metrics,
+            }
+        }
+        (Algo::Wcc, Platform::Icm) => {
+            let r = run_icm(Arc::clone(&graph), Arc::new(wcc::IcmWcc), &icm_cfg);
+            RunOutcome {
+                digest: opts.digest.then(|| digest_icm(&graph, &r, enc_u64)),
+                metrics: r.metrics,
+            }
+        }
+        (Algo::Wcc, Platform::Msb) => {
+            let r = run_msb(Arc::clone(&graph), |_| Arc::new(wcc::VcmWcc), &msb_cfg(true));
+            RunOutcome {
+                digest: opts.digest.then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_u64)),
+                metrics: r.metrics,
+            }
+        }
+        (Algo::Wcc, Platform::Chlonos) => {
+            let r = run_chlonos(Arc::clone(&graph), Arc::new(wcc::VcmWcc), &chl_cfg(true));
+            RunOutcome {
+                digest: opts.digest.then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_u64)),
+                metrics: r.metrics,
+            }
+        }
+        (Algo::Scc, Platform::Icm) => {
+            let r = run_icm(Arc::clone(&graph), Arc::new(scc::IcmScc), &icm_cfg);
+            RunOutcome {
+                digest: opts.digest.then(|| digest_icm(&graph, &r, |s: &scc::SccState| s.0)),
+                metrics: r.metrics,
+            }
+        }
+        (Algo::Scc, Platform::Msb) => {
+            let r = run_msb(Arc::clone(&graph), |_| Arc::new(scc::VcmScc), &msb_cfg(true));
+            RunOutcome {
+                digest: opts
+                    .digest
+                    .then(|| digest_per_snapshot(&graph, &r.per_snapshot, |s: &scc::SccState| s.0)),
+                metrics: r.metrics,
+            }
+        }
+        (Algo::Scc, Platform::Chlonos) => {
+            let r = run_chlonos(Arc::clone(&graph), Arc::new(scc::VcmScc), &chl_cfg(true));
+            RunOutcome {
+                digest: opts
+                    .digest
+                    .then(|| digest_per_snapshot(&graph, &r.per_snapshot, |s: &scc::SccState| s.0)),
+                metrics: r.metrics,
+            }
+        }
+        (Algo::Pr, Platform::Icm) => {
+            let r = run_icm(
+                Arc::clone(&graph),
+                Arc::new(pagerank::IcmPageRank { iterations: opts.pr_iterations }),
+                &icm_cfg,
+            );
+            RunOutcome {
+                digest: opts.digest.then(|| {
+                    digest_icm(&graph, &r, |s: &pagerank::PrState| (s.1 * 1e6).round() as u64)
+                }),
+                metrics: r.metrics,
+            }
+        }
+        (Algo::Pr, Platform::Msb) => {
+            let r = run_msb(
+                Arc::clone(&graph),
+                |_| Arc::new(pagerank::VcmPageRank { iterations: opts.pr_iterations }),
+                &msb_cfg(false),
+            );
+            RunOutcome {
+                digest: opts.digest.then(|| {
+                    digest_per_snapshot(&graph, &r.per_snapshot, |s: &f64| (s * 1e6).round() as u64)
+                }),
+                metrics: r.metrics,
+            }
+        }
+        (Algo::Pr, Platform::Chlonos) => {
+            let r = run_chlonos(
+                Arc::clone(&graph),
+                Arc::new(pagerank::VcmPageRank { iterations: opts.pr_iterations }),
+                &chl_cfg(false),
+            );
+            RunOutcome {
+                digest: opts.digest.then(|| {
+                    digest_per_snapshot(&graph, &r.per_snapshot, |s: &f64| (s * 1e6).round() as u64)
+                }),
+                metrics: r.metrics,
+            }
+        }
+
+        // ---------------- TD paths ----------------
+        (Algo::Sssp, Platform::Icm) => {
+            let r = run_icm(
+                Arc::clone(&graph),
+                Arc::new(td_paths::IcmSssp { source, labels }),
+                &icm_cfg,
+            );
+            RunOutcome {
+                digest: opts.digest.then(|| digest_icm(&graph, &r, enc_i64)),
+                metrics: r.metrics,
+            }
+        }
+        (Algo::Sssp, Platform::Goffish) => {
+            let r = run_goffish(
+                Arc::clone(&graph),
+                Arc::new(gof_paths::GofSssp { source }),
+                &gof_cfg(false),
+            );
+            RunOutcome {
+                digest: opts.digest.then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_i64)),
+                metrics: r.metrics,
+            }
+        }
+        (Algo::Sssp, Platform::Tgb) => {
+            let r = run_tgb(
+                Arc::clone(&graph),
+                Some(get_transformed()),
+                &transform_opts,
+                Arc::new(tgb_paths::TgbSssp { source }),
+                &vcm_cfg(false),
+            );
+            let digest = opts.digest.then(|| {
+                let mut projected = r.project(&graph, crate::common::INF);
+                // Alg. 1 pins the source's cost to 0 for its whole
+                // lifespan; the replica projection only starts at the
+                // source's first replica, so align it explicitly.
+                projected.insert(source, vec![(window, 0)]);
+                digest_interval_states(&projected, window, enc_i64)
+            });
+            RunOutcome { digest, metrics: r.vcm.metrics }
+        }
+        (Algo::Eat, Platform::Icm) => {
+            let r = run_icm(
+                Arc::clone(&graph),
+                Arc::new(td_paths::IcmEat { source, start: opts.start, labels }),
+                &icm_cfg,
+            );
+            RunOutcome {
+                digest: opts.digest.then(|| digest_icm(&graph, &r, enc_i64)),
+                metrics: r.metrics,
+            }
+        }
+        (Algo::Eat, Platform::Goffish) => {
+            let r = run_goffish(
+                Arc::clone(&graph),
+                Arc::new(gof_paths::GofEat { source, start: opts.start }),
+                &gof_cfg(false),
+            );
+            RunOutcome {
+                digest: opts.digest.then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_i64)),
+                metrics: r.metrics,
+            }
+        }
+        (Algo::Eat, Platform::Tgb) => {
+            let tg = get_transformed();
+            let r = run_tgb(
+                Arc::clone(&graph),
+                Some(Arc::clone(&tg)),
+                &transform_opts,
+                Arc::new(tgb_paths::TgbReach {
+                    source,
+                    start: opts.start,
+                    transformed: Arc::clone(&tg),
+                }),
+                &vcm_cfg(false),
+            );
+            RunOutcome { digest: None, metrics: r.vcm.metrics }
+        }
+        (Algo::Fast, Platform::Icm) => {
+            let r = run_icm(
+                Arc::clone(&graph),
+                Arc::new(td_paths::IcmFast { source, labels }),
+                &icm_cfg,
+            );
+            RunOutcome { digest: None, metrics: r.metrics }
+        }
+        (Algo::Fast, Platform::Goffish) => {
+            let r = run_goffish(
+                Arc::clone(&graph),
+                Arc::new(gof_paths::GofFast { source }),
+                &gof_cfg(false),
+            );
+            RunOutcome { digest: None, metrics: r.metrics }
+        }
+        (Algo::Fast, Platform::Tgb) => {
+            let tg = get_transformed();
+            let r = run_tgb(
+                Arc::clone(&graph),
+                Some(Arc::clone(&tg)),
+                &transform_opts,
+                Arc::new(tgb_paths::TgbFast { source, transformed: Arc::clone(&tg) }),
+                &vcm_cfg(false),
+            );
+            RunOutcome { digest: None, metrics: r.vcm.metrics }
+        }
+        (Algo::Ld, Platform::Icm) => {
+            let r = run_icm(
+                Arc::clone(&graph),
+                Arc::new(td_paths::IcmLd { target: source, deadline, labels }),
+                &icm_cfg,
+            );
+            RunOutcome { digest: None, metrics: r.metrics }
+        }
+        (Algo::Ld, Platform::Goffish) => {
+            let r = run_goffish(
+                Arc::clone(&graph),
+                Arc::new(gof_paths::GofLd { target: source, deadline }),
+                &gof_cfg(true),
+            );
+            RunOutcome { digest: None, metrics: r.metrics }
+        }
+        (Algo::Ld, Platform::Tgb) => {
+            let tg = get_transformed();
+            let r = run_tgb(
+                Arc::clone(&graph),
+                Some(Arc::clone(&tg)),
+                &transform_opts,
+                Arc::new(tgb_paths::TgbLd {
+                    target: source,
+                    deadline,
+                    transformed: Arc::clone(&tg),
+                }),
+                &vcm_cfg(true),
+            );
+            RunOutcome { digest: None, metrics: r.vcm.metrics }
+        }
+        (Algo::Tmst, Platform::Icm) => {
+            let r = run_icm(
+                Arc::clone(&graph),
+                Arc::new(td_paths::IcmTmst { source, start: opts.start, labels }),
+                &icm_cfg,
+            );
+            RunOutcome {
+                digest: opts.digest.then(|| {
+                    digest_icm(&graph, &r, |s: &td_paths::TmstState| {
+                        (s.0 as u64).wrapping_mul(31).wrapping_add(s.1)
+                    })
+                }),
+                metrics: r.metrics,
+            }
+        }
+        (Algo::Tmst, Platform::Goffish) => {
+            let r = run_goffish(
+                Arc::clone(&graph),
+                Arc::new(gof_paths::GofTmst { source, start: opts.start }),
+                &gof_cfg(false),
+            );
+            RunOutcome {
+                digest: opts.digest.then(|| {
+                    digest_per_snapshot(&graph, &r.per_snapshot, |s: &gof_paths::TmstState| {
+                        (s.0 as u64).wrapping_mul(31).wrapping_add(s.1)
+                    })
+                }),
+                metrics: r.metrics,
+            }
+        }
+        (Algo::Tmst, Platform::Tgb) => {
+            let tg = get_transformed();
+            let r = run_tgb(
+                Arc::clone(&graph),
+                Some(Arc::clone(&tg)),
+                &transform_opts,
+                Arc::new(tgb_paths::TgbTmst {
+                    source,
+                    start: opts.start,
+                    transformed: Arc::clone(&tg),
+                }),
+                &vcm_cfg(false),
+            );
+            RunOutcome { digest: None, metrics: r.vcm.metrics }
+        }
+        (Algo::Reach, Platform::Icm) => {
+            let r = run_icm(
+                Arc::clone(&graph),
+                Arc::new(td_paths::IcmReach { source, start: opts.start, labels }),
+                &icm_cfg,
+            );
+            RunOutcome {
+                digest: opts.digest.then(|| digest_icm(&graph, &r, enc_bool)),
+                metrics: r.metrics,
+            }
+        }
+        (Algo::Reach, Platform::Goffish) => {
+            let r = run_goffish(
+                Arc::clone(&graph),
+                Arc::new(gof_paths::GofReach { source, start: opts.start }),
+                &gof_cfg(false),
+            );
+            RunOutcome {
+                digest: opts.digest.then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_bool)),
+                metrics: r.metrics,
+            }
+        }
+        (Algo::Reach, Platform::Tgb) => {
+            let tg = get_transformed();
+            let r = run_tgb(
+                Arc::clone(&graph),
+                Some(Arc::clone(&tg)),
+                &transform_opts,
+                Arc::new(tgb_paths::TgbReach {
+                    source,
+                    start: opts.start,
+                    transformed: Arc::clone(&tg),
+                }),
+                &vcm_cfg(false),
+            );
+            RunOutcome { digest: None, metrics: r.vcm.metrics }
+        }
+
+        // ---------------- TD clustering ----------------
+        (Algo::Lcc, Platform::Icm) => {
+            let r = run_icm(Arc::clone(&graph), Arc::new(lcc::IcmLcc), &icm_cfg);
+            RunOutcome {
+                digest: opts.digest.then(|| digest_icm(&graph, &r, enc_u64)),
+                metrics: r.metrics,
+            }
+        }
+        (Algo::Lcc, Platform::Goffish) => {
+            let r = run_goffish(Arc::clone(&graph), Arc::new(gof_cluster::GofLcc), &gof_cfg(false));
+            RunOutcome {
+                digest: opts.digest.then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_u64)),
+                metrics: r.metrics,
+            }
+        }
+        (Algo::Tc, Platform::Icm) => {
+            let r = run_icm(Arc::clone(&graph), Arc::new(tc::IcmTc), &icm_cfg);
+            RunOutcome {
+                digest: opts.digest.then(|| digest_icm(&graph, &r, enc_u64)),
+                metrics: r.metrics,
+            }
+        }
+        (Algo::Tc, Platform::Goffish) => {
+            let r = run_goffish(Arc::clone(&graph), Arc::new(gof_cluster::GofTc), &gof_cfg(false));
+            RunOutcome {
+                digest: opts.digest.then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_u64)),
+                metrics: r.metrics,
+            }
+        }
+        _ => return Err(Unsupported { algo, platform }),
+    };
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphite_tgraph::fixtures::transit_graph;
+
+    #[test]
+    fn support_matrix_matches_the_paper() {
+        for algo in Algo::ALL {
+            assert!(Platform::Icm.supports(algo), "{algo:?}");
+            assert_eq!(Platform::Msb.supports(algo), algo.is_ti());
+            assert_eq!(Platform::Chlonos.supports(algo), algo.is_ti());
+            assert_eq!(Platform::Goffish.supports(algo), !algo.is_ti());
+        }
+        assert!(Platform::Tgb.supports(Algo::Sssp));
+        assert!(!Platform::Tgb.supports(Algo::Lcc));
+        assert!(!Platform::Tgb.supports(Algo::Bfs));
+    }
+
+    #[test]
+    fn unsupported_combos_are_rejected() {
+        let g = Arc::new(transit_graph());
+        let err = run(Algo::Bfs, Platform::Tgb, g, None, &RunOpts::default()).unwrap_err();
+        assert_eq!(err.algo, Algo::Bfs);
+        assert!(err.to_string().contains("TGB"));
+    }
+
+    #[test]
+    fn ti_digests_agree_across_platforms() {
+        let g = Arc::new(transit_graph());
+        for algo in [Algo::Bfs, Algo::Wcc, Algo::Scc, Algo::Pr] {
+            let icm = run(algo, Platform::Icm, Arc::clone(&g), None, &RunOpts::default()).unwrap();
+            let msb = run(algo, Platform::Msb, Arc::clone(&g), None, &RunOpts::default()).unwrap();
+            let chl =
+                run(algo, Platform::Chlonos, Arc::clone(&g), None, &RunOpts::default()).unwrap();
+            assert_eq!(icm.digest, msb.digest, "{algo:?} icm vs msb");
+            assert_eq!(msb.digest, chl.digest, "{algo:?} msb vs chl");
+        }
+    }
+
+    #[test]
+    fn sssp_digests_agree_between_icm_and_tgb() {
+        let g = Arc::new(transit_graph());
+        let icm = run(Algo::Sssp, Platform::Icm, Arc::clone(&g), None, &RunOpts::default()).unwrap();
+        let tgb = run(Algo::Sssp, Platform::Tgb, Arc::clone(&g), None, &RunOpts::default()).unwrap();
+        assert_eq!(icm.digest, tgb.digest);
+    }
+
+    #[test]
+    fn clustering_digests_agree_between_icm_and_gof() {
+        let g = Arc::new(transit_graph());
+        for algo in [Algo::Lcc, Algo::Tc] {
+            let icm = run(algo, Platform::Icm, Arc::clone(&g), None, &RunOpts::default()).unwrap();
+            let gof =
+                run(algo, Platform::Goffish, Arc::clone(&g), None, &RunOpts::default()).unwrap();
+            assert_eq!(icm.digest, gof.digest, "{algo:?}");
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! Chlonos (CHL) — our clone of Chronos (Sec. VII-A3): processes a *batch*
+//! of consecutive snapshots concurrently in one vectorized layout. The
+//! user's compute still runs separately per (vertex, snapshot) — exactly
+//! like MSB — but messages pushed to the same sink vertex with identical
+//! payloads at adjacent time-points are replaced by a single message
+//! carrying the whole sub-interval, saving messages and bytes. Batch size
+//! models the available distributed memory: graphs that don't fit run in
+//! several batches and lose sharing across batch boundaries (the effect the
+//! paper observes on Twitter with 5 batches).
+
+use crate::topology::EdgeWeights;
+use crate::vcm::{VcmContext, VcmEdge, VcmProgram};
+use graphite_bsp::aggregate::Aggregators;
+use graphite_bsp::engine::{run_bsp, BspConfig, Inbox, Outbox, WorkerLogic};
+use graphite_bsp::metrics::{RunMetrics, UserCounters};
+use graphite_bsp::partition::PartitionMap;
+use graphite_tgraph::graph::{TemporalGraph, VIdx};
+use graphite_tgraph::property::PropValue;
+use graphite_tgraph::snapshot::snapshot_window;
+use graphite_tgraph::time::{Interval, Time};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Configuration of one Chlonos run.
+#[derive(Clone, Debug)]
+pub struct ChlConfig {
+    /// Number of BSP workers.
+    pub workers: usize,
+    /// Snapshots per in-memory batch (the paper's memory budget knob).
+    pub batch_size: usize,
+    /// Safety cap on supersteps per batch.
+    pub max_supersteps: u64,
+    /// Edge-property resolution.
+    pub weights: EdgeWeights,
+    /// Window to discretize; defaults to [`snapshot_window`].
+    pub window: Option<Interval>,
+    /// Keep per-snapshot final states.
+    pub collect_states: bool,
+    /// Materialize in-edges for the user logic (undirected algorithms).
+    pub need_in_edges: bool,
+    /// The paper's manual optimization (Sec. VII-B6): on a fully static
+    /// topology, process a single snapshot and reuse its results.
+    pub exploit_static_topology: bool,
+}
+
+impl Default for ChlConfig {
+    fn default() -> Self {
+        ChlConfig {
+            workers: 4,
+            batch_size: 8,
+            max_supersteps: 100_000,
+            weights: EdgeWeights::default(),
+            window: None,
+            collect_states: true,
+            need_in_edges: false,
+            exploit_static_topology: false,
+        }
+    }
+}
+
+/// The outcome of a Chlonos run.
+#[derive(Clone, Debug)]
+pub struct ChlResult<S> {
+    /// Final states per snapshot (time-point, dense vertex → state).
+    pub per_snapshot: Vec<(Time, HashMap<u32, S>)>,
+    /// Cumulative metrics across batches.
+    pub metrics: RunMetrics,
+    /// Number of batches the window was split into.
+    pub batches: usize,
+}
+
+impl<S> ChlResult<S> {
+    /// The state of dense vertex `v` at snapshot `t`, if collected.
+    pub fn state_at(&self, v: u32, t: Time) -> Option<&S> {
+        self.per_snapshot
+            .iter()
+            .find(|(time, _)| *time == t)
+            .and_then(|(_, states)| states.get(&v))
+    }
+}
+
+/// Wire message: `(target, offset_lo, offset_hi, payload)` — the payload
+/// applies to every snapshot offset in `[lo, hi)` of the current batch.
+type ChlMsg<M> = (u32, u32, u32, M);
+
+struct ChlWorker<P: VcmProgram> {
+    graph: Arc<TemporalGraph>,
+    program: Arc<P>,
+    owned: Vec<u32>,
+    weights: EdgeWeights,
+    batch_start: Time,
+    batch_len: usize,
+    need_in_edges: bool,
+    states: HashMap<u32, Vec<Option<P::State>>>,
+}
+
+impl<P: VcmProgram> ChlWorker<P>
+where
+    P::Msg: PartialEq,
+{
+    fn edges_at(&self, v: u32, t: Time, incoming: bool, out: &mut Vec<VcmEdge>) {
+        let list = if incoming {
+            self.graph.in_edges(VIdx(v))
+        } else {
+            self.graph.out_edges(VIdx(v))
+        };
+        for &e in list {
+            let ed = self.graph.edge(e);
+            if !ed.lifespan.contains_point(t) {
+                continue;
+            }
+            let w1 = self
+                .weights
+                .w1
+                .and_then(|l| ed.props.value_at(l, t))
+                .and_then(PropValue::as_long)
+                .unwrap_or(0);
+            let w2 = self
+                .weights
+                .w2
+                .and_then(|l| ed.props.value_at(l, t))
+                .and_then(PropValue::as_long)
+                .unwrap_or(1);
+            let target = if incoming { ed.src.0 } else { ed.dst.0 };
+            out.push(VcmEdge { target, w1, w2, kind: 0 });
+        }
+    }
+
+    /// Runs compute for every applicable snapshot offset of vertex `v`,
+    /// then merges per-offset sends into interval messages.
+    #[allow(clippy::too_many_arguments)]
+    fn process_vertex(
+        &mut self,
+        v: u32,
+        step: u64,
+        all_active: bool,
+        per_off: &[Vec<P::Msg>],
+        outbox: &mut Outbox<ChlMsg<P::Msg>>,
+        globals: &Aggregators,
+        partial: &mut Aggregators,
+        counters: &mut UserCounters,
+    ) {
+        let vid = self.graph.vertex(VIdx(v)).vid;
+        let lifespan = self.graph.vertex(VIdx(v)).lifespan;
+        let mut sends_per_off: Vec<Vec<(u32, P::Msg)>> = vec![Vec::new(); self.batch_len];
+        let mut edges = Vec::new();
+        let mut in_edges = Vec::new();
+        for off in 0..self.batch_len {
+            let t = self.batch_start + off as Time;
+            if !lifespan.contains_point(t) {
+                continue;
+            }
+            let msgs = &per_off[off];
+            if step > 1 && msgs.is_empty() && !all_active {
+                continue; // this snapshot's replica of v is inactive
+            }
+            {
+                let batch_len = self.batch_len;
+                let program = &self.program;
+                let slot = self.states.entry(v).or_insert_with(|| vec![None; batch_len]);
+                if slot[off].is_none() {
+                    slot[off] = Some(program.init(v, vid));
+                }
+            }
+            edges.clear();
+            self.edges_at(v, t, false, &mut edges);
+            in_edges.clear();
+            if self.need_in_edges {
+                self.edges_at(v, t, true, &mut in_edges);
+            }
+            let state = self.states.get_mut(&v).expect("inserted above")[off]
+                .as_mut()
+                .expect("initialized above");
+            let mut sends: Vec<(u32, P::Msg)> = Vec::new();
+            let mut ctx = VcmContext {
+                vertex: v,
+                vid,
+                superstep: step,
+                out_edges: &edges,
+                in_edges: &in_edges,
+                globals,
+                partial,
+                sends: &mut sends,
+            };
+            counters.compute_calls += 1;
+            self.program.compute(&mut ctx, state, msgs);
+            sends_per_off[off] = sends;
+        }
+        // Merge identical payloads to the same target across adjacent
+        // snapshot offsets into one interval message (the Chronos trick).
+        let mut open: Vec<(u32, u32, u32, P::Msg)> = Vec::new(); // target, lo, hi, payload
+        for (off, sends) in sends_per_off.into_iter().enumerate() {
+            let off = off as u32;
+            // Close runs that were not extended to this offset.
+            let mut still_open = Vec::with_capacity(open.len());
+            let mut pending = sends;
+            for (target, lo, hi, m) in open.into_iter() {
+                if hi == off {
+                    if let Some(pos) = pending
+                        .iter()
+                        .position(|(t2, m2)| *t2 == target && *m2 == m)
+                    {
+                        pending.remove(pos);
+                        still_open.push((target, lo, hi + 1, m));
+                        continue;
+                    }
+                }
+                // Run ended: flush.
+                outbox.send(VIdx(target), (target, lo, hi, m));
+            }
+            open = still_open;
+            for (target, m) in pending {
+                open.push((target, off, off + 1, m));
+            }
+        }
+        for (target, lo, hi, m) in open {
+            outbox.send(VIdx(target), (target, lo, hi, m));
+        }
+    }
+}
+
+impl<P: VcmProgram> WorkerLogic for ChlWorker<P>
+where
+    P::Msg: PartialEq,
+{
+    type Msg = ChlMsg<P::Msg>;
+
+    fn superstep(
+        &mut self,
+        step: u64,
+        inbox: &Inbox<Self::Msg>,
+        outbox: &mut Outbox<Self::Msg>,
+        globals: &Aggregators,
+        partial: &mut Aggregators,
+        counters: &mut UserCounters,
+    ) {
+        if step == 1 {
+            let owned = std::mem::take(&mut self.owned);
+            let empty = vec![Vec::new(); self.batch_len];
+            for &v in &owned {
+                self.process_vertex(v, step, true, &empty, outbox, globals, partial, counters);
+            }
+            self.owned = owned;
+            return;
+        }
+        let all_active = self.program.all_active(step, globals);
+        let mut active: Vec<(u32, Vec<Vec<P::Msg>>)> = Vec::new();
+        if all_active {
+            for &v in &self.owned {
+                if inbox.messages_for(VIdx(v)).is_none() {
+                    active.push((v, vec![Vec::new(); self.batch_len]));
+                }
+            }
+        }
+        for (v, raw) in inbox.iter() {
+            // Unpack interval messages into per-offset lists, then apply
+            // the receiver-side combiner per offset.
+            let mut per_off: Vec<Vec<P::Msg>> = vec![Vec::new(); self.batch_len];
+            for (_, lo, hi, m) in raw {
+                for off in *lo..(*hi).min(self.batch_len as u32) {
+                    per_off[off as usize].push(m.clone());
+                }
+            }
+            for msgs in &mut per_off {
+                if msgs.len() > 1 {
+                    let mut folded: Vec<P::Msg> = Vec::with_capacity(msgs.len());
+                    for m in msgs.drain(..) {
+                        match folded.last_mut() {
+                            Some(last) => match self.program.combine(last, &m) {
+                                Some(c) => *last = c,
+                                None => folded.push(m),
+                            },
+                            None => folded.push(m),
+                        }
+                    }
+                    *msgs = folded;
+                }
+            }
+            active.push((v.0, per_off));
+        }
+        for (v, per_off) in active {
+            self.process_vertex(v, step, all_active, &per_off, outbox, globals, partial, counters);
+        }
+    }
+}
+
+/// Runs `program` over the window in batches of `batch_size` snapshots.
+pub fn run_chlonos<P>(
+    graph: Arc<TemporalGraph>,
+    program: Arc<P>,
+    config: &ChlConfig,
+) -> ChlResult<P::State>
+where
+    P: VcmProgram,
+    P::Msg: PartialEq,
+{
+    let window = config
+        .window
+        .or_else(|| snapshot_window(&graph))
+        .expect("graph with no bounded window needs an explicit one");
+    let partition = Arc::new(PartitionMap::hash(&graph, config.workers));
+    let mut metrics = RunMetrics::default();
+    let mut per_snapshot = Vec::new();
+    let mut batches = 0usize;
+
+    // Static-topology reuse: one single-snapshot batch covers the window.
+    let static_reuse = config.exploit_static_topology
+        && crate::topology::is_topology_static_helper(&graph, window);
+    let effective_end = if static_reuse { window.start() + 1 } else { window.end() };
+
+    let mut batch_start = window.start();
+    while batch_start < effective_end {
+        let batch_len = (effective_end - batch_start).min(config.batch_size as i64) as usize;
+        batches += 1;
+        let workers: Vec<ChlWorker<P>> = (0..config.workers)
+            .map(|w| ChlWorker {
+                graph: Arc::clone(&graph),
+                program: Arc::clone(&program),
+                owned: partition.owned_by(w).into_iter().map(|v| v.0).collect(),
+                weights: config.weights,
+                batch_start,
+                batch_len,
+                need_in_edges: config.need_in_edges,
+                states: HashMap::new(),
+            })
+            .collect();
+        let bsp = BspConfig { max_supersteps: config.max_supersteps, ..Default::default() };
+        // Keep phased programs alive through idle barriers when they
+        // request an all-active next superstep.
+        let prog = Arc::clone(&program);
+        let mut wrapper = move |step: u64, globals: &Aggregators| {
+            if prog.all_active(step + 1, globals) {
+                graphite_bsp::aggregate::MasterDecision::ForceContinue
+            } else {
+                graphite_bsp::aggregate::MasterDecision::Continue
+            }
+        };
+        let (workers, batch_metrics) =
+            run_bsp(&bsp, workers, Arc::clone(&partition), Some(&mut wrapper));
+        metrics.merge(&batch_metrics);
+        if config.collect_states {
+            let mut maps: Vec<HashMap<u32, P::State>> =
+                (0..batch_len).map(|_| HashMap::new()).collect();
+            for w in workers {
+                for (v, slots) in w.states {
+                    for (off, slot) in slots.into_iter().enumerate() {
+                        if let Some(s) = slot {
+                            maps[off].insert(v, s);
+                        }
+                    }
+                }
+            }
+            for (off, map) in maps.into_iter().enumerate() {
+                per_snapshot.push((batch_start + off as Time, map));
+            }
+        }
+        batch_start += batch_len as Time;
+    }
+    if static_reuse && config.collect_states {
+        if let Some((_, states)) = per_snapshot.first().cloned() {
+            for t in (window.start() + 1)..window.end() {
+                per_snapshot.push((t, states.clone()));
+            }
+        }
+    }
+    ChlResult { per_snapshot, metrics, batches }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msb::{run_msb, MsbConfig};
+    use graphite_tgraph::graph::VertexId;
+    use graphite_tgraph::fixtures::transit_graph;
+
+    /// Per-snapshot BFS level from A (same program as the MSB test).
+    struct Bfs {
+        source: VertexId,
+    }
+
+    impl VcmProgram for Bfs {
+        type State = i64;
+        type Msg = i64;
+        fn init(&self, _v: u32, vid: VertexId) -> i64 {
+            if vid == self.source {
+                0
+            } else {
+                i64::MAX
+            }
+        }
+        fn compute(&self, ctx: &mut VcmContext<i64>, state: &mut i64, msgs: &[i64]) {
+            let best = msgs.iter().copied().min().unwrap_or(i64::MAX);
+            let improved = best < *state;
+            if improved {
+                *state = best;
+            }
+            if (ctx.superstep() == 1 && *state == 0) || improved {
+                let next = state.saturating_add(1);
+                let targets: Vec<u32> = ctx.out_edges().iter().map(|e| e.target).collect();
+                for target in targets {
+                    ctx.send(target, next);
+                }
+            }
+        }
+        fn combine(&self, a: &i64, b: &i64) -> Option<i64> {
+            Some(*a.min(b))
+        }
+    }
+
+    #[test]
+    fn chlonos_matches_msb_results() {
+        let graph = Arc::new(transit_graph());
+        let msb = run_msb(
+            Arc::clone(&graph),
+            |_| Arc::new(Bfs { source: VertexId(0) }),
+            &MsbConfig { workers: 2, ..Default::default() },
+        );
+        for batch_size in [1, 3, 9, 100] {
+            let chl = run_chlonos(
+                Arc::clone(&graph),
+                Arc::new(Bfs { source: VertexId(0) }),
+                &ChlConfig { workers: 2, batch_size, ..Default::default() },
+            );
+            assert_eq!(chl.per_snapshot.len(), 9);
+            for (t, states) in &msb.per_snapshot {
+                for (v, s) in states {
+                    assert_eq!(
+                        chl.state_at(*v, *t),
+                        Some(s),
+                        "batch={batch_size} v={v} t={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chlonos_same_compute_calls_fewer_messages_than_msb() {
+        let graph = Arc::new(transit_graph());
+        let msb = run_msb(
+            Arc::clone(&graph),
+            |_| Arc::new(Bfs { source: VertexId(0) }),
+            &MsbConfig { workers: 2, ..Default::default() },
+        );
+        let chl = run_chlonos(
+            Arc::clone(&graph),
+            Arc::new(Bfs { source: VertexId(0) }),
+            &ChlConfig { workers: 2, batch_size: 9, ..Default::default() },
+        );
+        // Sec. VII-B1: MSB and Chlonos have the same number of compute
+        // calls for an algorithm on a graph.
+        assert_eq!(chl.metrics.counters.compute_calls, msb.metrics.counters.compute_calls);
+        // A->B exists over [3,6) with A's level-1 push identical at each
+        // point; one batch merges those into fewer messages.
+        assert!(chl.metrics.counters.messages_sent < msb.metrics.counters.messages_sent);
+        assert_eq!(chl.batches, 1);
+    }
+
+    #[test]
+    fn smaller_batches_mean_less_sharing() {
+        let graph = Arc::new(transit_graph());
+        let one = run_chlonos(
+            Arc::clone(&graph),
+            Arc::new(Bfs { source: VertexId(0) }),
+            &ChlConfig { batch_size: 9, ..Default::default() },
+        );
+        let many = run_chlonos(
+            Arc::clone(&graph),
+            Arc::new(Bfs { source: VertexId(0) }),
+            &ChlConfig { batch_size: 1, ..Default::default() },
+        );
+        assert_eq!(many.batches, 9);
+        assert!(many.metrics.counters.messages_sent >= one.metrics.counters.messages_sent);
+        assert_eq!(
+            many.metrics.counters.compute_calls,
+            one.metrics.counters.compute_calls
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! # graphite-baselines — the four comparison platforms
+//!
+//! Implementations of the baseline systems the ICM paper evaluates against
+//! (Sec. VII-A3), all running over the same BSP substrate as GRAPHITE so
+//! the programming primitives are the experimental variable:
+//!
+//! * **MSB** — the multi-snapshot baseline: a vertex-centric program run
+//!   independently on every snapshot (TI algorithms).
+//! * **Chlonos** — the Chronos clone: batches of snapshots processed
+//!   concurrently; per-snapshot compute but messages that span adjacent
+//!   snapshots are sent once (TI algorithms).
+//! * **TGB** — the transformed-graph baseline: vertex-centric execution
+//!   over the time-expanded graph, with replica state transfer across
+//!   waiting edges (TD algorithms).
+//! * **GoFFish-TS** — sequential snapshots with stateful vertices and
+//!   temporal messages delivered by an outer loop (TD algorithms).
+
+#![warn(missing_docs)]
+
+pub mod chlonos;
+pub mod goffish;
+pub mod msb;
+pub mod tgb;
+pub mod topology;
+pub mod vcm;
+
+pub use chlonos::{run_chlonos, ChlConfig, ChlResult};
+pub use goffish::{run_goffish, GofConfig, GofContext, GofProgram, GofResult};
+pub use msb::{run_msb, MsbConfig, MsbResult};
+pub use tgb::{run_tgb, TgbResult};
+pub use topology::{EdgeWeights, SnapshotTopology, TransformedTopology};
+pub use vcm::{run_vcm, run_vcm_with_master, VcmConfig, VcmContext, VcmEdge, VcmProgram, VcmResult, VcmTopology};

@@ -1,0 +1,260 @@
+//! [`VcmTopology`] adapters: a temporal graph frozen at one time-point
+//! (for MSB / Chlonos / GoFFish) and the time-expanded transformed graph
+//! (for TGB).
+
+use crate::vcm::{VcmEdge, VcmTopology};
+use graphite_tgraph::time::Interval;
+use graphite_bsp::partition::splitmix64;
+use graphite_tgraph::graph::{TemporalGraph, VIdx, VertexId};
+use graphite_tgraph::property::{LabelId, PropValue};
+use graphite_tgraph::time::Time;
+use graphite_tgraph::transform::{TransformedEdgeKind, TransformedGraph};
+use std::sync::Arc;
+
+/// Which edge properties to resolve into [`VcmEdge::w1`] / [`VcmEdge::w2`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EdgeWeights {
+    /// Property resolved into `w1` (e.g. travel cost); missing → 0.
+    pub w1: Option<LabelId>,
+    /// Property resolved into `w2` (e.g. travel time); missing → 1.
+    pub w2: Option<LabelId>,
+}
+
+/// A temporal graph restricted to a single time-point: the snapshot the
+/// multi-snapshot baselines execute on. Dense indices coincide with the
+/// temporal graph's internal vertex indices.
+pub struct SnapshotTopology {
+    graph: Arc<TemporalGraph>,
+    t: Time,
+    weights: EdgeWeights,
+}
+
+impl SnapshotTopology {
+    /// The snapshot of `graph` at `t`, resolving `weights` per edge.
+    pub fn new(graph: Arc<TemporalGraph>, t: Time, weights: EdgeWeights) -> Self {
+        SnapshotTopology { graph, t, weights }
+    }
+
+    /// The snapshot time-point.
+    pub fn time(&self) -> Time {
+        self.t
+    }
+
+    /// The underlying temporal graph.
+    pub fn graph(&self) -> &Arc<TemporalGraph> {
+        &self.graph
+    }
+
+    fn resolve(&self, e: graphite_tgraph::graph::EIdx) -> (i64, i64) {
+        let props = &self.graph.edge(e).props;
+        let w1 = self
+            .weights
+            .w1
+            .and_then(|l| props.value_at(l, self.t))
+            .and_then(PropValue::as_long)
+            .unwrap_or(0);
+        let w2 = self
+            .weights
+            .w2
+            .and_then(|l| props.value_at(l, self.t))
+            .and_then(PropValue::as_long)
+            .unwrap_or(1);
+        (w1, w2)
+    }
+}
+
+impl VcmTopology for SnapshotTopology {
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn is_active(&self, v: u32) -> bool {
+        self.graph.vertex(VIdx(v)).lifespan.contains_point(self.t)
+    }
+
+    fn out_edges(&self, v: u32, out: &mut Vec<VcmEdge>) {
+        for &e in self.graph.out_edges(VIdx(v)) {
+            let ed = self.graph.edge(e);
+            if ed.lifespan.contains_point(self.t) {
+                let (w1, w2) = self.resolve(e);
+                out.push(VcmEdge { target: ed.dst.0, w1, w2, kind: 0 });
+            }
+        }
+    }
+
+    fn in_edges(&self, v: u32, out: &mut Vec<VcmEdge>) {
+        for &e in self.graph.in_edges(VIdx(v)) {
+            let ed = self.graph.edge(e);
+            if ed.lifespan.contains_point(self.t) {
+                let (w1, w2) = self.resolve(e);
+                out.push(VcmEdge { target: ed.src.0, w1, w2, kind: 0 });
+            }
+        }
+    }
+
+    fn partition_key(&self, v: u32) -> u64 {
+        self.graph.vertex(VIdx(v)).vid.0
+    }
+
+    fn logical_vid(&self, v: u32) -> VertexId {
+        self.graph.vertex(VIdx(v)).vid
+    }
+}
+
+/// The transformed (time-expanded) graph as a VCM topology: replicas are
+/// the vertices; transit edges carry their cost in `w1`; waiting edges are
+/// tagged `kind = 1` (TGB's replica state-transfer channel).
+pub struct TransformedTopology {
+    graph: Arc<TemporalGraph>,
+    transformed: Arc<TransformedGraph>,
+}
+
+impl TransformedTopology {
+    /// Wraps a transformed graph (and the temporal graph it came from,
+    /// for id reporting).
+    pub fn new(graph: Arc<TemporalGraph>, transformed: Arc<TransformedGraph>) -> Self {
+        TransformedTopology { graph, transformed }
+    }
+
+    /// The replica table, for mapping results back to `(vertex, time)`.
+    pub fn transformed(&self) -> &Arc<TransformedGraph> {
+        &self.transformed
+    }
+
+    /// The replica's `(logical vertex, time)` pair.
+    pub fn replica(&self, v: u32) -> (VIdx, Time) {
+        self.transformed.replicas[v as usize]
+    }
+}
+
+impl VcmTopology for TransformedTopology {
+    fn num_vertices(&self) -> usize {
+        self.transformed.num_vertices()
+    }
+
+    fn out_edges(&self, v: u32, out: &mut Vec<VcmEdge>) {
+        for e in self.transformed.out_edges(v) {
+            out.push(VcmEdge {
+                target: e.dst,
+                w1: e.weight,
+                w2: 0,
+                kind: u8::from(e.kind == TransformedEdgeKind::Waiting),
+            });
+        }
+    }
+
+    fn in_edges(&self, v: u32, out: &mut Vec<VcmEdge>) {
+        for e in self.transformed.in_edges(v) {
+            out.push(VcmEdge {
+                target: e.dst, // source replica, by reverse-CSR convention
+                w1: e.weight,
+                w2: 0,
+                kind: u8::from(e.kind == TransformedEdgeKind::Waiting),
+            });
+        }
+    }
+
+    fn partition_key(&self, v: u32) -> u64 {
+        // Each replica is its own Giraph vertex: hash replica identity
+        // (vertex id mixed with its time-point).
+        let (orig, t) = self.transformed.replicas[v as usize];
+        splitmix64(self.graph.vertex(orig).vid.0 ^ (t as u64).rotate_left(32))
+    }
+
+    fn logical_vid(&self, v: u32) -> VertexId {
+        let (orig, _) = self.transformed.replicas[v as usize];
+        self.graph.vertex(orig).vid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphite_tgraph::fixtures::{transit_graph, transit_ids};
+    use graphite_tgraph::transform::{transform_for_paths, TransformOptions};
+
+    fn weights(g: &TemporalGraph) -> EdgeWeights {
+        EdgeWeights { w1: g.label("travel-cost"), w2: g.label("travel-time") }
+    }
+
+    #[test]
+    fn snapshot_topology_respects_time() {
+        let g = Arc::new(transit_graph());
+        let w = weights(&g);
+        let a = g.vertex_index(transit_ids::A).unwrap().0;
+        let t3 = SnapshotTopology::new(Arc::clone(&g), 3, w);
+        let mut out = Vec::new();
+        t3.out_edges(a, &mut out);
+        // At t=3: A->B (cost 4) and A->D (cost 2) are alive; A->C ended.
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|e| e.w2 == 1));
+        let costs: Vec<i64> = out.iter().map(|e| e.w1).collect();
+        assert!(costs.contains(&4) && costs.contains(&2));
+        // At t=5 the A->B cost property value changed to 3.
+        let t5 = SnapshotTopology::new(Arc::clone(&g), 5, w);
+        out.clear();
+        t5.out_edges(a, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].w1, 3);
+    }
+
+    #[test]
+    fn snapshot_in_edges_mirror_out_edges() {
+        let g = Arc::new(transit_graph());
+        let w = weights(&g);
+        let t8 = SnapshotTopology::new(Arc::clone(&g), 8, w);
+        let e = g.vertex_index(transit_ids::E).unwrap().0;
+        let mut ins = Vec::new();
+        t8.in_edges(e, &mut ins);
+        assert_eq!(ins.len(), 1); // B->E alive at 8
+        assert_eq!(ins[0].target, g.vertex_index(transit_ids::B).unwrap().0);
+    }
+
+    #[test]
+    fn transformed_topology_marks_waiting_edges() {
+        let g = Arc::new(transit_graph());
+        let tg = Arc::new(transform_for_paths(&g, &TransformOptions::default()));
+        let topo = TransformedTopology::new(Arc::clone(&g), Arc::clone(&tg));
+        let mut waiting = 0;
+        let mut transit = 0;
+        for v in 0..topo.num_vertices() as u32 {
+            let mut out = Vec::new();
+            topo.out_edges(v, &mut out);
+            for e in out {
+                if e.kind == 1 {
+                    waiting += 1;
+                    assert_eq!(e.w1, 0);
+                } else {
+                    transit += 1;
+                }
+            }
+        }
+        assert_eq!(transit, 14);
+        assert!(waiting > 0);
+        assert_eq!(waiting + transit, tg.num_edges());
+    }
+
+    #[test]
+    fn replica_partition_keys_spread() {
+        let g = Arc::new(transit_graph());
+        let tg = Arc::new(transform_for_paths(&g, &TransformOptions::default()));
+        let topo = TransformedTopology::new(g, tg);
+        // Two replicas of the same vertex get different keys.
+        let (v0, _) = topo.replica(0);
+        let mut same_vertex = Vec::new();
+        for v in 0..topo.num_vertices() as u32 {
+            if topo.replica(v).0 == v0 {
+                same_vertex.push(topo.partition_key(v));
+            }
+        }
+        same_vertex.dedup();
+        assert!(same_vertex.len() > 1);
+    }
+}
+
+
+/// Re-exported helper: static-topology detection (see
+/// [`graphite_tgraph::snapshot::is_topology_static`]).
+pub fn is_topology_static_helper(graph: &TemporalGraph, window: Interval) -> bool {
+    graphite_tgraph::snapshot::is_topology_static(graph, window)
+}

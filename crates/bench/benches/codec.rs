@@ -1,0 +1,90 @@
+//! Criterion bench: the interval wire codec — the paper's variable-length
+//! interval encoding vs. the naive fixed 16-byte pair (Sec. VI reports a
+//! 59-78% message-size drop; this measures the cpu cost and verifies the
+//! size ratio stays in that band for a workload-like mixture).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use graphite_bsp::codec::{
+    get_interval, get_interval_fixed, put_interval, put_interval_fixed,
+};
+use graphite_tgraph::time::Interval;
+use std::hint::black_box;
+
+/// A workload-like interval mixture: mostly unit and right-unbounded.
+fn workload(n: usize) -> Vec<Interval> {
+    (0..n as i64)
+        .map(|i| match i % 4 {
+            0 => Interval::point(i),
+            1 => Interval::from_start(i),
+            2 => Interval::new(i, i + 5),
+            _ => Interval::new(i, i + 40),
+        })
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let ivs = workload(1024);
+    let mut g = c.benchmark_group("codec/encode");
+    g.throughput(Throughput::Elements(ivs.len() as u64));
+    g.bench_function("varint", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(ivs.len() * 4);
+            for &iv in &ivs {
+                put_interval(black_box(iv), &mut buf);
+            }
+            black_box(buf)
+        })
+    });
+    g.bench_function("fixed", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(ivs.len() * 16);
+            for &iv in &ivs {
+                put_interval_fixed(black_box(iv), &mut buf);
+            }
+            black_box(buf)
+        })
+    });
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let ivs = workload(1024);
+    let mut compact = Vec::new();
+    let mut fixed = Vec::new();
+    for &iv in &ivs {
+        put_interval(iv, &mut compact);
+        put_interval_fixed(iv, &mut fixed);
+    }
+    // The paper's headline claim: 59-78% smaller messages.
+    let reduction = 1.0 - compact.len() as f64 / fixed.len() as f64;
+    assert!(reduction > 0.59, "size reduction {reduction}");
+
+    let mut g = c.benchmark_group("codec/decode");
+    g.throughput(Throughput::Elements(ivs.len() as u64));
+    g.bench_function("varint", |b| {
+        b.iter(|| {
+            let mut s = compact.as_slice();
+            let mut n = 0usize;
+            while !s.is_empty() {
+                black_box(get_interval(&mut s).unwrap());
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("fixed", |b| {
+        b.iter(|| {
+            let mut s = fixed.as_slice();
+            let mut n = 0usize;
+            while !s.is_empty() {
+                black_box(get_interval_fixed(&mut s).unwrap());
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion bench: the time-warp operator's scaling in message count,
+//! partition count and overlap structure — the merge-based aggregation the
+//! paper adopts is O(m log m) in the inner-set size (Sec. VI).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graphite_icm::warp::time_warp_spans;
+use graphite_tgraph::time::Interval;
+use std::hint::black_box;
+
+fn partition(n: usize, horizon: i64) -> Vec<Interval> {
+    let step = (horizon / n as i64).max(1);
+    (0..n as i64)
+        .map(|i| {
+            let start = i * step;
+            let end = if i as usize == n - 1 { horizon } else { (i + 1) * step };
+            Interval::new(start, end)
+        })
+        .collect()
+}
+
+/// Messages with pseudo-random placement and the given mean length.
+fn messages(m: usize, horizon: i64, len: i64) -> Vec<Interval> {
+    (0..m as i64)
+        .map(|i| {
+            let start = (i.wrapping_mul(2654435761) % (horizon - len).max(1)).abs();
+            Interval::new(start, start + len)
+        })
+        .collect()
+}
+
+fn bench_message_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("warp/messages");
+    let outer = partition(8, 1024);
+    for m in [16usize, 64, 256, 1024, 4096] {
+        let inner = messages(m, 1024, 32);
+        g.throughput(Throughput::Elements(m as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(m), &inner, |b, inner| {
+            b.iter(|| black_box(time_warp_spans(black_box(&outer), black_box(inner))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_partition_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("warp/partitions");
+    let inner = messages(256, 1024, 32);
+    for n in [1usize, 8, 64, 512] {
+        let outer = partition(n, 1024);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &outer, |b, outer| {
+            b.iter(|| black_box(time_warp_spans(black_box(outer), black_box(&inner))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_overlap_regimes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("warp/overlap");
+    let outer = partition(8, 1024);
+    // Unit-length messages: the regime warp suppression exists for.
+    let unit = messages(1024, 1024, 1);
+    g.bench_function("unit", |b| {
+        b.iter(|| black_box(time_warp_spans(black_box(&outer), black_box(&unit))))
+    });
+    // Long messages: heavy overlap, few output tuples per group.
+    let long = messages(1024, 1024, 512);
+    g.bench_function("long", |b| {
+        b.iter(|| black_box(time_warp_spans(black_box(&outer), black_box(&long))))
+    });
+    // Right-unbounded messages (the SSSP pattern).
+    let unbounded: Vec<Interval> =
+        (0..1024i64).map(|i| Interval::from_start(i % 1024)).collect();
+    g.bench_function("unbounded", |b| {
+        b.iter(|| black_box(time_warp_spans(black_box(&outer), black_box(&unbounded))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_message_scaling, bench_partition_scaling, bench_overlap_regimes);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Sec. VII-B8 reproduction: user-logic lines of code per algorithm and
+//! per programming model, counted from the `graphite-algorithms` sources.
+//! The paper reports ICM programs at 15–47 % fewer LoC than Chlonos,
+//! 19–44 % fewer than GoFFish and 46–152 % fewer than TGB, and within 3
+//! lines of MSB.
+
+use std::path::PathBuf;
+
+/// Counts the non-blank, non-comment lines of the `impl <trait> for
+/// <name>` block in `source` (brace-matched).
+fn impl_loc(source: &str, trait_name: &str, name: &str) -> Option<usize> {
+    let needle = format!("impl {trait_name} for {name} ");
+    let start = source.find(&needle)?;
+    let mut depth = 0usize;
+    let mut end = start;
+    for (i, ch) in source[start..].char_indices() {
+        match ch {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = start + i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let body = &source[start..=end];
+    Some(
+        body.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("///"))
+            .count(),
+    )
+}
+
+/// Counts the lines of a free function `fn <name>(` (the baselines'
+/// per-algorithm result-extraction helpers — user logic the paper charges
+/// to those models).
+fn fn_loc(source: &str, name: &str) -> Option<usize> {
+    let needle = format!("fn {name}(");
+    let start = source.find(&needle)?;
+    let mut depth = 0usize;
+    let mut end = start;
+    let mut seen_open = false;
+    for (i, ch) in source[start..].char_indices() {
+        match ch {
+            '{' => {
+                depth += 1;
+                seen_open = true;
+            }
+            '}' => {
+                depth -= 1;
+                if depth == 0 && seen_open {
+                    end = start + i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let body = &source[start..=end];
+    Some(
+        body.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("///"))
+            .count(),
+    )
+}
+
+fn src(file: &str) -> String {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../algorithms/src");
+    std::fs::read_to_string(root.join(file)).unwrap_or_else(|e| panic!("{file}: {e}"))
+}
+
+fn main() {
+    println!("# Sec. VII-B8 — user-logic LoC per algorithm and model");
+    println!("# TGB counts include the model's per-algorithm result-extraction");
+    println!("# helpers (replica-to-vertex projections), which are user logic");
+    println!("# that model forces the programmer to write.");
+    println!("{:<6} {:>6} {:>9} {:>6} {:>6}", "algo", "ICM", "VCM/MSB", "GOF", "TGB");
+    type Row = (
+        &'static str,
+        &'static str,
+        &'static str,
+        Option<&'static str>,
+        Option<(&'static str, &'static str)>,
+        Option<(&'static str, &'static str, Option<&'static str>)>,
+    );
+    // (algo, file, ICM impl, VCM impl, GOF (file, impl), TGB (file, impl, helper fn))
+    let rows: Vec<Row> = vec![
+        ("BFS", "bfs.rs", "IcmBfs", Some("VcmBfs"), None, None),
+        ("WCC", "wcc.rs", "IcmWcc", Some("VcmWcc"), None, None),
+        ("SCC", "scc.rs", "IcmScc", Some("VcmScc"), None, None),
+        ("PR", "pagerank.rs", "IcmPageRank", Some("VcmPageRank"), None, None),
+        ("SSSP", "td_paths.rs", "IcmSssp", None, Some(("gof_paths.rs", "GofSssp")), Some(("tgb_paths.rs", "TgbSssp", None))),
+        ("EAT", "td_paths.rs", "IcmEat", None, Some(("gof_paths.rs", "GofEat")), Some(("tgb_paths.rs", "TgbReach", Some("tgb_earliest_arrivals")))),
+        ("FAST", "td_paths.rs", "IcmFast", None, Some(("gof_paths.rs", "GofFast")), Some(("tgb_paths.rs", "TgbFast", Some("tgb_fastest_durations")))),
+        ("LD", "td_paths.rs", "IcmLd", None, Some(("gof_paths.rs", "GofLd")), Some(("tgb_paths.rs", "TgbLd", Some("tgb_latest_departures")))),
+        ("TMST", "td_paths.rs", "IcmTmst", None, Some(("gof_paths.rs", "GofTmst")), Some(("tgb_paths.rs", "TgbTmst", Some("tgb_tmst_parents")))),
+        ("RH", "td_paths.rs", "IcmReach", None, Some(("gof_paths.rs", "GofReach")), Some(("tgb_paths.rs", "TgbReach", None))),
+        ("LCC", "lcc.rs", "IcmLcc", None, Some(("gof_cluster.rs", "GofLcc")), None),
+        ("TC", "tc.rs", "IcmTc", None, Some(("gof_cluster.rs", "GofTc")), None),
+    ];
+    let fmt = |v: Option<usize>| v.map_or("-".to_owned(), |n| n.to_string());
+    for (algo, file, icm, vcm, gof, tgb) in rows {
+        let source = src(file);
+        let icm_loc = impl_loc(&source, "IntervalProgram", icm);
+        let vcm_loc = vcm.and_then(|n| impl_loc(&source, "VcmProgram", n));
+        let gof_loc = gof.and_then(|(f, n)| impl_loc(&src(f), "GofProgram", n));
+        let tgb_loc = tgb.and_then(|(f, n, helper)| {
+            let text = src(f);
+            let base = impl_loc(&text, "VcmProgram", n)?;
+            let extra = helper.and_then(|h| fn_loc(&text, h)).unwrap_or(0);
+            Some(base + extra)
+        });
+        println!(
+            "{:<6} {:>6} {:>9} {:>6} {:>6}",
+            algo,
+            fmt(icm_loc),
+            fmt(vcm_loc),
+            fmt(gof_loc),
+            fmt(tgb_loc)
+        );
+    }
+    println!();
+    println!("# Paper shape (Sec. VII-B8): ICM programs are concise — near MSB's");
+    println!("# VCM size for TI algorithms (a few extra interval-API lines) and");
+    println!("# substantially shorter than the GoFFish and TGB forms for TD ones,");
+    println!("# since warp absorbs the temporal bookkeeping the baselines spell out");
+    println!("# (per-snapshot carries, replica plumbing, departure-time checks).");
+}

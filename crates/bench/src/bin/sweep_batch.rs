@@ -1,0 +1,48 @@
+//! Ablation sweep: Chlonos batch size (DESIGN.md §9). The paper observes
+//! that Twitter only fits 6 snapshots per batch, forcing 5 batches and
+//! costing ~4.5× the messages ICM sends; with everything in one batch
+//! Chlonos matches ICM's message count on TI algorithms. This sweeps the
+//! batch size on the Twitter profile and prints the message-count decay.
+
+use graphite_algorithms::registry::{Algo, Platform, RunOpts};
+use graphite_bench::{fmt_dur, run_cell, Dataset, HarnessConfig};
+use graphite_datagen::Profile;
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    let dataset = Dataset::new(Profile::Twitter, &config);
+    println!(
+        "# Chlonos batch-size sweep on Twitter profile (scale={}, workers={})",
+        config.scale, config.workers
+    );
+    let mut opts = config.run_opts();
+    opts.digest = false;
+    let icm = run_cell(&dataset, Algo::Bfs, Platform::Icm, &opts).expect("icm");
+    println!(
+        "ICM reference: {} messages, makespan {}\n",
+        icm.metrics.counters.messages_sent,
+        fmt_dur(icm.metrics.makespan)
+    );
+    println!(
+        "{:<8} {:>12} {:>12} {:>10} {:>12}",
+        "batch", "messages", "vs ICM", "makespan", "computeCalls"
+    );
+    for batch in [1usize, 2, 4, 6, 8, 15, 30] {
+        let opts = RunOpts { batch_size: batch, digest: false, ..opts.clone() };
+        let chl = run_cell(&dataset, Algo::Bfs, Platform::Chlonos, &opts).expect("chl");
+        println!(
+            "{:<8} {:>12} {:>11.2}x {:>10} {:>12}",
+            batch,
+            chl.metrics.counters.messages_sent,
+            chl.metrics.counters.messages_sent as f64
+                / icm.metrics.counters.messages_sent.max(1) as f64,
+            fmt_dur(chl.metrics.makespan),
+            chl.metrics.counters.compute_calls,
+        );
+    }
+    println!();
+    println!("# Expectation (Sec. VII-B3): batch=1 degenerates to MSB's message");
+    println!("# count; growing batches merge messages that span adjacent snapshots");
+    println!("# until one batch approaches ICM's count — but compute calls stay");
+    println!("# constant (Chlonos never shares compute, only messages).");
+}

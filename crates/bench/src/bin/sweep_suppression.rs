@@ -1,0 +1,48 @@
+//! Ablation sweep: the warp-suppression threshold (DESIGN.md §9 — a
+//! generalization of Fig. 6(c)). The paper fixes the threshold at 70 %;
+//! this sweeps it from "never suppress" to "always suppress" on the
+//! unit-lifespan GPlus profile and on the mixed Reddit profile, showing
+//! where the crossover between warp overhead and per-point explosion
+//! sits.
+
+use graphite_algorithms::registry::{Algo, Platform};
+use graphite_bench::{fmt_dur, run_cell, Dataset, HarnessConfig};
+use graphite_datagen::Profile;
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    println!(
+        "# Suppression-threshold sweep (scale={}, workers={})",
+        config.scale, config.workers
+    );
+    for profile in [Profile::GPlus, Profile::Reddit] {
+        let dataset = Dataset::new(profile, &config);
+        println!("\n## {} (BFS + SSSP makespans)", profile.name());
+        println!(
+            "{:<10} {:>10} {:>10} {:>12} {:>12}",
+            "threshold", "BFS", "SSSP", "suppressed", "warped"
+        );
+        for threshold in [None, Some(1.0), Some(0.9), Some(0.7), Some(0.5), Some(0.3), Some(0.0)]
+        {
+            let mut opts = config.run_opts();
+            opts.digest = false;
+            opts.suppression = threshold;
+            let bfs = run_cell(&dataset, Algo::Bfs, Platform::Icm, &opts).expect("icm");
+            let sssp = run_cell(&dataset, Algo::Sssp, Platform::Icm, &opts).expect("icm");
+            let label = threshold.map_or("off".to_owned(), |t| format!("{t:.1}"));
+            println!(
+                "{:<10} {:>10} {:>10} {:>12} {:>12}",
+                label,
+                fmt_dur(bfs.metrics.makespan),
+                fmt_dur(sssp.metrics.makespan),
+                bfs.metrics.counters.warp_suppressions + sssp.metrics.counters.warp_suppressions,
+                bfs.metrics.counters.warp_invocations + sssp.metrics.counters.warp_invocations,
+            );
+        }
+    }
+    println!();
+    println!("# Expectation: on GPlus (all-unit messages) any threshold <= 1.0");
+    println!("# suppresses everything and beats 'off'; on Reddit (96% unit) the");
+    println!("# default 0.7 still suppresses most vertices. Results are identical");
+    println!("# at every setting — suppression is a pure execution-path choice.");
+}

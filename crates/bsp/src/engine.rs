@@ -1,0 +1,461 @@
+//! The bulk-synchronous-parallel superstep driver.
+//!
+//! This is the substrate that replaces Apache Giraph in our reproduction: a
+//! shared-nothing engine where each *worker* owns a disjoint vertex
+//! partition, supersteps alternate a parallel compute phase (one OS thread
+//! per worker) with a message-exchange phase at a global barrier, and every
+//! message that crosses a worker boundary is serialized through the
+//! [`crate::codec::Wire`] format and charged to the run's byte counters.
+//!
+//! Both the interval-centric engine (`graphite-icm`) and the four baseline
+//! platforms (`graphite-baselines`) run on this driver, which mirrors the
+//! paper's setup where all five platforms share Giraph — the primitives are
+//! the distinction, not the runtime (Sec. VII-A3).
+
+use crate::aggregate::{Aggregators, MasterDecision};
+use crate::codec::{get_varint, put_varint, Wire};
+use crate::metrics::{RunMetrics, StepTiming, UserCounters};
+use crate::partition::PartitionMap;
+use graphite_tgraph::graph::VIdx;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct BspConfig {
+    /// Hard cap on supersteps (safety net against non-converging logic).
+    pub max_supersteps: u64,
+    /// Record per-superstep timing splits in the metrics.
+    pub keep_per_step_timing: bool,
+}
+
+impl Default for BspConfig {
+    fn default() -> Self {
+        BspConfig { max_supersteps: 100_000, keep_per_step_timing: false }
+    }
+}
+
+/// The messages delivered to one worker at the start of a superstep,
+/// grouped per destination vertex and iterable in vertex order (the engine
+/// is deterministic end to end for a fixed worker count).
+pub struct Inbox<M> {
+    by_vertex: BTreeMap<VIdx, Vec<M>>,
+}
+
+impl<M> Default for Inbox<M> {
+    fn default() -> Self {
+        Inbox { by_vertex: BTreeMap::new() }
+    }
+}
+
+impl<M> Inbox<M> {
+    /// `true` when no vertex received anything.
+    pub fn is_empty(&self) -> bool {
+        self.by_vertex.is_empty()
+    }
+
+    /// Number of vertices that received messages.
+    pub fn active_vertices(&self) -> usize {
+        self.by_vertex.len()
+    }
+
+    /// Total number of messages.
+    pub fn total_messages(&self) -> usize {
+        self.by_vertex.values().map(Vec::len).sum()
+    }
+
+    /// Iterates `(vertex, messages)` in ascending vertex order.
+    pub fn iter(&self) -> impl Iterator<Item = (VIdx, &[M])> + '_ {
+        self.by_vertex.iter().map(|(v, m)| (*v, m.as_slice()))
+    }
+
+    /// The messages for one vertex, if any.
+    pub fn messages_for(&self, v: VIdx) -> Option<&[M]> {
+        self.by_vertex.get(&v).map(Vec::as_slice)
+    }
+
+    fn push(&mut self, v: VIdx, m: M) {
+        self.by_vertex.entry(v).or_default().push(m);
+    }
+}
+
+/// Where a worker's superstep deposits outgoing messages. Routing to the
+/// owning worker happens immediately; encoding happens at the barrier for
+/// remote destinations.
+pub struct Outbox<M> {
+    partition: Arc<PartitionMap>,
+    batches: Vec<Vec<(VIdx, M)>>,
+}
+
+impl<M> Outbox<M> {
+    fn new(partition: Arc<PartitionMap>) -> Self {
+        let workers = partition.workers();
+        Outbox { partition, batches: (0..workers).map(|_| Vec::new()).collect() }
+    }
+
+    /// Sends `msg` to vertex `dst` for delivery next superstep.
+    #[inline]
+    pub fn send(&mut self, dst: VIdx, msg: M) {
+        let w = self.partition.worker_of(dst);
+        self.batches[w].push((dst, msg));
+    }
+
+    /// Messages queued so far.
+    pub fn len(&self) -> usize {
+        self.batches.iter().map(Vec::len).sum()
+    }
+
+    /// `true` when nothing was sent.
+    pub fn is_empty(&self) -> bool {
+        self.batches.iter().all(Vec::is_empty)
+    }
+}
+
+/// Per-worker state and behaviour. One instance per worker; the engine
+/// hands each instance to its thread every superstep.
+pub trait WorkerLogic: Send {
+    /// Message type exchanged between vertices.
+    type Msg: Wire;
+
+    /// Executes one superstep over this worker's partition.
+    ///
+    /// * `step` — 1-based superstep number;
+    /// * `inbox` — messages delivered from the previous superstep (empty at
+    ///   superstep 1);
+    /// * `outbox` — destination for messages to deliver next superstep;
+    /// * `globals` — merged aggregator values from the previous superstep;
+    /// * `partial` — this worker's aggregator contributions for this one;
+    /// * `counters` — user-logic counters (compute calls etc.).
+    fn superstep(
+        &mut self,
+        step: u64,
+        inbox: &Inbox<Self::Msg>,
+        outbox: &mut Outbox<Self::Msg>,
+        globals: &Aggregators,
+        partial: &mut Aggregators,
+        counters: &mut UserCounters,
+    );
+}
+
+/// The master hook, run at each barrier over the merged aggregators.
+pub type MasterHook<'a> = &'a mut dyn FnMut(u64, &Aggregators) -> MasterDecision;
+
+/// Name of the built-in aggregator the engine injects after every
+/// superstep: the total number of messages that superstep emitted
+/// (readable as `globals.get_sum_u64(MESSAGES_SENT_AGG)`).
+pub const MESSAGES_SENT_AGG: &str = "__messages";
+
+/// Runs `workers` to convergence (no messages in flight and no master
+/// continuation) and returns the worker states plus the run metrics.
+///
+/// Convergence rule (Sec. IV-A2): all vertices implicitly vote to halt
+/// after each superstep and only messages reactivate them, so the run stops
+/// at the first superstep that emits no messages. The first superstep always
+/// runs (with empty inboxes) so programs can initialize.
+pub fn run_bsp<L: WorkerLogic>(
+    config: &BspConfig,
+    mut workers: Vec<L>,
+    partition: Arc<PartitionMap>,
+    mut master: Option<MasterHook<'_>>,
+) -> (Vec<L>, RunMetrics) {
+    assert_eq!(
+        workers.len(),
+        partition.workers(),
+        "one WorkerLogic per partition worker"
+    );
+    let n = workers.len();
+    let mut metrics = RunMetrics::default();
+    let mut inboxes: Vec<Inbox<L::Msg>> = (0..n).map(|_| Inbox::default()).collect();
+    let mut globals = Aggregators::new();
+    let run_start = Instant::now();
+
+    for step in 1..=config.max_supersteps {
+        let step_start = Instant::now();
+        // --- Compute phase: one thread per worker. ---
+        let globals_ref = &globals;
+        let mut results: Vec<(Outbox<L::Msg>, Aggregators, UserCounters)> =
+            Vec::with_capacity(n);
+        let mut compute_max = std::time::Duration::ZERO;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .iter_mut()
+                .zip(inboxes.iter())
+                .map(|(logic, inbox)| {
+                    let partition = Arc::clone(&partition);
+                    scope.spawn(move || {
+                        let mut outbox = Outbox::new(partition);
+                        let mut partial = Aggregators::new();
+                        let mut counters = UserCounters::default();
+                        let t0 = Instant::now();
+                        logic.superstep(
+                            step,
+                            inbox,
+                            &mut outbox,
+                            globals_ref,
+                            &mut partial,
+                            &mut counters,
+                        );
+                        (outbox, partial, counters, t0.elapsed())
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (outbox, partial, counters, took) = h.join().expect("worker panicked");
+                compute_max = compute_max.max(took);
+                results.push((outbox, partial, counters));
+            }
+        });
+        let after_compute = Instant::now();
+
+        // --- Exchange phase: route, serialize remote batches, regroup. ---
+        let mut next: Vec<Inbox<L::Msg>> = (0..n).map(|_| Inbox::default()).collect();
+        let mut step_partial = Aggregators::new();
+        let mut total_sent = 0u64;
+        let mut wire = Vec::new();
+        for (src, (outbox, partial, mut counters)) in results.into_iter().enumerate() {
+            for (dst_worker, batch) in outbox.batches.into_iter().enumerate() {
+                counters.messages_sent += batch.len() as u64;
+                total_sent += batch.len() as u64;
+                if dst_worker == src {
+                    for (v, m) in batch {
+                        next[dst_worker].push(v, m);
+                    }
+                } else {
+                    counters.remote_messages += batch.len() as u64;
+                    // Serialize then deserialize: the wire format is
+                    // exercised for real and its size is the byte metric.
+                    wire.clear();
+                    for (v, m) in &batch {
+                        put_varint(u64::from(v.0), &mut wire);
+                        m.encode(&mut wire);
+                    }
+                    counters.bytes_sent += wire.len() as u64;
+                    let mut cursor = wire.as_slice();
+                    for _ in 0..batch.len() {
+                        let v = VIdx(
+                            u32::try_from(get_varint(&mut cursor).expect("self-encoded vid"))
+                                .expect("vid fits u32"),
+                        );
+                        let m = <L::Msg as Wire>::decode(&mut cursor)
+                            .expect("self-encoded message");
+                        next[dst_worker].push(v, m);
+                    }
+                    debug_assert!(cursor.is_empty());
+                }
+            }
+            step_partial.merge(&partial);
+            metrics.absorb_counters(counters);
+        }
+        let after_exchange = Instant::now();
+
+        globals = step_partial;
+        // Built-in aggregate: how many messages this superstep emitted.
+        // Phased programs key their transitions off it.
+        globals.sum_u64(MESSAGES_SENT_AGG, total_sent);
+        let decision = match master.as_mut() {
+            Some(hook) => hook(step, &globals),
+            None => MasterDecision::Continue,
+        };
+
+        metrics.record_step(
+            StepTiming {
+                compute: compute_max,
+                messaging: after_exchange - after_compute,
+                barrier: (after_compute - step_start).saturating_sub(compute_max),
+            },
+            config.keep_per_step_timing,
+        );
+        inboxes = next;
+
+        let idle_halt = total_sent == 0 && decision != MasterDecision::ForceContinue;
+        if idle_halt || decision == MasterDecision::Halt {
+            break;
+        }
+    }
+
+    metrics.makespan = run_start.elapsed();
+    (workers, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphite_tgraph::builder::TemporalGraphBuilder;
+    use graphite_tgraph::graph::{TemporalGraph, VertexId};
+    use graphite_tgraph::time::Interval;
+
+    fn ring(n: u64) -> TemporalGraph {
+        let mut b = TemporalGraphBuilder::new();
+        for i in 0..n {
+            b.add_vertex(VertexId(i), Interval::new(0, 10)).unwrap();
+        }
+        for i in 0..n {
+            b.add_edge(
+                graphite_tgraph::graph::EdgeId(i),
+                VertexId(i),
+                VertexId((i + 1) % n),
+                Interval::new(0, 10),
+            )
+            .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// A toy token-passing logic: vertex 0 emits a counter that travels the
+    /// ring once, incrementing at every hop; every worker also aggregates
+    /// the max token seen.
+    struct TokenLogic {
+        graph: Arc<TemporalGraph>,
+        owned: Vec<VIdx>,
+        seen: Vec<(VIdx, u64)>,
+        hops: u64,
+    }
+
+    impl WorkerLogic for TokenLogic {
+        type Msg = u64;
+        fn superstep(
+            &mut self,
+            step: u64,
+            inbox: &Inbox<u64>,
+            outbox: &mut Outbox<u64>,
+            _globals: &Aggregators,
+            partial: &mut Aggregators,
+            counters: &mut UserCounters,
+        ) {
+            if step == 1 {
+                for &v in &self.owned {
+                    if self.graph.vertex(v).vid == VertexId(0) {
+                        counters.compute_calls += 1;
+                        let next = self.graph.edge(self.graph.out_edges(v)[0]).dst;
+                        outbox.send(next, 1);
+                    }
+                }
+                return;
+            }
+            for (v, msgs) in inbox.iter() {
+                counters.compute_calls += 1;
+                for &m in msgs {
+                    self.seen.push((v, m));
+                    partial.max_i64("max-token", m as i64);
+                    if m < self.hops {
+                        let next = self.graph.edge(self.graph.out_edges(v)[0]).dst;
+                        outbox.send(next, m + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_token(n: u64, workers: usize, hops: u64) -> (Vec<TokenLogic>, RunMetrics) {
+        let graph = Arc::new(ring(n));
+        let partition = Arc::new(PartitionMap::hash(&graph, workers));
+        let logics = (0..workers)
+            .map(|w| TokenLogic {
+                graph: Arc::clone(&graph),
+                owned: partition.owned_by(w),
+                seen: Vec::new(),
+                hops,
+            })
+            .collect();
+        run_bsp(&BspConfig::default(), logics, partition, None)
+    }
+
+    #[test]
+    fn token_travels_the_ring() {
+        for workers in [1, 2, 4] {
+            let (logics, metrics) = run_token(8, workers, 8);
+            let mut seen: Vec<(VIdx, u64)> =
+                logics.into_iter().flat_map(|l| l.seen).collect();
+            seen.sort_by_key(|&(_, m)| m);
+            let tokens: Vec<u64> = seen.iter().map(|&(_, m)| m).collect();
+            assert_eq!(tokens, (1..=8).collect::<Vec<_>>(), "workers={workers}");
+            // 1 emit + 8 hops; the last hop's superstep emits nothing.
+            assert_eq!(metrics.counters.messages_sent, 8);
+            assert_eq!(metrics.supersteps, 9, "9th delivers token 8, sends nothing");
+        }
+    }
+
+    #[test]
+    fn metrics_count_remote_vs_local() {
+        let (_, m1) = run_token(8, 1, 8);
+        assert_eq!(m1.counters.remote_messages, 0, "single worker is all-local");
+        assert_eq!(m1.counters.bytes_sent, 0);
+        let (_, m4) = run_token(8, 4, 8);
+        assert!(m4.counters.remote_messages > 0);
+        assert!(m4.counters.bytes_sent > 0);
+        assert_eq!(m4.counters.messages_sent, m1.counters.messages_sent);
+    }
+
+    #[test]
+    fn aggregators_reach_master() {
+        let graph = Arc::new(ring(6));
+        let partition = Arc::new(PartitionMap::hash(&graph, 2));
+        let logics = (0..2)
+            .map(|w| TokenLogic {
+                graph: Arc::clone(&graph),
+                owned: partition.owned_by(w),
+                seen: Vec::new(),
+                hops: 6,
+            })
+            .collect();
+        let mut max_seen = Vec::new();
+        let mut hook = |_step: u64, agg: &Aggregators| {
+            if let Some(v) = agg.get_max_i64("max-token") {
+                max_seen.push(v);
+            }
+            MasterDecision::Continue
+        };
+        let _ = run_bsp(&BspConfig::default(), logics, partition, Some(&mut hook));
+        assert_eq!(max_seen, (1..=6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn master_can_halt_early() {
+        let graph = Arc::new(ring(8));
+        let partition = Arc::new(PartitionMap::hash(&graph, 2));
+        let logics = (0..2)
+            .map(|w| TokenLogic {
+                graph: Arc::clone(&graph),
+                owned: partition.owned_by(w),
+                seen: Vec::new(),
+                hops: 8,
+            })
+            .collect();
+        let mut hook =
+            |step: u64, _: &Aggregators| if step >= 3 { MasterDecision::Halt } else { MasterDecision::Continue };
+        let (_, metrics) = run_bsp(&BspConfig::default(), logics, partition, Some(&mut hook));
+        assert_eq!(metrics.supersteps, 3);
+    }
+
+    #[test]
+    fn max_supersteps_caps_runaway_logic() {
+        let graph = Arc::new(ring(4));
+        let partition = Arc::new(PartitionMap::hash(&graph, 1));
+        let logics = vec![TokenLogic {
+            graph: Arc::clone(&graph),
+            owned: partition.owned_by(0),
+            seen: Vec::new(),
+            hops: u64::MAX, // never stops on its own
+        }];
+        let config = BspConfig { max_supersteps: 5, ..Default::default() };
+        let (_, metrics) = run_bsp(&config, logics, partition, None);
+        assert_eq!(metrics.supersteps, 5);
+    }
+
+    #[test]
+    fn per_step_timing_is_recorded_when_asked() {
+        let graph = Arc::new(ring(4));
+        let partition = Arc::new(PartitionMap::hash(&graph, 1));
+        let logics = vec![TokenLogic {
+            graph: Arc::clone(&graph),
+            owned: partition.owned_by(0),
+            seen: Vec::new(),
+            hops: 4,
+        }];
+        let config = BspConfig { keep_per_step_timing: true, ..Default::default() };
+        let (_, metrics) = run_bsp(&config, logics, partition, None);
+        assert_eq!(metrics.per_step.len() as u64, metrics.supersteps);
+        assert!(metrics.makespan >= metrics.compute_plus);
+    }
+}

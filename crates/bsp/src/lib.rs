@@ -1,0 +1,28 @@
+//! # graphite-bsp — the distributed BSP substrate
+//!
+//! A shared-nothing, multi-worker bulk-synchronous-parallel engine that
+//! stands in for Apache Giraph in this reproduction of the ICM paper.
+//! Workers are OS threads owning hash-partitioned vertex sets; supersteps
+//! alternate a parallel compute phase with a barrier-synchronized message
+//! exchange; messages crossing worker boundaries are serialized through a
+//! compact wire codec (with the paper's varint interval compression) and
+//! all primitive counts and time splits are recorded per run.
+//!
+//! The interval-centric engine (`graphite-icm`) and all four baseline
+//! platforms (`graphite-baselines`) execute on this substrate, so — as in
+//! the paper — the programming primitives are the experimental variable,
+//! not the runtime.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod codec;
+pub mod engine;
+pub mod metrics;
+pub mod partition;
+
+pub use aggregate::{Agg, Aggregators, MasterDecision};
+pub use codec::Wire;
+pub use engine::{run_bsp, BspConfig, Inbox, MasterHook, Outbox, WorkerLogic, MESSAGES_SENT_AGG};
+pub use metrics::{RunMetrics, StepTiming, UserCounters};
+pub use partition::{hash_partition, PartitionMap};

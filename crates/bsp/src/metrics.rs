@@ -1,0 +1,156 @@
+//! Execution metrics (Sec. VII-A4).
+//!
+//! The paper reports, per run: the *makespan* (wall-clock from the first to
+//! the last user superstep), split into *compute+* time (user-logic calls
+//! overlapping with messaging) and *exclusive messaging* time, plus barrier
+//! time when substantial; and the intrinsic primitive counts — calls to the
+//! user's compute logic and messages sent — which Fig. 4 correlates against
+//! the time splits. This module is the single source of truth for all of
+//! those numbers across GRAPHITE and the four baselines.
+
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+use std::time::Duration;
+
+/// Counters the user-logic layers (ICM / VCM) bump while running inside a
+/// worker superstep. Message and byte counts are bumped by the router.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserCounters {
+    /// Invocations of the user's compute logic (per interval-vertex for
+    /// ICM, per vertex-snapshot for the baselines).
+    pub compute_calls: u64,
+    /// Invocations of the user's scatter logic.
+    pub scatter_calls: u64,
+    /// Messages handed to the outbox.
+    pub messages_sent: u64,
+    /// Messages that crossed a worker boundary (serialized).
+    pub remote_messages: u64,
+    /// Serialized bytes shipped between workers.
+    pub bytes_sent: u64,
+    /// Times the warp operator ran (ICM only).
+    pub warp_invocations: u64,
+    /// Times warp was suppressed in favour of time-point execution
+    /// (ICM only; Sec. VI "Warp Suppression").
+    pub warp_suppressions: u64,
+}
+
+impl AddAssign for UserCounters {
+    fn add_assign(&mut self, rhs: Self) {
+        self.compute_calls += rhs.compute_calls;
+        self.scatter_calls += rhs.scatter_calls;
+        self.messages_sent += rhs.messages_sent;
+        self.remote_messages += rhs.remote_messages;
+        self.bytes_sent += rhs.bytes_sent;
+        self.warp_invocations += rhs.warp_invocations;
+        self.warp_suppressions += rhs.warp_suppressions;
+    }
+}
+
+/// Wall-clock split of one superstep.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct StepTiming {
+    /// Longest worker compute phase this superstep (workers run in
+    /// parallel, so the slowest one gates the barrier) — the paper's
+    /// "compute+" contribution.
+    pub compute: Duration,
+    /// Message exchange (serialize, route, deserialize, regroup).
+    pub messaging: Duration,
+    /// Synchronization overhead: thread orchestration around the barrier.
+    pub barrier: Duration,
+}
+
+/// Full metrics of one platform run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Number of supersteps executed.
+    pub supersteps: u64,
+    /// Wall-clock from the first to the last superstep.
+    pub makespan: Duration,
+    /// Cumulative compute+ time (sum over supersteps of the slowest
+    /// worker's compute phase).
+    pub compute_plus: Duration,
+    /// Cumulative exclusive messaging time.
+    pub messaging: Duration,
+    /// Cumulative barrier/orchestration time.
+    pub barrier: Duration,
+    /// Aggregated user-logic counters over all workers and supersteps.
+    pub counters: UserCounters,
+    /// Per-superstep timing splits (empty unless requested).
+    pub per_step: Vec<StepTiming>,
+}
+
+impl RunMetrics {
+    /// Accumulates one superstep's timing.
+    pub fn record_step(&mut self, timing: StepTiming, keep_per_step: bool) {
+        self.supersteps += 1;
+        self.compute_plus += timing.compute;
+        self.messaging += timing.messaging;
+        self.barrier += timing.barrier;
+        if keep_per_step {
+            self.per_step.push(timing);
+        }
+    }
+
+    /// Merges counters from one worker-superstep.
+    pub fn absorb_counters(&mut self, c: UserCounters) {
+        self.counters += c;
+    }
+
+    /// Folds several runs (e.g. one per snapshot in the MSB baseline) into
+    /// a single cumulative report, as the paper does when charging MSB the
+    /// total across snapshots.
+    pub fn merge(&mut self, other: &RunMetrics) {
+        self.supersteps += other.supersteps;
+        self.makespan += other.makespan;
+        self.compute_plus += other.compute_plus;
+        self.messaging += other.messaging;
+        self.barrier += other.barrier;
+        self.counters += other.counters;
+        self.per_step.extend(other.per_step.iter().copied());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut a = UserCounters { compute_calls: 2, messages_sent: 5, ..Default::default() };
+        let b = UserCounters { compute_calls: 3, bytes_sent: 100, ..Default::default() };
+        a += b;
+        assert_eq!(a.compute_calls, 5);
+        assert_eq!(a.messages_sent, 5);
+        assert_eq!(a.bytes_sent, 100);
+    }
+
+    #[test]
+    fn run_metrics_record_and_merge() {
+        let mut m = RunMetrics::default();
+        m.record_step(
+            StepTiming {
+                compute: Duration::from_millis(10),
+                messaging: Duration::from_millis(4),
+                barrier: Duration::from_millis(1),
+            },
+            true,
+        );
+        m.absorb_counters(UserCounters { compute_calls: 7, ..Default::default() });
+        assert_eq!(m.supersteps, 1);
+        assert_eq!(m.per_step.len(), 1);
+
+        let mut total = RunMetrics::default();
+        total.merge(&m);
+        total.merge(&m);
+        assert_eq!(total.supersteps, 2);
+        assert_eq!(total.counters.compute_calls, 14);
+        assert_eq!(total.compute_plus, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn per_step_is_opt_in() {
+        let mut m = RunMetrics::default();
+        m.record_step(StepTiming::default(), false);
+        assert!(m.per_step.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based verification of the wire codec: every encodable value
+//! round-trips exactly, decoders consume exactly their own bytes (so
+//! concatenated streams reframe correctly), and the compact interval
+//! encoding is never larger than the fixed one for workload-like inputs.
+
+use graphite_bsp::codec::{
+    get_interval, get_signed, get_varint, put_interval, put_interval_fixed, put_signed,
+    put_varint, Wire,
+};
+use graphite_tgraph::time::{Interval, TIME_MAX, TIME_MIN};
+use proptest::prelude::*;
+
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    prop_oneof![
+        // Bounded, workload-like coordinates.
+        (-1000i64..1000, 1i64..500).prop_map(|(s, l)| Interval::new(s, s + l)),
+        // Unit points.
+        (-1000i64..1000).prop_map(Interval::point),
+        // Right-unbounded (the SSSP message shape).
+        (-1000i64..1000).prop_map(Interval::from_start),
+        // Left-unbounded (the LD message shape).
+        (-1000i64..1000).prop_map(Interval::until),
+        Just(Interval::all()),
+        // Extreme finite coordinates.
+        Just(Interval::new(TIME_MIN + 1, TIME_MAX - 1)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn varint_round_trips(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        put_varint(v, &mut buf);
+        let mut s = buf.as_slice();
+        prop_assert_eq!(get_varint(&mut s), Some(v));
+        prop_assert!(s.is_empty());
+    }
+
+    #[test]
+    fn signed_round_trips(v in any::<i64>()) {
+        let mut buf = Vec::new();
+        put_signed(v, &mut buf);
+        let mut s = buf.as_slice();
+        prop_assert_eq!(get_signed(&mut s), Some(v));
+        prop_assert!(s.is_empty());
+    }
+
+    #[test]
+    fn interval_round_trips(iv in interval_strategy()) {
+        let mut buf = Vec::new();
+        put_interval(iv, &mut buf);
+        let mut s = buf.as_slice();
+        prop_assert_eq!(get_interval(&mut s), Some(iv));
+        prop_assert!(s.is_empty());
+    }
+
+    /// Concatenated streams reframe exactly — the router's batch decode
+    /// depends on this.
+    #[test]
+    fn concatenated_intervals_reframe(ivs in proptest::collection::vec(interval_strategy(), 0..20)) {
+        let mut buf = Vec::new();
+        for &iv in &ivs {
+            put_interval(iv, &mut buf);
+        }
+        let mut s = buf.as_slice();
+        for &iv in &ivs {
+            prop_assert_eq!(get_interval(&mut s), Some(iv));
+        }
+        prop_assert!(s.is_empty());
+    }
+
+    /// The compact encoding never exceeds the fixed 16-byte pair (plus its
+    /// one flag byte) and is dramatically smaller for degenerate shapes.
+    #[test]
+    fn compact_never_larger_than_fixed_plus_flag(iv in interval_strategy()) {
+        let mut compact = Vec::new();
+        put_interval(iv, &mut compact);
+        let mut fixed = Vec::new();
+        put_interval_fixed(iv, &mut fixed);
+        prop_assert!(compact.len() <= fixed.len() + 5, "{} -> {}", iv, compact.len());
+        if iv.is_unit() || iv.end() == TIME_MAX || iv.start() == TIME_MIN {
+            prop_assert!(compact.len() <= 11, "{} -> {}", iv, compact.len());
+        }
+    }
+
+    /// Composite message payloads (interval, value) round-trip — the exact
+    /// shape the ICM engine ships.
+    #[test]
+    fn icm_message_round_trips(iv in interval_strategy(), v in any::<i64>()) {
+        let msg = (iv, v);
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        let mut s = buf.as_slice();
+        prop_assert_eq!(<(Interval, i64)>::decode(&mut s), Some(msg));
+        prop_assert!(s.is_empty());
+    }
+
+    /// Truncated buffers never panic and never fabricate values.
+    #[test]
+    fn truncation_is_rejected(iv in interval_strategy(), cut in 0usize..16) {
+        let mut buf = Vec::new();
+        put_interval(iv, &mut buf);
+        if cut < buf.len() {
+            let truncated = &buf[..cut];
+            let mut s = truncated;
+            // Either the decode fails, or (when the prefix happens to be a
+            // complete shorter encoding) it must consume only the prefix.
+            if let Some(got) = get_interval(&mut s) {
+                prop_assert!(s.len() < truncated.len() || got == iv);
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! The weak-scaling workload (paper Sec. VII-B7, Fig. 7): an LDBC-style
+//! power-law graph whose structure is perturbed over 128 time-points with
+//! LinkBench-flavoured churn, sized proportionally to the machine count —
+//! each machine contributes a fixed vertex/edge budget, so ideal weak
+//! scaling keeps the makespan flat as machines are added.
+
+use crate::generate::generate;
+use crate::model::{GenParams, LifespanModel, PropModel, Topology};
+use graphite_tgraph::graph::TemporalGraph;
+
+/// Snapshot count used by the paper's weak-scaling graph.
+pub const WEAK_SCALING_SNAPSHOTS: i64 = 128;
+
+/// Parameters for the weak-scaling graph at `machines` workers with a
+/// per-machine budget of `vertices_per_machine` vertices (edges are 10×,
+/// matching the paper's 10 M vertices / 100 M edges per machine ratio).
+pub fn weak_scaling_params(machines: usize, vertices_per_machine: usize, seed: u64) -> GenParams {
+    let vertices = machines.max(1) * vertices_per_machine;
+    GenParams {
+        vertices,
+        edges: vertices * 10,
+        snapshots: WEAK_SCALING_SNAPSHOTS,
+        topology: Topology::PowerLaw { edges_per_vertex: 10 },
+        vertex_lifespans: LifespanModel::Full,
+        // LinkBench-style churn: edges appear and disappear with a mean
+        // dwell time of a quarter of the horizon.
+        edge_lifespans: LifespanModel::Geometric { mean: 32.0 },
+        props: PropModel { mean_segment: 16.0, max_cost: 10, max_travel_time: 1 },
+        seed,
+    }
+}
+
+/// Generates the weak-scaling graph.
+pub fn weak_scaling_graph(
+    machines: usize,
+    vertices_per_machine: usize,
+    seed: u64,
+) -> TemporalGraph {
+    generate(&weak_scaling_params(machines, vertices_per_machine, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_scales_with_machines() {
+        let g1 = weak_scaling_graph(1, 300, 9);
+        let g4 = weak_scaling_graph(4, 300, 9);
+        assert_eq!(g1.num_vertices(), 300);
+        assert_eq!(g4.num_vertices(), 1200);
+        let ratio = g4.num_edges() as f64 / g1.num_edges() as f64;
+        assert!(
+            (3.0..5.0).contains(&ratio),
+            "edge budget should scale ~4x, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn horizon_is_128_snapshots() {
+        let g = weak_scaling_graph(1, 200, 1);
+        assert_eq!(
+            graphite_tgraph::snapshot::snapshot_window(&g),
+            Some(graphite_tgraph::time::Interval::new(0, WEAK_SCALING_SNAPSHOTS))
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! # graphite-datagen — seeded synthetic temporal-graph workloads
+//!
+//! Generators that reproduce the *shape* of the ICM paper's six real-world
+//! datasets (Table 1) at laptop scale — degree family, snapshot count, and
+//! the lifespan distributions of vertices, edges and properties — plus the
+//! LDBC/LinkBench-style weak-scaling graph of Fig. 7. Everything is
+//! deterministic given a seed.
+
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod ldbc;
+pub mod model;
+pub mod profiles;
+
+pub use generate::generate;
+pub use ldbc::{weak_scaling_graph, weak_scaling_params, WEAK_SCALING_SNAPSHOTS};
+pub use model::{GenParams, LifespanModel, PropModel, Topology};
+pub use profiles::Profile;

@@ -1,0 +1,106 @@
+//! Generator parameters: topology, lifespan and property models.
+//!
+//! The paper's performance arguments are driven by a handful of *shape*
+//! parameters — degree distribution, lifespan distributions of vertices /
+//! edges / properties, snapshot count, diameter class (Sec. VII-A2). The
+//! models here expose exactly those knobs so each real dataset's shape can
+//! be reproduced at laptop scale.
+
+use graphite_tgraph::time::Time;
+
+/// Static topology family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// Preferential attachment: power-law in-degree, short diameter
+    /// (social/web-style: GPlus, Reddit, MAG, Twitter, WebUK).
+    PowerLaw {
+        /// Out-edges attached per new vertex.
+        edges_per_vertex: usize,
+    },
+    /// A rectangular grid with bidirectional edges: planar, bounded
+    /// degree, very large diameter (road-style: USRN).
+    Grid {
+        /// Grid width; height is derived from the vertex budget.
+        width: usize,
+    },
+}
+
+/// Lifespan distribution for vertices or edges.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LifespanModel {
+    /// The whole horizon `[0, T)` (static structure).
+    Full,
+    /// A single uniformly-placed time-point `[t, t+1)`.
+    Unit,
+    /// Geometric length with the given mean, uniformly placed; clipped to
+    /// the horizon.
+    Geometric {
+        /// Mean lifespan in time units.
+        mean: f64,
+    },
+    /// A `unit_fraction` of entities get unit lifespans; the rest are
+    /// geometric with the given mean (Reddit/WebUK-style mixes).
+    Mixed {
+        /// Fraction with unit lifespans (0..=1).
+        unit_fraction: f64,
+        /// Mean lifespan of the non-unit remainder.
+        mean: f64,
+    },
+}
+
+/// Edge-property model: `travel-time` and `travel-cost` timelines whose
+/// values change in segments of geometric length.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PropModel {
+    /// Mean property-segment length in time units (the paper's "average
+    /// property lifespan"). `f64::INFINITY` means one value for the whole
+    /// edge lifespan.
+    pub mean_segment: f64,
+    /// Travel costs are drawn uniformly from `1..=max_cost`.
+    pub max_cost: i64,
+    /// Travel times are drawn uniformly from `1..=max_travel_time`.
+    pub max_travel_time: i64,
+}
+
+impl Default for PropModel {
+    fn default() -> Self {
+        PropModel { mean_segment: f64::INFINITY, max_cost: 10, max_travel_time: 1 }
+    }
+}
+
+/// Full parameter set for one synthetic temporal graph.
+#[derive(Clone, Debug)]
+pub struct GenParams {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of logical edges (each becomes one temporal edge).
+    pub edges: usize,
+    /// Snapshot count: the time horizon is `[0, snapshots)`.
+    pub snapshots: Time,
+    /// Topology family.
+    pub topology: Topology,
+    /// Vertex lifespan model.
+    pub vertex_lifespans: LifespanModel,
+    /// Edge lifespan model (clipped to the endpoints' lifespans).
+    pub edge_lifespans: LifespanModel,
+    /// Edge property model.
+    pub props: PropModel,
+    /// RNG seed — generation is fully deterministic given the parameters.
+    pub seed: u64,
+}
+
+impl GenParams {
+    /// A small power-law default, handy for tests.
+    pub fn small(seed: u64) -> Self {
+        GenParams {
+            vertices: 200,
+            edges: 800,
+            snapshots: 16,
+            topology: Topology::PowerLaw { edges_per_vertex: 4 },
+            vertex_lifespans: LifespanModel::Full,
+            edge_lifespans: LifespanModel::Geometric { mean: 6.0 },
+            props: PropModel::default(),
+            seed,
+        }
+    }
+}

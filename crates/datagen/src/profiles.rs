@@ -1,0 +1,195 @@
+//! Laptop-scale profiles of the paper's six datasets (Table 1).
+//!
+//! Each profile reproduces the *shape* characteristics the paper's
+//! analysis keys on — snapshot count, degree family, and the lifespan
+//! distributions of vertices, edges and properties — scaled by a vertex
+//! budget. The absolute sizes are parameterized; the default `scale = 1`
+//! targets seconds-level benchmark runs.
+
+use crate::generate::generate;
+use crate::model::{GenParams, LifespanModel, PropModel, Topology};
+use graphite_tgraph::graph::TemporalGraph;
+
+/// The paper's six real-world datasets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Profile {
+    /// Google+: 4 snapshots, unit-length edge and property lifespans —
+    /// ICM's worst case (no sharing possible).
+    GPlus,
+    /// US road network: static planar topology with a huge diameter; 96
+    /// snapshots; only properties change.
+    Usrn,
+    /// Reddit: 121 snapshots; ~96 % of edges have unit lifespans.
+    Reddit,
+    /// Microsoft Academic Graph: 219 snapshots; long edge (~16) and
+    /// property (~5) lifespans.
+    Mag,
+    /// Twitter: 30 snapshots; edge lifespans (~28) span nearly the whole
+    /// graph; property lifespans ~15 — ICM's best case.
+    Twitter,
+    /// WebUK: 12 snapshots; mixed lifespans (edges ~9.4, properties ~4.7).
+    WebUk,
+}
+
+impl Profile {
+    /// All six, in Table 1's order.
+    pub const ALL: [Profile; 6] = [
+        Profile::GPlus,
+        Profile::Usrn,
+        Profile::Reddit,
+        Profile::Mag,
+        Profile::Twitter,
+        Profile::WebUk,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Profile::GPlus => "GPlus",
+            Profile::Usrn => "USRN",
+            Profile::Reddit => "Reddit",
+            Profile::Mag => "MAG",
+            Profile::Twitter => "Twitter",
+            Profile::WebUk => "WebUK",
+        }
+    }
+
+    /// Generator parameters at the given scale (vertex budget multiplier;
+    /// `scale = 1` is the benchmark default).
+    pub fn params(&self, scale: usize, seed: u64) -> GenParams {
+        let s = scale.max(1);
+        match self {
+            Profile::GPlus => GenParams {
+                vertices: 1_500 * s,
+                edges: 12_000 * s,
+                snapshots: 4,
+                topology: Topology::PowerLaw { edges_per_vertex: 8 },
+                vertex_lifespans: LifespanModel::Geometric { mean: 2.6 },
+                edge_lifespans: LifespanModel::Unit,
+                props: PropModel { mean_segment: 1.0, max_cost: 10, max_travel_time: 1 },
+                seed,
+            },
+            Profile::Usrn => GenParams {
+                vertices: 2_500 * s,
+                edges: 0, // grid: edges derive from the lattice
+                snapshots: 96,
+                topology: Topology::Grid { width: 50 },
+                vertex_lifespans: LifespanModel::Full,
+                edge_lifespans: LifespanModel::Full,
+                props: PropModel { mean_segment: 4.8, max_cost: 20, max_travel_time: 1 },
+                seed,
+            },
+            Profile::Reddit => GenParams {
+                vertices: 1_200 * s,
+                edges: 10_000 * s,
+                snapshots: 121,
+                topology: Topology::PowerLaw { edges_per_vertex: 8 },
+                vertex_lifespans: LifespanModel::Geometric { mean: 6.6 },
+                edge_lifespans: LifespanModel::Mixed { unit_fraction: 0.96, mean: 6.0 },
+                props: PropModel { mean_segment: 1.12, max_cost: 10, max_travel_time: 1 },
+                seed,
+            },
+            Profile::Mag => GenParams {
+                vertices: 2_000 * s,
+                edges: 18_000 * s,
+                snapshots: 219,
+                topology: Topology::PowerLaw { edges_per_vertex: 9 },
+                vertex_lifespans: LifespanModel::Geometric { mean: 20.9 },
+                edge_lifespans: LifespanModel::Geometric { mean: 15.8 },
+                props: PropModel { mean_segment: 5.26, max_cost: 10, max_travel_time: 1 },
+                seed,
+            },
+            Profile::Twitter => GenParams {
+                vertices: 1_500 * s,
+                edges: 20_000 * s,
+                snapshots: 30,
+                topology: Topology::PowerLaw { edges_per_vertex: 13 },
+                vertex_lifespans: LifespanModel::Geometric { mean: 29.5 },
+                edge_lifespans: LifespanModel::Geometric { mean: 28.4 },
+                props: PropModel { mean_segment: 14.8, max_cost: 10, max_travel_time: 1 },
+                seed,
+            },
+            Profile::WebUk => GenParams {
+                vertices: 2_000 * s,
+                edges: 16_000 * s,
+                snapshots: 12,
+                topology: Topology::PowerLaw { edges_per_vertex: 8 },
+                vertex_lifespans: LifespanModel::Geometric { mean: 10.0 },
+                edge_lifespans: LifespanModel::Geometric { mean: 9.4 },
+                props: PropModel { mean_segment: 4.7, max_cost: 10, max_travel_time: 1 },
+                seed,
+            },
+        }
+    }
+
+    /// Generates the profile at `scale` with `seed`.
+    pub fn generate(&self, scale: usize, seed: u64) -> TemporalGraph {
+        generate(&self.params(scale, seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphite_tgraph::stats::dataset_stats;
+
+    #[test]
+    fn all_profiles_generate_sound_graphs() {
+        for p in Profile::ALL {
+            let g = p.generate(1, 42);
+            assert!(g.num_vertices() > 0, "{}", p.name());
+            assert!(g.num_edges() > 0, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn gplus_is_unit_lifespan() {
+        let g = Profile::GPlus.generate(1, 42);
+        let s = dataset_stats(&g, None);
+        assert_eq!(s.snapshots, 4);
+        assert!((s.avg_edge_lifespan - 1.0).abs() < 1e-9, "{}", s.avg_edge_lifespan);
+    }
+
+    #[test]
+    fn twitter_edges_span_most_of_the_graph() {
+        let g = Profile::Twitter.generate(1, 42);
+        let s = dataset_stats(&g, None);
+        assert_eq!(s.snapshots, 30);
+        // Clipping by vertex lifespans pulls the mean down a bit; "long"
+        // is what matters for the shape.
+        assert!(s.avg_edge_lifespan > 10.0, "{}", s.avg_edge_lifespan);
+        assert!(s.avg_property_lifespan > 4.0, "{}", s.avg_property_lifespan);
+    }
+
+    #[test]
+    fn usrn_topology_is_static_with_varying_properties() {
+        let g = Profile::Usrn.generate(1, 42);
+        let s = dataset_stats(&g, None);
+        assert_eq!(s.snapshots, 96);
+        assert!((s.avg_edge_lifespan - 96.0).abs() < 1e-9);
+        assert!(s.avg_property_lifespan < 10.0);
+        // Largest snapshot equals the full structure (nothing churns).
+        assert_eq!(s.largest_snapshot.edges, s.interval.edges);
+    }
+
+    #[test]
+    fn reddit_is_mostly_unit() {
+        let g = Profile::Reddit.generate(1, 42);
+        let unit = g.edges().filter(|(_, e)| e.lifespan.is_unit()).count();
+        let frac = unit as f64 / g.num_edges() as f64;
+        assert!(frac > 0.9, "unit fraction {frac}");
+    }
+
+    #[test]
+    fn transformed_blowup_tracks_lifespans() {
+        // The transformed graph of a long-lifespan profile dwarfs its
+        // interval graph (the Table 1 / Fig 6a effect)...
+        let mag = Profile::Mag.generate(1, 42);
+        let s = dataset_stats(&mag, None);
+        assert!(s.transformed.edges > 5 * s.interval.edges);
+        // ...while a unit-lifespan profile transforms ~1:1.
+        let gplus = Profile::GPlus.generate(1, 42);
+        let s2 = dataset_stats(&gplus, None);
+        assert!(s2.transformed.edges < 3 * s2.interval.edges);
+    }
+}

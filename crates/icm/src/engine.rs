@@ -1,0 +1,491 @@
+//! The interval-centric superstep engine: GRAPHITE's runtime logic
+//! (Sec. VI), executing [`IntervalProgram`]s over the BSP substrate.
+//!
+//! Per superstep, for every active vertex the engine:
+//!
+//! 1. groups the vertex's incoming interval messages against its
+//!    partitioned states with the **time-warp** operator (or, under *warp
+//!    suppression*, buckets unit-length messages per time-point);
+//! 2. calls the user's `compute` once per warp tuple, optionally folding
+//!    each tuple's message group through the **inline warp combiner**;
+//! 3. applies the state writes, dynamically repartitioning the vertex
+//!    state and keeping only real changes;
+//! 4. warps the changed sub-intervals against the vertex's
+//!    (property-refined) edge segments and calls `scatter` once per
+//!    intersection, emitting interval messages.
+//!
+//! Vertices implicitly vote to halt every superstep; the run ends when no
+//! messages are in flight (Sec. IV-A2).
+
+use crate::program::{ComputeContext, EdgeDirection, IntervalProgram, ScatterContext, VertexContext};
+use crate::state::StateUpdates;
+use crate::warp::time_warp_spans;
+use graphite_bsp::aggregate::Aggregators;
+use graphite_bsp::engine::{run_bsp, BspConfig, Inbox, Outbox, WorkerLogic};
+use graphite_bsp::metrics::{RunMetrics, UserCounters};
+use graphite_bsp::partition::PartitionMap;
+use graphite_bsp::MasterHook;
+use graphite_tgraph::graph::{EIdx, TemporalGraph, VIdx, VertexId};
+use graphite_tgraph::iset::IntervalPartition;
+use graphite_tgraph::time::{Interval, Time, TIME_MAX, TIME_MIN};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Configuration of one GRAPHITE run.
+#[derive(Clone, Debug)]
+pub struct IcmConfig {
+    /// Number of BSP workers (the paper's cluster nodes).
+    pub workers: usize,
+    /// Enable the inline warp combiner when the program defines one
+    /// (Sec. VI; on for all the paper's experiments, ablated in Fig. 6(b)).
+    pub combiner: bool,
+    /// Warp-suppression threshold: when at least this fraction of a
+    /// vertex's incoming messages are unit-length, skip warp and execute
+    /// per time-point (Sec. VI; paper default 70 %, ablated in Fig. 6(c)).
+    /// `None` disables suppression.
+    pub suppression_threshold: Option<f64>,
+    /// Safety cap on supersteps.
+    pub max_supersteps: u64,
+    /// Record per-superstep timing splits.
+    pub keep_per_step_timing: bool,
+}
+
+impl Default for IcmConfig {
+    fn default() -> Self {
+        IcmConfig {
+            workers: 4,
+            combiner: true,
+            suppression_threshold: Some(0.7),
+            max_supersteps: 100_000,
+            keep_per_step_timing: false,
+        }
+    }
+}
+
+/// Outcome of a run: the final partitioned state of every vertex (keyed by
+/// external id, coalesced) plus the run metrics.
+#[derive(Clone, Debug)]
+pub struct IcmResult<S> {
+    /// Final per-vertex interval states.
+    pub states: BTreeMap<VertexId, Vec<(Interval, S)>>,
+    /// Primitive counts and time splits.
+    pub metrics: RunMetrics,
+}
+
+impl<S: Clone> IcmResult<S> {
+    /// The state of `vid` at time-point `t`, if the vertex exists and `t`
+    /// is in its lifespan.
+    pub fn state_at(&self, vid: VertexId, t: Time) -> Option<&S> {
+        self.states
+            .get(&vid)?
+            .iter()
+            .find(|(iv, _)| iv.contains_point(t))
+            .map(|(_, s)| s)
+    }
+}
+
+struct IcmWorker<P: IntervalProgram> {
+    graph: Arc<TemporalGraph>,
+    program: Arc<P>,
+    owned: Vec<VIdx>,
+    combiner: bool,
+    suppression: Option<f64>,
+    states: HashMap<u32, IntervalPartition<P::State>>,
+    /// Property-refined lifespan segments per edge, materialized on first
+    /// scatter over the edge.
+    segment_cache: HashMap<u32, Box<[Interval]>>,
+}
+
+impl<P: IntervalProgram> IcmWorker<P> {
+    /// Edge lifespan refined at every property-interval boundary, so each
+    /// segment has constant property values ("scatter is called once for
+    /// each overlapping interval of its out-edges having a distinct
+    /// property", Sec. IV-A).
+    fn edge_segments(
+        graph: &TemporalGraph,
+        cache: &mut HashMap<u32, Box<[Interval]>>,
+        e: EIdx,
+        refine: bool,
+    ) -> Box<[Interval]> {
+        if let Some(seg) = cache.get(&e.0) {
+            return seg.clone();
+        }
+        let ed = graph.edge(e);
+        let life = ed.lifespan;
+        let mut bounds = vec![life.start(), life.end()];
+        if refine {
+            for (_, iv, _) in ed.props.iter() {
+                bounds.push(iv.start());
+                bounds.push(iv.end());
+            }
+        }
+        bounds.sort_unstable();
+        bounds.dedup();
+        let segments: Box<[Interval]> = bounds
+            .windows(2)
+            .filter_map(|w| Interval::try_new(w[0], w[1]))
+            .filter_map(|iv| iv.intersect(life))
+            .collect();
+        cache.insert(e.0, segments.clone());
+        segments
+    }
+
+    /// Folds a warp tuple's message group through the combiner. Returns
+    /// the original list when the program declines to combine.
+    fn fold(&self, msgs: Vec<P::Msg>) -> Vec<P::Msg> {
+        if !self.combiner || msgs.len() <= 1 {
+            return msgs;
+        }
+        let mut acc = msgs[0].clone();
+        for m in &msgs[1..] {
+            match self.program.combine(&acc, m) {
+                Some(c) => acc = c,
+                None => return msgs,
+            }
+        }
+        vec![acc]
+    }
+
+    /// Runs scatter over the changed sub-intervals of vertex `v`.
+    #[allow(clippy::too_many_arguments)]
+    fn scatter_changes(
+        &mut self,
+        v: VIdx,
+        changed: &[(Interval, P::State)],
+        step: u64,
+        outbox: &mut Outbox<(Interval, P::Msg)>,
+        globals: &Aggregators,
+        counters: &mut UserCounters,
+    ) {
+        if changed.is_empty() {
+            return;
+        }
+        let graph = &self.graph;
+        let passes: &[EdgeDirection] = match self.program.direction() {
+            EdgeDirection::Out => &[EdgeDirection::Out],
+            EdgeDirection::In => &[EdgeDirection::In],
+            EdgeDirection::Both => &[EdgeDirection::Out, EdgeDirection::In],
+        };
+        let mut emitted: Vec<(Interval, P::Msg)> = Vec::new();
+        for &dir in passes {
+            let edges: &[EIdx] = match dir {
+                EdgeDirection::Out => graph.out_edges(v),
+                EdgeDirection::In | EdgeDirection::Both => graph.in_edges(v),
+            };
+            for &e in edges {
+                let ed = graph.edge(e);
+                let target = match dir {
+                    EdgeDirection::Out => ed.dst,
+                    EdgeDirection::In | EdgeDirection::Both => ed.src,
+                };
+                // Cheap reject before materializing segments.
+                let covers = changed
+                    .iter()
+                    .any(|(iv, _)| iv.intersects(ed.lifespan));
+                if !covers {
+                    continue;
+                }
+                let segments = Self::edge_segments(
+                    graph,
+                    &mut self.segment_cache,
+                    e,
+                    self.program.refine_scatter_by_properties(),
+                );
+                for seg in segments.iter() {
+                    for (civ, state) in changed {
+                        let Some(cap) = civ.intersect(*seg) else { continue };
+                        counters.scatter_calls += 1;
+                        emitted.clear();
+                        let mut ctx = ScatterContext {
+                            graph,
+                            edge: e,
+                            superstep: step,
+                            globals,
+                            interval: cap,
+                            change: *civ,
+                            segment: *seg,
+                            direction: dir,
+                            emitted: &mut emitted,
+                        };
+                        self.program.scatter(&mut ctx, cap, state);
+                        for (iv, m) in emitted.drain(..) {
+                            outbox.send(target, (iv, m));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sender-side pre-warp combining: messages bound for the same vertex
+    /// with *identical* intervals fold into one when a combiner exists.
+    fn precombine(&self, msgs: &[(Interval, P::Msg)]) -> Vec<(Interval, P::Msg)> {
+        if !self.combiner || msgs.len() <= 1 {
+            return msgs.to_vec();
+        }
+        let mut sorted: Vec<(Interval, P::Msg)> = msgs.to_vec();
+        sorted.sort_by_key(|(iv, _)| (iv.start(), iv.end()));
+        let mut out: Vec<(Interval, P::Msg)> = Vec::with_capacity(sorted.len());
+        for (iv, m) in sorted {
+            match out.last_mut() {
+                Some((last_iv, last_m)) if *last_iv == iv => {
+                    match self.program.combine(last_m, &m) {
+                        Some(c) => *last_m = c,
+                        None => out.push((iv, m)),
+                    }
+                }
+                _ => out.push((iv, m)),
+            }
+        }
+        out
+    }
+
+    /// Whether this vertex's inbox qualifies for warp suppression.
+    fn should_suppress(&self, lifespan: Interval, msgs: &[(Interval, P::Msg)]) -> bool {
+        let Some(threshold) = self.suppression else { return false };
+        if msgs.is_empty() {
+            return false; // nothing to suppress (all-active empty groups)
+        }
+        if lifespan.start() == TIME_MIN || lifespan.end() == TIME_MAX {
+            return false; // per-point execution needs a bounded domain
+        }
+        let unit = msgs.iter().filter(|(iv, _)| iv.is_unit()).count();
+        (unit as f64) >= threshold * (msgs.len() as f64)
+    }
+}
+
+impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
+    type Msg = (Interval, P::Msg);
+
+    fn superstep(
+        &mut self,
+        step: u64,
+        inbox: &Inbox<Self::Msg>,
+        outbox: &mut Outbox<Self::Msg>,
+        globals: &Aggregators,
+        partial: &mut Aggregators,
+        counters: &mut UserCounters,
+    ) {
+        let graph = Arc::clone(&self.graph);
+        let mut direct: Vec<(VIdx, Interval, P::Msg)> = Vec::new();
+        if step == 1 {
+            // Initialization superstep: every vertex is active for its
+            // entire lifespan, with no messages. States are pre-partitioned
+            // at the program's static boundaries (footnote 2), and compute
+            // runs once per initial partition entry.
+            let owned = std::mem::take(&mut self.owned);
+            for &v in &owned {
+                let vctx = VertexContext { graph: &graph, vertex: v };
+                let lifespan = vctx.lifespan();
+                let init = self.program.init(&vctx);
+                let mut partition = IntervalPartition::new(lifespan, init);
+                for t in self.program.prepartition(&vctx) {
+                    partition.split_at(t);
+                }
+                let mut updates = StateUpdates::new();
+                let entries: Vec<(Interval, P::State)> =
+                    partition.iter().map(|(iv, s)| (iv, s.clone())).collect();
+                for (iv, state) in entries {
+                    let mut ctx = ComputeContext {
+                        graph: &graph,
+                        vertex: v,
+                        superstep: step,
+                        globals,
+                        partial,
+                        updates: &mut updates,
+                        tuple_interval: iv,
+                        direct: &mut direct,
+                    };
+                    counters.compute_calls += 1;
+                    self.program.compute(&mut ctx, iv, &state, &[]);
+                }
+                let changed = updates.apply(&mut partition);
+                self.states.insert(v.0, partition);
+                self.scatter_changes(v, &changed, step, outbox, globals, counters);
+            }
+            self.owned = owned;
+            for (v, iv, m) in direct {
+                outbox.send(v, (iv, m));
+            }
+            return;
+        }
+
+        // Regular superstep: vertices with messages are active; when the
+        // program asks for an all-active superstep (fixed-iteration or
+        // phased algorithms), every vertex participates over its whole
+        // lifespan.
+        type ActiveSet<M> = Vec<(VIdx, Vec<(Interval, M)>)>;
+        let all_active = self.program.all_active(step, globals);
+        let mut active: ActiveSet<P::Msg> = Vec::new();
+        if all_active {
+            let owned = self.owned.clone();
+            for v in owned {
+                let msgs = inbox
+                    .messages_for(v)
+                    .map(|raw| self.precombine(raw))
+                    .unwrap_or_default();
+                active.push((v, msgs));
+            }
+        } else {
+            for (v, raw) in inbox.iter() {
+                active.push((v, self.precombine(raw)));
+            }
+        }
+        for (v, msgs) in active {
+            let Some(partition) = self.states.get(&v.0) else { continue };
+            let lifespan = partition.lifespan();
+            let mut updates = StateUpdates::new();
+
+            // All-active supersteps must cover message-free intervals
+            // with empty-group compute calls, which the per-point
+            // suppressed path cannot do — warp (with the sentinel span)
+            // handles those supersteps.
+            if !all_active && self.should_suppress(lifespan, &msgs) {
+                counters.warp_suppressions += 1;
+                // Time-point-centric fallback: bucket messages per point.
+                // A dense offset-indexed table avoids per-vertex tree
+                // allocations (bounded lifespans are a precondition of
+                // suppression).
+                let base = lifespan.start();
+                let mut table: Vec<Vec<P::Msg>> = vec![Vec::new(); lifespan.len() as usize];
+                for (iv, m) in &msgs {
+                    let Some(clipped) = iv.intersect(lifespan) else { continue };
+                    for t in clipped.points() {
+                        table[(t - base) as usize].push(m.clone());
+                    }
+                }
+                let buckets = table
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, b)| !b.is_empty())
+                    .map(|(off, b)| (base + off as Time, b));
+                for (t, bucket) in buckets {
+                    let point = Interval::point(t);
+                    let state = partition
+                        .value_at(t)
+                        .expect("bucket inside lifespan")
+                        .clone();
+                    let bucket = self.fold(bucket);
+                    let mut ctx = ComputeContext {
+                        graph: &graph,
+                        vertex: v,
+                        superstep: step,
+                        globals,
+                        partial,
+                        updates: &mut updates,
+                        tuple_interval: point,
+                        direct: &mut direct,
+                    };
+                    counters.compute_calls += 1;
+                    self.program.compute(&mut ctx, point, &state, &bucket);
+                }
+            } else {
+                counters.warp_invocations += 1;
+                let outer: Vec<Interval> = partition.iter().map(|(iv, _)| iv).collect();
+                let mut inner: Vec<Interval> = msgs.iter().map(|(iv, _)| *iv).collect();
+                if all_active {
+                    // A sentinel span covering the lifespan makes warp
+                    // emit tuples over the whole vertex, so intervals with
+                    // no messages still get (empty-group) compute calls.
+                    inner.push(lifespan);
+                }
+                let tuples = time_warp_spans(&outer, &inner);
+                for tuple in tuples {
+                    let state = partition
+                        .value_at(tuple.interval.start())
+                        .expect("warp tuple inside lifespan")
+                        .clone();
+                    let group: Vec<P::Msg> = tuple
+                        .inner
+                        .iter()
+                        .filter(|&&i| i < msgs.len())
+                        .map(|&i| msgs[i].1.clone())
+                        .collect();
+                    let group = self.fold(group);
+                    let mut ctx = ComputeContext {
+                        graph: &graph,
+                        vertex: v,
+                        superstep: step,
+                        globals,
+                        partial,
+                        updates: &mut updates,
+                        tuple_interval: tuple.interval,
+                        direct: &mut direct,
+                    };
+                    counters.compute_calls += 1;
+                    self.program.compute(&mut ctx, tuple.interval, &state, &group);
+                }
+            }
+
+            let partition = self.states.get_mut(&v.0).expect("checked above");
+            let changed = updates.apply(partition);
+            self.scatter_changes(v, &changed, step, outbox, globals, counters);
+        }
+        for (v, iv, m) in direct {
+            outbox.send(v, (iv, m));
+        }
+    }
+}
+
+/// Runs `program` over `graph` with `config`, returning final states and
+/// metrics. Deterministic for a fixed worker count.
+pub fn run_icm<P: IntervalProgram>(
+    graph: Arc<TemporalGraph>,
+    program: Arc<P>,
+    config: &IcmConfig,
+) -> IcmResult<P::State> {
+    run_icm_with_master(graph, program, config, None)
+}
+
+/// [`run_icm`] with a MasterCompute hook evaluated at every barrier.
+pub fn run_icm_with_master<P: IntervalProgram>(
+    graph: Arc<TemporalGraph>,
+    program: Arc<P>,
+    config: &IcmConfig,
+    master: Option<MasterHook<'_>>,
+) -> IcmResult<P::State> {
+    let partition = Arc::new(PartitionMap::hash(&graph, config.workers));
+    let workers: Vec<IcmWorker<P>> = (0..config.workers)
+        .map(|w| IcmWorker {
+            graph: Arc::clone(&graph),
+            program: Arc::clone(&program),
+            owned: partition.owned_by(w),
+            combiner: config.combiner,
+            suppression: config.suppression_threshold,
+            states: HashMap::new(),
+            segment_cache: HashMap::new(),
+        })
+        .collect();
+    let bsp = BspConfig {
+        max_supersteps: config.max_supersteps,
+        keep_per_step_timing: config.keep_per_step_timing,
+    };
+    // Wrap the master hook so that programs requesting an all-active next
+    // superstep keep the run alive through idle (message-free) barriers.
+    let prog = Arc::clone(&program);
+    let mut user_master = master;
+    let mut wrapper = move |step: u64, globals: &graphite_bsp::aggregate::Aggregators| {
+        let user = match user_master.as_mut() {
+            Some(hook) => hook(step, globals),
+            None => graphite_bsp::aggregate::MasterDecision::Continue,
+        };
+        if user == graphite_bsp::aggregate::MasterDecision::Continue
+            && prog.all_active(step + 1, globals)
+        {
+            graphite_bsp::aggregate::MasterDecision::ForceContinue
+        } else {
+            user
+        }
+    };
+    let (workers, metrics) = run_bsp(&bsp, workers, partition, Some(&mut wrapper));
+
+    let mut states = BTreeMap::new();
+    for worker in workers {
+        for (v, mut partition) in worker.states {
+            partition.coalesce();
+            let vid = worker.graph.vertex(VIdx(v)).vid;
+            states.insert(vid, partition.into_entries());
+        }
+    }
+    IcmResult { states, metrics }
+}

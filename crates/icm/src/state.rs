@@ -1,0 +1,179 @@
+//! Dynamically partitioned vertex state management (Sec. IV-A1) as used by
+//! the engine: the per-vertex [`IntervalPartition`] plus the bookkeeping of
+//! which sub-intervals `compute` changed in the current superstep (those —
+//! and only those — feed the pre-scatter warp).
+
+use graphite_tgraph::iset::IntervalPartition;
+use graphite_tgraph::time::Interval;
+
+/// The state writes produced by the `compute` calls of one vertex in one
+/// superstep. Warp tuples are disjoint, so writes never overlap across
+/// calls; within one call later writes win (matching repeated
+/// `setState`).
+#[derive(Debug)]
+pub struct StateUpdates<S> {
+    writes: Vec<(Interval, S)>,
+}
+
+impl<S> Default for StateUpdates<S> {
+    fn default() -> Self {
+        StateUpdates { writes: Vec::new() }
+    }
+}
+
+impl<S> StateUpdates<S> {
+    /// An empty set of updates.
+    pub fn new() -> Self {
+        StateUpdates { writes: Vec::new() }
+    }
+
+    /// Records a write (already clipped by the compute context).
+    pub fn push(&mut self, interval: Interval, state: S) {
+        self.writes.push((interval, state));
+    }
+
+    /// `true` when compute made no writes.
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Number of raw writes.
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+}
+
+impl<S: Clone + PartialEq> StateUpdates<S> {
+    /// Applies the writes to `partition` (repartitioning as needed) and
+    /// returns the *changed* sub-intervals with their new values —
+    /// temporally sorted, overlap-resolved (later writes win), coalesced,
+    /// and filtered to writes that actually changed the stored value.
+    ///
+    /// Filtering no-op writes keeps scatter from firing when `compute`
+    /// re-stores an unchanged value, matching the paper's "any state update
+    /// causes scatter to be called" (a value-identical store is not an
+    /// update).
+    pub fn apply(self, partition: &mut IntervalPartition<S>) -> Vec<(Interval, S)> {
+        if self.writes.is_empty() {
+            return Vec::new();
+        }
+        // Resolve overlapping writes (later wins) onto a scratch cover of
+        // the written span, then diff that cover against the partition.
+        let span = self
+            .writes
+            .iter()
+            .map(|(iv, _)| *iv)
+            .reduce(|a, b| a.span(b))
+            .expect("non-empty writes");
+        let mut resolved: IntervalPartition<Option<S>> = IntervalPartition::new(span, None);
+        for (iv, v) in self.writes {
+            resolved.set(iv, Some(v));
+        }
+        let mut changed: Vec<(Interval, S)> = Vec::new();
+        for (iv, value) in resolved
+            .iter()
+            .filter_map(|(iv, v)| v.as_ref().map(|v| (iv, v)))
+        {
+            let diffs: Vec<Interval> = partition
+                .overlapping(iv)
+                .filter(|(_, old)| *old != value)
+                .map(|(piece, _)| piece)
+                .collect();
+            for piece in diffs {
+                partition.set(piece, value.clone());
+                match changed.last_mut() {
+                    Some((last, lv)) if last.meets(piece) && *lv == *value => {
+                        *last = last.span(piece);
+                    }
+                    _ => changed.push((piece, value.clone())),
+                }
+            }
+        }
+        partition.coalesce();
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn partition() -> IntervalPartition<i64> {
+        IntervalPartition::new(Interval::new(0, 10), 100)
+    }
+
+    #[test]
+    fn apply_writes_and_reports_changes() {
+        let mut p = partition();
+        let mut u = StateUpdates::new();
+        u.push(Interval::new(2, 5), 7);
+        u.push(Interval::new(7, 9), 3);
+        let changed = u.apply(&mut p);
+        assert_eq!(changed, vec![(Interval::new(2, 5), 7), (Interval::new(7, 9), 3)]);
+        assert_eq!(p.value_at(3), Some(&7));
+        assert_eq!(p.value_at(8), Some(&3));
+        assert_eq!(p.value_at(6), Some(&100));
+    }
+
+    #[test]
+    fn no_op_writes_are_filtered() {
+        let mut p = partition();
+        let mut u = StateUpdates::new();
+        u.push(Interval::new(2, 5), 100); // same as stored
+        let changed = u.apply(&mut p);
+        assert!(changed.is_empty());
+        assert_eq!(p.len(), 1, "partition not fragmented by no-op writes");
+    }
+
+    #[test]
+    fn partial_no_op_reports_only_the_difference() {
+        let mut p = partition();
+        p.set(Interval::new(0, 4), 7);
+        let mut u = StateUpdates::new();
+        u.push(Interval::new(2, 8), 7); // [2,4) already 7; [4,8) changes
+        let changed = u.apply(&mut p);
+        assert_eq!(changed, vec![(Interval::new(4, 8), 7)]);
+    }
+
+    #[test]
+    fn adjacent_equal_changes_coalesce() {
+        let mut p = partition();
+        let mut u = StateUpdates::new();
+        u.push(Interval::new(2, 5), 9);
+        u.push(Interval::new(5, 8), 9);
+        let changed = u.apply(&mut p);
+        assert_eq!(changed, vec![(Interval::new(2, 8), 9)]);
+        // Partition coalesced too.
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn later_writes_win_on_overlap() {
+        let mut p = partition();
+        let mut u = StateUpdates::new();
+        u.push(Interval::new(2, 6), 5);
+        u.push(Interval::new(4, 8), 9);
+        let changed = u.apply(&mut p);
+        // Final stored values: [2,4)=5, [4,8)=9.
+        assert_eq!(p.value_at(3), Some(&5));
+        assert_eq!(p.value_at(5), Some(&9));
+        assert_eq!(p.value_at(7), Some(&9));
+        // Changed cover reflects the final values without duplicates.
+        let mut total = 0;
+        for (iv, v) in &changed {
+            total += iv.len();
+            for t in iv.points() {
+                assert_eq!(p.value_at(t), Some(v), "at {t}");
+            }
+        }
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn empty_updates_do_nothing() {
+        let mut p = partition();
+        let u: StateUpdates<i64> = StateUpdates::new();
+        assert!(u.apply(&mut p).is_empty());
+        assert_eq!(p.len(), 1);
+    }
+}

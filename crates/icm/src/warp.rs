@@ -1,0 +1,359 @@
+//! The time-join and time-warp operators (Sec. IV-B) — the paper's core
+//! data transformation.
+//!
+//! *Time-join* (`⋈̃`) pairs every outer entry with every inner entry whose
+//! interval intersects it, keyed by the intersection. *Time-warp* (`⋈`) is
+//! a temporal self-join over the time-join: it detects the boundary
+//! time-points of the intersections, partitions time at those boundaries,
+//! and groups — for each (sub-interval, outer value) — all inner values
+//! alive throughout that sub-interval. Warp output drives the engine: each
+//! tuple is exactly one call to the user's `compute`.
+//!
+//! Guaranteed properties (Sec. IV-B, tested here and by proptest in
+//! `tests/warp_props.rs`):
+//!
+//! 1. **Valid inclusion** — every overlapping (outer, inner) value pair
+//!    appears in the output at every shared time-point.
+//! 2. **No invalid inclusion** — output tuples only contain values that
+//!    exist at the tuple's interval in their respective sets.
+//! 3. **No duplication** — an outer value appears in at most one tuple per
+//!    time-point.
+//! 4. **Maximal** — no two output tuples with the same outer entry and the
+//!    same inner group are adjacent or overlapping.
+//!
+//! The implementation is a single boundary sweep over both sets, the
+//! moral equivalent of the merge phase of the merge-sort temporal
+//! aggregation the paper adopts from Moon et al.: `O((n + m) log (n + m))`
+//! plus output size.
+
+use graphite_tgraph::time::Interval;
+
+/// One pair from the time-join: the intersection interval and the indices
+/// of the participating outer and inner entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JoinTuple {
+    /// `τ_outer ∩ τ_inner`.
+    pub interval: Interval,
+    /// Index into the outer set.
+    pub outer: usize,
+    /// Index into the inner set.
+    pub inner: usize,
+}
+
+/// One group from the time-warp: a sub-interval, the single outer entry
+/// covering it, and every inner entry alive throughout it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WarpTuple {
+    /// The temporally partitioned output interval.
+    pub interval: Interval,
+    /// Index of the outer entry (unique per time-point: property 3).
+    pub outer: usize,
+    /// Indices of the grouped inner entries, ascending.
+    pub inner: Vec<usize>,
+}
+
+/// Requirements on the outer set: temporally partitioned — sorted by start
+/// and non-overlapping (gaps allowed). Debug-asserted.
+fn debug_check_outer<S>(outer: &[(Interval, S)]) {
+    debug_assert!(
+        outer.windows(2).all(|w| w[0].0.end() <= w[1].0.start()),
+        "outer set must be sorted and non-overlapping"
+    );
+}
+
+/// The time-join `⋈̃` of an outer (temporally partitioned) and an inner set.
+pub fn time_join<S, M>(outer: &[(Interval, S)], inner: &[(Interval, M)]) -> Vec<JoinTuple> {
+    debug_check_outer(outer);
+    let mut out = Vec::new();
+    for (oi, (oiv, _)) in outer.iter().enumerate() {
+        for (ii, (iiv, _)) in inner.iter().enumerate() {
+            if let Some(cap) = oiv.intersect(*iiv) {
+                out.push(JoinTuple { interval: cap, outer: oi, inner: ii });
+            }
+        }
+    }
+    out
+}
+
+/// The time-warp `⋈` of an outer (temporally partitioned) and an inner set.
+///
+/// Tuples are emitted in temporal order; inner groups are ascending index
+/// lists; tuples with empty groups are omitted (per the definition,
+/// `Mr ≠ ∅`).
+pub fn time_warp<S, M>(outer: &[(Interval, S)], inner: &[(Interval, M)]) -> Vec<WarpTuple> {
+    debug_check_outer(outer);
+    let outer_spans: Vec<Interval> = outer.iter().map(|(iv, _)| *iv).collect();
+    let inner_spans: Vec<Interval> = inner.iter().map(|(iv, _)| *iv).collect();
+    time_warp_spans(&outer_spans, &inner_spans)
+}
+
+/// [`time_warp`] over bare interval slices — what the engine uses, since
+/// the sweep never inspects the associated values.
+pub fn time_warp_spans(outer: &[Interval], inner: &[Interval]) -> Vec<WarpTuple> {
+    debug_assert!(
+        outer.windows(2).all(|w| w[0].end() <= w[1].start()),
+        "outer set must be sorted and non-overlapping"
+    );
+    if outer.is_empty() || inner.is_empty() {
+        return Vec::new();
+    }
+
+    // Sweep events: +1/-1 for inner intervals, clipped later against the
+    // outer coverage. Boundaries come from both sets so every emitted
+    // segment is covered by exactly one outer entry (or none) and a fixed
+    // inner group.
+    let mut bounds: Vec<i64> = Vec::with_capacity(2 * (outer.len() + inner.len()));
+    for iv in outer {
+        bounds.push(iv.start());
+        bounds.push(iv.end());
+    }
+    for iv in inner {
+        bounds.push(iv.start());
+        bounds.push(iv.end());
+    }
+    bounds.sort_unstable();
+    bounds.dedup();
+
+    // Event lists sorted by time for pointer sweeps.
+    let mut inner_starts: Vec<(i64, usize)> =
+        inner.iter().enumerate().map(|(i, iv)| (iv.start(), i)).collect();
+    inner_starts.sort_unstable();
+    let mut inner_ends: Vec<(i64, usize)> =
+        inner.iter().enumerate().map(|(i, iv)| (iv.end(), i)).collect();
+    inner_ends.sort_unstable();
+
+    let mut active: Vec<usize> = Vec::new(); // ascending inner indices
+    let mut si = 0usize; // next inner start event
+    let mut ei = 0usize; // next inner end event
+    let mut oi = 0usize; // current outer candidate
+
+    let mut out: Vec<WarpTuple> = Vec::new();
+    for w in bounds.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        // Retire inner intervals ending at or before `lo`.
+        while ei < inner_ends.len() && inner_ends[ei].0 <= lo {
+            if let Ok(pos) = active.binary_search(&inner_ends[ei].1) {
+                active.remove(pos);
+            }
+            ei += 1;
+        }
+        // Activate inner intervals starting at or before `lo`.
+        while si < inner_starts.len() && inner_starts[si].0 <= lo {
+            let idx = inner_starts[si].1;
+            if inner[idx].end() > lo {
+                if let Err(pos) = active.binary_search(&idx) {
+                    active.insert(pos, idx);
+                }
+            }
+            si += 1;
+        }
+        if active.is_empty() {
+            continue;
+        }
+        // Find the outer entry covering [lo, hi), if any. Boundaries from
+        // the outer set guarantee an entry either covers the whole segment
+        // or none of it.
+        while oi < outer.len() && outer[oi].end() <= lo {
+            oi += 1;
+        }
+        let Some(oiv) = outer.get(oi) else { break };
+        if !oiv.contains_point(lo) {
+            continue;
+        }
+        let segment = Interval::new(lo, hi);
+        debug_assert!(segment.during_or_equals(*oiv));
+        // Maximality: extend the previous tuple when it meets this segment
+        // with the same outer entry and the same inner group.
+        if let Some(last) = out.last_mut() {
+            if last.outer == oi && last.interval.meets(segment) && last.inner == active {
+                last.interval = last.interval.span(segment);
+                continue;
+            }
+        }
+        out.push(WarpTuple { interval: segment, outer: oi, inner: active.clone() });
+    }
+    out
+}
+
+/// Convenience: the warp of `outer` states against `inner` messages,
+/// yielding `(interval, &state, Vec<&message>)` views.
+pub fn warp_view<'a, S, M>(
+    outer: &'a [(Interval, S)],
+    inner: &'a [(Interval, M)],
+) -> impl Iterator<Item = (Interval, &'a S, Vec<&'a M>)> + 'a {
+    time_warp(outer, inner).into_iter().map(move |t| {
+        (
+            t.interval,
+            &outer[t.outer].1,
+            t.inner.iter().map(|&i| &inner[i].1).collect(),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: i64, e: i64) -> Interval {
+        Interval::new(s, e)
+    }
+
+    type Entries = Vec<(Interval, &'static str)>;
+
+    /// The paper's Fig. 3 example: three partitioned states and five
+    /// messages; boundaries 0, 2, 4, 5, 7, 9, 10.
+    fn fig3() -> (Entries, Entries) {
+        let states = vec![(iv(0, 5), "s1"), (iv(5, 9), "s2"), (iv(9, 10), "s3")];
+        let msgs = vec![
+            (iv(0, 4), "m1"),
+            (iv(2, 7), "m2"),
+            (iv(5, 9), "m3"),
+            (iv(7, 10), "m4"),
+            (iv(9, 10), "m5"),
+        ];
+        (states, msgs)
+    }
+
+    #[test]
+    fn fig3_time_join() {
+        let (states, msgs) = fig3();
+        let tj = time_join(&states, &msgs);
+        // m2 [2,7) intersects s1 [0,5) at [2,5) and s2 [5,9) at [5,7).
+        assert!(tj.contains(&JoinTuple { interval: iv(2, 5), outer: 0, inner: 1 }));
+        assert!(tj.contains(&JoinTuple { interval: iv(5, 7), outer: 1, inner: 1 }));
+        // m5 only meets s3.
+        assert!(tj.contains(&JoinTuple { interval: iv(9, 10), outer: 2, inner: 4 }));
+        assert_eq!(tj.iter().filter(|t| t.inner == 4).count(), 1);
+    }
+
+    #[test]
+    fn fig3_warp_output() {
+        let (states, msgs) = fig3();
+        let tuples: Vec<(Interval, &str, Vec<&str>)> = warp_view(&states, &msgs)
+            .map(|(i, s, m)| (i, *s, m.into_iter().copied().collect()))
+            .collect();
+        // Matches the paper's worked output: ⟨[0,2), s1, {m1}⟩,
+        // ⟨[2,4), s1, {m1,m2}⟩, ⟨[4,5), s1, {m2}⟩, ⟨[5,7), s2, {m2,m3}⟩,
+        // ⟨[7,9), s2, {m3,m4}⟩, ⟨[9,10), s3, {m4,m5}⟩.
+        assert_eq!(
+            tuples,
+            vec![
+                (iv(0, 2), "s1", vec!["m1"]),
+                (iv(2, 4), "s1", vec!["m1", "m2"]),
+                (iv(4, 5), "s1", vec!["m2"]),
+                (iv(5, 7), "s2", vec!["m2", "m3"]),
+                (iv(7, 9), "s2", vec!["m3", "m4"]),
+                (iv(9, 10), "s3", vec!["m4", "m5"]),
+            ]
+        );
+    }
+
+    #[test]
+    fn sssp_superstep3_example() {
+        // Sec. IV-B: E warps prior state ⟨[0,∞),∞⟩ with messages
+        // ⟨[9,∞),5⟩ from B and ⟨[6,∞),7⟩ from C, producing
+        // ⟨[6,9),∞,{7}⟩ and ⟨[9,∞),∞,{5,7}⟩.
+        let states = vec![(Interval::from_start(0), i64::MAX)];
+        let msgs = vec![(Interval::from_start(9), 5i64), (Interval::from_start(6), 7i64)];
+        let tuples: Vec<(Interval, Vec<i64>)> = warp_view(&states, &msgs)
+            .map(|(i, _, m)| {
+                let mut vals: Vec<i64> = m.into_iter().copied().collect();
+                vals.sort();
+                (i, vals)
+            })
+            .collect();
+        assert_eq!(
+            tuples,
+            vec![
+                (iv(6, 9), vec![7]),
+                (Interval::from_start(9), vec![5, 7]),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_sets_produce_nothing() {
+        let none: Vec<(Interval, u8)> = vec![];
+        let some = vec![(iv(0, 5), 1u8)];
+        assert!(time_warp(&none, &some).is_empty());
+        assert!(time_warp(&some, &none).is_empty());
+        assert!(time_join::<u8, u8>(&none, &none).is_empty());
+    }
+
+    #[test]
+    fn disjoint_messages_are_excluded() {
+        let states = vec![(iv(0, 5), "s")];
+        let msgs = vec![(iv(5, 9), "late"), (iv(-4, 0), "early")];
+        assert!(time_warp(&states, &msgs).is_empty());
+    }
+
+    #[test]
+    fn gapped_outer_set() {
+        // The pre-scatter warp uses updated states, which may have gaps.
+        let states = vec![(iv(0, 2), "a"), (iv(6, 8), "b")];
+        let msgs = vec![(iv(0, 10), "m")];
+        let tuples = time_warp(&states, &msgs);
+        assert_eq!(tuples.len(), 2);
+        assert_eq!(tuples[0].interval, iv(0, 2));
+        assert_eq!(tuples[0].outer, 0);
+        assert_eq!(tuples[1].interval, iv(6, 8));
+        assert_eq!(tuples[1].outer, 1);
+    }
+
+    #[test]
+    fn maximality_merges_identical_adjacent_groups() {
+        // The inner boundary at 5 splits nothing: m covers both sides and
+        // the outer state is the same, so one maximal tuple must come out.
+        let states = vec![(iv(0, 10), "s")];
+        let msgs = vec![(iv(0, 10), "m"), (iv(20, 30), "other")];
+        let tuples = time_warp(&states, &msgs);
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(tuples[0].interval, iv(0, 10));
+    }
+
+    #[test]
+    fn boundary_alignment_never_crosses_state_edges() {
+        let states = vec![(iv(0, 5), 1u8), (iv(5, 10), 2u8)];
+        let msgs = vec![(iv(3, 8), 9u8)];
+        let tuples = time_warp(&states, &msgs);
+        assert_eq!(tuples.len(), 2);
+        assert_eq!(tuples[0].interval, iv(3, 5));
+        assert_eq!(tuples[1].interval, iv(5, 8));
+    }
+
+    #[test]
+    fn duplicated_message_intervals_group_together() {
+        let states = vec![(iv(0, 4), "s")];
+        let msgs = vec![(iv(1, 3), "x"), (iv(1, 3), "y")];
+        let tuples = time_warp(&states, &msgs);
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(tuples[0].interval, iv(1, 3));
+        assert_eq!(tuples[0].inner, vec![0, 1]);
+    }
+
+    #[test]
+    fn unbounded_messages_and_states() {
+        let states = vec![(Interval::all(), "s")];
+        let msgs = vec![(Interval::until(0), "past"), (Interval::from_start(0), "future")];
+        let tuples = time_warp(&states, &msgs);
+        assert_eq!(tuples.len(), 2);
+        assert_eq!(tuples[0].interval, Interval::until(0));
+        assert_eq!(tuples[0].inner, vec![0]);
+        assert_eq!(tuples[1].interval, Interval::from_start(0));
+        assert_eq!(tuples[1].inner, vec![1]);
+    }
+
+    #[test]
+    fn point_coverage_is_exact() {
+        // Each time-point within active sub-intervals belongs to exactly
+        // one tuple (Sec. IV-A2).
+        let states = vec![(iv(0, 20), "s")];
+        let msgs = vec![(iv(1, 9), "a"), (iv(4, 12), "b"), (iv(11, 15), "c")];
+        let tuples = time_warp(&states, &msgs);
+        for t in 0..20 {
+            let covered = tuples.iter().filter(|tu| tu.interval.contains_point(t)).count();
+            let expected = usize::from(msgs.iter().any(|(iv, _)| iv.contains_point(t)));
+            assert_eq!(covered, expected, "time-point {t}");
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Construction and validation of [`TemporalGraph`]s.
+//!
+//! The builder enforces the paper's soundness constraints as data arrives:
+//!
+//! * **Constraint 1** (unique vertices and edges): each `vid`/`eid` exists at
+//!   most once, for one contiguous interval;
+//! * **Constraint 2** (referential integrity of edges): an edge's lifespan
+//!   is contained in both endpoints' lifespans;
+//! * **Constraint 3** (referential integrity of properties): a property's
+//!   interval is contained in its entity's lifespan, and values of one label
+//!   never overlap in time.
+
+use crate::error::GraphError;
+use crate::graph::{EdgeData, EdgeId, TemporalGraph, VIdx, VertexData, VertexId};
+use crate::property::{LabelInterner, PropValue};
+use crate::time::Interval;
+use std::collections::HashMap;
+
+/// Incremental builder for [`TemporalGraph`].
+///
+/// ```
+/// use graphite_tgraph::prelude::*;
+/// let mut b = TemporalGraphBuilder::new();
+/// b.add_vertex(VertexId(1), Interval::new(0, 10)).unwrap();
+/// b.add_vertex(VertexId(2), Interval::new(0, 10)).unwrap();
+/// b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(2, 7)).unwrap();
+/// b.edge_property(EdgeId(1), "travel-cost", Interval::new(2, 7), 4i64.into()).unwrap();
+/// let g = b.build().unwrap();
+/// assert_eq!(g.num_edges(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct TemporalGraphBuilder {
+    labels: LabelInterner,
+    vertices: Vec<VertexData>,
+    edges: Vec<EdgeData>,
+    vid_index: HashMap<VertexId, VIdx>,
+    eid_index: HashMap<EdgeId, u32>,
+}
+
+impl TemporalGraphBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-sizes the internal tables.
+    pub fn with_capacity(vertices: usize, edges: usize) -> Self {
+        TemporalGraphBuilder {
+            labels: LabelInterner::new(),
+            vertices: Vec::with_capacity(vertices),
+            edges: Vec::with_capacity(edges),
+            vid_index: HashMap::with_capacity(vertices),
+            eid_index: HashMap::with_capacity(edges),
+        }
+    }
+
+    /// Adds vertex `⟨vid, lifespan⟩` (Constraint 1 checked).
+    pub fn add_vertex(&mut self, vid: VertexId, lifespan: Interval) -> Result<VIdx, GraphError> {
+        if self.vid_index.contains_key(&vid) {
+            return Err(GraphError::DuplicateVertex(vid));
+        }
+        let idx = VIdx(self.vertices.len() as u32);
+        self.vertices.push(VertexData { vid, lifespan, props: Default::default() });
+        self.vid_index.insert(vid, idx);
+        Ok(idx)
+    }
+
+    /// Adds edge `⟨eid, src, dst, lifespan⟩` (Constraints 1 and 2 checked).
+    /// Both endpoints must already have been added.
+    pub fn add_edge(
+        &mut self,
+        eid: EdgeId,
+        src: VertexId,
+        dst: VertexId,
+        lifespan: Interval,
+    ) -> Result<(), GraphError> {
+        if self.eid_index.contains_key(&eid) {
+            return Err(GraphError::DuplicateEdge(eid));
+        }
+        let s = *self.vid_index.get(&src).ok_or(GraphError::UnknownVertex(src))?;
+        let d = *self.vid_index.get(&dst).ok_or(GraphError::UnknownVertex(dst))?;
+        for (vid, v) in [(src, s), (dst, d)] {
+            let vspan = self.vertices[v.idx()].lifespan;
+            if !lifespan.during_or_equals(vspan) {
+                return Err(GraphError::EdgeOutsideVertexLifespan {
+                    eid,
+                    vid,
+                    edge: lifespan,
+                    vertex: vspan,
+                });
+            }
+        }
+        self.eid_index.insert(eid, self.edges.len() as u32);
+        self.edges.push(EdgeData { eid, src: s, dst: d, lifespan, props: Default::default() });
+        Ok(())
+    }
+
+    /// Attaches `⟨vid, label, value, interval⟩` to a vertex (Constraint 3 and
+    /// the non-overlap rule checked).
+    pub fn vertex_property(
+        &mut self,
+        vid: VertexId,
+        label: &str,
+        interval: Interval,
+        value: PropValue,
+    ) -> Result<(), GraphError> {
+        let v = *self.vid_index.get(&vid).ok_or(GraphError::UnknownVertex(vid))?;
+        let data = &mut self.vertices[v.idx()];
+        if !interval.during_or_equals(data.lifespan) {
+            return Err(GraphError::PropertyOutsideLifespan {
+                owner: format!("vertex {}", vid.0),
+                property: interval,
+                lifespan: data.lifespan,
+            });
+        }
+        let lid = self.labels.intern(label);
+        data.props.insert(lid, interval, value).map_err(|source| GraphError::PropertyOverlap {
+            owner: format!("vertex {}", vid.0),
+            source,
+        })
+    }
+
+    /// Attaches `⟨eid, label, value, interval⟩` to an edge (Constraint 3 and
+    /// the non-overlap rule checked).
+    pub fn edge_property(
+        &mut self,
+        eid: EdgeId,
+        label: &str,
+        interval: Interval,
+        value: PropValue,
+    ) -> Result<(), GraphError> {
+        let e = *self.eid_index.get(&eid).ok_or(GraphError::UnknownEdge(eid))? as usize;
+        let data = &mut self.edges[e];
+        if !interval.during_or_equals(data.lifespan) {
+            return Err(GraphError::PropertyOutsideLifespan {
+                owner: format!("edge {}", eid.0),
+                property: interval,
+                lifespan: data.lifespan,
+            });
+        }
+        let lid = self.labels.intern(label);
+        data.props.insert(lid, interval, value).map_err(|source| GraphError::PropertyOverlap {
+            owner: format!("edge {}", eid.0),
+            source,
+        })
+    }
+
+    /// Number of vertices added so far.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the graph: builds CSR adjacency and the graph lifespan.
+    /// All constraints were enforced incrementally, so this cannot fail for
+    /// graphs built through this API; the `Result` guards future relaxations
+    /// (e.g. deferred endpoint checks).
+    pub fn build(self) -> Result<TemporalGraph, GraphError> {
+        Ok(TemporalGraph::assemble(self.labels, self.vertices, self.edges, self.vid_index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_vertices() -> TemporalGraphBuilder {
+        let mut b = TemporalGraphBuilder::new();
+        b.add_vertex(VertexId(1), Interval::new(0, 10)).unwrap();
+        b.add_vertex(VertexId(2), Interval::new(2, 8)).unwrap();
+        b
+    }
+
+    #[test]
+    fn constraint1_duplicate_vertex() {
+        let mut b = two_vertices();
+        assert_eq!(
+            b.add_vertex(VertexId(1), Interval::new(5, 6)),
+            Err(GraphError::DuplicateVertex(VertexId(1)))
+        );
+    }
+
+    #[test]
+    fn constraint1_duplicate_edge() {
+        let mut b = two_vertices();
+        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(2, 5)).unwrap();
+        assert_eq!(
+            b.add_edge(EdgeId(1), VertexId(2), VertexId(1), Interval::new(2, 5)),
+            Err(GraphError::DuplicateEdge(EdgeId(1)))
+        );
+    }
+
+    #[test]
+    fn constraint2_edge_contained_in_endpoints() {
+        let mut b = two_vertices();
+        // [0,10) ⊆ v1 but not ⊆ v2=[2,8).
+        let err = b
+            .add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(0, 10))
+            .unwrap_err();
+        assert!(matches!(err, GraphError::EdgeOutsideVertexLifespan { vid: VertexId(2), .. }));
+        // Exactly the intersection works.
+        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(2, 8)).unwrap();
+    }
+
+    #[test]
+    fn edge_requires_known_endpoints() {
+        let mut b = two_vertices();
+        assert_eq!(
+            b.add_edge(EdgeId(1), VertexId(1), VertexId(99), Interval::new(2, 5)),
+            Err(GraphError::UnknownVertex(VertexId(99)))
+        );
+    }
+
+    #[test]
+    fn constraint3_property_contained_in_lifespan() {
+        let mut b = two_vertices();
+        let err = b
+            .vertex_property(VertexId(2), "w", Interval::new(0, 5), 1i64.into())
+            .unwrap_err();
+        assert!(matches!(err, GraphError::PropertyOutsideLifespan { .. }));
+        b.vertex_property(VertexId(2), "w", Interval::new(2, 5), 1i64.into()).unwrap();
+        // Same for edges.
+        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(2, 8)).unwrap();
+        let err = b
+            .edge_property(EdgeId(1), "w", Interval::new(2, 9), 1i64.into())
+            .unwrap_err();
+        assert!(matches!(err, GraphError::PropertyOutsideLifespan { .. }));
+    }
+
+    #[test]
+    fn property_overlap_rejected() {
+        let mut b = two_vertices();
+        b.vertex_property(VertexId(1), "w", Interval::new(0, 5), 1i64.into()).unwrap();
+        let err = b
+            .vertex_property(VertexId(1), "w", Interval::new(4, 7), 2i64.into())
+            .unwrap_err();
+        assert!(matches!(err, GraphError::PropertyOverlap { .. }));
+        // Disjoint continuation is fine.
+        b.vertex_property(VertexId(1), "w", Interval::new(5, 7), 2i64.into()).unwrap();
+    }
+
+    #[test]
+    fn property_on_unknown_entities() {
+        let mut b = two_vertices();
+        assert!(b
+            .vertex_property(VertexId(9), "w", Interval::new(0, 1), 1i64.into())
+            .is_err());
+        assert!(b
+            .edge_property(EdgeId(9), "w", Interval::new(0, 1), 1i64.into())
+            .is_err());
+    }
+
+    #[test]
+    fn build_produces_indexed_graph() {
+        let mut b = two_vertices();
+        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(2, 8)).unwrap();
+        b.edge_property(EdgeId(1), "travel-cost", Interval::new(2, 8), 4i64.into()).unwrap();
+        assert_eq!(b.num_vertices(), 2);
+        assert_eq!(b.num_edges(), 1);
+        let g = b.build().unwrap();
+        assert!(g.label("travel-cost").is_some());
+        assert_eq!(g.lifespan(), Interval::new(0, 10));
+    }
+}

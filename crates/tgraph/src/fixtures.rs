@@ -1,0 +1,111 @@
+//! Shared test/demo fixtures, most importantly the paper's Fig. 1(a)
+//! transit network, reconstructed from the SSSP walkthrough in Sec. IV.
+//!
+//! The fixture doubles as a *test vector*: the paper traces temporal SSSP
+//! from vertex `A` over this graph (Fig. 2) and reports intermediate warp
+//! outputs, final states, and the exact number of state-updating compute
+//! visits (7) and messages (6). Integration tests across the workspace
+//! assert those numbers.
+
+use crate::builder::TemporalGraphBuilder;
+use crate::graph::{EdgeId, TemporalGraph, VertexId};
+use crate::time::Interval;
+
+/// Stable ids for the transit fixture's six stops `A`–`F`.
+pub mod transit_ids {
+    use crate::graph::VertexId;
+    /// Stop `A` (the SSSP source in the paper's walkthrough).
+    pub const A: VertexId = VertexId(0);
+    /// Stop `B`.
+    pub const B: VertexId = VertexId(1);
+    /// Stop `C`.
+    pub const C: VertexId = VertexId(2);
+    /// Stop `D`.
+    pub const D: VertexId = VertexId(3);
+    /// Stop `E`.
+    pub const E: VertexId = VertexId(4);
+    /// Stop `F` (unreachable from `A`).
+    pub const F: VertexId = VertexId(5);
+}
+
+/// The Fig. 1(a) transit network.
+///
+/// * Six stops `A..F`, all with perpetual lifespan `[0, ∞)`.
+/// * Directed transit edges; the interval on an edge is the period during
+///   which the transit option can be initiated; `travel-cost` is the edge
+///   property used by SSSP, and `travel-time` is 1 everywhere (as in the
+///   walkthrough).
+/// * Expected temporal-SSSP results from `A` at time 0 (paper, Sec. IV):
+///   `B` reachable over `[4,6)` at cost 4 and `[6,∞)` at cost 3; `C` over
+///   `[2,∞)` at cost 3; `D` over `[2,∞)` at cost 2; `E` over `[6,9)` at
+///   cost 7 and `[9,∞)` at cost 5; `F` unreachable.
+pub fn transit_graph() -> TemporalGraph {
+    use transit_ids::*;
+    let mut b = TemporalGraphBuilder::with_capacity(6, 6);
+    let life = Interval::from_start(0);
+    for v in [A, B, C, D, E, F] {
+        b.add_vertex(v, life).expect("fresh vertex");
+    }
+    let edge = |b: &mut TemporalGraphBuilder,
+                    eid: u64,
+                    src: VertexId,
+                    dst: VertexId,
+                    span: Interval,
+                    costs: &[(Interval, i64)]| {
+        b.add_edge(EdgeId(eid), src, dst, span).expect("valid edge");
+        b.edge_property(EdgeId(eid), "travel-time", span, 1i64.into())
+            .expect("travel-time");
+        for &(iv, c) in costs {
+            b.edge_property(EdgeId(eid), "travel-cost", iv, c.into())
+                .expect("travel-cost");
+        }
+    };
+    // A -> B over [3,6): cost 4 during [3,5), cost 3 during [5,6).
+    edge(&mut b, 0, A, B, Interval::new(3, 6), &[(Interval::new(3, 5), 4), (Interval::new(5, 6), 3)]);
+    // A -> C over [1,3) at cost 3 (the "A1 -> C2" option).
+    edge(&mut b, 1, A, C, Interval::new(1, 3), &[(Interval::new(1, 3), 3)]);
+    // A -> D over [1,4) at cost 2.
+    edge(&mut b, 2, A, D, Interval::new(1, 4), &[(Interval::new(1, 4), 2)]);
+    // B -> E over [8,9) at cost 2 (departs B at 8, arrives E at 9).
+    edge(&mut b, 3, B, E, Interval::new(8, 9), &[(Interval::new(8, 9), 2)]);
+    // C -> E over [5,7) at cost 4 (the "C5 -> E6" option).
+    edge(&mut b, 4, C, E, Interval::new(5, 7), &[(Interval::new(5, 7), 4)]);
+    // E -> F over [2,5): E is first reached at 6, so F stays unreachable.
+    edge(&mut b, 5, E, F, Interval::new(2, 5), &[(Interval::new(2, 5), 1)]);
+    b.build().expect("sound fixture")
+}
+
+/// A tiny two-vertex, one-edge graph over `[0, horizon)`, handy for unit
+/// tests that only need a syntactically valid graph.
+pub fn tiny_graph(horizon: i64) -> TemporalGraph {
+    let mut b = TemporalGraphBuilder::new();
+    let life = Interval::new(0, horizon);
+    b.add_vertex(VertexId(0), life).unwrap();
+    b.add_vertex(VertexId(1), life).unwrap();
+    b.add_edge(EdgeId(0), VertexId(0), VertexId(1), life).unwrap();
+    b.build().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transit_is_sound() {
+        let g = transit_graph();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 6);
+        let a = g.vertex_index(transit_ids::A).unwrap();
+        assert_eq!(g.out_degree(a), 3);
+        let f = g.vertex_index(transit_ids::F).unwrap();
+        assert_eq!(g.out_degree(f), 0);
+        assert_eq!(g.in_degree(f), 1);
+    }
+
+    #[test]
+    fn tiny_is_sound() {
+        let g = tiny_graph(5);
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.lifespan(), Interval::new(0, 5));
+    }
+}

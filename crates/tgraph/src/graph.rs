@@ -1,0 +1,386 @@
+//! The temporal property graph `G = (V, E, L, AV, AE)` (Sec. III,
+//! Definition 1) and its in-memory storage.
+//!
+//! Externally, vertices and edges are identified by opaque [`VertexId`] /
+//! [`EdgeId`] values chosen by the user. Internally, the graph assigns dense
+//! indices ([`VIdx`], [`EIdx`]) and stores adjacency in CSR form (one
+//! contiguous edge-index array with per-vertex offsets, forward and
+//! reverse), so workers can scan out-edges without pointer chasing.
+
+use crate::iset::IntervalMap;
+use crate::property::{LabelId, LabelInterner, Properties, PropValue};
+use crate::time::{Interval, Time};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An opaque, user-chosen vertex identifier (`vid` in the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VertexId(pub u64);
+
+/// An opaque, user-chosen edge identifier (`eid` in the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u64);
+
+/// Dense internal vertex index (position in the graph's vertex table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VIdx(pub u32);
+
+impl VIdx {
+    /// The index as `usize` for table addressing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Dense internal edge index (position in the graph's edge table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EIdx(pub u32);
+
+impl EIdx {
+    /// The index as `usize` for table addressing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A temporal vertex `⟨vid, τ⟩` plus its property timelines.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VertexData {
+    /// External identifier.
+    pub vid: VertexId,
+    /// Lifespan `[ts, te)` of the vertex.
+    pub lifespan: Interval,
+    /// Vertex property timelines (`AV`).
+    pub props: Properties,
+}
+
+/// A temporal edge `⟨eid, vid_i, vid_j, τ⟩` plus its property timelines.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EdgeData {
+    /// External identifier.
+    pub eid: EdgeId,
+    /// Source vertex (internal index).
+    pub src: VIdx,
+    /// Sink vertex (internal index).
+    pub dst: VIdx,
+    /// Lifespan `[ts, te)` of the edge.
+    pub lifespan: Interval,
+    /// Edge property timelines (`AE`).
+    pub props: Properties,
+}
+
+/// An immutable temporal property multigraph.
+///
+/// Construct one with [`crate::builder::TemporalGraphBuilder`], which
+/// enforces the paper's soundness constraints, or deserialize a previously
+/// saved graph.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TemporalGraph {
+    labels: LabelInterner,
+    vertices: Vec<VertexData>,
+    edges: Vec<EdgeData>,
+    vid_index: HashMap<VertexId, VIdx>,
+    out_offsets: Vec<u32>,
+    out_edges: Vec<EIdx>,
+    in_offsets: Vec<u32>,
+    in_edges: Vec<EIdx>,
+    lifespan: Interval,
+}
+
+impl TemporalGraph {
+    /// Assembles a graph from validated parts. Intended for the builder;
+    /// most users should go through [`crate::builder::TemporalGraphBuilder`].
+    pub(crate) fn assemble(
+        labels: LabelInterner,
+        vertices: Vec<VertexData>,
+        edges: Vec<EdgeData>,
+        vid_index: HashMap<VertexId, VIdx>,
+    ) -> Self {
+        let n = vertices.len();
+        let mut out_degree = vec![0u32; n];
+        let mut in_degree = vec![0u32; n];
+        for e in &edges {
+            out_degree[e.src.idx()] += 1;
+            in_degree[e.dst.idx()] += 1;
+        }
+        let prefix = |deg: &[u32]| {
+            let mut off = Vec::with_capacity(deg.len() + 1);
+            off.push(0u32);
+            let mut acc = 0u32;
+            for &d in deg {
+                acc += d;
+                off.push(acc);
+            }
+            off
+        };
+        let out_offsets = prefix(&out_degree);
+        let in_offsets = prefix(&in_degree);
+        let mut out_fill = out_offsets.clone();
+        let mut in_fill = in_offsets.clone();
+        let mut out_edges = vec![EIdx(0); edges.len()];
+        let mut in_edges = vec![EIdx(0); edges.len()];
+        for (i, e) in edges.iter().enumerate() {
+            let o = &mut out_fill[e.src.idx()];
+            out_edges[*o as usize] = EIdx(i as u32);
+            *o += 1;
+            let ii = &mut in_fill[e.dst.idx()];
+            in_edges[*ii as usize] = EIdx(i as u32);
+            *ii += 1;
+        }
+        let lifespan = vertices
+            .iter()
+            .map(|v| v.lifespan)
+            .reduce(|a, b| a.span(b))
+            .unwrap_or_else(Interval::all);
+        TemporalGraph {
+            labels,
+            vertices,
+            edges,
+            vid_index,
+            out_offsets,
+            out_edges,
+            in_offsets,
+            in_edges,
+            lifespan,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The smallest interval containing every vertex lifespan.
+    pub fn lifespan(&self) -> Interval {
+        self.lifespan
+    }
+
+    /// The label interner (for resolving property names).
+    pub fn labels(&self) -> &LabelInterner {
+        &self.labels
+    }
+
+    /// The `LabelId` of `name`, if any entity carries it.
+    pub fn label(&self, name: &str) -> Option<LabelId> {
+        self.labels.get(name)
+    }
+
+    /// Resolves an external vertex id to its internal index.
+    pub fn vertex_index(&self, vid: VertexId) -> Option<VIdx> {
+        self.vid_index.get(&vid).copied()
+    }
+
+    /// Vertex data at internal index `v`.
+    #[inline]
+    pub fn vertex(&self, v: VIdx) -> &VertexData {
+        &self.vertices[v.idx()]
+    }
+
+    /// Edge data at internal index `e`.
+    #[inline]
+    pub fn edge(&self, e: EIdx) -> &EdgeData {
+        &self.edges[e.idx()]
+    }
+
+    /// All internal vertex indices.
+    pub fn vertex_indices(&self) -> impl Iterator<Item = VIdx> {
+        (0..self.vertices.len() as u32).map(VIdx)
+    }
+
+    /// All internal edge indices.
+    pub fn edge_indices(&self) -> impl Iterator<Item = EIdx> {
+        (0..self.edges.len() as u32).map(EIdx)
+    }
+
+    /// All vertices in index order.
+    pub fn vertices(&self) -> impl Iterator<Item = (VIdx, &VertexData)> {
+        self.vertices.iter().enumerate().map(|(i, v)| (VIdx(i as u32), v))
+    }
+
+    /// All edges in index order.
+    pub fn edges(&self) -> impl Iterator<Item = (EIdx, &EdgeData)> {
+        self.edges.iter().enumerate().map(|(i, e)| (EIdx(i as u32), e))
+    }
+
+    /// Out-edge indices of `v`.
+    #[inline]
+    pub fn out_edges(&self, v: VIdx) -> &[EIdx] {
+        let s = self.out_offsets[v.idx()] as usize;
+        let e = self.out_offsets[v.idx() + 1] as usize;
+        &self.out_edges[s..e]
+    }
+
+    /// In-edge indices of `v`.
+    #[inline]
+    pub fn in_edges(&self, v: VIdx) -> &[EIdx] {
+        let s = self.in_offsets[v.idx()] as usize;
+        let e = self.in_offsets[v.idx() + 1] as usize;
+        &self.in_edges[s..e]
+    }
+
+    /// Out-degree of `v` over the whole lifespan (multi-edges counted).
+    pub fn out_degree(&self, v: VIdx) -> usize {
+        self.out_edges(v).len()
+    }
+
+    /// In-degree of `v` over the whole lifespan.
+    pub fn in_degree(&self, v: VIdx) -> usize {
+        self.in_edges(v).len()
+    }
+
+    /// Out-edges of `v` whose lifespan intersects `window`.
+    pub fn out_edges_overlapping(
+        &self,
+        v: VIdx,
+        window: Interval,
+    ) -> impl Iterator<Item = (EIdx, &EdgeData)> + '_ {
+        self.out_edges(v).iter().filter_map(move |&e| {
+            let ed = self.edge(e);
+            ed.lifespan.intersects(window).then_some((e, ed))
+        })
+    }
+
+    /// In-edges of `v` whose lifespan intersects `window`.
+    pub fn in_edges_overlapping(
+        &self,
+        v: VIdx,
+        window: Interval,
+    ) -> impl Iterator<Item = (EIdx, &EdgeData)> + '_ {
+        self.in_edges(v).iter().filter_map(move |&e| {
+            let ed = self.edge(e);
+            ed.lifespan.intersects(window).then_some((e, ed))
+        })
+    }
+
+    /// The timeline of edge property `label` on edge `e`, or `None`.
+    pub fn edge_property(&self, e: EIdx, label: LabelId) -> Option<&IntervalMap<PropValue>> {
+        self.edge(e).props.timeline(label)
+    }
+
+    /// Value of edge property `label` on `e` at time `t`.
+    pub fn edge_property_at(&self, e: EIdx, label: LabelId, t: Time) -> Option<&PropValue> {
+        self.edge(e).props.value_at(label, t)
+    }
+
+    /// Value of vertex property `label` on `v` at time `t`.
+    pub fn vertex_property_at(&self, v: VIdx, label: LabelId, t: Time) -> Option<&PropValue> {
+        self.vertex(v).props.value_at(label, t)
+    }
+
+    /// Rebuilds the transient lookup structures after deserialization.
+    pub fn rebuild_after_deserialize(&mut self) {
+        self.labels.rebuild_index();
+        self.vid_index = self
+            .vertices
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.vid, VIdx(i as u32)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TemporalGraphBuilder;
+
+    /// The paper's Fig. 1(a) transit network; reused as a fixture across the
+    /// workspace via [`crate::fixtures::transit_graph`].
+    fn transit() -> TemporalGraph {
+        crate::fixtures::transit_graph()
+    }
+
+    #[test]
+    fn fixture_shape() {
+        let g = transit();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.lifespan(), Interval::from_start(0));
+    }
+
+    #[test]
+    fn adjacency_round_trip() {
+        let g = transit();
+        let a = g.vertex_index(VertexId(0)).unwrap();
+        let b = g.vertex_index(VertexId(1)).unwrap();
+        // A has out-edges to B, C and D.
+        let outs: Vec<VertexId> = g
+            .out_edges(a)
+            .iter()
+            .map(|&e| g.vertex(g.edge(e).dst).vid)
+            .collect();
+        assert_eq!(outs.len(), 3);
+        assert!(outs.contains(&VertexId(1)));
+        assert!(outs.contains(&VertexId(2)));
+        assert!(outs.contains(&VertexId(3)));
+        // B's only in-edge is from A.
+        let ins: Vec<VertexId> = g
+            .in_edges(b)
+            .iter()
+            .map(|&e| g.vertex(g.edge(e).src).vid)
+            .collect();
+        assert_eq!(ins, vec![VertexId(0)]);
+        assert_eq!(g.out_degree(a), 3);
+        assert_eq!(g.in_degree(a), 0);
+    }
+
+    #[test]
+    fn overlapping_edge_scans() {
+        let g = transit();
+        let a = g.vertex_index(VertexId(0)).unwrap();
+        // Over [0,2), only A->C ([1,3)) and A->D ([1,4)) are live; A->B
+        // starts at 3.
+        let w = Interval::new(0, 2);
+        let mut hits: Vec<VertexId> = g
+            .out_edges_overlapping(a, w)
+            .map(|(_, e)| g.vertex(e.dst).vid)
+            .collect();
+        hits.sort();
+        assert_eq!(hits, vec![VertexId(2), VertexId(3)]);
+        assert_eq!(g.out_edges_overlapping(a, Interval::new(6, 9)).count(), 0);
+    }
+
+    #[test]
+    fn property_lookup() {
+        let g = transit();
+        let a = g.vertex_index(VertexId(0)).unwrap();
+        let cost = g.label("travel-cost").unwrap();
+        // A->B carries cost 4 over [3,5) and 3 over [5,6).
+        let ab = g
+            .out_edges(a)
+            .iter()
+            .copied()
+            .find(|&e| g.vertex(g.edge(e).dst).vid == VertexId(1))
+            .unwrap();
+        assert_eq!(g.edge_property_at(ab, cost, 3).and_then(PropValue::as_long), Some(4));
+        assert_eq!(g.edge_property_at(ab, cost, 5).and_then(PropValue::as_long), Some(3));
+        assert_eq!(g.edge_property_at(ab, cost, 6), None);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TemporalGraphBuilder::new().build().unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.lifespan(), Interval::all());
+    }
+
+    #[test]
+    fn multigraph_parallel_edges() {
+        let mut b = TemporalGraphBuilder::new();
+        b.add_vertex(VertexId(1), Interval::new(0, 10)).unwrap();
+        b.add_vertex(VertexId(2), Interval::new(0, 10)).unwrap();
+        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(0, 5)).unwrap();
+        b.add_edge(EdgeId(2), VertexId(1), VertexId(2), Interval::new(5, 10)).unwrap();
+        let g = b.build().unwrap();
+        let v1 = g.vertex_index(VertexId(1)).unwrap();
+        assert_eq!(g.out_degree(v1), 2);
+    }
+}

@@ -1,0 +1,316 @@
+//! Plain-text persistence for temporal graphs.
+//!
+//! The format is line-oriented and diff-friendly; it exists so generated
+//! datasets and fixtures can be saved and reloaded without a binary
+//! serialization dependency:
+//!
+//! ```text
+//! # comment
+//! V  <vid> <start> <end>
+//! E  <eid> <src-vid> <dst-vid> <start> <end>
+//! VP <vid> <label> <start> <end> <value>
+//! EP <eid> <label> <start> <end> <value>
+//! ```
+//!
+//! `start`/`end` accept `-inf`/`inf`. Values are typed by prefix:
+//! `i:<int>`, `f:<float>`, `b:<bool>`, `s:<escaped text>`.
+
+use crate::builder::TemporalGraphBuilder;
+use crate::graph::{EdgeId, TemporalGraph, VertexId};
+use crate::property::PropValue;
+use crate::time::{Interval, Time, TIME_MAX, TIME_MIN};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from reading the text format.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based number and a reason.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The parsed data violates the graph constraints.
+    Graph(crate::error::GraphError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, reason } => write!(f, "line {line}: {reason}"),
+            IoError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<crate::error::GraphError> for IoError {
+    fn from(e: crate::error::GraphError) -> Self {
+        IoError::Graph(e)
+    }
+}
+
+fn fmt_time(t: Time) -> String {
+    match t {
+        TIME_MIN => "-inf".to_owned(),
+        TIME_MAX => "inf".to_owned(),
+        v => v.to_string(),
+    }
+}
+
+fn parse_time(s: &str) -> Option<Time> {
+    match s {
+        "-inf" => Some(TIME_MIN),
+        "inf" => Some(TIME_MAX),
+        v => v.parse().ok(),
+    }
+}
+
+fn fmt_value(v: &PropValue) -> String {
+    match v {
+        PropValue::Long(x) => format!("i:{x}"),
+        PropValue::Double(x) => format!("f:{x}"),
+        PropValue::Bool(x) => format!("b:{x}"),
+        PropValue::Text(x) => format!("s:{}", x.replace('\\', "\\\\").replace(' ', "\\_")),
+    }
+}
+
+fn parse_value(s: &str) -> Option<PropValue> {
+    let (tag, rest) = s.split_once(':')?;
+    match tag {
+        "i" => rest.parse().ok().map(PropValue::Long),
+        "f" => rest.parse().ok().map(PropValue::Double),
+        "b" => rest.parse().ok().map(PropValue::Bool),
+        "s" => Some(PropValue::Text(rest.replace("\\_", " ").replace("\\\\", "\\"))),
+        _ => None,
+    }
+}
+
+/// Serializes `graph` into the text format.
+pub fn write_text<W: Write>(graph: &TemporalGraph, out: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(out);
+    let mut line = String::new();
+    for (_, v) in graph.vertices() {
+        line.clear();
+        let _ = write!(
+            line,
+            "V {} {} {}",
+            v.vid.0,
+            fmt_time(v.lifespan.start()),
+            fmt_time(v.lifespan.end())
+        );
+        writeln!(w, "{line}")?;
+        for (label, iv, val) in v.props.iter() {
+            let name = graph.labels().name(label).unwrap_or("?");
+            writeln!(
+                w,
+                "VP {} {} {} {} {}",
+                v.vid.0,
+                name,
+                fmt_time(iv.start()),
+                fmt_time(iv.end()),
+                fmt_value(val)
+            )?;
+        }
+    }
+    for (_, e) in graph.edges() {
+        writeln!(
+            w,
+            "E {} {} {} {} {}",
+            e.eid.0,
+            graph.vertex(e.src).vid.0,
+            graph.vertex(e.dst).vid.0,
+            fmt_time(e.lifespan.start()),
+            fmt_time(e.lifespan.end())
+        )?;
+        for (label, iv, val) in e.props.iter() {
+            let name = graph.labels().name(label).unwrap_or("?");
+            writeln!(
+                w,
+                "EP {} {} {} {} {}",
+                e.eid.0,
+                name,
+                fmt_time(iv.start()),
+                fmt_time(iv.end()),
+                fmt_value(val)
+            )?;
+        }
+    }
+    w.flush()
+}
+
+/// Parses a graph from the text format.
+pub fn read_text<R: Read>(input: R) -> Result<TemporalGraph, IoError> {
+    let reader = BufReader::new(input);
+    let mut b = TemporalGraphBuilder::new();
+    let bad = |line: usize, reason: &str| IoError::Parse { line, reason: reason.to_owned() };
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lno = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let tag = parts.next().unwrap();
+        let fields: Vec<&str> = parts.collect();
+        let interval = |a: &str, b2: &str| -> Option<Interval> {
+            Interval::try_new(parse_time(a)?, parse_time(b2)?)
+        };
+        match tag {
+            "V" => {
+                let [vid, s, e] = fields[..] else { return Err(bad(lno, "V needs 3 fields")) };
+                let vid = vid.parse().map_err(|_| bad(lno, "bad vid"))?;
+                let iv = interval(s, e).ok_or_else(|| bad(lno, "bad interval"))?;
+                b.add_vertex(VertexId(vid), iv)?;
+            }
+            "E" => {
+                let [eid, src, dst, s, e] = fields[..] else {
+                    return Err(bad(lno, "E needs 5 fields"));
+                };
+                let eid = eid.parse().map_err(|_| bad(lno, "bad eid"))?;
+                let src = src.parse().map_err(|_| bad(lno, "bad src"))?;
+                let dst = dst.parse().map_err(|_| bad(lno, "bad dst"))?;
+                let iv = interval(s, e).ok_or_else(|| bad(lno, "bad interval"))?;
+                b.add_edge(EdgeId(eid), VertexId(src), VertexId(dst), iv)?;
+            }
+            "VP" | "EP" => {
+                let [id, label, s, e, val] = fields[..] else {
+                    return Err(bad(lno, "property needs 5 fields"));
+                };
+                let id: u64 = id.parse().map_err(|_| bad(lno, "bad id"))?;
+                let iv = interval(s, e).ok_or_else(|| bad(lno, "bad interval"))?;
+                let val = parse_value(val).ok_or_else(|| bad(lno, "bad value"))?;
+                if tag == "VP" {
+                    b.vertex_property(VertexId(id), label, iv, val)?;
+                } else {
+                    b.edge_property(EdgeId(id), label, iv, val)?;
+                }
+            }
+            other => return Err(bad(lno, &format!("unknown record tag {other:?}"))),
+        }
+    }
+    Ok(b.build()?)
+}
+
+/// Writes the graph to `path` in the text format.
+pub fn save<P: AsRef<Path>>(graph: &TemporalGraph, path: P) -> std::io::Result<()> {
+    write_text(graph, std::fs::File::create(path)?)
+}
+
+/// Reads a graph from `path` in the text format.
+pub fn load<P: AsRef<Path>>(path: P) -> Result<TemporalGraph, IoError> {
+    read_text(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::transit_graph;
+
+    fn round_trip(g: &TemporalGraph) -> TemporalGraph {
+        let mut buf = Vec::new();
+        write_text(g, &mut buf).unwrap();
+        read_text(buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn transit_round_trips() {
+        let g = transit_graph();
+        let g2 = round_trip(&g);
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        for (i, v) in g.vertices() {
+            let v2 = g2.vertex(g2.vertex_index(v.vid).unwrap());
+            assert_eq!(v.lifespan, v2.lifespan, "vertex {i:?}");
+            assert_eq!(v.props.len(), v2.props.len());
+        }
+        let cost = g2.label("travel-cost").unwrap();
+        let a = g2.vertex_index(VertexId(0)).unwrap();
+        let e = g2.out_edges(a)[0];
+        assert!(g2.edge_property_at(e, cost, 3).is_some());
+    }
+
+    #[test]
+    fn value_kinds_round_trip() {
+        let mut b = TemporalGraphBuilder::new();
+        b.add_vertex(VertexId(1), Interval::new(0, 10)).unwrap();
+        b.vertex_property(VertexId(1), "i", Interval::new(0, 1), PropValue::Long(-7)).unwrap();
+        b.vertex_property(VertexId(1), "f", Interval::new(0, 1), PropValue::Double(2.5)).unwrap();
+        b.vertex_property(VertexId(1), "b", Interval::new(0, 1), PropValue::Bool(true)).unwrap();
+        b.vertex_property(
+            VertexId(1),
+            "s",
+            Interval::new(0, 1),
+            PropValue::Text("hello world \\ again".into()),
+        )
+        .unwrap();
+        let g2 = round_trip(&b.build().unwrap());
+        let v = g2.vertex_index(VertexId(1)).unwrap();
+        let get = |n: &str| g2.vertex_property_at(v, g2.label(n).unwrap(), 0).cloned();
+        assert_eq!(get("i"), Some(PropValue::Long(-7)));
+        assert_eq!(get("f"), Some(PropValue::Double(2.5)));
+        assert_eq!(get("b"), Some(PropValue::Bool(true)));
+        assert_eq!(get("s"), Some(PropValue::Text("hello world \\ again".into())));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\nV 1 0 5\n  \nV 2 0 5\nE 9 1 2 1 4\n";
+        let g = read_text(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_location() {
+        for (text, needle) in [
+            ("V 1 0", "3 fields"),
+            ("E 1 2 3 0", "5 fields"),
+            ("V x 0 5", "bad vid"),
+            ("V 1 5 5", "bad interval"),
+            ("Q 1 2 3", "unknown record"),
+            ("V 1 0 5\nVP 1 w 0 5 z:9", "bad value"),
+        ] {
+            let err = read_text(text.as_bytes()).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn constraint_violations_surface_as_graph_errors() {
+        let text = "V 1 0 5\nV 2 0 5\nE 1 1 2 0 9\n"; // edge outlives vertices
+        let err = read_text(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Graph(_)), "{err}");
+    }
+
+    #[test]
+    fn infinite_endpoints_round_trip() {
+        let mut b = TemporalGraphBuilder::new();
+        b.add_vertex(VertexId(1), Interval::all()).unwrap();
+        b.add_vertex(VertexId(2), Interval::from_start(3)).unwrap();
+        let g2 = round_trip(&b.build().unwrap());
+        assert_eq!(
+            g2.vertex(g2.vertex_index(VertexId(1)).unwrap()).lifespan,
+            Interval::all()
+        );
+        assert_eq!(
+            g2.vertex(g2.vertex_index(VertexId(2)).unwrap()).lifespan,
+            Interval::from_start(3)
+        );
+    }
+}

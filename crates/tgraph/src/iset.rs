@@ -1,0 +1,694 @@
+//! Interval-keyed collections.
+//!
+//! Two flavours back the whole system:
+//!
+//! * [`IntervalMap`] — a set of *non-overlapping* interval→value entries that
+//!   may have gaps. Property timelines (Sec. III, `AV`/`AE`) are interval
+//!   maps: a label may have distinct values for non-overlapping intervals.
+//! * [`IntervalPartition`] — a *contiguous cover* of a fixed lifespan by
+//!   non-overlapping interval→value entries. Dynamically partitioned vertex
+//!   states (Sec. IV-A1) are interval partitions: the partitioned intervals
+//!   cover the entire lifespan of the vertex and no two overlap, and are
+//!   split on demand when a sub-interval is updated.
+
+use crate::time::{Interval, Time};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error returned when inserting an entry that overlaps an existing one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverlapError {
+    /// The interval of the rejected insertion.
+    pub inserted: Interval,
+    /// The existing interval it collides with.
+    pub existing: Interval,
+}
+
+impl fmt::Display for OverlapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "interval {} overlaps existing entry {}",
+            self.inserted, self.existing
+        )
+    }
+}
+
+impl std::error::Error for OverlapError {}
+
+/// A sorted collection of non-overlapping `(Interval, V)` entries, possibly
+/// with gaps between them.
+///
+/// ```
+/// use graphite_tgraph::{iset::IntervalMap, time::Interval};
+/// let mut m = IntervalMap::new();
+/// m.insert(Interval::new(3, 5), 4).unwrap();
+/// m.insert(Interval::new(5, 6), 3).unwrap();
+/// assert_eq!(m.value_at(4), Some(&4));
+/// assert_eq!(m.value_at(6), None);
+/// assert!(m.insert(Interval::new(4, 7), 9).is_err());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalMap<V> {
+    entries: Vec<(Interval, V)>,
+}
+
+impl<V> Default for IntervalMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> IntervalMap<V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        IntervalMap { entries: Vec::new() }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Index of the first entry whose end is after `t` (candidate container
+    /// of `t`), via binary search on the sorted entries.
+    fn lower_bound(&self, t: Time) -> usize {
+        self.entries.partition_point(|(iv, _)| iv.end() <= t)
+    }
+
+    /// Inserts `(interval, value)`, rejecting any overlap with an existing
+    /// entry. Adjacent (meeting) entries are allowed and are *not* merged:
+    /// the map preserves the caller's segmentation.
+    pub fn insert(&mut self, interval: Interval, value: V) -> Result<(), OverlapError> {
+        let idx = self.lower_bound(interval.start());
+        if let Some((existing, _)) = self.entries.get(idx) {
+            if existing.intersects(interval) {
+                return Err(OverlapError { inserted: interval, existing: *existing });
+            }
+        }
+        self.entries.insert(idx, (interval, value));
+        Ok(())
+    }
+
+    /// The value at time-point `t`, if covered.
+    pub fn value_at(&self, t: Time) -> Option<&V> {
+        let idx = self.lower_bound(t);
+        match self.entries.get(idx) {
+            Some((iv, v)) if iv.contains_point(t) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The full entry covering time-point `t`, if any.
+    pub fn entry_at(&self, t: Time) -> Option<(Interval, &V)> {
+        let idx = self.lower_bound(t);
+        match self.entries.get(idx) {
+            Some((iv, v)) if iv.contains_point(t) => Some((*iv, v)),
+            _ => None,
+        }
+    }
+
+    /// Iterates entries in temporal order.
+    pub fn iter(&self) -> impl Iterator<Item = (Interval, &V)> + '_ {
+        self.entries.iter().map(|(iv, v)| (*iv, v))
+    }
+
+    /// Iterates the entries intersecting `window`, in temporal order. The
+    /// yielded intervals are the raw entry intervals (not clipped).
+    pub fn overlapping(&self, window: Interval) -> impl Iterator<Item = (Interval, &V)> + '_ {
+        let from = self.lower_bound(window.start());
+        self.entries[from..]
+            .iter()
+            .take_while(move |(iv, _)| iv.start() < window.end())
+            .map(|(iv, v)| (*iv, v))
+    }
+
+    /// The smallest interval spanning all entries, or `None` when empty.
+    pub fn span(&self) -> Option<Interval> {
+        match (self.entries.first(), self.entries.last()) {
+            (Some((f, _)), Some((l, _))) => Some(f.span(*l)),
+            _ => None,
+        }
+    }
+
+    /// Total number of covered time-points (saturating).
+    pub fn covered_points(&self) -> i64 {
+        self.entries
+            .iter()
+            .fold(0i64, |acc, (iv, _)| acc.saturating_add(iv.len()))
+    }
+
+    /// Builds a map from arbitrary-order entries, failing on overlap.
+    pub fn from_entries(
+        mut entries: Vec<(Interval, V)>,
+    ) -> Result<Self, OverlapError> {
+        entries.sort_by_key(|(iv, _)| (iv.start(), iv.end()));
+        for w in entries.windows(2) {
+            if w[0].0.intersects(w[1].0) {
+                return Err(OverlapError { inserted: w[1].0, existing: w[0].0 });
+            }
+        }
+        Ok(IntervalMap { entries })
+    }
+
+    /// Consumes the map, returning its sorted entries.
+    pub fn into_entries(self) -> Vec<(Interval, V)> {
+        self.entries
+    }
+}
+
+impl<V> IntervalMap<V> {
+    /// The complement of the covered intervals within `window`: the gaps.
+    /// Useful for questions like "when is this vertex *not* reachable".
+    ///
+    /// ```
+    /// use graphite_tgraph::{iset::IntervalMap, time::Interval};
+    /// let mut m = IntervalMap::new();
+    /// m.insert(Interval::new(2, 4), ()).unwrap();
+    /// m.insert(Interval::new(6, 8), ()).unwrap();
+    /// let gaps = m.gaps(Interval::new(0, 10));
+    /// assert_eq!(gaps, vec![
+    ///     Interval::new(0, 2),
+    ///     Interval::new(4, 6),
+    ///     Interval::new(8, 10),
+    /// ]);
+    /// ```
+    pub fn gaps(&self, window: Interval) -> Vec<Interval> {
+        let mut out = Vec::new();
+        let mut cursor = window.start();
+        for (iv, _) in self.overlapping(window) {
+            if iv.start() > cursor {
+                out.push(Interval::new(cursor, iv.start()));
+            }
+            cursor = cursor.max(iv.end());
+            if cursor >= window.end() {
+                break;
+            }
+        }
+        if cursor < window.end() {
+            out.push(Interval::new(cursor, window.end()));
+        }
+        out
+    }
+
+    /// Removes the entry whose interval exactly equals `interval`,
+    /// returning its value.
+    pub fn remove(&mut self, interval: Interval) -> Option<V> {
+        let idx = self.lower_bound(interval.start());
+        match self.entries.get(idx) {
+            Some((iv, _)) if *iv == interval => Some(self.entries.remove(idx).1),
+            _ => None,
+        }
+    }
+}
+
+impl<V: PartialEq> IntervalMap<V> {
+    /// Merges adjacent (meeting) entries that hold equal values. Used when
+    /// reporting results, so that output segmentation is maximal.
+    pub fn coalesce(&mut self) {
+        if self.entries.len() < 2 {
+            return;
+        }
+        let mut out: Vec<(Interval, V)> = Vec::with_capacity(self.entries.len());
+        for (iv, v) in self.entries.drain(..) {
+            match out.last_mut() {
+                Some((last_iv, last_v)) if last_iv.meets(iv) && *last_v == v => {
+                    *last_iv = last_iv.span(iv);
+                }
+                _ => out.push((iv, v)),
+            }
+        }
+        self.entries = out;
+    }
+}
+
+/// A contiguous, non-overlapping cover of a fixed `lifespan` by
+/// `(Interval, V)` entries — the representation of a dynamically partitioned
+/// vertex state (Sec. IV-A1).
+///
+/// Invariants (checked in debug builds):
+/// * the first entry starts at `lifespan.start()` and the last ends at
+///   `lifespan.end()`;
+/// * consecutive entries meet exactly (`e[i].end == e[i+1].start`).
+///
+/// ```
+/// use graphite_tgraph::{iset::IntervalPartition, time::Interval};
+/// let mut p = IntervalPartition::new(Interval::new(0, 10), 0u32);
+/// p.set(Interval::new(4, 6), 7);
+/// assert_eq!(p.len(), 3);
+/// assert_eq!(p.value_at(5), Some(&7));
+/// assert_eq!(p.value_at(6), Some(&0));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalPartition<V> {
+    lifespan: Interval,
+    entries: Vec<(Interval, V)>,
+}
+
+impl<V: Clone> IntervalPartition<V> {
+    /// A single-entry partition covering the whole lifespan — the initial
+    /// state of every ICM vertex.
+    pub fn new(lifespan: Interval, value: V) -> Self {
+        IntervalPartition { lifespan, entries: vec![(lifespan, value)] }
+    }
+
+    /// Builds a partition from pre-segmented entries.
+    ///
+    /// # Panics
+    /// Panics if the entries do not exactly tile `lifespan`.
+    pub fn from_entries(lifespan: Interval, entries: Vec<(Interval, V)>) -> Self {
+        let p = IntervalPartition { lifespan, entries };
+        p.assert_invariants();
+        p
+    }
+
+    fn assert_invariants(&self) {
+        assert!(!self.entries.is_empty(), "partition must cover its lifespan");
+        assert_eq!(self.entries.first().unwrap().0.start(), self.lifespan.start());
+        assert_eq!(self.entries.last().unwrap().0.end(), self.lifespan.end());
+        for w in self.entries.windows(2) {
+            assert!(
+                w[0].0.meets(w[1].0),
+                "partition entries must tile contiguously: {} then {}",
+                w[0].0,
+                w[1].0
+            );
+        }
+    }
+
+    /// The covered lifespan.
+    pub fn lifespan(&self) -> Interval {
+        self.lifespan
+    }
+
+    /// Number of partitioned intervals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// A partition always has at least one entry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn index_of(&self, t: Time) -> Option<usize> {
+        if !self.lifespan.contains_point(t) {
+            return None;
+        }
+        let idx = self.entries.partition_point(|(iv, _)| iv.end() <= t);
+        debug_assert!(self.entries[idx].0.contains_point(t));
+        Some(idx)
+    }
+
+    /// The value at time-point `t` (`None` outside the lifespan).
+    pub fn value_at(&self, t: Time) -> Option<&V> {
+        self.index_of(t).map(|i| &self.entries[i].1)
+    }
+
+    /// The entry covering time-point `t`, if inside the lifespan.
+    pub fn entry_at(&self, t: Time) -> Option<(Interval, &V)> {
+        self.index_of(t).map(|i| (self.entries[i].0, &self.entries[i].1))
+    }
+
+    /// Iterates the partitioned entries in temporal order.
+    pub fn iter(&self) -> impl Iterator<Item = (Interval, &V)> + '_ {
+        self.entries.iter().map(|(iv, v)| (*iv, v))
+    }
+
+    /// Iterates the entries intersecting `window`, clipped to it.
+    pub fn overlapping(
+        &self,
+        window: Interval,
+    ) -> impl Iterator<Item = (Interval, &V)> + '_ {
+        let from = self.entries.partition_point(|(iv, _)| iv.end() <= window.start());
+        self.entries[from..]
+            .iter()
+            .take_while(move |(iv, _)| iv.start() < window.end())
+            .filter_map(move |(iv, v)| iv.intersect(window).map(|clipped| (clipped, v)))
+    }
+
+    /// Splits the partition at `t` (if `t` is interior to an entry), leaving
+    /// values unchanged. Splitting while replicating state values is always
+    /// valid (Sec. IV-A1).
+    pub fn split_at(&mut self, t: Time) {
+        let Some(idx) = self.index_of(t) else { return };
+        let (iv, _) = self.entries[idx];
+        if iv.start() == t {
+            return;
+        }
+        let v = self.entries[idx].1.clone();
+        self.entries[idx].0 = Interval::new(iv.start(), t);
+        self.entries.insert(idx + 1, (Interval::new(t, iv.end()), v));
+    }
+
+    /// Overwrites the value over `interval ∩ lifespan`, dynamically
+    /// repartitioning: entries partially covered by `interval` are split so
+    /// the write affects exactly the requested sub-interval. A no-op when
+    /// the interval misses the lifespan entirely.
+    pub fn set(&mut self, interval: Interval, value: V) {
+        let Some(clipped) = interval.intersect(self.lifespan) else { return };
+        self.split_at(clipped.start());
+        self.split_at(clipped.end());
+        let from = self.entries.partition_point(|(iv, _)| iv.end() <= clipped.start());
+        let to = self.entries.partition_point(|(iv, _)| iv.start() < clipped.end());
+        debug_assert!(from < to);
+        // Replace the run [from, to) with a single entry holding `value`.
+        self.entries[from] = (clipped, value);
+        self.entries.drain(from + 1..to);
+    }
+
+    /// Applies `f` to every entry overlapping `interval` (clipped to it);
+    /// when `f` returns `Some(new)`, that clipped sub-interval is set to
+    /// `new`. Returns the list of `(sub-interval, new value)` writes
+    /// performed, which the ICM engine uses to know which states changed.
+    pub fn update_overlapping<F>(&mut self, interval: Interval, mut f: F) -> Vec<(Interval, V)>
+    where
+        F: FnMut(Interval, &V) -> Option<V>,
+    {
+        let updates: Vec<(Interval, V)> = self
+            .overlapping(interval)
+            .filter_map(|(clipped, v)| f(clipped, v).map(|nv| (clipped, nv)))
+            .collect();
+        for (iv, v) in &updates {
+            self.set(*iv, v.clone());
+        }
+        updates
+    }
+
+    /// Consumes the partition, returning its entries.
+    pub fn into_entries(self) -> Vec<(Interval, V)> {
+        self.entries
+    }
+}
+
+impl<V: Clone + PartialEq> IntervalPartition<V> {
+    /// Merges consecutive entries with equal values. Keeps results maximal
+    /// and bounds partition growth across supersteps.
+    pub fn coalesce(&mut self) {
+        if self.entries.len() < 2 {
+            return;
+        }
+        let mut out: Vec<(Interval, V)> = Vec::with_capacity(self.entries.len());
+        for (iv, v) in self.entries.drain(..) {
+            match out.last_mut() {
+                Some((last_iv, last_v)) if *last_v == v => {
+                    *last_iv = last_iv.span(iv);
+                }
+                _ => out.push((iv, v)),
+            }
+        }
+        self.entries = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    mod interval_map {
+        use super::*;
+
+        #[test]
+        fn insert_and_lookup() {
+            let mut m = IntervalMap::new();
+            m.insert(Interval::new(5, 8), "b").unwrap();
+            m.insert(Interval::new(0, 3), "a").unwrap();
+            m.insert(Interval::new(8, 9), "c").unwrap();
+            assert_eq!(m.len(), 3);
+            assert_eq!(m.value_at(0), Some(&"a"));
+            assert_eq!(m.value_at(2), Some(&"a"));
+            assert_eq!(m.value_at(3), None); // gap
+            assert_eq!(m.value_at(4), None);
+            assert_eq!(m.value_at(5), Some(&"b"));
+            assert_eq!(m.value_at(8), Some(&"c"));
+            assert_eq!(m.value_at(9), None);
+            assert_eq!(m.entry_at(6), Some((Interval::new(5, 8), &"b")));
+        }
+
+        #[test]
+        fn overlap_rejected() {
+            let mut m = IntervalMap::new();
+            m.insert(Interval::new(2, 6), 1).unwrap();
+            let err = m.insert(Interval::new(5, 9), 2).unwrap_err();
+            assert_eq!(err.existing, Interval::new(2, 6));
+            // Meeting is fine.
+            m.insert(Interval::new(6, 9), 2).unwrap();
+            // Overlap from the left is also rejected.
+            assert!(m.insert(Interval::new(0, 3), 3).is_err());
+            assert!(m.insert(Interval::new(0, 2), 3).is_ok());
+        }
+
+        #[test]
+        fn overlapping_iteration() {
+            let mut m = IntervalMap::new();
+            for (s, e, v) in [(0, 2, 'a'), (3, 5, 'b'), (5, 9, 'c'), (12, 20, 'd')] {
+                m.insert(Interval::new(s, e), v).unwrap();
+            }
+            let hits: Vec<_> = m.overlapping(Interval::new(4, 13)).collect();
+            assert_eq!(
+                hits,
+                vec![
+                    (Interval::new(3, 5), &'b'),
+                    (Interval::new(5, 9), &'c'),
+                    (Interval::new(12, 20), &'d'),
+                ]
+            );
+            assert_eq!(m.overlapping(Interval::new(9, 12)).count(), 0);
+        }
+
+        #[test]
+        fn from_entries_validates() {
+            let ok = IntervalMap::from_entries(vec![
+                (Interval::new(5, 9), 1),
+                (Interval::new(0, 5), 2),
+            ])
+            .unwrap();
+            assert_eq!(ok.value_at(5), Some(&1));
+            let bad = IntervalMap::from_entries(vec![
+                (Interval::new(0, 6), 1),
+                (Interval::new(5, 9), 2),
+            ]);
+            assert!(bad.is_err());
+        }
+
+        #[test]
+        fn coalesce_merges_adjacent_equal() {
+            let mut m = IntervalMap::from_entries(vec![
+                (Interval::new(0, 3), 1),
+                (Interval::new(3, 5), 1),
+                (Interval::new(5, 7), 2),
+                (Interval::new(9, 11), 2), // gap before this one: not merged
+            ])
+            .unwrap();
+            m.coalesce();
+            assert_eq!(
+                m.into_entries(),
+                vec![
+                    (Interval::new(0, 5), 1),
+                    (Interval::new(5, 7), 2),
+                    (Interval::new(9, 11), 2),
+                ]
+            );
+        }
+
+        #[test]
+        fn gaps_complement_coverage() {
+            let mut m = IntervalMap::new();
+            m.insert(Interval::new(2, 4), 'a').unwrap();
+            m.insert(Interval::new(4, 5), 'b').unwrap();
+            m.insert(Interval::new(8, 12), 'c').unwrap();
+            assert_eq!(
+                m.gaps(Interval::new(0, 10)),
+                vec![Interval::new(0, 2), Interval::new(5, 8)]
+            );
+            // Window fully covered: no gaps.
+            assert_eq!(m.gaps(Interval::new(2, 5)), Vec::<Interval>::new());
+            // Empty map: the whole window is one gap.
+            let empty: IntervalMap<u8> = IntervalMap::new();
+            assert_eq!(empty.gaps(Interval::new(3, 7)), vec![Interval::new(3, 7)]);
+        }
+
+        #[test]
+        fn remove_exact_entries_only() {
+            let mut m = IntervalMap::new();
+            m.insert(Interval::new(2, 4), 'a').unwrap();
+            assert_eq!(m.remove(Interval::new(2, 3)), None);
+            assert_eq!(m.remove(Interval::new(2, 4)), Some('a'));
+            assert_eq!(m.len(), 0);
+            // Freed space accepts new entries.
+            m.insert(Interval::new(1, 5), 'z').unwrap();
+        }
+
+        #[test]
+        fn span_and_covered_points() {
+            let m = IntervalMap::from_entries(vec![
+                (Interval::new(0, 2), 'x'),
+                (Interval::new(10, 13), 'y'),
+            ])
+            .unwrap();
+            assert_eq!(m.span(), Some(Interval::new(0, 13)));
+            assert_eq!(m.covered_points(), 5);
+            assert_eq!(IntervalMap::<u8>::new().span(), None);
+        }
+    }
+
+    mod interval_partition {
+        use super::*;
+
+        #[test]
+        fn initial_single_cover() {
+            let p = IntervalPartition::new(Interval::new(0, 10), 42);
+            assert_eq!(p.len(), 1);
+            assert_eq!(p.value_at(0), Some(&42));
+            assert_eq!(p.value_at(9), Some(&42));
+            assert_eq!(p.value_at(10), None);
+            assert_eq!(p.value_at(-1), None);
+        }
+
+        #[test]
+        fn set_repartitions_interior() {
+            let mut p = IntervalPartition::new(Interval::new(0, 10), 0);
+            p.set(Interval::new(4, 6), 7);
+            let entries: Vec<_> = p.iter().map(|(iv, v)| (iv, *v)).collect();
+            assert_eq!(
+                entries,
+                vec![
+                    (Interval::new(0, 4), 0),
+                    (Interval::new(4, 6), 7),
+                    (Interval::new(6, 10), 0),
+                ]
+            );
+        }
+
+        #[test]
+        fn set_prefix_matches_paper_rule() {
+            // Sec. IV-A1: updating the initial sub-interval [ts, te') of
+            // <[ts,te), s> replaces it with <[ts,te'), s'> and <[te',te), s>.
+            let mut p = IntervalPartition::new(Interval::new(3, 9), 'a');
+            p.set(Interval::new(3, 5), 'b');
+            let entries: Vec<_> = p.iter().map(|(iv, v)| (iv, *v)).collect();
+            assert_eq!(
+                entries,
+                vec![(Interval::new(3, 5), 'b'), (Interval::new(5, 9), 'a')]
+            );
+        }
+
+        #[test]
+        fn set_clamps_to_lifespan() {
+            let mut p = IntervalPartition::new(Interval::new(2, 8), 0);
+            p.set(Interval::new(-5, 4), 1);
+            p.set(Interval::new(6, 100), 2);
+            let entries: Vec<_> = p.iter().map(|(iv, v)| (iv, *v)).collect();
+            assert_eq!(
+                entries,
+                vec![
+                    (Interval::new(2, 4), 1),
+                    (Interval::new(4, 6), 0),
+                    (Interval::new(6, 8), 2),
+                ]
+            );
+            // Entirely outside: no-op.
+            p.set(Interval::new(100, 200), 9);
+            assert_eq!(p.len(), 3);
+        }
+
+        #[test]
+        fn set_spanning_multiple_entries_collapses_them() {
+            let mut p = IntervalPartition::new(Interval::new(0, 10), 0);
+            p.set(Interval::new(2, 4), 1);
+            p.set(Interval::new(6, 8), 2);
+            assert_eq!(p.len(), 5);
+            p.set(Interval::new(1, 9), 3);
+            let entries: Vec<_> = p.iter().map(|(iv, v)| (iv, *v)).collect();
+            assert_eq!(
+                entries,
+                vec![
+                    (Interval::new(0, 1), 0),
+                    (Interval::new(1, 9), 3),
+                    (Interval::new(9, 10), 0),
+                ]
+            );
+        }
+
+        #[test]
+        fn set_whole_lifespan() {
+            let mut p = IntervalPartition::new(Interval::new(0, 10), 0);
+            p.set(Interval::new(3, 7), 5);
+            p.set(Interval::all(), 9);
+            assert_eq!(p.len(), 1);
+            assert_eq!(p.value_at(5), Some(&9));
+        }
+
+        #[test]
+        fn split_at_noops_on_boundary_and_outside() {
+            let mut p = IntervalPartition::new(Interval::new(0, 10), 0);
+            p.split_at(0);
+            p.split_at(10);
+            p.split_at(-3);
+            assert_eq!(p.len(), 1);
+            p.split_at(4);
+            assert_eq!(p.len(), 2);
+            p.split_at(4);
+            assert_eq!(p.len(), 2);
+        }
+
+        #[test]
+        fn overlapping_clips() {
+            let mut p = IntervalPartition::new(Interval::new(0, 10), 0);
+            p.set(Interval::new(4, 6), 7);
+            let hits: Vec<_> = p
+                .overlapping(Interval::new(5, 8))
+                .map(|(iv, v)| (iv, *v))
+                .collect();
+            assert_eq!(
+                hits,
+                vec![(Interval::new(5, 6), 7), (Interval::new(6, 8), 0)]
+            );
+        }
+
+        #[test]
+        fn update_overlapping_reports_writes() {
+            let mut p = IntervalPartition::new(Interval::new(0, 10), 10);
+            // Lower the value only where the incoming "cost" 5 beats it.
+            p.set(Interval::new(0, 4), 3);
+            let writes =
+                p.update_overlapping(Interval::new(2, 8), |_, &old| (5 < old).then_some(5));
+            assert_eq!(writes, vec![(Interval::new(4, 8), 5)]);
+            assert_eq!(p.value_at(3), Some(&3));
+            assert_eq!(p.value_at(5), Some(&5));
+            assert_eq!(p.value_at(9), Some(&10));
+        }
+
+        #[test]
+        fn coalesce_restores_maximality() {
+            let mut p = IntervalPartition::new(Interval::new(0, 10), 0);
+            p.set(Interval::new(2, 5), 0); // same value: creates splits
+            assert!(p.len() > 1);
+            p.coalesce();
+            assert_eq!(p.len(), 1);
+        }
+
+        #[test]
+        fn unbounded_lifespan() {
+            let mut p = IntervalPartition::new(Interval::all(), u64::MAX);
+            p.set(Interval::from_start(9), 5);
+            assert_eq!(p.value_at(8), Some(&u64::MAX));
+            assert_eq!(p.value_at(1_000_000), Some(&5));
+            assert_eq!(p.len(), 2);
+        }
+
+        #[test]
+        #[should_panic(expected = "tile contiguously")]
+        fn from_entries_rejects_gaps() {
+            let _ = IntervalPartition::from_entries(
+                Interval::new(0, 10),
+                vec![(Interval::new(0, 4), 1), (Interval::new(5, 10), 2)],
+            );
+        }
+    }
+}

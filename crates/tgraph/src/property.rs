@@ -1,0 +1,308 @@
+//! Temporal property values and timelines (Sec. III, `L`, `AV`, `AE`).
+//!
+//! A property is a `(label, value, interval)` triple attached to a vertex or
+//! edge. A label may hold distinct values over non-overlapping intervals
+//! within the entity's lifespan. Labels are interned to compact `LabelId`s
+//! so hot algorithm loops never compare strings.
+
+use crate::iset::{IntervalMap, OverlapError};
+use crate::time::{Interval, Time};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned property-label identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LabelId(pub u32);
+
+/// A typed temporal property value.
+///
+/// The paper's algorithms only need numeric edge properties
+/// (`travel-time`, `travel-cost`), but the model permits arbitrary typed
+/// values, so we provide the usual property-graph scalar types.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PropValue {
+    /// 64-bit signed integer.
+    Long(i64),
+    /// 64-bit float.
+    Double(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// UTF-8 text.
+    Text(String),
+}
+
+impl PropValue {
+    /// The value as `i64` when it is a `Long`.
+    pub fn as_long(&self) -> Option<i64> {
+        match self {
+            PropValue::Long(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` when numeric (`Long` widens losslessly enough for
+    /// the weights used here).
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            PropValue::Double(v) => Some(*v),
+            PropValue::Long(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool` when it is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            PropValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` when it is `Text`.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            PropValue::Text(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for PropValue {
+    fn from(v: i64) -> Self {
+        PropValue::Long(v)
+    }
+}
+impl From<f64> for PropValue {
+    fn from(v: f64) -> Self {
+        PropValue::Double(v)
+    }
+}
+impl From<bool> for PropValue {
+    fn from(v: bool) -> Self {
+        PropValue::Bool(v)
+    }
+}
+impl From<&str> for PropValue {
+    fn from(v: &str) -> Self {
+        PropValue::Text(v.to_owned())
+    }
+}
+
+impl fmt::Display for PropValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropValue::Long(v) => write!(f, "{v}"),
+            PropValue::Double(v) => write!(f, "{v}"),
+            PropValue::Bool(v) => write!(f, "{v}"),
+            PropValue::Text(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+/// Bidirectional label ↔ `LabelId` interner shared by a graph.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LabelInterner {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, LabelId>,
+}
+
+impl LabelInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its stable id.
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = LabelId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned label.
+    pub fn get(&self, name: &str) -> Option<LabelId> {
+        self.index.get(name).copied()
+    }
+
+    /// The label string for `id`.
+    pub fn name(&self, id: LabelId) -> Option<&str> {
+        self.names.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Number of distinct labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when no label was interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Rebuilds the name→id index after deserialization (the index is not
+    /// serialized).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), LabelId(i as u32)))
+            .collect();
+    }
+}
+
+/// All temporal properties of a single vertex or edge: one timeline per
+/// label, each a gap-permitting [`IntervalMap`] of values.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Properties {
+    timelines: Vec<(LabelId, IntervalMap<PropValue>)>,
+}
+
+impl Properties {
+    /// No properties.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `value` for `label` over `interval`; errors when the label
+    /// already has a value on an overlapping interval (data-model
+    /// Definition 1: timelines per label are non-overlapping).
+    pub fn insert(
+        &mut self,
+        label: LabelId,
+        interval: Interval,
+        value: PropValue,
+    ) -> Result<(), OverlapError> {
+        match self.timelines.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, tl)) => tl.insert(interval, value),
+            None => {
+                let mut tl = IntervalMap::new();
+                tl.insert(interval, value)?;
+                self.timelines.push((label, tl));
+                Ok(())
+            }
+        }
+    }
+
+    /// The timeline for `label`, if any value was ever set.
+    pub fn timeline(&self, label: LabelId) -> Option<&IntervalMap<PropValue>> {
+        self.timelines.iter().find(|(l, _)| *l == label).map(|(_, tl)| tl)
+    }
+
+    /// The value of `label` at time-point `t`.
+    pub fn value_at(&self, label: LabelId, t: Time) -> Option<&PropValue> {
+        self.timeline(label)?.value_at(t)
+    }
+
+    /// Iterates `(label, interval, value)` over all timelines.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, Interval, &PropValue)> + '_ {
+        self.timelines
+            .iter()
+            .flat_map(|(l, tl)| tl.iter().map(move |(iv, v)| (*l, iv, v)))
+    }
+
+    /// Distinct labels present.
+    pub fn labels(&self) -> impl Iterator<Item = LabelId> + '_ {
+        self.timelines.iter().map(|(l, _)| *l)
+    }
+
+    /// `true` when no property is set.
+    pub fn is_empty(&self) -> bool {
+        self.timelines.is_empty()
+    }
+
+    /// Total number of `(label, interval, value)` entries.
+    pub fn len(&self) -> usize {
+        self.timelines.iter().map(|(_, tl)| tl.len()).sum()
+    }
+
+    /// Average lifespan (in time units) of the property entries, or `None`
+    /// when there are no properties. Used for Table 1 statistics.
+    pub fn mean_entry_lifespan(&self) -> Option<f64> {
+        let n = self.len();
+        if n == 0 {
+            return None;
+        }
+        let total: i64 = self
+            .timelines
+            .iter()
+            .flat_map(|(_, tl)| tl.iter())
+            .fold(0i64, |acc, (iv, _)| acc.saturating_add(iv.len()));
+        Some(total as f64 / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prop_value_conversions() {
+        assert_eq!(PropValue::from(3i64).as_long(), Some(3));
+        assert_eq!(PropValue::from(3i64).as_double(), Some(3.0));
+        assert_eq!(PropValue::from(2.5f64).as_double(), Some(2.5));
+        assert_eq!(PropValue::from(2.5f64).as_long(), None);
+        assert_eq!(PropValue::from(true).as_bool(), Some(true));
+        assert_eq!(PropValue::from("hi").as_text(), Some("hi"));
+        assert_eq!(PropValue::from("hi").as_long(), None);
+    }
+
+    #[test]
+    fn interner_round_trip() {
+        let mut i = LabelInterner::new();
+        let a = i.intern("travel-time");
+        let b = i.intern("travel-cost");
+        let a2 = i.intern("travel-time");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.name(a), Some("travel-time"));
+        assert_eq!(i.get("travel-cost"), Some(b));
+        assert_eq!(i.get("missing"), None);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn interner_index_rebuild() {
+        let mut i = LabelInterner::new();
+        let a = i.intern("x");
+        let mut j = i.clone();
+        j.index.clear();
+        j.rebuild_index();
+        assert_eq!(j.get("x"), Some(a));
+    }
+
+    #[test]
+    fn properties_timeline_semantics() {
+        let mut p = Properties::new();
+        let cost = LabelId(0);
+        let time = LabelId(1);
+        p.insert(cost, Interval::new(3, 5), 4i64.into()).unwrap();
+        p.insert(cost, Interval::new(5, 6), 3i64.into()).unwrap();
+        p.insert(time, Interval::new(0, 10), 1i64.into()).unwrap();
+        assert_eq!(p.value_at(cost, 4).and_then(PropValue::as_long), Some(4));
+        assert_eq!(p.value_at(cost, 5).and_then(PropValue::as_long), Some(3));
+        assert_eq!(p.value_at(cost, 6), None);
+        assert_eq!(p.value_at(time, 6).and_then(PropValue::as_long), Some(1));
+        // Overlap within one label is rejected.
+        assert!(p.insert(cost, Interval::new(4, 6), 9i64.into()).is_err());
+        // Same interval under a different label is fine.
+        assert!(p.insert(time, Interval::new(10, 12), 2i64.into()).is_ok());
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.labels().count(), 2);
+    }
+
+    #[test]
+    fn mean_entry_lifespan() {
+        let mut p = Properties::new();
+        assert_eq!(p.mean_entry_lifespan(), None);
+        p.insert(LabelId(0), Interval::new(0, 2), 1i64.into()).unwrap();
+        p.insert(LabelId(0), Interval::new(2, 8), 2i64.into()).unwrap();
+        assert_eq!(p.mean_entry_lifespan(), Some(4.0));
+    }
+}

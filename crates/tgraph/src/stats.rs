@@ -1,0 +1,211 @@
+//! Dataset characteristics (paper Table 1) and representation memory
+//! footprints (Fig. 6(a)).
+//!
+//! For every temporal graph we can report, per the paper's Table 1 columns:
+//! the number of snapshots, the size of the *largest snapshot*, of the
+//! *interval graph*, of the *transformed graph* and of the cumulative
+//! *multi-snapshot* representation, plus the average lifespans of vertices,
+//! edges and properties.
+
+use crate::graph::TemporalGraph;
+use crate::snapshot::{snapshot_window, SnapshotSeries};
+use crate::time::Interval;
+use crate::transform::{transform_for_paths, TransformOptions};
+use serde::{Deserialize, Serialize};
+
+/// A `(|V|, |E|)` pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SizePair {
+    /// Vertex count.
+    pub vertices: u64,
+    /// Edge count.
+    pub edges: u64,
+}
+
+/// The Table-1 row for one dataset.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of snapshots (time-points in the bounded window).
+    pub snapshots: u64,
+    /// Size of the single largest snapshot.
+    pub largest_snapshot: SizePair,
+    /// Size of the interval graph (what GRAPHITE loads).
+    pub interval: SizePair,
+    /// Size of the transformed graph (what TGB loads).
+    pub transformed: SizePair,
+    /// Cumulative size across all snapshots (what MSB touches in total).
+    pub multi_snapshot: SizePair,
+    /// Average vertex lifespan, in time units clipped to the window.
+    pub avg_vertex_lifespan: f64,
+    /// Average edge lifespan.
+    pub avg_edge_lifespan: f64,
+    /// Average property-entry lifespan (vertex + edge properties), or 0
+    /// when the graph carries no properties.
+    pub avg_property_lifespan: f64,
+}
+
+/// Computes the Table-1 statistics of `graph`.
+///
+/// The transformed-graph column uses the default path-family transformation;
+/// pass `transform` to override (e.g. a different cost label).
+pub fn dataset_stats(graph: &TemporalGraph, transform: Option<&TransformOptions>) -> DatasetStats {
+    let window = snapshot_window(graph).unwrap_or_else(|| Interval::new(0, 1));
+    let clip = |iv: Interval| iv.intersect(window).map_or(0, |c| c.len());
+
+    let n_v = graph.num_vertices() as u64;
+    let n_e = graph.num_edges() as u64;
+
+    let mut v_life = 0i64;
+    let mut prop_life = 0i64;
+    let mut prop_count = 0u64;
+    for (_, v) in graph.vertices() {
+        v_life += clip(v.lifespan);
+        for (_, iv, _) in v.props.iter() {
+            prop_life += clip(iv);
+            prop_count += 1;
+        }
+    }
+    let mut e_life = 0i64;
+    for (_, e) in graph.edges() {
+        e_life += clip(e.lifespan);
+        for (_, iv, _) in e.props.iter() {
+            prop_life += clip(iv);
+            prop_count += 1;
+        }
+    }
+
+    // Largest snapshot and cumulative multi-snapshot sizes. Cumulative
+    // sizes equal the lifespan sums already computed; the largest snapshot
+    // needs a sweep.
+    let series = SnapshotSeries::new(graph, window);
+    let mut largest = SizePair::default();
+    for snap in series.iter() {
+        let sv = snap.num_vertices() as u64;
+        let se = snap.num_edges() as u64;
+        if se > largest.edges || (se == largest.edges && sv > largest.vertices) {
+            largest = SizePair { vertices: sv, edges: se };
+        }
+    }
+
+    let default_opts = TransformOptions { window: Some(window), ..Default::default() };
+    let opts = transform.unwrap_or(&default_opts);
+    let tg = transform_for_paths(graph, opts);
+
+    DatasetStats {
+        snapshots: window.len() as u64,
+        largest_snapshot: largest,
+        interval: SizePair { vertices: n_v, edges: n_e },
+        transformed: SizePair { vertices: tg.num_vertices() as u64, edges: tg.num_edges() as u64 },
+        multi_snapshot: SizePair { vertices: v_life as u64, edges: e_life as u64 },
+        avg_vertex_lifespan: if n_v == 0 { 0.0 } else { v_life as f64 / n_v as f64 },
+        avg_edge_lifespan: if n_e == 0 { 0.0 } else { e_life as f64 / n_e as f64 },
+        avg_property_lifespan: if prop_count == 0 {
+            0.0
+        } else {
+            prop_life as f64 / prop_count as f64
+        },
+    }
+}
+
+/// Estimated resident bytes of each graph representation (Fig. 6(a)).
+///
+/// These are analytic estimates from entry counts and per-entry struct
+/// sizes, not allocator measurements, which keeps them deterministic and
+/// platform-independent. The *relative* ordering (transformed ≫ interval ≥
+/// snapshot batch ≥ single snapshot) is what the figure demonstrates.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MemoryFootprint {
+    /// The interval graph, as loaded by GRAPHITE.
+    pub interval_bytes: u64,
+    /// The transformed graph, as loaded by TGB.
+    pub transformed_bytes: u64,
+    /// The largest single snapshot, as loaded by MSB/GoFFish.
+    pub largest_snapshot_bytes: u64,
+    /// A Chlonos batch of `batch` snapshots (vectorized layout).
+    pub snapshot_batch_bytes: u64,
+}
+
+/// Per-entry cost model (bytes): id + interval + adjacency slot.
+const VERTEX_COST: u64 = 8 + 16 + 8;
+const EDGE_COST: u64 = 8 + 16 + 4 + 4 + 8;
+const PROP_COST: u64 = 4 + 16 + 16;
+// Replicas and transformed edges are full vertices/edges to the VCM
+// runtime (each replica is its own Giraph vertex), so they cost the same.
+const REPLICA_COST: u64 = VERTEX_COST;
+const TEDGE_COST: u64 = EDGE_COST;
+/// Snapshot entries don't carry intervals.
+const SNAP_VERTEX_COST: u64 = 8 + 8;
+const SNAP_EDGE_COST: u64 = 8 + 4 + 4 + 8;
+
+/// Computes the Fig. 6(a) memory estimates, with a Chlonos batch of
+/// `batch_size` snapshots.
+pub fn memory_footprint(
+    graph: &TemporalGraph,
+    transform: Option<&TransformOptions>,
+    batch_size: u64,
+) -> MemoryFootprint {
+    let stats = dataset_stats(graph, transform);
+    let props: u64 = graph
+        .vertices()
+        .map(|(_, v)| v.props.len() as u64)
+        .chain(graph.edges().map(|(_, e)| e.props.len() as u64))
+        .sum();
+    let interval_bytes = stats.interval.vertices * VERTEX_COST
+        + stats.interval.edges * EDGE_COST
+        + props * PROP_COST;
+    let transformed_bytes = stats.transformed.vertices * REPLICA_COST
+        + stats.transformed.edges * TEDGE_COST;
+    let largest_snapshot_bytes = stats.largest_snapshot.vertices * SNAP_VERTEX_COST
+        + stats.largest_snapshot.edges * SNAP_EDGE_COST
+        // Property values at the snapshot instant, one slot per labelled entity.
+        + props.min(stats.largest_snapshot.edges + stats.largest_snapshot.vertices) * 8;
+    let snapshot_batch_bytes = largest_snapshot_bytes * batch_size.max(1);
+    MemoryFootprint {
+        interval_bytes,
+        transformed_bytes,
+        largest_snapshot_bytes,
+        snapshot_batch_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::transit_graph;
+
+    #[test]
+    fn table1_row_for_transit() {
+        let g = transit_graph();
+        let s = dataset_stats(&g, None);
+        assert_eq!(s.snapshots, 9);
+        assert_eq!(s.interval, SizePair { vertices: 6, edges: 6 });
+        // Largest snapshot by edges: t=2 or t=3 with 3 edges, 6 vertices.
+        assert_eq!(s.largest_snapshot, SizePair { vertices: 6, edges: 3 });
+        // Multi-snapshot: vertices alive 9 ticks each => 54; edge lifespans
+        // 3+2+3+1+2+3 = 14.
+        assert_eq!(s.multi_snapshot, SizePair { vertices: 54, edges: 14 });
+        assert!((s.avg_vertex_lifespan - 9.0).abs() < 1e-9);
+        assert!((s.avg_edge_lifespan - 14.0 / 6.0).abs() < 1e-9);
+        assert!(s.avg_property_lifespan > 0.0);
+        // The transformed graph dominates the interval graph.
+        assert!(s.transformed.vertices > s.interval.vertices);
+        assert!(s.transformed.edges > s.interval.edges);
+    }
+
+    #[test]
+    fn footprint_ordering_matches_fig6a() {
+        let g = transit_graph();
+        let f = memory_footprint(&g, None, 3);
+        assert!(f.transformed_bytes > 0);
+        assert!(f.interval_bytes > f.largest_snapshot_bytes);
+        assert_eq!(f.snapshot_batch_bytes, 3 * f.largest_snapshot_bytes);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = crate::builder::TemporalGraphBuilder::new().build().unwrap();
+        let s = dataset_stats(&g, None);
+        assert_eq!(s.interval, SizePair::default());
+        assert_eq!(s.avg_vertex_lifespan, 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based verification of the interval collections' invariants:
+//! [`IntervalPartition`] always tiles its lifespan exactly (dynamic
+//! repartitioning preserves the Sec. IV-A1 invariants), and
+//! [`IntervalMap`] never admits overlap.
+
+use graphite_tgraph::iset::{IntervalMap, IntervalPartition};
+use graphite_tgraph::time::Interval;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Set { start: i64, len: i64, value: i64 },
+    Split { at: i64 },
+    Coalesce,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..64, 1i64..32, 0i64..4).prop_map(|(start, len, value)| Op::Set {
+            start,
+            len,
+            value
+        }),
+        (0i64..64).prop_map(|at| Op::Split { at }),
+        Just(Op::Coalesce),
+    ]
+}
+
+fn check_tiling(p: &IntervalPartition<i64>) {
+    let entries: Vec<(Interval, i64)> = p.iter().map(|(iv, v)| (iv, *v)).collect();
+    assert!(!entries.is_empty());
+    assert_eq!(entries.first().unwrap().0.start(), p.lifespan().start());
+    assert_eq!(entries.last().unwrap().0.end(), p.lifespan().end());
+    for w in entries.windows(2) {
+        assert!(w[0].0.meets(w[1].0), "gap or overlap: {} then {}", w[0].0, w[1].0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any sequence of set/split/coalesce operations keeps the partition a
+    /// contiguous, exact tiling of the lifespan, and lookups agree with a
+    /// shadow per-point model.
+    #[test]
+    fn partition_invariants_hold_under_mutation(
+        ops in proptest::collection::vec(op_strategy(), 0..40)
+    ) {
+        let lifespan = Interval::new(0, 64);
+        let mut p = IntervalPartition::new(lifespan, -1i64);
+        let mut shadow = vec![-1i64; 64];
+        for op in ops {
+            match op {
+                Op::Set { start, len, value } => {
+                    let iv = Interval::new(start, start + len);
+                    p.set(iv, value);
+                    if let Some(clip) = iv.intersect(lifespan) {
+                        for t in clip.start()..clip.end() {
+                            shadow[t as usize] = value;
+                        }
+                    }
+                }
+                Op::Split { at } => p.split_at(at),
+                Op::Coalesce => p.coalesce(),
+            }
+            check_tiling(&p);
+            for t in 0..64i64 {
+                prop_assert_eq!(
+                    p.value_at(t).copied(),
+                    Some(shadow[t as usize]),
+                    "mismatch at {}", t
+                );
+            }
+        }
+    }
+
+    /// `overlapping` yields exactly the clipped segments of the window.
+    #[test]
+    fn partition_overlapping_is_exact(
+        ops in proptest::collection::vec(op_strategy(), 0..20),
+        win_start in 0i64..60,
+        win_len in 1i64..30,
+    ) {
+        let mut p = IntervalPartition::new(Interval::new(0, 64), 0i64);
+        for op in ops {
+            if let Op::Set { start, len, value } = op {
+                p.set(Interval::new(start, start + len), value);
+            }
+        }
+        let window = Interval::new(win_start, (win_start + win_len).min(64));
+        let segments: Vec<(Interval, i64)> =
+            p.overlapping(window).map(|(iv, v)| (iv, *v)).collect();
+        // Segments tile the window exactly.
+        prop_assert_eq!(segments.first().map(|(iv, _)| iv.start()), Some(window.start()));
+        prop_assert_eq!(segments.last().map(|(iv, _)| iv.end()), Some(window.end()));
+        for w in segments.windows(2) {
+            prop_assert!(w[0].0.meets(w[1].0));
+        }
+        for (iv, v) in &segments {
+            for t in iv.start()..iv.end() {
+                prop_assert_eq!(p.value_at(t), Some(v));
+            }
+        }
+    }
+
+    /// IntervalMap insertion preserves the no-overlap invariant and
+    /// rejects exactly the overlapping insertions.
+    #[test]
+    fn map_never_overlaps(
+        entries in proptest::collection::vec((0i64..100, 1i64..20), 0..30)
+    ) {
+        let mut m = IntervalMap::new();
+        let mut accepted: Vec<Interval> = Vec::new();
+        for (start, len) in entries {
+            let iv = Interval::new(start, start + len);
+            let collides = accepted.iter().any(|e| e.intersects(iv));
+            match m.insert(iv, ()) {
+                Ok(()) => {
+                    prop_assert!(!collides, "{iv} accepted despite overlap");
+                    accepted.push(iv);
+                }
+                Err(e) => {
+                    prop_assert!(collides, "{iv} rejected without overlap: {e}");
+                }
+            }
+        }
+        // Lookup agrees with membership.
+        for t in 0..120i64 {
+            let expect = accepted.iter().any(|e| e.contains_point(t));
+            prop_assert_eq!(m.value_at(t).is_some(), expect, "at {}", t);
+        }
+    }
+}

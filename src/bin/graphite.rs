@@ -1,0 +1,206 @@
+//! The `graphite` command-line tool: load a temporal graph from the text
+//! format, run any of the twelve algorithms on any platform, and print
+//! interval-valued results and run metrics.
+//!
+//! ```sh
+//! graphite stats  <graph.tg>
+//! graphite run    <graph.tg> --algo sssp [--platform icm] [--source 0]
+//!                 [--workers 4] [--start 0] [--deadline T] [--counts]
+//! graphite gen    <profile|ldbc> <out.tg> [--scale 1] [--seed 42]
+//! ```
+//!
+//! Example session:
+//!
+//! ```sh
+//! cargo run --release --bin graphite -- gen twitter /tmp/tw.tg
+//! cargo run --release --bin graphite -- stats /tmp/tw.tg
+//! cargo run --release --bin graphite -- run /tmp/tw.tg --algo sssp --counts
+//! ```
+
+use graphite::algorithms::registry::{run, Algo, Platform, RunOpts};
+use graphite::datagen::Profile;
+use graphite::tgraph::graph::VertexId;
+use graphite::tgraph::io;
+use graphite::tgraph::stats::dataset_stats;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  graphite stats <graph.tg>\n  graphite run <graph.tg> --algo \
+         <bfs|wcc|scc|pr|sssp|eat|fast|ld|tmst|rh|lcc|tc>\n      [--platform icm|msb|chl|tgb|gof] \
+         [--source VID] [--workers N]\n      [--start T] [--deadline T] [--counts]\n  graphite \
+         gen <gplus|usrn|reddit|mag|twitter|webuk|ldbc> <out.tg> [--scale N] [--seed N]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_algo(s: &str) -> Option<Algo> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "bfs" => Algo::Bfs,
+        "wcc" => Algo::Wcc,
+        "scc" => Algo::Scc,
+        "pr" | "pagerank" => Algo::Pr,
+        "sssp" => Algo::Sssp,
+        "eat" => Algo::Eat,
+        "fast" => Algo::Fast,
+        "ld" => Algo::Ld,
+        "tmst" => Algo::Tmst,
+        "rh" | "reach" => Algo::Reach,
+        "lcc" => Algo::Lcc,
+        "tc" => Algo::Tc,
+        _ => return None,
+    })
+}
+
+fn parse_platform(s: &str) -> Option<Platform> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "icm" | "graphite" => Platform::Icm,
+        "msb" => Platform::Msb,
+        "chl" | "chlonos" => Platform::Chlonos,
+        "tgb" => Platform::Tgb,
+        "gof" | "goffish" => Platform::Goffish,
+        _ => return None,
+    })
+}
+
+/// A tiny flag parser: `--name value` pairs after the positional args.
+struct Flags(Vec<String>);
+
+impl Flags {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+    fn has(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
+}
+
+fn cmd_stats(path: &str) -> ExitCode {
+    let graph = match io::load(path) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("cannot load {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let s = dataset_stats(&graph, None);
+    println!("vertices:            {}", s.interval.vertices);
+    println!("edges:               {}", s.interval.edges);
+    println!("snapshots:           {}", s.snapshots);
+    println!("largest snapshot:    {} vertices, {} edges", s.largest_snapshot.vertices, s.largest_snapshot.edges);
+    println!("transformed graph:   {} replicas, {} edges", s.transformed.vertices, s.transformed.edges);
+    println!("multi-snapshot size: {} vertices, {} edges (cumulative)", s.multi_snapshot.vertices, s.multi_snapshot.edges);
+    println!("avg vertex lifespan: {:.2}", s.avg_vertex_lifespan);
+    println!("avg edge lifespan:   {:.2}", s.avg_edge_lifespan);
+    println!("avg prop lifespan:   {:.2}", s.avg_property_lifespan);
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(path: &str, flags: &Flags) -> ExitCode {
+    let Some(algo) = flags.get("--algo").and_then(parse_algo) else {
+        eprintln!("missing or unknown --algo");
+        return usage();
+    };
+    let platform = match flags.get("--platform") {
+        None => Platform::Icm,
+        Some(p) => match parse_platform(p) {
+            Some(p) => p,
+            None => {
+                eprintln!("unknown platform {p:?}");
+                return usage();
+            }
+        },
+    };
+    let graph = match io::load(path) {
+        Ok(g) => Arc::new(g),
+        Err(e) => {
+            eprintln!("cannot load {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut opts = RunOpts::default();
+    if let Some(w) = flags.get("--workers").and_then(|v| v.parse().ok()) {
+        opts.workers = w;
+    }
+    if let Some(s) = flags.get("--source").and_then(|v| v.parse().ok()) {
+        opts.source = Some(VertexId(s));
+    }
+    if let Some(t) = flags.get("--start").and_then(|v| v.parse().ok()) {
+        opts.start = t;
+    }
+    if let Some(t) = flags.get("--deadline").and_then(|v| v.parse().ok()) {
+        opts.deadline = Some(t);
+    }
+    opts.digest = false;
+
+    match run(algo, platform, Arc::clone(&graph), None, &opts) {
+        Ok(outcome) => {
+            let m = &outcome.metrics;
+            println!(
+                "{} on {}: makespan {:.2?} ({} supersteps)",
+                algo.name(),
+                platform.name(),
+                m.makespan,
+                m.supersteps
+            );
+            if flags.has("--counts") {
+                println!("compute calls:  {}", m.counters.compute_calls);
+                println!("scatter calls:  {}", m.counters.scatter_calls);
+                println!("messages sent:  {}", m.counters.messages_sent);
+                println!("remote bytes:   {}", m.counters.bytes_sent);
+                println!("warp calls:     {}", m.counters.warp_invocations);
+                println!("warp suppressed:{}", m.counters.warp_suppressions);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_gen(profile: &str, out: &str, flags: &Flags) -> ExitCode {
+    let scale = flags.get("--scale").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let seed = flags.get("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let graph = match profile.to_ascii_lowercase().as_str() {
+        "gplus" => Profile::GPlus.generate(scale, seed),
+        "usrn" => Profile::Usrn.generate(scale, seed),
+        "reddit" => Profile::Reddit.generate(scale, seed),
+        "mag" => Profile::Mag.generate(scale, seed),
+        "twitter" => Profile::Twitter.generate(scale, seed),
+        "webuk" => Profile::WebUk.generate(scale, seed),
+        "ldbc" => graphite::datagen::weak_scaling_graph(scale.max(1), 250, seed),
+        other => {
+            eprintln!("unknown profile {other:?}");
+            return usage();
+        }
+    };
+    if let Err(e) = io::save(&graph, out) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {out}: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [cmd, path, rest @ ..] if cmd == "stats" && rest.is_empty() => cmd_stats(path),
+        [cmd, path, rest @ ..] if cmd == "run" => cmd_run(path, &Flags(rest.to_vec())),
+        [cmd, profile, out, rest @ ..] if cmd == "gen" => {
+            cmd_gen(profile, out, &Flags(rest.to_vec()))
+        }
+        _ => usage(),
+    }
+}
