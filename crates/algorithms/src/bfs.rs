@@ -106,13 +106,25 @@ mod tests {
         let graph = Arc::new(transit_graph());
         let icm = run_icm(
             Arc::clone(&graph),
-            Arc::new(IcmBfs { source: transit_ids::A }),
-            &IcmConfig { workers: 2, ..Default::default() },
+            Arc::new(IcmBfs {
+                source: transit_ids::A,
+            }),
+            &IcmConfig {
+                workers: 2,
+                ..Default::default()
+            },
         );
         let msb = run_msb(
             Arc::clone(&graph),
-            |_| Arc::new(VcmBfs { source: transit_ids::A }),
-            &MsbConfig { workers: 2, ..Default::default() },
+            |_| {
+                Arc::new(VcmBfs {
+                    source: transit_ids::A,
+                })
+            },
+            &MsbConfig {
+                workers: 2,
+                ..Default::default()
+            },
         );
         for (t, snapshot) in &msb.per_snapshot {
             for (v, depth) in snapshot {
@@ -131,7 +143,9 @@ mod tests {
         let graph = Arc::new(transit_graph());
         let icm = run_icm(
             Arc::clone(&graph),
-            Arc::new(IcmBfs { source: transit_ids::A }),
+            Arc::new(IcmBfs {
+                source: transit_ids::A,
+            }),
             &IcmConfig::default(),
         );
         // B is depth 1 exactly while A->B exists: [3,6).
@@ -151,13 +165,25 @@ mod tests {
         let graph = Arc::new(transit_graph());
         let icm = run_icm(
             Arc::clone(&graph),
-            Arc::new(IcmBfs { source: transit_ids::A }),
-            &IcmConfig { workers: 1, ..Default::default() },
+            Arc::new(IcmBfs {
+                source: transit_ids::A,
+            }),
+            &IcmConfig {
+                workers: 1,
+                ..Default::default()
+            },
         );
         let msb = run_msb(
             Arc::clone(&graph),
-            |_| Arc::new(VcmBfs { source: transit_ids::A }),
-            &MsbConfig { workers: 1, ..Default::default() },
+            |_| {
+                Arc::new(VcmBfs {
+                    source: transit_ids::A,
+                })
+            },
+            &MsbConfig {
+                workers: 1,
+                ..Default::default()
+            },
         );
         // MSB pays one compute call per live vertex per snapshot at
         // minimum; ICM's interval sharing does far better.

@@ -45,7 +45,11 @@ pub fn in_degree_timeline(graph: &TemporalGraph, v: VIdx) -> Vec<(Interval, u32)
 
 fn degree_timeline(graph: &TemporalGraph, v: VIdx, out: bool) -> Vec<(Interval, u32)> {
     let life = graph.vertex(v).lifespan;
-    let edges = if out { graph.out_edges(v) } else { graph.in_edges(v) };
+    let edges = if out {
+        graph.out_edges(v)
+    } else {
+        graph.in_edges(v)
+    };
     let mut bounds = vec![life.start(), life.end()];
     for &e in edges {
         let iv = graph.edge(e).lifespan;
@@ -57,7 +61,9 @@ fn degree_timeline(graph: &TemporalGraph, v: VIdx, out: bool) -> Vec<(Interval, 
     bounds.retain(|&t| life.contains_point(t) || t == life.end());
     let mut segments = Vec::with_capacity(bounds.len());
     for w in bounds.windows(2) {
-        let Some(seg) = Interval::try_new(w[0], w[1]) else { continue };
+        let Some(seg) = Interval::try_new(w[0], w[1]) else {
+            continue;
+        };
         let deg = edges
             .iter()
             .filter(|&&e| graph.edge(e).lifespan.contains_point(seg.start()))
@@ -118,7 +124,9 @@ where
     let mut d = ResultDigest::default();
     for (vid, entries) in states {
         for (iv, s) in entries {
-            let Some(clipped) = iv.intersect(window) else { continue };
+            let Some(clipped) = iv.intersect(window) else {
+                continue;
+            };
             let v = encode(s);
             for t in clipped.points() {
                 d.fold(*vid, t, v);
@@ -183,7 +191,10 @@ mod tests {
     #[test]
     fn digest_interval_states_expands_points() {
         let mut states: BTreeMap<VertexId, Vec<(Interval, i64)>> = BTreeMap::new();
-        states.insert(VertexId(1), vec![(Interval::new(0, 3), 9), (Interval::from_start(3), 4)]);
+        states.insert(
+            VertexId(1),
+            vec![(Interval::new(0, 3), 9), (Interval::from_start(3), 4)],
+        );
         let d = digest_interval_states(&states, Interval::new(0, 5), |s| *s as u64);
         let mut manual = ResultDigest::default();
         for t in 0..3 {

@@ -138,10 +138,14 @@ mod tests {
         for i in 0..4 {
             b.add_vertex(VertexId(i), life).unwrap();
         }
-        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), Interval::new(0, 8)).unwrap();
-        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(2, 10)).unwrap();
-        b.add_edge(EdgeId(2), VertexId(0), VertexId(2), Interval::new(0, 6)).unwrap();
-        b.add_edge(EdgeId(3), VertexId(2), VertexId(0), Interval::new(1, 7)).unwrap();
+        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), Interval::new(0, 8))
+            .unwrap();
+        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(2, 10))
+            .unwrap();
+        b.add_edge(EdgeId(2), VertexId(0), VertexId(2), Interval::new(0, 6))
+            .unwrap();
+        b.add_edge(EdgeId(3), VertexId(2), VertexId(0), Interval::new(1, 7))
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -151,21 +155,23 @@ mod tests {
         let icm = run_icm(
             Arc::clone(&graph),
             Arc::new(crate::lcc::IcmLcc),
-            &IcmConfig { workers: 2, ..Default::default() },
+            &IcmConfig {
+                workers: 2,
+                ..Default::default()
+            },
         );
         let gof = run_goffish(
             Arc::clone(&graph),
             Arc::new(GofLcc),
-            &GofConfig { workers: 2, ..Default::default() },
+            &GofConfig {
+                workers: 2,
+                ..Default::default()
+            },
         );
         for (t, snapshot) in &gof.per_snapshot {
             for (v, count) in snapshot {
                 let vid = graph.vertex(graphite_tgraph::graph::VIdx(*v)).vid;
-                assert_eq!(
-                    icm.state_at(vid, *t),
-                    Some(count),
-                    "{vid:?} at t={t}"
-                );
+                assert_eq!(icm.state_at(vid, *t), Some(count), "{vid:?} at t={t}");
             }
         }
         // GoFFish recomputes per snapshot: strictly more messages.
@@ -178,12 +184,18 @@ mod tests {
         let icm = run_icm(
             Arc::clone(&graph),
             Arc::new(crate::tc::IcmTc),
-            &IcmConfig { workers: 2, ..Default::default() },
+            &IcmConfig {
+                workers: 2,
+                ..Default::default()
+            },
         );
         let gof = run_goffish(
             Arc::clone(&graph),
             Arc::new(GofTc),
-            &GofConfig { workers: 2, ..Default::default() },
+            &GofConfig {
+                workers: 2,
+                ..Default::default()
+            },
         );
         for (t, snapshot) in &gof.per_snapshot {
             for (v, count) in snapshot {

@@ -171,7 +171,11 @@ impl GofProgram for GofLd {
             *state = best;
         }
         // Am I a good place to be at time t (can still reach the target)?
-        let good_at = if *state == i64::MAX { t <= self.deadline } else { t <= *state };
+        let good_at = if *state == i64::MAX {
+            t <= self.deadline
+        } else {
+            t <= *state
+        };
         if good_at {
             // Notify each in-neighbour whose edge is alive at the
             // *departure* time d = t − travel-time: departing then
@@ -297,7 +301,10 @@ mod tests {
     use std::sync::Arc;
 
     fn weights(g: &graphite_tgraph::graph::TemporalGraph) -> EdgeWeights {
-        EdgeWeights { w1: g.label("travel-cost"), w2: g.label("travel-time") }
+        EdgeWeights {
+            w1: g.label("travel-cost"),
+            w2: g.label("travel-time"),
+        }
     }
 
     #[test]
@@ -305,8 +312,15 @@ mod tests {
         let g = Arc::new(transit_graph());
         let r = run_goffish(
             Arc::clone(&g),
-            Arc::new(GofEat { source: transit_ids::A, start: 0 }),
-            &GofConfig { workers: 2, weights: weights(&g), ..Default::default() },
+            Arc::new(GofEat {
+                source: transit_ids::A,
+                start: 0,
+            }),
+            &GofConfig {
+                workers: 2,
+                weights: weights(&g),
+                ..Default::default()
+            },
         );
         let idx = |vid| g.vertex_index(vid).unwrap().0;
         // Earliest arrivals (within the window [0,9)): C=2, D=2, B=4, E=6.
@@ -322,8 +336,14 @@ mod tests {
         let g = Arc::new(transit_graph());
         let r = run_goffish(
             Arc::clone(&g),
-            Arc::new(GofFast { source: transit_ids::A }),
-            &GofConfig { workers: 2, weights: weights(&g), ..Default::default() },
+            Arc::new(GofFast {
+                source: transit_ids::A,
+            }),
+            &GofConfig {
+                workers: 2,
+                weights: weights(&g),
+                ..Default::default()
+            },
         );
         let idx = |vid| g.vertex_index(vid).unwrap().0;
         assert_eq!(r.states[&idx(transit_ids::B)].0, 1);
@@ -340,7 +360,10 @@ mod tests {
         let g = Arc::new(transit_graph());
         let r = run_goffish(
             Arc::clone(&g),
-            Arc::new(GofLd { target: transit_ids::E, deadline: 8 }),
+            Arc::new(GofLd {
+                target: transit_ids::E,
+                deadline: 8,
+            }),
             &GofConfig {
                 workers: 2,
                 weights: weights(&g),
@@ -361,8 +384,15 @@ mod tests {
         let g = Arc::new(transit_graph());
         let r = run_goffish(
             Arc::clone(&g),
-            Arc::new(GofTmst { source: transit_ids::A, start: 0 }),
-            &GofConfig { workers: 2, weights: weights(&g), ..Default::default() },
+            Arc::new(GofTmst {
+                source: transit_ids::A,
+                start: 0,
+            }),
+            &GofConfig {
+                workers: 2,
+                weights: weights(&g),
+                ..Default::default()
+            },
         );
         let idx = |vid| g.vertex_index(vid).unwrap().0;
         assert_eq!(r.states[&idx(transit_ids::B)].1, transit_ids::A.0);
@@ -375,11 +405,23 @@ mod tests {
         let g = Arc::new(transit_graph());
         let r = run_goffish(
             Arc::clone(&g),
-            Arc::new(GofReach { source: transit_ids::A, start: 0 }),
-            &GofConfig { workers: 2, weights: weights(&g), ..Default::default() },
+            Arc::new(GofReach {
+                source: transit_ids::A,
+                start: 0,
+            }),
+            &GofConfig {
+                workers: 2,
+                weights: weights(&g),
+                ..Default::default()
+            },
         );
         let idx = |vid| g.vertex_index(vid).unwrap().0;
-        for vid in [transit_ids::B, transit_ids::C, transit_ids::D, transit_ids::E] {
+        for vid in [
+            transit_ids::B,
+            transit_ids::C,
+            transit_ids::D,
+            transit_ids::E,
+        ] {
             assert!(r.states[&idx(vid)], "{vid:?}");
         }
         assert!(!r.states[&idx(transit_ids::F)]);

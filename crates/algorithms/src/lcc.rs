@@ -69,7 +69,13 @@ impl IntervalProgram for IcmLcc {
         0
     }
 
-    fn compute(&self, ctx: &mut ComputeContext<u64, LccMsg>, t: Interval, state: &u64, msgs: &[LccMsg]) {
+    fn compute(
+        &self,
+        ctx: &mut ComputeContext<u64, LccMsg>,
+        t: Interval,
+        state: &u64,
+        msgs: &[LccMsg],
+    ) {
         let g = ctx.graph();
         let v = ctx.vertex_index();
         match ctx.superstep() {
@@ -97,7 +103,9 @@ impl IntervalProgram for IcmLcc {
                     .iter()
                     .filter_map(|&e| {
                         let ed = g.edge(e);
-                        ed.lifespan.intersect(t).map(|iv| (g.vertex(ed.dst).vid, iv))
+                        ed.lifespan
+                            .intersect(t)
+                            .map(|iv| (g.vertex(ed.dst).vid, iv))
                     })
                     .collect();
                 for m in msgs {
@@ -149,7 +157,9 @@ pub fn lcc_coefficients(
 ) -> std::collections::BTreeMap<VertexId, Vec<(Interval, f64)>> {
     let mut out = std::collections::BTreeMap::new();
     for (vid, counts) in &result.states {
-        let Some(v) = graph.vertex_index(*vid) else { continue };
+        let Some(v) = graph.vertex_index(*vid) else {
+            continue;
+        };
         let degs = out_degree_timeline(graph, v);
         let count_map: IntervalMap<u64> =
             IntervalMap::from_entries(counts.clone()).expect("result states are partitioned");
@@ -159,7 +169,9 @@ pub fn lcc_coefficients(
                 continue;
             }
             for (civ, c) in count_map.overlapping(div) {
-                let Some(clip) = civ.intersect(div) else { continue };
+                let Some(clip) = civ.intersect(div) else {
+                    continue;
+                };
                 let denom = (d as f64) * (d as f64 - 1.0);
                 entries.push((clip, *c as f64 / denom));
             }
@@ -184,10 +196,14 @@ mod tests {
         for i in 0..4 {
             b.add_vertex(VertexId(i), life).unwrap();
         }
-        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), Interval::new(0, 8)).unwrap();
-        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(2, 10)).unwrap();
-        b.add_edge(EdgeId(2), VertexId(0), VertexId(2), Interval::new(0, 6)).unwrap();
-        b.add_edge(EdgeId(3), VertexId(2), VertexId(3), life).unwrap();
+        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), Interval::new(0, 8))
+            .unwrap();
+        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(2, 10))
+            .unwrap();
+        b.add_edge(EdgeId(2), VertexId(0), VertexId(2), Interval::new(0, 6))
+            .unwrap();
+        b.add_edge(EdgeId(3), VertexId(2), VertexId(3), life)
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -205,12 +221,22 @@ mod tests {
     #[test]
     fn triangle_counts_respect_concurrency() {
         let graph = Arc::new(triangle_graph());
-        let r = run_icm(Arc::clone(&graph), Arc::new(IcmLcc), &IcmConfig { workers: 2, ..Default::default() });
+        let r = run_icm(
+            Arc::clone(&graph),
+            Arc::new(IcmLcc),
+            &IcmConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        );
         // The triangle (0→1, 1→2, 0→2) is concurrent over [2,6): vertex 0
         // counts one neighbour-edge (1→2) there, zero elsewhere.
         let zero = &r.states[&VertexId(0)];
         let count_at = |t: i64| {
-            zero.iter().find(|(iv, _)| iv.contains_point(t)).map(|(_, c)| *c).unwrap()
+            zero.iter()
+                .find(|(iv, _)| iv.contains_point(t))
+                .map(|(_, c)| *c)
+                .unwrap()
         };
         assert_eq!(count_at(1), 0);
         assert_eq!(count_at(2), 1);
@@ -230,7 +256,11 @@ mod tests {
         // Vertex 0 has out-degree 2 over [0,6): d(d-1) = 2 and count 1 on
         // [2,6) -> coefficient 0.5 there.
         let zero = &coeffs[&VertexId(0)];
-        let at = |t: i64| zero.iter().find(|(iv, _)| iv.contains_point(t)).map(|(_, c)| *c);
+        let at = |t: i64| {
+            zero.iter()
+                .find(|(iv, _)| iv.contains_point(t))
+                .map(|(_, c)| *c)
+        };
         assert_eq!(at(3), Some(0.5));
         assert_eq!(at(1), Some(0.0));
         // After 6 the degree drops below 2: no coefficient.
@@ -240,9 +270,26 @@ mod tests {
     #[test]
     fn counts_are_stable_across_workers() {
         let graph = Arc::new(triangle_graph());
-        let r1 = run_icm(Arc::clone(&graph), Arc::new(IcmLcc), &IcmConfig { workers: 1, ..Default::default() });
-        let r4 = run_icm(Arc::clone(&graph), Arc::new(IcmLcc), &IcmConfig { workers: 4, ..Default::default() });
+        let r1 = run_icm(
+            Arc::clone(&graph),
+            Arc::new(IcmLcc),
+            &IcmConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        let r4 = run_icm(
+            Arc::clone(&graph),
+            Arc::new(IcmLcc),
+            &IcmConfig {
+                workers: 4,
+                ..Default::default()
+            },
+        );
         assert_eq!(r1.states, r4.states);
-        assert_eq!(r1.metrics.counters.messages_sent, r4.metrics.counters.messages_sent);
+        assert_eq!(
+            r1.metrics.counters.messages_sent,
+            r4.metrics.counters.messages_sent
+        );
     }
 }

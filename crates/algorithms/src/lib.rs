@@ -9,6 +9,7 @@
 //! per-(vertex, time-point) result digests used to assert that every
 //! platform produces identical outcomes (Sec. VII-B1).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bfs;

@@ -31,7 +31,9 @@ pub struct IcmPageRank {
 
 impl Default for IcmPageRank {
     fn default() -> Self {
-        IcmPageRank { iterations: DEFAULT_ITERATIONS }
+        IcmPageRank {
+            iterations: DEFAULT_ITERATIONS,
+        }
     }
 }
 
@@ -110,7 +112,9 @@ pub struct VcmPageRank {
 
 impl Default for VcmPageRank {
     fn default() -> Self {
-        VcmPageRank { iterations: DEFAULT_ITERATIONS }
+        VcmPageRank {
+            iterations: DEFAULT_ITERATIONS,
+        }
     }
 }
 
@@ -167,12 +171,18 @@ mod tests {
         let icm = run_icm(
             Arc::clone(&graph),
             Arc::new(IcmPageRank { iterations }),
-            &IcmConfig { workers: 2, ..Default::default() },
+            &IcmConfig {
+                workers: 2,
+                ..Default::default()
+            },
         );
         let msb = run_msb(
             Arc::clone(&graph),
             |_| Arc::new(VcmPageRank { iterations }),
-            &MsbConfig { workers: 2, ..Default::default() },
+            &MsbConfig {
+                workers: 2,
+                ..Default::default()
+            },
         );
         for (t, snapshot) in &msb.per_snapshot {
             for (v, rank) in snapshot {
@@ -200,10 +210,17 @@ mod tests {
         for i in 0..3 {
             b.add_vertex(VertexId(i), life).unwrap();
         }
-        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), life).unwrap();
-        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), life).unwrap();
-        b.add_edge(EdgeId(2), VertexId(2), VertexId(0), graphite_tgraph::time::Interval::new(0, 4))
+        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), life)
             .unwrap();
+        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), life)
+            .unwrap();
+        b.add_edge(
+            EdgeId(2),
+            VertexId(2),
+            VertexId(0),
+            graphite_tgraph::time::Interval::new(0, 4),
+        )
+        .unwrap();
         icm_vs_msb(Arc::new(b.build().unwrap()), 10);
     }
 
@@ -215,10 +232,15 @@ mod tests {
             b.add_vertex(VertexId(i), life).unwrap();
         }
         for i in 0..4 {
-            b.add_edge(EdgeId(i), VertexId(i), VertexId((i + 1) % 4), life).unwrap();
+            b.add_edge(EdgeId(i), VertexId(i), VertexId((i + 1) % 4), life)
+                .unwrap();
         }
         let graph = Arc::new(b.build().unwrap());
-        let icm = run_icm(Arc::clone(&graph), Arc::new(IcmPageRank::default()), &IcmConfig::default());
+        let icm = run_icm(
+            Arc::clone(&graph),
+            Arc::new(IcmPageRank::default()),
+            &IcmConfig::default(),
+        );
         for i in 0..4 {
             let s = icm.state_at(VertexId(i), 2).unwrap();
             assert!((s.1 - 1.0).abs() < 1e-12, "vertex {i} rank {}", s.1);

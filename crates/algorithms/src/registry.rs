@@ -109,8 +109,13 @@ pub enum Platform {
 
 impl Platform {
     /// All five.
-    pub const ALL: [Platform; 5] =
-        [Platform::Icm, Platform::Msb, Platform::Chlonos, Platform::Tgb, Platform::Goffish];
+    pub const ALL: [Platform; 5] = [
+        Platform::Icm,
+        Platform::Msb,
+        Platform::Chlonos,
+        Platform::Tgb,
+        Platform::Goffish,
+    ];
 
     /// Display name.
     pub fn name(&self) -> &'static str {
@@ -133,7 +138,10 @@ impl Platform {
             Platform::Msb | Platform::Chlonos => algo.is_ti(),
             Platform::Goffish => !algo.is_ti(),
             Platform::Tgb => {
-                matches!(algo, Algo::Sssp | Algo::Eat | Algo::Fast | Algo::Ld | Algo::Tmst | Algo::Reach)
+                matches!(
+                    algo,
+                    Algo::Sssp | Algo::Eat | Algo::Fast | Algo::Ld | Algo::Tmst | Algo::Reach
+                )
             }
         }
     }
@@ -208,18 +216,30 @@ pub struct Unsupported {
 
 impl fmt::Display for Unsupported {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} does not support {}", self.platform.name(), self.algo.name())
+        write!(
+            f,
+            "{} does not support {}",
+            self.platform.name(),
+            self.algo.name()
+        )
     }
 }
 
 impl std::error::Error for Unsupported {}
 
 fn weights(graph: &TemporalGraph) -> EdgeWeights {
-    EdgeWeights { w1: graph.label("travel-cost"), w2: graph.label("travel-time") }
+    EdgeWeights {
+        w1: graph.label("travel-cost"),
+        w2: graph.label("travel-time"),
+    }
 }
 
 fn default_source(graph: &TemporalGraph) -> VertexId {
-    graph.vertices().map(|(_, v)| v.vid).min().unwrap_or(VertexId(0))
+    graph
+        .vertices()
+        .map(|(_, v)| v.vid)
+        .min()
+        .unwrap_or(VertexId(0))
 }
 
 /// Digest per-snapshot platform results (`Vec<(Time, HashMap<dense, S>)>`).
@@ -273,6 +293,7 @@ pub fn run(
         suppression_threshold: opts.suppression,
         max_supersteps: opts.max_supersteps,
         keep_per_step_timing: false,
+        perturb_schedule: None,
     };
     let msb_cfg = |need_in: bool| MsbConfig {
         workers: opts.workers,
@@ -306,8 +327,12 @@ pub fn run(
         max_supersteps: opts.max_supersteps,
         need_in_edges: need_in,
         keep_per_step_timing: false,
+        perturb_schedule: None,
     };
-    let transform_opts = TransformOptions { window: Some(window), ..Default::default() };
+    let transform_opts = TransformOptions {
+        window: Some(window),
+        ..Default::default()
+    };
     let get_transformed = || {
         transformed
             .clone()
@@ -322,23 +347,39 @@ pub fn run(
     let outcome = match (algo, platform) {
         // ---------------- TI ----------------
         (Algo::Bfs, Platform::Icm) => {
-            let r = run_icm(Arc::clone(&graph), Arc::new(bfs::IcmBfs { source }), &icm_cfg);
+            let r = run_icm(
+                Arc::clone(&graph),
+                Arc::new(bfs::IcmBfs { source }),
+                &icm_cfg,
+            );
             RunOutcome {
                 digest: opts.digest.then(|| digest_icm(&graph, &r, enc_i64)),
                 metrics: r.metrics,
             }
         }
         (Algo::Bfs, Platform::Msb) => {
-            let r = run_msb(Arc::clone(&graph), |_| Arc::new(bfs::VcmBfs { source }), &msb_cfg(false));
+            let r = run_msb(
+                Arc::clone(&graph),
+                |_| Arc::new(bfs::VcmBfs { source }),
+                &msb_cfg(false),
+            );
             RunOutcome {
-                digest: opts.digest.then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_i64)),
+                digest: opts
+                    .digest
+                    .then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_i64)),
                 metrics: r.metrics,
             }
         }
         (Algo::Bfs, Platform::Chlonos) => {
-            let r = run_chlonos(Arc::clone(&graph), Arc::new(bfs::VcmBfs { source }), &chl_cfg(false));
+            let r = run_chlonos(
+                Arc::clone(&graph),
+                Arc::new(bfs::VcmBfs { source }),
+                &chl_cfg(false),
+            );
             RunOutcome {
-                digest: opts.digest.then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_i64)),
+                digest: opts
+                    .digest
+                    .then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_i64)),
                 metrics: r.metrics,
             }
         }
@@ -350,28 +391,42 @@ pub fn run(
             }
         }
         (Algo::Wcc, Platform::Msb) => {
-            let r = run_msb(Arc::clone(&graph), |_| Arc::new(wcc::VcmWcc), &msb_cfg(true));
+            let r = run_msb(
+                Arc::clone(&graph),
+                |_| Arc::new(wcc::VcmWcc),
+                &msb_cfg(true),
+            );
             RunOutcome {
-                digest: opts.digest.then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_u64)),
+                digest: opts
+                    .digest
+                    .then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_u64)),
                 metrics: r.metrics,
             }
         }
         (Algo::Wcc, Platform::Chlonos) => {
             let r = run_chlonos(Arc::clone(&graph), Arc::new(wcc::VcmWcc), &chl_cfg(true));
             RunOutcome {
-                digest: opts.digest.then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_u64)),
+                digest: opts
+                    .digest
+                    .then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_u64)),
                 metrics: r.metrics,
             }
         }
         (Algo::Scc, Platform::Icm) => {
             let r = run_icm(Arc::clone(&graph), Arc::new(scc::IcmScc), &icm_cfg);
             RunOutcome {
-                digest: opts.digest.then(|| digest_icm(&graph, &r, |s: &scc::SccState| s.0)),
+                digest: opts
+                    .digest
+                    .then(|| digest_icm(&graph, &r, |s: &scc::SccState| s.0)),
                 metrics: r.metrics,
             }
         }
         (Algo::Scc, Platform::Msb) => {
-            let r = run_msb(Arc::clone(&graph), |_| Arc::new(scc::VcmScc), &msb_cfg(true));
+            let r = run_msb(
+                Arc::clone(&graph),
+                |_| Arc::new(scc::VcmScc),
+                &msb_cfg(true),
+            );
             RunOutcome {
                 digest: opts
                     .digest
@@ -391,12 +446,16 @@ pub fn run(
         (Algo::Pr, Platform::Icm) => {
             let r = run_icm(
                 Arc::clone(&graph),
-                Arc::new(pagerank::IcmPageRank { iterations: opts.pr_iterations }),
+                Arc::new(pagerank::IcmPageRank {
+                    iterations: opts.pr_iterations,
+                }),
                 &icm_cfg,
             );
             RunOutcome {
                 digest: opts.digest.then(|| {
-                    digest_icm(&graph, &r, |s: &pagerank::PrState| (s.1 * 1e6).round() as u64)
+                    digest_icm(&graph, &r, |s: &pagerank::PrState| {
+                        (s.1 * 1e6).round() as u64
+                    })
                 }),
                 metrics: r.metrics,
             }
@@ -404,7 +463,11 @@ pub fn run(
         (Algo::Pr, Platform::Msb) => {
             let r = run_msb(
                 Arc::clone(&graph),
-                |_| Arc::new(pagerank::VcmPageRank { iterations: opts.pr_iterations }),
+                |_| {
+                    Arc::new(pagerank::VcmPageRank {
+                        iterations: opts.pr_iterations,
+                    })
+                },
                 &msb_cfg(false),
             );
             RunOutcome {
@@ -417,7 +480,9 @@ pub fn run(
         (Algo::Pr, Platform::Chlonos) => {
             let r = run_chlonos(
                 Arc::clone(&graph),
-                Arc::new(pagerank::VcmPageRank { iterations: opts.pr_iterations }),
+                Arc::new(pagerank::VcmPageRank {
+                    iterations: opts.pr_iterations,
+                }),
                 &chl_cfg(false),
             );
             RunOutcome {
@@ -447,7 +512,9 @@ pub fn run(
                 &gof_cfg(false),
             );
             RunOutcome {
-                digest: opts.digest.then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_i64)),
+                digest: opts
+                    .digest
+                    .then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_i64)),
                 metrics: r.metrics,
             }
         }
@@ -467,12 +534,19 @@ pub fn run(
                 projected.insert(source, vec![(window, 0)]);
                 digest_interval_states(&projected, window, enc_i64)
             });
-            RunOutcome { digest, metrics: r.vcm.metrics }
+            RunOutcome {
+                digest,
+                metrics: r.vcm.metrics,
+            }
         }
         (Algo::Eat, Platform::Icm) => {
             let r = run_icm(
                 Arc::clone(&graph),
-                Arc::new(td_paths::IcmEat { source, start: opts.start, labels }),
+                Arc::new(td_paths::IcmEat {
+                    source,
+                    start: opts.start,
+                    labels,
+                }),
                 &icm_cfg,
             );
             RunOutcome {
@@ -483,11 +557,16 @@ pub fn run(
         (Algo::Eat, Platform::Goffish) => {
             let r = run_goffish(
                 Arc::clone(&graph),
-                Arc::new(gof_paths::GofEat { source, start: opts.start }),
+                Arc::new(gof_paths::GofEat {
+                    source,
+                    start: opts.start,
+                }),
                 &gof_cfg(false),
             );
             RunOutcome {
-                digest: opts.digest.then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_i64)),
+                digest: opts
+                    .digest
+                    .then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_i64)),
                 metrics: r.metrics,
             }
         }
@@ -504,7 +583,10 @@ pub fn run(
                 }),
                 &vcm_cfg(false),
             );
-            RunOutcome { digest: None, metrics: r.vcm.metrics }
+            RunOutcome {
+                digest: None,
+                metrics: r.vcm.metrics,
+            }
         }
         (Algo::Fast, Platform::Icm) => {
             let r = run_icm(
@@ -512,7 +594,10 @@ pub fn run(
                 Arc::new(td_paths::IcmFast { source, labels }),
                 &icm_cfg,
             );
-            RunOutcome { digest: None, metrics: r.metrics }
+            RunOutcome {
+                digest: None,
+                metrics: r.metrics,
+            }
         }
         (Algo::Fast, Platform::Goffish) => {
             let r = run_goffish(
@@ -520,7 +605,10 @@ pub fn run(
                 Arc::new(gof_paths::GofFast { source }),
                 &gof_cfg(false),
             );
-            RunOutcome { digest: None, metrics: r.metrics }
+            RunOutcome {
+                digest: None,
+                metrics: r.metrics,
+            }
         }
         (Algo::Fast, Platform::Tgb) => {
             let tg = get_transformed();
@@ -528,26 +616,45 @@ pub fn run(
                 Arc::clone(&graph),
                 Some(Arc::clone(&tg)),
                 &transform_opts,
-                Arc::new(tgb_paths::TgbFast { source, transformed: Arc::clone(&tg) }),
+                Arc::new(tgb_paths::TgbFast {
+                    source,
+                    transformed: Arc::clone(&tg),
+                }),
                 &vcm_cfg(false),
             );
-            RunOutcome { digest: None, metrics: r.vcm.metrics }
+            RunOutcome {
+                digest: None,
+                metrics: r.vcm.metrics,
+            }
         }
         (Algo::Ld, Platform::Icm) => {
             let r = run_icm(
                 Arc::clone(&graph),
-                Arc::new(td_paths::IcmLd { target: source, deadline, labels }),
+                Arc::new(td_paths::IcmLd {
+                    target: source,
+                    deadline,
+                    labels,
+                }),
                 &icm_cfg,
             );
-            RunOutcome { digest: None, metrics: r.metrics }
+            RunOutcome {
+                digest: None,
+                metrics: r.metrics,
+            }
         }
         (Algo::Ld, Platform::Goffish) => {
             let r = run_goffish(
                 Arc::clone(&graph),
-                Arc::new(gof_paths::GofLd { target: source, deadline }),
+                Arc::new(gof_paths::GofLd {
+                    target: source,
+                    deadline,
+                }),
                 &gof_cfg(true),
             );
-            RunOutcome { digest: None, metrics: r.metrics }
+            RunOutcome {
+                digest: None,
+                metrics: r.metrics,
+            }
         }
         (Algo::Ld, Platform::Tgb) => {
             let tg = get_transformed();
@@ -562,12 +669,19 @@ pub fn run(
                 }),
                 &vcm_cfg(true),
             );
-            RunOutcome { digest: None, metrics: r.vcm.metrics }
+            RunOutcome {
+                digest: None,
+                metrics: r.vcm.metrics,
+            }
         }
         (Algo::Tmst, Platform::Icm) => {
             let r = run_icm(
                 Arc::clone(&graph),
-                Arc::new(td_paths::IcmTmst { source, start: opts.start, labels }),
+                Arc::new(td_paths::IcmTmst {
+                    source,
+                    start: opts.start,
+                    labels,
+                }),
                 &icm_cfg,
             );
             RunOutcome {
@@ -582,7 +696,10 @@ pub fn run(
         (Algo::Tmst, Platform::Goffish) => {
             let r = run_goffish(
                 Arc::clone(&graph),
-                Arc::new(gof_paths::GofTmst { source, start: opts.start }),
+                Arc::new(gof_paths::GofTmst {
+                    source,
+                    start: opts.start,
+                }),
                 &gof_cfg(false),
             );
             RunOutcome {
@@ -607,12 +724,19 @@ pub fn run(
                 }),
                 &vcm_cfg(false),
             );
-            RunOutcome { digest: None, metrics: r.vcm.metrics }
+            RunOutcome {
+                digest: None,
+                metrics: r.vcm.metrics,
+            }
         }
         (Algo::Reach, Platform::Icm) => {
             let r = run_icm(
                 Arc::clone(&graph),
-                Arc::new(td_paths::IcmReach { source, start: opts.start, labels }),
+                Arc::new(td_paths::IcmReach {
+                    source,
+                    start: opts.start,
+                    labels,
+                }),
                 &icm_cfg,
             );
             RunOutcome {
@@ -623,11 +747,16 @@ pub fn run(
         (Algo::Reach, Platform::Goffish) => {
             let r = run_goffish(
                 Arc::clone(&graph),
-                Arc::new(gof_paths::GofReach { source, start: opts.start }),
+                Arc::new(gof_paths::GofReach {
+                    source,
+                    start: opts.start,
+                }),
                 &gof_cfg(false),
             );
             RunOutcome {
-                digest: opts.digest.then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_bool)),
+                digest: opts
+                    .digest
+                    .then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_bool)),
                 metrics: r.metrics,
             }
         }
@@ -644,7 +773,10 @@ pub fn run(
                 }),
                 &vcm_cfg(false),
             );
-            RunOutcome { digest: None, metrics: r.vcm.metrics }
+            RunOutcome {
+                digest: None,
+                metrics: r.vcm.metrics,
+            }
         }
 
         // ---------------- TD clustering ----------------
@@ -656,9 +788,15 @@ pub fn run(
             }
         }
         (Algo::Lcc, Platform::Goffish) => {
-            let r = run_goffish(Arc::clone(&graph), Arc::new(gof_cluster::GofLcc), &gof_cfg(false));
+            let r = run_goffish(
+                Arc::clone(&graph),
+                Arc::new(gof_cluster::GofLcc),
+                &gof_cfg(false),
+            );
             RunOutcome {
-                digest: opts.digest.then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_u64)),
+                digest: opts
+                    .digest
+                    .then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_u64)),
                 metrics: r.metrics,
             }
         }
@@ -670,9 +808,15 @@ pub fn run(
             }
         }
         (Algo::Tc, Platform::Goffish) => {
-            let r = run_goffish(Arc::clone(&graph), Arc::new(gof_cluster::GofTc), &gof_cfg(false));
+            let r = run_goffish(
+                Arc::clone(&graph),
+                Arc::new(gof_cluster::GofTc),
+                &gof_cfg(false),
+            );
             RunOutcome {
-                digest: opts.digest.then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_u64)),
+                digest: opts
+                    .digest
+                    .then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_u64)),
                 metrics: r.metrics,
             }
         }
@@ -711,10 +855,30 @@ mod tests {
     fn ti_digests_agree_across_platforms() {
         let g = Arc::new(transit_graph());
         for algo in [Algo::Bfs, Algo::Wcc, Algo::Scc, Algo::Pr] {
-            let icm = run(algo, Platform::Icm, Arc::clone(&g), None, &RunOpts::default()).unwrap();
-            let msb = run(algo, Platform::Msb, Arc::clone(&g), None, &RunOpts::default()).unwrap();
-            let chl =
-                run(algo, Platform::Chlonos, Arc::clone(&g), None, &RunOpts::default()).unwrap();
+            let icm = run(
+                algo,
+                Platform::Icm,
+                Arc::clone(&g),
+                None,
+                &RunOpts::default(),
+            )
+            .unwrap();
+            let msb = run(
+                algo,
+                Platform::Msb,
+                Arc::clone(&g),
+                None,
+                &RunOpts::default(),
+            )
+            .unwrap();
+            let chl = run(
+                algo,
+                Platform::Chlonos,
+                Arc::clone(&g),
+                None,
+                &RunOpts::default(),
+            )
+            .unwrap();
             assert_eq!(icm.digest, msb.digest, "{algo:?} icm vs msb");
             assert_eq!(msb.digest, chl.digest, "{algo:?} msb vs chl");
         }
@@ -723,8 +887,22 @@ mod tests {
     #[test]
     fn sssp_digests_agree_between_icm_and_tgb() {
         let g = Arc::new(transit_graph());
-        let icm = run(Algo::Sssp, Platform::Icm, Arc::clone(&g), None, &RunOpts::default()).unwrap();
-        let tgb = run(Algo::Sssp, Platform::Tgb, Arc::clone(&g), None, &RunOpts::default()).unwrap();
+        let icm = run(
+            Algo::Sssp,
+            Platform::Icm,
+            Arc::clone(&g),
+            None,
+            &RunOpts::default(),
+        )
+        .unwrap();
+        let tgb = run(
+            Algo::Sssp,
+            Platform::Tgb,
+            Arc::clone(&g),
+            None,
+            &RunOpts::default(),
+        )
+        .unwrap();
         assert_eq!(icm.digest, tgb.digest);
     }
 
@@ -732,9 +910,22 @@ mod tests {
     fn clustering_digests_agree_between_icm_and_gof() {
         let g = Arc::new(transit_graph());
         for algo in [Algo::Lcc, Algo::Tc] {
-            let icm = run(algo, Platform::Icm, Arc::clone(&g), None, &RunOpts::default()).unwrap();
-            let gof =
-                run(algo, Platform::Goffish, Arc::clone(&g), None, &RunOpts::default()).unwrap();
+            let icm = run(
+                algo,
+                Platform::Icm,
+                Arc::clone(&g),
+                None,
+                &RunOpts::default(),
+            )
+            .unwrap();
+            let gof = run(
+                algo,
+                Platform::Goffish,
+                Arc::clone(&g),
+                None,
+                &RunOpts::default(),
+            )
+            .unwrap();
             assert_eq!(icm.digest, gof.digest, "{algo:?}");
         }
     }

@@ -121,7 +121,10 @@ mod tests {
         let labels = AlgLabels::resolve(&g);
         let sssp = run_icm(
             Arc::clone(&g),
-            Arc::new(IcmSssp { source: transit_ids::A, labels }),
+            Arc::new(IcmSssp {
+                source: transit_ids::A,
+                labels,
+            }),
             &IcmConfig::default(),
         );
         let coverage = coverage_over_time(&sssp, Interval::new(0, 12));

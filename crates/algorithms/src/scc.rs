@@ -117,11 +117,7 @@ pub type SccMsg = (u32, u64);
 pub struct IcmScc;
 
 impl IcmScc {
-    fn bookkeep(
-        ctx: &mut ComputeContext<SccState, SccMsg>,
-        phase: Phase,
-        unassigned_after: u64,
-    ) {
+    fn bookkeep(ctx: &mut ComputeContext<SccState, SccMsg>, phase: Phase, unassigned_after: u64) {
         let agg = ctx.aggregate();
         agg.max_i64(AG_PHASE, phase_code(phase));
         if phase == Phase::Assign {
@@ -286,8 +282,7 @@ impl VcmProgram for VcmScc {
                         .unwrap_or(NONE);
                     if best < fwd {
                         *state = (comp, best, bwd);
-                        let targets: Vec<u32> =
-                            ctx.out_edges().iter().map(|e| e.target).collect();
+                        let targets: Vec<u32> = ctx.out_edges().iter().map(|e| e.target).collect();
                         for target in targets {
                             ctx.send(target, (0, best));
                         }
@@ -351,13 +346,18 @@ mod tests {
             b.add_vertex(VertexId(i), life).unwrap();
         }
         // Cycle {0,1} for the whole life.
-        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), life).unwrap();
-        b.add_edge(EdgeId(1), VertexId(1), VertexId(0), life).unwrap();
+        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), life)
+            .unwrap();
+        b.add_edge(EdgeId(1), VertexId(1), VertexId(0), life)
+            .unwrap();
         // Cycle {2,3} whose back edge dies at 3.
-        b.add_edge(EdgeId(2), VertexId(2), VertexId(3), life).unwrap();
-        b.add_edge(EdgeId(3), VertexId(3), VertexId(2), Interval::new(0, 3)).unwrap();
+        b.add_edge(EdgeId(2), VertexId(2), VertexId(3), life)
+            .unwrap();
+        b.add_edge(EdgeId(3), VertexId(3), VertexId(2), Interval::new(0, 3))
+            .unwrap();
         // One-way bridge 1 -> 2.
-        b.add_edge(EdgeId(4), VertexId(1), VertexId(2), life).unwrap();
+        b.add_edge(EdgeId(4), VertexId(1), VertexId(2), life)
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -394,7 +394,10 @@ mod tests {
         let icm = run_icm(
             Arc::clone(&graph),
             Arc::new(IcmScc),
-            &IcmConfig { workers: 2, ..Default::default() },
+            &IcmConfig {
+                workers: 2,
+                ..Default::default()
+            },
         );
         let comp = |vid: u64, t: i64| icm.state_at(VertexId(vid), t).map(|s| s.0).unwrap();
         // While edge 3->2 lives ([0,3)): SCCs {0,1}, {2,3}, {4}.
@@ -418,11 +421,22 @@ mod tests {
     #[test]
     fn icm_scc_matches_per_snapshot_scc() {
         let graph = Arc::new(scc_fixture());
-        let icm = run_icm(Arc::clone(&graph), Arc::new(IcmScc), &IcmConfig { workers: 2, ..Default::default() });
+        let icm = run_icm(
+            Arc::clone(&graph),
+            Arc::new(IcmScc),
+            &IcmConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        );
         let msb = run_msb(
             Arc::clone(&graph),
             |_| Arc::new(VcmScc),
-            &MsbConfig { workers: 2, need_in_edges: true, ..Default::default() },
+            &MsbConfig {
+                workers: 2,
+                need_in_edges: true,
+                ..Default::default()
+            },
         );
         for (t, snapshot) in &msb.per_snapshot {
             for (v, (comp, _, _)) in snapshot {
@@ -445,8 +459,10 @@ mod tests {
         for i in 0..3 {
             b.add_vertex(VertexId(i), life).unwrap();
         }
-        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), life).unwrap();
-        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), life).unwrap();
+        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), life)
+            .unwrap();
+        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), life)
+            .unwrap();
         let graph = Arc::new(b.build().unwrap());
         let icm = run_icm(Arc::clone(&graph), Arc::new(IcmScc), &IcmConfig::default());
         for i in 0..3 {
@@ -454,4 +470,3 @@ mod tests {
         }
     }
 }
-

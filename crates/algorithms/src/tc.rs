@@ -59,7 +59,13 @@ impl IntervalProgram for IcmTc {
         0
     }
 
-    fn compute(&self, ctx: &mut ComputeContext<u64, TcMsg>, t: Interval, state: &u64, msgs: &[TcMsg]) {
+    fn compute(
+        &self,
+        ctx: &mut ComputeContext<u64, TcMsg>,
+        t: Interval,
+        state: &u64,
+        msgs: &[TcMsg],
+    ) {
         let g = ctx.graph();
         let v = ctx.vertex_index();
         match ctx.superstep() {
@@ -85,7 +91,9 @@ impl IntervalProgram for IcmTc {
                     .iter()
                     .filter_map(|&e| {
                         let ed = g.edge(e);
-                        ed.lifespan.intersect(t).map(|iv| (g.vertex(ed.dst).vid, iv))
+                        ed.lifespan
+                            .intersect(t)
+                            .map(|iv| (g.vertex(ed.dst).vid, iv))
                     })
                     .collect();
                 let me = ctx.vid();
@@ -127,7 +135,9 @@ impl IntervalProgram for IcmTc {
                 bounds.sort_unstable();
                 bounds.dedup();
                 for w in bounds.windows(2) {
-                    let Some(piece) = Interval::try_new(w[0], w[1]) else { continue };
+                    let Some(piece) = Interval::try_new(w[0], w[1]) else {
+                        continue;
+                    };
                     let add: u64 = writes
                         .iter()
                         .filter(|(iv, _)| piece.during_or_equals(*iv))
@@ -169,9 +179,12 @@ mod tests {
         for i in 0..3 {
             b.add_vertex(VertexId(i), life).unwrap();
         }
-        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), Interval::new(0, 8)).unwrap();
-        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(2, 10)).unwrap();
-        b.add_edge(EdgeId(2), VertexId(2), VertexId(0), Interval::new(1, 7)).unwrap();
+        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), Interval::new(0, 8))
+            .unwrap();
+        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(2, 10))
+            .unwrap();
+        b.add_edge(EdgeId(2), VertexId(2), VertexId(0), Interval::new(1, 7))
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -188,7 +201,14 @@ mod tests {
     #[test]
     fn cycle_counted_exactly_in_overlap() {
         let graph = Arc::new(cycle_graph());
-        let r = run_icm(Arc::clone(&graph), Arc::new(IcmTc), &IcmConfig { workers: 2, ..Default::default() });
+        let r = run_icm(
+            Arc::clone(&graph),
+            Arc::new(IcmTc),
+            &IcmConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        );
         // The three edges coexist over [2,7).
         for t in [0, 1, 7, 9] {
             assert_eq!(triangles_at(&r, t), 0, "t={t}");
@@ -200,7 +220,11 @@ mod tests {
         for v in 0..3 {
             let counts = &r.states[&VertexId(v)];
             let at = |t: i64| {
-                counts.iter().find(|(iv, _)| iv.contains_point(t)).map(|(_, c)| *c).unwrap()
+                counts
+                    .iter()
+                    .find(|(iv, _)| iv.contains_point(t))
+                    .map(|(_, c)| *c)
+                    .unwrap()
             };
             assert_eq!(at(3), 1, "v{v}");
             assert_eq!(at(1), 0, "v{v}");
@@ -210,8 +234,22 @@ mod tests {
     #[test]
     fn counts_stable_across_workers() {
         let graph = Arc::new(cycle_graph());
-        let r1 = run_icm(Arc::clone(&graph), Arc::new(IcmTc), &IcmConfig { workers: 1, ..Default::default() });
-        let r3 = run_icm(Arc::clone(&graph), Arc::new(IcmTc), &IcmConfig { workers: 3, ..Default::default() });
+        let r1 = run_icm(
+            Arc::clone(&graph),
+            Arc::new(IcmTc),
+            &IcmConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        let r3 = run_icm(
+            Arc::clone(&graph),
+            Arc::new(IcmTc),
+            &IcmConfig {
+                workers: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(r1.states, r3.states);
     }
 }

@@ -13,7 +13,10 @@ use graphite_icm::prelude::*;
 use graphite_tgraph::graph::VertexId;
 use graphite_tgraph::time::{Interval, Time, TIME_MIN};
 
-fn travel(ctx: &ScatterContext<'_, impl Send + Sync + Clone + 'static>, labels: &AlgLabels) -> (i64, i64) {
+fn travel(
+    ctx: &ScatterContext<'_, impl Send + Sync + Clone + 'static>,
+    labels: &AlgLabels,
+) -> (i64, i64) {
     // Properties are constant across the refined edge segment.
     let tt = labels
         .travel_time
@@ -354,7 +357,13 @@ impl IntervalProgram for IcmReach {
         false
     }
 
-    fn compute(&self, ctx: &mut ComputeContext<bool, bool>, t: Interval, state: &bool, msgs: &[bool]) {
+    fn compute(
+        &self,
+        ctx: &mut ComputeContext<bool, bool>,
+        t: Interval,
+        state: &bool,
+        msgs: &[bool],
+    ) {
         if ctx.superstep() == 1 {
             if ctx.vid() == self.source {
                 ctx.set_state(
@@ -394,7 +403,10 @@ mod tests {
         let g = Arc::new(transit_graph());
         let r = run_icm(
             Arc::clone(&g),
-            Arc::new(IcmSssp { source: transit_ids::A, labels: labels(&g) }),
+            Arc::new(IcmSssp {
+                source: transit_ids::A,
+                labels: labels(&g),
+            }),
             &IcmConfig::default(),
         );
         assert_eq!(r.state_at(transit_ids::E, 7), Some(&7));
@@ -408,7 +420,11 @@ mod tests {
         let g = Arc::new(transit_graph());
         let r = run_icm(
             Arc::clone(&g),
-            Arc::new(IcmEat { source: transit_ids::A, start: 0, labels: labels(&g) }),
+            Arc::new(IcmEat {
+                source: transit_ids::A,
+                start: 0,
+                labels: labels(&g),
+            }),
             &IcmConfig::default(),
         );
         // A departs: to C at 1 -> arrive 2; to D at 1 -> 2; to B at 3 -> 4.
@@ -421,7 +437,11 @@ mod tests {
         // Starting later than every A departure: nothing reachable.
         let late = run_icm(
             Arc::clone(&g),
-            Arc::new(IcmEat { source: transit_ids::A, start: 6, labels: labels(&g) }),
+            Arc::new(IcmEat {
+                source: transit_ids::A,
+                start: 6,
+                labels: labels(&g),
+            }),
             &IcmConfig::default(),
         );
         assert_eq!(IcmEat::earliest(&late, transit_ids::B), None);
@@ -432,7 +452,11 @@ mod tests {
         let g = Arc::new(transit_graph());
         let r = run_icm(
             Arc::clone(&g),
-            Arc::new(IcmTmst { source: transit_ids::A, start: 0, labels: labels(&g) }),
+            Arc::new(IcmTmst {
+                source: transit_ids::A,
+                start: 0,
+                labels: labels(&g),
+            }),
             &IcmConfig::default(),
         );
         let parent = |vid: VertexId| {
@@ -456,7 +480,10 @@ mod tests {
         let g = Arc::new(transit_graph());
         let r = run_icm(
             Arc::clone(&g),
-            Arc::new(IcmFast { source: transit_ids::A, labels: labels(&g) }),
+            Arc::new(IcmFast {
+                source: transit_ids::A,
+                labels: labels(&g),
+            }),
             &IcmConfig::default(),
         );
         // One hop is always duration 1 (depart d, arrive d+1).
@@ -475,8 +502,15 @@ mod tests {
         let g = Arc::new(transit_graph());
         let r = run_icm(
             Arc::clone(&g),
-            Arc::new(IcmLd { target: transit_ids::E, deadline: 9, labels: labels(&g) }),
-            &IcmConfig { workers: 2, ..Default::default() },
+            Arc::new(IcmLd {
+                target: transit_ids::E,
+                deadline: 9,
+                labels: labels(&g),
+            }),
+            &IcmConfig {
+                workers: 2,
+                ..Default::default()
+            },
         );
         // Depart B at 8 (arrive E at 9 <= 9): LD(B) = 8.
         assert_eq!(IcmLd::latest(&r, transit_ids::B), Some(8));
@@ -491,7 +525,11 @@ mod tests {
         // works (arrive 7), so A must go via C by 2.
         let tight = run_icm(
             Arc::clone(&g),
-            Arc::new(IcmLd { target: transit_ids::E, deadline: 8, labels: labels(&g) }),
+            Arc::new(IcmLd {
+                target: transit_ids::E,
+                deadline: 8,
+                labels: labels(&g),
+            }),
             &IcmConfig::default(),
         );
         assert_eq!(IcmLd::latest(&tight, transit_ids::B), None);
@@ -504,10 +542,19 @@ mod tests {
         let g = Arc::new(transit_graph());
         let r = run_icm(
             Arc::clone(&g),
-            Arc::new(IcmReach { source: transit_ids::A, start: 0, labels: labels(&g) }),
+            Arc::new(IcmReach {
+                source: transit_ids::A,
+                start: 0,
+                labels: labels(&g),
+            }),
             &IcmConfig::default(),
         );
-        for vid in [transit_ids::B, transit_ids::C, transit_ids::D, transit_ids::E] {
+        for vid in [
+            transit_ids::B,
+            transit_ids::C,
+            transit_ids::D,
+            transit_ids::E,
+        ] {
             assert!(r.states[&vid].iter().any(|(_, s)| *s), "{vid:?} reachable");
         }
         assert!(r.states[&transit_ids::F].iter().all(|(_, s)| !*s));

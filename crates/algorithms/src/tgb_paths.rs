@@ -96,7 +96,9 @@ pub fn tgb_earliest_arrivals(
     for (r, &(orig, t)) in transformed.replicas.iter().enumerate() {
         if states.get(&(r as u32)).copied().unwrap_or(false) {
             let vid = graph.vertex(orig).vid;
-            out.entry(vid).and_modify(|cur: &mut i64| *cur = (*cur).min(t)).or_insert(t);
+            out.entry(vid)
+                .and_modify(|cur: &mut i64| *cur = (*cur).min(t))
+                .or_insert(t);
         }
     }
     out
@@ -153,13 +155,17 @@ pub fn tgb_fastest_durations(
 ) -> HashMap<VertexId, i64> {
     let mut out = HashMap::new();
     for (r, &(orig, t)) in transformed.replicas.iter().enumerate() {
-        let Some(&s) = states.get(&(r as u32)) else { continue };
+        let Some(&s) = states.get(&(r as u32)) else {
+            continue;
+        };
         if s == TIME_MIN {
             continue;
         }
         let vid = graph.vertex(orig).vid;
         let dur = t - s;
-        out.entry(vid).and_modify(|cur: &mut i64| *cur = (*cur).min(dur)).or_insert(dur);
+        out.entry(vid)
+            .and_modify(|cur: &mut i64| *cur = (*cur).min(dur))
+            .or_insert(dur);
     }
     out
 }
@@ -228,7 +234,9 @@ pub fn tgb_tmst_parents(
 ) -> HashMap<VertexId, (i64, u64)> {
     let mut out: HashMap<VertexId, (i64, u64)> = HashMap::new();
     for (r, &(orig, _)) in transformed.replicas.iter().enumerate() {
-        let Some(&(a, p)) = states.get(&(r as u32)) else { continue };
+        let Some(&(a, p)) = states.get(&(r as u32)) else {
+            continue;
+        };
         if a == INF {
             continue;
         }
@@ -293,7 +301,9 @@ pub fn tgb_latest_departures(
     for (r, &(orig, t)) in transformed.replicas.iter().enumerate() {
         if states.get(&(r as u32)).copied().unwrap_or(false) {
             let vid = graph.vertex(orig).vid;
-            out.entry(vid).and_modify(|cur: &mut i64| *cur = (*cur).max(t)).or_insert(t);
+            out.entry(vid)
+                .and_modify(|cur: &mut i64| *cur = (*cur).max(t))
+                .or_insert(t);
         }
     }
     out
@@ -307,7 +317,10 @@ mod tests {
     use graphite_tgraph::fixtures::{transit_graph, transit_ids};
     use graphite_tgraph::transform::{transform_for_paths, TransformOptions};
 
-    fn setup() -> (Arc<graphite_tgraph::graph::TemporalGraph>, Arc<TransformedGraph>) {
+    fn setup() -> (
+        Arc<graphite_tgraph::graph::TemporalGraph>,
+        Arc<TransformedGraph>,
+    ) {
         let g = Arc::new(transit_graph());
         let tg = Arc::new(transform_for_paths(&g, &TransformOptions::default()));
         (g, tg)
@@ -320,8 +333,15 @@ mod tests {
             Arc::clone(&g),
             Some(Arc::clone(&tg)),
             &TransformOptions::default(),
-            Arc::new(TgbReach { source: transit_ids::A, start: 0, transformed: Arc::clone(&tg) }),
-            &VcmConfig { workers: 2, ..Default::default() },
+            Arc::new(TgbReach {
+                source: transit_ids::A,
+                start: 0,
+                transformed: Arc::clone(&tg),
+            }),
+            &VcmConfig {
+                workers: 2,
+                ..Default::default()
+            },
         );
         let eat = tgb_earliest_arrivals(&tg, &g, &r.vcm.states);
         assert_eq!(eat.get(&transit_ids::C), Some(&2));
@@ -338,8 +358,14 @@ mod tests {
             Arc::clone(&g),
             Some(Arc::clone(&tg)),
             &TransformOptions::default(),
-            Arc::new(TgbFast { source: transit_ids::A, transformed: Arc::clone(&tg) }),
-            &VcmConfig { workers: 2, ..Default::default() },
+            Arc::new(TgbFast {
+                source: transit_ids::A,
+                transformed: Arc::clone(&tg),
+            }),
+            &VcmConfig {
+                workers: 2,
+                ..Default::default()
+            },
         );
         let fast = tgb_fastest_durations(&tg, &g, &r.vcm.states);
         assert_eq!(fast.get(&transit_ids::B), Some(&1));
@@ -362,7 +388,10 @@ mod tests {
                 start: 0,
                 transformed: Arc::clone(&tg),
             }),
-            &VcmConfig { workers: 2, ..Default::default() },
+            &VcmConfig {
+                workers: 2,
+                ..Default::default()
+            },
         );
         let parents = tgb_tmst_parents(&tg, &g, &r.vcm.states);
         assert_eq!(parents[&transit_ids::B].1, transit_ids::A.0);
@@ -384,7 +413,11 @@ mod tests {
                 deadline: 9,
                 transformed: Arc::clone(&tg),
             }),
-            &VcmConfig { workers: 2, need_in_edges: true, ..Default::default() },
+            &VcmConfig {
+                workers: 2,
+                need_in_edges: true,
+                ..Default::default()
+            },
         );
         let ld = tgb_latest_departures(&tg, &g, &r.vcm.states);
         assert_eq!(ld.get(&transit_ids::B), Some(&8));

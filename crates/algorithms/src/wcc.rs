@@ -104,12 +104,19 @@ mod tests {
         let icm = run_icm(
             Arc::clone(&graph),
             Arc::new(IcmWcc),
-            &IcmConfig { workers: 2, ..Default::default() },
+            &IcmConfig {
+                workers: 2,
+                ..Default::default()
+            },
         );
         let msb = run_msb(
             Arc::clone(&graph),
             |_| Arc::new(VcmWcc),
-            &MsbConfig { workers: 2, need_in_edges: true, ..Default::default() },
+            &MsbConfig {
+                workers: 2,
+                need_in_edges: true,
+                ..Default::default()
+            },
         );
         for (t, snapshot) in &msb.per_snapshot {
             for (v, label) in snapshot {
@@ -140,11 +147,19 @@ mod tests {
     #[test]
     fn single_snapshot_vcm_agrees() {
         let graph = Arc::new(transit_graph());
-        let topo = Arc::new(SnapshotTopology::new(Arc::clone(&graph), 2, Default::default()));
+        let topo = Arc::new(SnapshotTopology::new(
+            Arc::clone(&graph),
+            2,
+            Default::default(),
+        ));
         let r = run_vcm(
             topo,
             Arc::new(VcmWcc),
-            &VcmConfig { workers: 2, need_in_edges: true, ..Default::default() },
+            &VcmConfig {
+                workers: 2,
+                need_in_edges: true,
+                ..Default::default()
+            },
         );
         // Live at t=2: A->C, A->D, E->F. Components {A,C,D}, {B}, {E,F}.
         let idx = |vid: VertexId| graph.vertex_index(vid).unwrap().0;

@@ -29,13 +29,19 @@ fn travel_time_greater_than_one() {
         let life = Interval::new(0, 20);
         b.add_vertex(VertexId(0), life).unwrap();
         b.add_vertex(VertexId(1), life).unwrap();
-        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), Interval::new(2, 6)).unwrap();
-        b.edge_property(EdgeId(0), "travel-time", Interval::new(2, 6), 3i64.into()).unwrap();
-        b.edge_property(EdgeId(0), "travel-cost", Interval::new(2, 6), 4i64.into()).unwrap();
+        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), Interval::new(2, 6))
+            .unwrap();
+        b.edge_property(EdgeId(0), "travel-time", Interval::new(2, 6), 3i64.into())
+            .unwrap();
+        b.edge_property(EdgeId(0), "travel-cost", Interval::new(2, 6), 4i64.into())
+            .unwrap();
     });
     let sssp = run_icm(
         Arc::clone(&g),
-        Arc::new(IcmSssp { source: VertexId(0), labels: labels(&g) }),
+        Arc::new(IcmSssp {
+            source: VertexId(0),
+            labels: labels(&g),
+        }),
         &IcmConfig::default(),
     );
     // Depart at 2 (earliest), arrive 5.
@@ -43,14 +49,22 @@ fn travel_time_greater_than_one() {
     assert_eq!(sssp.state_at(VertexId(1), 5), Some(&4));
     let eat = run_icm(
         Arc::clone(&g),
-        Arc::new(IcmEat { source: VertexId(0), start: 0, labels: labels(&g) }),
+        Arc::new(IcmEat {
+            source: VertexId(0),
+            start: 0,
+            labels: labels(&g),
+        }),
         &IcmConfig::default(),
     );
     assert_eq!(IcmEat::earliest(&eat, VertexId(1)), Some(5));
     // Starting after the edge's last departure (5): unreachable.
     let late = run_icm(
         Arc::clone(&g),
-        Arc::new(IcmEat { source: VertexId(0), start: 6, labels: labels(&g) }),
+        Arc::new(IcmEat {
+            source: VertexId(0),
+            start: 6,
+            labels: labels(&g),
+        }),
         &IcmConfig::default(),
     );
     assert_eq!(IcmEat::earliest(&late, VertexId(1)), None);
@@ -64,14 +78,21 @@ fn parallel_edges_with_different_costs() {
         let life = Interval::new(0, 12);
         b.add_vertex(VertexId(0), life).unwrap();
         b.add_vertex(VertexId(1), life).unwrap();
-        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), Interval::new(0, 8)).unwrap();
-        b.edge_property(EdgeId(0), "travel-cost", Interval::new(0, 8), 9i64.into()).unwrap();
-        b.add_edge(EdgeId(1), VertexId(0), VertexId(1), Interval::new(4, 10)).unwrap();
-        b.edge_property(EdgeId(1), "travel-cost", Interval::new(4, 10), 2i64.into()).unwrap();
+        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), Interval::new(0, 8))
+            .unwrap();
+        b.edge_property(EdgeId(0), "travel-cost", Interval::new(0, 8), 9i64.into())
+            .unwrap();
+        b.add_edge(EdgeId(1), VertexId(0), VertexId(1), Interval::new(4, 10))
+            .unwrap();
+        b.edge_property(EdgeId(1), "travel-cost", Interval::new(4, 10), 2i64.into())
+            .unwrap();
     });
     let sssp = run_icm(
         Arc::clone(&g),
-        Arc::new(IcmSssp { source: VertexId(0), labels: labels(&g) }),
+        Arc::new(IcmSssp {
+            source: VertexId(0),
+            labels: labels(&g),
+        }),
         &IcmConfig::default(),
     );
     // Arrivals 1..4 only via the expensive edge; from 5 the cheap one.
@@ -89,18 +110,28 @@ fn ld_deadline_boundaries() {
         let life = Interval::new(0, 10);
         b.add_vertex(VertexId(0), life).unwrap();
         b.add_vertex(VertexId(1), life).unwrap();
-        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), Interval::new(4, 5)).unwrap();
-        b.edge_property(EdgeId(0), "travel-time", Interval::new(4, 5), 1i64.into()).unwrap();
+        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), Interval::new(4, 5))
+            .unwrap();
+        b.edge_property(EdgeId(0), "travel-time", Interval::new(4, 5), 1i64.into())
+            .unwrap();
     });
     let tight = run_icm(
         Arc::clone(&g),
-        Arc::new(IcmLd { target: VertexId(1), deadline: 4, labels: labels(&g) }),
+        Arc::new(IcmLd {
+            target: VertexId(1),
+            deadline: 4,
+            labels: labels(&g),
+        }),
         &IcmConfig::default(),
     );
     assert_eq!(IcmLd::latest(&tight, VertexId(0)), None, "arrival is 5 > 4");
     let exact = run_icm(
         Arc::clone(&g),
-        Arc::new(IcmLd { target: VertexId(1), deadline: 5, labels: labels(&g) }),
+        Arc::new(IcmLd {
+            target: VertexId(1),
+            deadline: 5,
+            labels: labels(&g),
+        }),
         &IcmConfig::default(),
     );
     assert_eq!(IcmLd::latest(&exact, VertexId(0)), Some(4));
@@ -117,16 +148,27 @@ fn tmst_tie_breaks_deterministically() {
         }
         // 0 -> 1 and 0 -> 2 at t=0 (arrive 1); both 1 and 2 -> 3 at t=1
         // (arrive 2 from either).
-        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), Interval::new(0, 1)).unwrap();
-        b.add_edge(EdgeId(1), VertexId(0), VertexId(2), Interval::new(0, 1)).unwrap();
-        b.add_edge(EdgeId(2), VertexId(1), VertexId(3), Interval::new(1, 2)).unwrap();
-        b.add_edge(EdgeId(3), VertexId(2), VertexId(3), Interval::new(1, 2)).unwrap();
+        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), Interval::new(0, 1))
+            .unwrap();
+        b.add_edge(EdgeId(1), VertexId(0), VertexId(2), Interval::new(0, 1))
+            .unwrap();
+        b.add_edge(EdgeId(2), VertexId(1), VertexId(3), Interval::new(1, 2))
+            .unwrap();
+        b.add_edge(EdgeId(3), VertexId(2), VertexId(3), Interval::new(1, 2))
+            .unwrap();
     });
     for workers in [1, 2, 4] {
         let r = run_icm(
             Arc::clone(&g),
-            Arc::new(IcmTmst { source: VertexId(0), start: 0, labels: labels(&g) }),
-            &IcmConfig { workers, ..Default::default() },
+            Arc::new(IcmTmst {
+                source: VertexId(0),
+                start: 0,
+                labels: labels(&g),
+            }),
+            &IcmConfig {
+                workers,
+                ..Default::default()
+            },
         );
         let parent = r.states[&VertexId(3)]
             .iter()
@@ -147,7 +189,10 @@ fn singleton_graph_terminates() {
     });
     let sssp = run_icm(
         Arc::clone(&g),
-        Arc::new(IcmSssp { source: VertexId(7), labels: labels(&g) }),
+        Arc::new(IcmSssp {
+            source: VertexId(7),
+            labels: labels(&g),
+        }),
         &IcmConfig::default(),
     );
     assert_eq!(sssp.state_at(VertexId(7), 0), Some(&0));
@@ -168,13 +213,19 @@ fn fast_prefers_late_departures() {
         // Early 2-hop chain: 0->1 at t=0 (arrive 1), 1->2 at t=10 (arrive
         // 11): duration 11. Direct late edge 0->2 at t=9 (arrive 10):
         // duration 1.
-        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), Interval::new(0, 1)).unwrap();
-        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(10, 11)).unwrap();
-        b.add_edge(EdgeId(2), VertexId(0), VertexId(2), Interval::new(9, 10)).unwrap();
+        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), Interval::new(0, 1))
+            .unwrap();
+        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(10, 11))
+            .unwrap();
+        b.add_edge(EdgeId(2), VertexId(0), VertexId(2), Interval::new(9, 10))
+            .unwrap();
     });
     let fast = run_icm(
         Arc::clone(&g),
-        Arc::new(IcmFast { source: VertexId(0), labels: labels(&g) }),
+        Arc::new(IcmFast {
+            source: VertexId(0),
+            labels: labels(&g),
+        }),
         &IcmConfig::default(),
     );
     assert_eq!(IcmFast::fastest(&fast, VertexId(2)), Some(1));
@@ -189,12 +240,17 @@ fn death_clips_propagation() {
         b.add_vertex(VertexId(1), Interval::new(0, 4)).unwrap();
         b.add_vertex(VertexId(2), Interval::new(0, 10)).unwrap();
         // 0 -> 1 alive [2,4); 1 -> 2 alive [2,4).
-        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), Interval::new(2, 4)).unwrap();
-        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(2, 4)).unwrap();
+        b.add_edge(EdgeId(0), VertexId(0), VertexId(1), Interval::new(2, 4))
+            .unwrap();
+        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(2, 4))
+            .unwrap();
     });
     let sssp = run_icm(
         Arc::clone(&g),
-        Arc::new(IcmSssp { source: VertexId(0), labels: labels(&g) }),
+        Arc::new(IcmSssp {
+            source: VertexId(0),
+            labels: labels(&g),
+        }),
         &IcmConfig::default(),
     );
     // 1 is reached at 3 (within its life); its relay departs at 3, arrives

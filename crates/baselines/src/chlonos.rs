@@ -122,7 +122,12 @@ where
                 .and_then(PropValue::as_long)
                 .unwrap_or(1);
             let target = if incoming { ed.src.0 } else { ed.dst.0 };
-            out.push(VcmEdge { target, w1, w2, kind: 0 });
+            out.push(VcmEdge {
+                target,
+                w1,
+                w2,
+                kind: 0,
+            });
         }
     }
 
@@ -157,7 +162,10 @@ where
             {
                 let batch_len = self.batch_len;
                 let program = &self.program;
-                let slot = self.states.entry(v).or_insert_with(|| vec![None; batch_len]);
+                let slot = self
+                    .states
+                    .entry(v)
+                    .or_insert_with(|| vec![None; batch_len]);
                 if slot[off].is_none() {
                     slot[off] = Some(program.init(v, vid));
                 }
@@ -279,7 +287,9 @@ where
             active.push((v.0, per_off));
         }
         for (v, per_off) in active {
-            self.process_vertex(v, step, all_active, &per_off, outbox, globals, partial, counters);
+            self.process_vertex(
+                v, step, all_active, &per_off, outbox, globals, partial, counters,
+            );
         }
     }
 }
@@ -306,7 +316,11 @@ where
     // Static-topology reuse: one single-snapshot batch covers the window.
     let static_reuse = config.exploit_static_topology
         && crate::topology::is_topology_static_helper(&graph, window);
-    let effective_end = if static_reuse { window.start() + 1 } else { window.end() };
+    let effective_end = if static_reuse {
+        window.start() + 1
+    } else {
+        window.end()
+    };
 
     let mut batch_start = window.start();
     while batch_start < effective_end {
@@ -324,7 +338,10 @@ where
                 states: HashMap::new(),
             })
             .collect();
-        let bsp = BspConfig { max_supersteps: config.max_supersteps, ..Default::default() };
+        let bsp = BspConfig {
+            max_supersteps: config.max_supersteps,
+            ..Default::default()
+        };
         // Keep phased programs alive through idle barriers when they
         // request an all-active next superstep.
         let prog = Arc::clone(&program);
@@ -336,7 +353,8 @@ where
             }
         };
         let (workers, batch_metrics) =
-            run_bsp(&bsp, workers, Arc::clone(&partition), Some(&mut wrapper));
+            run_bsp(&bsp, workers, Arc::clone(&partition), Some(&mut wrapper))
+                .unwrap_or_else(|e| panic!("Chlonos batch run failed: {e}"));
         metrics.merge(&batch_metrics);
         if config.collect_states {
             let mut maps: Vec<HashMap<u32, P::State>> =
@@ -363,15 +381,19 @@ where
             }
         }
     }
-    ChlResult { per_snapshot, metrics, batches }
+    ChlResult {
+        per_snapshot,
+        metrics,
+        batches,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::msb::{run_msb, MsbConfig};
-    use graphite_tgraph::graph::VertexId;
     use graphite_tgraph::fixtures::transit_graph;
+    use graphite_tgraph::graph::VertexId;
 
     /// Per-snapshot BFS level from A (same program as the MSB test).
     struct Bfs {
@@ -412,14 +434,27 @@ mod tests {
         let graph = Arc::new(transit_graph());
         let msb = run_msb(
             Arc::clone(&graph),
-            |_| Arc::new(Bfs { source: VertexId(0) }),
-            &MsbConfig { workers: 2, ..Default::default() },
+            |_| {
+                Arc::new(Bfs {
+                    source: VertexId(0),
+                })
+            },
+            &MsbConfig {
+                workers: 2,
+                ..Default::default()
+            },
         );
         for batch_size in [1, 3, 9, 100] {
             let chl = run_chlonos(
                 Arc::clone(&graph),
-                Arc::new(Bfs { source: VertexId(0) }),
-                &ChlConfig { workers: 2, batch_size, ..Default::default() },
+                Arc::new(Bfs {
+                    source: VertexId(0),
+                }),
+                &ChlConfig {
+                    workers: 2,
+                    batch_size,
+                    ..Default::default()
+                },
             );
             assert_eq!(chl.per_snapshot.len(), 9);
             for (t, states) in &msb.per_snapshot {
@@ -439,17 +474,33 @@ mod tests {
         let graph = Arc::new(transit_graph());
         let msb = run_msb(
             Arc::clone(&graph),
-            |_| Arc::new(Bfs { source: VertexId(0) }),
-            &MsbConfig { workers: 2, ..Default::default() },
+            |_| {
+                Arc::new(Bfs {
+                    source: VertexId(0),
+                })
+            },
+            &MsbConfig {
+                workers: 2,
+                ..Default::default()
+            },
         );
         let chl = run_chlonos(
             Arc::clone(&graph),
-            Arc::new(Bfs { source: VertexId(0) }),
-            &ChlConfig { workers: 2, batch_size: 9, ..Default::default() },
+            Arc::new(Bfs {
+                source: VertexId(0),
+            }),
+            &ChlConfig {
+                workers: 2,
+                batch_size: 9,
+                ..Default::default()
+            },
         );
         // Sec. VII-B1: MSB and Chlonos have the same number of compute
         // calls for an algorithm on a graph.
-        assert_eq!(chl.metrics.counters.compute_calls, msb.metrics.counters.compute_calls);
+        assert_eq!(
+            chl.metrics.counters.compute_calls,
+            msb.metrics.counters.compute_calls
+        );
         // A->B exists over [3,6) with A's level-1 push identical at each
         // point; one batch merges those into fewer messages.
         assert!(chl.metrics.counters.messages_sent < msb.metrics.counters.messages_sent);
@@ -461,13 +512,23 @@ mod tests {
         let graph = Arc::new(transit_graph());
         let one = run_chlonos(
             Arc::clone(&graph),
-            Arc::new(Bfs { source: VertexId(0) }),
-            &ChlConfig { batch_size: 9, ..Default::default() },
+            Arc::new(Bfs {
+                source: VertexId(0),
+            }),
+            &ChlConfig {
+                batch_size: 9,
+                ..Default::default()
+            },
         );
         let many = run_chlonos(
             Arc::clone(&graph),
-            Arc::new(Bfs { source: VertexId(0) }),
-            &ChlConfig { batch_size: 1, ..Default::default() },
+            Arc::new(Bfs {
+                source: VertexId(0),
+            }),
+            &ChlConfig {
+                batch_size: 1,
+                ..Default::default()
+            },
         );
         assert_eq!(many.batches, 9);
         assert!(many.metrics.counters.messages_sent >= one.metrics.counters.messages_sent);

@@ -35,7 +35,12 @@ pub trait GofProgram: Send + Sync + 'static {
     /// Vertex compute within a snapshot. May send local messages (same
     /// snapshot, next inner superstep) and temporal messages (future
     /// snapshot).
-    fn compute(&self, ctx: &mut GofContext<'_, Self::Msg>, state: &mut Self::State, msgs: &[Self::Msg]);
+    fn compute(
+        &self,
+        ctx: &mut GofContext<'_, Self::Msg>,
+        state: &mut Self::State,
+        msgs: &[Self::Msg],
+    );
 
     /// Optional receiver-side combiner.
     fn combine(&self, a: &Self::Msg, b: &Self::Msg) -> Option<Self::Msg> {
@@ -164,7 +169,12 @@ impl<P: GofProgram> GofWorker<P> {
                 .and_then(PropValue::as_long)
                 .unwrap_or(1);
             let target = if self.reverse { ed.src.0 } else { ed.dst.0 };
-            out.push(VcmEdge { target, w1, w2, kind: 0 });
+            out.push(VcmEdge {
+                target,
+                w1,
+                w2,
+                kind: 0,
+            });
         }
     }
 
@@ -197,10 +207,7 @@ impl<P: GofProgram> GofWorker<P> {
         let mut edges = Vec::new();
         self.out_edges_at(v, &mut edges);
         let program = Arc::clone(&self.program);
-        let state = self
-            .states
-            .entry(v)
-            .or_insert_with(|| program.init(vid));
+        let state = self.states.entry(v).or_insert_with(|| program.init(vid));
         let mut local: Vec<(u32, P::Msg)> = Vec::new();
         let mut future: Vec<(u32, Time, P::Msg)> = Vec::new();
         let mut ctx = GofContext {
@@ -245,7 +252,10 @@ impl<P: GofProgram> WorkerLogic for GofWorker<P> {
             let initial = std::mem::take(&mut self.initial);
             let owned = std::mem::take(&mut self.owned);
             for &v in &owned {
-                let msgs = initial.get(&v).map(|m| self.combined(m)).unwrap_or_default();
+                let msgs = initial
+                    .get(&v)
+                    .map(|m| self.combined(m))
+                    .unwrap_or_default();
                 self.run_vertex(v, step, &msgs, outbox, counters);
             }
             self.owned = owned;
@@ -371,8 +381,12 @@ pub fn run_goffish<P: GofProgram>(
             let w = partition.worker_of(VIdx(v));
             workers[w].initial.insert(v, msgs);
         }
-        let bsp = BspConfig { max_supersteps: config.max_supersteps, ..Default::default() };
-        let (workers, snap_metrics) = run_bsp(&bsp, workers, Arc::clone(&partition), None);
+        let bsp = BspConfig {
+            max_supersteps: config.max_supersteps,
+            ..Default::default()
+        };
+        let (workers, snap_metrics) = run_bsp(&bsp, workers, Arc::clone(&partition), None)
+            .unwrap_or_else(|e| panic!("GoFFish snapshot run failed: {e}"));
         metrics.merge(&snap_metrics);
         for worker in workers {
             // Temporal messages are charged as messages (they travel via
@@ -380,7 +394,12 @@ pub fn run_goffish<P: GofProgram>(
             for (target, time, m) in worker.future_out {
                 metrics.counters.messages_sent += 1;
                 metrics.counters.bytes_sent += m.encoded_len() as u64 + 12;
-                queue.entry(time).or_default().entry(target).or_default().push(m);
+                queue
+                    .entry(time)
+                    .or_default()
+                    .entry(target)
+                    .or_default()
+                    .push(m);
             }
             states.extend(worker.states);
         }
@@ -388,7 +407,11 @@ pub fn run_goffish<P: GofProgram>(
             per_snapshot.push((t, states.clone()));
         }
     }
-    GofResult { states, per_snapshot, metrics }
+    GofResult {
+        states,
+        per_snapshot,
+        metrics,
+    }
 }
 
 #[cfg(test)]
@@ -443,7 +466,10 @@ mod tests {
     }
 
     fn weights(g: &TemporalGraph) -> EdgeWeights {
-        EdgeWeights { w1: g.label("travel-cost"), w2: g.label("travel-time") }
+        EdgeWeights {
+            w1: g.label("travel-cost"),
+            w2: g.label("travel-time"),
+        }
     }
 
     #[test]
@@ -451,8 +477,14 @@ mod tests {
         let graph = Arc::new(transit_graph());
         let r = run_goffish(
             Arc::clone(&graph),
-            Arc::new(GofSssp { source: transit_ids::A }),
-            &GofConfig { workers: 2, weights: weights(&graph), ..Default::default() },
+            Arc::new(GofSssp {
+                source: transit_ids::A,
+            }),
+            &GofConfig {
+                workers: 2,
+                weights: weights(&graph),
+                ..Default::default()
+            },
         );
         let idx = |vid| graph.vertex_index(vid).unwrap().0;
         // B: inf before 4, 4 during [4,6), 3 from 6 (within window end 9).
@@ -477,8 +509,14 @@ mod tests {
         let graph = Arc::new(transit_graph());
         let r = run_goffish(
             Arc::clone(&graph),
-            Arc::new(GofSssp { source: transit_ids::A }),
-            &GofConfig { workers: 1, weights: weights(&graph), ..Default::default() },
+            Arc::new(GofSssp {
+                source: transit_ids::A,
+            }),
+            &GofConfig {
+                workers: 1,
+                weights: weights(&graph),
+                ..Default::default()
+            },
         );
         // ICM sends 6 messages for this fixture; GoFFish re-scatters per
         // snapshot and must send strictly more.
@@ -487,4 +525,3 @@ mod tests {
         assert!(r.metrics.supersteps >= 9);
     }
 }
-

@@ -15,6 +15,7 @@
 //! * **GoFFish-TS** — sequential snapshots with stateful vertices and
 //!   temporal messages delivered by an outer loop (TD algorithms).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chlonos;
@@ -29,4 +30,7 @@ pub use goffish::{run_goffish, GofConfig, GofContext, GofProgram, GofResult};
 pub use msb::{run_msb, MsbConfig, MsbResult};
 pub use tgb::{run_tgb, TgbResult};
 pub use topology::{EdgeWeights, SnapshotTopology, TransformedTopology};
-pub use vcm::{run_vcm, run_vcm_with_master, VcmConfig, VcmContext, VcmEdge, VcmProgram, VcmResult, VcmTopology};
+pub use vcm::{
+    run_vcm, run_vcm_with_master, try_run_vcm, try_run_vcm_with_master, VcmConfig, VcmContext,
+    VcmEdge, VcmProgram, VcmResult, VcmTopology,
+};

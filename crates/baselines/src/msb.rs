@@ -92,13 +92,16 @@ where
     };
     let mut metrics = RunMetrics::default();
     let mut per_snapshot = Vec::new();
-    if config.exploit_static_topology
-        && crate::topology::is_topology_static_helper(&graph, window)
+    if config.exploit_static_topology && crate::topology::is_topology_static_helper(&graph, window)
     {
         // One snapshot stands in for all of them (structure-only results
         // are identical across a static topology).
         let t0 = window.start();
-        let topo = Arc::new(SnapshotTopology::new(Arc::clone(&graph), t0, config.weights));
+        let topo = Arc::new(SnapshotTopology::new(
+            Arc::clone(&graph),
+            t0,
+            config.weights,
+        ));
         let result = run_vcm(topo, make_program(t0), &vcm);
         metrics.merge(&result.metrics);
         if config.collect_states {
@@ -106,7 +109,10 @@ where
                 per_snapshot.push((t, result.states.clone()));
             }
         }
-        return MsbResult { per_snapshot, metrics };
+        return MsbResult {
+            per_snapshot,
+            metrics,
+        };
     }
     for t in window.points() {
         let topo = Arc::new(SnapshotTopology::new(Arc::clone(&graph), t, config.weights));
@@ -116,7 +122,10 @@ where
             per_snapshot.push((t, result.states));
         }
     }
-    MsbResult { per_snapshot, metrics }
+    MsbResult {
+        per_snapshot,
+        metrics,
+    }
 }
 
 #[cfg(test)]
@@ -167,8 +176,15 @@ mod tests {
         let b_idx = graph.vertex_index(VertexId(1)).unwrap().0;
         let r = run_msb(
             Arc::clone(&graph),
-            |_| Arc::new(Bfs { source: VertexId(0) }),
-            &MsbConfig { workers: 2, ..Default::default() },
+            |_| {
+                Arc::new(Bfs {
+                    source: VertexId(0),
+                })
+            },
+            &MsbConfig {
+                workers: 2,
+                ..Default::default()
+            },
         );
         // Window is [0,9): nine snapshot runs.
         assert_eq!(r.per_snapshot.len(), 9);
@@ -191,8 +207,15 @@ mod tests {
         let graph = Arc::new(transit_graph());
         let r = run_msb(
             graph,
-            |_| Arc::new(Bfs { source: VertexId(0) }),
-            &MsbConfig { collect_states: false, ..Default::default() },
+            |_| {
+                Arc::new(Bfs {
+                    source: VertexId(0),
+                })
+            },
+            &MsbConfig {
+                collect_states: false,
+                ..Default::default()
+            },
         );
         assert!(r.per_snapshot.is_empty());
         assert!(r.metrics.counters.compute_calls > 0);

@@ -31,7 +31,11 @@ impl<S: Clone + PartialEq> TgbResult<S> {
     /// the interval-centric engine's `IcmResult::states` for path
     /// algorithms (`graphite-baselines` deliberately does not depend on
     /// `graphite-icm`).
-    pub fn project(&self, graph: &TemporalGraph, default: S) -> BTreeMap<VertexId, Vec<(Interval, S)>> {
+    pub fn project(
+        &self,
+        graph: &TemporalGraph,
+        default: S,
+    ) -> BTreeMap<VertexId, Vec<(Interval, S)>> {
         let mut out = BTreeMap::new();
         for (v, vd) in graph.vertices() {
             let mut timeline: Vec<(Interval, S)> = Vec::new();
@@ -135,8 +139,13 @@ mod tests {
             Arc::clone(&graph),
             None,
             &TransformOptions::default(),
-            Arc::new(TgbSssp { source: transit_ids::A }),
-            &VcmConfig { workers: 2, ..Default::default() },
+            Arc::new(TgbSssp {
+                source: transit_ids::A,
+            }),
+            &VcmConfig {
+                workers: 2,
+                ..Default::default()
+            },
         );
         let projected = r.project(&graph, i64::MAX);
         // Paper results: E costs 7 over [6,9) (via C, arriving 6..7 is
@@ -154,13 +163,20 @@ mod tests {
         assert_eq!(at(9), 5);
         assert_eq!(at(100), 5);
         let b = &projected[&transit_ids::B];
-        let at_b = |t: Time| b.iter().find(|(iv, _)| iv.contains_point(t)).map(|(_, s)| *s).unwrap();
+        let at_b = |t: Time| {
+            b.iter()
+                .find(|(iv, _)| iv.contains_point(t))
+                .map(|(_, s)| *s)
+                .unwrap()
+        };
         assert_eq!(at_b(3), i64::MAX);
         assert_eq!(at_b(4), 4);
         assert_eq!(at_b(5), 4);
         assert_eq!(at_b(6), 3);
         // F never reached.
-        assert!(projected[&transit_ids::F].iter().all(|(_, s)| *s == i64::MAX));
+        assert!(projected[&transit_ids::F]
+            .iter()
+            .all(|(_, s)| *s == i64::MAX));
     }
 
     #[test]
@@ -173,8 +189,13 @@ mod tests {
             Arc::clone(&graph),
             None,
             &TransformOptions::default(),
-            Arc::new(TgbSssp { source: transit_ids::A }),
-            &VcmConfig { workers: 1, ..Default::default() },
+            Arc::new(TgbSssp {
+                source: transit_ids::A,
+            }),
+            &VcmConfig {
+                workers: 1,
+                ..Default::default()
+            },
         );
         assert!(r.vcm.metrics.counters.messages_sent > 6);
         assert!(r.vcm.metrics.counters.compute_calls > 12);

@@ -3,10 +3,10 @@
 //! (for TGB).
 
 use crate::vcm::{VcmEdge, VcmTopology};
-use graphite_tgraph::time::Interval;
 use graphite_bsp::partition::splitmix64;
 use graphite_tgraph::graph::{TemporalGraph, VIdx, VertexId};
 use graphite_tgraph::property::{LabelId, PropValue};
+use graphite_tgraph::time::Interval;
 use graphite_tgraph::time::Time;
 use graphite_tgraph::transform::{TransformedEdgeKind, TransformedGraph};
 use std::sync::Arc;
@@ -77,7 +77,12 @@ impl VcmTopology for SnapshotTopology {
             let ed = self.graph.edge(e);
             if ed.lifespan.contains_point(self.t) {
                 let (w1, w2) = self.resolve(e);
-                out.push(VcmEdge { target: ed.dst.0, w1, w2, kind: 0 });
+                out.push(VcmEdge {
+                    target: ed.dst.0,
+                    w1,
+                    w2,
+                    kind: 0,
+                });
             }
         }
     }
@@ -87,7 +92,12 @@ impl VcmTopology for SnapshotTopology {
             let ed = self.graph.edge(e);
             if ed.lifespan.contains_point(self.t) {
                 let (w1, w2) = self.resolve(e);
-                out.push(VcmEdge { target: ed.src.0, w1, w2, kind: 0 });
+                out.push(VcmEdge {
+                    target: ed.src.0,
+                    w1,
+                    w2,
+                    kind: 0,
+                });
             }
         }
     }
@@ -167,6 +177,12 @@ impl VcmTopology for TransformedTopology {
     }
 }
 
+/// Re-exported helper: static-topology detection (see
+/// [`graphite_tgraph::snapshot::is_topology_static`]).
+pub fn is_topology_static_helper(graph: &TemporalGraph, window: Interval) -> bool {
+    graphite_tgraph::snapshot::is_topology_static(graph, window)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,7 +190,10 @@ mod tests {
     use graphite_tgraph::transform::{transform_for_paths, TransformOptions};
 
     fn weights(g: &TemporalGraph) -> EdgeWeights {
-        EdgeWeights { w1: g.label("travel-cost"), w2: g.label("travel-time") }
+        EdgeWeights {
+            w1: g.label("travel-cost"),
+            w2: g.label("travel-time"),
+        }
     }
 
     #[test]
@@ -250,11 +269,4 @@ mod tests {
         same_vertex.dedup();
         assert!(same_vertex.len() > 1);
     }
-}
-
-
-/// Re-exported helper: static-topology detection (see
-/// [`graphite_tgraph::snapshot::is_topology_static`]).
-pub fn is_topology_static_helper(graph: &TemporalGraph, window: Interval) -> bool {
-    graphite_tgraph::snapshot::is_topology_static(graph, window)
 }

@@ -11,6 +11,7 @@
 use graphite_bsp::aggregate::Aggregators;
 use graphite_bsp::codec::Wire;
 use graphite_bsp::engine::{run_bsp, BspConfig, Inbox, Outbox, WorkerLogic};
+use graphite_bsp::error::BspError;
 use graphite_bsp::metrics::{RunMetrics, UserCounters};
 use graphite_bsp::partition::{splitmix64, PartitionMap};
 use graphite_bsp::MasterHook;
@@ -79,7 +80,12 @@ pub trait VcmProgram: Send + Sync + 'static {
     /// Vertex compute: read messages, mutate state, send messages.
     /// Invoked for every active vertex at superstep 1 (with no messages)
     /// and thereafter only for vertices that received messages.
-    fn compute(&self, ctx: &mut VcmContext<'_, Self::Msg>, state: &mut Self::State, msgs: &[Self::Msg]);
+    fn compute(
+        &self,
+        ctx: &mut VcmContext<'_, Self::Msg>,
+        state: &mut Self::State,
+        msgs: &[Self::Msg],
+    );
 
     /// Optional associative message combiner (applied receiver-side before
     /// compute, like a Giraph combiner).
@@ -161,6 +167,10 @@ pub struct VcmConfig {
     pub need_in_edges: bool,
     /// Record per-superstep timing.
     pub keep_per_step_timing: bool,
+    /// Forwarded to [`BspConfig::perturb_schedule`]: permute the BSP
+    /// scheduling freedoms with this seed (race-harness use; results must
+    /// not change).
+    pub perturb_schedule: Option<u64>,
 }
 
 impl Default for VcmConfig {
@@ -170,6 +180,7 @@ impl Default for VcmConfig {
             max_supersteps: 100_000,
             need_in_edges: false,
             keep_per_step_timing: false,
+            perturb_schedule: None,
         }
     }
 }
@@ -209,9 +220,7 @@ impl<T: VcmTopology, P: VcmProgram> VcmWorker<T, P> {
         let vid = self.topology.logical_vid(v);
         let state = match self.states.entry(v) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(self.program.init(v, vid))
-            }
+            std::collections::hash_map::Entry::Vacant(e) => e.insert(self.program.init(v, vid)),
         };
         self.scratch_out.clear();
         self.topology.out_edges(v, &mut self.scratch_out);
@@ -320,21 +329,60 @@ fn topology_partition<T: VcmTopology>(topology: &T, workers: usize) -> Partition
 }
 
 /// Runs `program` over `topology` to convergence.
+///
+/// # Panics
+///
+/// Panics when the run fails (a worker thread panicked or the wire codec
+/// rejected a batch); use [`try_run_vcm`] to handle those as errors.
 pub fn run_vcm<T: VcmTopology, P: VcmProgram>(
     topology: Arc<T>,
     program: Arc<P>,
     config: &VcmConfig,
 ) -> VcmResult<P::State> {
-    run_vcm_with_master(topology, program, config, None)
+    try_run_vcm(topology, program, config).unwrap_or_else(|e| panic!("VCM run failed: {e}"))
 }
 
 /// [`run_vcm`] with a MasterCompute hook.
+///
+/// # Panics
+///
+/// Panics when the run fails; use [`try_run_vcm_with_master`] to handle
+/// failures as errors.
 pub fn run_vcm_with_master<T: VcmTopology, P: VcmProgram>(
     topology: Arc<T>,
     program: Arc<P>,
     config: &VcmConfig,
     master: Option<MasterHook<'_>>,
 ) -> VcmResult<P::State> {
+    try_run_vcm_with_master(topology, program, config, master)
+        .unwrap_or_else(|e| panic!("VCM run failed: {e}"))
+}
+
+/// Fallible [`run_vcm`]: surfaces poisoned workers and codec corruption as
+/// [`BspError`] instead of panicking.
+///
+/// # Errors
+///
+/// See [`BspError`].
+pub fn try_run_vcm<T: VcmTopology, P: VcmProgram>(
+    topology: Arc<T>,
+    program: Arc<P>,
+    config: &VcmConfig,
+) -> Result<VcmResult<P::State>, BspError> {
+    try_run_vcm_with_master(topology, program, config, None)
+}
+
+/// Fallible [`run_vcm_with_master`].
+///
+/// # Errors
+///
+/// See [`BspError`].
+pub fn try_run_vcm_with_master<T: VcmTopology, P: VcmProgram>(
+    topology: Arc<T>,
+    program: Arc<P>,
+    config: &VcmConfig,
+    master: Option<MasterHook<'_>>,
+) -> Result<VcmResult<P::State>, BspError> {
     let partition = Arc::new(topology_partition(topology.as_ref(), config.workers));
     let workers: Vec<VcmWorker<T, P>> = (0..config.workers)
         .map(|w| VcmWorker {
@@ -350,6 +398,7 @@ pub fn run_vcm_with_master<T: VcmTopology, P: VcmProgram>(
     let bsp = BspConfig {
         max_supersteps: config.max_supersteps,
         keep_per_step_timing: config.keep_per_step_timing,
+        perturb_schedule: config.perturb_schedule,
     };
     // Keep phased programs alive through idle barriers when they request
     // an all-active next superstep.
@@ -368,12 +417,12 @@ pub fn run_vcm_with_master<T: VcmTopology, P: VcmProgram>(
             user
         }
     };
-    let (workers, metrics) = run_bsp(&bsp, workers, partition, Some(&mut wrapper));
+    let (workers, metrics) = run_bsp(&bsp, workers, partition, Some(&mut wrapper))?;
     let mut states = HashMap::new();
     for w in workers {
         states.extend(w.states);
     }
-    VcmResult { states, metrics }
+    Ok(VcmResult { states, metrics })
 }
 
 #[cfg(test)]
@@ -447,7 +496,10 @@ mod tests {
             let r = run_vcm(
                 Arc::new(Dag),
                 Arc::new(Sssp),
-                &VcmConfig { workers, ..Default::default() },
+                &VcmConfig {
+                    workers,
+                    ..Default::default()
+                },
             );
             assert_eq!(r.states[&0], 0);
             assert_eq!(r.states[&1], 5);
@@ -457,13 +509,30 @@ mod tests {
 
     #[test]
     fn counts_are_stable_across_workers() {
-        let r1 = run_vcm(Arc::new(Dag), Arc::new(Sssp), &VcmConfig { workers: 1, ..Default::default() });
-        let r3 = run_vcm(Arc::new(Dag), Arc::new(Sssp), &VcmConfig { workers: 3, ..Default::default() });
+        let r1 = run_vcm(
+            Arc::new(Dag),
+            Arc::new(Sssp),
+            &VcmConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        let r3 = run_vcm(
+            Arc::new(Dag),
+            Arc::new(Sssp),
+            &VcmConfig {
+                workers: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(
             r1.metrics.counters.compute_calls,
             r3.metrics.counters.compute_calls
         );
-        assert_eq!(r1.metrics.counters.messages_sent, r3.metrics.counters.messages_sent);
+        assert_eq!(
+            r1.metrics.counters.messages_sent,
+            r3.metrics.counters.messages_sent
+        );
     }
 
     /// Inactive vertices are skipped at superstep 1 and never computed.
@@ -500,7 +569,11 @@ mod tests {
 
     #[test]
     fn inactive_vertices_are_skipped() {
-        let r = run_vcm(Arc::new(HalfActive), Arc::new(CountOnly), &VcmConfig::default());
+        let r = run_vcm(
+            Arc::new(HalfActive),
+            Arc::new(CountOnly),
+            &VcmConfig::default(),
+        );
         assert_eq!(r.metrics.counters.compute_calls, 2);
         assert!(r.states.contains_key(&0));
         assert!(!r.states.contains_key(&1));

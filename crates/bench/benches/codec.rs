@@ -1,12 +1,10 @@
-//! Criterion bench: the interval wire codec — the paper's variable-length
+//! Micro-bench: the interval wire codec — the paper's variable-length
 //! interval encoding vs. the naive fixed 16-byte pair (Sec. VI reports a
 //! 59-78% message-size drop; this measures the cpu cost and verifies the
 //! size ratio stays in that band for a workload-like mixture).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use graphite_bsp::codec::{
-    get_interval, get_interval_fixed, put_interval, put_interval_fixed,
-};
+use graphite_bench::timing::bench_throughput;
+use graphite_bsp::codec::{get_interval, get_interval_fixed, put_interval, put_interval_fixed};
 use graphite_tgraph::time::Interval;
 use std::hint::black_box;
 
@@ -22,33 +20,25 @@ fn workload(n: usize) -> Vec<Interval> {
         .collect()
 }
 
-fn bench_encode(c: &mut Criterion) {
+fn main() {
     let ivs = workload(1024);
-    let mut g = c.benchmark_group("codec/encode");
-    g.throughput(Throughput::Elements(ivs.len() as u64));
-    g.bench_function("varint", |b| {
-        b.iter(|| {
-            let mut buf = Vec::with_capacity(ivs.len() * 4);
-            for &iv in &ivs {
-                put_interval(black_box(iv), &mut buf);
-            }
-            black_box(buf)
-        })
-    });
-    g.bench_function("fixed", |b| {
-        b.iter(|| {
-            let mut buf = Vec::with_capacity(ivs.len() * 16);
-            for &iv in &ivs {
-                put_interval_fixed(black_box(iv), &mut buf);
-            }
-            black_box(buf)
-        })
-    });
-    g.finish();
-}
+    let n = ivs.len() as u64;
 
-fn bench_decode(c: &mut Criterion) {
-    let ivs = workload(1024);
+    bench_throughput("codec/encode/varint", n, || {
+        let mut buf = Vec::with_capacity(ivs.len() * 4);
+        for &iv in &ivs {
+            put_interval(black_box(iv), &mut buf);
+        }
+        buf
+    });
+    bench_throughput("codec/encode/fixed", n, || {
+        let mut buf = Vec::with_capacity(ivs.len() * 16);
+        for &iv in &ivs {
+            put_interval_fixed(black_box(iv), &mut buf);
+        }
+        buf
+    });
+
     let mut compact = Vec::new();
     let mut fixed = Vec::new();
     for &iv in &ivs {
@@ -58,33 +48,27 @@ fn bench_decode(c: &mut Criterion) {
     // The paper's headline claim: 59-78% smaller messages.
     let reduction = 1.0 - compact.len() as f64 / fixed.len() as f64;
     assert!(reduction > 0.59, "size reduction {reduction}");
+    println!(
+        "codec/size-reduction {:.1}% (paper: 59-78%)",
+        reduction * 100.0
+    );
 
-    let mut g = c.benchmark_group("codec/decode");
-    g.throughput(Throughput::Elements(ivs.len() as u64));
-    g.bench_function("varint", |b| {
-        b.iter(|| {
-            let mut s = compact.as_slice();
-            let mut n = 0usize;
-            while !s.is_empty() {
-                black_box(get_interval(&mut s).unwrap());
-                n += 1;
-            }
-            black_box(n)
-        })
+    bench_throughput("codec/decode/varint", n, || {
+        let mut s = compact.as_slice();
+        let mut count = 0usize;
+        while !s.is_empty() {
+            black_box(get_interval(&mut s).unwrap());
+            count += 1;
+        }
+        count
     });
-    g.bench_function("fixed", |b| {
-        b.iter(|| {
-            let mut s = fixed.as_slice();
-            let mut n = 0usize;
-            while !s.is_empty() {
-                black_box(get_interval_fixed(&mut s).unwrap());
-                n += 1;
-            }
-            black_box(n)
-        })
+    bench_throughput("codec/decode/fixed", n, || {
+        let mut s = fixed.as_slice();
+        let mut count = 0usize;
+        while !s.is_empty() {
+            black_box(get_interval_fixed(&mut s).unwrap());
+            count += 1;
+        }
+        count
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_encode, bench_decode);
-criterion_main!(benches);

@@ -1,10 +1,10 @@
-//! Criterion bench: end-to-end engine comparison — temporal SSSP under
+//! Micro-bench: end-to-end engine comparison — temporal SSSP under
 //! ICM vs. the per-snapshot and transformed-graph baselines on a small
 //! long-lifespan graph (the regime where warp's sharing pays), and BFS
 //! under ICM vs. MSB. These are the microscale versions of Fig. 5.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use graphite_algorithms::registry::{run, Algo, Platform, RunOpts};
+use graphite_bench::timing::bench;
 use graphite_bench::Dataset;
 use graphite_datagen::{GenParams, LifespanModel, Profile, PropModel, Topology};
 use std::hint::black_box;
@@ -15,87 +15,107 @@ fn small_long_lifespan() -> Dataset {
         vertices: 300,
         edges: 2400,
         snapshots: 24,
-        topology: Topology::PowerLaw { edges_per_vertex: 8 },
+        topology: Topology::PowerLaw {
+            edges_per_vertex: 8,
+        },
         vertex_lifespans: LifespanModel::Full,
         edge_lifespans: LifespanModel::Geometric { mean: 18.0 },
-        props: PropModel { mean_segment: 9.0, max_cost: 10, max_travel_time: 1 },
+        props: PropModel {
+            mean_segment: 9.0,
+            max_cost: 10,
+            max_travel_time: 1,
+        },
         seed: 99,
     };
-    Dataset::from_graph(Profile::Twitter, Arc::new(graphite_datagen::generate(&params)))
+    Dataset::from_graph(
+        Profile::Twitter,
+        Arc::new(graphite_datagen::generate(&params)),
+    )
 }
 
 fn opts() -> RunOpts {
-    RunOpts { workers: 2, digest: false, ..Default::default() }
+    RunOpts {
+        workers: 2,
+        digest: false,
+        ..Default::default()
+    }
 }
 
-fn bench_sssp(c: &mut Criterion) {
+fn main() {
     let dataset = small_long_lifespan();
     let transformed = dataset.transformed();
-    let mut g = c.benchmark_group("engine/sssp");
-    g.sample_size(20);
-    g.bench_function("icm", |b| {
-        b.iter(|| {
-            black_box(
-                run(Algo::Sssp, Platform::Icm, Arc::clone(&dataset.graph), None, &opts())
-                    .unwrap(),
-            )
-        })
-    });
-    g.bench_function("goffish", |b| {
-        b.iter(|| {
-            black_box(
-                run(Algo::Sssp, Platform::Goffish, Arc::clone(&dataset.graph), None, &opts())
-                    .unwrap(),
-            )
-        })
-    });
-    g.bench_function("tgb", |b| {
-        b.iter(|| {
-            black_box(
-                run(
-                    Algo::Sssp,
-                    Platform::Tgb,
-                    Arc::clone(&dataset.graph),
-                    Some(Arc::clone(&transformed)),
-                    &opts(),
-                )
-                .unwrap(),
-            )
-        })
-    });
-    g.finish();
-}
 
-fn bench_bfs(c: &mut Criterion) {
-    let dataset = small_long_lifespan();
-    let mut g = c.benchmark_group("engine/bfs");
-    g.sample_size(20);
-    g.bench_function("icm", |b| {
-        b.iter(|| {
-            black_box(
-                run(Algo::Bfs, Platform::Icm, Arc::clone(&dataset.graph), None, &opts())
-                    .unwrap(),
+    bench("engine/sssp/icm", || {
+        black_box(
+            run(
+                Algo::Sssp,
+                Platform::Icm,
+                Arc::clone(&dataset.graph),
+                None,
+                &opts(),
             )
-        })
+            .unwrap(),
+        )
     });
-    g.bench_function("msb", |b| {
-        b.iter(|| {
-            black_box(
-                run(Algo::Bfs, Platform::Msb, Arc::clone(&dataset.graph), None, &opts())
-                    .unwrap(),
+    bench("engine/sssp/goffish", || {
+        black_box(
+            run(
+                Algo::Sssp,
+                Platform::Goffish,
+                Arc::clone(&dataset.graph),
+                None,
+                &opts(),
             )
-        })
+            .unwrap(),
+        )
     });
-    g.bench_function("chlonos", |b| {
-        b.iter(|| {
-            black_box(
-                run(Algo::Bfs, Platform::Chlonos, Arc::clone(&dataset.graph), None, &opts())
-                    .unwrap(),
+    bench("engine/sssp/tgb", || {
+        black_box(
+            run(
+                Algo::Sssp,
+                Platform::Tgb,
+                Arc::clone(&dataset.graph),
+                Some(Arc::clone(&transformed)),
+                &opts(),
             )
-        })
+            .unwrap(),
+        )
     });
-    g.finish();
-}
 
-criterion_group!(benches, bench_sssp, bench_bfs);
-criterion_main!(benches);
+    bench("engine/bfs/icm", || {
+        black_box(
+            run(
+                Algo::Bfs,
+                Platform::Icm,
+                Arc::clone(&dataset.graph),
+                None,
+                &opts(),
+            )
+            .unwrap(),
+        )
+    });
+    bench("engine/bfs/msb", || {
+        black_box(
+            run(
+                Algo::Bfs,
+                Platform::Msb,
+                Arc::clone(&dataset.graph),
+                None,
+                &opts(),
+            )
+            .unwrap(),
+        )
+    });
+    bench("engine/bfs/chlonos", || {
+        black_box(
+            run(
+                Algo::Bfs,
+                Platform::Chlonos,
+                Arc::clone(&dataset.graph),
+                None,
+                &opts(),
+            )
+            .unwrap(),
+        )
+    });
+}

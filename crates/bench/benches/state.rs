@@ -1,9 +1,9 @@
-//! Criterion bench: dynamically partitioned vertex state — the cost of
+//! Micro-bench: dynamically partitioned vertex state — the cost of
 //! interval repartitioning (`set`), point lookups, and coalescing as the
 //! partition fragments (Sec. IV-A1's worst case is one partition per
 //! time-point).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphite_bench::timing::bench;
 use graphite_tgraph::iset::IntervalPartition;
 use graphite_tgraph::time::Interval;
 use std::hint::black_box;
@@ -16,65 +16,39 @@ fn fragmented(n: i64) -> IntervalPartition<i64> {
     p
 }
 
-fn bench_set(c: &mut Criterion) {
-    let mut g = c.benchmark_group("state/set");
+fn main() {
     for n in [16i64, 256, 4096] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter_batched(
-                || IntervalPartition::new(Interval::new(0, n), 0i64),
-                |mut p| {
-                    for i in (0..n).step_by(4) {
-                        p.set(Interval::new(i, i + 2), i);
-                    }
-                    black_box(p)
-                },
-                criterion::BatchSize::SmallInput,
-            )
+        bench(&format!("state/set/{n}"), || {
+            let mut p = IntervalPartition::new(Interval::new(0, n), 0i64);
+            for i in (0..n).step_by(4) {
+                p.set(Interval::new(i, i + 2), i);
+            }
+            black_box(p)
         });
     }
-    g.finish();
-}
 
-fn bench_lookup(c: &mut Criterion) {
-    let mut g = c.benchmark_group("state/value_at");
     for n in [16i64, 256, 4096] {
         let p = fragmented(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
-            b.iter(|| {
-                let mut acc = 0i64;
-                for t in (0..n).step_by(7) {
-                    acc += *p.value_at(black_box(t)).unwrap();
-                }
-                black_box(acc)
-            })
+        bench(&format!("state/value_at/{n}"), || {
+            let mut acc = 0i64;
+            for t in (0..n).step_by(7) {
+                acc += *p.value_at(black_box(t)).unwrap();
+            }
+            black_box(acc)
         });
     }
-    g.finish();
-}
 
-fn bench_coalesce(c: &mut Criterion) {
-    let mut g = c.benchmark_group("state/coalesce");
     for n in [256i64, 4096] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter_batched(
-                || {
-                    // Adjacent equal values: maximal coalescing work.
-                    let mut p = IntervalPartition::new(Interval::new(0, n), 0i64);
-                    for i in 0..n {
-                        p.set(Interval::new(i, i + 1), i / 8);
-                    }
-                    p
-                },
-                |mut p| {
-                    p.coalesce();
-                    black_box(p)
-                },
-                criterion::BatchSize::SmallInput,
-            )
+        bench(&format!("state/coalesce/{n}"), || {
+            // Adjacent equal values: maximal coalescing work. The setup
+            // dominates the timing here, so this row measures the full
+            // fragment-then-coalesce cycle the engine actually performs.
+            let mut p = IntervalPartition::new(Interval::new(0, n), 0i64);
+            for i in 0..n {
+                p.set(Interval::new(i, i + 1), i / 8);
+            }
+            p.coalesce();
+            black_box(p)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_set, bench_lookup, bench_coalesce);
-criterion_main!(benches);

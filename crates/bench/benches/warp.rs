@@ -1,8 +1,8 @@
-//! Criterion bench: the time-warp operator's scaling in message count,
+//! Micro-bench: the time-warp operator's scaling in message count,
 //! partition count and overlap structure — the merge-based aggregation the
 //! paper adopts is O(m log m) in the inner-set size (Sec. VI).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graphite_bench::timing::bench;
 use graphite_icm::warp::time_warp_spans;
 use graphite_tgraph::time::Interval;
 use std::hint::black_box;
@@ -12,7 +12,11 @@ fn partition(n: usize, horizon: i64) -> Vec<Interval> {
     (0..n as i64)
         .map(|i| {
             let start = i * step;
-            let end = if i as usize == n - 1 { horizon } else { (i + 1) * step };
+            let end = if i as usize == n - 1 {
+                horizon
+            } else {
+                (i + 1) * step
+            };
             Interval::new(start, end)
         })
         .collect()
@@ -28,52 +32,42 @@ fn messages(m: usize, horizon: i64, len: i64) -> Vec<Interval> {
         .collect()
 }
 
-fn bench_message_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("warp/messages");
+fn main() {
+    // Message-count scaling.
     let outer = partition(8, 1024);
     for m in [16usize, 64, 256, 1024, 4096] {
         let inner = messages(m, 1024, 32);
-        g.throughput(Throughput::Elements(m as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(m), &inner, |b, inner| {
-            b.iter(|| black_box(time_warp_spans(black_box(&outer), black_box(inner))))
+        bench(&format!("warp/messages/{m}"), || {
+            black_box(time_warp_spans(black_box(&outer), black_box(&inner)))
         });
     }
-    g.finish();
-}
 
-fn bench_partition_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("warp/partitions");
+    // Partition-count scaling.
     let inner = messages(256, 1024, 32);
     for n in [1usize, 8, 64, 512] {
         let outer = partition(n, 1024);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &outer, |b, outer| {
-            b.iter(|| black_box(time_warp_spans(black_box(outer), black_box(&inner))))
+        bench(&format!("warp/partitions/{n}"), || {
+            black_box(time_warp_spans(black_box(&outer), black_box(&inner)))
         });
     }
-    g.finish();
-}
 
-fn bench_overlap_regimes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("warp/overlap");
+    // Overlap regimes.
     let outer = partition(8, 1024);
     // Unit-length messages: the regime warp suppression exists for.
     let unit = messages(1024, 1024, 1);
-    g.bench_function("unit", |b| {
-        b.iter(|| black_box(time_warp_spans(black_box(&outer), black_box(&unit))))
+    bench("warp/overlap/unit", || {
+        black_box(time_warp_spans(black_box(&outer), black_box(&unit)))
     });
     // Long messages: heavy overlap, few output tuples per group.
     let long = messages(1024, 1024, 512);
-    g.bench_function("long", |b| {
-        b.iter(|| black_box(time_warp_spans(black_box(&outer), black_box(&long))))
+    bench("warp/overlap/long", || {
+        black_box(time_warp_spans(black_box(&outer), black_box(&long)))
     });
     // Right-unbounded messages (the SSSP pattern).
-    let unbounded: Vec<Interval> =
-        (0..1024i64).map(|i| Interval::from_start(i % 1024)).collect();
-    g.bench_function("unbounded", |b| {
-        b.iter(|| black_box(time_warp_spans(black_box(&outer), black_box(&unbounded))))
+    let unbounded: Vec<Interval> = (0..1024i64)
+        .map(|i| Interval::from_start(i % 1024))
+        .collect();
+    bench("warp/overlap/unbounded", || {
+        black_box(time_warp_spans(black_box(&outer), black_box(&unbounded)))
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_message_scaling, bench_partition_scaling, bench_overlap_regimes);
-criterion_main!(benches);

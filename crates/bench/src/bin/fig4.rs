@@ -42,8 +42,14 @@ fn main() {
     }
     println!();
     println!("points: {}", compute_pts.len());
-    println!("R^2 (compute calls vs compute+ time):   {:.3}", log_log_r2(&compute_pts));
-    println!("R^2 (messages vs messaging time):       {:.3}", log_log_r2(&message_pts));
+    println!(
+        "R^2 (compute calls vs compute+ time):   {:.3}",
+        log_log_r2(&compute_pts)
+    );
+    println!(
+        "R^2 (messages vs messaging time):       {:.3}",
+        log_log_r2(&message_pts)
+    );
     println!();
     println!("# Paper shape (Fig. 4): high correlation for both factors");
     println!("# (paper: R^2 = 0.80 compute+, 0.95 messaging) — platform time is");

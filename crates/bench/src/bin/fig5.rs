@@ -15,8 +15,17 @@ fn main() {
     );
     println!(
         "{:<8} {:<5} {:<4} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12} {:>7}",
-        "graph", "algo", "plat", "makespan", "compute+", "messaging", "barrier",
-        "computeCalls", "messages", "bytes", "steps"
+        "graph",
+        "algo",
+        "plat",
+        "makespan",
+        "compute+",
+        "messaging",
+        "barrier",
+        "computeCalls",
+        "messages",
+        "bytes",
+        "steps"
     );
     for dataset in Dataset::all(&config) {
         eprintln!("running {} ...", dataset.profile.name());

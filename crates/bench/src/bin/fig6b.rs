@@ -12,7 +12,15 @@ fn main() {
     let dataset = Dataset::new(Profile::Mag, &config);
     // The combiner matters for commutative-associative algorithms; LCC/TC
     // define none (paper Sec. VII-B4).
-    let algos = [Algo::Bfs, Algo::Wcc, Algo::Pr, Algo::Sssp, Algo::Eat, Algo::Reach, Algo::Tmst];
+    let algos = [
+        Algo::Bfs,
+        Algo::Wcc,
+        Algo::Pr,
+        Algo::Sssp,
+        Algo::Eat,
+        Algo::Reach,
+        Algo::Tmst,
+    ];
     println!(
         "# Fig. 6(b) — warp combiner ablation on MAG profile (scale={}, workers={})",
         config.scale, config.workers

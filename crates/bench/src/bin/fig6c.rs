@@ -11,7 +11,14 @@ use graphite_datagen::Profile;
 fn main() {
     let config = HarnessConfig::from_env();
     let dataset = Dataset::new(Profile::GPlus, &config);
-    let algos = [Algo::Bfs, Algo::Wcc, Algo::Pr, Algo::Sssp, Algo::Eat, Algo::Reach];
+    let algos = [
+        Algo::Bfs,
+        Algo::Wcc,
+        Algo::Pr,
+        Algo::Sssp,
+        Algo::Eat,
+        Algo::Reach,
+    ];
     println!(
         "# Fig. 6(c) — warp suppression ablation on GPlus profile (scale={}, workers={})",
         config.scale, config.workers

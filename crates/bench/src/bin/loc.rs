@@ -79,7 +79,10 @@ fn main() {
     println!("# TGB counts include the model's per-algorithm result-extraction");
     println!("# helpers (replica-to-vertex projections), which are user logic");
     println!("# that model forces the programmer to write.");
-    println!("{:<6} {:>6} {:>9} {:>6} {:>6}", "algo", "ICM", "VCM/MSB", "GOF", "TGB");
+    println!(
+        "{:<6} {:>6} {:>9} {:>6} {:>6}",
+        "algo", "ICM", "VCM/MSB", "GOF", "TGB"
+    );
     type Row = (
         &'static str,
         &'static str,
@@ -93,15 +96,78 @@ fn main() {
         ("BFS", "bfs.rs", "IcmBfs", Some("VcmBfs"), None, None),
         ("WCC", "wcc.rs", "IcmWcc", Some("VcmWcc"), None, None),
         ("SCC", "scc.rs", "IcmScc", Some("VcmScc"), None, None),
-        ("PR", "pagerank.rs", "IcmPageRank", Some("VcmPageRank"), None, None),
-        ("SSSP", "td_paths.rs", "IcmSssp", None, Some(("gof_paths.rs", "GofSssp")), Some(("tgb_paths.rs", "TgbSssp", None))),
-        ("EAT", "td_paths.rs", "IcmEat", None, Some(("gof_paths.rs", "GofEat")), Some(("tgb_paths.rs", "TgbReach", Some("tgb_earliest_arrivals")))),
-        ("FAST", "td_paths.rs", "IcmFast", None, Some(("gof_paths.rs", "GofFast")), Some(("tgb_paths.rs", "TgbFast", Some("tgb_fastest_durations")))),
-        ("LD", "td_paths.rs", "IcmLd", None, Some(("gof_paths.rs", "GofLd")), Some(("tgb_paths.rs", "TgbLd", Some("tgb_latest_departures")))),
-        ("TMST", "td_paths.rs", "IcmTmst", None, Some(("gof_paths.rs", "GofTmst")), Some(("tgb_paths.rs", "TgbTmst", Some("tgb_tmst_parents")))),
-        ("RH", "td_paths.rs", "IcmReach", None, Some(("gof_paths.rs", "GofReach")), Some(("tgb_paths.rs", "TgbReach", None))),
-        ("LCC", "lcc.rs", "IcmLcc", None, Some(("gof_cluster.rs", "GofLcc")), None),
-        ("TC", "tc.rs", "IcmTc", None, Some(("gof_cluster.rs", "GofTc")), None),
+        (
+            "PR",
+            "pagerank.rs",
+            "IcmPageRank",
+            Some("VcmPageRank"),
+            None,
+            None,
+        ),
+        (
+            "SSSP",
+            "td_paths.rs",
+            "IcmSssp",
+            None,
+            Some(("gof_paths.rs", "GofSssp")),
+            Some(("tgb_paths.rs", "TgbSssp", None)),
+        ),
+        (
+            "EAT",
+            "td_paths.rs",
+            "IcmEat",
+            None,
+            Some(("gof_paths.rs", "GofEat")),
+            Some(("tgb_paths.rs", "TgbReach", Some("tgb_earliest_arrivals"))),
+        ),
+        (
+            "FAST",
+            "td_paths.rs",
+            "IcmFast",
+            None,
+            Some(("gof_paths.rs", "GofFast")),
+            Some(("tgb_paths.rs", "TgbFast", Some("tgb_fastest_durations"))),
+        ),
+        (
+            "LD",
+            "td_paths.rs",
+            "IcmLd",
+            None,
+            Some(("gof_paths.rs", "GofLd")),
+            Some(("tgb_paths.rs", "TgbLd", Some("tgb_latest_departures"))),
+        ),
+        (
+            "TMST",
+            "td_paths.rs",
+            "IcmTmst",
+            None,
+            Some(("gof_paths.rs", "GofTmst")),
+            Some(("tgb_paths.rs", "TgbTmst", Some("tgb_tmst_parents"))),
+        ),
+        (
+            "RH",
+            "td_paths.rs",
+            "IcmReach",
+            None,
+            Some(("gof_paths.rs", "GofReach")),
+            Some(("tgb_paths.rs", "TgbReach", None)),
+        ),
+        (
+            "LCC",
+            "lcc.rs",
+            "IcmLcc",
+            None,
+            Some(("gof_cluster.rs", "GofLcc")),
+            None,
+        ),
+        (
+            "TC",
+            "tc.rs",
+            "IcmTc",
+            None,
+            Some(("gof_cluster.rs", "GofTc")),
+            None,
+        ),
     ];
     let fmt = |v: Option<usize>| v.map_or("-".to_owned(), |n| n.to_string());
     for (algo, file, icm, vcm, gof, tgb) in rows {

@@ -28,7 +28,11 @@ fn main() {
         "batch", "messages", "vs ICM", "makespan", "computeCalls"
     );
     for batch in [1usize, 2, 4, 6, 8, 15, 30] {
-        let opts = RunOpts { batch_size: batch, digest: false, ..opts.clone() };
+        let opts = RunOpts {
+            batch_size: batch,
+            digest: false,
+            ..opts.clone()
+        };
         let chl = run_cell(&dataset, Algo::Bfs, Platform::Chlonos, &opts).expect("chl");
         println!(
             "{:<8} {:>12} {:>11.2}x {:>10} {:>12}",

@@ -22,8 +22,15 @@ fn main() {
             "{:<10} {:>10} {:>10} {:>12} {:>12}",
             "threshold", "BFS", "SSSP", "suppressed", "warped"
         );
-        for threshold in [None, Some(1.0), Some(0.9), Some(0.7), Some(0.5), Some(0.3), Some(0.0)]
-        {
+        for threshold in [
+            None,
+            Some(1.0),
+            Some(0.9),
+            Some(0.7),
+            Some(0.5),
+            Some(0.3),
+            Some(0.0),
+        ] {
             let mut opts = config.run_opts();
             opts.digest = false;
             opts.suppression = threshold;

@@ -8,7 +8,10 @@ use graphite_tgraph::stats::dataset_stats;
 
 fn main() {
     let config = HarnessConfig::from_env();
-    println!("# Table 1 — dataset characteristics (scale={})", config.scale);
+    println!(
+        "# Table 1 — dataset characteristics (scale={})",
+        config.scale
+    );
     println!(
         "{:<8} {:>6} | {:>9} {:>9} | {:>9} {:>9} | {:>10} {:>10} | {:>10} {:>10} | {:>6} {:>6} {:>6}",
         "graph", "snaps", "snapV", "snapE", "intV", "intE", "transV", "transE", "multiV",

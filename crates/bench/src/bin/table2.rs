@@ -5,7 +5,9 @@
 //! Pass `--quick` to run a 4-algorithm subset.
 
 use graphite_algorithms::registry::Platform;
-use graphite_bench::{algos_from_args, by_dataset_algo, mean_ratio, run_matrix, Dataset, HarnessConfig};
+use graphite_bench::{
+    algos_from_args, by_dataset_algo, mean_ratio, run_matrix, Dataset, HarnessConfig,
+};
 use std::collections::BTreeMap;
 
 fn main() {
@@ -28,7 +30,9 @@ fn main() {
     type RatioKey<'a> = (&'a str, bool, &'a str);
     let mut ratios: BTreeMap<RatioKey, Vec<(f64, f64)>> = BTreeMap::new();
     for ((dataset, _algo), group) in by_dataset_algo(&cells) {
-        let Some(icm) = group.iter().find(|c| c.platform == Platform::Icm) else { continue };
+        let Some(icm) = group.iter().find(|c| c.platform == Platform::Icm) else {
+            continue;
+        };
         for cell in &group {
             if cell.platform == Platform::Icm {
                 continue;
@@ -41,9 +45,18 @@ fn main() {
     }
 
     let datasets = ["GPlus", "Reddit", "USRN", "Twitter", "MAG", "WebUK"];
-    println!("\n{:<6} {:<5} {}", "class", "plat", datasets.map(|d| format!("{d:>9}")).join(" "));
+    println!(
+        "\n{:<6} {:<5} {}",
+        "class",
+        "plat",
+        datasets.map(|d| format!("{d:>9}")).join(" ")
+    );
     for (class, is_ti) in [("TI", true), ("TD", false)] {
-        let plats: &[&str] = if is_ti { &["MSB", "CHL"] } else { &["TGB", "GOF"] };
+        let plats: &[&str] = if is_ti {
+            &["MSB", "CHL"]
+        } else {
+            &["TGB", "GOF"]
+        };
         for plat in plats {
             let row: Vec<String> = datasets
                 .iter()

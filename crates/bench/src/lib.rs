@@ -17,7 +17,10 @@
 //! expectation from the paper. `GRAPHITE_SCALE` scales the datasets;
 //! `GRAPHITE_WORKERS` sets the worker count (default 4).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod timing;
 
 use graphite_algorithms::registry::{self, Algo, Platform, RunOpts};
 use graphite_bsp::metrics::RunMetrics;
@@ -57,7 +60,10 @@ impl HarnessConfig {
 
     /// Run options derived from this configuration.
     pub fn run_opts(&self) -> RunOpts {
-        RunOpts { workers: self.workers, ..Default::default() }
+        RunOpts {
+            workers: self.workers,
+            ..Default::default()
+        }
     }
 }
 
@@ -82,19 +88,29 @@ impl Dataset {
 
     /// Wraps an already-generated graph (for custom datasets).
     pub fn from_graph(profile: Profile, graph: Arc<TemporalGraph>) -> Self {
-        Dataset { profile, graph, transformed: std::sync::OnceLock::new() }
+        Dataset {
+            profile,
+            graph,
+            transformed: std::sync::OnceLock::new(),
+        }
     }
 
     /// All six paper datasets.
     pub fn all(config: &HarnessConfig) -> Vec<Dataset> {
-        Profile::ALL.iter().map(|p| Dataset::new(*p, config)).collect()
+        Profile::ALL
+            .iter()
+            .map(|p| Dataset::new(*p, config))
+            .collect()
     }
 
     /// The transformed (time-expanded) graph, built once on demand.
     pub fn transformed(&self) -> Arc<TransformedGraph> {
         Arc::clone(self.transformed.get_or_init(|| {
             let opts = graphite_tgraph::transform::TransformOptions::default();
-            Arc::new(graphite_tgraph::transform::transform_for_paths(&self.graph, &opts))
+            Arc::new(graphite_tgraph::transform::transform_for_paths(
+                &self.graph,
+                &opts,
+            ))
         }))
     }
 }
@@ -127,8 +143,14 @@ pub fn run_cell(
     opts: &RunOpts,
 ) -> Option<MatrixCell> {
     let transformed = (platform == Platform::Tgb).then(|| dataset.transformed());
-    let outcome =
-        registry::run(algo, platform, Arc::clone(&dataset.graph), transformed, opts).ok()?;
+    let outcome = registry::run(
+        algo,
+        platform,
+        Arc::clone(&dataset.graph),
+        transformed,
+        opts,
+    )
+    .ok()?;
     Some(MatrixCell {
         dataset: dataset.profile.name(),
         algo,
@@ -140,7 +162,12 @@ pub fn run_cell(
 /// The platforms an algorithm is compared on (ICM first).
 pub fn platforms_for(algo: Algo) -> Vec<Platform> {
     let mut out = vec![Platform::Icm];
-    for p in [Platform::Msb, Platform::Chlonos, Platform::Tgb, Platform::Goffish] {
+    for p in [
+        Platform::Msb,
+        Platform::Chlonos,
+        Platform::Tgb,
+        Platform::Goffish,
+    ] {
         if p.supports(algo) {
             out.push(p);
         }
@@ -271,17 +298,28 @@ mod tests {
 
     #[test]
     fn quick_matrix_runs_on_a_small_profile() {
-        let config = HarnessConfig { scale: 1, workers: 2, seed: 7 };
+        let config = HarnessConfig {
+            scale: 1,
+            workers: 2,
+            seed: 7,
+        };
         // A deliberately tiny graph keeps this test fast.
         let dataset = Dataset::from_graph(
             Profile::GPlus,
-            Arc::new(graphite_datagen::generate(&graphite_datagen::GenParams::small(7))),
+            Arc::new(graphite_datagen::generate(
+                &graphite_datagen::GenParams::small(7),
+            )),
         );
         let cells = run_matrix(&dataset, &[Algo::Bfs, Algo::Sssp], &config.run_opts());
         // BFS: ICM+MSB+CHL; SSSP: ICM+TGB+GOF.
         assert_eq!(cells.len(), 6);
         for c in &cells {
-            assert!(c.metrics.counters.compute_calls > 0, "{:?}/{:?}", c.algo, c.platform);
+            assert!(
+                c.metrics.counters.compute_calls > 0,
+                "{:?}/{:?}",
+                c.algo,
+                c.platform
+            );
         }
     }
 }

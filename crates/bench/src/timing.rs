@@ -1,0 +1,80 @@
+//! A minimal, dependency-free micro-benchmark harness used by the
+//! `benches/` targets (`cargo bench` runs them with `harness = false`).
+//!
+//! Each case is warmed up, then run in adaptively sized batches until a
+//! time budget is spent; the per-iteration mean and the batch minimum are
+//! reported. All clock reads go through [`graphite_bsp::metrics::now`],
+//! the workspace's one sanctioned wall-clock source.
+
+use graphite_bsp::metrics::now;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Target measurement budget per case.
+const BUDGET: Duration = Duration::from_millis(200);
+/// Warmup budget per case.
+const WARMUP: Duration = Duration::from_millis(50);
+
+/// Times `f` and prints one result row: label, mean ns/iter over the whole
+/// budget, and the fastest single batch (per-iter).
+pub fn bench<T>(label: &str, mut f: impl FnMut() -> T) {
+    // Warmup until the budget is spent (at least once).
+    let start = now();
+    let mut batch = 1u64;
+    loop {
+        for _ in 0..batch {
+            black_box(f());
+        }
+        if start.elapsed() >= WARMUP {
+            break;
+        }
+        batch = batch.saturating_mul(2);
+    }
+    // Measure in batches; keep doubling until a batch costs >=1ms so the
+    // clock resolution stays negligible.
+    let mut iters = 0u64;
+    let mut best = Duration::MAX;
+    let run_start = now();
+    loop {
+        let t0 = now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let took = t0.elapsed();
+        iters += batch;
+        if took > Duration::ZERO {
+            let per = took / u32::try_from(batch).unwrap_or(u32::MAX);
+            best = best.min(per);
+        }
+        if run_start.elapsed() >= BUDGET {
+            break;
+        }
+        if took < Duration::from_millis(1) {
+            batch = batch.saturating_mul(2);
+        }
+    }
+    let total = run_start.elapsed();
+    let mean_ns = total.as_nanos() as f64 / iters as f64;
+    println!(
+        "bench {label:<40} {:>12.1} ns/iter  (best {:>10?}, {iters} iters)",
+        mean_ns, best
+    );
+}
+
+/// Like [`bench`] but annotates the label with an element count and also
+/// reports per-element throughput.
+pub fn bench_throughput<T>(label: &str, elements: u64, mut f: impl FnMut() -> T) {
+    let start = now();
+    let mut reps = 0u64;
+    loop {
+        black_box(f());
+        reps += 1;
+        if start.elapsed() >= BUDGET || reps >= 1_000_000 {
+            break;
+        }
+    }
+    let total = start.elapsed();
+    let per_iter = total.as_nanos() as f64 / reps as f64;
+    let per_elem = per_iter / elements as f64;
+    println!("bench {label:<40} {per_iter:>12.1} ns/iter  ({per_elem:>8.2} ns/elem, {reps} iters)");
+}

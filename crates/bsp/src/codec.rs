@@ -125,7 +125,11 @@ pub fn put_interval(iv: Interval, buf: &mut Vec<u8>) {
 pub fn get_interval(buf: &mut &[u8]) -> Option<Interval> {
     let (&flags, rest) = buf.split_first()?;
     *buf = rest;
-    let start = if flags & F_FROM_NEG_INF != 0 { TIME_MIN } else { get_signed(buf)? };
+    let start = if flags & F_FROM_NEG_INF != 0 {
+        TIME_MIN
+    } else {
+        get_signed(buf)?
+    };
     let end = if flags & F_TO_INF != 0 {
         TIME_MAX
     } else if flags & F_UNIT != 0 {
@@ -263,7 +267,12 @@ impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
         self.3.encode(buf);
     }
     fn decode(buf: &mut &[u8]) -> Option<Self> {
-        Some((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?, D::decode(buf)?))
+        Some((
+            A::decode(buf)?,
+            B::decode(buf)?,
+            C::decode(buf)?,
+            D::decode(buf)?,
+        ))
     }
 }
 

@@ -11,15 +11,24 @@
 //! platforms (`graphite-baselines`) run on this driver, which mirrors the
 //! paper's setup where all five platforms share Giraph — the primitives are
 //! the distinction, not the runtime (Sec. VII-A3).
+//!
+//! In debug builds every run is verified against the barrier-protocol state
+//! machine in [`crate::check`]; [`BspConfig::perturb_schedule`] additionally
+//! lets the schedule-perturbation race harness permute the scheduling
+//! freedoms the BSP contract leaves open (thread join order, batch delivery
+//! order) to detect accidental order dependence.
 
 use crate::aggregate::{Aggregators, MasterDecision};
+use crate::check::RunChecker;
 use crate::codec::{get_varint, put_varint, Wire};
-use crate::metrics::{RunMetrics, StepTiming, UserCounters};
+use crate::error::BspError;
+use crate::metrics::{now, RunMetrics, StepTiming, UserCounters};
 use crate::partition::PartitionMap;
 use graphite_tgraph::graph::VIdx;
+use graphite_tgraph::rng::SplitMix64;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::Duration;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -28,11 +37,25 @@ pub struct BspConfig {
     pub max_supersteps: u64,
     /// Record per-superstep timing splits in the metrics.
     pub keep_per_step_timing: bool,
+    /// When `Some(seed)`, deterministically permutes — per superstep — the
+    /// scheduling freedoms the BSP contract leaves open: worker thread join
+    /// order and remote-batch delivery order. A correct program's results
+    /// must be bit-identical under every seed; the schedule-perturbation
+    /// race harness asserts exactly that. `None` (the default) is natural
+    /// worker-index order.
+    ///
+    /// Note that per-sender FIFO order is preserved in every schedule (as
+    /// on a real network transport); only cross-sender interleaving moves.
+    pub perturb_schedule: Option<u64>,
 }
 
 impl Default for BspConfig {
     fn default() -> Self {
-        BspConfig { max_supersteps: 100_000, keep_per_step_timing: false }
+        BspConfig {
+            max_supersteps: 100_000,
+            keep_per_step_timing: false,
+            perturb_schedule: None,
+        }
     }
 }
 
@@ -45,7 +68,9 @@ pub struct Inbox<M> {
 
 impl<M> Default for Inbox<M> {
     fn default() -> Self {
-        Inbox { by_vertex: BTreeMap::new() }
+        Inbox {
+            by_vertex: BTreeMap::new(),
+        }
     }
 }
 
@@ -91,7 +116,10 @@ pub struct Outbox<M> {
 impl<M> Outbox<M> {
     fn new(partition: Arc<PartitionMap>) -> Self {
         let workers = partition.workers();
-        Outbox { partition, batches: (0..workers).map(|_| Vec::new()).collect() }
+        Outbox {
+            partition,
+            batches: (0..workers).map(|_| Vec::new()).collect(),
+        }
     }
 
     /// Sends `msg` to vertex `dst` for delivery next superstep.
@@ -146,6 +174,36 @@ pub type MasterHook<'a> = &'a mut dyn FnMut(u64, &Aggregators) -> MasterDecision
 /// (readable as `globals.get_sum_u64(MESSAGES_SENT_AGG)`).
 pub const MESSAGES_SENT_AGG: &str = "__messages";
 
+/// The identity permutation of `0..n`, or — under schedule perturbation —
+/// a permutation drawn deterministically from `(seed, step, salt)`.
+/// Public so the race harness can verify the perturbation is non-trivial.
+pub fn schedule_order(n: usize, perturb: Option<u64>, step: u64, salt: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    if let Some(seed) = perturb {
+        let mut rng = SplitMix64::new(seed ^ step.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt);
+        rng.shuffle(&mut order);
+    }
+    order
+}
+
+/// What one worker's compute phase hands back to the exchange phase.
+type ComputeSlot<M> = (Outbox<M>, Aggregators, UserCounters);
+
+/// A worker's per-destination message batches, taken out one at a time in
+/// (possibly perturbed) destination order.
+type PendingBatches<M> = Vec<Option<Vec<(VIdx, M)>>>;
+
+/// Extracts a printable message from a worker thread's panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs `workers` to convergence (no messages in flight and no master
 /// continuation) and returns the worker states plus the run metrics.
 ///
@@ -153,41 +211,53 @@ pub const MESSAGES_SENT_AGG: &str = "__messages";
 /// after each superstep and only messages reactivate them, so the run stops
 /// at the first superstep that emits no messages. The first superstep always
 /// runs (with empty inboxes) so programs can initialize.
+///
+/// # Errors
+///
+/// Surfaces poisoned workers (a worker thread panicking mid-superstep) and
+/// wire-codec corruption as [`BspError`] instead of panicking, per the
+/// failure-injection intent of DESIGN.md §7.
 pub fn run_bsp<L: WorkerLogic>(
     config: &BspConfig,
     mut workers: Vec<L>,
     partition: Arc<PartitionMap>,
     mut master: Option<MasterHook<'_>>,
-) -> (Vec<L>, RunMetrics) {
-    assert_eq!(
-        workers.len(),
-        partition.workers(),
-        "one WorkerLogic per partition worker"
-    );
+) -> Result<(Vec<L>, RunMetrics), BspError> {
+    if workers.len() != partition.workers() {
+        return Err(BspError::WorkerMismatch {
+            logics: workers.len(),
+            partitions: partition.workers(),
+        });
+    }
     let n = workers.len();
     let mut metrics = RunMetrics::default();
     let mut inboxes: Vec<Inbox<L::Msg>> = (0..n).map(|_| Inbox::default()).collect();
     let mut globals = Aggregators::new();
-    let run_start = Instant::now();
+    let mut checker = RunChecker::new();
+    let run_start = now();
 
     for step in 1..=config.max_supersteps {
-        let step_start = Instant::now();
+        checker.begin_compute(step);
+        let step_start = now();
+        let join_order = schedule_order(n, config.perturb_schedule, step, 0x4a4f_494e);
+        let route_order = schedule_order(n, config.perturb_schedule, step, 0x524f_5554);
+
         // --- Compute phase: one thread per worker. ---
         let globals_ref = &globals;
-        let mut results: Vec<(Outbox<L::Msg>, Aggregators, UserCounters)> =
-            Vec::with_capacity(n);
-        let mut compute_max = std::time::Duration::ZERO;
+        let mut slots: Vec<Option<ComputeSlot<L::Msg>>> = (0..n).map(|_| None).collect();
+        let mut compute_max = Duration::ZERO;
+        let mut poisoned: Option<BspError> = None;
         std::thread::scope(|scope| {
-            let handles: Vec<_> = workers
+            let mut handles: Vec<_> = workers
                 .iter_mut()
                 .zip(inboxes.iter())
                 .map(|(logic, inbox)| {
                     let partition = Arc::clone(&partition);
-                    scope.spawn(move || {
+                    Some(scope.spawn(move || {
                         let mut outbox = Outbox::new(partition);
                         let mut partial = Aggregators::new();
                         let mut counters = UserCounters::default();
-                        let t0 = Instant::now();
+                        let t0 = now();
                         logic.superstep(
                             step,
                             inbox,
@@ -197,27 +267,68 @@ pub fn run_bsp<L: WorkerLogic>(
                             &mut counters,
                         );
                         (outbox, partial, counters, t0.elapsed())
-                    })
+                    }))
                 })
                 .collect();
-            for h in handles {
-                let (outbox, partial, counters, took) = h.join().expect("worker panicked");
-                compute_max = compute_max.max(took);
-                results.push((outbox, partial, counters));
+            // Join in (possibly perturbed) order. Every handle is joined —
+            // even after a failure — so a panicking worker cannot escape
+            // the scope and bring the driver down with it.
+            for &w in &join_order {
+                let Some(handle) = handles[w].take() else {
+                    continue;
+                };
+                match handle.join() {
+                    Ok((outbox, partial, counters, took)) => {
+                        compute_max = compute_max.max(took);
+                        slots[w] = Some((outbox, partial, counters));
+                    }
+                    Err(payload) => {
+                        if poisoned.is_none() {
+                            poisoned = Some(BspError::WorkerPanicked {
+                                worker: w,
+                                step,
+                                message: panic_message(payload),
+                            });
+                        }
+                    }
+                }
             }
         });
-        let after_compute = Instant::now();
+        if let Some(err) = poisoned {
+            return Err(err);
+        }
+        let after_compute = now();
+        checker.begin_exchange();
 
         // --- Exchange phase: route, serialize remote batches, regroup. ---
+        // Single-threaded by design: all cross-worker message movement
+        // happens here, between the compute phases, which is what makes the
+        // barrier protocol checkable and the run replayable.
         let mut next: Vec<Inbox<L::Msg>> = (0..n).map(|_| Inbox::default()).collect();
         let mut step_partial = Aggregators::new();
         let mut total_sent = 0u64;
         let mut wire = Vec::new();
-        for (src, (outbox, partial, mut counters)) in results.into_iter().enumerate() {
-            for (dst_worker, batch) in outbox.batches.into_iter().enumerate() {
+        for &src in &route_order {
+            let Some((outbox, partial, mut counters)) = slots[src].take() else {
+                continue;
+            };
+            let dst_order = schedule_order(
+                n,
+                config.perturb_schedule,
+                step ^ (src as u64).wrapping_mul(0x517c_c1b7_2722_0a95),
+                0x4445_5354,
+            );
+            let mut batches: PendingBatches<L::Msg> =
+                outbox.batches.into_iter().map(Some).collect();
+            for &dst_worker in &dst_order {
+                let Some(batch) = batches[dst_worker].take() else {
+                    continue;
+                };
                 counters.messages_sent += batch.len() as u64;
                 total_sent += batch.len() as u64;
+                checker.record_sent(batch.len() as u64);
                 if dst_worker == src {
+                    checker.record_delivered(batch.len() as u64);
                     for (v, m) in batch {
                         next[dst_worker].push(v, m);
                     }
@@ -233,21 +344,39 @@ pub fn run_bsp<L: WorkerLogic>(
                     counters.bytes_sent += wire.len() as u64;
                     let mut cursor = wire.as_slice();
                     for _ in 0..batch.len() {
-                        let v = VIdx(
-                            u32::try_from(get_varint(&mut cursor).expect("self-encoded vid"))
-                                .expect("vid fits u32"),
-                        );
-                        let m = <L::Msg as Wire>::decode(&mut cursor)
-                            .expect("self-encoded message");
+                        let raw = get_varint(&mut cursor).ok_or(BspError::Codec {
+                            worker: dst_worker,
+                            step,
+                            detail: "vertex id varint",
+                        })?;
+                        let v = VIdx(u32::try_from(raw).map_err(|_| BspError::Codec {
+                            worker: dst_worker,
+                            step,
+                            detail: "vertex id exceeds u32",
+                        })?);
+                        let m = <L::Msg as Wire>::decode(&mut cursor).ok_or(BspError::Codec {
+                            worker: dst_worker,
+                            step,
+                            detail: "message payload",
+                        })?;
+                        checker.record_delivered(1);
                         next[dst_worker].push(v, m);
                     }
-                    debug_assert!(cursor.is_empty());
+                    if !cursor.is_empty() {
+                        return Err(BspError::Codec {
+                            worker: dst_worker,
+                            step,
+                            detail: "trailing bytes after batch",
+                        });
+                    }
                 }
             }
+            // Aggregator and counter folds are commutative, so the
+            // perturbed route order cannot change their totals.
             step_partial.merge(&partial);
             metrics.absorb_counters(counters);
         }
-        let after_exchange = Instant::now();
+        let after_exchange = now();
 
         globals = step_partial;
         // Built-in aggregate: how many messages this superstep emitted.
@@ -269,13 +398,15 @@ pub fn run_bsp<L: WorkerLogic>(
         inboxes = next;
 
         let idle_halt = total_sent == 0 && decision != MasterDecision::ForceContinue;
-        if idle_halt || decision == MasterDecision::Halt {
+        let halting = idle_halt || decision == MasterDecision::Halt;
+        checker.barrier(total_sent, decision, halting);
+        if halting {
             break;
         }
     }
 
     metrics.makespan = run_start.elapsed();
-    (workers, metrics)
+    Ok((workers, metrics))
 }
 
 #[cfg(test)]
@@ -348,6 +479,15 @@ mod tests {
     }
 
     fn run_token(n: u64, workers: usize, hops: u64) -> (Vec<TokenLogic>, RunMetrics) {
+        run_token_with(n, workers, hops, &BspConfig::default())
+    }
+
+    fn run_token_with(
+        n: u64,
+        workers: usize,
+        hops: u64,
+        config: &BspConfig,
+    ) -> (Vec<TokenLogic>, RunMetrics) {
         let graph = Arc::new(ring(n));
         let partition = Arc::new(PartitionMap::hash(&graph, workers));
         let logics = (0..workers)
@@ -358,15 +498,14 @@ mod tests {
                 hops,
             })
             .collect();
-        run_bsp(&BspConfig::default(), logics, partition, None)
+        run_bsp(config, logics, partition, None).unwrap()
     }
 
     #[test]
     fn token_travels_the_ring() {
         for workers in [1, 2, 4] {
             let (logics, metrics) = run_token(8, workers, 8);
-            let mut seen: Vec<(VIdx, u64)> =
-                logics.into_iter().flat_map(|l| l.seen).collect();
+            let mut seen: Vec<(VIdx, u64)> = logics.into_iter().flat_map(|l| l.seen).collect();
             seen.sort_by_key(|&(_, m)| m);
             let tokens: Vec<u64> = seen.iter().map(|&(_, m)| m).collect();
             assert_eq!(tokens, (1..=8).collect::<Vec<_>>(), "workers={workers}");
@@ -406,7 +545,7 @@ mod tests {
             }
             MasterDecision::Continue
         };
-        let _ = run_bsp(&BspConfig::default(), logics, partition, Some(&mut hook));
+        run_bsp(&BspConfig::default(), logics, partition, Some(&mut hook)).unwrap();
         assert_eq!(max_seen, (1..=6).collect::<Vec<_>>());
     }
 
@@ -422,9 +561,15 @@ mod tests {
                 hops: 8,
             })
             .collect();
-        let mut hook =
-            |step: u64, _: &Aggregators| if step >= 3 { MasterDecision::Halt } else { MasterDecision::Continue };
-        let (_, metrics) = run_bsp(&BspConfig::default(), logics, partition, Some(&mut hook));
+        let mut hook = |step: u64, _: &Aggregators| {
+            if step >= 3 {
+                MasterDecision::Halt
+            } else {
+                MasterDecision::Continue
+            }
+        };
+        let (_, metrics) =
+            run_bsp(&BspConfig::default(), logics, partition, Some(&mut hook)).unwrap();
         assert_eq!(metrics.supersteps, 3);
     }
 
@@ -438,8 +583,11 @@ mod tests {
             seen: Vec::new(),
             hops: u64::MAX, // never stops on its own
         }];
-        let config = BspConfig { max_supersteps: 5, ..Default::default() };
-        let (_, metrics) = run_bsp(&config, logics, partition, None);
+        let config = BspConfig {
+            max_supersteps: 5,
+            ..Default::default()
+        };
+        let (_, metrics) = run_bsp(&config, logics, partition, None).unwrap();
         assert_eq!(metrics.supersteps, 5);
     }
 
@@ -453,9 +601,111 @@ mod tests {
             seen: Vec::new(),
             hops: 4,
         }];
-        let config = BspConfig { keep_per_step_timing: true, ..Default::default() };
-        let (_, metrics) = run_bsp(&config, logics, partition, None);
+        let config = BspConfig {
+            keep_per_step_timing: true,
+            ..Default::default()
+        };
+        let (_, metrics) = run_bsp(&config, logics, partition, None).unwrap();
         assert_eq!(metrics.per_step.len() as u64, metrics.supersteps);
         assert!(metrics.makespan >= metrics.compute_plus);
+    }
+
+    #[test]
+    fn worker_count_mismatch_is_an_error() {
+        let graph = Arc::new(ring(4));
+        let partition = Arc::new(PartitionMap::hash(&graph, 2));
+        let logics = vec![TokenLogic {
+            graph: Arc::clone(&graph),
+            owned: partition.owned_by(0),
+            seen: Vec::new(),
+            hops: 1,
+        }];
+        let Err(err) = run_bsp(&BspConfig::default(), logics, partition, None) else {
+            panic!("mismatched worker count must not run");
+        };
+        assert_eq!(
+            err,
+            BspError::WorkerMismatch {
+                logics: 1,
+                partitions: 2
+            }
+        );
+    }
+
+    /// A logic whose worker 1 panics at superstep 2.
+    struct Bomb {
+        worker: usize,
+    }
+
+    impl WorkerLogic for Bomb {
+        type Msg = u64;
+        fn superstep(
+            &mut self,
+            step: u64,
+            _inbox: &Inbox<u64>,
+            outbox: &mut Outbox<u64>,
+            _globals: &Aggregators,
+            _partial: &mut Aggregators,
+            _counters: &mut UserCounters,
+        ) {
+            if step == 2 && self.worker == 1 {
+                panic!("injected fault");
+            }
+            if step == 1 && self.worker == 0 {
+                outbox.send(VIdx(0), 1); // keep the run alive into step 2
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_worker_surfaces_as_error() {
+        let graph = Arc::new(ring(4));
+        let partition = Arc::new(PartitionMap::hash(&graph, 2));
+        let logics = (0..2).map(|worker| Bomb { worker }).collect();
+        let Err(err) = run_bsp(&BspConfig::default(), logics, partition, None) else {
+            panic!("poisoned run must not succeed");
+        };
+        match err {
+            BspError::WorkerPanicked {
+                worker,
+                step,
+                message,
+            } => {
+                assert_eq!(worker, 1);
+                assert_eq!(step, 2);
+                assert!(message.contains("injected fault"));
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn perturbed_schedules_are_result_invariant() {
+        let baseline = run_token(8, 4, 8);
+        let canonical: Vec<(VIdx, u64)> = {
+            let mut s: Vec<(VIdx, u64)> = baseline.0.into_iter().flat_map(|l| l.seen).collect();
+            s.sort_unstable();
+            s
+        };
+        for seed in 0..8u64 {
+            let config = BspConfig {
+                perturb_schedule: Some(seed),
+                ..Default::default()
+            };
+            let (logics, metrics) = run_token_with(8, 4, 8, &config);
+            let mut seen: Vec<(VIdx, u64)> = logics.into_iter().flat_map(|l| l.seen).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, canonical, "seed={seed}");
+            assert_eq!(
+                metrics.counters.messages_sent,
+                baseline.1.counters.messages_sent
+            );
+            assert_eq!(
+                metrics.counters.remote_messages,
+                baseline.1.counters.remote_messages
+            );
+            assert_eq!(metrics.counters.bytes_sent, baseline.1.counters.bytes_sent);
+            assert_eq!(metrics.supersteps, baseline.1.supersteps);
+        }
     }
 }

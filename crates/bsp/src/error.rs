@@ -1,0 +1,101 @@
+//! Engine-level failures surfaced by [`crate::engine::run_bsp`].
+//!
+//! DESIGN.md §7 ("failure injection") requires the engine to *surface*
+//! poisoned-worker conditions instead of panicking inside the barrier
+//! logic: a worker thread that panics mid-superstep, or a remote batch
+//! whose self-encoded bytes fail to decode, is reported to the caller as a
+//! typed error carrying the worker index and superstep for diagnosis.
+
+use std::fmt;
+
+/// A failure during a BSP run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BspError {
+    /// A worker thread panicked during its compute phase. The partition it
+    /// owned is poisoned; the run cannot produce a sound result.
+    WorkerPanicked {
+        /// Index of the poisoned worker.
+        worker: usize,
+        /// 1-based superstep during which the panic surfaced.
+        step: u64,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A remote batch failed to decode through the wire codec even though
+    /// this process encoded it — memory corruption or a codec bug.
+    Codec {
+        /// Destination worker whose batch failed to decode.
+        worker: usize,
+        /// 1-based superstep of the exchange.
+        step: u64,
+        /// What failed to decode.
+        detail: &'static str,
+    },
+    /// The caller supplied a different number of worker logics than the
+    /// partition map has workers.
+    WorkerMismatch {
+        /// Number of `WorkerLogic` instances supplied.
+        logics: usize,
+        /// Number of workers in the partition map.
+        partitions: usize,
+    },
+}
+
+impl fmt::Display for BspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BspError::WorkerPanicked {
+                worker,
+                step,
+                message,
+            } => {
+                write!(f, "worker {worker} panicked in superstep {step}: {message}")
+            }
+            BspError::Codec {
+                worker,
+                step,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "self-encoded batch for worker {worker} failed to decode in superstep {step}: {detail}"
+                )
+            }
+            BspError::WorkerMismatch { logics, partitions } => {
+                write!(
+                    f,
+                    "{logics} worker logics supplied for {partitions} partitions"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BspError::WorkerPanicked {
+            worker: 3,
+            step: 7,
+            message: "boom".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('7') && s.contains("boom"));
+        let c = BspError::Codec {
+            worker: 1,
+            step: 2,
+            detail: "vid varint",
+        };
+        assert!(c.to_string().contains("vid varint"));
+        let m = BspError::WorkerMismatch {
+            logics: 2,
+            partitions: 4,
+        };
+        assert!(m.to_string().contains('2') && m.to_string().contains('4'));
+    }
+}

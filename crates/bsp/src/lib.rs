@@ -13,16 +13,21 @@
 //! the paper — the programming primitives are the experimental variable,
 //! not the runtime.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod check;
 pub mod codec;
 pub mod engine;
+pub mod error;
 pub mod metrics;
 pub mod partition;
 
 pub use aggregate::{Agg, Aggregators, MasterDecision};
+pub use check::RunChecker;
 pub use codec::Wire;
 pub use engine::{run_bsp, BspConfig, Inbox, MasterHook, Outbox, WorkerLogic, MESSAGES_SENT_AGG};
+pub use error::BspError;
 pub use metrics::{RunMetrics, StepTiming, UserCounters};
 pub use partition::{hash_partition, PartitionMap};

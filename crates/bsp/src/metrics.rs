@@ -8,13 +8,25 @@
 //! the time splits. This module is the single source of truth for all of
 //! those numbers across GRAPHITE and the four baselines.
 
-use serde::{Deserialize, Serialize};
 use std::ops::AddAssign;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// The single sanctioned wall-clock source of the workspace.
+///
+/// Timing belongs to metrics and nowhere else: wall-clock reads anywhere
+/// else in the engines would be invisible nondeterminism (and are denied by
+/// the `wall-clock` rule of `graphite-lint`). Everything that needs a
+/// timestamp goes through this function so the policy has one audited
+/// exception.
+#[inline]
+#[must_use]
+pub fn now() -> Instant {
+    Instant::now() // lint:allow(wall-clock) — the one sanctioned clock read
+}
 
 /// Counters the user-logic layers (ICM / VCM) bump while running inside a
 /// worker superstep. Message and byte counts are bumped by the router.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct UserCounters {
     /// Invocations of the user's compute logic (per interval-vertex for
     /// ICM, per vertex-snapshot for the baselines).
@@ -47,7 +59,7 @@ impl AddAssign for UserCounters {
 }
 
 /// Wall-clock split of one superstep.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct StepTiming {
     /// Longest worker compute phase this superstep (workers run in
     /// parallel, so the slowest one gates the barrier) — the paper's
@@ -60,7 +72,7 @@ pub struct StepTiming {
 }
 
 /// Full metrics of one platform run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct RunMetrics {
     /// Number of supersteps executed.
     pub supersteps: u64,
@@ -116,8 +128,16 @@ mod tests {
 
     #[test]
     fn counters_accumulate() {
-        let mut a = UserCounters { compute_calls: 2, messages_sent: 5, ..Default::default() };
-        let b = UserCounters { compute_calls: 3, bytes_sent: 100, ..Default::default() };
+        let mut a = UserCounters {
+            compute_calls: 2,
+            messages_sent: 5,
+            ..Default::default()
+        };
+        let b = UserCounters {
+            compute_calls: 3,
+            bytes_sent: 100,
+            ..Default::default()
+        };
         a += b;
         assert_eq!(a.compute_calls, 5);
         assert_eq!(a.messages_sent, 5);
@@ -135,7 +155,10 @@ mod tests {
             },
             true,
         );
-        m.absorb_counters(UserCounters { compute_calls: 7, ..Default::default() });
+        m.absorb_counters(UserCounters {
+            compute_calls: 7,
+            ..Default::default()
+        });
         assert_eq!(m.supersteps, 1);
         assert_eq!(m.per_step.len(), 1);
 

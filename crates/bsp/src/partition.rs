@@ -7,7 +7,6 @@
 //! `VIdx → worker` map once per run.
 
 use graphite_tgraph::graph::{TemporalGraph, VIdx, VertexId};
-use serde::{Deserialize, Serialize};
 
 /// Finalizing mix of splitmix64 — a fast, well-distributed 64-bit hash.
 #[inline]
@@ -26,7 +25,7 @@ pub fn hash_partition(vid: VertexId, workers: usize) -> usize {
 }
 
 /// A precomputed vertex → worker assignment for one graph and worker count.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PartitionMap {
     assignment: Vec<u16>,
     workers: usize,
@@ -40,7 +39,10 @@ impl PartitionMap {
             .vertices()
             .map(|(_, v)| hash_partition(v.vid, workers) as u16)
             .collect();
-        PartitionMap { assignment, workers }
+        PartitionMap {
+            assignment,
+            workers,
+        }
     }
 
     /// Number of workers.

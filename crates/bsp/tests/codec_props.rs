@@ -1,113 +1,260 @@
 //! Property-based verification of the wire codec: every encodable value
 //! round-trips exactly, decoders consume exactly their own bytes (so
-//! concatenated streams reframe correctly), and the compact interval
-//! encoding is never larger than the fixed one for workload-like inputs.
+//! concatenated streams reframe correctly), the compact interval encoding
+//! is never larger than the fixed one for workload-like inputs, and no
+//! input — truncated, corrupted or random — makes a decoder panic.
+//!
+//! Randomized cases are driven by the in-tree [`SplitMix64`] generator with
+//! fixed seeds, so every run explores the same (large) case set and a
+//! failure reproduces exactly.
 
 use graphite_bsp::codec::{
-    get_interval, get_signed, get_varint, put_interval, put_interval_fixed, put_signed,
-    put_varint, Wire,
+    get_interval, get_interval_fixed, get_signed, get_varint, put_interval, put_interval_fixed,
+    put_signed, put_varint, Wire,
 };
+use graphite_tgraph::rng::SplitMix64;
 use graphite_tgraph::time::{Interval, TIME_MAX, TIME_MIN};
-use proptest::prelude::*;
 
-fn interval_strategy() -> impl Strategy<Value = Interval> {
-    prop_oneof![
-        // Bounded, workload-like coordinates.
-        (-1000i64..1000, 1i64..500).prop_map(|(s, l)| Interval::new(s, s + l)),
-        // Unit points.
-        (-1000i64..1000).prop_map(Interval::point),
-        // Right-unbounded (the SSSP message shape).
-        (-1000i64..1000).prop_map(Interval::from_start),
-        // Left-unbounded (the LD message shape).
-        (-1000i64..1000).prop_map(Interval::until),
-        Just(Interval::all()),
-        // Extreme finite coordinates.
-        Just(Interval::new(TIME_MIN + 1, TIME_MAX - 1)),
-    ]
+const CASES: usize = 2000;
+
+/// Draws intervals with the same shape mix the old proptest strategy used:
+/// bounded workload-like spans, unit points, half-unbounded rays (the SSSP
+/// and LD message shapes), the full line, and extreme finite coordinates.
+fn rand_interval(rng: &mut SplitMix64) -> Interval {
+    match rng.bounded(6) {
+        0 => {
+            let s = rng.range_i64(-1000, 1000);
+            let l = rng.range_i64(1, 500);
+            Interval::new(s, s + l)
+        }
+        1 => Interval::point(rng.range_i64(-1000, 1000)),
+        2 => Interval::from_start(rng.range_i64(-1000, 1000)),
+        3 => Interval::until(rng.range_i64(-1000, 1000)),
+        4 => Interval::all(),
+        _ => Interval::new(TIME_MIN + 1, TIME_MAX - 1),
+    }
 }
 
-proptest! {
-    #[test]
-    fn varint_round_trips(v in any::<u64>()) {
+#[test]
+fn varint_round_trips() {
+    let mut rng = SplitMix64::new(0x0C0D_EC01);
+    for _ in 0..CASES {
+        let v = rng.next_u64();
         let mut buf = Vec::new();
         put_varint(v, &mut buf);
         let mut s = buf.as_slice();
-        prop_assert_eq!(get_varint(&mut s), Some(v));
-        prop_assert!(s.is_empty());
+        assert_eq!(get_varint(&mut s), Some(v));
+        assert!(s.is_empty());
     }
+}
 
-    #[test]
-    fn signed_round_trips(v in any::<i64>()) {
+#[test]
+fn signed_round_trips() {
+    let mut rng = SplitMix64::new(0x0C0D_EC02);
+    for _ in 0..CASES {
+        let v = rng.next_u64() as i64;
         let mut buf = Vec::new();
         put_signed(v, &mut buf);
         let mut s = buf.as_slice();
-        prop_assert_eq!(get_signed(&mut s), Some(v));
-        prop_assert!(s.is_empty());
+        assert_eq!(get_signed(&mut s), Some(v));
+        assert!(s.is_empty());
     }
+}
 
-    #[test]
-    fn interval_round_trips(iv in interval_strategy()) {
+#[test]
+fn interval_round_trips() {
+    let mut rng = SplitMix64::new(0x0C0D_EC03);
+    for _ in 0..CASES {
+        let iv = rand_interval(&mut rng);
         let mut buf = Vec::new();
         put_interval(iv, &mut buf);
         let mut s = buf.as_slice();
-        prop_assert_eq!(get_interval(&mut s), Some(iv));
-        prop_assert!(s.is_empty());
+        assert_eq!(get_interval(&mut s), Some(iv), "{iv}");
+        assert!(s.is_empty());
     }
+}
 
-    /// Concatenated streams reframe exactly — the router's batch decode
-    /// depends on this.
-    #[test]
-    fn concatenated_intervals_reframe(ivs in proptest::collection::vec(interval_strategy(), 0..20)) {
+/// The ±∞ / unit-length flag boundaries, exhaustively: every combination
+/// of an extreme or near-extreme start with an extreme, near-extreme or
+/// unit-distance end that forms a valid interval must round-trip through
+/// both the compact and the fixed codec.
+#[test]
+fn flag_boundary_round_trips() {
+    let starts = [
+        TIME_MIN,
+        TIME_MIN + 1,
+        TIME_MIN + 2,
+        -1,
+        0,
+        1,
+        TIME_MAX - 2,
+        TIME_MAX - 1,
+    ];
+    let ends = [
+        TIME_MIN + 1,
+        TIME_MIN + 2,
+        -1,
+        0,
+        1,
+        2,
+        TIME_MAX - 1,
+        TIME_MAX,
+    ];
+    let mut checked = 0;
+    for &s in &starts {
+        for &e in &ends {
+            let Some(iv) = Interval::try_new(s, e) else {
+                continue;
+            };
+            checked += 1;
+            let mut compact = Vec::new();
+            put_interval(iv, &mut compact);
+            let mut c = compact.as_slice();
+            assert_eq!(get_interval(&mut c), Some(iv), "compact {iv}");
+            assert!(c.is_empty(), "compact {iv} left bytes");
+            let mut fixed = Vec::new();
+            put_interval_fixed(iv, &mut fixed);
+            let mut f = fixed.as_slice();
+            assert_eq!(get_interval_fixed(&mut f), Some(iv), "fixed {iv}");
+            assert!(f.is_empty(), "fixed {iv} left bytes");
+            // Unit-length spans adjacent to the boundaries exercise the
+            // F_UNIT flag against the F_TO_INF/F_FROM_NEG_INF ones.
+            if s.checked_add(1) == Some(e) || s == TIME_MIN || e == TIME_MAX {
+                assert!(compact.len() <= 11, "{iv} -> {} bytes", compact.len());
+            }
+        }
+    }
+    assert!(
+        checked > 30,
+        "boundary grid unexpectedly sparse ({checked})"
+    );
+}
+
+/// Concatenated streams reframe exactly — the router's batch decode
+/// depends on this.
+#[test]
+fn concatenated_intervals_reframe() {
+    let mut rng = SplitMix64::new(0x0C0D_EC04);
+    for _ in 0..200 {
+        let ivs: Vec<Interval> = (0..rng.index(20))
+            .map(|_| rand_interval(&mut rng))
+            .collect();
         let mut buf = Vec::new();
         for &iv in &ivs {
             put_interval(iv, &mut buf);
         }
         let mut s = buf.as_slice();
         for &iv in &ivs {
-            prop_assert_eq!(get_interval(&mut s), Some(iv));
+            assert_eq!(get_interval(&mut s), Some(iv));
         }
-        prop_assert!(s.is_empty());
+        assert!(s.is_empty());
     }
+}
 
-    /// The compact encoding never exceeds the fixed 16-byte pair (plus its
-    /// one flag byte) and is dramatically smaller for degenerate shapes.
-    #[test]
-    fn compact_never_larger_than_fixed_plus_flag(iv in interval_strategy()) {
+/// The compact encoding never exceeds the fixed 16-byte pair (plus its one
+/// flag byte) and is dramatically smaller for degenerate shapes.
+#[test]
+fn compact_never_larger_than_fixed_plus_flag() {
+    let mut rng = SplitMix64::new(0x0C0D_EC05);
+    for _ in 0..CASES {
+        let iv = rand_interval(&mut rng);
         let mut compact = Vec::new();
         put_interval(iv, &mut compact);
         let mut fixed = Vec::new();
         put_interval_fixed(iv, &mut fixed);
-        prop_assert!(compact.len() <= fixed.len() + 5, "{} -> {}", iv, compact.len());
+        assert!(
+            compact.len() <= fixed.len() + 5,
+            "{} -> {}",
+            iv,
+            compact.len()
+        );
         if iv.is_unit() || iv.end() == TIME_MAX || iv.start() == TIME_MIN {
-            prop_assert!(compact.len() <= 11, "{} -> {}", iv, compact.len());
+            assert!(compact.len() <= 11, "{} -> {}", iv, compact.len());
         }
     }
+}
 
-    /// Composite message payloads (interval, value) round-trip — the exact
-    /// shape the ICM engine ships.
-    #[test]
-    fn icm_message_round_trips(iv in interval_strategy(), v in any::<i64>()) {
-        let msg = (iv, v);
+/// Composite message payloads (interval, value) round-trip — the exact
+/// shape the ICM engine ships.
+#[test]
+fn icm_message_round_trips() {
+    let mut rng = SplitMix64::new(0x0C0D_EC06);
+    for _ in 0..CASES {
+        let msg = (rand_interval(&mut rng), rng.next_u64() as i64);
         let mut buf = Vec::new();
         msg.encode(&mut buf);
         let mut s = buf.as_slice();
-        prop_assert_eq!(<(Interval, i64)>::decode(&mut s), Some(msg));
-        prop_assert!(s.is_empty());
+        assert_eq!(<(Interval, i64)>::decode(&mut s), Some(msg));
+        assert!(s.is_empty());
     }
+}
 
-    /// Truncated buffers never panic and never fabricate values.
-    #[test]
-    fn truncation_is_rejected(iv in interval_strategy(), cut in 0usize..16) {
+/// Truncated buffers never panic and never fabricate values.
+#[test]
+fn truncation_is_rejected() {
+    let mut rng = SplitMix64::new(0x0C0D_EC07);
+    for _ in 0..CASES {
+        let iv = rand_interval(&mut rng);
         let mut buf = Vec::new();
         put_interval(iv, &mut buf);
+        let cut = rng.index(16);
         if cut < buf.len() {
             let truncated = &buf[..cut];
             let mut s = truncated;
             // Either the decode fails, or (when the prefix happens to be a
             // complete shorter encoding) it must consume only the prefix.
             if let Some(got) = get_interval(&mut s) {
-                prop_assert!(s.len() < truncated.len() || got == iv);
+                assert!(s.len() < truncated.len() || got == iv);
             }
         }
+    }
+}
+
+/// Fuzz-style corruption: flip bytes of valid encodings and feed raw
+/// random byte soup to every decoder. Decoders must return `None` or a
+/// (possibly different) valid value — never panic, never loop, never
+/// consume past their input.
+#[test]
+fn corrupted_input_fails_gracefully() {
+    let mut rng = SplitMix64::new(0x0C0D_EC08);
+    for _ in 0..CASES {
+        // Start from a valid composite encoding and corrupt one byte.
+        let msg = (rand_interval(&mut rng), rng.next_u64() as i64);
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        let pos = rng.index(buf.len());
+        buf[pos] ^= (rng.bounded(255) + 1) as u8;
+        let mut s = buf.as_slice();
+        if let Some((iv, _)) = <(Interval, i64)>::decode(&mut s) {
+            // Whatever decoded must satisfy the Interval invariant
+            // (start < end) — try_new inside the codec guarantees it.
+            assert!(
+                iv.start() < iv.end(),
+                "corrupt decode broke the invariant: {iv}"
+            );
+        }
+        assert!(s.len() <= buf.len());
+    }
+    for _ in 0..CASES {
+        // Pure random byte soup against every decoder entry point.
+        let soup: Vec<u8> = (0..rng.index(40)).map(|_| rng.next_u64() as u8).collect();
+        let mut s = soup.as_slice();
+        let _ = get_interval(&mut s);
+        let mut s = soup.as_slice();
+        let _ = get_interval_fixed(&mut s);
+        let mut s = soup.as_slice();
+        let _ = get_varint(&mut s);
+        let mut s = soup.as_slice();
+        let _ = get_signed(&mut s);
+        let mut s = soup.as_slice();
+        let _ = Vec::<u64>::decode(&mut s);
+        let mut s = soup.as_slice();
+        let _ = Option::<(Interval, i64)>::decode(&mut s);
+        let mut s = soup.as_slice();
+        let _ = <(u64, i64, Interval)>::decode(&mut s);
+        let mut s = soup.as_slice();
+        let _ = f64::decode(&mut s);
+        let mut s = soup.as_slice();
+        let _ = bool::decode(&mut s);
     }
 }

@@ -4,25 +4,27 @@
 use crate::model::{GenParams, LifespanModel, PropModel, Topology};
 use graphite_tgraph::builder::TemporalGraphBuilder;
 use graphite_tgraph::graph::{EdgeId, TemporalGraph, VertexId};
+use graphite_tgraph::rng::SplitMix64;
 use graphite_tgraph::time::{Interval, Time};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Samples a lifespan within `[0, horizon)`.
-fn sample_lifespan(model: LifespanModel, horizon: Time, rng: &mut StdRng) -> Interval {
+fn sample_lifespan(model: LifespanModel, horizon: Time, rng: &mut SplitMix64) -> Interval {
     match model {
         LifespanModel::Full => Interval::new(0, horizon),
         LifespanModel::Unit => {
-            let t = rng.random_range(0..horizon);
+            let t = rng.range_i64(0, horizon);
             Interval::point(t)
         }
         LifespanModel::Geometric { mean } => {
             let len = sample_geometric(mean, rng).min(horizon);
-            let start = rng.random_range(0..=(horizon - len));
+            let start = rng.range_i64(0, horizon - len + 1);
             Interval::new(start, start + len)
         }
-        LifespanModel::Mixed { unit_fraction, mean } => {
-            if rng.random::<f64>() < unit_fraction {
+        LifespanModel::Mixed {
+            unit_fraction,
+            mean,
+        } => {
+            if rng.f64() < unit_fraction {
                 sample_lifespan(LifespanModel::Unit, horizon, rng)
             } else {
                 sample_lifespan(LifespanModel::Geometric { mean }, horizon, rng)
@@ -37,7 +39,7 @@ fn sample_lifespan_at(
     model: LifespanModel,
     bound: Interval,
     anchor: Time,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
 ) -> Interval {
     debug_assert!(bound.contains_point(anchor));
     match model {
@@ -48,11 +50,18 @@ fn sample_lifespan_at(
             // Place a window of `len` points containing the anchor.
             let lo = (anchor - len + 1).max(bound.start());
             let hi = anchor.min(bound.end() - len);
-            let start = if lo >= hi { lo } else { rng.random_range(lo..=hi) };
+            let start = if lo >= hi {
+                lo
+            } else {
+                rng.range_i64(lo, hi + 1)
+            };
             Interval::new(start, start + len)
         }
-        LifespanModel::Mixed { unit_fraction, mean } => {
-            if rng.random::<f64>() < unit_fraction {
+        LifespanModel::Mixed {
+            unit_fraction,
+            mean,
+        } => {
+            if rng.f64() < unit_fraction {
                 Interval::point(anchor)
             } else {
                 sample_lifespan_at(LifespanModel::Geometric { mean }, bound, anchor, rng)
@@ -62,12 +71,12 @@ fn sample_lifespan_at(
 }
 
 /// Geometric length with the given mean, at least 1.
-fn sample_geometric(mean: f64, rng: &mut StdRng) -> Time {
+fn sample_geometric(mean: f64, rng: &mut SplitMix64) -> Time {
     if !mean.is_finite() {
         return Time::MAX / 4;
     }
     let p = 1.0 / mean.max(1.0);
-    let u: f64 = rng.random();
+    let u: f64 = rng.f64();
     // Inverse CDF of the geometric distribution on {1, 2, ...}.
     let len = (u.ln() / (1.0 - p).max(f64::MIN_POSITIVE).ln()).floor() as Time + 1;
     len.max(1)
@@ -80,11 +89,13 @@ fn sample_geometric(mean: f64, rng: &mut StdRng) -> Time {
 fn topology_edges(
     params: &GenParams,
     vertex_spans: &[Interval],
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
 ) -> Vec<(u64, u64, Time)> {
     let n = params.vertices as u64;
     match params.topology {
-        Topology::PowerLaw { edges_per_vertex: _ } => {
+        Topology::PowerLaw {
+            edges_per_vertex: _,
+        } => {
             // Index vertices by the snapshots they are alive in, and keep a
             // per-snapshot preferential-attachment pool of endpoints.
             let horizon = params.snapshots;
@@ -105,14 +116,14 @@ fn topology_edges(
                 return edges;
             }
             while edges.len() < params.edges {
-                let t = live_snaps[rng.random_range(0..live_snaps.len())];
+                let t = live_snaps[rng.index(live_snaps.len())];
                 let candidates = &alive[t];
-                let src = candidates[rng.random_range(0..candidates.len())];
-                let mut dst = candidates[rng.random_range(0..candidates.len())];
-                if !pool.is_empty() && rng.random::<f64>() >= 0.15 {
+                let src = candidates[rng.index(candidates.len())];
+                let mut dst = candidates[rng.index(candidates.len())];
+                if !pool.is_empty() && rng.f64() >= 0.15 {
                     // Prefer an existing hub that is alive at the anchor.
                     for _ in 0..12 {
-                        let candidate = pool[rng.random_range(0..pool.len())];
+                        let candidate = pool[rng.index(pool.len())];
                         if vertex_spans[candidate as usize].contains_point(t as Time) {
                             dst = candidate;
                             break;
@@ -133,7 +144,7 @@ fn topology_edges(
             let height = (n / width).max(1);
             let mut edges = Vec::new();
             let at = |x: u64, y: u64| y * width + x;
-            let anchor = |rng: &mut StdRng| rng.random_range(0..params.snapshots);
+            let anchor = |rng: &mut SplitMix64| rng.range_i64(0, params.snapshots);
             for y in 0..height {
                 for x in 0..width {
                     let v = at(x, y);
@@ -161,18 +172,20 @@ fn add_properties(
     eid: EdgeId,
     lifespan: Interval,
     props: &PropModel,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
 ) {
     // One travel-time value for the whole lifespan keeps journeys sane;
     // vary it per edge when the model allows.
-    let tt = rng.random_range(1..=props.max_travel_time.max(1));
-    b.edge_property(eid, "travel-time", lifespan, tt.into()).expect("tt in lifespan");
+    let tt = rng.range_i64(1, props.max_travel_time.max(1) + 1);
+    b.edge_property(eid, "travel-time", lifespan, tt.into())
+        .expect("tt in lifespan");
     let mut cursor = lifespan.start();
     while cursor < lifespan.end() {
         let len = sample_geometric(props.mean_segment, rng).min(lifespan.end() - cursor);
         let seg = Interval::new(cursor, cursor + len);
-        let cost = rng.random_range(1..=props.max_cost.max(1));
-        b.edge_property(eid, "travel-cost", seg, cost.into()).expect("cost in lifespan");
+        let cost = rng.range_i64(1, props.max_cost.max(1) + 1);
+        b.edge_property(eid, "travel-cost", seg, cost.into())
+            .expect("cost in lifespan");
         cursor = seg.end();
     }
 }
@@ -181,7 +194,7 @@ fn add_properties(
 pub fn generate(params: &GenParams) -> TemporalGraph {
     assert!(params.vertices > 0, "need at least one vertex");
     assert!(params.snapshots > 0, "need a positive horizon");
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = SplitMix64::new(params.seed);
     let horizon = params.snapshots;
 
     let mut b = TemporalGraphBuilder::with_capacity(params.vertices, params.edges);
@@ -194,8 +207,7 @@ pub fn generate(params: &GenParams) -> TemporalGraph {
 
     let mut eid = 0u64;
     for (src, dst, anchor) in topology_edges(params, &vertex_spans, &mut rng) {
-        let Some(bound) = vertex_spans[src as usize].intersect(vertex_spans[dst as usize])
-        else {
+        let Some(bound) = vertex_spans[src as usize].intersect(vertex_spans[dst as usize]) else {
             continue; // endpoints never coexist (grid anchors are free)
         };
         let anchor = anchor.clamp(bound.start(), bound.end() - 1);
@@ -315,7 +327,11 @@ mod tests {
     #[test]
     fn properties_cover_edge_lifespans() {
         let p = GenParams {
-            props: PropModel { mean_segment: 3.0, max_cost: 5, max_travel_time: 2 },
+            props: PropModel {
+                mean_segment: 3.0,
+                max_cost: 5,
+                max_travel_time: 2,
+            },
             ..GenParams::small(17)
         };
         let g = generate(&p);
@@ -323,9 +339,15 @@ mod tests {
         let tt = g.label("travel-time").unwrap();
         for (e, ed) in g.edges() {
             for t in ed.lifespan.points() {
-                let c = g.edge_property_at(e, cost, t).and_then(|v| v.as_long()).unwrap();
+                let c = g
+                    .edge_property_at(e, cost, t)
+                    .and_then(|v| v.as_long())
+                    .unwrap();
                 assert!((1..=5).contains(&c));
-                let w = g.edge_property_at(e, tt, t).and_then(|v| v.as_long()).unwrap();
+                let w = g
+                    .edge_property_at(e, tt, t)
+                    .and_then(|v| v.as_long())
+                    .unwrap();
                 assert!((1..=2).contains(&w));
             }
         }

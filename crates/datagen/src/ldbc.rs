@@ -20,12 +20,18 @@ pub fn weak_scaling_params(machines: usize, vertices_per_machine: usize, seed: u
         vertices,
         edges: vertices * 10,
         snapshots: WEAK_SCALING_SNAPSHOTS,
-        topology: Topology::PowerLaw { edges_per_vertex: 10 },
+        topology: Topology::PowerLaw {
+            edges_per_vertex: 10,
+        },
         vertex_lifespans: LifespanModel::Full,
         // LinkBench-style churn: edges appear and disappear with a mean
         // dwell time of a quarter of the horizon.
         edge_lifespans: LifespanModel::Geometric { mean: 32.0 },
-        props: PropModel { mean_segment: 16.0, max_cost: 10, max_travel_time: 1 },
+        props: PropModel {
+            mean_segment: 16.0,
+            max_cost: 10,
+            max_travel_time: 1,
+        },
         seed,
     }
 }
@@ -61,7 +67,10 @@ mod tests {
         let g = weak_scaling_graph(1, 200, 1);
         assert_eq!(
             graphite_tgraph::snapshot::snapshot_window(&g),
-            Some(graphite_tgraph::time::Interval::new(0, WEAK_SCALING_SNAPSHOTS))
+            Some(graphite_tgraph::time::Interval::new(
+                0,
+                WEAK_SCALING_SNAPSHOTS
+            ))
         );
     }
 }

@@ -6,6 +6,7 @@
 //! LDBC/LinkBench-style weak-scaling graph of Fig. 7. Everything is
 //! deterministic given a seed.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod generate;

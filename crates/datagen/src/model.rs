@@ -64,7 +64,11 @@ pub struct PropModel {
 
 impl Default for PropModel {
     fn default() -> Self {
-        PropModel { mean_segment: f64::INFINITY, max_cost: 10, max_travel_time: 1 }
+        PropModel {
+            mean_segment: f64::INFINITY,
+            max_cost: 10,
+            max_travel_time: 1,
+        }
     }
 }
 
@@ -96,7 +100,9 @@ impl GenParams {
             vertices: 200,
             edges: 800,
             snapshots: 16,
-            topology: Topology::PowerLaw { edges_per_vertex: 4 },
+            topology: Topology::PowerLaw {
+                edges_per_vertex: 4,
+            },
             vertex_lifespans: LifespanModel::Full,
             edge_lifespans: LifespanModel::Geometric { mean: 6.0 },
             props: PropModel::default(),

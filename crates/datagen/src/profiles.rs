@@ -63,10 +63,16 @@ impl Profile {
                 vertices: 1_500 * s,
                 edges: 12_000 * s,
                 snapshots: 4,
-                topology: Topology::PowerLaw { edges_per_vertex: 8 },
+                topology: Topology::PowerLaw {
+                    edges_per_vertex: 8,
+                },
                 vertex_lifespans: LifespanModel::Geometric { mean: 2.6 },
                 edge_lifespans: LifespanModel::Unit,
-                props: PropModel { mean_segment: 1.0, max_cost: 10, max_travel_time: 1 },
+                props: PropModel {
+                    mean_segment: 1.0,
+                    max_cost: 10,
+                    max_travel_time: 1,
+                },
                 seed,
             },
             Profile::Usrn => GenParams {
@@ -76,47 +82,78 @@ impl Profile {
                 topology: Topology::Grid { width: 50 },
                 vertex_lifespans: LifespanModel::Full,
                 edge_lifespans: LifespanModel::Full,
-                props: PropModel { mean_segment: 4.8, max_cost: 20, max_travel_time: 1 },
+                props: PropModel {
+                    mean_segment: 4.8,
+                    max_cost: 20,
+                    max_travel_time: 1,
+                },
                 seed,
             },
             Profile::Reddit => GenParams {
                 vertices: 1_200 * s,
                 edges: 10_000 * s,
                 snapshots: 121,
-                topology: Topology::PowerLaw { edges_per_vertex: 8 },
+                topology: Topology::PowerLaw {
+                    edges_per_vertex: 8,
+                },
                 vertex_lifespans: LifespanModel::Geometric { mean: 6.6 },
-                edge_lifespans: LifespanModel::Mixed { unit_fraction: 0.96, mean: 6.0 },
-                props: PropModel { mean_segment: 1.12, max_cost: 10, max_travel_time: 1 },
+                edge_lifespans: LifespanModel::Mixed {
+                    unit_fraction: 0.96,
+                    mean: 6.0,
+                },
+                props: PropModel {
+                    mean_segment: 1.12,
+                    max_cost: 10,
+                    max_travel_time: 1,
+                },
                 seed,
             },
             Profile::Mag => GenParams {
                 vertices: 2_000 * s,
                 edges: 18_000 * s,
                 snapshots: 219,
-                topology: Topology::PowerLaw { edges_per_vertex: 9 },
+                topology: Topology::PowerLaw {
+                    edges_per_vertex: 9,
+                },
                 vertex_lifespans: LifespanModel::Geometric { mean: 20.9 },
                 edge_lifespans: LifespanModel::Geometric { mean: 15.8 },
-                props: PropModel { mean_segment: 5.26, max_cost: 10, max_travel_time: 1 },
+                props: PropModel {
+                    mean_segment: 5.26,
+                    max_cost: 10,
+                    max_travel_time: 1,
+                },
                 seed,
             },
             Profile::Twitter => GenParams {
                 vertices: 1_500 * s,
                 edges: 20_000 * s,
                 snapshots: 30,
-                topology: Topology::PowerLaw { edges_per_vertex: 13 },
+                topology: Topology::PowerLaw {
+                    edges_per_vertex: 13,
+                },
                 vertex_lifespans: LifespanModel::Geometric { mean: 29.5 },
                 edge_lifespans: LifespanModel::Geometric { mean: 28.4 },
-                props: PropModel { mean_segment: 14.8, max_cost: 10, max_travel_time: 1 },
+                props: PropModel {
+                    mean_segment: 14.8,
+                    max_cost: 10,
+                    max_travel_time: 1,
+                },
                 seed,
             },
             Profile::WebUk => GenParams {
                 vertices: 2_000 * s,
                 edges: 16_000 * s,
                 snapshots: 12,
-                topology: Topology::PowerLaw { edges_per_vertex: 8 },
+                topology: Topology::PowerLaw {
+                    edges_per_vertex: 8,
+                },
                 vertex_lifespans: LifespanModel::Geometric { mean: 10.0 },
                 edge_lifespans: LifespanModel::Geometric { mean: 9.4 },
-                props: PropModel { mean_segment: 4.7, max_cost: 10, max_travel_time: 1 },
+                props: PropModel {
+                    mean_segment: 4.7,
+                    max_cost: 10,
+                    max_travel_time: 1,
+                },
                 seed,
             },
         }
@@ -147,7 +184,11 @@ mod tests {
         let g = Profile::GPlus.generate(1, 42);
         let s = dataset_stats(&g, None);
         assert_eq!(s.snapshots, 4);
-        assert!((s.avg_edge_lifespan - 1.0).abs() < 1e-9, "{}", s.avg_edge_lifespan);
+        assert!(
+            (s.avg_edge_lifespan - 1.0).abs() < 1e-9,
+            "{}",
+            s.avg_edge_lifespan
+        );
     }
 
     #[test]

@@ -17,11 +17,14 @@
 //! Vertices implicitly vote to halt every superstep; the run ends when no
 //! messages are in flight (Sec. IV-A2).
 
-use crate::program::{ComputeContext, EdgeDirection, IntervalProgram, ScatterContext, VertexContext};
+use crate::program::{
+    ComputeContext, EdgeDirection, IntervalProgram, ScatterContext, VertexContext,
+};
 use crate::state::StateUpdates;
 use crate::warp::time_warp_spans;
 use graphite_bsp::aggregate::Aggregators;
 use graphite_bsp::engine::{run_bsp, BspConfig, Inbox, Outbox, WorkerLogic};
+use graphite_bsp::error::BspError;
 use graphite_bsp::metrics::{RunMetrics, UserCounters};
 use graphite_bsp::partition::PartitionMap;
 use graphite_bsp::MasterHook;
@@ -48,6 +51,10 @@ pub struct IcmConfig {
     pub max_supersteps: u64,
     /// Record per-superstep timing splits.
     pub keep_per_step_timing: bool,
+    /// Forwarded to [`BspConfig::perturb_schedule`]: permute the BSP
+    /// scheduling freedoms with this seed (race-harness use; results must
+    /// not change).
+    pub perturb_schedule: Option<u64>,
 }
 
 impl Default for IcmConfig {
@@ -58,6 +65,7 @@ impl Default for IcmConfig {
             suppression_threshold: Some(0.7),
             max_supersteps: 100_000,
             keep_per_step_timing: false,
+            perturb_schedule: None,
         }
     }
 }
@@ -90,9 +98,13 @@ struct IcmWorker<P: IntervalProgram> {
     owned: Vec<VIdx>,
     combiner: bool,
     suppression: Option<f64>,
-    states: HashMap<u32, IntervalPartition<P::State>>,
+    /// Final-state collection iterates this map, so it must be ordered:
+    /// a hash map here would make the result order (and any downstream
+    /// float folds) depend on the hasher.
+    states: BTreeMap<u32, IntervalPartition<P::State>>,
     /// Property-refined lifespan segments per edge, materialized on first
-    /// scatter over the edge.
+    /// scatter over the edge. Keyed lookups only — never iterated — so a
+    /// hash map is safe and its O(1) probes are on the scatter hot path.
     segment_cache: HashMap<u32, Box<[Interval]>>,
 }
 
@@ -179,9 +191,7 @@ impl<P: IntervalProgram> IcmWorker<P> {
                     EdgeDirection::In | EdgeDirection::Both => ed.src,
                 };
                 // Cheap reject before materializing segments.
-                let covers = changed
-                    .iter()
-                    .any(|(iv, _)| iv.intersects(ed.lifespan));
+                let covers = changed.iter().any(|(iv, _)| iv.intersects(ed.lifespan));
                 if !covers {
                     continue;
                 }
@@ -193,7 +203,9 @@ impl<P: IntervalProgram> IcmWorker<P> {
                 );
                 for seg in segments.iter() {
                     for (civ, state) in changed {
-                        let Some(cap) = civ.intersect(*seg) else { continue };
+                        let Some(cap) = civ.intersect(*seg) else {
+                            continue;
+                        };
                         counters.scatter_calls += 1;
                         emitted.clear();
                         let mut ctx = ScatterContext {
@@ -242,7 +254,9 @@ impl<P: IntervalProgram> IcmWorker<P> {
 
     /// Whether this vertex's inbox qualifies for warp suppression.
     fn should_suppress(&self, lifespan: Interval, msgs: &[(Interval, P::Msg)]) -> bool {
-        let Some(threshold) = self.suppression else { return false };
+        let Some(threshold) = self.suppression else {
+            return false;
+        };
         if msgs.is_empty() {
             return false; // nothing to suppress (all-active empty groups)
         }
@@ -275,7 +289,10 @@ impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
             // runs once per initial partition entry.
             let owned = std::mem::take(&mut self.owned);
             for &v in &owned {
-                let vctx = VertexContext { graph: &graph, vertex: v };
+                let vctx = VertexContext {
+                    graph: &graph,
+                    vertex: v,
+                };
                 let lifespan = vctx.lifespan();
                 let init = self.program.init(&vctx);
                 let mut partition = IntervalPartition::new(lifespan, init);
@@ -332,7 +349,12 @@ impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
             }
         }
         for (v, msgs) in active {
-            let Some(partition) = self.states.get(&v.0) else { continue };
+            // Take the vertex state out of the map for the superstep and
+            // reinsert it after the writes are applied: one lookup, no
+            // re-borrow, no "checked above" unwrap.
+            let Some(mut partition) = self.states.remove(&v.0) else {
+                continue;
+            };
             let lifespan = partition.lifespan();
             let mut updates = StateUpdates::new();
 
@@ -349,7 +371,9 @@ impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
                 let base = lifespan.start();
                 let mut table: Vec<Vec<P::Msg>> = vec![Vec::new(); lifespan.len() as usize];
                 for (iv, m) in &msgs {
-                    let Some(clipped) = iv.intersect(lifespan) else { continue };
+                    let Some(clipped) = iv.intersect(lifespan) else {
+                        continue;
+                    };
                     for t in clipped.points() {
                         table[(t - base) as usize].push(m.clone());
                     }
@@ -363,6 +387,9 @@ impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
                     let point = Interval::point(t);
                     let state = partition
                         .value_at(t)
+                        // lint:allow(no-unwrap) — t comes from clipping the
+                        // message interval against the lifespan, and the
+                        // partition covers the lifespan by construction.
                         .expect("bucket inside lifespan")
                         .clone();
                     let bucket = self.fold(bucket);
@@ -393,6 +420,9 @@ impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
                 for tuple in tuples {
                     let state = partition
                         .value_at(tuple.interval.start())
+                        // lint:allow(no-unwrap) — warp property 1: every
+                        // tuple interval is a subset of exactly one outer
+                        // (state) interval, so the lookup cannot miss.
                         .expect("warp tuple inside lifespan")
                         .clone();
                     let group: Vec<P::Msg> = tuple
@@ -413,12 +443,13 @@ impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
                         direct: &mut direct,
                     };
                     counters.compute_calls += 1;
-                    self.program.compute(&mut ctx, tuple.interval, &state, &group);
+                    self.program
+                        .compute(&mut ctx, tuple.interval, &state, &group);
                 }
             }
 
-            let partition = self.states.get_mut(&v.0).expect("checked above");
-            let changed = updates.apply(partition);
+            let changed = updates.apply(&mut partition);
+            self.states.insert(v.0, partition);
             self.scatter_changes(v, &changed, step, outbox, globals, counters);
         }
         for (v, iv, m) in direct {
@@ -429,21 +460,62 @@ impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
 
 /// Runs `program` over `graph` with `config`, returning final states and
 /// metrics. Deterministic for a fixed worker count.
+///
+/// # Panics
+///
+/// Panics when the run fails (a worker thread panicked or the wire codec
+/// rejected a batch); use [`try_run_icm`] to handle those as errors.
 pub fn run_icm<P: IntervalProgram>(
     graph: Arc<TemporalGraph>,
     program: Arc<P>,
     config: &IcmConfig,
 ) -> IcmResult<P::State> {
-    run_icm_with_master(graph, program, config, None)
+    // lint:allow(no-unwrap) — documented panicking convenience wrapper.
+    try_run_icm(graph, program, config).unwrap_or_else(|e| panic!("ICM run failed: {e}"))
 }
 
 /// [`run_icm`] with a MasterCompute hook evaluated at every barrier.
+///
+/// # Panics
+///
+/// Panics when the run fails; use [`try_run_icm_with_master`] to handle
+/// failures as errors.
 pub fn run_icm_with_master<P: IntervalProgram>(
     graph: Arc<TemporalGraph>,
     program: Arc<P>,
     config: &IcmConfig,
     master: Option<MasterHook<'_>>,
 ) -> IcmResult<P::State> {
+    // lint:allow(no-unwrap) — documented panicking convenience wrapper.
+    try_run_icm_with_master(graph, program, config, master)
+        .unwrap_or_else(|e| panic!("ICM run failed: {e}"))
+}
+
+/// Fallible [`run_icm`]: surfaces poisoned workers and codec corruption as
+/// [`BspError`] instead of panicking.
+///
+/// # Errors
+///
+/// See [`BspError`].
+pub fn try_run_icm<P: IntervalProgram>(
+    graph: Arc<TemporalGraph>,
+    program: Arc<P>,
+    config: &IcmConfig,
+) -> Result<IcmResult<P::State>, BspError> {
+    try_run_icm_with_master(graph, program, config, None)
+}
+
+/// Fallible [`run_icm_with_master`].
+///
+/// # Errors
+///
+/// See [`BspError`].
+pub fn try_run_icm_with_master<P: IntervalProgram>(
+    graph: Arc<TemporalGraph>,
+    program: Arc<P>,
+    config: &IcmConfig,
+    master: Option<MasterHook<'_>>,
+) -> Result<IcmResult<P::State>, BspError> {
     let partition = Arc::new(PartitionMap::hash(&graph, config.workers));
     let workers: Vec<IcmWorker<P>> = (0..config.workers)
         .map(|w| IcmWorker {
@@ -452,13 +524,14 @@ pub fn run_icm_with_master<P: IntervalProgram>(
             owned: partition.owned_by(w),
             combiner: config.combiner,
             suppression: config.suppression_threshold,
-            states: HashMap::new(),
+            states: BTreeMap::new(),
             segment_cache: HashMap::new(),
         })
         .collect();
     let bsp = BspConfig {
         max_supersteps: config.max_supersteps,
         keep_per_step_timing: config.keep_per_step_timing,
+        perturb_schedule: config.perturb_schedule,
     };
     // Wrap the master hook so that programs requesting an all-active next
     // superstep keep the run alive through idle (message-free) barriers.
@@ -477,7 +550,7 @@ pub fn run_icm_with_master<P: IntervalProgram>(
             user
         }
     };
-    let (workers, metrics) = run_bsp(&bsp, workers, partition, Some(&mut wrapper));
+    let (workers, metrics) = run_bsp(&bsp, workers, partition, Some(&mut wrapper))?;
 
     let mut states = BTreeMap::new();
     for worker in workers {
@@ -487,5 +560,5 @@ pub fn run_icm_with_master<P: IntervalProgram>(
             states.insert(vid, partition.into_entries());
         }
     }
-    IcmResult { states, metrics }
+    Ok(IcmResult { states, metrics })
 }

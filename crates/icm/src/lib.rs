@@ -47,6 +47,7 @@
 //! assert_eq!(result.state_at(transit_ids::E, 10), Some(&5));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
@@ -54,13 +55,17 @@ pub mod program;
 pub mod state;
 pub mod warp;
 
-pub use engine::{run_icm, run_icm_with_master, IcmConfig, IcmResult};
+pub use engine::{
+    run_icm, run_icm_with_master, try_run_icm, try_run_icm_with_master, IcmConfig, IcmResult,
+};
 pub use program::{ComputeContext, EdgeDirection, IntervalProgram, ScatterContext, VertexContext};
 pub use warp::{time_join, time_warp, time_warp_spans, warp_view, JoinTuple, WarpTuple};
 
 /// The common imports: `use graphite_icm::prelude::*;`.
 pub mod prelude {
-    pub use crate::engine::{run_icm, run_icm_with_master, IcmConfig, IcmResult};
+    pub use crate::engine::{
+        run_icm, run_icm_with_master, try_run_icm, try_run_icm_with_master, IcmConfig, IcmResult,
+    };
     pub use crate::program::{
         ComputeContext, EdgeDirection, IntervalProgram, ScatterContext, VertexContext,
     };
@@ -143,8 +148,14 @@ mod engine_tests {
                     (Interval::from_start(6), 3),
                 ],
             ),
-            (C, vec![(Interval::new(0, 2), INF), (Interval::from_start(2), 3)]),
-            (D, vec![(Interval::new(0, 2), INF), (Interval::from_start(2), 2)]),
+            (
+                C,
+                vec![(Interval::new(0, 2), INF), (Interval::from_start(2), 3)],
+            ),
+            (
+                D,
+                vec![(Interval::new(0, 2), INF), (Interval::from_start(2), 2)],
+            ),
             (
                 E,
                 vec![
@@ -160,16 +171,25 @@ mod engine_tests {
     #[test]
     fn sssp_matches_paper_trace() {
         for workers in [1, 2, 4] {
-            let result = run(&IcmConfig { workers, ..Default::default() });
+            let result = run(&IcmConfig {
+                workers,
+                ..Default::default()
+            });
             for (vid, want) in expected_states() {
-                assert_eq!(result.states[&vid], want, "vertex {vid:?}, workers {workers}");
+                assert_eq!(
+                    result.states[&vid], want,
+                    "vertex {vid:?}, workers {workers}"
+                );
             }
         }
     }
 
     #[test]
     fn sssp_primitive_counts_match_paper() {
-        let result = run(&IcmConfig { workers: 1, ..Default::default() });
+        let result = run(&IcmConfig {
+            workers: 1,
+            ..Default::default()
+        });
         let c = &result.metrics.counters;
         // Sec. I: "just 7 interval vertex visits and 6 edge traversals".
         // Visits that update state: A@1, B×2, C, D @2, E×2 @3 = 7; the
@@ -184,19 +204,42 @@ mod engine_tests {
 
     #[test]
     fn counts_are_identical_across_worker_counts() {
-        let base = run(&IcmConfig { workers: 1, ..Default::default() });
+        let base = run(&IcmConfig {
+            workers: 1,
+            ..Default::default()
+        });
         for workers in [2, 4, 8] {
-            let r = run(&IcmConfig { workers, ..Default::default() });
-            assert_eq!(r.metrics.counters.compute_calls, base.metrics.counters.compute_calls);
-            assert_eq!(r.metrics.counters.messages_sent, base.metrics.counters.messages_sent);
-            assert_eq!(r.metrics.counters.scatter_calls, base.metrics.counters.scatter_calls);
+            let r = run(&IcmConfig {
+                workers,
+                ..Default::default()
+            });
+            assert_eq!(
+                r.metrics.counters.compute_calls,
+                base.metrics.counters.compute_calls
+            );
+            assert_eq!(
+                r.metrics.counters.messages_sent,
+                base.metrics.counters.messages_sent
+            );
+            assert_eq!(
+                r.metrics.counters.scatter_calls,
+                base.metrics.counters.scatter_calls
+            );
         }
     }
 
     #[test]
     fn combiner_off_does_not_change_results() {
-        let with = run(&IcmConfig { workers: 2, combiner: true, ..Default::default() });
-        let without = run(&IcmConfig { workers: 2, combiner: false, ..Default::default() });
+        let with = run(&IcmConfig {
+            workers: 2,
+            combiner: true,
+            ..Default::default()
+        });
+        let without = run(&IcmConfig {
+            workers: 2,
+            combiner: false,
+            ..Default::default()
+        });
         assert_eq!(with.states, without.states);
     }
 

@@ -59,12 +59,14 @@ impl<S: Clone + PartialEq> StateUpdates<S> {
         }
         // Resolve overlapping writes (later wins) onto a scratch cover of
         // the written span, then diff that cover against the partition.
-        let span = self
+        let Some(span) = self
             .writes
             .iter()
             .map(|(iv, _)| *iv)
             .reduce(|a, b| a.span(b))
-            .expect("non-empty writes");
+        else {
+            return Vec::new(); // unreachable: emptiness was checked above
+        };
         let mut resolved: IntervalPartition<Option<S>> = IntervalPartition::new(span, None);
         for (iv, v) in self.writes {
             resolved.set(iv, Some(v));
@@ -109,7 +111,10 @@ mod tests {
         u.push(Interval::new(2, 5), 7);
         u.push(Interval::new(7, 9), 3);
         let changed = u.apply(&mut p);
-        assert_eq!(changed, vec![(Interval::new(2, 5), 7), (Interval::new(7, 9), 3)]);
+        assert_eq!(
+            changed,
+            vec![(Interval::new(2, 5), 7), (Interval::new(7, 9), 3)]
+        );
         assert_eq!(p.value_at(3), Some(&7));
         assert_eq!(p.value_at(8), Some(&3));
         assert_eq!(p.value_at(6), Some(&100));

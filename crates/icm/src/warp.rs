@@ -68,7 +68,11 @@ pub fn time_join<S, M>(outer: &[(Interval, S)], inner: &[(Interval, M)]) -> Vec<
     for (oi, (oiv, _)) in outer.iter().enumerate() {
         for (ii, (iiv, _)) in inner.iter().enumerate() {
             if let Some(cap) = oiv.intersect(*iiv) {
-                out.push(JoinTuple { interval: cap, outer: oi, inner: ii });
+                out.push(JoinTuple {
+                    interval: cap,
+                    outer: oi,
+                    inner: ii,
+                });
             }
         }
     }
@@ -115,11 +119,17 @@ pub fn time_warp_spans(outer: &[Interval], inner: &[Interval]) -> Vec<WarpTuple>
     bounds.dedup();
 
     // Event lists sorted by time for pointer sweeps.
-    let mut inner_starts: Vec<(i64, usize)> =
-        inner.iter().enumerate().map(|(i, iv)| (iv.start(), i)).collect();
+    let mut inner_starts: Vec<(i64, usize)> = inner
+        .iter()
+        .enumerate()
+        .map(|(i, iv)| (iv.start(), i))
+        .collect();
     inner_starts.sort_unstable();
-    let mut inner_ends: Vec<(i64, usize)> =
-        inner.iter().enumerate().map(|(i, iv)| (iv.end(), i)).collect();
+    let mut inner_ends: Vec<(i64, usize)> = inner
+        .iter()
+        .enumerate()
+        .map(|(i, iv)| (iv.end(), i))
+        .collect();
     inner_ends.sort_unstable();
 
     let mut active: Vec<usize> = Vec::new(); // ascending inner indices
@@ -170,7 +180,11 @@ pub fn time_warp_spans(outer: &[Interval], inner: &[Interval]) -> Vec<WarpTuple>
                 continue;
             }
         }
-        out.push(WarpTuple { interval: segment, outer: oi, inner: active.clone() });
+        out.push(WarpTuple {
+            interval: segment,
+            outer: oi,
+            inner: active.clone(),
+        });
     }
     out
 }
@@ -219,10 +233,22 @@ mod tests {
         let (states, msgs) = fig3();
         let tj = time_join(&states, &msgs);
         // m2 [2,7) intersects s1 [0,5) at [2,5) and s2 [5,9) at [5,7).
-        assert!(tj.contains(&JoinTuple { interval: iv(2, 5), outer: 0, inner: 1 }));
-        assert!(tj.contains(&JoinTuple { interval: iv(5, 7), outer: 1, inner: 1 }));
+        assert!(tj.contains(&JoinTuple {
+            interval: iv(2, 5),
+            outer: 0,
+            inner: 1
+        }));
+        assert!(tj.contains(&JoinTuple {
+            interval: iv(5, 7),
+            outer: 1,
+            inner: 1
+        }));
         // m5 only meets s3.
-        assert!(tj.contains(&JoinTuple { interval: iv(9, 10), outer: 2, inner: 4 }));
+        assert!(tj.contains(&JoinTuple {
+            interval: iv(9, 10),
+            outer: 2,
+            inner: 4
+        }));
         assert_eq!(tj.iter().filter(|t| t.inner == 4).count(), 1);
     }
 
@@ -254,7 +280,10 @@ mod tests {
         // ⟨[9,∞),5⟩ from B and ⟨[6,∞),7⟩ from C, producing
         // ⟨[6,9),∞,{7}⟩ and ⟨[9,∞),∞,{5,7}⟩.
         let states = vec![(Interval::from_start(0), i64::MAX)];
-        let msgs = vec![(Interval::from_start(9), 5i64), (Interval::from_start(6), 7i64)];
+        let msgs = vec![
+            (Interval::from_start(9), 5i64),
+            (Interval::from_start(6), 7i64),
+        ];
         let tuples: Vec<(Interval, Vec<i64>)> = warp_view(&states, &msgs)
             .map(|(i, _, m)| {
                 let mut vals: Vec<i64> = m.into_iter().copied().collect();
@@ -264,10 +293,7 @@ mod tests {
             .collect();
         assert_eq!(
             tuples,
-            vec![
-                (iv(6, 9), vec![7]),
-                (Interval::from_start(9), vec![5, 7]),
-            ]
+            vec![(iv(6, 9), vec![7]), (Interval::from_start(9), vec![5, 7]),]
         );
     }
 
@@ -334,7 +360,10 @@ mod tests {
     #[test]
     fn unbounded_messages_and_states() {
         let states = vec![(Interval::all(), "s")];
-        let msgs = vec![(Interval::until(0), "past"), (Interval::from_start(0), "future")];
+        let msgs = vec![
+            (Interval::until(0), "past"),
+            (Interval::from_start(0), "future"),
+        ];
         let tuples = time_warp(&states, &msgs);
         assert_eq!(tuples.len(), 2);
         assert_eq!(tuples[0].interval, Interval::until(0));
@@ -351,7 +380,10 @@ mod tests {
         let msgs = vec![(iv(1, 9), "a"), (iv(4, 12), "b"), (iv(11, 15), "c")];
         let tuples = time_warp(&states, &msgs);
         for t in 0..20 {
-            let covered = tuples.iter().filter(|tu| tu.interval.contains_point(t)).count();
+            let covered = tuples
+                .iter()
+                .filter(|tu| tu.interval.contains_point(t))
+                .count();
             let expected = usize::from(msgs.iter().any(|(iv, _)| iv.contains_point(t)));
             assert_eq!(covered, expected, "time-point {t}");
         }

@@ -17,7 +17,8 @@ fn line(n: u64, horizon: i64) -> TemporalGraph {
         b.add_vertex(VertexId(i), life).unwrap();
     }
     for i in 0..n - 1 {
-        b.add_edge(EdgeId(i), VertexId(i), VertexId(i + 1), life).unwrap();
+        b.add_edge(EdgeId(i), VertexId(i), VertexId(i + 1), life)
+            .unwrap();
     }
     b.build().unwrap()
 }
@@ -50,7 +51,11 @@ impl IntervalProgram for Prepartitioned {
 #[test]
 fn prepartition_splits_initial_state_and_compute_calls() {
     let g = Arc::new(line(3, 8));
-    let r = run_icm(Arc::clone(&g), Arc::new(Prepartitioned), &IcmConfig::default());
+    let r = run_icm(
+        Arc::clone(&g),
+        Arc::new(Prepartitioned),
+        &IcmConfig::default(),
+    );
     // Lifespan [0,8) split at 2 and 5: superstep-1 computes saw entries of
     // lengths 2, 3 and 3; result extraction coalesces the two adjacent
     // equal values into [2,8) -> 3.
@@ -110,7 +115,10 @@ fn direct_sends_bypass_scatter_and_respect_intervals() {
     let r = run_icm(
         Arc::clone(&g),
         Arc::new(DirectRelay { last: 3 }),
-        &IcmConfig { workers: 2, ..Default::default() },
+        &IcmConfig {
+            workers: 2,
+            ..Default::default()
+        },
     );
     // The token was injected over [2,6) and hops stay within it.
     let v3 = &r.states[&VertexId(3)];
@@ -141,7 +149,13 @@ impl IntervalProgram for BothFlood {
         EdgeDirection::Both
     }
 
-    fn compute(&self, ctx: &mut ComputeContext<bool, bool>, t: Interval, state: &bool, msgs: &[bool]) {
+    fn compute(
+        &self,
+        ctx: &mut ComputeContext<bool, bool>,
+        t: Interval,
+        state: &bool,
+        msgs: &[bool],
+    ) {
         if ctx.superstep() == 1 {
             if ctx.vid() == VertexId(2) {
                 ctx.set_state(t, true);
@@ -204,7 +218,10 @@ fn all_active_supersteps_compute_without_messages() {
     let r = run_icm_with_master(
         Arc::clone(&g),
         Arc::new(CountAllActive),
-        &IcmConfig { workers: 2, ..Default::default() },
+        &IcmConfig {
+            workers: 2,
+            ..Default::default()
+        },
         Some(&mut hook),
     );
     // Steps 1..=3 each run compute on all 4 vertices despite zero
@@ -251,7 +268,10 @@ fn non_combinable_messages_arrive_individually() {
     let r = run_icm(
         Arc::clone(&g),
         Arc::new(NonCombinable),
-        &IcmConfig { combiner: true, ..Default::default() },
+        &IcmConfig {
+            combiner: true,
+            ..Default::default()
+        },
     );
     // Vertex 1 received both copies despite the combiner being enabled
     // (the program declines to combine).

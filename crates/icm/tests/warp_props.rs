@@ -2,79 +2,91 @@
 //! guarantees (paper Sec. IV-B): valid inclusion, no invalid inclusion,
 //! no duplication, and maximality — over randomized partitioned outer
 //! sets and arbitrary inner interval sets.
+//!
+//! Randomized cases are driven by the in-tree [`SplitMix64`] generator with
+//! fixed seeds, so every run explores the same case set and a failure
+//! reproduces exactly.
 
 use graphite_icm::warp::{time_join, time_warp, WarpTuple};
+use graphite_tgraph::rng::SplitMix64;
 use graphite_tgraph::time::Interval;
-use proptest::prelude::*;
+
+const CASES: usize = 512;
 
 /// A temporally partitioned outer set: contiguous cover of `[lo, hi)`
 /// split at random interior points.
-fn outer_strategy() -> impl Strategy<Value = Vec<(Interval, usize)>> {
-    (0i64..20, 1i64..40, proptest::collection::vec(1i64..39, 0..6)).prop_map(
-        |(lo, len, mut cuts)| {
-            let hi = lo + len;
-            cuts.retain(|c| *c > lo && *c < hi);
-            cuts.sort_unstable();
-            cuts.dedup();
-            let mut bounds = vec![lo];
-            bounds.extend(cuts);
-            bounds.push(hi);
-            bounds
-                .windows(2)
-                .enumerate()
-                .map(|(i, w)| (Interval::new(w[0], w[1]), i))
-                .collect()
-        },
-    )
+fn rand_outer(rng: &mut SplitMix64) -> Vec<(Interval, usize)> {
+    let lo = rng.range_i64(0, 20);
+    let len = rng.range_i64(1, 40);
+    let hi = lo + len;
+    let mut cuts: Vec<i64> = (0..rng.index(6)).map(|_| rng.range_i64(1, 39)).collect();
+    cuts.retain(|c| *c > lo && *c < hi);
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut bounds = vec![lo];
+    bounds.extend(cuts);
+    bounds.push(hi);
+    bounds
+        .windows(2)
+        .enumerate()
+        .map(|(i, w)| (Interval::new(w[0], w[1]), i))
+        .collect()
 }
 
 /// Arbitrary inner intervals around the same range (some disjoint from
 /// the outer set, some spanning it entirely).
-fn inner_strategy() -> impl Strategy<Value = Vec<(Interval, usize)>> {
-    proptest::collection::vec((-10i64..70, 1i64..50), 0..10).prop_map(|raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(i, (start, len))| (Interval::new(start, start + len), i))
-            .collect()
-    })
+fn rand_inner(rng: &mut SplitMix64) -> Vec<(Interval, usize)> {
+    (0..rng.index(10))
+        .map(|i| {
+            let start = rng.range_i64(-10, 70);
+            let len = rng.range_i64(1, 50);
+            (Interval::new(start, start + len), i)
+        })
+        .collect()
 }
 
 fn points(iv: Interval) -> impl Iterator<Item = i64> {
     iv.start()..iv.end()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// Property 1 — valid inclusion: every (outer, inner) value pair that
-    /// coexists at a time-point appears in some output tuple at that point.
-    #[test]
-    fn valid_inclusion(outer in outer_strategy(), inner in inner_strategy()) {
+/// Property 1 — valid inclusion: every (outer, inner) value pair that
+/// coexists at a time-point appears in some output tuple at that point.
+#[test]
+fn valid_inclusion() {
+    let mut rng = SplitMix64::new(0x003A_8901);
+    for _ in 0..CASES {
+        let outer = rand_outer(&mut rng);
+        let inner = rand_inner(&mut rng);
         let tuples = time_warp(&outer, &inner);
         for (oi, (oiv, _)) in outer.iter().enumerate() {
             for (ii, (iiv, _)) in inner.iter().enumerate() {
-                let Some(cap) = oiv.intersect(*iiv) else { continue };
+                let Some(cap) = oiv.intersect(*iiv) else {
+                    continue;
+                };
                 for t in points(cap) {
                     let hit = tuples.iter().any(|tu| {
-                        tu.outer == oi
-                            && tu.interval.contains_point(t)
-                            && tu.inner.contains(&ii)
+                        tu.outer == oi && tu.interval.contains_point(t) && tu.inner.contains(&ii)
                     });
-                    prop_assert!(hit, "({oi},{ii}) missing at t={t}");
+                    assert!(hit, "({oi},{ii}) missing at t={t}");
                 }
             }
         }
     }
+}
 
-    /// Property 2 — no invalid inclusion: output tuples only reference
-    /// values that exist throughout the tuple's interval.
-    #[test]
-    fn no_invalid_inclusion(outer in outer_strategy(), inner in inner_strategy()) {
+/// Property 2 — no invalid inclusion: output tuples only reference
+/// values that exist throughout the tuple's interval.
+#[test]
+fn no_invalid_inclusion() {
+    let mut rng = SplitMix64::new(0x003A_8902);
+    for _ in 0..CASES {
+        let outer = rand_outer(&mut rng);
+        let inner = rand_inner(&mut rng);
         for tu in time_warp(&outer, &inner) {
-            prop_assert!(tu.interval.during_or_equals(outer[tu.outer].0));
-            prop_assert!(!tu.inner.is_empty(), "empty groups must be omitted");
+            assert!(tu.interval.during_or_equals(outer[tu.outer].0));
+            assert!(!tu.inner.is_empty(), "empty groups must be omitted");
             for &ii in &tu.inner {
-                prop_assert!(
+                assert!(
                     tu.interval.during_or_equals(inner[ii].0),
                     "tuple {} not within message {}",
                     tu.interval,
@@ -83,25 +95,37 @@ proptest! {
             }
         }
     }
+}
 
-    /// Property 3 — no duplication: at any time-point, at most one output
-    /// tuple exists (the outer set is a partition, so per-point uniqueness
-    /// of the outer value follows).
-    #[test]
-    fn no_duplication(outer in outer_strategy(), inner in inner_strategy()) {
+/// Property 3 — no duplication: at any time-point, at most one output
+/// tuple exists (the outer set is a partition, so per-point uniqueness
+/// of the outer value follows).
+#[test]
+fn no_duplication() {
+    let mut rng = SplitMix64::new(0x003A_8903);
+    for _ in 0..CASES {
+        let outer = rand_outer(&mut rng);
+        let inner = rand_inner(&mut rng);
         let tuples = time_warp(&outer, &inner);
         let span = outer.first().unwrap().0.span(outer.last().unwrap().0);
         for t in points(span) {
-            let covering: Vec<&WarpTuple> =
-                tuples.iter().filter(|tu| tu.interval.contains_point(t)).collect();
-            prop_assert!(covering.len() <= 1, "{} tuples at t={t}", covering.len());
+            let covering: Vec<&WarpTuple> = tuples
+                .iter()
+                .filter(|tu| tu.interval.contains_point(t))
+                .collect();
+            assert!(covering.len() <= 1, "{} tuples at t={t}", covering.len());
         }
     }
+}
 
-    /// Property 4 — maximality: no two tuples with the same outer entry
-    /// and the same inner group are adjacent or overlapping.
-    #[test]
-    fn maximality(outer in outer_strategy(), inner in inner_strategy()) {
+/// Property 4 — maximality: no two tuples with the same outer entry
+/// and the same inner group are adjacent or overlapping.
+#[test]
+fn maximality() {
+    let mut rng = SplitMix64::new(0x003A_8904);
+    for _ in 0..CASES {
+        let outer = rand_outer(&mut rng);
+        let inner = rand_inner(&mut rng);
         let tuples = time_warp(&outer, &inner);
         for a in &tuples {
             for b in &tuples {
@@ -109,7 +133,7 @@ proptest! {
                     continue;
                 }
                 if a.outer == b.outer && a.inner == b.inner {
-                    prop_assert!(
+                    assert!(
                         !a.interval.intersects(b.interval)
                             && !a.interval.meets(b.interval)
                             && !b.interval.meets(a.interval),
@@ -121,13 +145,15 @@ proptest! {
             }
         }
     }
+}
 
-    /// The time-join is exactly the pairwise-intersection relation.
-    #[test]
-    fn time_join_is_pairwise_intersection(
-        outer in outer_strategy(),
-        inner in inner_strategy(),
-    ) {
+/// The time-join is exactly the pairwise-intersection relation.
+#[test]
+fn time_join_is_pairwise_intersection() {
+    let mut rng = SplitMix64::new(0x003A_8905);
+    for _ in 0..CASES {
+        let outer = rand_outer(&mut rng);
+        let inner = rand_inner(&mut rng);
         let tj = time_join(&outer, &inner);
         let mut expected = 0usize;
         for (oiv, _) in &outer {
@@ -137,20 +163,25 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(tj.len(), expected);
+        assert_eq!(tj.len(), expected);
         for j in &tj {
-            prop_assert_eq!(
+            assert_eq!(
                 Some(j.interval),
                 outer[j.outer].0.intersect(inner[j.inner].0)
             );
         }
     }
+}
 
-    /// Warp output equals a brute-force per-point reconstruction: for every
-    /// time-point, the group of messages alive there matches the covering
-    /// tuple's group.
-    #[test]
-    fn pointwise_reconstruction(outer in outer_strategy(), inner in inner_strategy()) {
+/// Warp output equals a brute-force per-point reconstruction: for every
+/// time-point, the group of messages alive there matches the covering
+/// tuple's group.
+#[test]
+fn pointwise_reconstruction() {
+    let mut rng = SplitMix64::new(0x003A_8906);
+    for _ in 0..CASES {
+        let outer = rand_outer(&mut rng);
+        let inner = rand_inner(&mut rng);
         let tuples = time_warp(&outer, &inner);
         let span = outer.first().unwrap().0.span(outer.last().unwrap().0);
         for t in points(span) {
@@ -162,8 +193,8 @@ proptest! {
                 .collect();
             let tuple = tuples.iter().find(|tu| tu.interval.contains_point(t));
             match tuple {
-                Some(tu) => prop_assert_eq!(&tu.inner, &alive, "at t={}", t),
-                None => prop_assert!(alive.is_empty(), "uncovered point t={t} has messages"),
+                Some(tu) => assert_eq!(&tu.inner, &alive, "at t={t}"),
+                None => assert!(alive.is_empty(), "uncovered point t={t} has messages"),
             }
         }
     }

@@ -1,0 +1,61 @@
+//! Negative fixture for the graphite-lint integration test. This file is
+//! never compiled — it lives outside any `src/` tree and exists only to
+//! be scanned by the linter, which must flag every block below except the
+//! explicitly allowed ones.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+struct Holder {
+    counts: HashMap<u32, u64>,
+}
+
+fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // violation: no-unwrap
+}
+
+fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("present") // violation: no-unwrap
+}
+
+fn allowed_unwrap(x: Option<u32>) -> u32 {
+    // lint:allow(no-unwrap) — fixture-sanctioned escape hatch.
+    x.unwrap()
+}
+
+fn bad_hash_iteration(h: &Holder) -> u64 {
+    let mut seen = HashSet::new();
+    seen.insert(1u32);
+    let mut total = 0;
+    for (_, v) in h.counts.iter() {
+        // violation: hash-iteration
+        total += v;
+    }
+    for s in seen {
+        // violation: hash-iteration
+        total += u64::from(s);
+    }
+    total
+}
+
+fn bad_interval_literal() -> Interval {
+    Interval { start: 0, end: 1 } // violation: no-raw-interval
+}
+
+fn bad_wall_clock() -> Instant {
+    Instant::now() // violation: wall-clock
+}
+
+fn string_mention_is_fine() -> &'static str {
+    // The rule patterns inside this literal must NOT fire:
+    "call .unwrap() and Instant::now() and Interval { start }"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1); // exempt: inside #[cfg(test)]
+    }
+}

@@ -1,0 +1,661 @@
+//! `graphite-lint` — repo-specific source-level lints (DESIGN.md §10).
+//!
+//! Four rules that rustc/clippy cannot express, each protecting one of the
+//! reproduction's determinism or robustness invariants:
+//!
+//! * `no-unwrap` — no `.unwrap()` / `.expect(` in `bsp`/`icm` non-test
+//!   code: engine failures must surface as [`BspError`]-style values, not
+//!   panics inside the barrier protocol.
+//! * `hash-iteration` — no iteration over `HashMap`/`HashSet` in
+//!   `bsp`/`icm` non-test code: hasher-dependent order feeding message
+//!   emission or result collection silently breaks bit-identical results.
+//! * `no-raw-interval` — no `Interval { .. }` struct literals outside
+//!   `tgraph::time`: construction must go through `Interval::new` /
+//!   `try_new`, which enforce the half-open non-empty invariant.
+//! * `wall-clock` — no `Instant::now()` / `SystemTime::now()` outside
+//!   `bsp::metrics`: timing belongs to metrics; clock reads anywhere else
+//!   are invisible nondeterminism.
+//!
+//! A violation line (or the line directly above it) may carry a
+//! `lint:allow(<rule>)` comment with a justification to opt out.
+//!
+//! Usage: `cargo run -p graphite-lint` from the workspace root scans
+//! `src/` and every `crates/*/src/` with per-path rule scoping; passing
+//! explicit file or directory arguments scans those with **all** rules
+//! active (used by the negative-fixture test).
+//!
+//! Exit status: 0 when clean, 1 when violations were found, 2 on I/O
+//! errors.
+//!
+//! [`BspError`]: ../graphite_bsp/error/enum.BspError.html
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The lint rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Rule {
+    NoUnwrap,
+    HashIteration,
+    NoRawInterval,
+    WallClock,
+}
+
+impl Rule {
+    const ALL: [Rule; 4] = [
+        Rule::NoUnwrap,
+        Rule::HashIteration,
+        Rule::NoRawInterval,
+        Rule::WallClock,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::HashIteration => "hash-iteration",
+            Rule::NoRawInterval => "no-raw-interval",
+            Rule::WallClock => "wall-clock",
+        }
+    }
+
+    fn message(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "unwrap()/expect() in engine code: surface failures as typed errors",
+            Rule::HashIteration => {
+                "iteration over a hash container: hasher order is nondeterministic"
+            }
+            Rule::NoRawInterval => {
+                "raw `Interval { .. }` literal: construct via Interval::new/try_new"
+            }
+            Rule::WallClock => "wall-clock read outside bsp::metrics: route through metrics::now()",
+        }
+    }
+}
+
+struct Violation {
+    path: PathBuf,
+    line: usize,
+    rule: Rule,
+    snippet: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.path.display(),
+            self.line,
+            self.rule.name(),
+            self.rule.message(),
+            self.snippet.trim()
+        )
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<(PathBuf, Vec<Rule>)> = Vec::new();
+    let mut io_error = false;
+
+    if args.is_empty() {
+        // Workspace mode: src/ plus every crates/*/src/, with per-path
+        // rule scoping.
+        let root = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        let mut roots = vec![root.join("src")];
+        if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+            for e in entries.flatten() {
+                roots.push(e.path().join("src"));
+            }
+        }
+        for dir in roots {
+            if dir.is_dir() {
+                collect_rs_files(&dir, &mut |p| {
+                    let rules = rules_for(&p);
+                    if !rules.is_empty() {
+                        files.push((p, rules));
+                    }
+                });
+            }
+        }
+    } else {
+        // Explicit-path mode: all rules on everything named.
+        for a in &args {
+            let p = PathBuf::from(a);
+            if p.is_dir() {
+                collect_rs_files(&p, &mut |f| files.push((f, Rule::ALL.to_vec())));
+            } else if p.is_file() {
+                files.push((p, Rule::ALL.to_vec()));
+            } else {
+                eprintln!("graphite-lint: no such path: {a}");
+                io_error = true;
+            }
+        }
+    }
+
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for (path, rules) in files {
+        match std::fs::read_to_string(&path) {
+            Ok(source) => {
+                scanned += 1;
+                lint_file(&path, &source, &rules, &mut violations);
+            }
+            Err(e) => {
+                eprintln!("graphite-lint: cannot read {}: {e}", path.display());
+                io_error = true;
+            }
+        }
+    }
+
+    for v in &violations {
+        println!("{v}");
+    }
+    if io_error {
+        ExitCode::from(2)
+    } else if violations.is_empty() {
+        println!("graphite-lint: {scanned} files clean");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "graphite-lint: {} violation(s) in {scanned} files",
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Which rules apply to `path` in workspace mode.
+fn rules_for(path: &Path) -> Vec<Rule> {
+    let p = path.to_string_lossy().replace('\\', "/");
+    let mut rules = Vec::new();
+    if p.contains("crates/bsp/src/") || p.contains("crates/icm/src/") {
+        rules.push(Rule::NoUnwrap);
+        rules.push(Rule::HashIteration);
+    }
+    if !p.ends_with("crates/tgraph/src/time.rs") {
+        rules.push(Rule::NoRawInterval);
+    }
+    // bsp::metrics carries the one sanctioned clock read, marked with its
+    // own lint:allow — so the rule scans everything.
+    rules.push(Rule::WallClock);
+    rules
+}
+
+fn collect_rs_files(dir: &Path, sink: &mut impl FnMut(PathBuf)) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            collect_rs_files(&p, sink);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            sink(p);
+        }
+    }
+}
+
+fn lint_file(path: &Path, source: &str, rules: &[Rule], out: &mut Vec<Violation>) {
+    let raw: Vec<&str> = source.split('\n').collect();
+    let code = strip_noncode(source);
+    debug_assert_eq!(raw.len(), code.len());
+    let in_test = test_mask(&code);
+
+    // Pass 1: names bound to hash containers (fields and locals).
+    let hash_names: Vec<String> = if rules.contains(&Rule::HashIteration) {
+        collect_hash_names(&code)
+    } else {
+        Vec::new()
+    };
+
+    for (i, code_line) in code.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        for &rule in rules {
+            let hit = match rule {
+                Rule::NoUnwrap => code_line.contains(".unwrap()") || code_line.contains(".expect("),
+                Rule::HashIteration => iterates_hash(code_line, &hash_names),
+                Rule::NoRawInterval => has_raw_interval_literal(code_line),
+                Rule::WallClock => {
+                    code_line.contains("Instant::now(") || code_line.contains("SystemTime::now(")
+                }
+            };
+            if hit && !allowed(&raw, i, rule) {
+                out.push(Violation {
+                    path: path.to_path_buf(),
+                    line: i + 1,
+                    rule,
+                    snippet: raw[i].to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// `lint:allow(<rule>)` on the violation line, or anywhere in the
+/// contiguous block of pure-comment lines directly above it (so a
+/// justification can span several comment lines). A trailing allow on the
+/// previous *code* line only excuses that line, not this one.
+fn allowed(raw: &[&str], line: usize, rule: Rule) -> bool {
+    let marker = format!("lint:allow({})", rule.name());
+    if raw[line].contains(&marker) {
+        return true;
+    }
+    let mut i = line;
+    while i > 0 {
+        i -= 1;
+        let above = raw[i].trim_start();
+        if !above.starts_with("//") {
+            return false;
+        }
+        if above.contains(&marker) {
+            return true;
+        }
+    }
+    false
+}
+
+/// `Interval` immediately followed by `{` (a struct literal or struct
+/// pattern), with a word boundary on the left so `IntervalPartition {`
+/// etc. don't match. Type positions that legitimately precede a body
+/// brace — `-> Interval {` and `impl [Wire for] Interval {` — are
+/// excluded.
+fn has_raw_interval_literal(code_line: &str) -> bool {
+    let bytes = code_line.as_bytes();
+    let mut from = 0;
+    while let Some(off) = code_line[from..].find("Interval") {
+        let start = from + off;
+        let end = start + "Interval".len();
+        let left_ok = start == 0 || !is_ident_char(bytes[start - 1]);
+        let right = code_line[end..].trim_start();
+        if left_ok && right.starts_with('{') {
+            let before = code_line[..start].trim_end();
+            let type_position =
+                before.ends_with("->") || before.ends_with("for") || before.ends_with("impl");
+            if !type_position {
+                return true;
+            }
+        }
+        from = end;
+    }
+    false
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Names declared with a hash-container type in this file: struct fields
+/// and `let` bindings of the form `name: HashMap<..>` / `name: HashSet<..>`
+/// / `let [mut] name = HashMap::new()` etc.
+fn collect_hash_names(code: &[String]) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in code {
+        for marker in ["HashMap", "HashSet"] {
+            let Some(pos) = line.find(marker) else {
+                continue;
+            };
+            let before = line[..pos].trim_end();
+            let name = if let Some(stripped) = before.strip_suffix(':') {
+                // `name: HashMap<...>` (field or typed let).
+                last_ident(stripped)
+            } else if let Some(stripped) = before.strip_suffix('=') {
+                // `let [mut] name = HashMap::new()`.
+                last_ident(stripped)
+            } else {
+                None
+            };
+            if let Some(n) = name {
+                if !names.contains(&n) {
+                    names.push(n);
+                }
+            }
+        }
+    }
+    names
+}
+
+fn last_ident(s: &str) -> Option<String> {
+    let s = s.trim_end();
+    let end = s.len();
+    let start = s
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| c.is_ascii_alphanumeric() || *c == '_')
+        .last()
+        .map(|(i, _)| i)?;
+    let ident = &s[start..end];
+    let first = ident.chars().next()?;
+    (first.is_ascii_alphabetic() || first == '_').then(|| ident.to_string())
+}
+
+const ITER_METHODS: [&str; 9] = [
+    ".iter()",
+    ".iter_mut()",
+    ".values(",
+    ".values_mut(",
+    ".keys(",
+    ".drain(",
+    ".into_iter()",
+    ".into_values(",
+    ".into_keys(",
+];
+
+/// Does `code_line` iterate one of the hash-container names — either via
+/// an iteration method call or as the tail expression of a `for … in` loop?
+fn iterates_hash(code_line: &str, hash_names: &[String]) -> bool {
+    for name in hash_names {
+        // `name.iter()`, `self.name.values()`, …
+        for m in ITER_METHODS {
+            let needle = format!("{name}{m}");
+            if code_line.contains(&needle) {
+                return true;
+            }
+        }
+        // `for x in name {` / `for (k, v) in self.name` / `in name.x` —
+        // direct IntoIterator use of the container.
+        if let Some(pos) = code_line.find(" in ") {
+            let tail = &code_line[pos + 4..];
+            if let Some(np) = tail.find(name.as_str()) {
+                let bytes = tail.as_bytes();
+                let left_ok = np == 0 || !is_ident_char(bytes[np - 1]);
+                let after = np + name.len();
+                let right_ok = after >= tail.len() || !is_ident_char(bytes[after]);
+                // Method calls on the name were handled above; a bare use
+                // (or `.clone()` etc.) of the container in a for-loop head
+                // still iterates it.
+                if left_ok && right_ok && code_line.trim_start().starts_with("for ") {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Per-line flags: is the line inside a `#[cfg(test)]`-gated module?
+fn test_mask(code: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        let line = code[i].trim_start();
+        if line.starts_with("#[cfg(test)") || line.starts_with("#[cfg(all(test") {
+            // Find the gated item; only `mod` bodies are skipped wholesale.
+            let mut j = i;
+            let mut depth = 0i64;
+            let mut started = false;
+            while j < code.len() {
+                mask[j] = true;
+                depth += brace_delta(&code[j]);
+                if code[j].contains('{') {
+                    started = true;
+                }
+                if started && depth <= 0 {
+                    break;
+                }
+                // A gated `use`/expression without braces ends at `;`.
+                if !started && code[j].contains(';') {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+fn brace_delta(code_line: &str) -> i64 {
+    let mut d = 0i64;
+    for b in code_line.bytes() {
+        match b {
+            b'{' => d += 1,
+            b'}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Replaces comments, string literals and char literals with spaces,
+/// preserving line structure, so rule patterns only ever match real code.
+fn strip_noncode(source: &str) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let mut st = St::Code;
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let b = source.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            if st == St::LineComment {
+                st = St::Code;
+            }
+            out.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => {
+                if c == b'/' && b.get(i + 1) == Some(&b'/') {
+                    st = St::LineComment;
+                    cur.push(' ');
+                    i += 1;
+                } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    st = St::BlockComment(1);
+                    cur.push(' ');
+                    i += 1;
+                } else if c == b'"' {
+                    st = St::Str;
+                    cur.push(' ');
+                } else if c == b'r' && matches!(b.get(i + 1), Some(&b'"') | Some(&b'#')) {
+                    // Possible raw string: r" or r#...#".
+                    let mut hashes = 0u32;
+                    let mut j = i + 1;
+                    while b.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&b'"') {
+                        st = St::RawStr(hashes);
+                        cur.push(' ');
+                        i = j;
+                    } else {
+                        cur.push(c as char);
+                    }
+                } else if c == b'\'' {
+                    // Char literal vs. lifetime: a lifetime is `'ident` not
+                    // followed by a closing quote; a char literal closes
+                    // within a few bytes.
+                    let close = (1..=4).find(|&k| {
+                        b.get(i + k) == Some(&b'\'') && !(k == 1 && b.get(i + 1) == Some(&b'\\'))
+                    });
+                    let escaped = b.get(i + 1) == Some(&b'\\');
+                    if close.is_some() || escaped {
+                        st = St::Char;
+                        cur.push(' ');
+                    } else {
+                        cur.push(c as char); // lifetime tick
+                    }
+                } else {
+                    cur.push(c as char);
+                }
+            }
+            St::LineComment => cur.push(' '),
+            St::BlockComment(depth) => {
+                cur.push(' ');
+                if c == b'*' && b.get(i + 1) == Some(&b'/') {
+                    cur.push(' ');
+                    i += 1;
+                    if depth == 1 {
+                        st = St::Code;
+                    } else {
+                        st = St::BlockComment(depth - 1);
+                    }
+                } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    cur.push(' ');
+                    i += 1;
+                    st = St::BlockComment(depth + 1);
+                }
+            }
+            St::Str => {
+                cur.push(' ');
+                if c == b'\\' {
+                    if b.get(i + 1) != Some(&b'\n') {
+                        cur.push(' ');
+                        i += 1;
+                    }
+                } else if c == b'"' {
+                    st = St::Code;
+                }
+            }
+            St::RawStr(hashes) => {
+                cur.push(' ');
+                if c == b'"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if b.get(i + 1 + k as usize) != Some(&b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..hashes {
+                            cur.push(' ');
+                            i += 1;
+                        }
+                        st = St::Code;
+                    }
+                }
+            }
+            St::Char => {
+                cur.push(' ');
+                if c == b'\\' {
+                    cur.push(' ');
+                    i += 1;
+                } else if c == b'\'' {
+                    st = St::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+    out.push(cur);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strip1(s: &str) -> String {
+        strip_noncode(s).join("\n")
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let s = strip1("let x = \".unwrap()\"; // .expect(\nlet y = 1;");
+        assert!(!s.contains(".unwrap()"));
+        assert!(!s.contains(".expect("));
+        assert!(s.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let s = strip1("a /* x /* y */ .unwrap() */ b\nc");
+        assert!(!s.contains(".unwrap()"));
+        assert!(s.starts_with("a "));
+        assert!(s.ends_with("b\nc"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let s = strip1("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; }");
+        assert!(s.contains("<'a>"));
+        assert!(!s.contains('x') || !s.contains("'x'"));
+    }
+
+    #[test]
+    fn raw_interval_literal_detection() {
+        assert!(has_raw_interval_literal(
+            "let iv = Interval { start: 1, end: 2 };"
+        ));
+        assert!(has_raw_interval_literal("Interval{start,end}"));
+        assert!(!has_raw_interval_literal("IntervalPartition { lifespan }"));
+        assert!(!has_raw_interval_literal("let iv = Interval::new(1, 2);"));
+        assert!(!has_raw_interval_literal("MyInterval { a }"));
+        assert!(!has_raw_interval_literal(
+            "pub fn lifespan(&self) -> Interval {"
+        ));
+        assert!(!has_raw_interval_literal("impl Wire for Interval {"));
+        assert!(!has_raw_interval_literal("impl Interval {"));
+    }
+
+    #[test]
+    fn hash_names_and_iteration() {
+        let code: Vec<String> = vec![
+            "    states: HashMap<u32, State>,".into(),
+            "    let mut cache = HashMap::new();".into(),
+        ];
+        let names = collect_hash_names(&code);
+        assert_eq!(names, vec!["states".to_string(), "cache".to_string()]);
+        assert!(iterates_hash("for (k, v) in self.states {", &names));
+        assert!(iterates_hash(
+            "let xs: Vec<_> = cache.iter().collect();",
+            &names
+        ));
+        assert!(iterates_hash("for v in cache.values() {", &names));
+        assert!(!iterates_hash("let x = states.get(&k);", &names));
+        assert!(!iterates_hash("states.insert(k, v);", &names));
+        assert!(!iterates_hash("for x in vec {", &names));
+    }
+
+    #[test]
+    fn test_mask_skips_gated_modules() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() { x.unwrap(); }\n}\nfn c() {}";
+        let code = strip_noncode(src);
+        let mask = test_mask(&code);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn allow_comment_is_honored() {
+        let raw = vec![
+            "x.unwrap(); // lint:allow(no-unwrap) — justified",
+            "y.unwrap();",
+        ];
+        assert!(allowed(&raw, 0, Rule::NoUnwrap));
+        assert!(!allowed(&raw, 1, Rule::NoUnwrap));
+        let above = vec![
+            "// lint:allow(wall-clock) — the one sanctioned read",
+            "now()",
+        ];
+        assert!(allowed(&above, 1, Rule::WallClock));
+        let block = vec![
+            "// lint:allow(no-unwrap) — justification that",
+            "// spans several comment lines.",
+            "x.expect(\"covered\")",
+        ];
+        assert!(allowed(&block, 2, Rule::NoUnwrap));
+        let trailing = vec![
+            "a.unwrap(); // lint:allow(no-unwrap) — for this line",
+            "b.unwrap();",
+        ];
+        assert!(!allowed(&trailing, 1, Rule::NoUnwrap));
+    }
+}

@@ -1,0 +1,62 @@
+//! Integration test: the built `graphite-lint` binary must flag every
+//! seeded violation in the negative fixture (exit 1) and report the real
+//! workspace clean (exit 0).
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_lint(args: &[&str], cwd: &Path) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_graphite-lint"))
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("spawn graphite-lint");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.code().unwrap_or(-1), text)
+}
+
+#[test]
+fn fixture_trips_every_rule() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let fixture = manifest.join("fixtures/violations.rs");
+    let (code, text) = run_lint(&[fixture.to_str().unwrap()], manifest);
+    assert_eq!(code, 1, "fixture must fail the lint, output:\n{text}");
+
+    for rule in [
+        "no-unwrap",
+        "hash-iteration",
+        "no-raw-interval",
+        "wall-clock",
+    ] {
+        assert!(
+            text.contains(&format!("[{rule}]")),
+            "missing rule {rule} in:\n{text}"
+        );
+    }
+
+    // Exactly the seeded violations: 2 unwrap/expect (the allowed one is
+    // excused), 2 hash iterations, 1 raw interval literal, 1 clock read.
+    assert!(
+        text.contains("6 violation(s)"),
+        "expected 6 violations in:\n{text}"
+    );
+
+    // The escaped line and the test-module unwrap must not be flagged.
+    let unwrap_hits = text.matches("[no-unwrap]").count();
+    assert_eq!(
+        unwrap_hits, 2,
+        "allow-escape or test exemption failed:\n{text}"
+    );
+}
+
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (code, text) = run_lint(&[], &root);
+    assert_eq!(code, 0, "workspace must lint clean, output:\n{text}");
+    assert!(text.contains("clean"), "unexpected output:\n{text}");
+}

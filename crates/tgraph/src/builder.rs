@@ -60,7 +60,11 @@ impl TemporalGraphBuilder {
             return Err(GraphError::DuplicateVertex(vid));
         }
         let idx = VIdx(self.vertices.len() as u32);
-        self.vertices.push(VertexData { vid, lifespan, props: Default::default() });
+        self.vertices.push(VertexData {
+            vid,
+            lifespan,
+            props: Default::default(),
+        });
         self.vid_index.insert(vid, idx);
         Ok(idx)
     }
@@ -77,8 +81,14 @@ impl TemporalGraphBuilder {
         if self.eid_index.contains_key(&eid) {
             return Err(GraphError::DuplicateEdge(eid));
         }
-        let s = *self.vid_index.get(&src).ok_or(GraphError::UnknownVertex(src))?;
-        let d = *self.vid_index.get(&dst).ok_or(GraphError::UnknownVertex(dst))?;
+        let s = *self
+            .vid_index
+            .get(&src)
+            .ok_or(GraphError::UnknownVertex(src))?;
+        let d = *self
+            .vid_index
+            .get(&dst)
+            .ok_or(GraphError::UnknownVertex(dst))?;
         for (vid, v) in [(src, s), (dst, d)] {
             let vspan = self.vertices[v.idx()].lifespan;
             if !lifespan.during_or_equals(vspan) {
@@ -91,7 +101,13 @@ impl TemporalGraphBuilder {
             }
         }
         self.eid_index.insert(eid, self.edges.len() as u32);
-        self.edges.push(EdgeData { eid, src: s, dst: d, lifespan, props: Default::default() });
+        self.edges.push(EdgeData {
+            eid,
+            src: s,
+            dst: d,
+            lifespan,
+            props: Default::default(),
+        });
         Ok(())
     }
 
@@ -104,7 +120,10 @@ impl TemporalGraphBuilder {
         interval: Interval,
         value: PropValue,
     ) -> Result<(), GraphError> {
-        let v = *self.vid_index.get(&vid).ok_or(GraphError::UnknownVertex(vid))?;
+        let v = *self
+            .vid_index
+            .get(&vid)
+            .ok_or(GraphError::UnknownVertex(vid))?;
         let data = &mut self.vertices[v.idx()];
         if !interval.during_or_equals(data.lifespan) {
             return Err(GraphError::PropertyOutsideLifespan {
@@ -114,10 +133,12 @@ impl TemporalGraphBuilder {
             });
         }
         let lid = self.labels.intern(label);
-        data.props.insert(lid, interval, value).map_err(|source| GraphError::PropertyOverlap {
-            owner: format!("vertex {}", vid.0),
-            source,
-        })
+        data.props
+            .insert(lid, interval, value)
+            .map_err(|source| GraphError::PropertyOverlap {
+                owner: format!("vertex {}", vid.0),
+                source,
+            })
     }
 
     /// Attaches `⟨eid, label, value, interval⟩` to an edge (Constraint 3 and
@@ -129,7 +150,10 @@ impl TemporalGraphBuilder {
         interval: Interval,
         value: PropValue,
     ) -> Result<(), GraphError> {
-        let e = *self.eid_index.get(&eid).ok_or(GraphError::UnknownEdge(eid))? as usize;
+        let e = *self
+            .eid_index
+            .get(&eid)
+            .ok_or(GraphError::UnknownEdge(eid))? as usize;
         let data = &mut self.edges[e];
         if !interval.during_or_equals(data.lifespan) {
             return Err(GraphError::PropertyOutsideLifespan {
@@ -139,10 +163,12 @@ impl TemporalGraphBuilder {
             });
         }
         let lid = self.labels.intern(label);
-        data.props.insert(lid, interval, value).map_err(|source| GraphError::PropertyOverlap {
-            owner: format!("edge {}", eid.0),
-            source,
-        })
+        data.props
+            .insert(lid, interval, value)
+            .map_err(|source| GraphError::PropertyOverlap {
+                owner: format!("edge {}", eid.0),
+                source,
+            })
     }
 
     /// Number of vertices added so far.
@@ -160,7 +186,12 @@ impl TemporalGraphBuilder {
     /// graphs built through this API; the `Result` guards future relaxations
     /// (e.g. deferred endpoint checks).
     pub fn build(self) -> Result<TemporalGraph, GraphError> {
-        Ok(TemporalGraph::assemble(self.labels, self.vertices, self.edges, self.vid_index))
+        Ok(TemporalGraph::assemble(
+            self.labels,
+            self.vertices,
+            self.edges,
+            self.vid_index,
+        ))
     }
 }
 
@@ -187,7 +218,8 @@ mod tests {
     #[test]
     fn constraint1_duplicate_edge() {
         let mut b = two_vertices();
-        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(2, 5)).unwrap();
+        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(2, 5))
+            .unwrap();
         assert_eq!(
             b.add_edge(EdgeId(1), VertexId(2), VertexId(1), Interval::new(2, 5)),
             Err(GraphError::DuplicateEdge(EdgeId(1)))
@@ -201,9 +233,16 @@ mod tests {
         let err = b
             .add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(0, 10))
             .unwrap_err();
-        assert!(matches!(err, GraphError::EdgeOutsideVertexLifespan { vid: VertexId(2), .. }));
+        assert!(matches!(
+            err,
+            GraphError::EdgeOutsideVertexLifespan {
+                vid: VertexId(2),
+                ..
+            }
+        ));
         // Exactly the intersection works.
-        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(2, 8)).unwrap();
+        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(2, 8))
+            .unwrap();
     }
 
     #[test]
@@ -222,9 +261,11 @@ mod tests {
             .vertex_property(VertexId(2), "w", Interval::new(0, 5), 1i64.into())
             .unwrap_err();
         assert!(matches!(err, GraphError::PropertyOutsideLifespan { .. }));
-        b.vertex_property(VertexId(2), "w", Interval::new(2, 5), 1i64.into()).unwrap();
+        b.vertex_property(VertexId(2), "w", Interval::new(2, 5), 1i64.into())
+            .unwrap();
         // Same for edges.
-        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(2, 8)).unwrap();
+        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(2, 8))
+            .unwrap();
         let err = b
             .edge_property(EdgeId(1), "w", Interval::new(2, 9), 1i64.into())
             .unwrap_err();
@@ -234,13 +275,15 @@ mod tests {
     #[test]
     fn property_overlap_rejected() {
         let mut b = two_vertices();
-        b.vertex_property(VertexId(1), "w", Interval::new(0, 5), 1i64.into()).unwrap();
+        b.vertex_property(VertexId(1), "w", Interval::new(0, 5), 1i64.into())
+            .unwrap();
         let err = b
             .vertex_property(VertexId(1), "w", Interval::new(4, 7), 2i64.into())
             .unwrap_err();
         assert!(matches!(err, GraphError::PropertyOverlap { .. }));
         // Disjoint continuation is fine.
-        b.vertex_property(VertexId(1), "w", Interval::new(5, 7), 2i64.into()).unwrap();
+        b.vertex_property(VertexId(1), "w", Interval::new(5, 7), 2i64.into())
+            .unwrap();
     }
 
     #[test]
@@ -257,8 +300,10 @@ mod tests {
     #[test]
     fn build_produces_indexed_graph() {
         let mut b = two_vertices();
-        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(2, 8)).unwrap();
-        b.edge_property(EdgeId(1), "travel-cost", Interval::new(2, 8), 4i64.into()).unwrap();
+        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(2, 8))
+            .unwrap();
+        b.edge_property(EdgeId(1), "travel-cost", Interval::new(2, 8), 4i64.into())
+            .unwrap();
         assert_eq!(b.num_vertices(), 2);
         assert_eq!(b.num_edges(), 1);
         let g = b.build().unwrap();

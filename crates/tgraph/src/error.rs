@@ -55,11 +55,20 @@ impl fmt::Display for GraphError {
             GraphError::DuplicateEdge(e) => write!(f, "edge {e:?} added twice"),
             GraphError::UnknownVertex(v) => write!(f, "unknown vertex {v:?}"),
             GraphError::UnknownEdge(e) => write!(f, "unknown edge {e:?}"),
-            GraphError::EdgeOutsideVertexLifespan { eid, vid, edge, vertex } => write!(
+            GraphError::EdgeOutsideVertexLifespan {
+                eid,
+                vid,
+                edge,
+                vertex,
+            } => write!(
                 f,
                 "edge {eid:?} lifespan {edge} is not contained in vertex {vid:?} lifespan {vertex}"
             ),
-            GraphError::PropertyOutsideLifespan { owner, property, lifespan } => write!(
+            GraphError::PropertyOutsideLifespan {
+                owner,
+                property,
+                lifespan,
+            } => write!(
                 f,
                 "property interval {property} on {owner} exceeds its lifespan {lifespan}"
             ),

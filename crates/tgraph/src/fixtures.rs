@@ -47,11 +47,11 @@ pub fn transit_graph() -> TemporalGraph {
         b.add_vertex(v, life).expect("fresh vertex");
     }
     let edge = |b: &mut TemporalGraphBuilder,
-                    eid: u64,
-                    src: VertexId,
-                    dst: VertexId,
-                    span: Interval,
-                    costs: &[(Interval, i64)]| {
+                eid: u64,
+                src: VertexId,
+                dst: VertexId,
+                span: Interval,
+                costs: &[(Interval, i64)]| {
         b.add_edge(EdgeId(eid), src, dst, span).expect("valid edge");
         b.edge_property(EdgeId(eid), "travel-time", span, 1i64.into())
             .expect("travel-time");
@@ -61,17 +61,59 @@ pub fn transit_graph() -> TemporalGraph {
         }
     };
     // A -> B over [3,6): cost 4 during [3,5), cost 3 during [5,6).
-    edge(&mut b, 0, A, B, Interval::new(3, 6), &[(Interval::new(3, 5), 4), (Interval::new(5, 6), 3)]);
+    edge(
+        &mut b,
+        0,
+        A,
+        B,
+        Interval::new(3, 6),
+        &[(Interval::new(3, 5), 4), (Interval::new(5, 6), 3)],
+    );
     // A -> C over [1,3) at cost 3 (the "A1 -> C2" option).
-    edge(&mut b, 1, A, C, Interval::new(1, 3), &[(Interval::new(1, 3), 3)]);
+    edge(
+        &mut b,
+        1,
+        A,
+        C,
+        Interval::new(1, 3),
+        &[(Interval::new(1, 3), 3)],
+    );
     // A -> D over [1,4) at cost 2.
-    edge(&mut b, 2, A, D, Interval::new(1, 4), &[(Interval::new(1, 4), 2)]);
+    edge(
+        &mut b,
+        2,
+        A,
+        D,
+        Interval::new(1, 4),
+        &[(Interval::new(1, 4), 2)],
+    );
     // B -> E over [8,9) at cost 2 (departs B at 8, arrives E at 9).
-    edge(&mut b, 3, B, E, Interval::new(8, 9), &[(Interval::new(8, 9), 2)]);
+    edge(
+        &mut b,
+        3,
+        B,
+        E,
+        Interval::new(8, 9),
+        &[(Interval::new(8, 9), 2)],
+    );
     // C -> E over [5,7) at cost 4 (the "C5 -> E6" option).
-    edge(&mut b, 4, C, E, Interval::new(5, 7), &[(Interval::new(5, 7), 4)]);
+    edge(
+        &mut b,
+        4,
+        C,
+        E,
+        Interval::new(5, 7),
+        &[(Interval::new(5, 7), 4)],
+    );
     // E -> F over [2,5): E is first reached at 6, so F stays unreachable.
-    edge(&mut b, 5, E, F, Interval::new(2, 5), &[(Interval::new(2, 5), 1)]);
+    edge(
+        &mut b,
+        5,
+        E,
+        F,
+        Interval::new(2, 5),
+        &[(Interval::new(2, 5), 1)],
+    );
     b.build().expect("sound fixture")
 }
 
@@ -82,7 +124,8 @@ pub fn tiny_graph(horizon: i64) -> TemporalGraph {
     let life = Interval::new(0, horizon);
     b.add_vertex(VertexId(0), life).unwrap();
     b.add_vertex(VertexId(1), life).unwrap();
-    b.add_edge(EdgeId(0), VertexId(0), VertexId(1), life).unwrap();
+    b.add_edge(EdgeId(0), VertexId(0), VertexId(1), life)
+        .unwrap();
     b.build().unwrap()
 }
 

@@ -8,21 +8,20 @@
 //! reverse), so workers can scan out-edges without pointer chasing.
 
 use crate::iset::IntervalMap;
-use crate::property::{LabelId, LabelInterner, Properties, PropValue};
+use crate::property::{LabelId, LabelInterner, PropValue, Properties};
 use crate::time::{Interval, Time};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// An opaque, user-chosen vertex identifier (`vid` in the paper).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VertexId(pub u64);
 
 /// An opaque, user-chosen edge identifier (`eid` in the paper).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EdgeId(pub u64);
 
 /// Dense internal vertex index (position in the graph's vertex table).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VIdx(pub u32);
 
 impl VIdx {
@@ -34,7 +33,7 @@ impl VIdx {
 }
 
 /// Dense internal edge index (position in the graph's edge table).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EIdx(pub u32);
 
 impl EIdx {
@@ -46,7 +45,7 @@ impl EIdx {
 }
 
 /// A temporal vertex `⟨vid, τ⟩` plus its property timelines.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct VertexData {
     /// External identifier.
     pub vid: VertexId,
@@ -57,7 +56,7 @@ pub struct VertexData {
 }
 
 /// A temporal edge `⟨eid, vid_i, vid_j, τ⟩` plus its property timelines.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct EdgeData {
     /// External identifier.
     pub eid: EdgeId,
@@ -76,7 +75,7 @@ pub struct EdgeData {
 /// Construct one with [`crate::builder::TemporalGraphBuilder`], which
 /// enforces the paper's soundness constraints, or deserialize a previously
 /// saved graph.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TemporalGraph {
     labels: LabelInterner,
     vertices: Vec<VertexData>,
@@ -201,12 +200,18 @@ impl TemporalGraph {
 
     /// All vertices in index order.
     pub fn vertices(&self) -> impl Iterator<Item = (VIdx, &VertexData)> {
-        self.vertices.iter().enumerate().map(|(i, v)| (VIdx(i as u32), v))
+        self.vertices
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (VIdx(i as u32), v))
     }
 
     /// All edges in index order.
     pub fn edges(&self) -> impl Iterator<Item = (EIdx, &EdgeData)> {
-        self.edges.iter().enumerate().map(|(i, e)| (EIdx(i as u32), e))
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EIdx(i as u32), e))
     }
 
     /// Out-edge indices of `v`.
@@ -359,8 +364,14 @@ mod tests {
             .copied()
             .find(|&e| g.vertex(g.edge(e).dst).vid == VertexId(1))
             .unwrap();
-        assert_eq!(g.edge_property_at(ab, cost, 3).and_then(PropValue::as_long), Some(4));
-        assert_eq!(g.edge_property_at(ab, cost, 5).and_then(PropValue::as_long), Some(3));
+        assert_eq!(
+            g.edge_property_at(ab, cost, 3).and_then(PropValue::as_long),
+            Some(4)
+        );
+        assert_eq!(
+            g.edge_property_at(ab, cost, 5).and_then(PropValue::as_long),
+            Some(3)
+        );
         assert_eq!(g.edge_property_at(ab, cost, 6), None);
     }
 
@@ -377,8 +388,10 @@ mod tests {
         let mut b = TemporalGraphBuilder::new();
         b.add_vertex(VertexId(1), Interval::new(0, 10)).unwrap();
         b.add_vertex(VertexId(2), Interval::new(0, 10)).unwrap();
-        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(0, 5)).unwrap();
-        b.add_edge(EdgeId(2), VertexId(1), VertexId(2), Interval::new(5, 10)).unwrap();
+        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(0, 5))
+            .unwrap();
+        b.add_edge(EdgeId(2), VertexId(1), VertexId(2), Interval::new(5, 10))
+            .unwrap();
         let g = b.build().unwrap();
         let v1 = g.vertex_index(VertexId(1)).unwrap();
         assert_eq!(g.out_degree(v1), 2);

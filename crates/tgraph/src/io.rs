@@ -94,7 +94,9 @@ fn parse_value(s: &str) -> Option<PropValue> {
         "i" => rest.parse().ok().map(PropValue::Long),
         "f" => rest.parse().ok().map(PropValue::Double),
         "b" => rest.parse().ok().map(PropValue::Bool),
-        "s" => Some(PropValue::Text(rest.replace("\\_", " ").replace("\\\\", "\\"))),
+        "s" => Some(PropValue::Text(
+            rest.replace("\\_", " ").replace("\\\\", "\\"),
+        )),
         _ => None,
     }
 }
@@ -156,7 +158,10 @@ pub fn write_text<W: Write>(graph: &TemporalGraph, out: W) -> std::io::Result<()
 pub fn read_text<R: Read>(input: R) -> Result<TemporalGraph, IoError> {
     let reader = BufReader::new(input);
     let mut b = TemporalGraphBuilder::new();
-    let bad = |line: usize, reason: &str| IoError::Parse { line, reason: reason.to_owned() };
+    let bad = |line: usize, reason: &str| IoError::Parse {
+        line,
+        reason: reason.to_owned(),
+    };
     for (i, line) in reader.lines().enumerate() {
         let line = line?;
         let lno = i + 1;
@@ -172,7 +177,9 @@ pub fn read_text<R: Read>(input: R) -> Result<TemporalGraph, IoError> {
         };
         match tag {
             "V" => {
-                let [vid, s, e] = fields[..] else { return Err(bad(lno, "V needs 3 fields")) };
+                let [vid, s, e] = fields[..] else {
+                    return Err(bad(lno, "V needs 3 fields"));
+                };
                 let vid = vid.parse().map_err(|_| bad(lno, "bad vid"))?;
                 let iv = interval(s, e).ok_or_else(|| bad(lno, "bad interval"))?;
                 b.add_vertex(VertexId(vid), iv)?;
@@ -248,9 +255,17 @@ mod tests {
     fn value_kinds_round_trip() {
         let mut b = TemporalGraphBuilder::new();
         b.add_vertex(VertexId(1), Interval::new(0, 10)).unwrap();
-        b.vertex_property(VertexId(1), "i", Interval::new(0, 1), PropValue::Long(-7)).unwrap();
-        b.vertex_property(VertexId(1), "f", Interval::new(0, 1), PropValue::Double(2.5)).unwrap();
-        b.vertex_property(VertexId(1), "b", Interval::new(0, 1), PropValue::Bool(true)).unwrap();
+        b.vertex_property(VertexId(1), "i", Interval::new(0, 1), PropValue::Long(-7))
+            .unwrap();
+        b.vertex_property(
+            VertexId(1),
+            "f",
+            Interval::new(0, 1),
+            PropValue::Double(2.5),
+        )
+        .unwrap();
+        b.vertex_property(VertexId(1), "b", Interval::new(0, 1), PropValue::Bool(true))
+            .unwrap();
         b.vertex_property(
             VertexId(1),
             "s",
@@ -264,7 +279,10 @@ mod tests {
         assert_eq!(get("i"), Some(PropValue::Long(-7)));
         assert_eq!(get("f"), Some(PropValue::Double(2.5)));
         assert_eq!(get("b"), Some(PropValue::Bool(true)));
-        assert_eq!(get("s"), Some(PropValue::Text("hello world \\ again".into())));
+        assert_eq!(
+            get("s"),
+            Some(PropValue::Text("hello world \\ again".into()))
+        );
     }
 
     #[test]

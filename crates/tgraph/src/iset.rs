@@ -12,7 +12,6 @@
 //!   split on demand when a sub-interval is updated.
 
 use crate::time::{Interval, Time};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Error returned when inserting an entry that overlaps an existing one.
@@ -48,7 +47,7 @@ impl std::error::Error for OverlapError {}
 /// assert_eq!(m.value_at(6), None);
 /// assert!(m.insert(Interval::new(4, 7), 9).is_err());
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IntervalMap<V> {
     entries: Vec<(Interval, V)>,
 }
@@ -62,7 +61,9 @@ impl<V> Default for IntervalMap<V> {
 impl<V> IntervalMap<V> {
     /// An empty map.
     pub fn new() -> Self {
-        IntervalMap { entries: Vec::new() }
+        IntervalMap {
+            entries: Vec::new(),
+        }
     }
 
     /// Number of entries.
@@ -88,7 +89,10 @@ impl<V> IntervalMap<V> {
         let idx = self.lower_bound(interval.start());
         if let Some((existing, _)) = self.entries.get(idx) {
             if existing.intersects(interval) {
-                return Err(OverlapError { inserted: interval, existing: *existing });
+                return Err(OverlapError {
+                    inserted: interval,
+                    existing: *existing,
+                });
             }
         }
         self.entries.insert(idx, (interval, value));
@@ -144,13 +148,14 @@ impl<V> IntervalMap<V> {
     }
 
     /// Builds a map from arbitrary-order entries, failing on overlap.
-    pub fn from_entries(
-        mut entries: Vec<(Interval, V)>,
-    ) -> Result<Self, OverlapError> {
+    pub fn from_entries(mut entries: Vec<(Interval, V)>) -> Result<Self, OverlapError> {
         entries.sort_by_key(|(iv, _)| (iv.start(), iv.end()));
         for w in entries.windows(2) {
             if w[0].0.intersects(w[1].0) {
-                return Err(OverlapError { inserted: w[1].0, existing: w[0].0 });
+                return Err(OverlapError {
+                    inserted: w[1].0,
+                    existing: w[0].0,
+                });
             }
         }
         Ok(IntervalMap { entries })
@@ -244,7 +249,7 @@ impl<V: PartialEq> IntervalMap<V> {
 /// assert_eq!(p.value_at(5), Some(&7));
 /// assert_eq!(p.value_at(6), Some(&0));
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IntervalPartition<V> {
     lifespan: Interval,
     entries: Vec<(Interval, V)>,
@@ -254,7 +259,10 @@ impl<V: Clone> IntervalPartition<V> {
     /// A single-entry partition covering the whole lifespan — the initial
     /// state of every ICM vertex.
     pub fn new(lifespan: Interval, value: V) -> Self {
-        IntervalPartition { lifespan, entries: vec![(lifespan, value)] }
+        IntervalPartition {
+            lifespan,
+            entries: vec![(lifespan, value)],
+        }
     }
 
     /// Builds a partition from pre-segmented entries.
@@ -268,8 +276,14 @@ impl<V: Clone> IntervalPartition<V> {
     }
 
     fn assert_invariants(&self) {
-        assert!(!self.entries.is_empty(), "partition must cover its lifespan");
-        assert_eq!(self.entries.first().unwrap().0.start(), self.lifespan.start());
+        assert!(
+            !self.entries.is_empty(),
+            "partition must cover its lifespan"
+        );
+        assert_eq!(
+            self.entries.first().unwrap().0.start(),
+            self.lifespan.start()
+        );
         assert_eq!(self.entries.last().unwrap().0.end(), self.lifespan.end());
         for w in self.entries.windows(2) {
             assert!(
@@ -312,7 +326,8 @@ impl<V: Clone> IntervalPartition<V> {
 
     /// The entry covering time-point `t`, if inside the lifespan.
     pub fn entry_at(&self, t: Time) -> Option<(Interval, &V)> {
-        self.index_of(t).map(|i| (self.entries[i].0, &self.entries[i].1))
+        self.index_of(t)
+            .map(|i| (self.entries[i].0, &self.entries[i].1))
     }
 
     /// Iterates the partitioned entries in temporal order.
@@ -321,11 +336,10 @@ impl<V: Clone> IntervalPartition<V> {
     }
 
     /// Iterates the entries intersecting `window`, clipped to it.
-    pub fn overlapping(
-        &self,
-        window: Interval,
-    ) -> impl Iterator<Item = (Interval, &V)> + '_ {
-        let from = self.entries.partition_point(|(iv, _)| iv.end() <= window.start());
+    pub fn overlapping(&self, window: Interval) -> impl Iterator<Item = (Interval, &V)> + '_ {
+        let from = self
+            .entries
+            .partition_point(|(iv, _)| iv.end() <= window.start());
         self.entries[from..]
             .iter()
             .take_while(move |(iv, _)| iv.start() < window.end())
@@ -343,7 +357,8 @@ impl<V: Clone> IntervalPartition<V> {
         }
         let v = self.entries[idx].1.clone();
         self.entries[idx].0 = Interval::new(iv.start(), t);
-        self.entries.insert(idx + 1, (Interval::new(t, iv.end()), v));
+        self.entries
+            .insert(idx + 1, (Interval::new(t, iv.end()), v));
     }
 
     /// Overwrites the value over `interval ∩ lifespan`, dynamically
@@ -351,11 +366,17 @@ impl<V: Clone> IntervalPartition<V> {
     /// the write affects exactly the requested sub-interval. A no-op when
     /// the interval misses the lifespan entirely.
     pub fn set(&mut self, interval: Interval, value: V) {
-        let Some(clipped) = interval.intersect(self.lifespan) else { return };
+        let Some(clipped) = interval.intersect(self.lifespan) else {
+            return;
+        };
         self.split_at(clipped.start());
         self.split_at(clipped.end());
-        let from = self.entries.partition_point(|(iv, _)| iv.end() <= clipped.start());
-        let to = self.entries.partition_point(|(iv, _)| iv.start() < clipped.end());
+        let from = self
+            .entries
+            .partition_point(|(iv, _)| iv.end() <= clipped.start());
+        let to = self
+            .entries
+            .partition_point(|(iv, _)| iv.start() < clipped.end());
         debug_assert!(from < to);
         // Replace the run [from, to) with a single entry holding `value`.
         self.entries[from] = (clipped, value);
@@ -463,16 +484,12 @@ mod tests {
 
         #[test]
         fn from_entries_validates() {
-            let ok = IntervalMap::from_entries(vec![
-                (Interval::new(5, 9), 1),
-                (Interval::new(0, 5), 2),
-            ])
-            .unwrap();
+            let ok =
+                IntervalMap::from_entries(vec![(Interval::new(5, 9), 1), (Interval::new(0, 5), 2)])
+                    .unwrap();
             assert_eq!(ok.value_at(5), Some(&1));
-            let bad = IntervalMap::from_entries(vec![
-                (Interval::new(0, 6), 1),
-                (Interval::new(5, 9), 2),
-            ]);
+            let bad =
+                IntervalMap::from_entries(vec![(Interval::new(0, 6), 1), (Interval::new(5, 9), 2)]);
             assert!(bad.is_err());
         }
 

@@ -25,6 +25,7 @@
 //! assert_eq!(g.out_degree(v1), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;
@@ -34,6 +35,7 @@ pub mod graph;
 pub mod io;
 pub mod iset;
 pub mod property;
+pub mod rng;
 pub mod snapshot;
 pub mod stats;
 pub mod time;

@@ -7,12 +7,11 @@
 
 use crate::iset::{IntervalMap, OverlapError};
 use crate::time::{Interval, Time};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// An interned property-label identifier.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LabelId(pub u32);
 
 /// A typed temporal property value.
@@ -20,7 +19,7 @@ pub struct LabelId(pub u32);
 /// The paper's algorithms only need numeric edge properties
 /// (`travel-time`, `travel-cost`), but the model permits arbitrary typed
 /// values, so we provide the usual property-graph scalar types.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum PropValue {
     /// 64-bit signed integer.
     Long(i64),
@@ -101,10 +100,9 @@ impl fmt::Display for PropValue {
 }
 
 /// Bidirectional label ↔ `LabelId` interner shared by a graph.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct LabelInterner {
     names: Vec<String>,
-    #[serde(skip)]
     index: HashMap<String, LabelId>,
 }
 
@@ -159,7 +157,7 @@ impl LabelInterner {
 
 /// All temporal properties of a single vertex or edge: one timeline per
 /// label, each a gap-permitting [`IntervalMap`] of values.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Properties {
     timelines: Vec<(LabelId, IntervalMap<PropValue>)>,
 }
@@ -192,7 +190,10 @@ impl Properties {
 
     /// The timeline for `label`, if any value was ever set.
     pub fn timeline(&self, label: LabelId) -> Option<&IntervalMap<PropValue>> {
-        self.timelines.iter().find(|(l, _)| *l == label).map(|(_, tl)| tl)
+        self.timelines
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, tl)| tl)
     }
 
     /// The value of `label` at time-point `t`.
@@ -301,8 +302,10 @@ mod tests {
     fn mean_entry_lifespan() {
         let mut p = Properties::new();
         assert_eq!(p.mean_entry_lifespan(), None);
-        p.insert(LabelId(0), Interval::new(0, 2), 1i64.into()).unwrap();
-        p.insert(LabelId(0), Interval::new(2, 8), 2i64.into()).unwrap();
+        p.insert(LabelId(0), Interval::new(0, 2), 1i64.into())
+            .unwrap();
+        p.insert(LabelId(0), Interval::new(2, 8), 2i64.into())
+            .unwrap();
         assert_eq!(p.mean_entry_lifespan(), Some(4.0));
     }
 }

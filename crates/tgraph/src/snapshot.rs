@@ -144,7 +144,9 @@ pub fn is_topology_static(graph: &TemporalGraph, window: Interval) -> bool {
     graph
         .vertices()
         .all(|(_, v)| window.during_or_equals(v.lifespan))
-        && graph.edges().all(|(_, e)| window.during_or_equals(e.lifespan))
+        && graph
+            .edges()
+            .all(|(_, e)| window.during_or_equals(e.lifespan))
 }
 
 /// Iterator access to every snapshot of a graph over a bounded window.
@@ -193,13 +195,19 @@ impl<'g> SnapshotSeries<'g> {
     /// # Panics
     /// Panics when `t` is outside the window.
     pub fn at(&self, t: Time) -> SnapshotView<'g> {
-        assert!(self.window.contains_point(t), "snapshot {t} outside window {}", self.window);
+        assert!(
+            self.window.contains_point(t),
+            "snapshot {t} outside window {}",
+            self.window
+        );
         SnapshotView::new(self.graph, t)
     }
 
     /// Iterates all snapshots in temporal order.
     pub fn iter(&self) -> impl Iterator<Item = SnapshotView<'g>> + '_ {
-        self.window.points().map(move |t| SnapshotView::new(self.graph, t))
+        self.window
+            .points()
+            .map(move |t| SnapshotView::new(self.graph, t))
     }
 }
 
@@ -220,8 +228,8 @@ mod tests {
         let g = transit_graph();
         let s4 = SnapshotView::new(&g, 4);
         assert_eq!(s4.num_vertices(), 6); // perpetual vertices
-        // Alive at 4: A->B ([3,6)), E->F ([2,5)). A->C ended at 3, A->D
-        // covers [1,4) so 4 is excluded; B->E starts at 8; C->E at 5.
+                                          // Alive at 4: A->B ([3,6)), E->F ([2,5)). A->C ended at 3, A->D
+                                          // covers [1,4) so 4 is excluded; B->E starts at 8; C->E at 5.
         let alive: Vec<u64> = s4.edges().map(|(_, e)| e.eid.0).collect();
         assert_eq!(alive, vec![0, 5]);
         assert_eq!(s4.num_edges(), 2);
@@ -236,10 +244,16 @@ mod tests {
         let outs: Vec<_> = s5.out_edges(a).collect();
         assert_eq!(outs.len(), 1); // only A->B alive at 5
         let (e, _) = outs[0];
-        assert_eq!(s5.edge_property(e, cost).and_then(PropValue::as_long), Some(3));
+        assert_eq!(
+            s5.edge_property(e, cost).and_then(PropValue::as_long),
+            Some(3)
+        );
         let s3 = SnapshotView::new(&g, 3);
         let (e3, _) = s3.out_edges(a).next().unwrap();
-        assert_eq!(s3.edge_property(e3, cost).and_then(PropValue::as_long), Some(4));
+        assert_eq!(
+            s3.edge_property(e3, cost).and_then(PropValue::as_long),
+            Some(4)
+        );
         // In-edges at 8: E has B->E.
         let e_v = g.vertex_index(transit_ids::E).unwrap();
         let s8 = SnapshotView::new(&g, 8);

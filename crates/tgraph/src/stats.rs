@@ -11,10 +11,9 @@ use crate::graph::TemporalGraph;
 use crate::snapshot::{snapshot_window, SnapshotSeries};
 use crate::time::Interval;
 use crate::transform::{transform_for_paths, TransformOptions};
-use serde::{Deserialize, Serialize};
 
 /// A `(|V|, |E|)` pair.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SizePair {
     /// Vertex count.
     pub vertices: u64,
@@ -23,7 +22,7 @@ pub struct SizePair {
 }
 
 /// The Table-1 row for one dataset.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DatasetStats {
     /// Number of snapshots (time-points in the bounded window).
     pub snapshots: u64,
@@ -83,22 +82,45 @@ pub fn dataset_stats(graph: &TemporalGraph, transform: Option<&TransformOptions>
         let sv = snap.num_vertices() as u64;
         let se = snap.num_edges() as u64;
         if se > largest.edges || (se == largest.edges && sv > largest.vertices) {
-            largest = SizePair { vertices: sv, edges: se };
+            largest = SizePair {
+                vertices: sv,
+                edges: se,
+            };
         }
     }
 
-    let default_opts = TransformOptions { window: Some(window), ..Default::default() };
+    let default_opts = TransformOptions {
+        window: Some(window),
+        ..Default::default()
+    };
     let opts = transform.unwrap_or(&default_opts);
     let tg = transform_for_paths(graph, opts);
 
     DatasetStats {
         snapshots: window.len() as u64,
         largest_snapshot: largest,
-        interval: SizePair { vertices: n_v, edges: n_e },
-        transformed: SizePair { vertices: tg.num_vertices() as u64, edges: tg.num_edges() as u64 },
-        multi_snapshot: SizePair { vertices: v_life as u64, edges: e_life as u64 },
-        avg_vertex_lifespan: if n_v == 0 { 0.0 } else { v_life as f64 / n_v as f64 },
-        avg_edge_lifespan: if n_e == 0 { 0.0 } else { e_life as f64 / n_e as f64 },
+        interval: SizePair {
+            vertices: n_v,
+            edges: n_e,
+        },
+        transformed: SizePair {
+            vertices: tg.num_vertices() as u64,
+            edges: tg.num_edges() as u64,
+        },
+        multi_snapshot: SizePair {
+            vertices: v_life as u64,
+            edges: e_life as u64,
+        },
+        avg_vertex_lifespan: if n_v == 0 {
+            0.0
+        } else {
+            v_life as f64 / n_v as f64
+        },
+        avg_edge_lifespan: if n_e == 0 {
+            0.0
+        } else {
+            e_life as f64 / n_e as f64
+        },
         avg_property_lifespan: if prop_count == 0 {
             0.0
         } else {
@@ -113,7 +135,7 @@ pub fn dataset_stats(graph: &TemporalGraph, transform: Option<&TransformOptions>
 /// sizes, not allocator measurements, which keeps them deterministic and
 /// platform-independent. The *relative* ordering (transformed ≫ interval ≥
 /// snapshot batch ≥ single snapshot) is what the figure demonstrates.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct MemoryFootprint {
     /// The interval graph, as loaded by GRAPHITE.
     pub interval_bytes: u64,
@@ -153,8 +175,8 @@ pub fn memory_footprint(
     let interval_bytes = stats.interval.vertices * VERTEX_COST
         + stats.interval.edges * EDGE_COST
         + props * PROP_COST;
-    let transformed_bytes = stats.transformed.vertices * REPLICA_COST
-        + stats.transformed.edges * TEDGE_COST;
+    let transformed_bytes =
+        stats.transformed.vertices * REPLICA_COST + stats.transformed.edges * TEDGE_COST;
     let largest_snapshot_bytes = stats.largest_snapshot.vertices * SNAP_VERTEX_COST
         + stats.largest_snapshot.edges * SNAP_EDGE_COST
         // Property values at the snapshot instant, one slot per labelled entity.
@@ -178,12 +200,30 @@ mod tests {
         let g = transit_graph();
         let s = dataset_stats(&g, None);
         assert_eq!(s.snapshots, 9);
-        assert_eq!(s.interval, SizePair { vertices: 6, edges: 6 });
+        assert_eq!(
+            s.interval,
+            SizePair {
+                vertices: 6,
+                edges: 6
+            }
+        );
         // Largest snapshot by edges: t=2 or t=3 with 3 edges, 6 vertices.
-        assert_eq!(s.largest_snapshot, SizePair { vertices: 6, edges: 3 });
+        assert_eq!(
+            s.largest_snapshot,
+            SizePair {
+                vertices: 6,
+                edges: 3
+            }
+        );
         // Multi-snapshot: vertices alive 9 ticks each => 54; edge lifespans
         // 3+2+3+1+2+3 = 14.
-        assert_eq!(s.multi_snapshot, SizePair { vertices: 54, edges: 14 });
+        assert_eq!(
+            s.multi_snapshot,
+            SizePair {
+                vertices: 54,
+                edges: 14
+            }
+        );
         assert!((s.avg_vertex_lifespan - 9.0).abs() < 1e-9);
         assert!((s.avg_edge_lifespan - 14.0 / 6.0).abs() < 1e-9);
         assert!(s.avg_property_lifespan > 0.0);

@@ -8,7 +8,6 @@
 //! algorithms can emit `[t, ∞)` messages. [`Time::MIN_INF`] and
 //! [`Time::MAX_INF`] are the `-∞` / `+∞` sentinels.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A discrete time-point. One time unit is an atomic increment of time and
@@ -45,7 +44,7 @@ pub const TIME_MAX: Time = i64::MAX;
 /// assert!(a.intersects(b));
 /// assert!(!Interval::new(0, 3).intersects(Interval::new(3, 9))); // half-open
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Interval {
     start: Time,
     end: Time,
@@ -60,10 +59,7 @@ impl Interval {
     #[inline]
     #[track_caller]
     pub fn new(start: Time, end: Time) -> Self {
-        assert!(
-            start < end,
-            "empty or inverted interval [{start}, {end})"
-        );
+        assert!(start < end, "empty or inverted interval [{start}, {end})");
         Interval { start, end }
     }
 
@@ -95,7 +91,10 @@ impl Interval {
     /// `[-∞, ∞)` — the whole time domain.
     #[inline]
     pub fn all() -> Self {
-        Interval { start: TIME_MIN, end: TIME_MAX }
+        Interval {
+            start: TIME_MIN,
+            end: TIME_MAX,
+        }
     }
 
     /// Inclusive start of the interval.
@@ -205,8 +204,16 @@ impl Interval {
     /// sentinels (so `[3, ∞) + 2 = [5, ∞)`).
     #[inline]
     pub fn shift(&self, delta: Time) -> Interval {
-        let start = if self.start == TIME_MIN { TIME_MIN } else { self.start.saturating_add(delta) };
-        let end = if self.end == TIME_MAX { TIME_MAX } else { self.end.saturating_add(delta) };
+        let start = if self.start == TIME_MIN {
+            TIME_MIN
+        } else {
+            self.start.saturating_add(delta)
+        };
+        let end = if self.end == TIME_MAX {
+            TIME_MAX
+        } else {
+            self.end.saturating_add(delta)
+        };
         Interval::new(start, end)
     }
 
@@ -302,7 +309,10 @@ impl AllenRelation {
     pub fn is_intersecting(&self) -> bool {
         !matches!(
             self,
-            AllenRelation::Before | AllenRelation::Meets | AllenRelation::MetBy | AllenRelation::After
+            AllenRelation::Before
+                | AllenRelation::Meets
+                | AllenRelation::MetBy
+                | AllenRelation::After
         )
     }
 }

@@ -17,11 +17,10 @@ use crate::graph::{TemporalGraph, VIdx};
 use crate::property::PropValue;
 use crate::snapshot::snapshot_window;
 use crate::time::{Interval, Time, TIME_MIN};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// How a transformed edge came to be.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TransformedEdgeKind {
     /// Chains consecutive replicas of the same vertex; weight 0. In the TGB
     /// baseline, traffic over these models the replica state-transfer
@@ -33,7 +32,7 @@ pub enum TransformedEdgeKind {
 }
 
 /// An edge of the transformed graph.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct TransformedEdge {
     /// Destination replica index.
     pub dst: u32,
@@ -70,7 +69,7 @@ impl Default for TransformOptions {
 
 /// A static, weighted, time-expanded digraph plus the mapping back to
 /// `(original vertex, time-point)` pairs.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TransformedGraph {
     /// `replicas[i] = (original vertex, time-point)`; sorted by
     /// `(vertex, time)` so one vertex's replicas are contiguous.
@@ -152,7 +151,9 @@ pub fn transform_for_paths(graph: &TemporalGraph, opts: &TransformOptions) -> Tr
     let mut times: Vec<Vec<Time>> = vec![Vec::new(); n];
     let mut transit: Vec<(VIdx, Time, VIdx, Time, i64)> = Vec::new(); // (u, t_dep, v, t_arr, cost)
     for (e, ed) in graph.edges() {
-        let Some(active) = ed.lifespan.intersect(window) else { continue };
+        let Some(active) = ed.lifespan.intersect(window) else {
+            continue;
+        };
         for t in active.points() {
             let tt = tt_label
                 .and_then(|l| graph.edge_property_at(e, l, t))
@@ -241,7 +242,14 @@ pub fn transform_for_paths(graph: &TemporalGraph, opts: &TransformOptions) -> Tr
         rev_offsets.push(rev_edges.len() as u32);
     }
 
-    TransformedGraph { replicas, offsets, edges, replica_runs, rev_offsets, rev_edges }
+    TransformedGraph {
+        replicas,
+        offsets,
+        edges,
+        replica_runs,
+        rev_offsets,
+        rev_edges,
+    }
 }
 
 /// Parameters of the example in the paper's Fig. 1(b): the transit network's
@@ -381,7 +389,10 @@ mod tests {
     #[test]
     fn windowed_transform_restricts_unrolling() {
         let g = transit_graph();
-        let opts = TransformOptions { window: Some(Interval::new(0, 4)), ..Default::default() };
+        let opts = TransformOptions {
+            window: Some(Interval::new(0, 4)),
+            ..Default::default()
+        };
         let tg = transform_for_paths(&g, &opts);
         // Only departures in [0,4) are unrolled: A->C@{1,2}, A->D@{1,2,3},
         // A->B@{3}, E->F@{2,3}.

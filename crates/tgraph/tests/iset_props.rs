@@ -2,10 +2,14 @@
 //! [`IntervalPartition`] always tiles its lifespan exactly (dynamic
 //! repartitioning preserves the Sec. IV-A1 invariants), and
 //! [`IntervalMap`] never admits overlap.
+//!
+//! Randomized cases are driven by the in-tree [`SplitMix64`] generator with
+//! fixed seeds, so every run explores the same case set and a failure
+//! reproduces exactly.
 
 use graphite_tgraph::iset::{IntervalMap, IntervalPartition};
+use graphite_tgraph::rng::SplitMix64;
 use graphite_tgraph::time::Interval;
-use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -14,16 +18,18 @@ enum Op {
     Coalesce,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0i64..64, 1i64..32, 0i64..4).prop_map(|(start, len, value)| Op::Set {
-            start,
-            len,
-            value
-        }),
-        (0i64..64).prop_map(|at| Op::Split { at }),
-        Just(Op::Coalesce),
-    ]
+fn rand_op(rng: &mut SplitMix64) -> Op {
+    match rng.bounded(3) {
+        0 => Op::Set {
+            start: rng.range_i64(0, 64),
+            len: rng.range_i64(1, 32),
+            value: rng.range_i64(0, 4),
+        },
+        1 => Op::Split {
+            at: rng.range_i64(0, 64),
+        },
+        _ => Op::Coalesce,
+    }
 }
 
 fn check_tiling(p: &IntervalPartition<i64>) {
@@ -32,25 +38,27 @@ fn check_tiling(p: &IntervalPartition<i64>) {
     assert_eq!(entries.first().unwrap().0.start(), p.lifespan().start());
     assert_eq!(entries.last().unwrap().0.end(), p.lifespan().end());
     for w in entries.windows(2) {
-        assert!(w[0].0.meets(w[1].0), "gap or overlap: {} then {}", w[0].0, w[1].0);
+        assert!(
+            w[0].0.meets(w[1].0),
+            "gap or overlap: {} then {}",
+            w[0].0,
+            w[1].0
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Any sequence of set/split/coalesce operations keeps the partition a
-    /// contiguous, exact tiling of the lifespan, and lookups agree with a
-    /// shadow per-point model.
-    #[test]
-    fn partition_invariants_hold_under_mutation(
-        ops in proptest::collection::vec(op_strategy(), 0..40)
-    ) {
+/// Any sequence of set/split/coalesce operations keeps the partition a
+/// contiguous, exact tiling of the lifespan, and lookups agree with a
+/// shadow per-point model.
+#[test]
+fn partition_invariants_hold_under_mutation() {
+    let mut rng = SplitMix64::new(0x0015_E701);
+    for _ in 0..256 {
         let lifespan = Interval::new(0, 64);
         let mut p = IntervalPartition::new(lifespan, -1i64);
         let mut shadow = vec![-1i64; 64];
-        for op in ops {
-            match op {
+        for _ in 0..rng.index(40) {
+            match rand_op(&mut rng) {
                 Op::Set { start, len, value } => {
                     let iv = Interval::new(start, start + len);
                     p.set(iv, value);
@@ -65,69 +73,76 @@ proptest! {
             }
             check_tiling(&p);
             for t in 0..64i64 {
-                prop_assert_eq!(
+                assert_eq!(
                     p.value_at(t).copied(),
                     Some(shadow[t as usize]),
-                    "mismatch at {}", t
+                    "mismatch at {t}"
                 );
             }
         }
     }
+}
 
-    /// `overlapping` yields exactly the clipped segments of the window.
-    #[test]
-    fn partition_overlapping_is_exact(
-        ops in proptest::collection::vec(op_strategy(), 0..20),
-        win_start in 0i64..60,
-        win_len in 1i64..30,
-    ) {
+/// `overlapping` yields exactly the clipped segments of the window.
+#[test]
+fn partition_overlapping_is_exact() {
+    let mut rng = SplitMix64::new(0x0015_E702);
+    for _ in 0..256 {
         let mut p = IntervalPartition::new(Interval::new(0, 64), 0i64);
-        for op in ops {
-            if let Op::Set { start, len, value } = op {
+        for _ in 0..rng.index(20) {
+            if let Op::Set { start, len, value } = rand_op(&mut rng) {
                 p.set(Interval::new(start, start + len), value);
             }
         }
+        let win_start = rng.range_i64(0, 60);
+        let win_len = rng.range_i64(1, 30);
         let window = Interval::new(win_start, (win_start + win_len).min(64));
         let segments: Vec<(Interval, i64)> =
             p.overlapping(window).map(|(iv, v)| (iv, *v)).collect();
         // Segments tile the window exactly.
-        prop_assert_eq!(segments.first().map(|(iv, _)| iv.start()), Some(window.start()));
-        prop_assert_eq!(segments.last().map(|(iv, _)| iv.end()), Some(window.end()));
+        assert_eq!(
+            segments.first().map(|(iv, _)| iv.start()),
+            Some(window.start())
+        );
+        assert_eq!(segments.last().map(|(iv, _)| iv.end()), Some(window.end()));
         for w in segments.windows(2) {
-            prop_assert!(w[0].0.meets(w[1].0));
+            assert!(w[0].0.meets(w[1].0));
         }
         for (iv, v) in &segments {
             for t in iv.start()..iv.end() {
-                prop_assert_eq!(p.value_at(t), Some(v));
+                assert_eq!(p.value_at(t), Some(v));
             }
         }
     }
+}
 
-    /// IntervalMap insertion preserves the no-overlap invariant and
-    /// rejects exactly the overlapping insertions.
-    #[test]
-    fn map_never_overlaps(
-        entries in proptest::collection::vec((0i64..100, 1i64..20), 0..30)
-    ) {
+/// IntervalMap insertion preserves the no-overlap invariant and rejects
+/// exactly the overlapping insertions.
+#[test]
+fn map_never_overlaps() {
+    let mut rng = SplitMix64::new(0x0015_E703);
+    for _ in 0..256 {
         let mut m = IntervalMap::new();
         let mut accepted: Vec<Interval> = Vec::new();
-        for (start, len) in entries {
+        for _ in 0..rng.index(30) {
+            let start = rng.range_i64(0, 100);
+            let len = rng.range_i64(1, 20);
             let iv = Interval::new(start, start + len);
             let collides = accepted.iter().any(|e| e.intersects(iv));
             match m.insert(iv, ()) {
                 Ok(()) => {
-                    prop_assert!(!collides, "{iv} accepted despite overlap");
+                    assert!(!collides, "{iv} accepted despite overlap");
                     accepted.push(iv);
                 }
                 Err(e) => {
-                    prop_assert!(collides, "{iv} rejected without overlap: {e}");
+                    assert!(collides, "{iv} rejected without overlap: {e}");
                 }
             }
         }
         // Lookup agrees with membership.
         for t in 0..120i64 {
             let expect = accepted.iter().any(|e| e.contains_point(t));
-            prop_assert_eq!(m.value_at(t).is_some(), expect, "at {}", t);
+            assert_eq!(m.value_at(t).is_some(), expect, "at {t}");
         }
     }
 }

@@ -12,8 +12,8 @@
 //! cargo run --release --example custom_algorithm
 //! ```
 
-use graphite::prelude::*;
 use graphite::bsp::codec::{get_varint, put_varint, Wire};
+use graphite::prelude::*;
 use graphite::tgraph::fixtures::{transit_graph, transit_ids};
 use std::sync::Arc;
 
@@ -30,7 +30,10 @@ impl Wire for Influence {
         put_varint(self.hops_left, buf);
     }
     fn decode(buf: &mut &[u8]) -> Option<Self> {
-        Some(Influence { seed: get_varint(buf)?, hops_left: get_varint(buf)? })
+        Some(Influence {
+            seed: get_varint(buf)?,
+            hops_left: get_varint(buf)?,
+        })
     }
 }
 
@@ -94,7 +97,13 @@ impl IntervalProgram for KHopInfluence {
         let valid_from = Interval::from_start(t.start() + 1);
         for &(seed, hops_left) in state {
             if hops_left > 0 {
-                ctx.send(valid_from, Influence { seed, hops_left: hops_left - 1 });
+                ctx.send(
+                    valid_from,
+                    Influence {
+                        seed,
+                        hops_left: hops_left - 1,
+                    },
+                );
             }
         }
     }
@@ -127,7 +136,10 @@ fn main() {
     // E should be influenced by C (C -> E is one hop, available from 6)
     // and, from time 10, by A (A -> B -> E lands at 9; A -> C -> E at 6
     // within 2 hops).
-    let e_final = result.state_at(transit_ids::E, 20).cloned().unwrap_or_default();
+    let e_final = result
+        .state_at(transit_ids::E, 20)
+        .cloned()
+        .unwrap_or_default();
     let seeds: Vec<u64> = e_final.iter().map(|(s, _)| *s).collect();
     assert!(seeds.contains(&transit_ids::C.0));
     assert!(seeds.contains(&transit_ids::A.0));

@@ -6,8 +6,8 @@
 //! cargo run --release --example platform_faceoff
 //! ```
 
-use graphite::prelude::*;
 use graphite::datagen::{generate, LifespanModel, Profile};
+use graphite::prelude::*;
 use std::sync::Arc;
 
 fn main() {
@@ -21,12 +21,21 @@ fn main() {
         "Twitter-profile graph: {} vertices, {} edges, {} snapshots\n",
         graph.num_vertices(),
         graph.num_edges(),
-        graphite::tgraph::snapshot::snapshot_window(&graph).unwrap().len()
+        graphite::tgraph::snapshot::snapshot_window(&graph)
+            .unwrap()
+            .len()
     );
 
-    let opts = RunOpts { workers: 4, ..Default::default() };
+    let opts = RunOpts {
+        workers: 4,
+        ..Default::default()
+    };
     for algo in [Algo::Bfs, Algo::Sssp] {
-        println!("== {} ({}) ==", algo.name(), if algo.is_ti() { "TI" } else { "TD" });
+        println!(
+            "== {} ({}) ==",
+            algo.name(),
+            if algo.is_ti() { "TI" } else { "TD" }
+        );
         println!(
             "{:<5} {:>12} {:>12} {:>12} {:>10} {:>16}",
             "plat", "computeCalls", "messages", "bytes", "makespan", "result digest"
@@ -46,7 +55,9 @@ fn main() {
                 c.messages_sent,
                 c.bytes_sent,
                 out.metrics.makespan.as_secs_f64() * 1e3,
-                out.digest.map(|d| format!("{:016x}", d.0)).unwrap_or_else(|| "-".into()),
+                out.digest
+                    .map(|d| format!("{:016x}", d.0))
+                    .unwrap_or_else(|| "-".into()),
             );
             if let Some(d) = out.digest {
                 digests.push(d);

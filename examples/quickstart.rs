@@ -28,7 +28,10 @@ fn main() {
     // Temporal SSSP from stop A (the paper's Alg. 1, ~30 lines of user
     // logic — see graphite_algorithms::td_paths::IcmSssp).
     let labels = AlgLabels::resolve(&graph);
-    let program = Arc::new(IcmSssp { source: transit_ids::A, labels });
+    let program = Arc::new(IcmSssp {
+        source: transit_ids::A,
+        labels,
+    });
     let result = run_icm(Arc::clone(&graph), program, &IcmConfig::default());
 
     println!("\nlowest travel cost from A, per interval of arrival:");

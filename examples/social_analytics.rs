@@ -27,7 +27,10 @@ fn main() {
         graph.num_edges(),
         window.len()
     );
-    let config = IcmConfig { workers: 4, ..Default::default() };
+    let config = IcmConfig {
+        workers: 4,
+        ..Default::default()
+    };
 
     // 1. Community structure over time: one WCC pass covers all 121
     //    snapshots; count components and the giant component per epoch.
@@ -42,7 +45,11 @@ fn main() {
 
     // 2. Influence: PageRank per snapshot, in one pass. Report the top
     //    user at two distant epochs.
-    let pr = run_icm(Arc::clone(&graph), Arc::new(IcmPageRank::default()), &config);
+    let pr = run_icm(
+        Arc::clone(&graph),
+        Arc::new(IcmPageRank::default()),
+        &config,
+    );
     for t in [window.start(), window.end() - 1] {
         let top = pr
             .states
@@ -62,8 +69,9 @@ fn main() {
     // 3. Triangle closure: concurrent directed triangles per epoch from a
     //    single interval-centric TC pass.
     let tc = run_icm(Arc::clone(&graph), Arc::new(IcmTc), &config);
-    let counts: Vec<u64> =
-        (window.start()..window.end()).map(|t| triangles_at(&tc, t)).collect();
+    let counts: Vec<u64> = (window.start()..window.end())
+        .map(|t| triangles_at(&tc, t))
+        .collect();
     let peak = counts.iter().enumerate().max_by_key(|(_, c)| **c).unwrap();
     println!(
         "\ntriangles: peak {} at t={}, {} snapshots with none",

@@ -11,9 +11,9 @@
 //! cargo run --release --example transit_planner
 //! ```
 
-use graphite::prelude::*;
-use graphite::datagen::Profile;
 use graphite::algorithms::td_paths::{IcmEat, IcmFast, IcmLd, IcmSssp};
+use graphite::datagen::Profile;
+use graphite::prelude::*;
 use std::sync::Arc;
 
 fn main() {
@@ -25,7 +25,10 @@ fn main() {
         graph.lifespan()
     );
     let labels = AlgLabels::resolve(&graph);
-    let config = IcmConfig { workers: 4, ..Default::default() };
+    let config = IcmConfig {
+        workers: 4,
+        ..Default::default()
+    };
 
     // From one corner to the grid's centre: a long (but within-horizon)
     // journey. The far corner would need ~100 hops — more ticks than the
@@ -36,18 +39,29 @@ fn main() {
     // 1. Cheapest cost per arrival window (temporal SSSP).
     let sssp = run_icm(
         Arc::clone(&graph),
-        Arc::new(IcmSssp { source: origin, labels }),
+        Arc::new(IcmSssp {
+            source: origin,
+            labels,
+        }),
         &config,
     );
     println!("\ncheapest journeys {origin:?} -> {destination:?} by arrival window:");
-    for (iv, cost) in sssp.states[&destination].iter().filter(|(_, c)| *c < i64::MAX).take(5) {
+    for (iv, cost) in sssp.states[&destination]
+        .iter()
+        .filter(|(_, c)| *c < i64::MAX)
+        .take(5)
+    {
         println!("  arriving within {iv}: total congestion cost {cost}");
     }
 
     // 2. Earliest arrival when departing at tick 0 (EAT).
     let eat = run_icm(
         Arc::clone(&graph),
-        Arc::new(IcmEat { source: origin, start: 0, labels }),
+        Arc::new(IcmEat {
+            source: origin,
+            start: 0,
+            labels,
+        }),
         &config,
     );
     match IcmEat::earliest(&eat, destination) {
@@ -58,7 +72,10 @@ fn main() {
     // 3. Fastest door-to-door duration over all departure times (FAST).
     let fast = run_icm(
         Arc::clone(&graph),
-        Arc::new(IcmFast { source: origin, labels }),
+        Arc::new(IcmFast {
+            source: origin,
+            labels,
+        }),
         &config,
     );
     match IcmFast::fastest(&fast, destination) {
@@ -71,11 +88,17 @@ fn main() {
     let deadline = graph.lifespan().end() - 1;
     let ld = run_icm(
         Arc::clone(&graph),
-        Arc::new(IcmLd { target: destination, deadline, labels }),
+        Arc::new(IcmLd {
+            target: destination,
+            deadline,
+            labels,
+        }),
         &config,
     );
     match IcmLd::latest(&ld, origin) {
-        Some(t) => println!("latest departure from {origin:?} to arrive by tick {deadline}: tick {t}"),
+        Some(t) => {
+            println!("latest departure from {origin:?} to arrive by tick {deadline}: tick {t}")
+        }
         None => println!("cannot reach the destination by tick {deadline}"),
     }
 

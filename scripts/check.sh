@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local verification gate — everything CI runs, in the same order.
+# Fast failures first: formatting, then static analysis (clippy + the
+# repo's own graphite-lint pass), then the full workspace test suite.
+#
+# Usage: scripts/check.sh          (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> graphite-lint"
+cargo run -q -p graphite-lint
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+echo "==> all checks passed"

@@ -17,6 +17,8 @@
 //! cargo run --release --bin graphite -- run /tmp/tw.tg --algo sssp --counts
 //! ```
 
+#![forbid(unsafe_code)]
+
 use graphite::algorithms::registry::{run, Algo, Platform, RunOpts};
 use graphite::datagen::Profile;
 use graphite::tgraph::graph::VertexId;
@@ -92,9 +94,18 @@ fn cmd_stats(path: &str) -> ExitCode {
     println!("vertices:            {}", s.interval.vertices);
     println!("edges:               {}", s.interval.edges);
     println!("snapshots:           {}", s.snapshots);
-    println!("largest snapshot:    {} vertices, {} edges", s.largest_snapshot.vertices, s.largest_snapshot.edges);
-    println!("transformed graph:   {} replicas, {} edges", s.transformed.vertices, s.transformed.edges);
-    println!("multi-snapshot size: {} vertices, {} edges (cumulative)", s.multi_snapshot.vertices, s.multi_snapshot.edges);
+    println!(
+        "largest snapshot:    {} vertices, {} edges",
+        s.largest_snapshot.vertices, s.largest_snapshot.edges
+    );
+    println!(
+        "transformed graph:   {} replicas, {} edges",
+        s.transformed.vertices, s.transformed.edges
+    );
+    println!(
+        "multi-snapshot size: {} vertices, {} edges (cumulative)",
+        s.multi_snapshot.vertices, s.multi_snapshot.edges
+    );
     println!("avg vertex lifespan: {:.2}", s.avg_vertex_lifespan);
     println!("avg edge lifespan:   {:.2}", s.avg_edge_lifespan);
     println!("avg prop lifespan:   {:.2}", s.avg_property_lifespan);
@@ -166,8 +177,14 @@ fn cmd_run(path: &str, flags: &Flags) -> ExitCode {
 }
 
 fn cmd_gen(profile: &str, out: &str, flags: &Flags) -> ExitCode {
-    let scale = flags.get("--scale").and_then(|v| v.parse().ok()).unwrap_or(1);
-    let seed = flags.get("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let scale = flags
+        .get("--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let seed = flags
+        .get("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
     let graph = match profile.to_ascii_lowercase().as_str() {
         "gplus" => Profile::GPlus.generate(scale, seed),
         "usrn" => Profile::Usrn.generate(scale, seed),

@@ -30,6 +30,7 @@
 //! assert_eq!(result.state_at(transit_ids::E, 10), Some(&5));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use graphite_algorithms as algorithms;
@@ -45,7 +46,9 @@ pub mod prelude {
     pub use graphite_algorithms::common::AlgLabels;
     pub use graphite_algorithms::registry::{run, Algo, Platform, RunOpts};
     pub use graphite_algorithms::td_paths::{IcmEat, IcmFast, IcmLd, IcmReach, IcmSssp, IcmTmst};
-    pub use graphite_algorithms::{bfs::IcmBfs, lcc::IcmLcc, pagerank::IcmPageRank, scc::IcmScc, tc::IcmTc, wcc::IcmWcc};
+    pub use graphite_algorithms::{
+        bfs::IcmBfs, lcc::IcmLcc, pagerank::IcmPageRank, scc::IcmScc, tc::IcmTc, wcc::IcmWcc,
+    };
     pub use graphite_icm::prelude::*;
     pub use graphite_tgraph::prelude::*;
 }

@@ -18,10 +18,19 @@ fn td_graph(seed: u64) -> Arc<graphite::tgraph::graph::TemporalGraph> {
         vertices: 120,
         edges: 700,
         snapshots: 14,
-        topology: Topology::PowerLaw { edges_per_vertex: 6 },
+        topology: Topology::PowerLaw {
+            edges_per_vertex: 6,
+        },
         vertex_lifespans: LifespanModel::Full,
-        edge_lifespans: LifespanModel::Mixed { unit_fraction: 0.3, mean: 6.0 },
-        props: PropModel { mean_segment: 4.0, max_cost: 7, max_travel_time: 1 },
+        edge_lifespans: LifespanModel::Mixed {
+            unit_fraction: 0.3,
+            mean: 6.0,
+        },
+        props: PropModel {
+            mean_segment: 4.0,
+            max_cost: 7,
+            max_travel_time: 1,
+        },
         seed,
     }))
 }
@@ -31,7 +40,9 @@ fn ti_graph(seed: u64) -> Arc<graphite::tgraph::graph::TemporalGraph> {
         vertices: 100,
         edges: 500,
         snapshots: 10,
-        topology: Topology::PowerLaw { edges_per_vertex: 5 },
+        topology: Topology::PowerLaw {
+            edges_per_vertex: 5,
+        },
         vertex_lifespans: LifespanModel::Geometric { mean: 7.0 },
         edge_lifespans: LifespanModel::Geometric { mean: 4.0 },
         props: PropModel::default(),
@@ -40,7 +51,10 @@ fn ti_graph(seed: u64) -> Arc<graphite::tgraph::graph::TemporalGraph> {
 }
 
 fn opts(workers: usize) -> RunOpts {
-    RunOpts { workers, ..Default::default() }
+    RunOpts {
+        workers,
+        ..Default::default()
+    }
 }
 
 #[test]

@@ -12,16 +12,25 @@ fn graph(edge_lifespans: LifespanModel, seed: u64) -> Arc<graphite::tgraph::grap
         vertices: 150,
         edges: 900,
         snapshots: 12,
-        topology: Topology::PowerLaw { edges_per_vertex: 6 },
+        topology: Topology::PowerLaw {
+            edges_per_vertex: 6,
+        },
         vertex_lifespans: LifespanModel::Full,
         edge_lifespans,
-        props: PropModel { mean_segment: 6.0, max_cost: 5, max_travel_time: 1 },
+        props: PropModel {
+            mean_segment: 6.0,
+            max_cost: 5,
+            max_travel_time: 1,
+        },
         seed,
     }))
 }
 
 fn opts() -> RunOpts {
-    RunOpts { workers: 2, ..Default::default() }
+    RunOpts {
+        workers: 2,
+        ..Default::default()
+    }
 }
 
 /// Sec. VII-B1: "for each algorithm on a graph, MSB and Chlonos have the
@@ -108,7 +117,10 @@ fn tgb_pays_replica_traffic_on_long_lifespans() {
 fn suppression_engages_on_unit_lifespans_only() {
     let unit = graph(LifespanModel::Unit, 31);
     let icm = run(Algo::Bfs, Platform::Icm, Arc::clone(&unit), None, &opts()).unwrap();
-    assert!(icm.metrics.counters.warp_suppressions > 0, "unit graph should suppress");
+    assert!(
+        icm.metrics.counters.warp_suppressions > 0,
+        "unit graph should suppress"
+    );
     let long = graph(LifespanModel::Geometric { mean: 10.0 }, 31);
     let icm = run(Algo::Bfs, Platform::Icm, Arc::clone(&long), None, &opts()).unwrap();
     assert!(icm.metrics.counters.warp_invocations > icm.metrics.counters.warp_suppressions);

@@ -27,7 +27,10 @@ fn save_load_round_trip_preserves_results() {
     assert_eq!(s1.transformed, s2.transformed);
 
     // ...and identical algorithm outcomes across TI and TD.
-    let opts = RunOpts { workers: 2, ..Default::default() };
+    let opts = RunOpts {
+        workers: 2,
+        ..Default::default()
+    };
     for algo in [Algo::Bfs, Algo::Wcc, Algo::Sssp, Algo::Tc] {
         let a = run(algo, Platform::Icm, Arc::clone(&g), None, &opts).unwrap();
         let b = run(algo, Platform::Icm, Arc::clone(&reloaded), None, &opts).unwrap();
@@ -74,7 +77,11 @@ fn worker_panics_propagate() {
     }
 
     let result = std::panic::catch_unwind(|| {
-        run_icm(Arc::new(transit_graph()), Arc::new(Bomb), &IcmConfig::default())
+        run_icm(
+            Arc::new(transit_graph()),
+            Arc::new(Bomb),
+            &IcmConfig::default(),
+        )
     });
     assert!(result.is_err(), "panic must propagate to the caller");
 }
