@@ -1,0 +1,150 @@
+//! Differential testing: the interval-centric engine against the
+//! vertex-centric baselines, per algorithm, on generated datasets.
+//!
+//! Two datagen profiles bracket the warp regimes (Sec. VII-A2): a
+//! GPlus-like graph (unit edge lifespans — ICM's worst case, no sharing)
+//! and a Twitter-like graph (long geometric lifespans — warp-heavy). On
+//! both, every algorithm must produce the identical per-(vertex,
+//! time-point) result digest on every platform that supports it: the
+//! paper's claim is that ICM changes the cost model, never the answers.
+
+use graphite_algorithms::registry::{run, Algo, Platform, RunOpts};
+use graphite_datagen::{generate, GenParams, LifespanModel, PropModel, Topology};
+use graphite_tgraph::graph::TemporalGraph;
+use std::sync::Arc;
+
+/// Unit lifespans on a power-law topology — the Google+ regime, where
+/// every interval degenerates to a point and warp can share nothing.
+fn gplus_like() -> Arc<TemporalGraph> {
+    Arc::new(generate(&GenParams {
+        vertices: 320,
+        edges: 2_400,
+        snapshots: 4,
+        topology: Topology::PowerLaw {
+            edges_per_vertex: 8,
+        },
+        vertex_lifespans: LifespanModel::Geometric { mean: 2.6 },
+        edge_lifespans: LifespanModel::Unit,
+        props: PropModel {
+            mean_segment: 1.0,
+            max_cost: 10,
+            max_travel_time: 1,
+        },
+        seed: 0x0D1F_F001,
+    }))
+}
+
+/// Long geometric lifespans — the Twitter regime, where warp groups many
+/// messages per tuple and the interval machinery is fully exercised.
+fn twitter_like() -> Arc<TemporalGraph> {
+    Arc::new(generate(&GenParams {
+        vertices: 260,
+        edges: 2_000,
+        snapshots: 16,
+        topology: Topology::PowerLaw {
+            edges_per_vertex: 10,
+        },
+        vertex_lifespans: LifespanModel::Geometric { mean: 14.0 },
+        edge_lifespans: LifespanModel::Geometric { mean: 12.0 },
+        props: PropModel {
+            mean_segment: 8.0,
+            max_cost: 10,
+            max_travel_time: 1,
+        },
+        seed: 0x0D1F_F002,
+    }))
+}
+
+fn opts() -> RunOpts {
+    RunOpts {
+        workers: 3,
+        ..Default::default()
+    }
+}
+
+/// Runs `algo` under ICM and under every supporting baseline platform and
+/// asserts digest equality.
+fn differential(graph: &Arc<TemporalGraph>, algos: &[Algo], baselines: &[Platform], ctx: &str) {
+    for &algo in algos {
+        let icm = run(algo, Platform::Icm, Arc::clone(graph), None, &opts())
+            .unwrap_or_else(|e| panic!("{ctx}/{}: {e}", algo.name()));
+        assert!(
+            icm.digest.is_some(),
+            "{ctx}/{}: ICM produced no digest",
+            algo.name()
+        );
+        for &platform in baselines {
+            if !platform.supports(algo) {
+                continue;
+            }
+            let base = run(algo, platform, Arc::clone(graph), None, &opts())
+                .unwrap_or_else(|e| panic!("{ctx}/{}: {e}", algo.name()));
+            assert_eq!(
+                icm.digest,
+                base.digest,
+                "{ctx}/{}: ICM and {} disagree",
+                algo.name(),
+                platform.name()
+            );
+        }
+    }
+}
+
+/// Full lifespans on a grid — the USRN regime (static topology), the one
+/// generated-dataset regime where the TD platforms' journey semantics are
+/// known to coincide. With partial entity lifespans the TD baselines
+/// diverge from ICM on generated graphs, and EAT/RH diverge from TGB even
+/// here — both recorded as open items in ROADMAP.md.
+fn usrn_like() -> Arc<TemporalGraph> {
+    Arc::new(generate(&GenParams {
+        vertices: 256,
+        edges: 0, // grid: edges derive from the lattice
+        snapshots: 12,
+        topology: Topology::Grid { width: 16 },
+        vertex_lifespans: LifespanModel::Full,
+        edge_lifespans: LifespanModel::Full,
+        props: PropModel {
+            mean_segment: 4.0,
+            max_cost: 10,
+            max_travel_time: 1,
+        },
+        seed: 0x0D1F_F003,
+    }))
+}
+
+const TI: [Algo; 4] = [Algo::Bfs, Algo::Wcc, Algo::Scc, Algo::Pr];
+
+#[test]
+fn ti_algorithms_match_vcm_baselines_on_unit_lifespans() {
+    differential(
+        &gplus_like(),
+        &TI,
+        &[Platform::Msb, Platform::Chlonos],
+        "gplus-like",
+    );
+}
+
+#[test]
+fn ti_algorithms_match_vcm_baselines_on_long_lifespans() {
+    differential(
+        &twitter_like(),
+        &TI,
+        &[Platform::Msb, Platform::Chlonos],
+        "twitter-like",
+    );
+}
+
+#[test]
+fn td_traversals_match_goffish_on_full_lifespans() {
+    differential(
+        &usrn_like(),
+        &[Algo::Sssp, Algo::Eat, Algo::Reach],
+        &[Platform::Goffish],
+        "usrn-like",
+    );
+}
+
+#[test]
+fn sssp_matches_tgb_on_full_lifespans() {
+    differential(&usrn_like(), &[Algo::Sssp], &[Platform::Tgb], "usrn-like");
+}

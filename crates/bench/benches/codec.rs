@@ -3,8 +3,12 @@
 //! 59-78% message-size drop; this measures the cpu cost and verifies the
 //! size ratio stays in that band for a workload-like mixture).
 
+use graphite_bench::record::Recorder;
 use graphite_bench::timing::bench_throughput;
-use graphite_bsp::codec::{get_interval, get_interval_fixed, put_interval, put_interval_fixed};
+use graphite_bsp::codec::{
+    decode_batch, encode_batch, get_interval, get_interval_fixed, put_interval, put_interval_fixed,
+};
+use graphite_tgraph::graph::VIdx;
 use graphite_tgraph::time::Interval;
 use std::hint::black_box;
 
@@ -21,23 +25,24 @@ fn workload(n: usize) -> Vec<Interval> {
 }
 
 fn main() {
+    let mut rec = Recorder::new("codec");
     let ivs = workload(1024);
     let n = ivs.len() as u64;
 
-    bench_throughput("codec/encode/varint", n, || {
+    rec.push(bench_throughput("codec/encode/varint", n, || {
         let mut buf = Vec::with_capacity(ivs.len() * 4);
         for &iv in &ivs {
             put_interval(black_box(iv), &mut buf);
         }
         buf
-    });
-    bench_throughput("codec/encode/fixed", n, || {
+    }));
+    rec.push(bench_throughput("codec/encode/fixed", n, || {
         let mut buf = Vec::with_capacity(ivs.len() * 16);
         for &iv in &ivs {
             put_interval_fixed(black_box(iv), &mut buf);
         }
         buf
-    });
+    }));
 
     let mut compact = Vec::new();
     let mut fixed = Vec::new();
@@ -53,7 +58,7 @@ fn main() {
         reduction * 100.0
     );
 
-    bench_throughput("codec/decode/varint", n, || {
+    rec.push(bench_throughput("codec/decode/varint", n, || {
         let mut s = compact.as_slice();
         let mut count = 0usize;
         while !s.is_empty() {
@@ -61,8 +66,8 @@ fn main() {
             count += 1;
         }
         count
-    });
-    bench_throughput("codec/decode/fixed", n, || {
+    }));
+    rec.push(bench_throughput("codec/decode/fixed", n, || {
         let mut s = fixed.as_slice();
         let mut count = 0usize;
         while !s.is_empty() {
@@ -70,5 +75,32 @@ fn main() {
             count += 1;
         }
         count
-    });
+    }));
+
+    // The routing hot path: whole-batch encode/decode with a reused wire
+    // buffer, exactly as the BSP exchange performs it.
+    let batch: Vec<(VIdx, Interval)> = ivs
+        .iter()
+        .enumerate()
+        .map(|(i, &iv)| (VIdx(i as u32 % 64), iv))
+        .collect();
+    let mut wire = Vec::new();
+    rec.push(bench_throughput("codec/batch/encode", n, || {
+        wire.clear();
+        encode_batch(black_box(&batch), &mut wire);
+        wire.len()
+    }));
+    wire.clear();
+    encode_batch(&batch, &mut wire);
+    rec.push(bench_throughput("codec/batch/decode", n, || {
+        let mut count = 0usize;
+        decode_batch::<Interval>(black_box(&wire), batch.len(), |_, iv| {
+            black_box(iv);
+            count += 1;
+        })
+        .unwrap();
+        count
+    }));
+
+    rec.finish();
 }

@@ -4,9 +4,12 @@
 //! under ICM vs. MSB. These are the microscale versions of Fig. 5.
 
 use graphite_algorithms::registry::{run, Algo, Platform, RunOpts};
+use graphite_bench::record::Recorder;
 use graphite_bench::timing::bench;
 use graphite_bench::Dataset;
 use graphite_datagen::{GenParams, LifespanModel, Profile, PropModel, Topology};
+use graphite_tgraph::graph::TemporalGraph;
+use graphite_tgraph::transform::TransformedGraph;
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -41,81 +44,87 @@ fn opts() -> RunOpts {
     }
 }
 
+/// Benchmarks one (algo, platform) cell and records it together with the
+/// run's deterministic counters.
+fn case(
+    rec: &mut Recorder,
+    label: &str,
+    algo: Algo,
+    platform: Platform,
+    graph: &Arc<TemporalGraph>,
+    transformed: Option<&Arc<TransformedGraph>>,
+) {
+    let mut last_metrics = None;
+    let result = bench(label, || {
+        let outcome = run(
+            algo,
+            platform,
+            Arc::clone(graph),
+            transformed.map(Arc::clone),
+            &opts(),
+        )
+        .unwrap();
+        last_metrics = Some(outcome.metrics.clone());
+        black_box(outcome)
+    });
+    let metrics = last_metrics.expect("bench ran at least once");
+    rec.push_with_metrics(result, &metrics);
+}
+
 fn main() {
+    let mut rec = Recorder::new("engine");
     let dataset = small_long_lifespan();
     let transformed = dataset.transformed();
 
-    bench("engine/sssp/icm", || {
-        black_box(
-            run(
-                Algo::Sssp,
-                Platform::Icm,
-                Arc::clone(&dataset.graph),
-                None,
-                &opts(),
-            )
-            .unwrap(),
-        )
-    });
-    bench("engine/sssp/goffish", || {
-        black_box(
-            run(
-                Algo::Sssp,
-                Platform::Goffish,
-                Arc::clone(&dataset.graph),
-                None,
-                &opts(),
-            )
-            .unwrap(),
-        )
-    });
-    bench("engine/sssp/tgb", || {
-        black_box(
-            run(
-                Algo::Sssp,
-                Platform::Tgb,
-                Arc::clone(&dataset.graph),
-                Some(Arc::clone(&transformed)),
-                &opts(),
-            )
-            .unwrap(),
-        )
-    });
+    case(
+        &mut rec,
+        "engine/sssp/icm",
+        Algo::Sssp,
+        Platform::Icm,
+        &dataset.graph,
+        None,
+    );
+    case(
+        &mut rec,
+        "engine/sssp/goffish",
+        Algo::Sssp,
+        Platform::Goffish,
+        &dataset.graph,
+        None,
+    );
+    case(
+        &mut rec,
+        "engine/sssp/tgb",
+        Algo::Sssp,
+        Platform::Tgb,
+        &dataset.graph,
+        Some(&transformed),
+    );
 
-    bench("engine/bfs/icm", || {
-        black_box(
-            run(
-                Algo::Bfs,
-                Platform::Icm,
-                Arc::clone(&dataset.graph),
-                None,
-                &opts(),
-            )
-            .unwrap(),
-        )
-    });
-    bench("engine/bfs/msb", || {
-        black_box(
-            run(
-                Algo::Bfs,
-                Platform::Msb,
-                Arc::clone(&dataset.graph),
-                None,
-                &opts(),
-            )
-            .unwrap(),
-        )
-    });
-    bench("engine/bfs/chlonos", || {
-        black_box(
-            run(
-                Algo::Bfs,
-                Platform::Chlonos,
-                Arc::clone(&dataset.graph),
-                None,
-                &opts(),
-            )
-            .unwrap(),
-        )
-    });
+    case(
+        &mut rec,
+        "engine/bfs/icm",
+        Algo::Bfs,
+        Platform::Icm,
+        &dataset.graph,
+        None,
+    );
+    case(
+        &mut rec,
+        "engine/bfs/msb",
+        Algo::Bfs,
+        Platform::Msb,
+        &dataset.graph,
+        None,
+    );
+    case(
+        &mut rec,
+        "engine/bfs/chlonos",
+        Algo::Bfs,
+        Platform::Chlonos,
+        &dataset.graph,
+        None,
+    );
+
+    rec.finish();
 }

@@ -3,6 +3,7 @@
 //! partition fragments (Sec. IV-A1's worst case is one partition per
 //! time-point).
 
+use graphite_bench::record::Recorder;
 use graphite_bench::timing::bench;
 use graphite_tgraph::iset::IntervalPartition;
 use graphite_tgraph::time::Interval;
@@ -17,29 +18,30 @@ fn fragmented(n: i64) -> IntervalPartition<i64> {
 }
 
 fn main() {
+    let mut rec = Recorder::new("state");
     for n in [16i64, 256, 4096] {
-        bench(&format!("state/set/{n}"), || {
+        rec.push(bench(&format!("state/set/{n}"), || {
             let mut p = IntervalPartition::new(Interval::new(0, n), 0i64);
             for i in (0..n).step_by(4) {
                 p.set(Interval::new(i, i + 2), i);
             }
             black_box(p)
-        });
+        }));
     }
 
     for n in [16i64, 256, 4096] {
         let p = fragmented(n);
-        bench(&format!("state/value_at/{n}"), || {
+        rec.push(bench(&format!("state/value_at/{n}"), || {
             let mut acc = 0i64;
             for t in (0..n).step_by(7) {
                 acc += *p.value_at(black_box(t)).unwrap();
             }
             black_box(acc)
-        });
+        }));
     }
 
     for n in [256i64, 4096] {
-        bench(&format!("state/coalesce/{n}"), || {
+        rec.push(bench(&format!("state/coalesce/{n}"), || {
             // Adjacent equal values: maximal coalescing work. The setup
             // dominates the timing here, so this row measures the full
             // fragment-then-coalesce cycle the engine actually performs.
@@ -49,6 +51,8 @@ fn main() {
             }
             p.coalesce();
             black_box(p)
-        });
+        }));
     }
+
+    rec.finish();
 }

@@ -1,9 +1,14 @@
 //! Micro-bench: the time-warp operator's scaling in message count,
 //! partition count and overlap structure — the merge-based aggregation the
 //! paper adopts is O(m log m) in the inner-set size (Sec. VI).
+//!
+//! Cases exercise the scratch-reuse entry point (`time_warp_spans_into`
+//! with one long-lived [`WarpScratch`]): that is the engine's hot path,
+//! where the arena amortizes all per-call allocation across supersteps.
 
+use graphite_bench::record::Recorder;
 use graphite_bench::timing::bench;
-use graphite_icm::warp::time_warp_spans;
+use graphite_icm::warp::{time_warp_spans_into, WarpScratch};
 use graphite_tgraph::time::Interval;
 use std::hint::black_box;
 
@@ -33,41 +38,71 @@ fn messages(m: usize, horizon: i64, len: i64) -> Vec<Interval> {
 }
 
 fn main() {
+    let mut rec = Recorder::new("warp");
+    let mut scratch = WarpScratch::new();
+
     // Message-count scaling.
     let outer = partition(8, 1024);
     for m in [16usize, 64, 256, 1024, 4096] {
         let inner = messages(m, 1024, 32);
-        bench(&format!("warp/messages/{m}"), || {
-            black_box(time_warp_spans(black_box(&outer), black_box(&inner)))
-        });
+        rec.push(bench(&format!("warp/messages/{m}"), || {
+            black_box(time_warp_spans_into(
+                black_box(&outer),
+                black_box(&inner),
+                &mut scratch,
+            ))
+            .len()
+        }));
     }
 
     // Partition-count scaling.
     let inner = messages(256, 1024, 32);
     for n in [1usize, 8, 64, 512] {
         let outer = partition(n, 1024);
-        bench(&format!("warp/partitions/{n}"), || {
-            black_box(time_warp_spans(black_box(&outer), black_box(&inner)))
-        });
+        rec.push(bench(&format!("warp/partitions/{n}"), || {
+            black_box(time_warp_spans_into(
+                black_box(&outer),
+                black_box(&inner),
+                &mut scratch,
+            ))
+            .len()
+        }));
     }
 
     // Overlap regimes.
     let outer = partition(8, 1024);
     // Unit-length messages: the regime warp suppression exists for.
     let unit = messages(1024, 1024, 1);
-    bench("warp/overlap/unit", || {
-        black_box(time_warp_spans(black_box(&outer), black_box(&unit)))
-    });
+    rec.push(bench("warp/overlap/unit", || {
+        black_box(time_warp_spans_into(
+            black_box(&outer),
+            black_box(&unit),
+            &mut scratch,
+        ))
+        .len()
+    }));
     // Long messages: heavy overlap, few output tuples per group.
     let long = messages(1024, 1024, 512);
-    bench("warp/overlap/long", || {
-        black_box(time_warp_spans(black_box(&outer), black_box(&long)))
-    });
+    rec.push(bench("warp/overlap/long", || {
+        black_box(time_warp_spans_into(
+            black_box(&outer),
+            black_box(&long),
+            &mut scratch,
+        ))
+        .len()
+    }));
     // Right-unbounded messages (the SSSP pattern).
     let unbounded: Vec<Interval> = (0..1024i64)
         .map(|i| Interval::from_start(i % 1024))
         .collect();
-    bench("warp/overlap/unbounded", || {
-        black_box(time_warp_spans(black_box(&outer), black_box(&unbounded)))
-    });
+    rec.push(bench("warp/overlap/unbounded", || {
+        black_box(time_warp_spans_into(
+            black_box(&outer),
+            black_box(&unbounded),
+            &mut scratch,
+        ))
+        .len()
+    }));
+
+    rec.finish();
 }

@@ -1,0 +1,143 @@
+//! Validates recorded `BENCH_<name>.json` files: checks the schema tag,
+//! that every result row has a label, positive timings and iteration
+//! counts, and that attached counters are not all zero (a dead engine run
+//! would otherwise look like a very fast one). Used by the CI bench-smoke
+//! job after a short-budget pass over every bench target.
+//!
+//! Usage: `bench_validate FILE...` — exits nonzero on the first invalid
+//! file, printing every problem found.
+
+use graphite_bench::json::Json;
+use graphite_bench::record::SCHEMA;
+use std::process::ExitCode;
+
+/// All problems found in one recorded file.
+fn problems(doc: &Json) -> Vec<String> {
+    let mut out = Vec::new();
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => out.push(format!("unknown schema {s:?} (want {SCHEMA:?})")),
+        None => out.push("missing schema tag".to_string()),
+    }
+    if doc
+        .get("name")
+        .and_then(Json::as_str)
+        .is_none_or(str::is_empty)
+    {
+        out.push("missing or empty name".to_string());
+    }
+    let Some(results) = doc.get("results").and_then(Json::as_arr) else {
+        out.push("missing results array".to_string());
+        return out;
+    };
+    if results.is_empty() {
+        out.push("empty results array".to_string());
+    }
+    for (i, row) in results.iter().enumerate() {
+        let label = row
+            .get("label")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        if label.is_empty() {
+            out.push(format!("results[{i}]: missing label"));
+        }
+        for field in ["mean_ns", "best_ns", "iters"] {
+            match row.get(field).and_then(Json::as_f64) {
+                Some(v) if v > 0.0 => {}
+                Some(v) => out.push(format!("results[{i}] {label}: {field} = {v} (want > 0)")),
+                None => out.push(format!("results[{i}] {label}: missing {field}")),
+            }
+        }
+        if let Some(counters) = row.get("counters") {
+            let Some(pairs) = counters.as_obj() else {
+                out.push(format!("results[{i}] {label}: counters is not an object"));
+                continue;
+            };
+            let any_nonzero = pairs
+                .iter()
+                .any(|(_, v)| v.as_f64().is_some_and(|n| n > 0.0));
+            if !any_nonzero {
+                out.push(format!(
+                    "results[{i}] {label}: all counters zero (dead run?)"
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: bench_validate BENCH_<name>.json ...");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL {file}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("FAIL {file}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let errs = problems(&doc);
+        if errs.is_empty() {
+            let rows = doc
+                .get("results")
+                .and_then(Json::as_arr)
+                .map_or(0, <[Json]>::len);
+            println!("ok   {file}: {rows} results");
+        } else {
+            failed = true;
+            for e in &errs {
+                eprintln!("FAIL {file}: {e}");
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_recorder_emission() {
+        let text = r#"{"schema": "graphite-bench/1", "name": "x", "results": [
+            {"label": "a", "mean_ns": 10, "best_ns": 9, "iters": 5,
+             "counters": {"messages_sent": 3}}]}"#;
+        assert!(problems(&Json::parse(text).expect("parses")).is_empty());
+    }
+
+    #[test]
+    fn rejects_zero_counters_and_bad_fields() {
+        let text = r#"{"schema": "graphite-bench/1", "name": "x", "results": [
+            {"label": "a", "mean_ns": 0, "best_ns": 9, "iters": 5,
+             "counters": {"messages_sent": 0}}]}"#;
+        let errs = problems(&Json::parse(text).expect("parses"));
+        assert!(errs.iter().any(|e| e.contains("mean_ns")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("counters zero")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_empty_results() {
+        let text = r#"{"schema": "nope", "name": "", "results": []}"#;
+        let errs = problems(&Json::parse(text).expect("parses"));
+        assert_eq!(errs.len(), 3, "{errs:?}");
+    }
+}

@@ -5,11 +5,14 @@
 //!
 //! Pass `--quick` to run a 4-algorithm subset.
 
+use graphite_bench::record::Recorder;
+use graphite_bench::timing::BenchResult;
 use graphite_bench::{algos_from_args, log_log_r2, run_matrix, Dataset, HarnessConfig};
 
 fn main() {
     let config = HarnessConfig::from_env();
     let algos = algos_from_args();
+    let mut rec = Recorder::new("fig4");
     println!(
         "# Fig. 4 — primitive counts vs. time, log-log (scale={}, workers={})",
         config.scale, config.workers
@@ -38,8 +41,24 @@ fn main() {
             );
             compute_pts.push((m.counters.compute_calls as f64, cp));
             message_pts.push((m.counters.messages_sent as f64, ms));
+            let ns = m.makespan.as_nanos() as f64;
+            rec.push_with_metrics(
+                BenchResult {
+                    label: format!(
+                        "fig4/{}/{}/{}",
+                        cell.dataset,
+                        cell.algo.name(),
+                        cell.platform.name()
+                    ),
+                    mean_ns: ns,
+                    best_ns: ns,
+                    iters: 1,
+                },
+                m,
+            );
         }
     }
+    rec.finish();
     println!();
     println!("points: {}", compute_pts.len());
     println!(

@@ -5,6 +5,8 @@
 //! Pass `--quick` to run a 4-algorithm subset.
 
 use graphite_algorithms::registry::Platform;
+use graphite_bench::record::Recorder;
+use graphite_bench::timing::BenchResult;
 use graphite_bench::{
     algos_from_args, by_dataset_algo, mean_ratio, run_matrix, Dataset, HarnessConfig,
 };
@@ -25,6 +27,26 @@ fn main() {
         eprintln!("running {} ...", dataset.profile.name());
         cells.extend(run_matrix(&dataset, &algos, &config.run_opts()));
     }
+
+    let mut rec = Recorder::new("table2");
+    for cell in &cells {
+        let ns = cell.metrics.makespan.as_nanos() as f64;
+        rec.push_with_metrics(
+            BenchResult {
+                label: format!(
+                    "table2/{}/{}/{}",
+                    cell.dataset,
+                    cell.algo.name(),
+                    cell.platform.name()
+                ),
+                mean_ns: ns,
+                best_ns: ns,
+                iters: 1,
+            },
+            &cell.metrics,
+        );
+    }
+    rec.finish();
 
     // (platform, class, dataset) -> Vec<(baseline_s, icm_s)>
     type RatioKey<'a> = (&'a str, bool, &'a str);

@@ -20,6 +20,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod record;
 pub mod timing;
 
 use graphite_algorithms::registry::{self, Algo, Platform, RunOpts};
@@ -95,10 +97,23 @@ impl Dataset {
         }
     }
 
-    /// All six paper datasets.
+    /// All six paper datasets, optionally filtered by `GRAPHITE_PROFILES`
+    /// (comma-separated, case-insensitive profile names — e.g.
+    /// `GRAPHITE_PROFILES=gplus,usrn` for a quick smoke run).
     pub fn all(config: &HarnessConfig) -> Vec<Dataset> {
+        let filter: Option<Vec<String>> = std::env::var("GRAPHITE_PROFILES").ok().map(|v| {
+            v.split(',')
+                .map(|s| s.trim().to_ascii_lowercase())
+                .filter(|s| !s.is_empty())
+                .collect()
+        });
         Profile::ALL
             .iter()
+            .filter(|p| {
+                filter
+                    .as_ref()
+                    .is_none_or(|names| names.iter().any(|n| n == &p.name().to_ascii_lowercase()))
+            })
             .map(|p| Dataset::new(*p, config))
             .collect()
     }

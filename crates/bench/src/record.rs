@@ -1,0 +1,224 @@
+//! The recorded benchmark pipeline: collects [`BenchResult`]s (plus
+//! optional [`RunMetrics`] counters) and emits a machine-readable
+//! `BENCH_<name>.json` perf trajectory.
+//!
+//! Emission is opt-in via `GRAPHITE_BENCH_JSON`: unset, bench targets stay
+//! print-only; `1` writes into the current directory; any other value is
+//! treated as the output directory. When `GRAPHITE_BENCH_BASELINE` names a
+//! prior recording (a `BENCH_<name>.json` file, or a directory containing
+//! one for this report's name), each emitted entry also carries the
+//! baseline's `mean_ns` and the resulting speedup factor, so a committed
+//! file documents before *and* after. See EXPERIMENTS.md §"Recorded
+//! benchmark pipeline".
+
+use crate::json::Json;
+use crate::timing::BenchResult;
+use graphite_bsp::metrics::RunMetrics;
+use std::path::PathBuf;
+
+/// Schema tag carried by every emitted file.
+pub const SCHEMA: &str = "graphite-bench/1";
+
+/// One recorded case: the measurement plus optional run counters.
+#[derive(Clone, Debug)]
+pub struct RecordedCase {
+    /// The measurement.
+    pub result: BenchResult,
+    /// Deterministic counters of the measured run, when it was a full
+    /// engine run (empty for pure micro-benches).
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// Collects a bench target's cases and writes `BENCH_<name>.json`.
+#[derive(Debug)]
+pub struct Recorder {
+    name: String,
+    cases: Vec<RecordedCase>,
+}
+
+impl Recorder {
+    /// A recorder for the bench target `name` (emits `BENCH_<name>.json`).
+    pub fn new(name: &str) -> Self {
+        Recorder {
+            name: name.to_string(),
+            cases: Vec::new(),
+        }
+    }
+
+    /// Records a plain measurement.
+    pub fn push(&mut self, result: BenchResult) {
+        self.cases.push(RecordedCase {
+            result,
+            counters: Vec::new(),
+        });
+    }
+
+    /// Records a measurement backed by a full engine run, attaching its
+    /// deterministic compute/message counters.
+    pub fn push_with_metrics(&mut self, result: BenchResult, metrics: &RunMetrics) {
+        self.cases.push(RecordedCase {
+            result,
+            counters: counter_pairs(metrics),
+        });
+    }
+
+    /// Writes `BENCH_<name>.json` when `GRAPHITE_BENCH_JSON` asks for it;
+    /// a no-op otherwise. Returns the path written to, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the destination is not writable or a configured
+    /// baseline file is malformed — bench emission is an explicit request,
+    /// and a silently dropped recording would poison the perf trajectory.
+    pub fn finish(self) -> Option<PathBuf> {
+        let dest = std::env::var("GRAPHITE_BENCH_JSON").ok()?;
+        let dir = if dest == "1" || dest.is_empty() {
+            PathBuf::from(".")
+        } else {
+            PathBuf::from(dest)
+        };
+        let baseline = baseline_means(&self.name);
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let doc = self.to_json(baseline.as_deref());
+        std::fs::write(&path, doc.to_pretty())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!("bench-json {}", path.display());
+        Some(path)
+    }
+
+    /// The report as a JSON document; `baseline` maps labels to the prior
+    /// recording's mean.
+    fn to_json(&self, baseline: Option<&[(String, f64)]>) -> Json {
+        let results = self
+            .cases
+            .iter()
+            .map(|case| {
+                let mut pairs = vec![
+                    ("label".to_string(), Json::Str(case.result.label.clone())),
+                    ("mean_ns".to_string(), Json::Num(case.result.mean_ns)),
+                    ("best_ns".to_string(), Json::Num(case.result.best_ns)),
+                    ("iters".to_string(), Json::Num(case.result.iters as f64)),
+                ];
+                if !case.counters.is_empty() {
+                    let counters = case
+                        .counters
+                        .iter()
+                        .map(|&(k, v)| (k.to_string(), Json::Num(v as f64)))
+                        .collect();
+                    pairs.push(("counters".to_string(), Json::Obj(counters)));
+                }
+                let prior = baseline.and_then(|b| {
+                    b.iter()
+                        .find(|(label, _)| *label == case.result.label)
+                        .map(|&(_, mean)| mean)
+                });
+                if let Some(mean) = prior {
+                    pairs.push(("baseline_mean_ns".to_string(), Json::Num(mean)));
+                    if case.result.mean_ns > 0.0 {
+                        pairs.push(("speedup".to_string(), Json::Num(mean / case.result.mean_ns)));
+                    }
+                }
+                Json::Obj(pairs)
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".to_string(), Json::Str(SCHEMA.to_string())),
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("results".to_string(), Json::Arr(results)),
+        ])
+    }
+}
+
+/// The `RunMetrics` counters a recorded engine run carries.
+fn counter_pairs(m: &RunMetrics) -> Vec<(&'static str, u64)> {
+    vec![
+        ("supersteps", m.supersteps),
+        ("compute_calls", m.counters.compute_calls),
+        ("scatter_calls", m.counters.scatter_calls),
+        ("messages_sent", m.counters.messages_sent),
+        ("remote_messages", m.counters.remote_messages),
+        ("bytes_sent", m.counters.bytes_sent),
+        ("warp_invocations", m.counters.warp_invocations),
+        ("warp_suppressions", m.counters.warp_suppressions),
+        ("routing_growths", m.routing_growths),
+    ]
+}
+
+/// Loads the baseline recording configured for report `name`, as
+/// `(label, mean_ns)` pairs.
+///
+/// # Panics
+///
+/// Panics when `GRAPHITE_BENCH_BASELINE` is set but names a missing or
+/// malformed recording: comparing against garbage silently is worse than
+/// failing the bench run.
+fn baseline_means(name: &str) -> Option<Vec<(String, f64)>> {
+    let configured = std::env::var("GRAPHITE_BENCH_BASELINE").ok()?;
+    let base = PathBuf::from(&configured);
+    let path = if base.is_dir() {
+        base.join(format!("BENCH_{name}.json"))
+    } else {
+        base
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", path.display()));
+    let doc =
+        Json::parse(&text).unwrap_or_else(|e| panic!("malformed baseline {}: {e}", path.display()));
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("baseline {} has no results array", path.display()));
+    Some(
+        results
+            .iter()
+            .filter_map(|entry| {
+                let label = entry.get("label")?.as_str()?.to_string();
+                let mean = entry.get("mean_ns")?.as_f64()?;
+                Some((label, mean))
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(label: &str, mean: f64) -> BenchResult {
+        BenchResult {
+            label: label.to_string(),
+            mean_ns: mean,
+            best_ns: mean * 0.9,
+            iters: 100,
+        }
+    }
+
+    #[test]
+    fn report_serializes_with_counters_and_baseline() {
+        let mut rec = Recorder::new("unit");
+        rec.push(result("a/b", 200.0));
+        let mut metrics = RunMetrics {
+            supersteps: 3,
+            ..Default::default()
+        };
+        metrics.counters.compute_calls = 42;
+        rec.push_with_metrics(result("c/d", 50.0), &metrics);
+        let doc = rec.to_json(Some(&[("a/b".to_string(), 400.0)]));
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        let results = doc.get("results").and_then(Json::as_arr).expect("results");
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].get("baseline_mean_ns").and_then(Json::as_f64),
+            Some(400.0)
+        );
+        assert_eq!(results[0].get("speedup").and_then(Json::as_f64), Some(2.0));
+        let counters = results[1].get("counters").expect("counters");
+        assert_eq!(
+            counters.get("compute_calls").and_then(Json::as_f64),
+            Some(42.0)
+        );
+        assert_eq!(counters.get("supersteps").and_then(Json::as_f64), Some(3.0));
+        // Round-trips through the parser.
+        assert_eq!(Json::parse(&doc.to_pretty()).expect("parses"), doc);
+    }
+}

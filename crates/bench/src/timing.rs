@@ -5,19 +5,48 @@
 //! time budget is spent; the per-iteration mean and the batch minimum are
 //! reported. All clock reads go through [`graphite_bsp::metrics::now`],
 //! the workspace's one sanctioned wall-clock source.
+//!
+//! Every case also *returns* its measurement as a [`BenchResult`], so
+//! bench targets can feed a [`crate::record::Recorder`] and emit the
+//! machine-readable `BENCH_<name>.json` trajectory described in
+//! EXPERIMENTS.md. The measurement budget defaults to 200 ms per case and
+//! can be overridden with `GRAPHITE_BENCH_BUDGET_MS` (the CI smoke job
+//! runs with a few milliseconds).
 
 use graphite_bsp::metrics::now;
 use std::hint::black_box;
 use std::time::Duration;
 
-/// Target measurement budget per case.
-const BUDGET: Duration = Duration::from_millis(200);
-/// Warmup budget per case.
-const WARMUP: Duration = Duration::from_millis(50);
+/// Default target measurement budget per case.
+const DEFAULT_BUDGET: Duration = Duration::from_millis(200);
 
-/// Times `f` and prints one result row: label, mean ns/iter over the whole
-/// budget, and the fastest single batch (per-iter).
-pub fn bench<T>(label: &str, mut f: impl FnMut() -> T) {
+/// One measured case: what the text row prints, as data.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchResult {
+    /// Case label, e.g. `warp/messages/256`.
+    pub label: String,
+    /// Mean ns per iteration over the whole measurement budget.
+    pub mean_ns: f64,
+    /// Fastest observed batch, per iteration, in ns.
+    pub best_ns: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+/// The per-case measurement budget: `GRAPHITE_BENCH_BUDGET_MS` when set
+/// and parseable, 200 ms otherwise.
+pub fn budget() -> Duration {
+    std::env::var("GRAPHITE_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(DEFAULT_BUDGET, Duration::from_millis)
+}
+
+/// Times `f`, prints one result row — label, mean ns/iter over the whole
+/// budget, fastest single batch — and returns the measurement.
+pub fn bench<T>(label: &str, mut f: impl FnMut() -> T) -> BenchResult {
+    let budget = budget();
+    let warmup = budget / 4;
     // Warmup until the budget is spent (at least once).
     let start = now();
     let mut batch = 1u64;
@@ -25,7 +54,7 @@ pub fn bench<T>(label: &str, mut f: impl FnMut() -> T) {
         for _ in 0..batch {
             black_box(f());
         }
-        if start.elapsed() >= WARMUP {
+        if start.elapsed() >= warmup {
             break;
         }
         batch = batch.saturating_mul(2);
@@ -46,7 +75,7 @@ pub fn bench<T>(label: &str, mut f: impl FnMut() -> T) {
             let per = took / u32::try_from(batch).unwrap_or(u32::MAX);
             best = best.min(per);
         }
-        if run_start.elapsed() >= BUDGET {
+        if run_start.elapsed() >= budget {
             break;
         }
         if took < Duration::from_millis(1) {
@@ -59,17 +88,30 @@ pub fn bench<T>(label: &str, mut f: impl FnMut() -> T) {
         "bench {label:<40} {:>12.1} ns/iter  (best {:>10?}, {iters} iters)",
         mean_ns, best
     );
+    BenchResult {
+        label: label.to_string(),
+        mean_ns,
+        best_ns: best.as_nanos() as f64,
+        iters,
+    }
 }
 
 /// Like [`bench`] but annotates the label with an element count and also
 /// reports per-element throughput.
-pub fn bench_throughput<T>(label: &str, elements: u64, mut f: impl FnMut() -> T) {
+pub fn bench_throughput<T>(label: &str, elements: u64, mut f: impl FnMut() -> T) -> BenchResult {
+    let budget = budget();
     let start = now();
     let mut reps = 0u64;
+    let mut best = Duration::MAX;
     loop {
+        let t0 = now();
         black_box(f());
+        let took = t0.elapsed();
+        if took > Duration::ZERO {
+            best = best.min(took);
+        }
         reps += 1;
-        if start.elapsed() >= BUDGET || reps >= 1_000_000 {
+        if start.elapsed() >= budget || reps >= 1_000_000 {
             break;
         }
     }
@@ -77,4 +119,10 @@ pub fn bench_throughput<T>(label: &str, elements: u64, mut f: impl FnMut() -> T)
     let per_iter = total.as_nanos() as f64 / reps as f64;
     let per_elem = per_iter / elements as f64;
     println!("bench {label:<40} {per_iter:>12.1} ns/iter  ({per_elem:>8.2} ns/elem, {reps} iters)");
+    BenchResult {
+        label: label.to_string(),
+        mean_ns: per_iter,
+        best_ns: best.as_nanos() as f64,
+        iters: reps,
+    }
 }

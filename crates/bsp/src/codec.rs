@@ -13,6 +13,7 @@
 //! the run's metrics, making message-size optimizations observable in the
 //! Fig. 5/6 reproductions and the `codec` criterion bench.
 
+use graphite_tgraph::graph::VIdx;
 use graphite_tgraph::time::{Interval, TIME_MAX, TIME_MIN};
 
 /// A value that can be serialized into the inter-worker wire format.
@@ -82,6 +83,42 @@ pub fn put_signed(v: i64, buf: &mut Vec<u8>) {
 /// Reads a zigzag varint.
 pub fn get_signed(buf: &mut &[u8]) -> Option<i64> {
     get_varint(buf).map(unzigzag)
+}
+
+/// Encodes a routed batch — `(vertex, message)` pairs, in order — into
+/// `wire`: the framing the BSP router ships between workers. The buffer is
+/// appended to, never cleared, so one allocation serves every batch of
+/// every superstep.
+pub fn encode_batch<M: Wire>(batch: &[(VIdx, M)], wire: &mut Vec<u8>) {
+    for (v, m) in batch {
+        put_varint(u64::from(v.0), wire);
+        m.encode(wire);
+    }
+}
+
+/// Decodes exactly `count` pairs written by [`encode_batch`], handing each
+/// to `deliver` in encoding order.
+///
+/// # Errors
+///
+/// Returns a static description of the corruption when the buffer is
+/// malformed or not consumed exactly.
+pub fn decode_batch<M: Wire>(
+    wire: &[u8],
+    count: usize,
+    mut deliver: impl FnMut(VIdx, M),
+) -> Result<(), &'static str> {
+    let mut cursor = wire;
+    for _ in 0..count {
+        let raw = get_varint(&mut cursor).ok_or("vertex id varint")?;
+        let v = VIdx(u32::try_from(raw).map_err(|_| "vertex id exceeds u32")?);
+        let m = M::decode(&mut cursor).ok_or("message payload")?;
+        deliver(v, m);
+    }
+    if !cursor.is_empty() {
+        return Err("trailing bytes after batch");
+    }
+    Ok(())
 }
 
 // Interval header flags.

@@ -20,13 +20,12 @@
 
 use crate::aggregate::{Aggregators, MasterDecision};
 use crate::check::RunChecker;
-use crate::codec::{get_varint, put_varint, Wire};
+use crate::codec::{decode_batch, encode_batch, Wire};
 use crate::error::BspError;
 use crate::metrics::{now, RunMetrics, StepTiming, UserCounters};
 use crate::partition::PartitionMap;
 use graphite_tgraph::graph::VIdx;
 use graphite_tgraph::rng::SplitMix64;
-use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -62,14 +61,28 @@ impl Default for BspConfig {
 /// The messages delivered to one worker at the start of a superstep,
 /// grouped per destination vertex and iterable in vertex order (the engine
 /// is deterministic end to end for a fixed worker count).
+///
+/// Flat storage, reused across supersteps: arrivals accumulate in a
+/// staging vector during the exchange phase, then [`Inbox::seal`] groups
+/// them into one contiguous message vector plus a per-vertex range index.
+/// Clearing retains every allocation, so a steady workload delivers all
+/// its messages through capacity acquired in the first supersteps.
 pub struct Inbox<M> {
-    by_vertex: BTreeMap<VIdx, Vec<M>>,
+    /// Arrivals staged during the exchange, tagged with their arrival
+    /// sequence number so sealing can keep per-vertex delivery order.
+    staging: Vec<(VIdx, u32, M)>,
+    /// Sealed messages, contiguous per destination vertex.
+    msgs: Vec<M>,
+    /// `(vertex, start, end)` ranges into `msgs`, ascending vertex order.
+    index: Vec<(VIdx, usize, usize)>,
 }
 
 impl<M> Default for Inbox<M> {
     fn default() -> Self {
         Inbox {
-            by_vertex: BTreeMap::new(),
+            staging: Vec::new(),
+            msgs: Vec::new(),
+            index: Vec::new(),
         }
     }
 }
@@ -77,37 +90,74 @@ impl<M> Default for Inbox<M> {
 impl<M> Inbox<M> {
     /// `true` when no vertex received anything.
     pub fn is_empty(&self) -> bool {
-        self.by_vertex.is_empty()
+        self.index.is_empty()
     }
 
     /// Number of vertices that received messages.
     pub fn active_vertices(&self) -> usize {
-        self.by_vertex.len()
+        self.index.len()
     }
 
     /// Total number of messages.
     pub fn total_messages(&self) -> usize {
-        self.by_vertex.values().map(Vec::len).sum()
+        self.msgs.len()
     }
 
     /// Iterates `(vertex, messages)` in ascending vertex order.
     pub fn iter(&self) -> impl Iterator<Item = (VIdx, &[M])> + '_ {
-        self.by_vertex.iter().map(|(v, m)| (*v, m.as_slice()))
+        self.index.iter().map(|&(v, s, e)| (v, &self.msgs[s..e]))
     }
 
     /// The messages for one vertex, if any.
     pub fn messages_for(&self, v: VIdx) -> Option<&[M]> {
-        self.by_vertex.get(&v).map(Vec::as_slice)
+        let i = self
+            .index
+            .binary_search_by_key(&v, |&(vertex, _, _)| vertex)
+            .ok()?;
+        let (_, s, e) = self.index[i];
+        Some(&self.msgs[s..e])
     }
 
     fn push(&mut self, v: VIdx, m: M) {
-        self.by_vertex.entry(v).or_default().push(m);
+        let seq = self.staging.len() as u32;
+        self.staging.push((v, seq, m));
+    }
+
+    /// Groups the staged arrivals per vertex. The `(vertex, sequence)` key
+    /// is unique, so the in-place unstable sort is deterministic and
+    /// reproduces exactly the per-vertex delivery order the router chose —
+    /// the same grouping the previous tree-based inbox produced, without
+    /// its per-vertex node allocations.
+    fn seal(&mut self) {
+        self.staging.sort_unstable_by_key(|&(v, seq, _)| (v, seq));
+        for (v, _, m) in self.staging.drain(..) {
+            let start = self.msgs.len();
+            match self.index.last_mut() {
+                Some((last, _, end)) if *last == v => *end += 1,
+                _ => self.index.push((v, start, start + 1)),
+            }
+            self.msgs.push(m);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.staging.clear();
+        self.msgs.clear();
+        self.index.clear();
+    }
+
+    /// Summed capacity of the retained buffers, in elements (allocation
+    /// probe for the routing-growth metric).
+    fn capacity_units(&self) -> usize {
+        self.staging.capacity() + self.msgs.capacity() + self.index.capacity()
     }
 }
 
 /// Where a worker's superstep deposits outgoing messages. Routing to the
 /// owning worker happens immediately; encoding happens at the barrier for
-/// remote destinations.
+/// remote destinations. One outbox per worker lives for the whole run —
+/// the exchange phase drains the batches in place, so their capacity (and
+/// that of the shared wire buffer) is reused every superstep.
 pub struct Outbox<M> {
     partition: Arc<PartitionMap>,
     batches: Vec<Vec<(VIdx, M)>>,
@@ -138,6 +188,26 @@ impl<M> Outbox<M> {
     pub fn is_empty(&self) -> bool {
         self.batches.iter().all(Vec::is_empty)
     }
+
+    /// Summed capacity of the per-destination batches (allocation probe).
+    fn capacity_units(&self) -> usize {
+        self.batches.iter().map(Vec::capacity).sum()
+    }
+}
+
+/// Total element capacity of every reusable routing buffer: all outbox
+/// batches, both inbox double-buffers, and the shared wire byte buffer.
+/// Nothing on the routing path ever shrinks a retained buffer, so a
+/// snapshot pair around one superstep detects any routing allocation.
+fn routing_capacity<M>(
+    outboxes: &[Outbox<M>],
+    front: &[Inbox<M>],
+    back: &[Inbox<M>],
+    wire_capacity: usize,
+) -> usize {
+    let batches: usize = outboxes.iter().map(Outbox::capacity_units).sum();
+    let inboxes: usize = front.iter().chain(back).map(Inbox::capacity_units).sum();
+    batches + inboxes + wire_capacity
 }
 
 /// Per-worker state and behaviour. One instance per worker; the engine
@@ -186,12 +256,9 @@ pub fn schedule_order(n: usize, perturb: Option<u64>, step: u64, salt: u64) -> V
     order
 }
 
-/// What one worker's compute phase hands back to the exchange phase.
-type ComputeSlot<M> = (Outbox<M>, Aggregators, UserCounters);
-
-/// A worker's per-destination message batches, taken out one at a time in
-/// (possibly perturbed) destination order.
-type PendingBatches<M> = Vec<Option<Vec<(VIdx, M)>>>;
+/// What one worker's compute phase hands back to the exchange phase (its
+/// outbox stays in place in the per-worker outbox pool).
+type ComputeSlot = (Aggregators, UserCounters);
 
 /// Extracts a printable message from a worker thread's panic payload.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -231,7 +298,16 @@ pub fn run_bsp<L: WorkerLogic>(
     }
     let n = workers.len();
     let mut metrics = RunMetrics::default();
+    // Routing buffers live for the whole run: the inbox double-buffer
+    // (current supersteps's deliveries + the one being filled), one outbox
+    // per worker, and the shared serialization buffer. Steady supersteps
+    // route entirely through their retained capacity.
     let mut inboxes: Vec<Inbox<L::Msg>> = (0..n).map(|_| Inbox::default()).collect();
+    let mut spare: Vec<Inbox<L::Msg>> = (0..n).map(|_| Inbox::default()).collect();
+    let mut outboxes: Vec<Outbox<L::Msg>> = (0..n)
+        .map(|_| Outbox::new(Arc::clone(&partition)))
+        .collect();
+    let mut wire: Vec<u8> = Vec::new();
     let mut globals = Aggregators::new();
     let mut checker = RunChecker::new();
     let run_start = now();
@@ -239,34 +315,34 @@ pub fn run_bsp<L: WorkerLogic>(
     for step in 1..=config.max_supersteps {
         checker.begin_compute(step);
         let step_start = now();
+        let cap_before = routing_capacity(&outboxes, &inboxes, &spare, wire.capacity());
         let join_order = schedule_order(n, config.perturb_schedule, step, 0x4a4f_494e);
         let route_order = schedule_order(n, config.perturb_schedule, step, 0x524f_5554);
 
         // --- Compute phase: one thread per worker. ---
         let globals_ref = &globals;
-        let mut slots: Vec<Option<ComputeSlot<L::Msg>>> = (0..n).map(|_| None).collect();
+        let mut slots: Vec<Option<ComputeSlot>> = (0..n).map(|_| None).collect();
         let mut compute_max = Duration::ZERO;
         let mut poisoned: Option<BspError> = None;
         std::thread::scope(|scope| {
             let mut handles: Vec<_> = workers
                 .iter_mut()
                 .zip(inboxes.iter())
-                .map(|(logic, inbox)| {
-                    let partition = Arc::clone(&partition);
+                .zip(outboxes.iter_mut())
+                .map(|((logic, inbox), outbox)| {
                     Some(scope.spawn(move || {
-                        let mut outbox = Outbox::new(partition);
                         let mut partial = Aggregators::new();
                         let mut counters = UserCounters::default();
                         let t0 = now();
                         logic.superstep(
                             step,
                             inbox,
-                            &mut outbox,
+                            outbox,
                             globals_ref,
                             &mut partial,
                             &mut counters,
                         );
-                        (outbox, partial, counters, t0.elapsed())
+                        (partial, counters, t0.elapsed())
                     }))
                 })
                 .collect();
@@ -278,9 +354,9 @@ pub fn run_bsp<L: WorkerLogic>(
                     continue;
                 };
                 match handle.join() {
-                    Ok((outbox, partial, counters, took)) => {
+                    Ok((partial, counters, took)) => {
                         compute_max = compute_max.max(took);
-                        slots[w] = Some((outbox, partial, counters));
+                        slots[w] = Some((partial, counters));
                     }
                     Err(payload) => {
                         if poisoned.is_none() {
@@ -303,13 +379,15 @@ pub fn run_bsp<L: WorkerLogic>(
         // --- Exchange phase: route, serialize remote batches, regroup. ---
         // Single-threaded by design: all cross-worker message movement
         // happens here, between the compute phases, which is what makes the
-        // barrier protocol checkable and the run replayable.
-        let mut next: Vec<Inbox<L::Msg>> = (0..n).map(|_| Inbox::default()).collect();
+        // barrier protocol checkable and the run replayable. Batches drain
+        // in place so every buffer keeps its capacity for the next step.
+        for inbox in spare.iter_mut() {
+            inbox.clear();
+        }
         let mut step_partial = Aggregators::new();
         let mut total_sent = 0u64;
-        let mut wire = Vec::new();
         for &src in &route_order {
-            let Some((outbox, partial, mut counters)) = slots[src].take() else {
+            let Some((partial, mut counters)) = slots[src].take() else {
                 continue;
             };
             let dst_order = schedule_order(
@@ -318,57 +396,38 @@ pub fn run_bsp<L: WorkerLogic>(
                 step ^ (src as u64).wrapping_mul(0x517c_c1b7_2722_0a95),
                 0x4445_5354,
             );
-            let mut batches: PendingBatches<L::Msg> =
-                outbox.batches.into_iter().map(Some).collect();
             for &dst_worker in &dst_order {
-                let Some(batch) = batches[dst_worker].take() else {
+                let batch = &mut outboxes[src].batches[dst_worker];
+                if batch.is_empty() {
                     continue;
-                };
-                counters.messages_sent += batch.len() as u64;
-                total_sent += batch.len() as u64;
-                checker.record_sent(batch.len() as u64);
+                }
+                let len = batch.len() as u64;
+                counters.messages_sent += len;
+                total_sent += len;
+                checker.record_sent(len);
                 if dst_worker == src {
-                    checker.record_delivered(batch.len() as u64);
-                    for (v, m) in batch {
-                        next[dst_worker].push(v, m);
+                    checker.record_delivered(len);
+                    for (v, m) in batch.drain(..) {
+                        spare[dst_worker].push(v, m);
                     }
                 } else {
-                    counters.remote_messages += batch.len() as u64;
+                    counters.remote_messages += len;
                     // Serialize then deserialize: the wire format is
                     // exercised for real and its size is the byte metric.
                     wire.clear();
-                    for (v, m) in &batch {
-                        put_varint(u64::from(v.0), &mut wire);
-                        m.encode(&mut wire);
-                    }
+                    encode_batch(batch, &mut wire);
                     counters.bytes_sent += wire.len() as u64;
-                    let mut cursor = wire.as_slice();
-                    for _ in 0..batch.len() {
-                        let raw = get_varint(&mut cursor).ok_or(BspError::Codec {
-                            worker: dst_worker,
-                            step,
-                            detail: "vertex id varint",
-                        })?;
-                        let v = VIdx(u32::try_from(raw).map_err(|_| BspError::Codec {
-                            worker: dst_worker,
-                            step,
-                            detail: "vertex id exceeds u32",
-                        })?);
-                        let m = <L::Msg as Wire>::decode(&mut cursor).ok_or(BspError::Codec {
-                            worker: dst_worker,
-                            step,
-                            detail: "message payload",
-                        })?;
+                    let dst = &mut spare[dst_worker];
+                    decode_batch::<L::Msg>(&wire, batch.len(), |v, m| {
                         checker.record_delivered(1);
-                        next[dst_worker].push(v, m);
-                    }
-                    if !cursor.is_empty() {
-                        return Err(BspError::Codec {
-                            worker: dst_worker,
-                            step,
-                            detail: "trailing bytes after batch",
-                        });
-                    }
+                        dst.push(v, m);
+                    })
+                    .map_err(|detail| BspError::Codec {
+                        worker: dst_worker,
+                        step,
+                        detail,
+                    })?;
+                    batch.clear();
                 }
             }
             // Aggregator and counter folds are commutative, so the
@@ -376,7 +435,13 @@ pub fn run_bsp<L: WorkerLogic>(
             step_partial.merge(&partial);
             metrics.absorb_counters(counters);
         }
+        for inbox in spare.iter_mut() {
+            inbox.seal();
+        }
         let after_exchange = now();
+        if step > 2 && routing_capacity(&outboxes, &inboxes, &spare, wire.capacity()) > cap_before {
+            metrics.routing_growths += 1;
+        }
 
         globals = step_partial;
         // Built-in aggregate: how many messages this superstep emitted.
@@ -395,7 +460,7 @@ pub fn run_bsp<L: WorkerLogic>(
             },
             config.keep_per_step_timing,
         );
-        inboxes = next;
+        std::mem::swap(&mut inboxes, &mut spare);
 
         let idle_halt = total_sent == 0 && decision != MasterDecision::ForceContinue;
         let halting = idle_halt || decision == MasterDecision::Halt;

@@ -87,6 +87,12 @@ pub struct RunMetrics {
     pub barrier: Duration,
     /// Aggregated user-logic counters over all workers and supersteps.
     pub counters: UserCounters,
+    /// Supersteps after the second whose exchange grew any reusable
+    /// routing buffer (outbox batches, inbox storage, the wire buffer).
+    /// Ramp-up growth in the first two supersteps is expected and not
+    /// counted; a steady workload must keep this at zero thereafter — the
+    /// allocation-regression test pins exactly that.
+    pub routing_growths: u64,
     /// Per-superstep timing splits (empty unless requested).
     pub per_step: Vec<StepTiming>,
 }
@@ -118,6 +124,7 @@ impl RunMetrics {
         self.messaging += other.messaging;
         self.barrier += other.barrier;
         self.counters += other.counters;
+        self.routing_growths += other.routing_growths;
         self.per_step.extend(other.per_step.iter().copied());
     }
 }

@@ -29,19 +29,27 @@ pub fn hash_partition(vid: VertexId, workers: usize) -> usize {
 pub struct PartitionMap {
     assignment: Vec<u16>,
     workers: usize,
+    /// Vertices per worker, precomputed so ownership lists and per-worker
+    /// buffers can be sized exactly instead of growing incrementally.
+    counts: Vec<u32>,
 }
 
 impl PartitionMap {
     /// Hash-partitions `graph` over `workers` workers.
     pub fn hash(graph: &TemporalGraph, workers: usize) -> Self {
         assert!(workers > 0 && workers <= u16::MAX as usize);
-        let assignment = graph
+        let assignment: Vec<u16> = graph
             .vertices()
             .map(|(_, v)| hash_partition(v.vid, workers) as u16)
             .collect();
+        let mut counts = vec![0u32; workers];
+        for &w in &assignment {
+            counts[w as usize] += 1;
+        }
         PartitionMap {
             assignment,
             workers,
+            counts,
         }
     }
 
@@ -56,23 +64,28 @@ impl PartitionMap {
         self.assignment[v.idx()] as usize
     }
 
+    /// Number of vertices owned by `worker`.
+    #[inline]
+    pub fn owned_count(&self, worker: usize) -> usize {
+        self.counts.get(worker).map_or(0, |&c| c as usize)
+    }
+
     /// The internal vertex indices owned by `worker`, in index order.
     pub fn owned_by(&self, worker: usize) -> Vec<VIdx> {
-        self.assignment
-            .iter()
-            .enumerate()
-            .filter(|&(_, &w)| w as usize == worker)
-            .map(|(i, _)| VIdx(i as u32))
-            .collect()
+        let mut owned = Vec::with_capacity(self.owned_count(worker));
+        owned.extend(
+            self.assignment
+                .iter()
+                .enumerate()
+                .filter(|&(_, &w)| w as usize == worker)
+                .map(|(i, _)| VIdx(i as u32)),
+        );
+        owned
     }
 
     /// Vertex counts per worker (for balance diagnostics).
     pub fn load(&self) -> Vec<usize> {
-        let mut load = vec![0usize; self.workers];
-        for &w in &self.assignment {
-            load[w as usize] += 1;
-        }
-        load
+        self.counts.iter().map(|&c| c as usize).collect()
     }
 }
 

@@ -1,0 +1,162 @@
+//! Pinned result digests: the schedule-perturbation fingerprints of four
+//! reference runs, recorded before the warp/routing hot-path optimization.
+//! Any change to these digests means the optimization altered observable
+//! results or deterministic counters — which it must never do.
+
+use graphite_algorithms::bfs::IcmBfs;
+use graphite_algorithms::td_paths::IcmEat;
+use graphite_algorithms::AlgLabels;
+use graphite_bsp::metrics::RunMetrics;
+use graphite_datagen::{generate, GenParams, LifespanModel, PropModel, Topology};
+use graphite_icm::engine::{try_run_icm, IcmConfig};
+use graphite_tgraph::graph::{TemporalGraph, VertexId};
+use std::sync::Arc;
+
+fn profile_long() -> GenParams {
+    GenParams {
+        vertices: 150,
+        edges: 900,
+        snapshots: 16,
+        topology: Topology::PowerLaw {
+            edges_per_vertex: 6,
+        },
+        vertex_lifespans: LifespanModel::Full,
+        edge_lifespans: LifespanModel::Geometric { mean: 12.0 },
+        props: PropModel {
+            mean_segment: 6.0,
+            max_cost: 10,
+            max_travel_time: 3,
+        },
+        seed: 7,
+    }
+}
+
+fn profile_unit() -> GenParams {
+    GenParams {
+        vertices: 150,
+        edges: 900,
+        snapshots: 8,
+        topology: Topology::PowerLaw {
+            edges_per_vertex: 6,
+        },
+        vertex_lifespans: LifespanModel::Full,
+        edge_lifespans: LifespanModel::Unit,
+        props: PropModel {
+            mean_segment: 1.0,
+            max_cost: 10,
+            max_travel_time: 2,
+        },
+        seed: 11,
+    }
+}
+
+fn source(graph: &TemporalGraph) -> VertexId {
+    graph
+        .vertices()
+        .map(|(_, v)| v.vid)
+        .min()
+        .expect("non-empty graph")
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn counter_key(m: &RunMetrics) -> [u64; 8] {
+    [
+        m.supersteps,
+        m.counters.compute_calls,
+        m.counters.scatter_calls,
+        m.counters.messages_sent,
+        m.counters.remote_messages,
+        m.counters.bytes_sent,
+        m.counters.warp_invocations,
+        m.counters.warp_suppressions,
+    ]
+}
+
+fn fingerprint<P>(graph: &Arc<TemporalGraph>, program: Arc<P>) -> (u64, [u64; 8])
+where
+    P: graphite_icm::program::IntervalProgram<State = i64>,
+{
+    let cfg = IcmConfig {
+        workers: 4,
+        combiner: true,
+        suppression_threshold: Some(0.7),
+        max_supersteps: 10_000,
+        keep_per_step_timing: false,
+        perturb_schedule: None,
+    };
+    let r = try_run_icm(Arc::clone(graph), program, &cfg).expect("pinned run must succeed");
+    (
+        fnv1a(format!("{:?}", r.states).as_bytes()),
+        counter_key(&r.metrics),
+    )
+}
+
+/// Recorded on the pre-optimization (sort-based warp, allocating router)
+/// engine; every entry is (state digest, deterministic counter key).
+const PINS: [(&str, u64, [u64; 8]); 4] = [
+    (
+        "bfs/long",
+        0x0727_4081_2ec0_284e,
+        [13, 2618, 2398, 2398, 1802, 8355, 466, 297],
+    ),
+    (
+        "eat/long",
+        0x189c_95d8_c097_8d98,
+        [8, 979, 1137, 1137, 823, 3419, 384, 0],
+    ),
+    (
+        "bfs/unit",
+        0xf82a_6ff7_2008_b542,
+        [7, 168, 18, 18, 17, 70, 0, 18],
+    ),
+    (
+        "eat/unit",
+        0xefaf_9de7_b9b6_5af3,
+        [6, 172, 42, 42, 31, 125, 38, 0],
+    ),
+];
+
+#[test]
+fn fingerprints_match_pre_optimization_recording() {
+    let mut got: Vec<(String, u64, [u64; 8])> = Vec::new();
+    for (name, params) in [("long", profile_long()), ("unit", profile_unit())] {
+        let graph = Arc::new(generate(&params));
+        let bfs = fingerprint(
+            &graph,
+            Arc::new(IcmBfs {
+                source: source(&graph),
+            }),
+        );
+        got.push((format!("bfs/{name}"), bfs.0, bfs.1));
+        let eat = fingerprint(
+            &graph,
+            Arc::new(IcmEat {
+                source: source(&graph),
+                start: 0,
+                labels: AlgLabels::resolve(&graph),
+            }),
+        );
+        got.push((format!("eat/{name}"), eat.0, eat.1));
+    }
+    for (label, digest, counters) in PINS {
+        let Some(actual) = got.iter().find(|(l, _, _)| l == label) else {
+            panic!("pin {label} was not computed");
+        };
+        assert_eq!(
+            actual.1, digest,
+            "{label}: state digest diverged from the pre-optimization recording"
+        );
+        assert_eq!(
+            actual.2, counters,
+            "{label}: counter key diverged from the pre-optimization recording"
+        );
+    }
+}

@@ -21,7 +21,7 @@ use crate::program::{
     ComputeContext, EdgeDirection, IntervalProgram, ScatterContext, VertexContext,
 };
 use crate::state::StateUpdates;
-use crate::warp::time_warp_spans;
+use crate::warp::WarpScratch;
 use graphite_bsp::aggregate::Aggregators;
 use graphite_bsp::engine::{run_bsp, BspConfig, Inbox, Outbox, WorkerLogic};
 use graphite_bsp::error::BspError;
@@ -81,14 +81,21 @@ pub struct IcmResult<S> {
 }
 
 impl<S: Clone> IcmResult<S> {
-    /// The state of `vid` at time-point `t`, if the vertex exists and `t`
-    /// is in its lifespan.
+    /// The state of `vid` at time-point `t`, if the vertex exists and one
+    /// of its entries contains `t`.
+    ///
+    /// Entries are sorted and disjoint, so this is a binary search; all
+    /// intervals are half-open `[start, end)`, so the lookup is strictly
+    /// end-exclusive: `t` equal to an entry's end resolves to the *next*
+    /// entry when one starts there, and to `None` past the last entry —
+    /// never to the entry that just closed.
     pub fn state_at(&self, vid: VertexId, t: Time) -> Option<&S> {
-        self.states
-            .get(&vid)?
-            .iter()
-            .find(|(iv, _)| iv.contains_point(t))
-            .map(|(_, s)| s)
+        let entries = self.states.get(&vid)?;
+        let idx = entries
+            .partition_point(|(iv, _)| iv.start() <= t)
+            .checked_sub(1)?;
+        let (iv, s) = &entries[idx];
+        iv.contains_point(t).then_some(s)
     }
 }
 
@@ -106,6 +113,12 @@ struct IcmWorker<P: IntervalProgram> {
     /// scatter over the edge. Keyed lookups only — never iterated — so a
     /// hash map is safe and its O(1) probes are on the scatter hot path.
     segment_cache: HashMap<u32, Box<[Interval]>>,
+    /// Reusable warp arena: all kernel allocations (events, active set,
+    /// tuples, groups) plus the staged span lists amortize across every
+    /// vertex and superstep this worker executes.
+    scratch: WarpScratch,
+    /// Reusable scatter emission buffer.
+    emitted: Vec<(Interval, P::Msg)>,
 }
 
 impl<P: IntervalProgram> IcmWorker<P> {
@@ -113,33 +126,30 @@ impl<P: IntervalProgram> IcmWorker<P> {
     /// segment has constant property values ("scatter is called once for
     /// each overlapping interval of its out-edges having a distinct
     /// property", Sec. IV-A).
-    fn edge_segments(
+    fn edge_segments<'a>(
         graph: &TemporalGraph,
-        cache: &mut HashMap<u32, Box<[Interval]>>,
+        cache: &'a mut HashMap<u32, Box<[Interval]>>,
         e: EIdx,
         refine: bool,
-    ) -> Box<[Interval]> {
-        if let Some(seg) = cache.get(&e.0) {
-            return seg.clone();
-        }
-        let ed = graph.edge(e);
-        let life = ed.lifespan;
-        let mut bounds = vec![life.start(), life.end()];
-        if refine {
-            for (_, iv, _) in ed.props.iter() {
-                bounds.push(iv.start());
-                bounds.push(iv.end());
+    ) -> &'a [Interval] {
+        cache.entry(e.0).or_insert_with(|| {
+            let ed = graph.edge(e);
+            let life = ed.lifespan;
+            let mut bounds = vec![life.start(), life.end()];
+            if refine {
+                for (_, iv, _) in ed.props.iter() {
+                    bounds.push(iv.start());
+                    bounds.push(iv.end());
+                }
             }
-        }
-        bounds.sort_unstable();
-        bounds.dedup();
-        let segments: Box<[Interval]> = bounds
-            .windows(2)
-            .filter_map(|w| Interval::try_new(w[0], w[1]))
-            .filter_map(|iv| iv.intersect(life))
-            .collect();
-        cache.insert(e.0, segments.clone());
-        segments
+            bounds.sort_unstable();
+            bounds.dedup();
+            bounds
+                .windows(2)
+                .filter_map(|w| Interval::try_new(w[0], w[1]))
+                .filter_map(|iv| iv.intersect(life))
+                .collect()
+        })
     }
 
     /// Folds a warp tuple's message group through the combiner. Returns
@@ -178,7 +188,6 @@ impl<P: IntervalProgram> IcmWorker<P> {
             EdgeDirection::In => &[EdgeDirection::In],
             EdgeDirection::Both => &[EdgeDirection::Out, EdgeDirection::In],
         };
-        let mut emitted: Vec<(Interval, P::Msg)> = Vec::new();
         for &dir in passes {
             let edges: &[EIdx] = match dir {
                 EdgeDirection::Out => graph.out_edges(v),
@@ -207,7 +216,7 @@ impl<P: IntervalProgram> IcmWorker<P> {
                             continue;
                         };
                         counters.scatter_calls += 1;
-                        emitted.clear();
+                        self.emitted.clear();
                         let mut ctx = ScatterContext {
                             graph,
                             edge: e,
@@ -217,10 +226,10 @@ impl<P: IntervalProgram> IcmWorker<P> {
                             change: *civ,
                             segment: *seg,
                             direction: dir,
-                            emitted: &mut emitted,
+                            emitted: &mut self.emitted,
                         };
                         self.program.scatter(&mut ctx, cap, state);
-                        for (iv, m) in emitted.drain(..) {
+                        for (iv, m) in self.emitted.drain(..) {
                             outbox.send(target, (iv, m));
                         }
                     }
@@ -348,6 +357,9 @@ impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
                 active.push((v, self.precombine(raw)));
             }
         }
+        // The warp arena moves into a local for the superstep so its
+        // borrows don't pin `self` while `fold`/`scatter_changes` run.
+        let mut scratch = std::mem::take(&mut self.scratch);
         for (v, msgs) in active {
             // Take the vertex state out of the map for the superstep and
             // reinsert it after the writes are applied: one lookup, no
@@ -408,16 +420,17 @@ impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
                 }
             } else {
                 counters.warp_invocations += 1;
-                let outer: Vec<Interval> = partition.iter().map(|(iv, _)| iv).collect();
-                let mut inner: Vec<Interval> = msgs.iter().map(|(iv, _)| *iv).collect();
+                scratch.outer.clear();
+                scratch.outer.extend(partition.iter().map(|(iv, _)| iv));
+                scratch.inner.clear();
+                scratch.inner.extend(msgs.iter().map(|(iv, _)| *iv));
                 if all_active {
                     // A sentinel span covering the lifespan makes warp
                     // emit tuples over the whole vertex, so intervals with
                     // no messages still get (empty-group) compute calls.
-                    inner.push(lifespan);
+                    scratch.inner.push(lifespan);
                 }
-                let tuples = time_warp_spans(&outer, &inner);
-                for tuple in tuples {
+                for tuple in scratch.warp() {
                     let state = partition
                         .value_at(tuple.interval.start())
                         // lint:allow(no-unwrap) — warp property 1: every
@@ -452,6 +465,7 @@ impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
             self.states.insert(v.0, partition);
             self.scatter_changes(v, &changed, step, outbox, globals, counters);
         }
+        self.scratch = scratch;
         for (v, iv, m) in direct {
             outbox.send(v, (iv, m));
         }
@@ -526,6 +540,8 @@ pub fn try_run_icm_with_master<P: IntervalProgram>(
             suppression: config.suppression_threshold,
             states: BTreeMap::new(),
             segment_cache: HashMap::new(),
+            scratch: WarpScratch::new(),
+            emitted: Vec::new(),
         })
         .collect();
     let bsp = BspConfig {

@@ -21,12 +21,18 @@
 //! 4. **Maximal** — no two output tuples with the same outer entry and the
 //!    same inner group are adjacent or overlapping.
 //!
-//! The implementation is a single boundary sweep over both sets, the
-//! moral equivalent of the merge phase of the merge-sort temporal
-//! aggregation the paper adopts from Moon et al.: `O((n + m) log (n + m))`
-//! plus output size.
+//! The implementation is a merge-based kernel: the outer set arrives
+//! already sorted and non-overlapping (it is a state partition), so only
+//! the inner endpoints need sorting — two `O(m log m)` event sorts — and
+//! the sweep merges three ordered streams (inner starts, inner ends, the
+//! outer partitioning) without ever materializing a combined boundary
+//! vector. That is the moral equivalent of the merge phase of the
+//! merge-sort temporal aggregation the paper adopts from Moon et al.,
+//! minus the sort of the already-sorted side. All working storage lives
+//! in a caller-provided [`WarpScratch`] arena, so the engine's
+//! per-vertex-per-superstep warps allocate nothing in steady state.
 
-use graphite_tgraph::time::Interval;
+use graphite_tgraph::time::{Interval, Time};
 
 /// One pair from the time-join: the intersection interval and the indices
 /// of the participating outer and inner entries.
@@ -93,100 +99,210 @@ pub fn time_warp<S, M>(outer: &[(Interval, S)], inner: &[(Interval, M)]) -> Vec<
 
 /// [`time_warp`] over bare interval slices — what the engine uses, since
 /// the sweep never inspects the associated values.
+///
+/// Allocates a fresh [`WarpScratch`] per call; hot paths should hold a
+/// scratch and use [`time_warp_spans_into`] or [`WarpScratch::warp`].
 pub fn time_warp_spans(outer: &[Interval], inner: &[Interval]) -> Vec<WarpTuple> {
-    debug_assert!(
-        outer.windows(2).all(|w| w[0].end() <= w[1].start()),
-        "outer set must be sorted and non-overlapping"
-    );
-    if outer.is_empty() || inner.is_empty() {
-        return Vec::new();
+    let mut scratch = WarpScratch::new();
+    time_warp_spans_into(outer, inner, &mut scratch);
+    scratch.tuples
+}
+
+/// [`time_warp_spans`] into a reusable scratch arena. Returns the emitted
+/// tuples, which stay valid (and reusable) until the next warp on the same
+/// scratch.
+pub fn time_warp_spans_into<'a>(
+    outer: &[Interval],
+    inner: &[Interval],
+    scratch: &'a mut WarpScratch,
+) -> &'a [WarpTuple] {
+    scratch.outer.clear();
+    scratch.outer.extend_from_slice(outer);
+    scratch.inner.clear();
+    scratch.inner.extend_from_slice(inner);
+    scratch.warp()
+}
+
+/// Reusable working storage for the warp kernel. One instance per worker
+/// amortizes every allocation the kernel needs across all vertices and
+/// supersteps: event lists, the active-set, the output tuples, and the
+/// inner-group vectors inside them (recycled through a spare pool).
+///
+/// The `outer`/`inner` staging buffers are public so callers on the hot
+/// path (the ICM engine) can assemble the span lists in place instead of
+/// collecting fresh `Vec`s per vertex.
+#[derive(Debug, Default)]
+pub struct WarpScratch {
+    /// Staged outer spans — must be sorted and non-overlapping.
+    pub outer: Vec<Interval>,
+    /// Staged inner spans — any order, duplicates allowed.
+    pub inner: Vec<Interval>,
+    /// Inner start events `(time, index)`, sorted per warp.
+    starts: Vec<(Time, usize)>,
+    /// Inner end events `(time, index)`, sorted per warp.
+    ends: Vec<(Time, usize)>,
+    /// Currently alive inner indices, ascending.
+    active: Vec<usize>,
+    /// Output arena; overwritten by each warp.
+    tuples: Vec<WarpTuple>,
+    /// Recycled inner-group vectors from previous warps.
+    spare: Vec<Vec<usize>>,
+}
+
+impl WarpScratch {
+    /// An empty scratch arena.
+    pub fn new() -> Self {
+        WarpScratch::default()
     }
 
-    // Sweep events: +1/-1 for inner intervals, clipped later against the
-    // outer coverage. Boundaries come from both sets so every emitted
-    // segment is covered by exactly one outer entry (or none) and a fixed
-    // inner group.
-    let mut bounds: Vec<i64> = Vec::with_capacity(2 * (outer.len() + inner.len()));
-    for iv in outer {
-        bounds.push(iv.start());
-        bounds.push(iv.end());
+    /// Pops a recycled group vector (cleared) or makes a fresh one.
+    fn group(spare: &mut Vec<Vec<usize>>) -> Vec<usize> {
+        let mut g = spare.pop().unwrap_or_default();
+        g.clear();
+        g
     }
-    for iv in inner {
-        bounds.push(iv.start());
-        bounds.push(iv.end());
-    }
-    bounds.sort_unstable();
-    bounds.dedup();
 
-    // Event lists sorted by time for pointer sweeps.
-    let mut inner_starts: Vec<(i64, usize)> = inner
-        .iter()
-        .enumerate()
-        .map(|(i, iv)| (iv.start(), i))
-        .collect();
-    inner_starts.sort_unstable();
-    let mut inner_ends: Vec<(i64, usize)> = inner
-        .iter()
-        .enumerate()
-        .map(|(i, iv)| (iv.end(), i))
-        .collect();
-    inner_ends.sort_unstable();
-
-    let mut active: Vec<usize> = Vec::new(); // ascending inner indices
-    let mut si = 0usize; // next inner start event
-    let mut ei = 0usize; // next inner end event
-    let mut oi = 0usize; // current outer candidate
-
-    let mut out: Vec<WarpTuple> = Vec::new();
-    for w in bounds.windows(2) {
-        let (lo, hi) = (w[0], w[1]);
-        // Retire inner intervals ending at or before `lo`.
-        while ei < inner_ends.len() && inner_ends[ei].0 <= lo {
-            if let Ok(pos) = active.binary_search(&inner_ends[ei].1) {
-                active.remove(pos);
-            }
-            ei += 1;
+    /// Runs the warp over the spans staged in `self.outer` / `self.inner`
+    /// and returns the maximal tuples in temporal order. Previous output
+    /// is recycled, not freed.
+    pub fn warp(&mut self) -> &[WarpTuple] {
+        let WarpScratch {
+            outer,
+            inner,
+            starts,
+            ends,
+            active,
+            tuples,
+            spare,
+        } = self;
+        debug_assert!(
+            outer.windows(2).all(|w| w[0].end() <= w[1].start()),
+            "outer set must be sorted and non-overlapping"
+        );
+        for t in tuples.drain(..) {
+            spare.push(t.inner);
         }
-        // Activate inner intervals starting at or before `lo`.
-        while si < inner_starts.len() && inner_starts[si].0 <= lo {
-            let idx = inner_starts[si].1;
-            if inner[idx].end() > lo {
-                if let Err(pos) = active.binary_search(&idx) {
-                    active.insert(pos, idx);
+        active.clear();
+        if outer.is_empty() || inner.is_empty() {
+            return tuples;
+        }
+
+        // Fast path: one inner interval warps to at most one tuple per
+        // outer entry — the plain intersection — with no sweep at all.
+        // The engine hits this whenever a vertex received one (combined)
+        // message, or none while globally active.
+        if inner.len() == 1 {
+            let iiv = inner[0];
+            for (oi, oiv) in outer.iter().enumerate() {
+                if oiv.start() >= iiv.end() {
+                    break; // outer sorted: nothing later can intersect
+                }
+                if let Some(cap) = oiv.intersect(iiv) {
+                    let mut group = Self::group(spare);
+                    group.push(0);
+                    tuples.push(WarpTuple {
+                        interval: cap,
+                        outer: oi,
+                        inner: group,
+                    });
                 }
             }
-            si += 1;
+            return tuples;
         }
-        if active.is_empty() {
-            continue;
+
+        // General path: merge four ordered streams — inner starts, inner
+        // ends (each one `O(m log m)` sort), and the outer entries' starts
+        // and ends, already ordered by the precondition. Only segments
+        // with a nonempty active set under outer coverage are emitted;
+        // dead regions are skipped in one jump instead of boundary by
+        // boundary.
+        starts.clear();
+        ends.clear();
+        for (i, iv) in inner.iter().enumerate() {
+            starts.push((iv.start(), i));
+            ends.push((iv.end(), i));
         }
-        // Find the outer entry covering [lo, hi), if any. Boundaries from
-        // the outer set guarantee an entry either covers the whole segment
-        // or none of it.
-        while oi < outer.len() && outer[oi].end() <= lo {
-            oi += 1;
-        }
-        let Some(oiv) = outer.get(oi) else { break };
-        if !oiv.contains_point(lo) {
-            continue;
-        }
-        let segment = Interval::new(lo, hi);
-        debug_assert!(segment.during_or_equals(*oiv));
-        // Maximality: extend the previous tuple when it meets this segment
-        // with the same outer entry and the same inner group.
-        if let Some(last) = out.last_mut() {
-            if last.outer == oi && last.interval.meets(segment) && last.inner == active {
-                last.interval = last.interval.span(segment);
+        starts.sort_unstable();
+        ends.sort_unstable();
+
+        let m = inner.len();
+        let n = outer.len();
+        let mut si = 0usize; // next inner start event
+        let mut ei = 0usize; // next inner end event
+        let mut oi = 0usize; // current outer candidate
+        let mut lo = starts[0].0.min(outer[0].start());
+
+        while oi < n && ei < m {
+            // Retire inner intervals ending at or before `lo`.
+            while ei < m && ends[ei].0 <= lo {
+                if let Ok(pos) = active.binary_search(&ends[ei].1) {
+                    active.remove(pos);
+                }
+                ei += 1;
+            }
+            if ei == m {
+                break; // every inner interval is in the past
+            }
+            // Activate inner intervals starting at or before `lo`.
+            while si < m && starts[si].0 <= lo {
+                let idx = starts[si].1;
+                if inner[idx].end() > lo {
+                    if let Err(pos) = active.binary_search(&idx) {
+                        active.insert(pos, idx);
+                    }
+                }
+                si += 1;
+            }
+            // Advance to the outer entry whose end lies beyond `lo`.
+            while oi < n && outer[oi].end() <= lo {
+                oi += 1;
+            }
+            if oi == n {
+                break;
+            }
+            // Dead region (no live inner): jump straight to the next start.
+            if active.is_empty() {
+                if si == m {
+                    break;
+                }
+                lo = starts[si].0;
                 continue;
             }
+            // Gap before the current outer entry: jump to its start.
+            let oiv = outer[oi];
+            if oiv.start() > lo {
+                lo = oiv.start();
+                continue;
+            }
+            // Emit [lo, hi): hi is the nearest future boundary from any
+            // stream. Events at or before `lo` were all consumed above, so
+            // each candidate is strictly greater than `lo`.
+            let mut hi = oiv.end().min(ends[ei].0);
+            if si < m {
+                hi = hi.min(starts[si].0);
+            }
+            let segment = Interval::new(lo, hi);
+            debug_assert!(segment.during_or_equals(oiv));
+            // Maximality: extend the previous tuple when it meets this
+            // segment with the same outer entry and the same inner group.
+            if let Some(last) = tuples.last_mut() {
+                if last.outer == oi && last.interval.meets(segment) && last.inner == *active {
+                    last.interval = last.interval.span(segment);
+                    lo = hi;
+                    continue;
+                }
+            }
+            let mut group = Self::group(spare);
+            group.extend_from_slice(active);
+            tuples.push(WarpTuple {
+                interval: segment,
+                outer: oi,
+                inner: group,
+            });
+            lo = hi;
         }
-        out.push(WarpTuple {
-            interval: segment,
-            outer: oi,
-            inner: active.clone(),
-        });
+        tuples
     }
-    out
 }
 
 /// Convenience: the warp of `outer` states against `inner` messages,

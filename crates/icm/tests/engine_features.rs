@@ -277,3 +277,45 @@ fn non_combinable_messages_arrive_individually() {
     // (the program declines to combine).
     assert_eq!(r.state_at(VertexId(1), 0), Some(&2));
 }
+
+/// `state_at` boundary semantics: intervals are half-open `[start, end)`,
+/// so a lookup exactly at an entry's end must resolve to the *next* entry
+/// (or to nothing), never to the entry that just closed — and lookups
+/// beyond the last entry or inside gaps return `None`.
+#[test]
+fn state_at_is_end_exclusive_at_every_boundary() {
+    use graphite_icm::engine::IcmResult;
+    use std::collections::BTreeMap;
+
+    let mut states: BTreeMap<VertexId, Vec<(Interval, i64)>> = BTreeMap::new();
+    // Adjacent entries, a gap, then a final entry.
+    states.insert(
+        VertexId(0),
+        vec![
+            (Interval::new(0, 3), 10),
+            (Interval::new(3, 5), 20),
+            (Interval::new(8, 9), 30),
+        ],
+    );
+    let r = IcmResult {
+        states,
+        metrics: Default::default(),
+    };
+    let v = VertexId(0);
+    // Interior and start points.
+    assert_eq!(r.state_at(v, 0), Some(&10));
+    assert_eq!(r.state_at(v, 2), Some(&10));
+    // The shared boundary belongs to the successor, not the closed entry.
+    assert_eq!(r.state_at(v, 3), Some(&20));
+    assert_eq!(r.state_at(v, 4), Some(&20));
+    // End of the last entry before the gap: nothing is active.
+    assert_eq!(r.state_at(v, 5), None);
+    assert_eq!(r.state_at(v, 7), None);
+    // The unit entry after the gap: alive at 8, closed at 9.
+    assert_eq!(r.state_at(v, 8), Some(&30));
+    assert_eq!(r.state_at(v, 9), None);
+    // Outside the partition entirely.
+    assert_eq!(r.state_at(v, -1), None);
+    assert_eq!(r.state_at(v, 100), None);
+    assert_eq!(r.state_at(VertexId(7), 0), None);
+}

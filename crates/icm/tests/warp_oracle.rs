@@ -1,0 +1,235 @@
+//! Oracle-backed verification of the merge-based time-warp kernel: a
+//! brute-force per-time-instant reference is evaluated at every probe
+//! point and compared against the kernel's output, over ≥1000 seeded
+//! random cases (plus hand-picked degenerate ones) that include point,
+//! adjacent, duplicate, gapped and unbounded intervals.
+//!
+//! Every random case runs through one long-lived [`WarpScratch`] — the
+//! engine's steady-state configuration — and is cross-checked against a
+//! fresh-scratch run, so arena recycling bugs (stale tuples, leaked
+//! groups) cannot hide.
+//!
+//! The four paper guarantees (Sec. IV-B) checked per case:
+//! 1. valid inclusion, 2. no invalid inclusion, 3. no duplication,
+//! 4. maximality.
+
+use graphite_icm::warp::{time_warp_spans, time_warp_spans_into, WarpScratch, WarpTuple};
+use graphite_tgraph::rng::SplitMix64;
+use graphite_tgraph::time::Interval;
+
+const CASES: usize = 1024;
+
+/// Finite endpoints live in `[-8, 40)`; probing this range plus one point
+/// far on each side covers every distinct active-set region (beyond the
+/// last finite endpoint the active sets are constant).
+fn probes() -> impl Iterator<Item = i64> {
+    (-10..44).chain([-1_000_000, 1_000_000])
+}
+
+/// A gapped, sorted, non-overlapping outer set (a state partition):
+/// random gaps, unit and longer segments, occasionally right-unbounded.
+fn rand_outer(rng: &mut SplitMix64) -> Vec<Interval> {
+    let mut out = Vec::new();
+    let mut cursor = rng.range_i64(-8, 8);
+    for _ in 0..rng.index(6) {
+        cursor += rng.index(4) as i64; // gap, possibly zero (adjacent)
+        let len = 1 + rng.index(6) as i64;
+        if cursor + len > 40 {
+            break;
+        }
+        out.push(Interval::new(cursor, cursor + len));
+        cursor += len;
+    }
+    if rng.index(8) == 0 && cursor < 40 {
+        out.push(Interval::from_start(cursor + rng.index(3) as i64));
+    }
+    out
+}
+
+/// Arbitrary inner intervals: bounded, point, left/right-unbounded, exact
+/// duplicates and Allen-*meets* neighbours of earlier entries.
+fn rand_inner(rng: &mut SplitMix64) -> Vec<Interval> {
+    let mut out: Vec<Interval> = Vec::new();
+    for _ in 0..rng.index(12) {
+        let iv = match rng.index(8) {
+            0 => Interval::point(rng.range_i64(-8, 39)),
+            1 => Interval::from_start(rng.range_i64(-8, 39)),
+            2 => Interval::until(rng.range_i64(-7, 40)),
+            3 if !out.is_empty() => out[rng.index(out.len())], // duplicate
+            4 if !out.is_empty() => {
+                // Meets an earlier entry (shared boundary, no overlap).
+                let prev = out[rng.index(out.len())];
+                if prev.end() < 40 {
+                    Interval::new(prev.end(), prev.end() + 1 + rng.index(4) as i64)
+                } else {
+                    Interval::point(rng.range_i64(-8, 39))
+                }
+            }
+            _ => {
+                let start = rng.range_i64(-8, 38);
+                Interval::new(start, start + 1 + rng.index(10) as i64)
+            }
+        };
+        out.push(iv);
+    }
+    out
+}
+
+/// The brute-force oracle: checks the kernel output against per-point
+/// reconstruction at every probe, plus the structural guarantees.
+fn check(outer: &[Interval], inner: &[Interval], tuples: &[WarpTuple], ctx: &str) {
+    // Per-point reference. The outer set is a partition, so at most one
+    // outer entry — hence at most one tuple (guarantee 3) — covers t.
+    for t in probes() {
+        let active_outer = outer.iter().position(|o| o.contains_point(t));
+        let mut alive: Vec<usize> = (0..inner.len())
+            .filter(|&i| inner[i].contains_point(t))
+            .collect();
+        alive.sort_unstable();
+        let covering: Vec<&WarpTuple> = tuples
+            .iter()
+            .filter(|tu| tu.interval.contains_point(t))
+            .collect();
+        assert!(
+            covering.len() <= 1,
+            "{ctx}: {} tuples cover t={t} (no-duplication)",
+            covering.len()
+        );
+        match (active_outer, alive.is_empty()) {
+            (Some(oi), false) => {
+                // Guarantee 1 (valid inclusion) and 2 (no invalid
+                // inclusion) at t: exactly this outer, exactly this group.
+                let tu = covering
+                    .first()
+                    .unwrap_or_else(|| panic!("{ctx}: no tuple at t={t} (valid-inclusion)"));
+                assert_eq!(tu.outer, oi, "{ctx}: wrong outer at t={t}");
+                assert_eq!(tu.inner, alive, "{ctx}: wrong group at t={t}");
+            }
+            _ => assert!(
+                covering.is_empty(),
+                "{ctx}: spurious tuple at t={t} (invalid-inclusion)"
+            ),
+        }
+    }
+    // Guarantee 2, structurally (covers the stretches between probes,
+    // including unbounded tails): each tuple lies within its outer entry
+    // and within every grouped message.
+    for tu in tuples {
+        assert!(!tu.inner.is_empty(), "{ctx}: empty group emitted");
+        assert!(
+            tu.interval.during_or_equals(outer[tu.outer]),
+            "{ctx}: tuple {} outside outer {}",
+            tu.interval,
+            outer[tu.outer]
+        );
+        assert!(
+            tu.inner.windows(2).all(|w| w[0] < w[1]),
+            "{ctx}: group not ascending"
+        );
+        for &ii in &tu.inner {
+            assert!(
+                tu.interval.during_or_equals(inner[ii]),
+                "{ctx}: tuple {} outside message {}",
+                tu.interval,
+                inner[ii]
+            );
+        }
+    }
+    // Guarantee 4 (maximality) and global temporal order: consecutive
+    // tuples never overlap; when they touch, outer or group must differ.
+    for w in tuples.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        assert!(
+            a.interval.end() <= b.interval.start(),
+            "{ctx}: tuples {} and {} out of order",
+            a.interval,
+            b.interval
+        );
+        if a.interval.meets(b.interval) {
+            assert!(
+                a.outer != b.outer || a.inner != b.inner,
+                "{ctx}: tuples {} and {} should have been merged (maximality)",
+                a.interval,
+                b.interval
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_random_cases_through_reused_scratch() {
+    let mut rng = SplitMix64::new(0x0057_4152_5000);
+    let mut scratch = WarpScratch::new();
+    for case in 0..CASES {
+        let outer = rand_outer(&mut rng);
+        let inner = rand_inner(&mut rng);
+        let tuples: Vec<WarpTuple> = time_warp_spans_into(&outer, &inner, &mut scratch).to_vec();
+        let ctx = format!("case {case} outer={outer:?} inner={inner:?}");
+        check(&outer, &inner, &tuples, &ctx);
+        // A reused arena must produce exactly what a fresh one does.
+        assert_eq!(
+            tuples,
+            time_warp_spans(&outer, &inner),
+            "{ctx}: reused scratch diverges from fresh scratch"
+        );
+    }
+}
+
+#[test]
+fn oracle_degenerate_cases() {
+    let unb = Interval::from_start(5);
+    let all = Interval::new(-1_000_000_000, 1_000_000_000);
+    let cases: Vec<(Vec<Interval>, Vec<Interval>)> = vec![
+        (vec![], vec![]),
+        (vec![], vec![Interval::point(3)]),
+        (vec![Interval::new(0, 10)], vec![]),
+        // Point outer meets point inner exactly.
+        (vec![Interval::point(7)], vec![Interval::point(7)]),
+        // Inner only meets the outer (shared boundary): empty output.
+        (vec![Interval::new(0, 5)], vec![Interval::new(5, 9)]),
+        // Adjacent point messages tiling a segment.
+        (
+            vec![Interval::new(0, 4)],
+            (0..4).map(Interval::point).collect(),
+        ),
+        // Exact duplicates.
+        (
+            vec![Interval::new(0, 8)],
+            vec![Interval::new(2, 6), Interval::new(2, 6)],
+        ),
+        // Message exactly equal to the outer entry.
+        (vec![Interval::new(3, 9)], vec![Interval::new(3, 9)]),
+        // Messages alive only inside the outer gap.
+        (
+            vec![Interval::new(0, 4), Interval::new(10, 14)],
+            vec![Interval::new(5, 9)],
+        ),
+        // Unbounded outer tail × unbounded messages on both sides.
+        (
+            vec![Interval::new(0, 3), unb],
+            vec![Interval::until(2), unb, all],
+        ),
+    ];
+    let mut scratch = WarpScratch::new();
+    for (i, (outer, inner)) in cases.iter().enumerate() {
+        let tuples: Vec<WarpTuple> = time_warp_spans_into(outer, inner, &mut scratch).to_vec();
+        check(outer, inner, &tuples, &format!("degenerate {i}"));
+    }
+    // Spot-check the gap case: nothing may be emitted in the gap.
+    let gap = time_warp_spans(
+        &[Interval::new(0, 4), Interval::new(10, 14)],
+        &[Interval::new(5, 9)],
+    );
+    assert!(gap.is_empty(), "messages in an outer gap produced {gap:?}");
+}
+
+/// The kernel's documented precondition: the outer set is a partition
+/// (sorted, non-overlapping). Violations are caught in debug builds.
+#[test]
+#[cfg(debug_assertions)]
+#[should_panic(expected = "outer set must be sorted and non-overlapping")]
+fn unsorted_outer_is_rejected_in_debug() {
+    let outer = [Interval::new(10, 20), Interval::new(0, 5)];
+    let inner = [Interval::new(0, 30)];
+    time_warp_spans(&outer, &inner);
+}

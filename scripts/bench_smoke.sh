@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Smoke-test the recorded benchmark pipeline: run every bench target and
+# every recorded figure/table binary at a tiny timing budget on the
+# smallest dataset profile, then machine-validate every emitted
+# BENCH_<name>.json. The numbers produced here are meaningless — this
+# gate exists so the recording plumbing (schema, counters, env-var
+# handling) cannot rot. See EXPERIMENTS.md §"Recorded benchmark
+# pipeline" for the real regeneration workflow.
+#
+# Usage: scripts/bench_smoke.sh [output-dir]   (default: a temp dir)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-$(mktemp -d)}"
+mkdir -p "$out"
+echo "==> bench smoke output: $out"
+
+export GRAPHITE_BENCH_JSON="$out"
+export GRAPHITE_BENCH_BUDGET_MS=5
+export GRAPHITE_PROFILES=gplus
+
+for target in warp codec state engine; do
+    echo "==> cargo bench --bench $target (budget ${GRAPHITE_BENCH_BUDGET_MS} ms)"
+    cargo bench -p graphite-bench --bench "$target"
+done
+
+for bin in fig4 fig5 table2; do
+    echo "==> cargo run --bin $bin --quick (profile ${GRAPHITE_PROFILES})"
+    cargo run --release -q -p graphite-bench --bin "$bin" -- --quick
+done
+
+echo "==> bench_validate"
+cargo run --release -q -p graphite-bench --bin bench_validate -- "$out"/BENCH_*.json
+
+echo "==> bench smoke passed"
