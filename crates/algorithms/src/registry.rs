@@ -294,6 +294,7 @@ pub fn run(
         max_supersteps: opts.max_supersteps,
         keep_per_step_timing: false,
         perturb_schedule: None,
+        fault_plan: None,
     };
     let msb_cfg = |need_in: bool| MsbConfig {
         workers: opts.workers,
@@ -328,6 +329,7 @@ pub fn run(
         need_in_edges: need_in,
         keep_per_step_timing: false,
         perturb_schedule: None,
+        fault_plan: None,
     };
     let transform_opts = TransformOptions {
         window: Some(window),

@@ -8,12 +8,15 @@
 //! baseline on the same BSP substrate as GRAPHITE keeps the programming
 //! primitives — not the runtime — as the experimental variable.
 
-use graphite_bsp::aggregate::Aggregators;
-use graphite_bsp::codec::Wire;
+use graphite_bsp::aggregate::{Aggregators, MasterDecision};
+use graphite_bsp::codec::{get_varint, put_varint, Wire};
 use graphite_bsp::engine::{run_bsp, BspConfig, Inbox, Outbox, WorkerLogic};
 use graphite_bsp::error::BspError;
+use graphite_bsp::fault::FaultPlan;
 use graphite_bsp::metrics::{RunMetrics, UserCounters};
 use graphite_bsp::partition::{splitmix64, PartitionMap};
+use graphite_bsp::recover::{run_bsp_recoverable, RecoveryConfig};
+use graphite_bsp::snapshot::Snapshot;
 use graphite_bsp::MasterHook;
 use graphite_tgraph::builder::TemporalGraphBuilder;
 use graphite_tgraph::graph::{VIdx, VertexId};
@@ -171,6 +174,10 @@ pub struct VcmConfig {
     /// scheduling freedoms with this seed (race-harness use; results must
     /// not change).
     pub perturb_schedule: Option<u64>,
+    /// Forwarded to [`BspConfig::fault_plan`]: deterministic fault
+    /// injection (fault-tolerance harness use; recovered results must be
+    /// bit-identical to fault-free ones).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for VcmConfig {
@@ -181,6 +188,7 @@ impl Default for VcmConfig {
             need_in_edges: false,
             keep_per_step_timing: false,
             perturb_schedule: None,
+            fault_plan: None,
         }
     }
 }
@@ -309,6 +317,45 @@ impl<T: VcmTopology, P: VcmProgram> WorkerLogic for VcmWorker<T, P> {
     }
 }
 
+/// Checkpointing for VCM workers (available when the program's state is
+/// wire-encodable): the per-vertex state map is the complete user state —
+/// the scratch edge buffers are ephemeral and the config fields never
+/// change mid-run. Keys are serialized in sorted order so the blob is
+/// canonical regardless of hash-map iteration order.
+impl<T: VcmTopology, P: VcmProgram> Snapshot for VcmWorker<T, P>
+where
+    P::State: Wire,
+{
+    fn checkpoint(&self, buf: &mut Vec<u8>) {
+        put_varint(self.states.len() as u64, buf);
+        let mut keys: Vec<u32> = self.states.keys().copied().collect();
+        keys.sort_unstable();
+        for v in keys {
+            if let Some(s) = self.states.get(&v) {
+                put_varint(u64::from(v), buf);
+                s.encode(buf);
+            }
+        }
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), &'static str> {
+        let mut cur = bytes;
+        let count = get_varint(&mut cur).ok_or("vertex state count")?;
+        let mut states = HashMap::new();
+        for _ in 0..count {
+            let raw = get_varint(&mut cur).ok_or("vertex id")?;
+            let v = u32::try_from(raw).map_err(|_| "vertex id exceeds u32")?;
+            let s = P::State::decode(&mut cur).ok_or("vertex state")?;
+            states.insert(v, s);
+        }
+        if !cur.is_empty() {
+            return Err("trailing bytes in worker checkpoint");
+        }
+        self.states = states;
+        Ok(())
+    }
+}
+
 /// A partition map over the dense topology vertices, hashing each vertex's
 /// [`VcmTopology::partition_key`].
 fn topology_partition<T: VcmTopology>(topology: &T, workers: usize) -> PartitionMap {
@@ -384,45 +431,100 @@ pub fn try_run_vcm_with_master<T: VcmTopology, P: VcmProgram>(
     master: Option<MasterHook<'_>>,
 ) -> Result<VcmResult<P::State>, BspError> {
     let partition = Arc::new(topology_partition(topology.as_ref(), config.workers));
-    let workers: Vec<VcmWorker<T, P>> = (0..config.workers)
+    let workers = build_workers(&topology, &program, config, &partition);
+    let bsp = bsp_config(config);
+    let mut wrapper = keepalive_master(Arc::clone(&program), master);
+    let (workers, metrics) = run_bsp(&bsp, workers, partition, Some(&mut wrapper))?;
+    Ok(collect_result(workers, metrics))
+}
+
+/// Fault-tolerant [`try_run_vcm`]: runs over the checkpoint/rollback
+/// driver ([`run_bsp_recoverable`]), so faults injected via
+/// [`VcmConfig::fault_plan`] — or real worker panics — roll the run back
+/// to the last checkpoint and replay instead of failing it. Requires the
+/// program state to be wire-encodable.
+///
+/// # Errors
+///
+/// See [`BspError`]; exhausting the retry budget is
+/// [`BspError::RecoveryExhausted`].
+pub fn try_run_vcm_recoverable<T: VcmTopology, P: VcmProgram>(
+    topology: Arc<T>,
+    program: Arc<P>,
+    config: &VcmConfig,
+    recovery: &RecoveryConfig,
+) -> Result<VcmResult<P::State>, BspError>
+where
+    P::State: Wire,
+{
+    let partition = Arc::new(topology_partition(topology.as_ref(), config.workers));
+    let workers = build_workers(&topology, &program, config, &partition);
+    let bsp = bsp_config(config);
+    let mut wrapper = keepalive_master(Arc::clone(&program), None);
+    let (workers, metrics) =
+        run_bsp_recoverable(&bsp, recovery, workers, partition, Some(&mut wrapper))?;
+    Ok(collect_result(workers, metrics))
+}
+
+/// One VCM worker per partition, with empty state maps and fresh buffers.
+fn build_workers<T: VcmTopology, P: VcmProgram>(
+    topology: &Arc<T>,
+    program: &Arc<P>,
+    config: &VcmConfig,
+    partition: &Arc<PartitionMap>,
+) -> Vec<VcmWorker<T, P>> {
+    (0..config.workers)
         .map(|w| VcmWorker {
-            topology: Arc::clone(&topology),
-            program: Arc::clone(&program),
+            topology: Arc::clone(topology),
+            program: Arc::clone(program),
             owned: partition.owned_by(w).into_iter().map(|v| v.0).collect(),
             need_in_edges: config.need_in_edges,
             states: HashMap::new(),
             scratch_out: Vec::new(),
             scratch_in: Vec::new(),
         })
-        .collect();
-    let bsp = BspConfig {
+        .collect()
+}
+
+/// The VCM-level config lowered onto the BSP substrate.
+fn bsp_config(config: &VcmConfig) -> BspConfig {
+    BspConfig {
         max_supersteps: config.max_supersteps,
         keep_per_step_timing: config.keep_per_step_timing,
         perturb_schedule: config.perturb_schedule,
-    };
-    // Keep phased programs alive through idle barriers when they request
-    // an all-active next superstep.
-    let prog = Arc::clone(&program);
-    let mut user_master = master;
-    let mut wrapper = move |step: u64, globals: &Aggregators| {
+        fault_plan: config.fault_plan.clone(),
+    }
+}
+
+/// Keeps phased programs alive through idle barriers when they request an
+/// all-active next superstep.
+fn keepalive_master<'a, P: VcmProgram>(
+    program: Arc<P>,
+    mut user_master: Option<MasterHook<'a>>,
+) -> impl FnMut(u64, &Aggregators) -> MasterDecision + 'a {
+    move |step: u64, globals: &Aggregators| {
         let user = match user_master.as_mut() {
             Some(hook) => hook(step, globals),
-            None => graphite_bsp::aggregate::MasterDecision::Continue,
+            None => MasterDecision::Continue,
         };
-        if user == graphite_bsp::aggregate::MasterDecision::Continue
-            && prog.all_active(step + 1, globals)
-        {
-            graphite_bsp::aggregate::MasterDecision::ForceContinue
+        if user == MasterDecision::Continue && program.all_active(step + 1, globals) {
+            MasterDecision::ForceContinue
         } else {
             user
         }
-    };
-    let (workers, metrics) = run_bsp(&bsp, workers, partition, Some(&mut wrapper))?;
+    }
+}
+
+/// Merges the per-worker state maps into the result.
+fn collect_result<T: VcmTopology, P: VcmProgram>(
+    workers: Vec<VcmWorker<T, P>>,
+    metrics: RunMetrics,
+) -> VcmResult<P::State> {
     let mut states = HashMap::new();
     for w in workers {
         states.extend(w.states);
     }
-    Ok(VcmResult { states, metrics })
+    VcmResult { states, metrics }
 }
 
 #[cfg(test)]

@@ -141,6 +141,10 @@ fn counter_pairs(m: &RunMetrics) -> Vec<(&'static str, u64)> {
         ("warp_invocations", m.counters.warp_invocations),
         ("warp_suppressions", m.counters.warp_suppressions),
         ("routing_growths", m.routing_growths),
+        ("checkpoints_taken", m.recovery.checkpoints_taken),
+        ("checkpoint_bytes", m.recovery.checkpoint_bytes),
+        ("rollbacks", m.recovery.rollbacks),
+        ("supersteps_replayed", m.recovery.supersteps_replayed),
     ]
 }
 

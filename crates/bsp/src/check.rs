@@ -75,6 +75,27 @@ impl RunChecker {
         }
     }
 
+    /// Rewinds the checker to the barrier after superstep `step`, as if the
+    /// run had just completed that superstep. Used by the recovery driver
+    /// when rolling a run back to a checkpoint: the replayed supersteps are
+    /// re-verified against the full protocol, but the step-monotonicity and
+    /// halt-finality state of the abandoned attempt must not leak into the
+    /// replay.
+    #[inline]
+    pub fn resume(&mut self, step: u64) {
+        let _ = step;
+        #[cfg(debug_assertions)]
+        {
+            self.inner = Inner {
+                phase: Phase::Barrier,
+                step,
+                sent: 0,
+                delivered: 0,
+                halt_final: false,
+            };
+        }
+    }
+
     /// Superstep `step` begins its compute phase.
     #[inline]
     pub fn begin_compute(&mut self, step: u64) {

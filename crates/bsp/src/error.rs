@@ -1,25 +1,30 @@
-//! Engine-level failures surfaced by [`crate::engine::run_bsp`].
+//! Engine-level failures surfaced by [`crate::engine::run_bsp`] and the
+//! recovery driver [`crate::recover::run_bsp_recoverable`].
 //!
 //! DESIGN.md §7 ("failure injection") requires the engine to *surface*
 //! poisoned-worker conditions instead of panicking inside the barrier
-//! logic: a worker thread that panics mid-superstep, or a remote batch
-//! whose self-encoded bytes fail to decode, is reported to the caller as a
-//! typed error carrying the worker index and superstep for diagnosis.
+//! logic: worker threads that panic mid-superstep, or a remote batch
+//! whose self-encoded bytes fail to decode, are reported to the caller as
+//! a typed error carrying the worker indices and superstep for diagnosis.
+//! The recovery driver classifies these per [`BspError::is_recoverable`]
+//! and, when its retry budget runs out, wraps the full fault history in
+//! [`BspError::RecoveryExhausted`].
 
 use std::fmt;
 
 /// A failure during a BSP run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BspError {
-    /// A worker thread panicked during its compute phase. The partition it
-    /// owned is poisoned; the run cannot produce a sound result.
+    /// One or more worker threads panicked during the compute phase of a
+    /// superstep. The partitions they owned are poisoned; the run cannot
+    /// produce a sound result. Every poisoned worker of the superstep is
+    /// reported, not just the first one joined.
     WorkerPanicked {
-        /// Index of the poisoned worker.
-        worker: usize,
-        /// 1-based superstep during which the panic surfaced.
+        /// 1-based superstep during which the panics surfaced.
         step: u64,
-        /// The panic payload, when it was a string.
-        message: String,
+        /// `(worker index, panic payload)` for every poisoned worker,
+        /// ascending by worker index (join order may be perturbed).
+        workers: Vec<(usize, String)>,
     },
     /// A remote batch failed to decode through the wire codec even though
     /// this process encoded it — memory corruption or a codec bug.
@@ -39,17 +44,58 @@ pub enum BspError {
         /// Number of workers in the partition map.
         partitions: usize,
     },
+    /// The superstep cap was exhausted without the run halting: the logic
+    /// did not converge within `limit` supersteps. Previously this was a
+    /// silent `Ok` with a truncated (wrong) result.
+    SuperstepLimit {
+        /// The `max_supersteps` value that was exhausted.
+        limit: u64,
+    },
+    /// A checkpoint could not be captured, persisted, or restored.
+    Checkpoint {
+        /// What went wrong.
+        detail: String,
+    },
+    /// The recovery driver's retry budget ran out: every attempt ended in
+    /// a recoverable fault. Carries the full fault history for diagnosis.
+    RecoveryExhausted {
+        /// Number of failed execution attempts (initial run + replays).
+        attempts: u64,
+        /// The error that ended the final attempt.
+        last: Box<BspError>,
+        /// Every recoverable error observed, in order of occurrence.
+        history: Vec<BspError>,
+    },
+}
+
+impl BspError {
+    /// Whether the checkpoint/rollback driver may retry after this error.
+    /// Worker panics and wire corruption are execution faults a rollback
+    /// can undo; mismatched configuration, non-convergence, and checkpoint
+    /// failures are not.
+    #[must_use]
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            BspError::WorkerPanicked { .. } | BspError::Codec { .. }
+        )
+    }
 }
 
 impl fmt::Display for BspError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BspError::WorkerPanicked {
-                worker,
-                step,
-                message,
-            } => {
-                write!(f, "worker {worker} panicked in superstep {step}: {message}")
+            BspError::WorkerPanicked { step, workers } => {
+                let list = workers
+                    .iter()
+                    .map(|(w, msg)| format!("worker {w} ({msg})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                write!(
+                    f,
+                    "{} worker(s) panicked in superstep {step}: {list}",
+                    workers.len()
+                )
             }
             BspError::Codec {
                 worker,
@@ -67,6 +113,24 @@ impl fmt::Display for BspError {
                     "{logics} worker logics supplied for {partitions} partitions"
                 )
             }
+            BspError::SuperstepLimit { limit } => {
+                write!(f, "run did not converge within {limit} supersteps")
+            }
+            BspError::Checkpoint { detail } => {
+                write!(f, "checkpoint failure: {detail}")
+            }
+            BspError::RecoveryExhausted {
+                attempts,
+                last,
+                history,
+            } => {
+                write!(
+                    f,
+                    "recovery exhausted after {attempts} attempt(s) \
+                     ({} fault(s) observed); last: {last}",
+                    history.len()
+                )
+            }
         }
     }
 }
@@ -80,12 +144,12 @@ mod tests {
     #[test]
     fn display_is_informative() {
         let e = BspError::WorkerPanicked {
-            worker: 3,
             step: 7,
-            message: "boom".into(),
+            workers: vec![(1, "boom".into()), (3, "bang".into())],
         };
         let s = e.to_string();
-        assert!(s.contains('3') && s.contains('7') && s.contains("boom"));
+        assert!(s.contains('1') && s.contains('3') && s.contains('7'));
+        assert!(s.contains("boom") && s.contains("bang"));
         let c = BspError::Codec {
             worker: 1,
             step: 2,
@@ -97,5 +161,39 @@ mod tests {
             partitions: 4,
         };
         assert!(m.to_string().contains('2') && m.to_string().contains('4'));
+        let l = BspError::SuperstepLimit { limit: 42 };
+        assert!(l.to_string().contains("42"));
+        let k = BspError::Checkpoint {
+            detail: "truncated blob".into(),
+        };
+        assert!(k.to_string().contains("truncated blob"));
+        let r = BspError::RecoveryExhausted {
+            attempts: 3,
+            last: Box::new(l.clone()),
+            history: vec![l],
+        };
+        assert!(r.to_string().contains('3') && r.to_string().contains("42"));
+    }
+
+    #[test]
+    fn recoverability_classification() {
+        assert!(BspError::WorkerPanicked {
+            step: 1,
+            workers: vec![(0, "x".into())],
+        }
+        .is_recoverable());
+        assert!(BspError::Codec {
+            worker: 0,
+            step: 1,
+            detail: "d",
+        }
+        .is_recoverable());
+        assert!(!BspError::SuperstepLimit { limit: 5 }.is_recoverable());
+        assert!(!BspError::WorkerMismatch {
+            logics: 1,
+            partitions: 2,
+        }
+        .is_recoverable());
+        assert!(!BspError::Checkpoint { detail: "d".into() }.is_recoverable());
     }
 }

@@ -12,6 +12,13 @@
 //! platforms (`graphite-baselines`) execute on this substrate, so — as in
 //! the paper — the programming primitives are the experimental variable,
 //! not the runtime.
+//!
+//! Runs are fault-tolerant on request: [`run_bsp_recoverable`] checkpoints
+//! worker [`Snapshot`]s and in-flight inboxes every few supersteps and
+//! rolls back on recoverable faults, while a deterministic [`FaultPlan`]
+//! on [`BspConfig`] injects worker panics and wire bit-flips to prove —
+//! via pinned digests — that recovered results are bit-identical to
+//! fault-free ones.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,13 +28,19 @@ pub mod check;
 pub mod codec;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod metrics;
 pub mod partition;
+pub mod recover;
+pub mod snapshot;
 
 pub use aggregate::{Agg, Aggregators, MasterDecision};
 pub use check::RunChecker;
 pub use codec::Wire;
 pub use engine::{run_bsp, BspConfig, Inbox, MasterHook, Outbox, WorkerLogic, MESSAGES_SENT_AGG};
 pub use error::BspError;
-pub use metrics::{RunMetrics, StepTiming, UserCounters};
+pub use fault::{Fault, FaultInjector, FaultKind, FaultMode, FaultPlan};
+pub use metrics::{RecoveryMetrics, RunMetrics, StepTiming, UserCounters};
 pub use partition::{hash_partition, PartitionMap};
+pub use recover::{run_bsp_recoverable, RecoveryConfig};
+pub use snapshot::{Checkpoint, CheckpointStorage, CheckpointStore, Snapshot};

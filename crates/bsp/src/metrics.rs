@@ -71,6 +71,35 @@ pub struct StepTiming {
     pub barrier: Duration,
 }
 
+/// Counters of the checkpoint/rollback recovery layer
+/// (`run_bsp_recoverable`). Like [`RunMetrics::routing_growths`], these
+/// describe the *execution*, not the *result*: a recovered run must be
+/// bit-identical to a fault-free run in states and [`UserCounters`], so
+/// recovery counters never enter a result digest.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryMetrics {
+    /// Checkpoints captured (including the mandatory step-0 checkpoint).
+    pub checkpoints_taken: u64,
+    /// Total serialized checkpoint payload (worker states + in-flight
+    /// inboxes), summed over all checkpoints taken.
+    pub checkpoint_bytes: u64,
+    /// Rollbacks performed after a recoverable fault.
+    pub rollbacks: u64,
+    /// Supersteps re-executed after rollbacks: completed supersteps that
+    /// were discarded, plus each faulted superstep's retry (so every
+    /// rollback replays at least one).
+    pub supersteps_replayed: u64,
+}
+
+impl AddAssign for RecoveryMetrics {
+    fn add_assign(&mut self, rhs: Self) {
+        self.checkpoints_taken += rhs.checkpoints_taken;
+        self.checkpoint_bytes += rhs.checkpoint_bytes;
+        self.rollbacks += rhs.rollbacks;
+        self.supersteps_replayed += rhs.supersteps_replayed;
+    }
+}
+
 /// Full metrics of one platform run.
 #[derive(Clone, Debug, Default)]
 pub struct RunMetrics {
@@ -93,6 +122,9 @@ pub struct RunMetrics {
     /// counted; a steady workload must keep this at zero thereafter — the
     /// allocation-regression test pins exactly that.
     pub routing_growths: u64,
+    /// Checkpoint/rollback counters (all zero for non-recoverable runs).
+    /// Excluded from result digests, like `routing_growths`.
+    pub recovery: RecoveryMetrics,
     /// Per-superstep timing splits (empty unless requested).
     pub per_step: Vec<StepTiming>,
 }
@@ -125,6 +157,7 @@ impl RunMetrics {
         self.barrier += other.barrier;
         self.counters += other.counters;
         self.routing_growths += other.routing_growths;
+        self.recovery += other.recovery;
         self.per_step.extend(other.per_step.iter().copied());
     }
 }

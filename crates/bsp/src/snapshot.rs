@@ -1,0 +1,215 @@
+//! Checkpointing: serializable worker state and the checkpoint store.
+//!
+//! A checkpoint captures everything the engine needs to transplant a run
+//! back to a superstep boundary: every worker's user state (via the
+//! [`Snapshot`] trait, encoded with the wire-codec conventions of
+//! [`crate::codec`]), every in-flight inbox (the messages delivered at the
+//! last barrier but not yet consumed), the merged aggregator globals, and
+//! the run metrics as of that boundary. Worker states and inboxes are
+//! byte blobs — they round-trip through the same codec the network path
+//! uses; the aggregator/metrics control block stays an in-memory clone
+//! (aggregator keys are `&'static str` interned by user code, which bytes
+//! cannot reconstruct), so the on-disk variant persists the blobs and
+//! keeps the small control block resident.
+
+use crate::aggregate::Aggregators;
+use crate::error::BspError;
+use crate::metrics::RunMetrics;
+use std::path::PathBuf;
+
+/// Worker logic whose user state can round-trip through bytes. Implemented
+/// by the ICM and VCM workers; required by
+/// [`crate::recover::run_bsp_recoverable`].
+///
+/// The contract mirrors [`crate::codec::Wire`], but at worker granularity
+/// and fallible on restore: `restore(buf)` after `checkpoint(&mut buf)`
+/// must reproduce a state that behaves identically in every subsequent
+/// superstep — the fault-matrix tests pin that recovered result digests
+/// are bit-identical to fault-free ones.
+pub trait Snapshot {
+    /// Appends this worker's complete user state to `buf`.
+    fn checkpoint(&self, buf: &mut Vec<u8>);
+
+    /// Replaces this worker's user state with the one encoded in `bytes`
+    /// (written by [`Snapshot::checkpoint`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a static description when `bytes` is malformed; the worker
+    /// state is left unchanged in that case.
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), &'static str>;
+}
+
+/// A captured superstep boundary: the unit a [`CheckpointStore`] persists
+/// and a rollback restores.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// The superstep this checkpoint sits after (0 = before the first).
+    pub step: u64,
+    /// Per-worker [`Snapshot`] blobs.
+    pub worker_states: Vec<Vec<u8>>,
+    /// Per-worker in-flight inbox blobs (messages delivered at the last
+    /// barrier, pending consumption in superstep `step + 1`).
+    pub inboxes: Vec<Vec<u8>>,
+    /// Merged aggregator globals as of the barrier.
+    pub(crate) globals: Aggregators,
+    /// Run metrics as of the barrier (recovery counters excluded on
+    /// rollback — they are monotone over the whole recovered run).
+    pub(crate) metrics: RunMetrics,
+}
+
+impl Checkpoint {
+    /// Serialized payload size: the bytes the store must persist.
+    #[must_use]
+    pub fn payload_bytes(&self) -> u64 {
+        self.worker_states
+            .iter()
+            .chain(self.inboxes.iter())
+            .map(|b| b.len() as u64)
+            .sum()
+    }
+}
+
+/// Where checkpoint payloads live.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum CheckpointStorage {
+    /// Blobs stay in memory (the default; survives rollbacks, not the
+    /// process).
+    #[default]
+    Memory,
+    /// Blobs are written to files under the given directory (conventionally
+    /// somewhere under `target/`); the control block stays resident. The
+    /// directory is created on first save.
+    Disk(PathBuf),
+}
+
+/// Holds the most recent [`Checkpoint`] of a run. Only the latest is kept:
+/// rollback always targets the newest consistent boundary, and earlier
+/// boundaries are strictly worse (more supersteps to replay).
+#[derive(Debug)]
+pub struct CheckpointStore {
+    storage: CheckpointStorage,
+    latest: Option<Checkpoint>,
+}
+
+impl CheckpointStore {
+    /// A store using the given storage backend.
+    #[must_use]
+    pub fn new(storage: CheckpointStorage) -> Self {
+        CheckpointStore {
+            storage,
+            latest: None,
+        }
+    }
+
+    /// An in-memory store.
+    #[must_use]
+    pub fn in_memory() -> Self {
+        Self::new(CheckpointStorage::Memory)
+    }
+
+    /// A store persisting blobs under `dir`.
+    #[must_use]
+    pub fn on_disk(dir: impl Into<PathBuf>) -> Self {
+        Self::new(CheckpointStorage::Disk(dir.into()))
+    }
+
+    /// Saves `ckpt` as the latest checkpoint, returning its payload size.
+    ///
+    /// # Errors
+    ///
+    /// [`BspError::Checkpoint`] when the disk backend cannot write.
+    pub fn save(&mut self, ckpt: Checkpoint) -> Result<u64, BspError> {
+        let bytes = ckpt.payload_bytes();
+        if let CheckpointStorage::Disk(dir) = &self.storage {
+            std::fs::create_dir_all(dir).map_err(|e| BspError::Checkpoint {
+                detail: format!("create {}: {e}", dir.display()),
+            })?;
+            for (prefix, blobs) in [("worker", &ckpt.worker_states), ("inbox", &ckpt.inboxes)] {
+                for (i, blob) in blobs.iter().enumerate() {
+                    let path = dir.join(format!("{prefix}{i}.ck"));
+                    std::fs::write(&path, blob).map_err(|e| BspError::Checkpoint {
+                        detail: format!("write {}: {e}", path.display()),
+                    })?;
+                }
+            }
+            // Blobs live on disk; drop the resident copies, keep control.
+            let control = Checkpoint {
+                worker_states: vec![Vec::new(); ckpt.worker_states.len()],
+                inboxes: vec![Vec::new(); ckpt.inboxes.len()],
+                ..ckpt
+            };
+            self.latest = Some(control);
+        } else {
+            self.latest = Some(ckpt);
+        }
+        Ok(bytes)
+    }
+
+    /// The latest checkpoint, with blobs re-read from disk when the store
+    /// persists them there. `None` when nothing was saved yet.
+    ///
+    /// # Errors
+    ///
+    /// [`BspError::Checkpoint`] when the disk backend cannot read.
+    pub fn load(&self) -> Result<Option<Checkpoint>, BspError> {
+        let Some(control) = &self.latest else {
+            return Ok(None);
+        };
+        let mut ckpt = control.clone();
+        if let CheckpointStorage::Disk(dir) = &self.storage {
+            for (prefix, blobs) in [
+                ("worker", &mut ckpt.worker_states),
+                ("inbox", &mut ckpt.inboxes),
+            ] {
+                for (i, blob) in blobs.iter_mut().enumerate() {
+                    let path = dir.join(format!("{prefix}{i}.ck"));
+                    *blob = std::fs::read(&path).map_err(|e| BspError::Checkpoint {
+                        detail: format!("read {}: {e}", path.display()),
+                    })?;
+                }
+            }
+        }
+        Ok(Some(ckpt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            step: 4,
+            worker_states: vec![vec![1, 2, 3], vec![4]],
+            inboxes: vec![vec![5, 6], Vec::new()],
+            globals: Aggregators::new(),
+            metrics: RunMetrics::default(),
+        }
+    }
+
+    #[test]
+    fn memory_store_round_trips() {
+        let mut store = CheckpointStore::in_memory();
+        assert!(store.load().expect("load").is_none());
+        let bytes = store.save(sample()).expect("save");
+        assert_eq!(bytes, 6);
+        let got = store.load().expect("load").expect("saved");
+        assert_eq!(got.step, 4);
+        assert_eq!(got.worker_states, vec![vec![1, 2, 3], vec![4]]);
+        assert_eq!(got.inboxes, vec![vec![5, 6], Vec::new()]);
+    }
+
+    #[test]
+    fn disk_store_round_trips_blobs() {
+        let dir = std::env::temp_dir().join("graphite_ckpt_store_unit_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = CheckpointStore::on_disk(&dir);
+        store.save(sample()).expect("save");
+        let got = store.load().expect("load").expect("saved");
+        assert_eq!(got.step, 4);
+        assert_eq!(got.worker_states, vec![vec![1, 2, 3], vec![4]]);
+        assert_eq!(got.inboxes, vec![vec![5, 6], Vec::new()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

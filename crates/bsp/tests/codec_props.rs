@@ -9,9 +9,10 @@
 //! failure reproduces exactly.
 
 use graphite_bsp::codec::{
-    get_interval, get_interval_fixed, get_signed, get_varint, put_interval, put_interval_fixed,
-    put_signed, put_varint, Wire,
+    decode_batch, encode_batch, get_interval, get_interval_fixed, get_signed, get_varint,
+    put_interval, put_interval_fixed, put_signed, put_varint, Wire, BATCH_TRAILER,
 };
+use graphite_tgraph::graph::VIdx;
 use graphite_tgraph::rng::SplitMix64;
 use graphite_tgraph::time::{Interval, TIME_MAX, TIME_MIN};
 
@@ -256,5 +257,95 @@ fn corrupted_input_fails_gracefully() {
         let _ = f64::decode(&mut s);
         let mut s = soup.as_slice();
         let _ = bool::decode(&mut s);
+    }
+}
+
+/// Draws a routed batch shaped like real ICM traffic: `(vertex, (interval,
+/// value))` pairs with repeated destination vertices.
+fn rand_batch(rng: &mut SplitMix64) -> Vec<(VIdx, (Interval, i64))> {
+    (0..1 + rng.index(24))
+        .map(|_| {
+            (
+                VIdx(rng.bounded(64) as u32),
+                (rand_interval(rng), rng.next_u64() as i64),
+            )
+        })
+        .collect()
+}
+
+/// Any truncation of an encoded batch — seeded, across many batch shapes —
+/// is rejected by [`decode_batch`] before a single message is delivered.
+/// This is the integrity contract the recovery layer leans on: a faulted
+/// exchange surfaces as `BspError::Codec`, never as silently-partial
+/// delivery that a rollback could not undo.
+#[test]
+fn batch_truncation_always_errors_and_delivers_nothing() {
+    let mut rng = SplitMix64::new(0x0C0D_EC09);
+    for _ in 0..500 {
+        let batch = rand_batch(&mut rng);
+        let mut wire = Vec::new();
+        encode_batch(&batch, &mut wire);
+        assert!(wire.len() > BATCH_TRAILER);
+        // Every strictly-shorter prefix, plus a seeded sample of deeper
+        // cuts for large batches.
+        let cuts: Vec<usize> = (0..4)
+            .map(|_| rng.index(wire.len()))
+            .chain([0, wire.len() - 1, wire.len() - BATCH_TRAILER])
+            .collect();
+        for cut in cuts {
+            let mut delivered = 0u32;
+            let res =
+                decode_batch::<(Interval, i64)>(&wire[..cut], batch.len(), |_, _| delivered += 1);
+            assert!(res.is_err(), "truncation to {cut} bytes went undetected");
+            assert_eq!(delivered, 0, "truncated batch delivered messages");
+        }
+    }
+}
+
+/// Any single-bit flip anywhere in an encoded batch — payload or trailer —
+/// is caught by the FNV-1a checksum: [`decode_batch`] errors and delivers
+/// nothing. Single-bit detection is certain (each checksum step is a
+/// bijection of the running hash), which is exactly the corruption the
+/// fault injector's `FaultKind::WireCorruption` performs.
+#[test]
+fn batch_bit_flips_always_error_and_deliver_nothing() {
+    let mut rng = SplitMix64::new(0x0C0D_EC0A);
+    for _ in 0..300 {
+        let batch = rand_batch(&mut rng);
+        let mut wire = Vec::new();
+        encode_batch(&batch, &mut wire);
+        // A seeded sample of flip positions, always including the first
+        // byte, the last payload byte and every trailer byte.
+        let mut flips: Vec<usize> = (0..6).map(|_| rng.index(wire.len())).collect();
+        flips.push(0);
+        flips.push(wire.len() - BATCH_TRAILER - 1);
+        flips.extend(wire.len() - BATCH_TRAILER..wire.len());
+        for pos in flips {
+            let mut corrupt = wire.clone();
+            corrupt[pos] ^= 1 << rng.bounded(8);
+            let mut delivered = 0u32;
+            let res = decode_batch::<(Interval, i64)>(&corrupt, batch.len(), |_, _| delivered += 1);
+            assert!(res.is_err(), "bit flip at byte {pos} went undetected");
+            assert_eq!(delivered, 0, "corrupted batch delivered messages");
+        }
+    }
+}
+
+/// The checksum also pins the *count*: decoding a valid frame with the
+/// wrong expected count errors rather than under- or over-delivering.
+#[test]
+fn batch_count_mismatch_is_rejected() {
+    let mut rng = SplitMix64::new(0x0C0D_EC0B);
+    for _ in 0..200 {
+        let batch = rand_batch(&mut rng);
+        let mut wire = Vec::new();
+        encode_batch(&batch, &mut wire);
+        for wrong in [0, batch.len().saturating_sub(1), batch.len() + 1] {
+            if wrong == batch.len() {
+                continue;
+            }
+            let res = decode_batch::<(Interval, i64)>(&wire, wrong, |_, _| {});
+            assert!(res.is_err(), "count {wrong} for {} accepted", batch.len());
+        }
     }
 }

@@ -1,0 +1,309 @@
+//! Integration coverage of the fault-injection and recovery surface as a
+//! *consumer* of `graphite-bsp` sees it: a worker logic defined outside
+//! the crate implements [`WorkerLogic`] + [`Snapshot`] through the public
+//! re-exports alone, runs under injected faults, and recovers — proving
+//! the trait surface is sufficient without any crate-private access.
+//!
+//! The ICM/VCM-level fault matrix (digest equivalence across programs,
+//! profiles and fault cells) lives in `result_digest_pin.rs`; this file
+//! exercises the engine-level contracts: typed non-convergence, complete
+//! poisoned-worker reporting, checksum-detected corruption, bounded retry
+//! budgets, and end-to-end determinism of seeded fault plans.
+
+use graphite_bsp::{
+    run_bsp, run_bsp_recoverable, Aggregators, BspConfig, BspError, CheckpointStorage, Fault,
+    FaultKind, FaultMode, FaultPlan, Inbox, MasterHook, Outbox, PartitionMap, RecoveryConfig,
+    RunMetrics, Snapshot, UserCounters, WorkerLogic,
+};
+use graphite_tgraph::builder::TemporalGraphBuilder;
+use graphite_tgraph::graph::{EdgeId, TemporalGraph, VIdx, VertexId};
+use graphite_tgraph::time::Interval;
+use std::sync::Arc;
+
+fn ring(n: u64) -> Arc<TemporalGraph> {
+    let mut b = TemporalGraphBuilder::new();
+    for i in 0..n {
+        b.add_vertex(VertexId(i), Interval::new(0, 100)).unwrap();
+    }
+    for i in 0..n {
+        b.add_edge(
+            EdgeId(i),
+            VertexId(i),
+            VertexId((i + 1) % n),
+            Interval::new(0, 100),
+        )
+        .unwrap();
+    }
+    Arc::new(b.build().unwrap())
+}
+
+/// A token circles the ring once per superstep, incrementing; each worker
+/// accumulates every token value it observes. Snapshot state is that
+/// accumulator — a replay that double-counted or lost a delivery breaks
+/// the total.
+#[derive(Debug)]
+struct RingSum {
+    graph: Arc<TemporalGraph>,
+    owned: Vec<VIdx>,
+    hops: u64,
+    total: u64,
+}
+
+impl WorkerLogic for RingSum {
+    type Msg = u64;
+    fn superstep(
+        &mut self,
+        step: u64,
+        inbox: &Inbox<u64>,
+        outbox: &mut Outbox<u64>,
+        _globals: &Aggregators,
+        _partial: &mut Aggregators,
+        _counters: &mut UserCounters,
+    ) {
+        if step == 1 {
+            for &v in &self.owned {
+                if self.graph.vertex(v).vid == VertexId(0) {
+                    let next = self.graph.edge(self.graph.out_edges(v)[0]).dst;
+                    outbox.send(next, 1);
+                }
+            }
+            return;
+        }
+        for (v, msgs) in inbox.iter() {
+            for &m in msgs {
+                self.total += m;
+                if m < self.hops {
+                    let next = self.graph.edge(self.graph.out_edges(v)[0]).dst;
+                    outbox.send(next, m + 1);
+                }
+            }
+        }
+    }
+}
+
+impl Snapshot for RingSum {
+    fn checkpoint(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.total.to_le_bytes());
+    }
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), &'static str> {
+        let arr: [u8; 8] = bytes.try_into().map_err(|_| "ring-sum blob")?;
+        self.total = u64::from_le_bytes(arr);
+        Ok(())
+    }
+}
+
+const HOPS: u64 = 12;
+
+fn workers(graph: &Arc<TemporalGraph>, partition: &Arc<PartitionMap>) -> Vec<RingSum> {
+    (0..partition.workers())
+        .map(|w| RingSum {
+            graph: Arc::clone(graph),
+            owned: partition.owned_by(w),
+            hops: HOPS,
+            total: 0,
+        })
+        .collect()
+}
+
+fn grand_total(ws: &[RingSum]) -> u64 {
+    ws.iter().map(|w| w.total).sum()
+}
+
+fn faulted(plan: FaultPlan) -> BspConfig {
+    BspConfig {
+        fault_plan: Some(plan),
+        ..Default::default()
+    }
+}
+
+fn run_plain(
+    graph: &Arc<TemporalGraph>,
+    partition: &Arc<PartitionMap>,
+    config: &BspConfig,
+) -> Result<(Vec<RingSum>, RunMetrics), BspError> {
+    let master: Option<MasterHook<'_>> = None;
+    run_bsp(
+        config,
+        workers(graph, partition),
+        Arc::clone(partition),
+        master,
+    )
+}
+
+fn run_recover(
+    graph: &Arc<TemporalGraph>,
+    partition: &Arc<PartitionMap>,
+    config: &BspConfig,
+    recovery: &RecoveryConfig,
+) -> Result<(Vec<RingSum>, RunMetrics), BspError> {
+    run_bsp_recoverable(
+        config,
+        recovery,
+        workers(graph, partition),
+        Arc::clone(partition),
+        None,
+    )
+}
+
+#[test]
+fn external_logic_recovers_through_the_public_traits() {
+    let graph = ring(16);
+    let partition = Arc::new(PartitionMap::hash(&graph, 4));
+    let (plain, pm) = run_plain(&graph, &partition, &BspConfig::default()).unwrap();
+    let (rec, rm) = run_recover(
+        &graph,
+        &partition,
+        &faulted(FaultPlan::panic_at(2, 5)),
+        &RecoveryConfig::every(3),
+    )
+    .unwrap();
+    assert_eq!(grand_total(&plain), grand_total(&rec));
+    assert_eq!(grand_total(&rec), (1..=HOPS).sum::<u64>());
+    assert_eq!(pm.supersteps, rm.supersteps);
+    assert_eq!(
+        pm.counters, rm.counters,
+        "recovery must not leak into counters"
+    );
+    assert_eq!(rm.recovery.rollbacks, 1);
+    assert!(rm.recovery.checkpoints_taken >= 1);
+    assert!(rm.recovery.supersteps_replayed >= 1);
+}
+
+#[test]
+fn non_convergence_is_a_typed_error() {
+    let graph = ring(16);
+    let partition = Arc::new(PartitionMap::hash(&graph, 4));
+    let config = BspConfig {
+        max_supersteps: 5,
+        ..Default::default()
+    };
+    // The ring needs 13 supersteps; the cap must surface as a typed
+    // error, not a silent truncated result — for both drivers.
+    let err = run_plain(&graph, &partition, &config).unwrap_err();
+    assert!(matches!(err, BspError::SuperstepLimit { limit: 5 }));
+    let err = run_recover(&graph, &partition, &config, &RecoveryConfig::every(2)).unwrap_err();
+    assert!(matches!(err, BspError::SuperstepLimit { limit: 5 }));
+}
+
+#[test]
+fn every_poisoned_worker_is_reported() {
+    let graph = ring(16);
+    let partition = Arc::new(PartitionMap::hash(&graph, 4));
+    let plan = FaultPlan::panic_at(1, 2).and(Fault {
+        worker: 3,
+        step: 2,
+        kind: FaultKind::WorkerPanic,
+        mode: FaultMode::Transient,
+    });
+    let err = run_plain(&graph, &partition, &faulted(plan)).unwrap_err();
+    let BspError::WorkerPanicked { step, workers } = err else {
+        panic!("expected WorkerPanicked");
+    };
+    assert_eq!(step, 2);
+    let indices: Vec<usize> = workers.iter().map(|(w, _)| *w).collect();
+    assert_eq!(indices, vec![1, 3], "all poisoned workers, in index order");
+    for (_, payload) in &workers {
+        assert!(payload.contains("injected fault"), "payload: {payload}");
+    }
+}
+
+#[test]
+fn wire_corruption_is_detected_by_the_batch_checksum() {
+    let graph = ring(16);
+    let partition = Arc::new(PartitionMap::hash(&graph, 4));
+    // The token visits one worker per step; corrupt the batch bound for
+    // every worker so whichever receives remote traffic at step 4 trips.
+    let mut plan = FaultPlan::default();
+    for w in 0..4 {
+        plan = plan.and(Fault {
+            worker: w,
+            step: 4,
+            kind: FaultKind::WireCorruption,
+            mode: FaultMode::Transient,
+        });
+    }
+    let err = run_plain(&graph, &partition, &faulted(plan)).unwrap_err();
+    let BspError::Codec { step, detail, .. } = err else {
+        panic!("expected Codec error");
+    };
+    assert_eq!(step, 4);
+    assert!(detail.contains("checksum"), "detail: {detail}");
+}
+
+#[test]
+fn retry_budget_is_bounded_with_full_history() {
+    let graph = ring(16);
+    let partition = Arc::new(PartitionMap::hash(&graph, 4));
+    let recovery = RecoveryConfig {
+        max_attempts: 2,
+        ..RecoveryConfig::every(2)
+    };
+    let err = run_recover(
+        &graph,
+        &partition,
+        &faulted(FaultPlan::panic_at(0, 3).persistent()),
+        &recovery,
+    )
+    .unwrap_err();
+    let BspError::RecoveryExhausted {
+        attempts,
+        last,
+        history,
+    } = err
+    else {
+        panic!("expected RecoveryExhausted");
+    };
+    assert_eq!(attempts, 3, "initial attempt + max_attempts replays");
+    assert_eq!(history.len(), 3);
+    assert!(last.is_recoverable());
+    for h in &history {
+        assert!(matches!(h, BspError::WorkerPanicked { step: 3, .. }));
+    }
+}
+
+#[test]
+fn seeded_fault_plans_are_deterministic_end_to_end() {
+    let graph = ring(16);
+    let partition = Arc::new(PartitionMap::hash(&graph, 4));
+    let (plain, _) = run_plain(&graph, &partition, &BspConfig::default()).unwrap();
+    let plan = FaultPlan::seeded(0xFA17, 4, HOPS, 2);
+    assert_eq!(plan, FaultPlan::seeded(0xFA17, 4, HOPS, 2));
+    let recovery = RecoveryConfig {
+        max_attempts: 8,
+        ..RecoveryConfig::every(2)
+    };
+    let run = || run_recover(&graph, &partition, &faulted(plan.clone()), &recovery).unwrap();
+    let (a, am) = run();
+    let (b, bm) = run();
+    assert_eq!(grand_total(&a), grand_total(&plain));
+    assert_eq!(grand_total(&a), grand_total(&b));
+    assert_eq!(am.supersteps, bm.supersteps);
+    assert_eq!(am.counters, bm.counters);
+    assert_eq!(
+        am.recovery, bm.recovery,
+        "the same plan must fire identically on every run"
+    );
+}
+
+#[test]
+fn disk_checkpoints_survive_rollback() {
+    let graph = ring(16);
+    let partition = Arc::new(PartitionMap::hash(&graph, 4));
+    let dir = std::env::temp_dir().join("graphite_fault_injection_disk");
+    let _ = std::fs::remove_dir_all(&dir);
+    let recovery = RecoveryConfig {
+        storage: CheckpointStorage::Disk(dir.clone()),
+        ..RecoveryConfig::every(2)
+    };
+    let (rec, rm) = run_recover(
+        &graph,
+        &partition,
+        &faulted(FaultPlan::panic_at(1, 6)),
+        &recovery,
+    )
+    .unwrap();
+    assert_eq!(grand_total(&rec), (1..=HOPS).sum::<u64>());
+    assert_eq!(rm.recovery.rollbacks, 1);
+    assert!(rm.recovery.checkpoint_bytes > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

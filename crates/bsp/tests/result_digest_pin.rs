@@ -2,13 +2,26 @@
 //! reference runs, recorded before the warp/routing hot-path optimization.
 //! Any change to these digests means the optimization altered observable
 //! results or deterministic counters — which it must never do.
+//!
+//! The fault-matrix tests extend the same pinning to the recovery layer:
+//! a run that faults (worker panic or wire bit-flip), rolls back to a
+//! checkpoint, and replays must land on the *bit-identical* digest and
+//! deterministic counter key of the fault-free run — recovery is
+//! observable only in the [`RecoveryMetrics`] counters, which never enter
+//! digests. A persistent fault must exhaust the retry budget and report
+//! [`BspError::RecoveryExhausted`], never a wrong answer.
 
-use graphite_algorithms::bfs::IcmBfs;
+use graphite_algorithms::bfs::{IcmBfs, VcmBfs};
 use graphite_algorithms::td_paths::IcmEat;
 use graphite_algorithms::AlgLabels;
-use graphite_bsp::metrics::RunMetrics;
+use graphite_baselines::vcm::{try_run_vcm, try_run_vcm_recoverable, VcmConfig};
+use graphite_baselines::{EdgeWeights, SnapshotTopology};
+use graphite_bsp::error::BspError;
+use graphite_bsp::fault::{Fault, FaultKind, FaultMode, FaultPlan};
+use graphite_bsp::metrics::{RecoveryMetrics, RunMetrics};
+use graphite_bsp::recover::RecoveryConfig;
 use graphite_datagen::{generate, GenParams, LifespanModel, PropModel, Topology};
-use graphite_icm::engine::{try_run_icm, IcmConfig};
+use graphite_icm::engine::{try_run_icm, try_run_icm_recoverable, IcmConfig};
 use graphite_tgraph::graph::{TemporalGraph, VertexId};
 use std::sync::Arc;
 
@@ -84,19 +97,35 @@ fn fingerprint<P>(graph: &Arc<TemporalGraph>, program: Arc<P>) -> (u64, [u64; 8]
 where
     P: graphite_icm::program::IntervalProgram<State = i64>,
 {
-    let cfg = IcmConfig {
+    let r = try_run_icm(Arc::clone(graph), program, &icm_cfg(None, None))
+        .expect("pinned run must succeed");
+    (
+        fnv1a(format!("{:?}", r.states).as_bytes()),
+        counter_key(&r.metrics),
+    )
+}
+
+fn icm_cfg(fault_plan: Option<FaultPlan>, perturb: Option<u64>) -> IcmConfig {
+    IcmConfig {
         workers: 4,
         combiner: true,
         suppression_threshold: Some(0.7),
         max_supersteps: 10_000,
         keep_per_step_timing: false,
-        perturb_schedule: None,
-    };
-    let r = try_run_icm(Arc::clone(graph), program, &cfg).expect("pinned run must succeed");
-    (
-        fnv1a(format!("{:?}", r.states).as_bytes()),
-        counter_key(&r.metrics),
-    )
+        perturb_schedule: perturb,
+        fault_plan,
+    }
+}
+
+fn vcm_cfg(fault_plan: Option<FaultPlan>, perturb: Option<u64>) -> VcmConfig {
+    VcmConfig {
+        workers: 4,
+        max_supersteps: 10_000,
+        need_in_edges: false,
+        keep_per_step_timing: false,
+        perturb_schedule: perturb,
+        fault_plan,
+    }
 }
 
 /// Recorded on the pre-optimization (sort-based warp, allocating router)
@@ -158,5 +187,279 @@ fn fingerprints_match_pre_optimization_recording() {
             actual.2, counters,
             "{label}: counter key diverged from the pre-optimization recording"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault matrix: checkpoint/rollback recovery must be digest-invisible.
+// ---------------------------------------------------------------------------
+
+/// Supersteps at which matrix faults trigger. Both land inside every
+/// workload here (the shortest pinned run takes 6 supersteps).
+const FAULT_STEPS: [u64; 2] = [2, 3];
+
+/// One matrix cell's plan: the fault kind alternates with cell parity so
+/// both recoverable error classes (worker panic, wire corruption) are
+/// exercised across the matrix. A wire-corruption cell may find no remote
+/// batch bound for its worker at its step — then the fault never fires
+/// and the cell degenerates to a fault-free run, which the digest
+/// equality still covers.
+fn matrix_plan(worker: usize, step: u64) -> (FaultPlan, FaultKind) {
+    let kind = if (worker as u64 + step).is_multiple_of(2) {
+        FaultKind::WorkerPanic
+    } else {
+        FaultKind::WireCorruption
+    };
+    let plan = FaultPlan {
+        faults: vec![Fault {
+            worker,
+            step,
+            kind,
+            mode: FaultMode::Transient,
+        }],
+    };
+    (plan, kind)
+}
+
+fn icm_recovered_fingerprint<P>(
+    graph: &Arc<TemporalGraph>,
+    program: &Arc<P>,
+    plan: FaultPlan,
+    perturb: Option<u64>,
+) -> (u64, [u64; 8], RecoveryMetrics)
+where
+    P: graphite_icm::program::IntervalProgram<State = i64>,
+{
+    let r = try_run_icm_recoverable(
+        Arc::clone(graph),
+        Arc::clone(program),
+        &icm_cfg(Some(plan), perturb),
+        &RecoveryConfig::every(2),
+    )
+    .expect("recoverable ICM run must converge");
+    (
+        fnv1a(format!("{:?}", r.states).as_bytes()),
+        counter_key(&r.metrics),
+        r.metrics.recovery,
+    )
+}
+
+fn vcm_digest(states: std::collections::HashMap<u32, i64>) -> u64 {
+    let mut states: Vec<(u32, i64)> = states.into_iter().collect();
+    states.sort_unstable();
+    fnv1a(format!("{states:?}").as_bytes())
+}
+
+fn vcm_topology(graph: &Arc<TemporalGraph>, params: &GenParams) -> Arc<SnapshotTopology> {
+    let weights = EdgeWeights {
+        w1: graph.label("travel-cost"),
+        w2: graph.label("travel-time"),
+    };
+    Arc::new(SnapshotTopology::new(
+        Arc::clone(graph),
+        params.snapshots / 2,
+        weights,
+    ))
+}
+
+/// Asserts that every (worker, fault step) cell of the matrix recovers to
+/// the given fault-free fingerprint, and that recovery left its only trace
+/// in the recovery counters.
+fn assert_matrix_recovers(
+    label: &str,
+    baseline: (u64, [u64; 8]),
+    mut rerun: impl FnMut(FaultPlan) -> (u64, [u64; 8], RecoveryMetrics),
+) {
+    for worker in 0..4 {
+        for step in FAULT_STEPS {
+            let (plan, kind) = matrix_plan(worker, step);
+            let (digest, counters, recovery) = rerun(plan);
+            assert_eq!(
+                digest, baseline.0,
+                "{label}: recovered digest diverged (fault {kind:?} at worker {worker}, step {step})"
+            );
+            assert_eq!(
+                counters, baseline.1,
+                "{label}: recovered counters diverged (fault {kind:?} at worker {worker}, step {step})"
+            );
+            assert!(
+                recovery.checkpoints_taken >= 1,
+                "{label}: recoverable run must checkpoint"
+            );
+            if kind == FaultKind::WorkerPanic {
+                assert_eq!(
+                    recovery.rollbacks, 1,
+                    "{label}: a panic at (w{worker}, s{step}) must trigger exactly one rollback"
+                );
+                assert!(recovery.supersteps_replayed >= 1);
+            } else {
+                assert!(
+                    recovery.rollbacks <= 1,
+                    "{label}: one transient corruption fault cannot roll back twice"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn recovered_icm_digests_match_fault_free() {
+    for (name, params) in [("long", profile_long()), ("unit", profile_unit())] {
+        let graph = Arc::new(generate(&params));
+        let bfs = Arc::new(IcmBfs {
+            source: source(&graph),
+        });
+        let eat = Arc::new(IcmEat {
+            source: source(&graph),
+            start: 0,
+            labels: AlgLabels::resolve(&graph),
+        });
+        let bfs_base = fingerprint(&graph, Arc::clone(&bfs));
+        assert_matrix_recovers(&format!("ICM/BFS/{name}"), bfs_base, |plan| {
+            icm_recovered_fingerprint(&graph, &bfs, plan, None)
+        });
+        let eat_base = fingerprint(&graph, Arc::clone(&eat));
+        assert_matrix_recovers(&format!("ICM/EAT/{name}"), eat_base, |plan| {
+            icm_recovered_fingerprint(&graph, &eat, plan, None)
+        });
+    }
+}
+
+#[test]
+fn recovered_vcm_digests_match_fault_free() {
+    for (name, params) in [("long", profile_long()), ("unit", profile_unit())] {
+        let graph = Arc::new(generate(&params));
+        let topo = vcm_topology(&graph, &params);
+        let program = Arc::new(VcmBfs {
+            source: source(&graph),
+        });
+        let base = try_run_vcm(
+            Arc::clone(&topo),
+            Arc::clone(&program),
+            &vcm_cfg(None, None),
+        )
+        .expect("fault-free VCM run must succeed");
+        let baseline = (vcm_digest(base.states), counter_key(&base.metrics));
+        assert_matrix_recovers(&format!("VCM/BFS/{name}"), baseline, |plan| {
+            let r = try_run_vcm_recoverable(
+                Arc::clone(&topo),
+                Arc::clone(&program),
+                &vcm_cfg(Some(plan), None),
+                &RecoveryConfig::every(2),
+            )
+            .expect("recoverable VCM run must converge");
+            (
+                vcm_digest(r.states),
+                counter_key(&r.metrics),
+                r.metrics.recovery,
+            )
+        });
+    }
+}
+
+/// Recovery composed with schedule perturbation: a run that is faulted,
+/// rolled back, replayed, *and* scheduled under a perturbation seed must
+/// still land on the fault-free, unperturbed digest.
+#[test]
+fn recovery_composes_with_schedule_perturbation() {
+    let params = profile_long();
+    let graph = Arc::new(generate(&params));
+    let bfs = Arc::new(IcmBfs {
+        source: source(&graph),
+    });
+    let baseline = fingerprint(&graph, Arc::clone(&bfs));
+    for seed in [1u64, 0xDEAD_BEEF] {
+        for step in FAULT_STEPS {
+            let (plan, kind) = matrix_plan(1, step);
+            let (digest, counters, recovery) =
+                icm_recovered_fingerprint(&graph, &bfs, plan, Some(seed));
+            assert_eq!(
+                digest, baseline.0,
+                "perturb {seed:#x} + {kind:?} at step {step}: digest diverged"
+            );
+            assert_eq!(
+                counters, baseline.1,
+                "perturb {seed:#x} + {kind:?} at step {step}: counters diverged"
+            );
+            assert!(recovery.checkpoints_taken >= 1);
+        }
+    }
+}
+
+/// A recovered run must reproduce the *pinned* fingerprints exactly — not
+/// merely match a freshly computed baseline.
+#[test]
+fn recovered_runs_reproduce_the_pinned_fingerprints() {
+    for (name, params) in [("long", profile_long()), ("unit", profile_unit())] {
+        let graph = Arc::new(generate(&params));
+        let bfs = Arc::new(IcmBfs {
+            source: source(&graph),
+        });
+        let eat = Arc::new(IcmEat {
+            source: source(&graph),
+            start: 0,
+            labels: AlgLabels::resolve(&graph),
+        });
+        for (algo, label) in [
+            ("bfs", format!("bfs/{name}")),
+            ("eat", format!("eat/{name}")),
+        ] {
+            let (_, pin_digest, pin_counters) = PINS
+                .iter()
+                .find(|(l, _, _)| *l == label)
+                .expect("pin exists");
+            let plan = FaultPlan::panic_at(1, 2);
+            let (digest, counters, recovery) = if algo == "bfs" {
+                icm_recovered_fingerprint(&graph, &bfs, plan, None)
+            } else {
+                icm_recovered_fingerprint(&graph, &eat, plan, None)
+            };
+            assert_eq!(
+                digest, *pin_digest,
+                "{label}: recovered digest diverged from the recording"
+            );
+            assert_eq!(
+                counters, *pin_counters,
+                "{label}: recovered counter key diverged from the recording"
+            );
+            assert_eq!(recovery.rollbacks, 1, "{label}: the panic must have fired");
+        }
+    }
+}
+
+/// A persistent fault must exhaust the retry budget with the complete
+/// fault history — never converge to a wrong answer, never loop forever.
+#[test]
+fn persistent_fault_exhausts_recovery_with_history() {
+    let params = profile_long();
+    let graph = Arc::new(generate(&params));
+    let bfs = Arc::new(IcmBfs {
+        source: source(&graph),
+    });
+    let plan = FaultPlan::panic_at(0, 2).persistent();
+    let recovery = RecoveryConfig {
+        max_attempts: 2,
+        ..RecoveryConfig::every(2)
+    };
+    let err = try_run_icm_recoverable(
+        Arc::clone(&graph),
+        Arc::clone(&bfs),
+        &icm_cfg(Some(plan), None),
+        &recovery,
+    )
+    .expect_err("a persistent fault must not converge");
+    let BspError::RecoveryExhausted {
+        attempts,
+        last,
+        history,
+    } = err
+    else {
+        panic!("expected RecoveryExhausted, got a different error");
+    };
+    assert_eq!(attempts, 3, "initial attempt + 2 replays");
+    assert_eq!(history.len(), 3);
+    assert!(matches!(*last, BspError::WorkerPanicked { step: 2, .. }));
+    for h in &history {
+        assert!(matches!(h, BspError::WorkerPanicked { step: 2, .. }));
     }
 }

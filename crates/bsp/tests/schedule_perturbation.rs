@@ -114,6 +114,7 @@ fn icm_cfg(perturb: Option<u64>) -> IcmConfig {
         max_supersteps: 10_000,
         keep_per_step_timing: false,
         perturb_schedule: perturb,
+        fault_plan: None,
     }
 }
 
@@ -124,6 +125,7 @@ fn vcm_cfg(perturb: Option<u64>) -> VcmConfig {
         need_in_edges: false,
         keep_per_step_timing: false,
         perturb_schedule: perturb,
+        fault_plan: None,
     }
 }
 

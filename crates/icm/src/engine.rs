@@ -22,11 +22,15 @@ use crate::program::{
 };
 use crate::state::StateUpdates;
 use crate::warp::WarpScratch;
-use graphite_bsp::aggregate::Aggregators;
+use graphite_bsp::aggregate::{Aggregators, MasterDecision};
+use graphite_bsp::codec::{get_varint, put_varint, Wire};
 use graphite_bsp::engine::{run_bsp, BspConfig, Inbox, Outbox, WorkerLogic};
 use graphite_bsp::error::BspError;
+use graphite_bsp::fault::FaultPlan;
 use graphite_bsp::metrics::{RunMetrics, UserCounters};
 use graphite_bsp::partition::PartitionMap;
+use graphite_bsp::recover::{run_bsp_recoverable, RecoveryConfig};
+use graphite_bsp::snapshot::Snapshot;
 use graphite_bsp::MasterHook;
 use graphite_tgraph::graph::{EIdx, TemporalGraph, VIdx, VertexId};
 use graphite_tgraph::iset::IntervalPartition;
@@ -55,6 +59,10 @@ pub struct IcmConfig {
     /// scheduling freedoms with this seed (race-harness use; results must
     /// not change).
     pub perturb_schedule: Option<u64>,
+    /// Forwarded to [`BspConfig::fault_plan`]: deterministic fault
+    /// injection (fault-tolerance harness use; recovered results must be
+    /// bit-identical to fault-free ones).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for IcmConfig {
@@ -66,6 +74,7 @@ impl Default for IcmConfig {
             max_supersteps: 100_000,
             keep_per_step_timing: false,
             perturb_schedule: None,
+            fault_plan: None,
         }
     }
 }
@@ -472,6 +481,66 @@ impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
     }
 }
 
+/// Checkpointing for ICM workers (available when the program's state is
+/// wire-encodable): the per-vertex interval partitions are the complete
+/// user state — `segment_cache`, `scratch` and `emitted` are derived or
+/// ephemeral and rebuild on demand, and the config fields never change
+/// mid-run.
+impl<P: IntervalProgram> Snapshot for IcmWorker<P>
+where
+    P::State: Wire,
+{
+    fn checkpoint(&self, buf: &mut Vec<u8>) {
+        put_varint(self.states.len() as u64, buf);
+        for (&v, partition) in &self.states {
+            put_varint(u64::from(v), buf);
+            partition.lifespan().encode(buf);
+            put_varint(partition.len() as u64, buf);
+            for (iv, s) in partition.iter() {
+                iv.encode(buf);
+                s.encode(buf);
+            }
+        }
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), &'static str> {
+        let mut cur = bytes;
+        let count = get_varint(&mut cur).ok_or("vertex state count")?;
+        let mut states = BTreeMap::new();
+        for _ in 0..count {
+            let raw = get_varint(&mut cur).ok_or("vertex id")?;
+            let v = u32::try_from(raw).map_err(|_| "vertex id exceeds u32")?;
+            let lifespan = Interval::decode(&mut cur).ok_or("vertex lifespan")?;
+            let n = get_varint(&mut cur).ok_or("partition entry count")?;
+            let mut entries: Vec<(Interval, P::State)> = Vec::new();
+            for _ in 0..n {
+                let iv = Interval::decode(&mut cur).ok_or("entry interval")?;
+                let s = P::State::decode(&mut cur).ok_or("entry state")?;
+                entries.push((iv, s));
+            }
+            // Re-validate the tiling before handing the entries to
+            // `IntervalPartition::from_entries`, which panics on violation:
+            // restore stays total even on a corrupted blob.
+            let tiles = !entries.is_empty()
+                && entries[0].0.start() == lifespan.start()
+                && entries[entries.len() - 1].0.end() == lifespan.end()
+                && entries.windows(2).all(|w| w[0].0.end() == w[1].0.start());
+            if !tiles {
+                return Err("checkpoint entries do not tile the lifespan");
+            }
+            states.insert(v, IntervalPartition::from_entries(lifespan, entries));
+        }
+        if !cur.is_empty() {
+            return Err("trailing bytes in worker checkpoint");
+        }
+        self.states = states;
+        // Derived cache: cheap to rebuild, and keeping it is also correct —
+        // cleared anyway so restored runs start from a canonical footprint.
+        self.segment_cache.clear();
+        Ok(())
+    }
+}
+
 /// Runs `program` over `graph` with `config`, returning final states and
 /// metrics. Deterministic for a fixed worker count.
 ///
@@ -531,10 +600,56 @@ pub fn try_run_icm_with_master<P: IntervalProgram>(
     master: Option<MasterHook<'_>>,
 ) -> Result<IcmResult<P::State>, BspError> {
     let partition = Arc::new(PartitionMap::hash(&graph, config.workers));
-    let workers: Vec<IcmWorker<P>> = (0..config.workers)
+    let workers = build_workers(&graph, &program, config, &partition);
+    let bsp = bsp_config(config);
+    let mut wrapper = keepalive_master(Arc::clone(&program), master);
+    let (workers, metrics) = run_bsp(&bsp, workers, partition, Some(&mut wrapper))?;
+    Ok(collect_result(workers, metrics))
+}
+
+/// Fault-tolerant [`try_run_icm`]: runs over the checkpoint/rollback
+/// driver ([`run_bsp_recoverable`]), so faults injected via
+/// [`IcmConfig::fault_plan`] — or real worker panics — roll the run back
+/// to the last checkpoint and replay instead of failing it. Requires the
+/// program state to be wire-encodable.
+///
+/// Recovered results are bit-identical to fault-free ones (pinned by the
+/// fault-matrix digests); only the [`RunMetrics::recovery`] counters —
+/// which never enter digests — reveal that recovery happened.
+///
+/// # Errors
+///
+/// See [`BspError`]; exhausting the retry budget is
+/// [`BspError::RecoveryExhausted`].
+pub fn try_run_icm_recoverable<P: IntervalProgram>(
+    graph: Arc<TemporalGraph>,
+    program: Arc<P>,
+    config: &IcmConfig,
+    recovery: &RecoveryConfig,
+) -> Result<IcmResult<P::State>, BspError>
+where
+    P::State: Wire,
+{
+    let partition = Arc::new(PartitionMap::hash(&graph, config.workers));
+    let workers = build_workers(&graph, &program, config, &partition);
+    let bsp = bsp_config(config);
+    let mut wrapper = keepalive_master(Arc::clone(&program), None);
+    let (workers, metrics) =
+        run_bsp_recoverable(&bsp, recovery, workers, partition, Some(&mut wrapper))?;
+    Ok(collect_result(workers, metrics))
+}
+
+/// One ICM worker per partition, with empty state maps and fresh arenas.
+fn build_workers<P: IntervalProgram>(
+    graph: &Arc<TemporalGraph>,
+    program: &Arc<P>,
+    config: &IcmConfig,
+    partition: &Arc<PartitionMap>,
+) -> Vec<IcmWorker<P>> {
+    (0..config.workers)
         .map(|w| IcmWorker {
-            graph: Arc::clone(&graph),
-            program: Arc::clone(&program),
+            graph: Arc::clone(graph),
+            program: Arc::clone(program),
             owned: partition.owned_by(w),
             combiner: config.combiner,
             suppression: config.suppression_threshold,
@@ -543,31 +658,43 @@ pub fn try_run_icm_with_master<P: IntervalProgram>(
             scratch: WarpScratch::new(),
             emitted: Vec::new(),
         })
-        .collect();
-    let bsp = BspConfig {
+        .collect()
+}
+
+/// The ICM-level config lowered onto the BSP substrate.
+fn bsp_config(config: &IcmConfig) -> BspConfig {
+    BspConfig {
         max_supersteps: config.max_supersteps,
         keep_per_step_timing: config.keep_per_step_timing,
         perturb_schedule: config.perturb_schedule,
-    };
-    // Wrap the master hook so that programs requesting an all-active next
-    // superstep keep the run alive through idle (message-free) barriers.
-    let prog = Arc::clone(&program);
-    let mut user_master = master;
-    let mut wrapper = move |step: u64, globals: &graphite_bsp::aggregate::Aggregators| {
+        fault_plan: config.fault_plan.clone(),
+    }
+}
+
+/// Wraps the user master hook so that programs requesting an all-active
+/// next superstep keep the run alive through idle (message-free) barriers.
+fn keepalive_master<'a, P: IntervalProgram>(
+    program: Arc<P>,
+    mut user_master: Option<MasterHook<'a>>,
+) -> impl FnMut(u64, &Aggregators) -> MasterDecision + 'a {
+    move |step: u64, globals: &Aggregators| {
         let user = match user_master.as_mut() {
             Some(hook) => hook(step, globals),
-            None => graphite_bsp::aggregate::MasterDecision::Continue,
+            None => MasterDecision::Continue,
         };
-        if user == graphite_bsp::aggregate::MasterDecision::Continue
-            && prog.all_active(step + 1, globals)
-        {
-            graphite_bsp::aggregate::MasterDecision::ForceContinue
+        if user == MasterDecision::Continue && program.all_active(step + 1, globals) {
+            MasterDecision::ForceContinue
         } else {
             user
         }
-    };
-    let (workers, metrics) = run_bsp(&bsp, workers, partition, Some(&mut wrapper))?;
+    }
+}
 
+/// Coalesces the per-worker partitions into the externally-keyed result.
+fn collect_result<P: IntervalProgram>(
+    workers: Vec<IcmWorker<P>>,
+    metrics: RunMetrics,
+) -> IcmResult<P::State> {
     let mut states = BTreeMap::new();
     for worker in workers {
         for (v, mut partition) in worker.states {
@@ -576,5 +703,5 @@ pub fn try_run_icm_with_master<P: IntervalProgram>(
             states.insert(vid, partition.into_entries());
         }
     }
-    Ok(IcmResult { states, metrics })
+    IcmResult { states, metrics }
 }

@@ -56,7 +56,8 @@ pub mod state;
 pub mod warp;
 
 pub use engine::{
-    run_icm, run_icm_with_master, try_run_icm, try_run_icm_with_master, IcmConfig, IcmResult,
+    run_icm, run_icm_with_master, try_run_icm, try_run_icm_recoverable, try_run_icm_with_master,
+    IcmConfig, IcmResult,
 };
 pub use program::{ComputeContext, EdgeDirection, IntervalProgram, ScatterContext, VertexContext};
 pub use warp::{time_join, time_warp, time_warp_spans, warp_view, JoinTuple, WarpTuple};
@@ -64,7 +65,8 @@ pub use warp::{time_join, time_warp, time_warp_spans, warp_view, JoinTuple, Warp
 /// The common imports: `use graphite_icm::prelude::*;`.
 pub mod prelude {
     pub use crate::engine::{
-        run_icm, run_icm_with_master, try_run_icm, try_run_icm_with_master, IcmConfig, IcmResult,
+        run_icm, run_icm_with_master, try_run_icm, try_run_icm_recoverable,
+        try_run_icm_with_master, IcmConfig, IcmResult,
     };
     pub use crate::program::{
         ComputeContext, EdgeDirection, IntervalProgram, ScatterContext, VertexContext,

@@ -52,6 +52,23 @@ fn string_mention_is_fine() -> &'static str {
 }
 
 #[cfg(test)]
+fn gated_fault_hook(plan: &FaultPlan) -> bool {
+    // The fn line above is a violation: fault-isolation (a fault hook
+    // compiled only under cfg(test) — release builds would run an engine
+    // the fault tests never exercised).
+    plan.faults.is_empty()
+}
+
+fn inline_gated_fault_check(fault_plan: &Option<FaultPlan>) -> bool {
+    cfg!(debug_assertions) && fault_plan.is_some() // violation: fault-isolation
+}
+
+fn allowed_fault_mention(fault_plan: &Option<FaultPlan>) -> bool {
+    // lint:allow(fault-isolation) — fixture-sanctioned escape hatch.
+    cfg!(test) || fault_plan.is_none()
+}
+
+#[cfg(test)]
 mod tests {
     #[test]
     fn test_code_is_exempt() {

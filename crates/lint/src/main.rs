@@ -1,6 +1,6 @@
 //! `graphite-lint` — repo-specific source-level lints (DESIGN.md §10).
 //!
-//! Four rules that rustc/clippy cannot express, each protecting one of the
+//! Five rules that rustc/clippy cannot express, each protecting one of the
 //! reproduction's determinism or robustness invariants:
 //!
 //! * `no-unwrap` — no `.unwrap()` / `.expect(` in `bsp`/`icm` non-test
@@ -15,6 +15,13 @@
 //! * `wall-clock` — no `Instant::now()` / `SystemTime::now()` outside
 //!   `bsp::metrics`: timing belongs to metrics; clock reads anywhere else
 //!   are invisible nondeterminism.
+//! * `fault-isolation` — no `cfg`-gating of fault-injection hooks in
+//!   `bsp`/`icm` code: faults are `FaultPlan` *configuration*, evaluated
+//!   by release and debug builds alike, so the recovery layer is tested
+//!   against exactly the code that ships. A `#[cfg(test)]`-only hook
+//!   would make fault tests exercise a different engine. Unlike the
+//!   other rules this one is checked inside test-gated code too — that
+//!   is where the leakage would hide.
 //!
 //! A violation line (or the line directly above it) may carry a
 //! `lint:allow(<rule>)` comment with a justification to opt out.
@@ -40,14 +47,16 @@ enum Rule {
     HashIteration,
     NoRawInterval,
     WallClock,
+    FaultIsolation,
 }
 
 impl Rule {
-    const ALL: [Rule; 4] = [
+    const ALL: [Rule; 5] = [
         Rule::NoUnwrap,
         Rule::HashIteration,
         Rule::NoRawInterval,
         Rule::WallClock,
+        Rule::FaultIsolation,
     ];
 
     fn name(self) -> &'static str {
@@ -56,6 +65,7 @@ impl Rule {
             Rule::HashIteration => "hash-iteration",
             Rule::NoRawInterval => "no-raw-interval",
             Rule::WallClock => "wall-clock",
+            Rule::FaultIsolation => "fault-isolation",
         }
     }
 
@@ -69,7 +79,18 @@ impl Rule {
                 "raw `Interval { .. }` literal: construct via Interval::new/try_new"
             }
             Rule::WallClock => "wall-clock read outside bsp::metrics: route through metrics::now()",
+            Rule::FaultIsolation => {
+                "cfg-gated fault hook: fault injection is FaultPlan configuration, \
+                 active in every build, never a compile-time feature"
+            }
         }
+    }
+
+    /// Whether the rule also applies inside `#[cfg(test)]`-gated code.
+    /// `fault-isolation` must: a `#[cfg(test)]`-gated fault hook is
+    /// exactly the leakage it exists to catch.
+    fn checks_test_code(self) -> bool {
+        self == Rule::FaultIsolation
     }
 }
 
@@ -174,6 +195,7 @@ fn rules_for(path: &Path) -> Vec<Rule> {
     if p.contains("crates/bsp/src/") || p.contains("crates/icm/src/") {
         rules.push(Rule::NoUnwrap);
         rules.push(Rule::HashIteration);
+        rules.push(Rule::FaultIsolation);
     }
     if !p.ends_with("crates/tgraph/src/time.rs") {
         rules.push(Rule::NoRawInterval);
@@ -212,10 +234,10 @@ fn lint_file(path: &Path, source: &str, rules: &[Rule], out: &mut Vec<Violation>
     };
 
     for (i, code_line) in code.iter().enumerate() {
-        if in_test[i] {
-            continue;
-        }
         for &rule in rules {
+            if in_test[i] && !rule.checks_test_code() {
+                continue;
+            }
             let hit = match rule {
                 Rule::NoUnwrap => code_line.contains(".unwrap()") || code_line.contains(".expect("),
                 Rule::HashIteration => iterates_hash(code_line, &hash_names),
@@ -223,6 +245,7 @@ fn lint_file(path: &Path, source: &str, rules: &[Rule], out: &mut Vec<Violation>
                 Rule::WallClock => {
                     code_line.contains("Instant::now(") || code_line.contains("SystemTime::now(")
                 }
+                Rule::FaultIsolation => fault_gated(&code, i),
             };
             if hit && !allowed(&raw, i, rule) {
                 out.push(Violation {
@@ -287,6 +310,45 @@ fn has_raw_interval_literal(code_line: &str) -> bool {
 
 fn is_ident_char(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Identifiers that mark fault-injection hook code.
+const FAULT_IDENTS: [&str; 7] = [
+    "FaultPlan",
+    "FaultInjector",
+    "FaultKind",
+    "FaultMode",
+    "fault_plan",
+    "arm_panic",
+    "arm_corruption",
+];
+
+/// Is line `i` a fault hook placed behind conditional compilation? A hit
+/// needs both: the line mentions a fault-injection identifier, and it is
+/// gated — `cfg!(` on the line itself, or a `#[cfg(` attribute directly
+/// above (looking past other attributes, blank lines and blanked-out
+/// comments, which is how attribute stacks read).
+fn fault_gated(code: &[String], i: usize) -> bool {
+    let line = &code[i];
+    if !FAULT_IDENTS.iter().any(|id| line.contains(id)) {
+        return false;
+    }
+    if line.contains("cfg!(") {
+        return true;
+    }
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let above = code[j].trim();
+        if above.starts_with("#[cfg(") {
+            return true;
+        }
+        if above.is_empty() || above.starts_with("#[") {
+            continue;
+        }
+        return false;
+    }
+    false
 }
 
 /// Names declared with a hash-container type in this file: struct fields
@@ -631,6 +693,37 @@ mod tests {
         let code = strip_noncode(src);
         let mask = test_mask(&code);
         assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn fault_gating_detection() {
+        let gated: Vec<String> = vec!["#[cfg(test)]".into(), "fn hook(plan: &FaultPlan) {}".into()];
+        assert!(fault_gated(&gated, 1));
+        let stacked: Vec<String> = vec![
+            "#[cfg(feature = \"faults\")]".into(),
+            "#[inline]".into(),
+            "".into(),
+            "fn fire(inj: &mut FaultInjector) {}".into(),
+        ];
+        assert!(fault_gated(&stacked, 3));
+        let inline: Vec<String> =
+            vec!["let go = cfg!(debug_assertions) && fault_plan.is_some();".into()];
+        assert!(fault_gated(&inline, 0));
+        let clean: Vec<String> = vec![
+            "fn run(config: &BspConfig) {".into(),
+            "    let inj = FaultInjector::new(config.fault_plan.clone());".into(),
+        ];
+        assert!(!fault_gated(&clean, 1));
+        let unrelated_gate: Vec<String> = vec![
+            "#[cfg(test)]".into(),
+            "mod tests {".into(),
+            "    use super::*;".into(),
+            "    fn t() { let p = FaultPlan::default(); }".into(),
+        ];
+        assert!(
+            !fault_gated(&unrelated_gate, 3),
+            "a test merely *using* a fault plan is not a gated hook"
+        );
     }
 
     #[test]

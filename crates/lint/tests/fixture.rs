@@ -31,6 +31,7 @@ fn fixture_trips_every_rule() {
         "hash-iteration",
         "no-raw-interval",
         "wall-clock",
+        "fault-isolation",
     ] {
         assert!(
             text.contains(&format!("[{rule}]")),
@@ -39,10 +40,11 @@ fn fixture_trips_every_rule() {
     }
 
     // Exactly the seeded violations: 2 unwrap/expect (the allowed one is
-    // excused), 2 hash iterations, 1 raw interval literal, 1 clock read.
+    // excused), 2 hash iterations, 1 raw interval literal, 1 clock read,
+    // 2 cfg-gated fault hooks (the allowed one is excused).
     assert!(
-        text.contains("6 violation(s)"),
-        "expected 6 violations in:\n{text}"
+        text.contains("8 violation(s)"),
+        "expected 8 violations in:\n{text}"
     );
 
     // The escaped line and the test-module unwrap must not be flagged.

@@ -19,4 +19,7 @@ cargo run -q -p graphite-lint
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> fault-injection matrix (release)"
+scripts/fault_matrix.sh
+
 echo "==> all checks passed"
