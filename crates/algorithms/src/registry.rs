@@ -13,6 +13,7 @@ use graphite_baselines::tgb::run_tgb;
 use graphite_baselines::vcm::VcmConfig;
 use graphite_baselines::EdgeWeights;
 use graphite_bsp::metrics::RunMetrics;
+use graphite_bsp::trace::TraceConfig;
 use graphite_icm::prelude::*;
 use graphite_tgraph::graph::{TemporalGraph, VIdx, VertexId};
 use graphite_tgraph::snapshot::snapshot_window;
@@ -174,6 +175,10 @@ pub struct RunOpts {
     /// (the paper's manual optimization on USRN, Sec. VII-B6; on by
     /// default to mirror the paper's Table 2 setup).
     pub static_topology_reuse: bool,
+    /// Structured-trace recording level, forwarded to the ICM/VCM engine
+    /// configs (the wrapper platforms run their inner engines untraced).
+    /// Off by default; results are bit-identical at every level.
+    pub trace: TraceConfig,
 }
 
 impl Default for RunOpts {
@@ -190,6 +195,7 @@ impl Default for RunOpts {
             max_supersteps: 100_000,
             digest: true,
             static_topology_reuse: true,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -294,6 +300,7 @@ pub fn run(
         max_supersteps: opts.max_supersteps,
         keep_per_step_timing: false,
         perturb_schedule: None,
+        trace: opts.trace,
         fault_plan: None,
     };
     let msb_cfg = |need_in: bool| MsbConfig {
@@ -329,6 +336,7 @@ pub fn run(
         need_in_edges: need_in,
         keep_per_step_timing: false,
         perturb_schedule: None,
+        trace: opts.trace,
         fault_plan: None,
     };
     let transform_opts = TransformOptions {

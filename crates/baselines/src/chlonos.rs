@@ -14,6 +14,7 @@ use graphite_bsp::aggregate::Aggregators;
 use graphite_bsp::engine::{run_bsp, BspConfig, Inbox, Outbox, WorkerLogic};
 use graphite_bsp::metrics::{RunMetrics, UserCounters};
 use graphite_bsp::partition::PartitionMap;
+use graphite_bsp::trace::TraceSink;
 use graphite_tgraph::graph::{TemporalGraph, VIdx};
 use graphite_tgraph::property::PropValue;
 use graphite_tgraph::snapshot::snapshot_window;
@@ -241,6 +242,7 @@ where
         globals: &Aggregators,
         partial: &mut Aggregators,
         counters: &mut UserCounters,
+        _sink: &mut TraceSink,
     ) {
         if step == 1 {
             let owned = std::mem::take(&mut self.owned);

@@ -15,6 +15,7 @@ use graphite_bsp::codec::Wire;
 use graphite_bsp::engine::{run_bsp, BspConfig, Inbox, Outbox, WorkerLogic};
 use graphite_bsp::metrics::{RunMetrics, UserCounters};
 use graphite_bsp::partition::PartitionMap;
+use graphite_bsp::trace::TraceSink;
 use graphite_tgraph::graph::{TemporalGraph, VIdx, VertexId};
 use graphite_tgraph::property::PropValue;
 use graphite_tgraph::snapshot::snapshot_window;
@@ -243,6 +244,7 @@ impl<P: GofProgram> WorkerLogic for GofWorker<P> {
         _globals: &Aggregators,
         _partial: &mut Aggregators,
         counters: &mut UserCounters,
+        _sink: &mut TraceSink,
     ) {
         if step == 1 {
             // GoFFish-TS semantics: the inner VCM loop's first superstep

@@ -17,6 +17,7 @@ use graphite_bsp::metrics::{RunMetrics, UserCounters};
 use graphite_bsp::partition::{splitmix64, PartitionMap};
 use graphite_bsp::recover::{run_bsp_recoverable, RecoveryConfig};
 use graphite_bsp::snapshot::Snapshot;
+use graphite_bsp::trace::{TraceConfig, TraceSink};
 use graphite_bsp::MasterHook;
 use graphite_tgraph::builder::TemporalGraphBuilder;
 use graphite_tgraph::graph::{VIdx, VertexId};
@@ -174,6 +175,9 @@ pub struct VcmConfig {
     /// scheduling freedoms with this seed (race-harness use; results must
     /// not change).
     pub perturb_schedule: Option<u64>,
+    /// Forwarded to [`BspConfig::trace`]: structured-trace recording
+    /// level. Off by default; results are bit-identical at every level.
+    pub trace: TraceConfig,
     /// Forwarded to [`BspConfig::fault_plan`]: deterministic fault
     /// injection (fault-tolerance harness use; recovered results must be
     /// bit-identical to fault-free ones).
@@ -188,6 +192,7 @@ impl Default for VcmConfig {
             need_in_edges: false,
             keep_per_step_timing: false,
             perturb_schedule: None,
+            trace: TraceConfig::default(),
             fault_plan: None,
         }
     }
@@ -283,6 +288,7 @@ impl<T: VcmTopology, P: VcmProgram> WorkerLogic for VcmWorker<T, P> {
         globals: &Aggregators,
         partial: &mut Aggregators,
         counters: &mut UserCounters,
+        _sink: &mut TraceSink,
     ) {
         if step == 1 {
             let owned = std::mem::take(&mut self.owned);
@@ -492,6 +498,7 @@ fn bsp_config(config: &VcmConfig) -> BspConfig {
         max_supersteps: config.max_supersteps,
         keep_per_step_timing: config.keep_per_step_timing,
         perturb_schedule: config.perturb_schedule,
+        trace: config.trace,
         fault_plan: config.fault_plan.clone(),
     }
 }

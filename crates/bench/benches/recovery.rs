@@ -48,6 +48,7 @@ fn cfg() -> IcmConfig {
         max_supersteps: 10_000,
         keep_per_step_timing: false,
         perturb_schedule: None,
+        trace: graphite_bsp::trace::TraceConfig::default(),
         fault_plan: None,
     }
 }

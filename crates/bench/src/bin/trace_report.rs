@@ -1,0 +1,57 @@
+//! `trace_report` — render a `graphite-trace/1` JSONL file as a
+//! per-superstep profile, or compare two traces.
+//!
+//! ```text
+//! trace_report TRACE.jsonl [--top K]        per-step profile
+//! trace_report A.jsonl B.jsonl              side-by-side comparison
+//! ```
+//!
+//! Produce a trace with e.g.
+//! `GRAPHITE_TRACE=full GRAPHITE_TRACE_JSON=trace.jsonl graphite run bfs icm ...`
+//! — see EXPERIMENTS.md "Reading a trace" for a worked example.
+
+use graphite_bench::tracefmt;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<tracefmt::TraceDoc, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    tracefmt::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<String> = Vec::new();
+    let mut top_k = 4usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--top" => {
+                top_k = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(top_k)
+                    .max(1)
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: trace_report TRACE.jsonl [SECOND.jsonl] [--top K]");
+                return ExitCode::SUCCESS;
+            }
+            _ => paths.push(arg),
+        }
+    }
+
+    let result = match paths.as_slice() {
+        [one] => load(one).map(|doc| tracefmt::render(&doc, top_k)),
+        [a, b] => load(a).and_then(|da| load(b).map(|db| tracefmt::render_compare(&da, &db))),
+        _ => Err("usage: trace_report TRACE.jsonl [SECOND.jsonl] [--top K]".to_string()),
+    };
+    match result {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace_report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

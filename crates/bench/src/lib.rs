@@ -23,6 +23,7 @@
 pub mod json;
 pub mod record;
 pub mod timing;
+pub mod tracefmt;
 
 use graphite_algorithms::registry::{self, Algo, Platform, RunOpts};
 use graphite_bsp::metrics::RunMetrics;

@@ -96,7 +96,7 @@ pub fn bench<T>(label: &str, mut f: impl FnMut() -> T) -> BenchResult {
     }
 }
 
-/// Like [`bench`] but annotates the label with an element count and also
+/// Like [`fn@bench`] but annotates the label with an element count and also
 /// reports per-element throughput.
 pub fn bench_throughput<T>(label: &str, elements: u64, mut f: impl FnMut() -> T) -> BenchResult {
     let budget = budget();

@@ -1,0 +1,481 @@
+//! Parser and text renderer for `graphite-trace/1` JSONL streams.
+//!
+//! The engine side of tracing lives in `graphite_bsp::trace`; this module
+//! is the *consumer*: it parses a trace file written via
+//! `GRAPHITE_TRACE_JSON` into a [`TraceDoc`] and renders the
+//! per-superstep profile that the `trace_report` binary prints — per-step
+//! phase timings, top-k workers by compute time, the compute skew ratio,
+//! and the warp amplification factor (see EXPERIMENTS.md "Reading a
+//! trace" for an annotated example).
+//!
+//! Recovered runs are handled in stream order: replayed supersteps appear
+//! again after their `rollback` marker, exactly as executed.
+
+use crate::json::Json;
+
+/// One worker's share of one superstep (a `worker_step` event).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerRow {
+    /// Worker index.
+    pub worker: u64,
+    /// Interval-vertices with pending messages at step start.
+    pub active: u64,
+    /// Messages delivered to this worker for this step.
+    pub msgs_in: u64,
+    /// User compute invocations this worker made.
+    pub compute_calls: u64,
+    /// Messages this worker emitted.
+    pub msgs_out: u64,
+    /// Of those, messages that crossed a worker boundary.
+    pub remote_msgs: u64,
+    /// Serialized bytes this worker shipped.
+    pub bytes_out: u64,
+    /// Warp invocations (ICM only).
+    pub warp_invocations: u64,
+    /// Warp suppressions (ICM only).
+    pub warp_suppressions: u64,
+    /// Warp tuples produced (ICM extra; 0 when absent).
+    pub warp_tuples: u64,
+    /// Total messages across warp tuple groups (ICM extra; 0 when
+    /// absent). `warp_group_msgs / msgs_in` is the warp amplification —
+    /// how many times the average message is re-presented to compute.
+    pub warp_group_msgs: u64,
+    /// Wall-clock compute span (0 under Counters level).
+    pub compute_ns: u64,
+    /// Wall-clock warp span (ICM extra; 0 when absent).
+    pub warp_ns: u64,
+}
+
+/// One superstep: its worker rows plus the `step_end` barrier summary.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StepProfile {
+    /// 1-based superstep number (repeats after a rollback).
+    pub step: u64,
+    /// Per-worker rows, in worker order.
+    pub workers: Vec<WorkerRow>,
+    /// Messages routed this step.
+    pub sent: u64,
+    /// Whether the run halted at this barrier.
+    pub halted: bool,
+    /// Slowest worker's compute span.
+    pub compute_ns: u64,
+    /// Exchange span.
+    pub messaging_ns: u64,
+    /// Barrier/bookkeeping span.
+    pub barrier_ns: u64,
+}
+
+impl StepProfile {
+    /// Max-over-mean of the workers' compute spans — 1.0 means perfectly
+    /// balanced, `workers.len()` means one worker did everything. Falls
+    /// back to message counts when the stream carries no timing
+    /// (Counters level), and to 1.0 when there is nothing to compare.
+    pub fn skew(&self) -> f64 {
+        let timed: Vec<u64> = self.workers.iter().map(|w| w.compute_ns).collect();
+        let loads = if timed.iter().any(|&v| v > 0) {
+            timed
+        } else {
+            self.workers.iter().map(|w| w.msgs_in).collect()
+        };
+        let n = loads.len();
+        let total: u64 = loads.iter().sum();
+        if n == 0 || total == 0 {
+            return 1.0;
+        }
+        let max = loads.iter().max().copied().unwrap_or(0);
+        max as f64 * n as f64 / total as f64
+    }
+
+    /// Warp amplification: messages presented to compute through warp
+    /// tuple groups, over messages delivered. `None` when no messages
+    /// arrived or the stream has no warp extras (non-ICM platforms).
+    pub fn warp_amplification(&self) -> Option<f64> {
+        let group: u64 = self.workers.iter().map(|w| w.warp_group_msgs).sum();
+        let msgs: u64 = self.workers.iter().map(|w| w.msgs_in).sum();
+        if msgs == 0 || group == 0 {
+            return None;
+        }
+        Some(group as f64 / msgs as f64)
+    }
+}
+
+/// A recovery marker, kept in stream position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Marker {
+    /// Checkpoint after `step`, `bytes` serialized.
+    Checkpoint {
+        /// Superstep the checkpoint covers.
+        step: u64,
+        /// Serialized payload size.
+        bytes: u64,
+    },
+    /// Rollback from `from_step` to `to_step`.
+    Rollback {
+        /// Superstep the failed attempt had reached.
+        from_step: u64,
+        /// Checkpointed superstep the run resumed after.
+        to_step: u64,
+    },
+}
+
+/// One entry of the stream, in order: a completed superstep or a
+/// recovery marker.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Entry {
+    /// A superstep closed by its `step_end`.
+    Step(StepProfile),
+    /// A checkpoint/rollback marker.
+    Marker(Marker),
+}
+
+/// A parsed `graphite-trace/1` stream.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceDoc {
+    /// The run label from the header line.
+    pub label: String,
+    /// Steps and markers in stream order.
+    pub entries: Vec<Entry>,
+}
+
+impl TraceDoc {
+    /// The step profiles only, in stream order.
+    pub fn steps(&self) -> impl Iterator<Item = &StepProfile> + '_ {
+        self.entries.iter().filter_map(|e| match e {
+            Entry::Step(s) => Some(s),
+            Entry::Marker(_) => None,
+        })
+    }
+
+    /// Sums a per-worker field over the whole stream (replayed steps
+    /// included, mirroring how `RunMetrics` accumulates counters over a
+    /// recovered run).
+    pub fn sum(&self, f: impl Fn(&WorkerRow) -> u64) -> u64 {
+        self.steps().flat_map(|s| s.workers.iter()).map(&f).sum()
+    }
+}
+
+fn get_u64(obj: &Json, key: &str, line_no: usize) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .map(|v| v as u64)
+        .ok_or_else(|| format!("line {line_no}: missing numeric field {key:?}"))
+}
+
+/// Parses a `graphite-trace/1` JSONL stream.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on malformed JSON, a
+/// wrong/missing schema header, unknown event kinds, or missing fields —
+/// the schema is versioned precisely so readers can refuse what they do
+/// not understand.
+pub fn parse(text: &str) -> Result<TraceDoc, String> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let Some((_, header)) = lines.next() else {
+        return Err("empty trace: no header line".into());
+    };
+    let header = Json::parse(header).map_err(|e| format!("header: {e}"))?;
+    match header.get("schema").and_then(Json::as_str) {
+        Some("graphite-trace/1") => {}
+        Some(other) => return Err(format!("unsupported schema {other:?}")),
+        None => return Err("header carries no \"schema\" field".into()),
+    }
+    let label = header
+        .get("label")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string();
+
+    let mut doc = TraceDoc {
+        label,
+        entries: Vec::new(),
+    };
+    let mut pending: Vec<WorkerRow> = Vec::new();
+    for (i, line) in lines {
+        let n = i + 1;
+        let ev = Json::parse(line).map_err(|e| format!("line {n}: {e}"))?;
+        match ev.get("ev").and_then(Json::as_str) {
+            Some("worker_step") => {
+                let mut row = WorkerRow {
+                    worker: get_u64(&ev, "worker", n)?,
+                    active: get_u64(&ev, "active", n)?,
+                    msgs_in: get_u64(&ev, "msgs_in", n)?,
+                    compute_calls: get_u64(&ev, "compute_calls", n)?,
+                    msgs_out: get_u64(&ev, "msgs_out", n)?,
+                    remote_msgs: get_u64(&ev, "remote_msgs", n)?,
+                    bytes_out: get_u64(&ev, "bytes_out", n)?,
+                    warp_invocations: get_u64(&ev, "warp_invocations", n)?,
+                    warp_suppressions: get_u64(&ev, "warp_suppressions", n)?,
+                    compute_ns: get_u64(&ev, "compute_ns", n)?,
+                    ..WorkerRow::default()
+                };
+                if let Some(extras) = ev.get("extras") {
+                    row.warp_tuples = get_u64(extras, "warp_tuples", n).unwrap_or(0);
+                    row.warp_group_msgs = get_u64(extras, "warp_group_msgs", n).unwrap_or(0);
+                    row.warp_ns = get_u64(extras, "warp_ns", n).unwrap_or(0);
+                }
+                pending.push(row);
+            }
+            Some("step_end") => {
+                doc.entries.push(Entry::Step(StepProfile {
+                    step: get_u64(&ev, "step", n)?,
+                    workers: std::mem::take(&mut pending),
+                    sent: get_u64(&ev, "sent", n)?,
+                    halted: matches!(ev.get("halted"), Some(Json::Bool(true))),
+                    compute_ns: get_u64(&ev, "compute_ns", n)?,
+                    messaging_ns: get_u64(&ev, "messaging_ns", n)?,
+                    barrier_ns: get_u64(&ev, "barrier_ns", n)?,
+                }));
+            }
+            Some("checkpoint") => doc.entries.push(Entry::Marker(Marker::Checkpoint {
+                step: get_u64(&ev, "step", n)?,
+                bytes: get_u64(&ev, "bytes", n)?,
+            })),
+            Some("rollback") => doc.entries.push(Entry::Marker(Marker::Rollback {
+                from_step: get_u64(&ev, "from_step", n)?,
+                to_step: get_u64(&ev, "to_step", n)?,
+            })),
+            Some(other) => return Err(format!("line {n}: unknown event kind {other:?}")),
+            None => return Err(format!("line {n}: event carries no \"ev\" field")),
+        }
+    }
+    if !pending.is_empty() {
+        return Err(format!(
+            "{} trailing worker_step event(s) without a step_end",
+            pending.len()
+        ));
+    }
+    Ok(doc)
+}
+
+/// `1234567` → `"1.23ms"` (ns / µs / ms / s, two significant decimals).
+pub fn fmt_ns(ns: u64) -> String {
+    let v = ns as f64;
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", v / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", v / 1e6)
+    } else {
+        format!("{:.2}s", v / 1e9)
+    }
+}
+
+/// Renders the per-superstep profile: one block per step with phase
+/// timings, skew, warp amplification, and the top-`top_k` workers by
+/// compute time (by messages in, under Counters-level streams).
+pub fn render(doc: &TraceDoc, top_k: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "trace: {}", doc.label);
+    for entry in &doc.entries {
+        match entry {
+            Entry::Marker(Marker::Checkpoint { step, bytes }) => {
+                let _ = writeln!(out, "  -- checkpoint after step {step} ({bytes} bytes)");
+            }
+            Entry::Marker(Marker::Rollback { from_step, to_step }) => {
+                let _ = writeln!(
+                    out,
+                    "  -- ROLLBACK from step {from_step} to step {to_step} (replay follows)"
+                );
+            }
+            Entry::Step(s) => {
+                let _ = write!(
+                    out,
+                    "step {:>3}: sent {:>8}  compute {:>9}  messaging {:>9}  barrier {:>9}  skew {:.2}x",
+                    s.step,
+                    s.sent,
+                    fmt_ns(s.compute_ns),
+                    fmt_ns(s.messaging_ns),
+                    fmt_ns(s.barrier_ns),
+                    s.skew(),
+                );
+                match s.warp_amplification() {
+                    Some(amp) => {
+                        let _ = writeln!(out, "  warp-amp {amp:.2}x");
+                    }
+                    None => out.push('\n'),
+                }
+                let mut ranked: Vec<&WorkerRow> = s.workers.iter().collect();
+                ranked.sort_by_key(|w| (std::cmp::Reverse(w.compute_ns.max(w.msgs_in)), w.worker));
+                for w in ranked.into_iter().take(top_k) {
+                    let _ = writeln!(
+                        out,
+                        "    w{:<3} compute {:>9}  active {:>6}  in {:>7}  out {:>7}  \
+                         bytes {:>8}  warp {}/{} (sup {})",
+                        w.worker,
+                        fmt_ns(w.compute_ns),
+                        w.active,
+                        w.msgs_in,
+                        w.msgs_out,
+                        w.bytes_out,
+                        w.warp_invocations,
+                        w.warp_tuples,
+                        w.warp_suppressions,
+                    );
+                }
+                if s.halted {
+                    let _ = writeln!(out, "  -- halted");
+                }
+            }
+        }
+    }
+    let steps = doc
+        .entries
+        .iter()
+        .filter(|e| matches!(e, Entry::Step(_)))
+        .count();
+    let _ = writeln!(
+        out,
+        "total: {} step(s), {} msgs, {} remote, {} bytes, {} compute calls",
+        steps,
+        doc.sum(|w| w.msgs_out),
+        doc.sum(|w| w.remote_msgs),
+        doc.sum(|w| w.bytes_out),
+        doc.sum(|w| w.compute_calls),
+    );
+    out
+}
+
+/// Renders a side-by-side comparison of two traces (e.g. across
+/// commits): per stream-ordered step, the deterministic load deltas; any
+/// divergence in message counts between two runs of the same workload is
+/// a semantic change, not noise.
+pub fn render_compare(a: &TraceDoc, b: &TraceDoc) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "compare: {}  vs  {}", a.label, b.label);
+    let sa: Vec<&StepProfile> = a.steps().collect();
+    let sb: Vec<&StepProfile> = b.steps().collect();
+    if sa.len() != sb.len() {
+        let _ = writeln!(out, "step count differs: {} vs {}", sa.len(), sb.len());
+    }
+    let delta = |x: u64, y: u64| y as i64 - x as i64;
+    for (x, y) in sa.iter().zip(&sb) {
+        let msgs_x: u64 = x.workers.iter().map(|w| w.msgs_out).sum();
+        let msgs_y: u64 = y.workers.iter().map(|w| w.msgs_out).sum();
+        let bytes_x: u64 = x.workers.iter().map(|w| w.bytes_out).sum();
+        let bytes_y: u64 = y.workers.iter().map(|w| w.bytes_out).sum();
+        let calls_x: u64 = x.workers.iter().map(|w| w.compute_calls).sum();
+        let calls_y: u64 = y.workers.iter().map(|w| w.compute_calls).sum();
+        let _ = writeln!(
+            out,
+            "step {:>3}: msgs {:>8} ({:+})  bytes {:>8} ({:+})  calls {:>7} ({:+})  \
+             compute {:>9} vs {:>9}",
+            x.step,
+            msgs_y,
+            delta(msgs_x, msgs_y),
+            bytes_y,
+            delta(bytes_x, bytes_y),
+            calls_y,
+            delta(calls_x, calls_y),
+            fmt_ns(x.compute_ns),
+            fmt_ns(y.compute_ns),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "total msgs: {} vs {} | bytes: {} vs {} | compute calls: {} vs {}",
+        a.sum(|w| w.msgs_out),
+        b.sum(|w| w.msgs_out),
+        a.sum(|w| w.bytes_out),
+        b.sum(|w| w.bytes_out),
+        a.sum(|w| w.compute_calls),
+        b.sum(|w| w.compute_calls),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "{\"schema\":\"graphite-trace/1\",\"label\":\"bfs/icm\"}\n",
+        "{\"ev\":\"worker_step\",\"step\":1,\"worker\":0,\"active\":3,\"msgs_in\":6,",
+        "\"compute_calls\":4,\"scatter_calls\":2,\"msgs_out\":5,\"remote_msgs\":2,",
+        "\"bytes_out\":40,\"warp_invocations\":1,\"warp_suppressions\":0,",
+        "\"compute_ns\":3000,\"extras\":{\"warp_tuples\":4,\"warp_group_msgs\":12}}\n",
+        "{\"ev\":\"worker_step\",\"step\":1,\"worker\":1,\"active\":1,\"msgs_in\":2,",
+        "\"compute_calls\":1,\"scatter_calls\":1,\"msgs_out\":1,\"remote_msgs\":1,",
+        "\"bytes_out\":8,\"warp_invocations\":0,\"warp_suppressions\":1,",
+        "\"compute_ns\":1000,\"extras\":{}}\n",
+        "{\"ev\":\"checkpoint\",\"step\":1,\"bytes\":128}\n",
+        "{\"ev\":\"rollback\",\"from_step\":2,\"to_step\":1}\n",
+        "{\"ev\":\"step_end\",\"step\":1,\"sent\":6,\"halted\":true,",
+        "\"compute_ns\":3000,\"messaging_ns\":500,\"barrier_ns\":100}\n",
+    );
+
+    #[test]
+    fn parses_the_sample_stream() {
+        let doc = parse(SAMPLE).expect("sample parses");
+        assert_eq!(doc.label, "bfs/icm");
+        let steps: Vec<&StepProfile> = doc.steps().collect();
+        assert_eq!(steps.len(), 1);
+        let s = steps[0];
+        assert_eq!(s.workers.len(), 2);
+        assert_eq!(s.sent, 6);
+        assert!(s.halted);
+        assert_eq!(s.workers[0].warp_tuples, 4);
+        assert_eq!(s.workers[1].warp_suppressions, 1);
+        assert_eq!(doc.sum(|w| w.msgs_out), 6);
+        assert_eq!(doc.sum(|w| w.bytes_out), 48);
+        // skew: loads [3000, 1000] → max 3000 * 2 / 4000 = 1.5
+        assert!((s.skew() - 1.5).abs() < 1e-9);
+        // amplification: 12 group msgs over 8 delivered.
+        let amp = s.warp_amplification().expect("has warp extras");
+        assert!((amp - 1.5).abs() < 1e-9);
+        assert!(matches!(
+            doc.entries[0],
+            Entry::Marker(Marker::Checkpoint {
+                step: 1,
+                bytes: 128
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_unknown_events() {
+        assert!(parse("{\"schema\":\"graphite-trace/2\",\"label\":\"x\"}\n")
+            .unwrap_err()
+            .contains("unsupported schema"));
+        let bad = "{\"schema\":\"graphite-trace/1\",\"label\":\"x\"}\n{\"ev\":\"mystery\"}\n";
+        assert!(parse(bad).unwrap_err().contains("unknown event"));
+        assert!(parse("").unwrap_err().contains("no header"));
+    }
+
+    #[test]
+    fn renders_a_report_with_markers() {
+        let doc = parse(SAMPLE).expect("sample parses");
+        let report = render(&doc, 4);
+        assert!(report.contains("trace: bfs/icm"));
+        assert!(report.contains("step   1"));
+        assert!(report.contains("skew 1.50x"));
+        assert!(report.contains("warp-amp 1.50x"));
+        assert!(report.contains("checkpoint after step 1"));
+        assert!(report.contains("ROLLBACK from step 2 to step 1"));
+        assert!(report.contains("-- halted"));
+        assert!(report.contains("total: 1 step(s), 6 msgs"));
+    }
+
+    #[test]
+    fn compare_reports_deltas() {
+        let a = parse(SAMPLE).expect("parses");
+        let b = parse(SAMPLE).expect("parses");
+        let cmp = render_compare(&a, &b);
+        assert!(cmp.contains("(+0)"));
+        assert!(cmp.contains("total msgs: 6 vs 6"));
+    }
+
+    #[test]
+    fn formats_durations() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.50µs");
+        assert_eq!(fmt_ns(2_250_000), "2.25ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

@@ -18,7 +18,7 @@
 //! freedoms the BSP contract leaves open (thread join order, batch delivery
 //! order) to detect accidental order dependence.
 //!
-//! The run loop itself lives in [`RunState`], one resumable superstep at a
+//! The run loop itself lives in `RunState`, one resumable superstep at a
 //! time: [`run_bsp`] drives it straight through, while the recovery driver
 //! ([`crate::recover::run_bsp_recoverable`]) interleaves checkpoints and
 //! rolls it back to the last [`crate::snapshot::Checkpoint`] after a
@@ -35,6 +35,7 @@ use crate::fault::{FaultInjector, FaultPlan};
 use crate::metrics::{now, RunMetrics, StepTiming, UserCounters};
 use crate::partition::PartitionMap;
 use crate::snapshot::{Checkpoint, Snapshot};
+use crate::trace::{duration_ns, TraceConfig, TraceEvent, TraceSink};
 use graphite_tgraph::graph::VIdx;
 use graphite_tgraph::rng::SplitMix64;
 use std::sync::Arc;
@@ -65,6 +66,10 @@ pub struct BspConfig {
     /// in release builds so `run_bsp_recoverable` is validated against
     /// production code paths.
     pub fault_plan: Option<FaultPlan>,
+    /// Structured-trace recording level (Off / Counters / Full; see
+    /// [`crate::trace`]). Off by default; results and deterministic
+    /// counters are bit-identical at every level.
+    pub trace: TraceConfig,
 }
 
 impl BspConfig {
@@ -79,6 +84,7 @@ impl Default for BspConfig {
             keep_per_step_timing: false,
             perturb_schedule: None,
             fault_plan: None,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -88,7 +94,7 @@ impl Default for BspConfig {
 /// is deterministic end to end for a fixed worker count).
 ///
 /// Flat storage, reused across supersteps: arrivals accumulate in a
-/// staging vector during the exchange phase, then [`Inbox::seal`] groups
+/// staging vector during the exchange phase, then `Inbox::seal` groups
 /// them into one contiguous message vector plus a per-vertex range index.
 /// Clearing retains every allocation, so a steady workload delivers all
 /// its messages through capacity acquired in the first supersteps.
@@ -293,7 +299,10 @@ pub trait WorkerLogic: Send {
     /// * `outbox` — destination for messages to deliver next superstep;
     /// * `globals` — merged aggregator values from the previous superstep;
     /// * `partial` — this worker's aggregator contributions for this one;
-    /// * `counters` — user-logic counters (compute calls etc.).
+    /// * `counters` — user-logic counters (compute calls etc.);
+    /// * `sink` — this worker's trace sink for operator extras (inert
+    ///   unless [`BspConfig::trace`] enables tracing).
+    #[allow(clippy::too_many_arguments)]
     fn superstep(
         &mut self,
         step: u64,
@@ -302,6 +311,7 @@ pub trait WorkerLogic: Send {
         globals: &Aggregators,
         partial: &mut Aggregators,
         counters: &mut UserCounters,
+        sink: &mut TraceSink,
     );
 }
 
@@ -327,7 +337,11 @@ pub fn schedule_order(n: usize, perturb: Option<u64>, step: u64, salt: u64) -> V
 
 /// What one worker's compute phase hands back to the exchange phase (its
 /// outbox stays in place in the per-worker outbox pool).
-type ComputeSlot = (Aggregators, UserCounters);
+type ComputeSlot = (Aggregators, UserCounters, TraceSink);
+
+/// Per-worker trace snapshot taken during exchange: the worker's counter
+/// delta for this step plus the extras its sink accumulated.
+type TraceSnap = (UserCounters, Vec<(&'static str, u64)>);
 
 /// Extracts a printable message from a worker thread's panic payload.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -406,11 +420,29 @@ impl<L: WorkerLogic> RunState<L> {
         // Injected panics are armed up front on the driver thread, so the
         // injector needs no synchronization with the worker threads.
         let bombs: Vec<bool> = (0..n).map(|w| injector.arm_panic(w, step)).collect();
+        let tracing = config.trace.is_enabled();
+        let trace_full = config.trace.is_full();
+        let trace_cfg = config.trace;
+        // Inbox population must be sampled before compute consumes the
+        // inboxes; gated on tracing so Off mode allocates nothing here.
+        let inbox_stats: Vec<(u64, u64)> = if tracing {
+            self.inboxes
+                .iter()
+                .map(|ib| (ib.active_vertices() as u64, ib.total_messages() as u64))
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         // --- Compute phase: one thread per worker. ---
         let globals_ref = &self.globals;
         let mut slots: Vec<Option<ComputeSlot>> = (0..n).map(|_| None).collect();
         let mut compute_max = Duration::ZERO;
+        let mut tooks: Vec<Duration> = if trace_full {
+            vec![Duration::ZERO; n]
+        } else {
+            Vec::new()
+        };
         let mut panicked: Vec<(usize, String)> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles: Vec<_> = self
@@ -425,6 +457,7 @@ impl<L: WorkerLogic> RunState<L> {
                         assert!(!bomb, "injected fault: worker {w} at superstep {step}");
                         let mut partial = Aggregators::new();
                         let mut counters = UserCounters::default();
+                        let mut sink = TraceSink::new(trace_cfg);
                         let t0 = now();
                         logic.superstep(
                             step,
@@ -433,8 +466,9 @@ impl<L: WorkerLogic> RunState<L> {
                             globals_ref,
                             &mut partial,
                             &mut counters,
+                            &mut sink,
                         );
-                        (partial, counters, t0.elapsed())
+                        (partial, counters, sink, t0.elapsed())
                     }))
                 })
                 .collect();
@@ -447,9 +481,12 @@ impl<L: WorkerLogic> RunState<L> {
                     continue;
                 };
                 match handle.join() {
-                    Ok((partial, counters, took)) => {
+                    Ok((partial, counters, sink, took)) => {
                         compute_max = compute_max.max(took);
-                        slots[w] = Some((partial, counters));
+                        if trace_full {
+                            tooks[w] = took;
+                        }
+                        slots[w] = Some((partial, counters, sink));
                     }
                     Err(payload) => panicked.push((w, panic_message(payload))),
                 }
@@ -476,8 +513,15 @@ impl<L: WorkerLogic> RunState<L> {
         }
         let mut step_partial = Aggregators::new();
         let mut total_sent = 0u64;
+        // Per-worker (counter delta, sink extras) snapshots, taken in route
+        // order but re-emitted in worker order at the barrier.
+        let mut worker_snaps: Vec<Option<TraceSnap>> = if tracing {
+            (0..n).map(|_| None).collect()
+        } else {
+            Vec::new()
+        };
         for &src in &route_order {
-            let Some((partial, mut counters)) = slots[src].take() else {
+            let Some((partial, mut counters, mut sink)) = slots[src].take() else {
                 continue;
             };
             let dst_order = schedule_order(
@@ -533,6 +577,9 @@ impl<L: WorkerLogic> RunState<L> {
             // perturbed route order cannot change their totals.
             step_partial.merge(&partial);
             self.metrics.absorb_counters(counters);
+            if tracing {
+                worker_snaps[src] = Some((counters, sink.take_extras()));
+            }
         }
         for inbox in self.spare.iter_mut() {
             inbox.seal();
@@ -558,18 +605,57 @@ impl<L: WorkerLogic> RunState<L> {
             None => MasterDecision::Continue,
         };
 
-        self.metrics.record_step(
-            StepTiming {
-                compute: compute_max,
-                messaging: after_exchange - after_compute,
-                barrier: (after_compute - step_start).saturating_sub(compute_max),
-            },
-            config.keep_per_step_timing,
-        );
+        let timing = StepTiming {
+            compute: compute_max,
+            messaging: after_exchange - after_compute,
+            barrier: (after_compute - step_start).saturating_sub(compute_max),
+        };
+        self.metrics
+            .record_step(timing, config.keep_per_step_timing);
         std::mem::swap(&mut self.inboxes, &mut self.spare);
 
         let idle_halt = total_sent == 0 && decision != MasterDecision::ForceContinue;
         let halting = idle_halt || decision == MasterDecision::Halt;
+        if tracing {
+            // Worker events are emitted in worker order regardless of the
+            // perturbed route order, so Counters-level streams stay
+            // bit-identical across schedule perturbations.
+            for (w, snap) in worker_snaps.iter_mut().enumerate() {
+                let Some((counters, extras)) = snap.take() else {
+                    continue;
+                };
+                let (active_vertices, messages_in) = inbox_stats[w];
+                self.metrics.trace.push(TraceEvent::WorkerStep {
+                    step,
+                    worker: w as u32,
+                    active_vertices,
+                    messages_in,
+                    counters,
+                    extras,
+                    compute_ns: if trace_full { duration_ns(tooks[w]) } else { 0 },
+                });
+            }
+            self.metrics.trace.push(TraceEvent::StepEnd {
+                step,
+                sent: total_sent,
+                halted: halting,
+                compute_ns: if trace_full {
+                    duration_ns(timing.compute)
+                } else {
+                    0
+                },
+                messaging_ns: if trace_full {
+                    duration_ns(timing.messaging)
+                } else {
+                    0
+                },
+                barrier_ns: if trace_full {
+                    duration_ns(timing.barrier)
+                } else {
+                    0
+                },
+            });
+        }
         self.checker.barrier(total_sent, decision, halting);
         self.step = step;
         self.halted = halting;
@@ -622,20 +708,27 @@ impl<L: WorkerLogic + Snapshot> RunState<L> {
                 buf
             })
             .collect();
+        // The trace is monotone over the recovered run (like the recovery
+        // counters), so the checkpointed metrics carry none of it: a
+        // rollback must not truncate events already emitted.
+        let mut metrics = self.metrics.clone();
+        metrics.trace.events.clear();
         Checkpoint {
             step: self.step,
             worker_states,
             inboxes,
             globals: self.globals.clone(),
-            metrics: self.metrics.clone(),
+            metrics,
         }
     }
 
     /// Transplants the run back to `ckpt`'s superstep boundary, discarding
     /// everything since: worker states and in-flight inboxes are restored
     /// from the blobs, partially-drained outboxes and the staging inboxes
-    /// are dropped, and the metrics rewind — except the recovery counters,
-    /// which are monotone over the whole recovered run.
+    /// are dropped, and the metrics rewind — except the recovery counters
+    /// and the trace stream, which are monotone over the whole recovered
+    /// run (the trace keeps the rolled-back steps' events; the recovery
+    /// driver marks the rewind with a [`TraceEvent::Rollback`]).
     pub(crate) fn rollback(&mut self, ckpt: &Checkpoint) -> Result<(), BspError> {
         if ckpt.worker_states.len() != self.workers.len()
             || ckpt.inboxes.len() != self.inboxes.len()
@@ -667,8 +760,10 @@ impl<L: WorkerLogic + Snapshot> RunState<L> {
         }
         self.globals = ckpt.globals.clone();
         let recovery = self.metrics.recovery;
+        let trace = std::mem::take(&mut self.metrics.trace);
         self.metrics = ckpt.metrics.clone();
         self.metrics.recovery = recovery;
+        self.metrics.trace = trace;
         self.step = ckpt.step;
         self.halted = false;
         self.checker.resume(ckpt.step);
@@ -750,6 +845,7 @@ mod tests {
             _globals: &Aggregators,
             partial: &mut Aggregators,
             counters: &mut UserCounters,
+            _sink: &mut TraceSink,
         ) {
             if step == 1 {
                 for &v in &self.owned {
@@ -959,6 +1055,7 @@ mod tests {
             _globals: &Aggregators,
             _partial: &mut Aggregators,
             _counters: &mut UserCounters,
+            _sink: &mut TraceSink,
         ) {
             if step == 2 && self.bad.contains(&self.worker) {
                 panic!("boom from {}", self.worker);

@@ -19,9 +19,13 @@
 //! on [`BspConfig`] injects worker panics and wire bit-flips to prove —
 //! via pinned digests — that recovered results are bit-identical to
 //! fault-free ones.
+//!
+//! Every run can additionally record a structured [`trace`]: per-worker,
+//! per-superstep span events (DESIGN.md §12) that never perturb results
+//! and serialize to the `graphite-trace/1` JSONL schema.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod aggregate;
 pub mod check;
@@ -33,6 +37,7 @@ pub mod metrics;
 pub mod partition;
 pub mod recover;
 pub mod snapshot;
+pub mod trace;
 
 pub use aggregate::{Agg, Aggregators, MasterDecision};
 pub use check::RunChecker;
@@ -44,3 +49,4 @@ pub use metrics::{RecoveryMetrics, RunMetrics, StepTiming, UserCounters};
 pub use partition::{hash_partition, PartitionMap};
 pub use recover::{run_bsp_recoverable, RecoveryConfig};
 pub use snapshot::{Checkpoint, CheckpointStorage, CheckpointStore, Snapshot};
+pub use trace::{RunTrace, TraceConfig, TraceEvent, TraceLevel, TraceSink};

@@ -127,6 +127,10 @@ pub struct RunMetrics {
     pub recovery: RecoveryMetrics,
     /// Per-superstep timing splits (empty unless requested).
     pub per_step: Vec<StepTiming>,
+    /// Structured trace events (empty unless [`crate::trace::TraceConfig`]
+    /// enables tracing). Like the timing fields, trace content never
+    /// enters result digests or pinned counter keys.
+    pub trace: crate::trace::RunTrace,
 }
 
 impl RunMetrics {
@@ -159,6 +163,7 @@ impl RunMetrics {
         self.routing_growths += other.routing_growths;
         self.recovery += other.recovery;
         self.per_step.extend(other.per_step.iter().copied());
+        self.trace.events.extend(other.trace.events.iter().cloned());
     }
 }
 

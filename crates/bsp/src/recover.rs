@@ -26,6 +26,7 @@ use crate::fault::FaultInjector;
 use crate::metrics::{now, RunMetrics};
 use crate::partition::PartitionMap;
 use crate::snapshot::{Checkpoint, CheckpointStorage, CheckpointStore, Snapshot};
+use crate::trace::TraceEvent;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -106,9 +107,10 @@ pub fn run_bsp_recoverable<L: WorkerLogic + Snapshot>(
     let mut rollbacks = 0u64;
     let run_start = now();
 
+    let tracing = config.trace.is_enabled();
     // Always checkpoint the virgin state: the very first superstep may be
     // the one that faults.
-    save_checkpoint(&mut store, &mut state)?;
+    save_checkpoint(&mut store, &mut state, tracing)?;
     let mut since_checkpoint = 0u64;
 
     while !state.halted {
@@ -121,7 +123,7 @@ pub fn run_bsp_recoverable<L: WorkerLogic + Snapshot>(
             Ok(()) => {
                 since_checkpoint += 1;
                 if !state.halted && since_checkpoint >= recovery.checkpoint_interval {
-                    save_checkpoint(&mut store, &mut state)?;
+                    save_checkpoint(&mut store, &mut state, tracing)?;
                     since_checkpoint = 0;
                 }
             }
@@ -145,7 +147,14 @@ pub fn run_bsp_recoverable<L: WorkerLogic + Snapshot>(
                 // Supersteps to re-execute: the completed ones since the
                 // checkpoint, plus the faulted superstep's retry.
                 let lost = state.step.saturating_sub(ckpt.step) + 1;
+                let from_step = state.step;
                 state.rollback(&ckpt)?;
+                if tracing {
+                    state.metrics.trace.push(TraceEvent::Rollback {
+                        from_step,
+                        to_step: ckpt.step,
+                    });
+                }
                 state.metrics.recovery.rollbacks += 1;
                 state.metrics.recovery.supersteps_replayed += lost;
                 rollbacks += 1;
@@ -160,15 +169,22 @@ pub fn run_bsp_recoverable<L: WorkerLogic + Snapshot>(
 }
 
 /// Captures and persists the current boundary, bumping the recovery
-/// counters.
+/// counters (and, when tracing, marking the trace stream).
 fn save_checkpoint<L: WorkerLogic + Snapshot>(
     store: &mut CheckpointStore,
     state: &mut RunState<L>,
+    tracing: bool,
 ) -> Result<(), BspError> {
     let ckpt = state.take_checkpoint();
     let bytes = store.save(ckpt)?;
     state.metrics.recovery.checkpoints_taken += 1;
     state.metrics.recovery.checkpoint_bytes += bytes;
+    if tracing {
+        state.metrics.trace.push(TraceEvent::Checkpoint {
+            step: state.step,
+            bytes,
+        });
+    }
     Ok(())
 }
 
@@ -179,6 +195,7 @@ mod tests {
     use crate::engine::{Inbox, Outbox};
     use crate::fault::{Fault, FaultKind, FaultMode, FaultPlan};
     use crate::metrics::UserCounters;
+    use crate::trace::TraceSink;
     use graphite_tgraph::builder::TemporalGraphBuilder;
     use graphite_tgraph::graph::{EdgeId, TemporalGraph, VIdx, VertexId};
     use graphite_tgraph::time::Interval;
@@ -221,6 +238,7 @@ mod tests {
             _globals: &Aggregators,
             _partial: &mut Aggregators,
             _counters: &mut UserCounters,
+            _sink: &mut TraceSink,
         ) {
             if step == 1 {
                 for &v in &self.owned {

@@ -14,6 +14,7 @@ use graphite_bsp::aggregate::Aggregators;
 use graphite_bsp::engine::{run_bsp, BspConfig, Inbox, Outbox, WorkerLogic};
 use graphite_bsp::metrics::{RunMetrics, UserCounters};
 use graphite_bsp::partition::PartitionMap;
+use graphite_bsp::trace::TraceSink;
 use graphite_tgraph::builder::TemporalGraphBuilder;
 use graphite_tgraph::graph::{EdgeId, TemporalGraph, VIdx, VertexId};
 use graphite_tgraph::time::Interval;
@@ -55,6 +56,7 @@ impl WorkerLogic for VolumeLogic {
         _globals: &Aggregators,
         _partial: &mut Aggregators,
         counters: &mut UserCounters,
+        _sink: &mut TraceSink,
     ) {
         if step > self.steps {
             return;

@@ -13,7 +13,7 @@
 use graphite_bsp::{
     run_bsp, run_bsp_recoverable, Aggregators, BspConfig, BspError, CheckpointStorage, Fault,
     FaultKind, FaultMode, FaultPlan, Inbox, MasterHook, Outbox, PartitionMap, RecoveryConfig,
-    RunMetrics, Snapshot, UserCounters, WorkerLogic,
+    RunMetrics, Snapshot, TraceSink, UserCounters, WorkerLogic,
 };
 use graphite_tgraph::builder::TemporalGraphBuilder;
 use graphite_tgraph::graph::{EdgeId, TemporalGraph, VIdx, VertexId};
@@ -59,6 +59,7 @@ impl WorkerLogic for RingSum {
         _globals: &Aggregators,
         _partial: &mut Aggregators,
         _counters: &mut UserCounters,
+        _sink: &mut TraceSink,
     ) {
         if step == 1 {
             for &v in &self.owned {

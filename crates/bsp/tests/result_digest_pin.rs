@@ -20,6 +20,7 @@ use graphite_bsp::error::BspError;
 use graphite_bsp::fault::{Fault, FaultKind, FaultMode, FaultPlan};
 use graphite_bsp::metrics::{RecoveryMetrics, RunMetrics};
 use graphite_bsp::recover::RecoveryConfig;
+use graphite_bsp::trace::TraceConfig;
 use graphite_datagen::{generate, GenParams, LifespanModel, PropModel, Topology};
 use graphite_icm::engine::{try_run_icm, try_run_icm_recoverable, IcmConfig};
 use graphite_tgraph::graph::{TemporalGraph, VertexId};
@@ -113,6 +114,7 @@ fn icm_cfg(fault_plan: Option<FaultPlan>, perturb: Option<u64>) -> IcmConfig {
         max_supersteps: 10_000,
         keep_per_step_timing: false,
         perturb_schedule: perturb,
+        trace: TraceConfig::default(),
         fault_plan,
     }
 }
@@ -124,6 +126,7 @@ fn vcm_cfg(fault_plan: Option<FaultPlan>, perturb: Option<u64>) -> VcmConfig {
         need_in_edges: false,
         keep_per_step_timing: false,
         perturb_schedule: perturb,
+        trace: TraceConfig::default(),
         fault_plan,
     }
 }

@@ -23,6 +23,7 @@ use graphite_algorithms::AlgLabels;
 use graphite_baselines::vcm::{try_run_vcm, VcmConfig};
 use graphite_baselines::{EdgeWeights, SnapshotTopology};
 use graphite_bsp::metrics::RunMetrics;
+use graphite_bsp::trace::TraceConfig;
 use graphite_datagen::{generate, GenParams, LifespanModel, PropModel, Topology};
 use graphite_icm::engine::{try_run_icm, IcmConfig};
 use graphite_tgraph::graph::{TemporalGraph, VertexId};
@@ -114,6 +115,7 @@ fn icm_cfg(perturb: Option<u64>) -> IcmConfig {
         max_supersteps: 10_000,
         keep_per_step_timing: false,
         perturb_schedule: perturb,
+        trace: TraceConfig::default(),
         fault_plan: None,
     }
 }
@@ -125,6 +127,7 @@ fn vcm_cfg(perturb: Option<u64>) -> VcmConfig {
         need_in_edges: false,
         keep_per_step_timing: false,
         perturb_schedule: perturb,
+        trace: TraceConfig::default(),
         fault_plan: None,
     }
 }

@@ -31,6 +31,7 @@ use graphite_bsp::metrics::{RunMetrics, UserCounters};
 use graphite_bsp::partition::PartitionMap;
 use graphite_bsp::recover::{run_bsp_recoverable, RecoveryConfig};
 use graphite_bsp::snapshot::Snapshot;
+use graphite_bsp::trace::{TraceConfig, TraceSink};
 use graphite_bsp::MasterHook;
 use graphite_tgraph::graph::{EIdx, TemporalGraph, VIdx, VertexId};
 use graphite_tgraph::iset::IntervalPartition;
@@ -59,6 +60,9 @@ pub struct IcmConfig {
     /// scheduling freedoms with this seed (race-harness use; results must
     /// not change).
     pub perturb_schedule: Option<u64>,
+    /// Forwarded to [`BspConfig::trace`]: structured-trace recording
+    /// level. Off by default; results are bit-identical at every level.
+    pub trace: TraceConfig,
     /// Forwarded to [`BspConfig::fault_plan`]: deterministic fault
     /// injection (fault-tolerance harness use; recovered results must be
     /// bit-identical to fault-free ones).
@@ -74,6 +78,7 @@ impl Default for IcmConfig {
             max_supersteps: 100_000,
             keep_per_step_timing: false,
             perturb_schedule: None,
+            trace: TraceConfig::default(),
             fault_plan: None,
         }
     }
@@ -297,6 +302,7 @@ impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
         globals: &Aggregators,
         partial: &mut Aggregators,
         counters: &mut UserCounters,
+        sink: &mut TraceSink,
     ) {
         let graph = Arc::clone(&self.graph);
         let mut direct: Vec<(VIdx, Interval, P::Msg)> = Vec::new();
@@ -439,7 +445,13 @@ impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
                     // no messages still get (empty-group) compute calls.
                     scratch.inner.push(lifespan);
                 }
-                for tuple in scratch.warp() {
+                // The trace separates the alignment operator itself
+                // (`warp_ns`, its output sizes) from the user compute
+                // calls consuming its tuples — the paper's warp-scope
+                // blowups show up as `warp_group_msgs` ≫ messages in.
+                let tuples = sink.timed("warp_ns", || scratch.warp());
+                sink.add("warp_tuples", tuples.len() as u64);
+                for tuple in tuples {
                     let state = partition
                         .value_at(tuple.interval.start())
                         // lint:allow(no-unwrap) — warp property 1: every
@@ -453,6 +465,7 @@ impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
                         .filter(|&&i| i < msgs.len())
                         .map(|&i| msgs[i].1.clone())
                         .collect();
+                    sink.add("warp_group_msgs", group.len() as u64);
                     let group = self.fold(group);
                     let mut ctx = ComputeContext {
                         graph: &graph,
@@ -667,6 +680,7 @@ fn bsp_config(config: &IcmConfig) -> BspConfig {
         max_supersteps: config.max_supersteps,
         keep_per_step_timing: config.keep_per_step_timing,
         perturb_schedule: config.perturb_schedule,
+        trace: config.trace,
         fault_plan: config.fault_plan.clone(),
     }
 }

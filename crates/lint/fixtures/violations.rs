@@ -4,7 +4,7 @@
 //! explicitly allowed ones.
 
 use std::collections::{HashMap, HashSet};
-use std::time::Instant;
+use std::time::Instant; // violation: wall-clock (clock-type import)
 
 struct Holder {
     counts: HashMap<u32, u64>,

@@ -12,9 +12,11 @@
 //! * `no-raw-interval` — no `Interval { .. }` struct literals outside
 //!   `tgraph::time`: construction must go through `Interval::new` /
 //!   `try_new`, which enforce the half-open non-empty invariant.
-//! * `wall-clock` — no `Instant::now()` / `SystemTime::now()` outside
-//!   `bsp::metrics`: timing belongs to metrics; clock reads anywhere else
-//!   are invisible nondeterminism.
+//! * `wall-clock` — no `Instant::now()` / `SystemTime::now()` / a
+//!   `time::Instant` import outside the blessed timing modules
+//!   (`bsp::metrics`, the `bsp::trace` sink it feeds, and
+//!   `bench::timing`): timing belongs to metrics; clock reads anywhere
+//!   else are invisible nondeterminism.
 //! * `fault-isolation` — no `cfg`-gating of fault-injection hooks in
 //!   `bsp`/`icm` code: faults are `FaultPlan` *configuration*, evaluated
 //!   by release and debug builds alike, so the recovery layer is tested
@@ -78,7 +80,10 @@ impl Rule {
             Rule::NoRawInterval => {
                 "raw `Interval { .. }` literal: construct via Interval::new/try_new"
             }
-            Rule::WallClock => "wall-clock read outside bsp::metrics: route through metrics::now()",
+            Rule::WallClock => {
+                "wall-clock access outside the blessed timing modules \
+                 (bsp::metrics, bsp::trace, bench::timing): route through metrics::now()"
+            }
             Rule::FaultIsolation => {
                 "cfg-gated fault hook: fault injection is FaultPlan configuration, \
                  active in every build, never a compile-time feature"
@@ -200,9 +205,16 @@ fn rules_for(path: &Path) -> Vec<Rule> {
     if !p.ends_with("crates/tgraph/src/time.rs") {
         rules.push(Rule::NoRawInterval);
     }
-    // bsp::metrics carries the one sanctioned clock read, marked with its
-    // own lint:allow — so the rule scans everything.
-    rules.push(Rule::WallClock);
+    // Timing is confined to three blessed modules: bsp::metrics (the one
+    // sanctioned clock read, marked with its own lint:allow), bsp::trace
+    // (the span sink that consumes it), and bench::timing (the bench
+    // harness built on it). Everything else is scanned.
+    let timing_module = p.ends_with("crates/bsp/src/metrics.rs")
+        || p.ends_with("crates/bsp/src/trace.rs")
+        || p.ends_with("crates/bench/src/timing.rs");
+    if !timing_module {
+        rules.push(Rule::WallClock);
+    }
     rules
 }
 
@@ -243,7 +255,9 @@ fn lint_file(path: &Path, source: &str, rules: &[Rule], out: &mut Vec<Violation>
                 Rule::HashIteration => iterates_hash(code_line, &hash_names),
                 Rule::NoRawInterval => has_raw_interval_literal(code_line),
                 Rule::WallClock => {
-                    code_line.contains("Instant::now(") || code_line.contains("SystemTime::now(")
+                    code_line.contains("Instant::now(")
+                        || code_line.contains("SystemTime::now(")
+                        || code_line.contains("time::Instant")
                 }
                 Rule::FaultIsolation => fault_gated(&code, i),
             };

@@ -16,6 +16,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> graphite-lint"
 cargo run -q -p graphite-lint
 
+echo "==> doc link check"
+scripts/check_links.sh
+
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 

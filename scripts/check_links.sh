@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Markdown link checker for the documentation set: every relative
+# `[text](target)` in the repo's top-level docs must point at a file or
+# directory that exists (external http(s) links and pure #anchors are
+# skipped — CI runs offline). Catches the classic docs rot: a renamed
+# test file or script that README/DESIGN/EXPERIMENTS still reference.
+#
+# Usage: scripts/check_links.sh    (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+docs=(README.md DESIGN.md EXPERIMENTS.md SEMANTICS.md ROADMAP.md CHANGES.md)
+
+fail=0
+for doc in "${docs[@]}"; do
+  [ -f "$doc" ] || { echo "MISSING DOC: $doc"; fail=1; continue; }
+  # Extract relative link targets: [..](target), minus URLs and anchors.
+  targets=$(grep -o '\[[^]]*\]([^)]*)' "$doc" \
+    | sed 's/.*](\([^)]*\))/\1/' \
+    | grep -v '^https\?:' | grep -v '^#' | sed 's/#.*//' | sort -u || true)
+  for t in $targets; do
+    if [ ! -e "$t" ]; then
+      echo "BROKEN LINK: $doc -> $t"
+      fail=1
+    fi
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "link check failed"
+  exit 1
+fi
+echo "link check: all relative links resolve"

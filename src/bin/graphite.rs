@@ -16,10 +16,16 @@
 //! cargo run --release --bin graphite -- stats /tmp/tw.tg
 //! cargo run --release --bin graphite -- run /tmp/tw.tg --algo sssp --counts
 //! ```
+//!
+//! `run` honors the tracing environment (EXPERIMENTS.md "Reading a
+//! trace"): `GRAPHITE_TRACE=off|counters|full` sets the recording level
+//! and `GRAPHITE_TRACE_JSON=<file>` writes the `graphite-trace/1` JSONL
+//! stream for `trace_report`.
 
 #![forbid(unsafe_code)]
 
 use graphite::algorithms::registry::{run, Algo, Platform, RunOpts};
+use graphite::bsp::trace::TraceConfig;
 use graphite::datagen::Profile;
 use graphite::tgraph::graph::VertexId;
 use graphite::tgraph::io;
@@ -148,10 +154,13 @@ fn cmd_run(path: &str, flags: &Flags) -> ExitCode {
         opts.deadline = Some(t);
     }
     opts.digest = false;
+    opts.trace = TraceConfig::from_env();
 
     match run(algo, platform, Arc::clone(&graph), None, &opts) {
         Ok(outcome) => {
             let m = &outcome.metrics;
+            m.trace
+                .maybe_emit(&format!("{}/{}", algo.name(), platform.name()));
             println!(
                 "{} on {}: makespan {:.2?} ({} supersteps)",
                 algo.name(),
