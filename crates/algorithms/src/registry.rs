@@ -15,6 +15,7 @@ use graphite_baselines::EdgeWeights;
 use graphite_bsp::metrics::RunMetrics;
 use graphite_bsp::trace::TraceConfig;
 use graphite_icm::prelude::*;
+use graphite_icm::PartitionStrategy;
 use graphite_tgraph::graph::{TemporalGraph, VIdx, VertexId};
 use graphite_tgraph::snapshot::snapshot_window;
 use graphite_tgraph::time::{Interval, Time};
@@ -179,6 +180,10 @@ pub struct RunOpts {
     /// configs (the wrapper platforms run their inner engines untraced).
     /// Off by default; results are bit-identical at every level.
     pub trace: TraceConfig,
+    /// Vertex-placement strategy, forwarded to the ICM/VCM engine configs
+    /// (see `graphite-part`; results are placement-invariant). Hash — the
+    /// paper's — by default.
+    pub partition: PartitionStrategy,
 }
 
 impl Default for RunOpts {
@@ -196,6 +201,7 @@ impl Default for RunOpts {
             digest: true,
             static_topology_reuse: true,
             trace: TraceConfig::default(),
+            partition: PartitionStrategy::default(),
         }
     }
 }
@@ -302,6 +308,7 @@ pub fn run(
         perturb_schedule: None,
         trace: opts.trace,
         fault_plan: None,
+        partition: opts.partition,
     };
     let msb_cfg = |need_in: bool| MsbConfig {
         workers: opts.workers,
@@ -338,6 +345,7 @@ pub fn run(
         perturb_schedule: None,
         trace: opts.trace,
         fault_plan: None,
+        partition: opts.partition,
     };
     let transform_opts = TransformOptions {
         window: Some(window),

@@ -310,7 +310,7 @@ where
         .window
         .or_else(|| snapshot_window(&graph))
         .expect("graph with no bounded window needs an explicit one");
-    let partition = Arc::new(PartitionMap::hash(&graph, config.workers));
+    let partition = Arc::new(PartitionMap::hash(&graph, config.workers).expect("partition"));
     let mut metrics = RunMetrics::default();
     let mut per_snapshot = Vec::new();
     let mut batches = 0usize;

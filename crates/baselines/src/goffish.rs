@@ -340,7 +340,7 @@ pub fn run_goffish<P: GofProgram>(
         .window
         .or_else(|| snapshot_window(&graph))
         .expect("graph with no bounded window needs an explicit one");
-    let partition = Arc::new(PartitionMap::hash(&graph, config.workers));
+    let partition = Arc::new(PartitionMap::hash(&graph, config.workers).expect("partition"));
     let mut queue: BTreeMap<Time, HashMap<u32, Vec<P::Msg>>> = BTreeMap::new();
     let mut states: HashMap<u32, P::State> = HashMap::new();
     let mut metrics = RunMetrics::default();

@@ -19,6 +19,7 @@ use graphite_bsp::recover::{run_bsp_recoverable, RecoveryConfig};
 use graphite_bsp::snapshot::Snapshot;
 use graphite_bsp::trace::{TraceConfig, TraceSink};
 use graphite_bsp::MasterHook;
+use graphite_part::PartitionStrategy;
 use graphite_tgraph::builder::TemporalGraphBuilder;
 use graphite_tgraph::graph::{VIdx, VertexId};
 use graphite_tgraph::time::Interval;
@@ -182,6 +183,10 @@ pub struct VcmConfig {
     /// injection (fault-tolerance harness use; recovered results must be
     /// bit-identical to fault-free ones).
     pub fault_plan: Option<FaultPlan>,
+    /// Vertex-placement strategy applied to the synthetic partition-key
+    /// graph (see `graphite-part`, DESIGN.md §13). Results are
+    /// placement-invariant. Default: hash, the paper's (Sec. VII-A4).
+    pub partition: PartitionStrategy,
 }
 
 impl Default for VcmConfig {
@@ -194,6 +199,7 @@ impl Default for VcmConfig {
             perturb_schedule: None,
             trace: TraceConfig::default(),
             fault_plan: None,
+            partition: PartitionStrategy::default(),
         }
     }
 }
@@ -362,12 +368,16 @@ where
     }
 }
 
-/// A partition map over the dense topology vertices, hashing each vertex's
-/// [`VcmTopology::partition_key`].
-fn topology_partition<T: VcmTopology>(topology: &T, workers: usize) -> PartitionMap {
+/// A partition map over the dense topology vertices, placing each vertex
+/// by its [`VcmTopology::partition_key`] under `strategy`.
+fn topology_partition<T: VcmTopology>(
+    topology: &T,
+    workers: usize,
+    strategy: PartitionStrategy,
+) -> Result<PartitionMap, BspError> {
     // PartitionMap is keyed by a TemporalGraph; build a synthetic one with
-    // vids equal to the topology's partition keys so the same hash rule
-    // applies. Cheap: vertices only.
+    // vids equal to the topology's partition keys so the same placement
+    // rules apply. Cheap: vertices only.
     let mut b = TemporalGraphBuilder::with_capacity(topology.num_vertices(), 0);
     for v in 0..topology.num_vertices() as u32 {
         let key = topology.partition_key(v);
@@ -378,7 +388,7 @@ fn topology_partition<T: VcmTopology>(topology: &T, workers: usize) -> Partition
             vid = splitmix64(vid ^ u64::from(v)).wrapping_add(1);
         }
     }
-    PartitionMap::hash(&b.build().expect("synthetic partition graph"), workers)
+    strategy.build(&b.build().expect("synthetic partition graph"), workers)
 }
 
 /// Runs `program` over `topology` to convergence.
@@ -436,7 +446,11 @@ pub fn try_run_vcm_with_master<T: VcmTopology, P: VcmProgram>(
     config: &VcmConfig,
     master: Option<MasterHook<'_>>,
 ) -> Result<VcmResult<P::State>, BspError> {
-    let partition = Arc::new(topology_partition(topology.as_ref(), config.workers));
+    let partition = Arc::new(topology_partition(
+        topology.as_ref(),
+        config.workers,
+        config.partition,
+    )?);
     let workers = build_workers(&topology, &program, config, &partition);
     let bsp = bsp_config(config);
     let mut wrapper = keepalive_master(Arc::clone(&program), master);
@@ -463,7 +477,11 @@ pub fn try_run_vcm_recoverable<T: VcmTopology, P: VcmProgram>(
 where
     P::State: Wire,
 {
-    let partition = Arc::new(topology_partition(topology.as_ref(), config.workers));
+    let partition = Arc::new(topology_partition(
+        topology.as_ref(),
+        config.workers,
+        config.partition,
+    )?);
     let workers = build_workers(&topology, &program, config, &partition);
     let bsp = bsp_config(config);
     let mut wrapper = keepalive_master(Arc::clone(&program), None);

@@ -50,6 +50,7 @@ fn cfg() -> IcmConfig {
         perturb_schedule: None,
         trace: graphite_bsp::trace::TraceConfig::default(),
         fault_plan: None,
+        partition: Default::default(),
     }
 }
 

@@ -64,6 +64,43 @@ fn problems(doc: &Json) -> Vec<String> {
             }
         }
     }
+    if doc.get("name").and_then(Json::as_str) == Some("partition") {
+        out.extend(partition_problems(results));
+    }
+    out
+}
+
+/// Extra checks for the partition report: it exists to substantiate one
+/// claim — temporal-balance beats hash on interval-weighted balance under
+/// skew — so a recording that does not carry (or does not support) that
+/// claim is invalid.
+fn partition_problems(results: &[Json]) -> Vec<String> {
+    let mut out = Vec::new();
+    let balance = |label: &str| {
+        results
+            .iter()
+            .find(|r| r.get("label").and_then(Json::as_str) == Some(label))
+            .map(|r| {
+                r.get("counters")
+                    .and_then(|c| c.get("interval_balance_milli"))
+                    .and_then(Json::as_f64)
+            })
+    };
+    match (balance("skew/hash"), balance("skew/temporal")) {
+        (Some(Some(hash)), Some(Some(temporal))) => {
+            if temporal >= hash {
+                out.push(format!(
+                    "partition: skew/temporal interval_balance_milli {temporal} is not \
+                     strictly better (lower) than skew/hash's {hash}"
+                ));
+            }
+        }
+        (Some(None), _) | (_, Some(None)) => out.push(
+            "partition: skew/hash or skew/temporal row carries no interval_balance_milli counter"
+                .to_string(),
+        ),
+        _ => out.push("partition: missing skew/hash and/or skew/temporal rows".to_string()),
+    }
     out
 }
 
@@ -132,6 +169,42 @@ mod tests {
         let errs = problems(&Json::parse(text).expect("parses"));
         assert!(errs.iter().any(|e| e.contains("mean_ns")), "{errs:?}");
         assert!(errs.iter().any(|e| e.contains("counters zero")), "{errs:?}");
+    }
+
+    #[test]
+    fn partition_reports_must_prove_the_balance_claim() {
+        let row = |label: &str, milli: u64| {
+            format!(
+                r#"{{"label": "{label}", "mean_ns": 10, "best_ns": 9, "iters": 5,
+                 "counters": {{"interval_balance_milli": {milli}}}}}"#
+            )
+        };
+        let doc = |rows: &str| {
+            Json::parse(&format!(
+                r#"{{"schema": "graphite-bench/1", "name": "partition", "results": [{rows}]}}"#
+            ))
+            .expect("parses")
+        };
+        // temporal strictly better than hash: valid.
+        let good = format!("{}, {}", row("skew/hash", 1800), row("skew/temporal", 1100));
+        assert!(problems(&doc(&good)).is_empty());
+        // temporal not better: rejected.
+        let tied = format!("{}, {}", row("skew/hash", 1100), row("skew/temporal", 1100));
+        assert!(problems(&doc(&tied))
+            .iter()
+            .any(|e| e.contains("not strictly better")));
+        // Missing the temporal row entirely: rejected.
+        let partial = row("skew/hash", 1800);
+        assert!(problems(&doc(&partial))
+            .iter()
+            .any(|e| e.contains("missing skew/hash and/or skew/temporal")));
+        // Other report names are not subject to the partition rule.
+        let other = Json::parse(&format!(
+            r#"{{"schema": "graphite-bench/1", "name": "engine", "results": [{}]}}"#,
+            row("skew/hash", 1800)
+        ))
+        .expect("parses");
+        assert!(problems(&other).is_empty());
     }
 
     #[test]

@@ -3,8 +3,13 @@
 //!
 //! ```text
 //! trace_report TRACE.jsonl [--top K]        per-step profile
+//! trace_report TRACE.jsonl --balance        per-worker load shares
 //! trace_report A.jsonl B.jsonl              side-by-side comparison
 //! ```
+//!
+//! `--balance` prints each worker's share of active interval-vertices
+//! and compute time per superstep plus run totals — the observed-skew
+//! view that feeds `partition_report`'s rebalancing (DESIGN.md §13).
 //!
 //! Produce a trace with e.g.
 //! `GRAPHITE_TRACE=full GRAPHITE_TRACE_JSON=trace.jsonl graphite run bfs icm ...`
@@ -21,6 +26,7 @@ fn load(path: &str) -> Result<tracefmt::TraceDoc, String> {
 fn main() -> ExitCode {
     let mut paths: Vec<String> = Vec::new();
     let mut top_k = 4usize;
+    let mut balance = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -31,18 +37,24 @@ fn main() -> ExitCode {
                     .unwrap_or(top_k)
                     .max(1)
             }
+            "--balance" => balance = true,
             "--help" | "-h" => {
-                eprintln!("usage: trace_report TRACE.jsonl [SECOND.jsonl] [--top K]");
+                eprintln!("usage: trace_report TRACE.jsonl [SECOND.jsonl] [--top K] [--balance]");
                 return ExitCode::SUCCESS;
             }
             _ => paths.push(arg),
         }
     }
 
-    let result = match paths.as_slice() {
-        [one] => load(one).map(|doc| tracefmt::render(&doc, top_k)),
-        [a, b] => load(a).and_then(|da| load(b).map(|db| tracefmt::render_compare(&da, &db))),
-        _ => Err("usage: trace_report TRACE.jsonl [SECOND.jsonl] [--top K]".to_string()),
+    let result = match (paths.as_slice(), balance) {
+        ([one], false) => load(one).map(|doc| tracefmt::render(&doc, top_k)),
+        ([one], true) => load(one).map(|doc| tracefmt::render_balance(&doc)),
+        ([a, b], false) => {
+            load(a).and_then(|da| load(b).map(|db| tracefmt::render_compare(&da, &db)))
+        }
+        _ => {
+            Err("usage: trace_report TRACE.jsonl [SECOND.jsonl] [--top K] [--balance]".to_string())
+        }
     };
     match result {
         Ok(report) => {

@@ -62,6 +62,20 @@ impl Recorder {
         });
     }
 
+    /// Like [`Recorder::push_with_metrics`], with caller-supplied extra
+    /// counters appended — e.g. the partition bench's milli-scaled quality
+    /// figures, which are not part of [`RunMetrics`].
+    pub fn push_with_metrics_and(
+        &mut self,
+        result: BenchResult,
+        metrics: &RunMetrics,
+        extras: Vec<(&'static str, u64)>,
+    ) {
+        let mut counters = counter_pairs(metrics);
+        counters.extend(extras);
+        self.cases.push(RecordedCase { result, counters });
+    }
+
     /// Writes `BENCH_<name>.json` when `GRAPHITE_BENCH_JSON` asks for it;
     /// a no-op otherwise. Returns the path written to, if any.
     ///

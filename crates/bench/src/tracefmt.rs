@@ -341,6 +341,110 @@ pub fn render(doc: &TraceDoc, top_k: usize) -> String {
     out
 }
 
+/// Renders the placement-balance report (`trace_report --balance`): per
+/// superstep, each worker's share of active interval-vertices and of
+/// compute time, plus the max-over-mean skew of each. This is the
+/// observed-load view that `partition_report` consumes when it
+/// recommends a rebalanced assignment (DESIGN.md §13): a worker whose
+/// compute share persistently exceeds `1/workers` is the skew the
+/// temporal-balance strategy exists to remove.
+pub fn render_balance(doc: &TraceDoc) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "balance: {}", doc.label);
+    let mut totals: Vec<(u64, u64, u64)> = Vec::new(); // (worker, active, compute_ns)
+    for s in doc.steps() {
+        let active_total: u64 = s.workers.iter().map(|w| w.active).sum();
+        let ns_total: u64 = s.workers.iter().map(|w| w.compute_ns).sum();
+        let _ = writeln!(
+            out,
+            "step {:>3}: active {:>7}  compute {:>9}  skew {:.2}x",
+            s.step,
+            active_total,
+            fmt_ns(s.compute_ns),
+            s.skew(),
+        );
+        for w in &s.workers {
+            let share = |part: u64, total: u64| {
+                if total == 0 {
+                    0.0
+                } else {
+                    100.0 * part as f64 / total as f64
+                }
+            };
+            let _ = writeln!(
+                out,
+                "    w{:<3} active {:>6} ({:>5.1}%)  compute {:>9} ({:>5.1}%)",
+                w.worker,
+                w.active,
+                share(w.active, active_total),
+                fmt_ns(w.compute_ns),
+                share(w.compute_ns, ns_total),
+            );
+            match totals.iter_mut().find(|(id, _, _)| *id == w.worker) {
+                Some(t) => {
+                    t.1 += w.active;
+                    t.2 += w.compute_ns;
+                }
+                None => totals.push((w.worker, w.active, w.compute_ns)),
+            }
+        }
+    }
+    totals.sort_unstable();
+    let active_total: u64 = totals.iter().map(|t| t.1).sum();
+    let ns_total: u64 = totals.iter().map(|t| t.2).sum();
+    let _ = writeln!(out, "run totals:");
+    for (worker, active, ns) in &totals {
+        let share = |part: u64, total: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                100.0 * part as f64 / total as f64
+            }
+        };
+        let _ = writeln!(
+            out,
+            "    w{:<3} active {:>7} ({:>5.1}%)  compute {:>9} ({:>5.1}%)",
+            worker,
+            active,
+            share(*active, active_total),
+            fmt_ns(*ns),
+            share(*ns, ns_total),
+        );
+    }
+    out
+}
+
+/// Total observed compute load per worker over the whole stream, indexed
+/// by worker id (dense, zero-filled). Falls back to delivered message
+/// counts when the stream carries no timing (Counters level) — the same
+/// fallback [`StepProfile::skew`] uses. This is the `observed` input to
+/// `graphite_part::rebalance`.
+pub fn observed_loads(doc: &TraceDoc) -> Vec<f64> {
+    let max_worker = doc
+        .steps()
+        .flat_map(|s| s.workers.iter())
+        .map(|w| w.worker)
+        .max();
+    let Some(max_worker) = max_worker else {
+        return Vec::new();
+    };
+    let mut by_ns = vec![0u64; max_worker as usize + 1];
+    let mut by_msgs = vec![0u64; max_worker as usize + 1];
+    for s in doc.steps() {
+        for w in &s.workers {
+            by_ns[w.worker as usize] += w.compute_ns;
+            by_msgs[w.worker as usize] += w.msgs_in;
+        }
+    }
+    let loads = if by_ns.iter().any(|&v| v > 0) {
+        by_ns
+    } else {
+        by_msgs
+    };
+    loads.into_iter().map(|v| v as f64).collect()
+}
+
 /// Renders a side-by-side comparison of two traces (e.g. across
 /// commits): per stream-ordered step, the deterministic load deltas; any
 /// divergence in message counts between two runs of the same workload is
@@ -460,6 +564,32 @@ mod tests {
         assert!(report.contains("ROLLBACK from step 2 to step 1"));
         assert!(report.contains("-- halted"));
         assert!(report.contains("total: 1 step(s), 6 msgs"));
+    }
+
+    #[test]
+    fn balance_report_shows_worker_shares() {
+        let doc = parse(SAMPLE).expect("sample parses");
+        let report = render_balance(&doc);
+        assert!(report.contains("balance: bfs/icm"));
+        // Worker 0: 3 of 4 active (75 %), 3000 of 4000 compute-ns (75 %).
+        assert!(report.contains("w0"), "{report}");
+        assert!(report.contains("75.0%"), "{report}");
+        assert!(report.contains("25.0%"), "{report}");
+        assert!(report.contains("run totals:"), "{report}");
+        assert!(report.contains("skew 1.50x"), "{report}");
+    }
+
+    #[test]
+    fn observed_loads_prefer_timing_and_fall_back_to_messages() {
+        let doc = parse(SAMPLE).expect("sample parses");
+        assert_eq!(observed_loads(&doc), vec![3000.0, 1000.0]);
+        // Strip the timings: the message fallback takes over.
+        let counters_only = SAMPLE
+            .replace("\"compute_ns\":3000", "\"compute_ns\":0")
+            .replace("\"compute_ns\":1000", "\"compute_ns\":0");
+        let doc = parse(&counters_only).expect("counters-level parses");
+        assert_eq!(observed_loads(&doc), vec![6.0, 2.0]);
+        assert!(observed_loads(&TraceDoc::default()).is_empty());
     }
 
     #[test]

@@ -53,6 +53,7 @@ fn full_trace_cfg() -> IcmConfig {
         perturb_schedule: None,
         trace: TraceConfig::full(),
         fault_plan: None,
+        partition: Default::default(),
     }
 }
 

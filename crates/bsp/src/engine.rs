@@ -882,7 +882,7 @@ mod tests {
         config: &BspConfig,
     ) -> (Vec<TokenLogic>, RunMetrics) {
         let graph = Arc::new(ring(n));
-        let partition = Arc::new(PartitionMap::hash(&graph, workers));
+        let partition = Arc::new(PartitionMap::hash(&graph, workers).expect("partition"));
         let logics = (0..workers)
             .map(|w| TokenLogic {
                 graph: Arc::clone(&graph),
@@ -922,7 +922,7 @@ mod tests {
     #[test]
     fn aggregators_reach_master() {
         let graph = Arc::new(ring(6));
-        let partition = Arc::new(PartitionMap::hash(&graph, 2));
+        let partition = Arc::new(PartitionMap::hash(&graph, 2).expect("partition"));
         let logics = (0..2)
             .map(|w| TokenLogic {
                 graph: Arc::clone(&graph),
@@ -945,7 +945,7 @@ mod tests {
     #[test]
     fn master_can_halt_early() {
         let graph = Arc::new(ring(8));
-        let partition = Arc::new(PartitionMap::hash(&graph, 2));
+        let partition = Arc::new(PartitionMap::hash(&graph, 2).expect("partition"));
         let logics = (0..2)
             .map(|w| TokenLogic {
                 graph: Arc::clone(&graph),
@@ -969,7 +969,7 @@ mod tests {
     #[test]
     fn exhausting_max_supersteps_is_an_error() {
         let graph = Arc::new(ring(4));
-        let partition = Arc::new(PartitionMap::hash(&graph, 1));
+        let partition = Arc::new(PartitionMap::hash(&graph, 1).expect("partition"));
         let logics = vec![TokenLogic {
             graph: Arc::clone(&graph),
             owned: partition.owned_by(0),
@@ -1001,7 +1001,7 @@ mod tests {
     #[test]
     fn per_step_timing_is_recorded_when_asked() {
         let graph = Arc::new(ring(4));
-        let partition = Arc::new(PartitionMap::hash(&graph, 1));
+        let partition = Arc::new(PartitionMap::hash(&graph, 1).expect("partition"));
         let logics = vec![TokenLogic {
             graph: Arc::clone(&graph),
             owned: partition.owned_by(0),
@@ -1020,7 +1020,7 @@ mod tests {
     #[test]
     fn worker_count_mismatch_is_an_error() {
         let graph = Arc::new(ring(4));
-        let partition = Arc::new(PartitionMap::hash(&graph, 2));
+        let partition = Arc::new(PartitionMap::hash(&graph, 2).expect("partition"));
         let logics = vec![TokenLogic {
             graph: Arc::clone(&graph),
             owned: partition.owned_by(0),
@@ -1069,7 +1069,7 @@ mod tests {
     #[test]
     fn poisoned_worker_surfaces_as_error() {
         let graph = Arc::new(ring(4));
-        let partition = Arc::new(PartitionMap::hash(&graph, 2));
+        let partition = Arc::new(PartitionMap::hash(&graph, 2).expect("partition"));
         let logics = (0..2)
             .map(|worker| Bomb {
                 worker,
@@ -1097,7 +1097,7 @@ mod tests {
         // join order.
         for perturb in [None, Some(7u64), Some(0xDEAD_BEEF)] {
             let graph = Arc::new(ring(8));
-            let partition = Arc::new(PartitionMap::hash(&graph, 4));
+            let partition = Arc::new(PartitionMap::hash(&graph, 4).expect("partition"));
             let logics = (0..4)
                 .map(|worker| Bomb {
                     worker,
@@ -1126,7 +1126,7 @@ mod tests {
     #[test]
     fn injected_panic_fault_kills_a_plain_run() {
         let graph = Arc::new(ring(8));
-        let partition = Arc::new(PartitionMap::hash(&graph, 2));
+        let partition = Arc::new(PartitionMap::hash(&graph, 2).expect("partition"));
         let logics = (0..2)
             .map(|w| TokenLogic {
                 graph: Arc::clone(&graph),
@@ -1156,7 +1156,7 @@ mod tests {
         // corrupting the batch bound for some worker must surface as a
         // checksum mismatch at exactly the planned superstep.
         let graph = Arc::new(ring(8));
-        let partition = Arc::new(PartitionMap::hash(&graph, 4));
+        let partition = Arc::new(PartitionMap::hash(&graph, 4).expect("partition"));
         // The token visits one vertex per superstep; find a worker that is
         // a remote destination at step 2 by trying all of them.
         let mut hit = false;

@@ -36,6 +36,15 @@ pub enum BspError {
         /// What failed to decode.
         detail: &'static str,
     },
+    /// The caller supplied an invalid run configuration — e.g. a worker
+    /// count of zero, one that exceeds the `u16` wire encoding of worker
+    /// indices, or a partition assignment that does not cover the graph.
+    /// Configuration is user-controlled input, so this is a typed error,
+    /// never an assertion.
+    Config {
+        /// What was invalid.
+        detail: String,
+    },
     /// The caller supplied a different number of worker logics than the
     /// partition map has workers.
     WorkerMismatch {
@@ -107,6 +116,9 @@ impl fmt::Display for BspError {
                     "self-encoded batch for worker {worker} failed to decode in superstep {step}: {detail}"
                 )
             }
+            BspError::Config { detail } => {
+                write!(f, "invalid configuration: {detail}")
+            }
             BspError::WorkerMismatch { logics, partitions } => {
                 write!(
                     f,
@@ -167,6 +179,10 @@ mod tests {
             detail: "truncated blob".into(),
         };
         assert!(k.to_string().contains("truncated blob"));
+        let g = BspError::Config {
+            detail: "0 workers requested".into(),
+        };
+        assert!(g.to_string().contains("0 workers requested"));
         let r = BspError::RecoveryExhausted {
             attempts: 3,
             last: Box::new(l.clone()),
@@ -195,5 +211,6 @@ mod tests {
         }
         .is_recoverable());
         assert!(!BspError::Checkpoint { detail: "d".into() }.is_recoverable());
+        assert!(!BspError::Config { detail: "d".into() }.is_recoverable());
     }
 }

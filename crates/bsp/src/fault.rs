@@ -123,6 +123,8 @@ impl FaultPlan {
         let mut rng = SplitMix64::new(seed ^ 0x4641_554c_5453); // "FAULTS"
         let faults = (0..count)
             .map(|i| Fault {
+                // lint:allow(worker-assignment) — picks a random fault
+                // target, not a vertex placement.
                 worker: (rng.next_u64() % workers.max(1) as u64) as usize,
                 step: 1 + rng.next_u64() % max_step.max(1),
                 kind: if i % 2 == 0 {

@@ -5,7 +5,16 @@
 //! (Sec. VII-A4). We hash the *external* vertex id through splitmix64 so
 //! the placement is independent of load order, and precompute a dense
 //! `VIdx → worker` map once per run.
+//!
+//! Hashing is no longer the only way to build a [`PartitionMap`]:
+//! [`PartitionMap::from_assignment`] accepts any explicit total
+//! assignment, which is what the pluggable strategies in `graphite-part`
+//! (chunked, LDG, temporal-balance) produce. This module and that crate
+//! are the *only* places allowed to compute a worker from a vertex id —
+//! enforced by graphite-lint's `worker-assignment` rule — so every engine
+//! routes through a [`PartitionMap`] and placement stays swappable.
 
+use crate::error::BspError;
 use graphite_tgraph::graph::{TemporalGraph, VIdx, VertexId};
 
 /// Finalizing mix of splitmix64 — a fast, well-distributed 64-bit hash.
@@ -24,6 +33,26 @@ pub fn hash_partition(vid: VertexId, workers: usize) -> usize {
     (splitmix64(vid.0) % workers as u64) as usize
 }
 
+/// Validates a requested worker count: it must be non-zero (someone has to
+/// own the vertices) and fit the `u16` worker-index wire encoding.
+fn check_workers(workers: usize) -> Result<(), BspError> {
+    if workers == 0 {
+        return Err(BspError::Config {
+            detail: "0 workers requested; at least 1 is required".to_string(),
+        });
+    }
+    if workers > u16::MAX as usize {
+        return Err(BspError::Config {
+            detail: format!(
+                "{workers} workers requested; worker indices are wire-encoded \
+                 as u16, so at most {} are supported",
+                u16::MAX
+            ),
+        });
+    }
+    Ok(())
+}
+
 /// A precomputed vertex → worker assignment for one graph and worker count.
 #[derive(Clone, Debug)]
 pub struct PartitionMap {
@@ -36,8 +65,15 @@ pub struct PartitionMap {
 
 impl PartitionMap {
     /// Hash-partitions `graph` over `workers` workers.
-    pub fn hash(graph: &TemporalGraph, workers: usize) -> Self {
-        assert!(workers > 0 && workers <= u16::MAX as usize);
+    ///
+    /// # Errors
+    ///
+    /// [`BspError::Config`] when `workers` is zero or exceeds the `u16`
+    /// worker-index encoding. The worker count is user-controlled input
+    /// (CLI flag, config field), so the bound is a typed error rather than
+    /// an assertion.
+    pub fn hash(graph: &TemporalGraph, workers: usize) -> Result<Self, BspError> {
+        check_workers(workers)?;
         let assignment: Vec<u16> = graph
             .vertices()
             .map(|(_, v)| hash_partition(v.vid, workers) as u16)
@@ -46,16 +82,62 @@ impl PartitionMap {
         for &w in &assignment {
             counts[w as usize] += 1;
         }
-        PartitionMap {
+        Ok(PartitionMap {
             assignment,
             workers,
             counts,
+        })
+    }
+
+    /// Builds a map from an explicit per-vertex assignment (indexed by
+    /// dense [`VIdx`], one entry per vertex of the graph it was computed
+    /// for). This is the generalized constructor the pluggable strategies
+    /// in `graphite-part` use; `hash` is equivalent to passing the
+    /// splitmix64 assignment.
+    ///
+    /// # Errors
+    ///
+    /// [`BspError::Config`] when `workers` is out of range or any entry
+    /// names a worker `>= workers` (the assignment would route messages to
+    /// a worker that does not exist).
+    pub fn from_assignment(assignment: Vec<u16>, workers: usize) -> Result<Self, BspError> {
+        check_workers(workers)?;
+        if let Some((v, &w)) = assignment
+            .iter()
+            .enumerate()
+            .find(|&(_, &w)| w as usize >= workers)
+        {
+            return Err(BspError::Config {
+                detail: format!(
+                    "assignment maps vertex index {v} to worker {w}, but only \
+                     {workers} worker(s) exist"
+                ),
+            });
         }
+        let mut counts = vec![0u32; workers];
+        for &w in &assignment {
+            counts[w as usize] += 1;
+        }
+        Ok(PartitionMap {
+            assignment,
+            workers,
+            counts,
+        })
     }
 
     /// Number of workers.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Number of assigned vertices (the graph's vertex count).
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Whether the map covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
     }
 
     /// The worker owning internal vertex `v`.
@@ -106,8 +188,9 @@ mod tests {
     #[test]
     fn assignment_is_stable_and_total() {
         let g = line_graph(100);
-        let p = PartitionMap::hash(&g, 4);
+        let p = PartitionMap::hash(&g, 4).unwrap();
         assert_eq!(p.workers(), 4);
+        assert_eq!(p.len(), 100);
         for v in g.vertex_indices() {
             let w = p.worker_of(v);
             assert!(w < 4);
@@ -122,14 +205,14 @@ mod tests {
     #[test]
     fn single_worker_owns_everything() {
         let g = line_graph(10);
-        let p = PartitionMap::hash(&g, 1);
+        let p = PartitionMap::hash(&g, 1).unwrap();
         assert_eq!(p.owned_by(0).len(), 10);
     }
 
     #[test]
     fn hash_spreads_reasonably() {
         let g = line_graph(10_000);
-        let p = PartitionMap::hash(&g, 8);
+        let p = PartitionMap::hash(&g, 8).unwrap();
         let load = p.load();
         let expected = 10_000 / 8;
         for (w, &l) in load.iter().enumerate() {
@@ -138,6 +221,45 @@ mod tests {
                 "worker {w} has pathological load {l}"
             );
         }
+    }
+
+    #[test]
+    fn worker_count_boundaries_are_typed_errors() {
+        let g = line_graph(4);
+        // Valid: 1, 2, and the u16::MAX ceiling itself.
+        for workers in [1usize, 2, u16::MAX as usize - 1, u16::MAX as usize] {
+            let p = PartitionMap::hash(&g, workers).unwrap();
+            assert_eq!(p.workers(), workers);
+        }
+        // Invalid: zero and one past the ceiling — typed errors, no panic.
+        for workers in [0usize, u16::MAX as usize + 1] {
+            let e = PartitionMap::hash(&g, workers).unwrap_err();
+            assert!(matches!(e, BspError::Config { .. }), "got {e:?}");
+            assert!(!e.is_recoverable());
+            assert!(e.to_string().contains("worker"));
+        }
+    }
+
+    #[test]
+    fn from_assignment_matches_hash_and_validates() {
+        let g = line_graph(50);
+        let hashed = PartitionMap::hash(&g, 3).unwrap();
+        let explicit: Vec<u16> = g
+            .vertex_indices()
+            .map(|v| hashed.worker_of(v) as u16)
+            .collect();
+        let rebuilt = PartitionMap::from_assignment(explicit, 3).unwrap();
+        assert_eq!(rebuilt.load(), hashed.load());
+        for v in g.vertex_indices() {
+            assert_eq!(rebuilt.worker_of(v), hashed.worker_of(v));
+        }
+        // Out-of-range worker index is a typed error naming the vertex.
+        let e = PartitionMap::from_assignment(vec![0, 1, 3], 3).unwrap_err();
+        assert!(matches!(e, BspError::Config { .. }), "got {e:?}");
+        assert!(e.to_string().contains('3'));
+        // Worker-count bounds apply here too.
+        assert!(PartitionMap::from_assignment(vec![], 0).is_err());
+        assert!(PartitionMap::from_assignment(vec![], u16::MAX as usize + 1).is_err());
     }
 
     #[test]

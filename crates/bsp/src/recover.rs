@@ -294,7 +294,7 @@ mod tests {
     #[test]
     fn fault_free_recoverable_run_matches_plain_run() {
         let graph = Arc::new(ring(8));
-        let partition = Arc::new(PartitionMap::hash(&graph, 3));
+        let partition = Arc::new(PartitionMap::hash(&graph, 3).expect("partition"));
         let (plain, pm) = crate::engine::run_bsp(
             &BspConfig::default(),
             logics(&graph, &partition, 8),
@@ -325,7 +325,7 @@ mod tests {
     #[test]
     fn transient_panic_is_rolled_back_and_replayed() {
         let graph = Arc::new(ring(8));
-        let partition = Arc::new(PartitionMap::hash(&graph, 3));
+        let partition = Arc::new(PartitionMap::hash(&graph, 3).expect("partition"));
         let (plain, pm) = crate::engine::run_bsp(
             &BspConfig::default(),
             logics(&graph, &partition, 8),
@@ -358,7 +358,7 @@ mod tests {
     #[test]
     fn persistent_panic_exhausts_the_retry_budget() {
         let graph = Arc::new(ring(8));
-        let partition = Arc::new(PartitionMap::hash(&graph, 2));
+        let partition = Arc::new(PartitionMap::hash(&graph, 2).expect("partition"));
         let config = BspConfig {
             fault_plan: Some(FaultPlan::panic_at(0, 3).persistent()),
             ..Default::default()
@@ -398,7 +398,7 @@ mod tests {
     #[test]
     fn multiple_transient_faults_across_attempts_recover() {
         let graph = Arc::new(ring(12));
-        let partition = Arc::new(PartitionMap::hash(&graph, 4));
+        let partition = Arc::new(PartitionMap::hash(&graph, 4).expect("partition"));
         let (plain, _) = crate::engine::run_bsp(
             &BspConfig::default(),
             logics(&graph, &partition, 12),
@@ -433,7 +433,7 @@ mod tests {
     #[test]
     fn wire_corruption_recovers_on_disk_store() {
         let graph = Arc::new(ring(8));
-        let partition = Arc::new(PartitionMap::hash(&graph, 4));
+        let partition = Arc::new(PartitionMap::hash(&graph, 4).expect("partition"));
         let (plain, _) = crate::engine::run_bsp(
             &BspConfig::default(),
             logics(&graph, &partition, 8),
@@ -480,7 +480,7 @@ mod tests {
     #[test]
     fn zero_checkpoint_interval_is_rejected() {
         let graph = Arc::new(ring(4));
-        let partition = Arc::new(PartitionMap::hash(&graph, 1));
+        let partition = Arc::new(PartitionMap::hash(&graph, 1).expect("partition"));
         let recovery = RecoveryConfig {
             checkpoint_interval: 0,
             ..Default::default()
@@ -504,7 +504,7 @@ mod tests {
         // fault-free run (the hook itself is outside the checkpoint, so it
         // sees replays — what matters is the run result stays identical).
         let graph = Arc::new(ring(8));
-        let partition = Arc::new(PartitionMap::hash(&graph, 2));
+        let partition = Arc::new(PartitionMap::hash(&graph, 2).expect("partition"));
         let config = BspConfig {
             fault_plan: Some(FaultPlan::panic_at(1, 4)),
             ..Default::default()

@@ -73,7 +73,7 @@ impl WorkerLogic for VolumeLogic {
 
 fn run_volume(workers: usize, steps: u64, volume: fn(u64) -> u64) -> RunMetrics {
     let graph = Arc::new(ring(12));
-    let partition = Arc::new(PartitionMap::hash(&graph, workers));
+    let partition = Arc::new(PartitionMap::hash(&graph, workers).expect("partition"));
     let logics = (0..workers)
         .map(|w| VolumeLogic {
             graph: Arc::clone(&graph),

@@ -149,7 +149,7 @@ fn run_recover(
 #[test]
 fn external_logic_recovers_through_the_public_traits() {
     let graph = ring(16);
-    let partition = Arc::new(PartitionMap::hash(&graph, 4));
+    let partition = Arc::new(PartitionMap::hash(&graph, 4).expect("partition"));
     let (plain, pm) = run_plain(&graph, &partition, &BspConfig::default()).unwrap();
     let (rec, rm) = run_recover(
         &graph,
@@ -173,7 +173,7 @@ fn external_logic_recovers_through_the_public_traits() {
 #[test]
 fn non_convergence_is_a_typed_error() {
     let graph = ring(16);
-    let partition = Arc::new(PartitionMap::hash(&graph, 4));
+    let partition = Arc::new(PartitionMap::hash(&graph, 4).expect("partition"));
     let config = BspConfig {
         max_supersteps: 5,
         ..Default::default()
@@ -189,7 +189,7 @@ fn non_convergence_is_a_typed_error() {
 #[test]
 fn every_poisoned_worker_is_reported() {
     let graph = ring(16);
-    let partition = Arc::new(PartitionMap::hash(&graph, 4));
+    let partition = Arc::new(PartitionMap::hash(&graph, 4).expect("partition"));
     let plan = FaultPlan::panic_at(1, 2).and(Fault {
         worker: 3,
         step: 2,
@@ -211,7 +211,7 @@ fn every_poisoned_worker_is_reported() {
 #[test]
 fn wire_corruption_is_detected_by_the_batch_checksum() {
     let graph = ring(16);
-    let partition = Arc::new(PartitionMap::hash(&graph, 4));
+    let partition = Arc::new(PartitionMap::hash(&graph, 4).expect("partition"));
     // The token visits one worker per step; corrupt the batch bound for
     // every worker so whichever receives remote traffic at step 4 trips.
     let mut plan = FaultPlan::default();
@@ -234,7 +234,7 @@ fn wire_corruption_is_detected_by_the_batch_checksum() {
 #[test]
 fn retry_budget_is_bounded_with_full_history() {
     let graph = ring(16);
-    let partition = Arc::new(PartitionMap::hash(&graph, 4));
+    let partition = Arc::new(PartitionMap::hash(&graph, 4).expect("partition"));
     let recovery = RecoveryConfig {
         max_attempts: 2,
         ..RecoveryConfig::every(2)
@@ -265,7 +265,7 @@ fn retry_budget_is_bounded_with_full_history() {
 #[test]
 fn seeded_fault_plans_are_deterministic_end_to_end() {
     let graph = ring(16);
-    let partition = Arc::new(PartitionMap::hash(&graph, 4));
+    let partition = Arc::new(PartitionMap::hash(&graph, 4).expect("partition"));
     let (plain, _) = run_plain(&graph, &partition, &BspConfig::default()).unwrap();
     let plan = FaultPlan::seeded(0xFA17, 4, HOPS, 2);
     assert_eq!(plan, FaultPlan::seeded(0xFA17, 4, HOPS, 2));
@@ -289,7 +289,7 @@ fn seeded_fault_plans_are_deterministic_end_to_end() {
 #[test]
 fn disk_checkpoints_survive_rollback() {
     let graph = ring(16);
-    let partition = Arc::new(PartitionMap::hash(&graph, 4));
+    let partition = Arc::new(PartitionMap::hash(&graph, 4).expect("partition"));
     let dir = std::env::temp_dir().join("graphite_fault_injection_disk");
     let _ = std::fs::remove_dir_all(&dir);
     let recovery = RecoveryConfig {

@@ -116,6 +116,7 @@ fn icm_cfg(fault_plan: Option<FaultPlan>, perturb: Option<u64>) -> IcmConfig {
         perturb_schedule: perturb,
         trace: TraceConfig::default(),
         fault_plan,
+        partition: Default::default(),
     }
 }
 
@@ -128,6 +129,7 @@ fn vcm_cfg(fault_plan: Option<FaultPlan>, perturb: Option<u64>) -> VcmConfig {
         perturb_schedule: perturb,
         trace: TraceConfig::default(),
         fault_plan,
+        partition: Default::default(),
     }
 }
 

@@ -117,6 +117,7 @@ fn icm_cfg(perturb: Option<u64>) -> IcmConfig {
         perturb_schedule: perturb,
         trace: TraceConfig::default(),
         fault_plan: None,
+        partition: Default::default(),
     }
 }
 
@@ -129,6 +130,7 @@ fn vcm_cfg(perturb: Option<u64>) -> VcmConfig {
         perturb_schedule: perturb,
         trace: TraceConfig::default(),
         fault_plan: None,
+        partition: Default::default(),
     }
 }
 

@@ -85,6 +85,7 @@ fn icm_cfg(trace: TraceConfig, perturb: Option<u64>) -> IcmConfig {
         perturb_schedule: perturb,
         trace,
         fault_plan: None,
+        partition: Default::default(),
     }
 }
 

@@ -30,6 +30,18 @@ fn sample_lifespan(model: LifespanModel, horizon: Time, rng: &mut SplitMix64) ->
                 sample_lifespan(LifespanModel::Geometric { mean }, horizon, rng)
             }
         }
+        LifespanModel::Bursty {
+            heavy_fraction,
+            heavy_mean,
+            burst_mean,
+        } => {
+            let mean = if rng.f64() < heavy_fraction {
+                heavy_mean
+            } else {
+                burst_mean
+            };
+            sample_lifespan(LifespanModel::Geometric { mean }, horizon, rng)
+        }
     }
 }
 
@@ -66,6 +78,18 @@ fn sample_lifespan_at(
             } else {
                 sample_lifespan_at(LifespanModel::Geometric { mean }, bound, anchor, rng)
             }
+        }
+        LifespanModel::Bursty {
+            heavy_fraction,
+            heavy_mean,
+            burst_mean,
+        } => {
+            let mean = if rng.f64() < heavy_fraction {
+                heavy_mean
+            } else {
+                burst_mean
+            };
+            sample_lifespan_at(LifespanModel::Geometric { mean }, bound, anchor, rng)
         }
     }
 }
@@ -351,6 +375,35 @@ mod tests {
                 assert!((1..=2).contains(&w));
             }
         }
+    }
+
+    #[test]
+    fn bursty_lifespans_are_bimodal() {
+        let p = GenParams {
+            vertices: 2000,
+            edges: 0,
+            snapshots: 64,
+            vertex_lifespans: LifespanModel::Bursty {
+                heavy_fraction: 0.1,
+                heavy_mean: 40.0,
+                burst_mean: 1.5,
+            },
+            ..GenParams::small(31)
+        };
+        let g = generate(&p);
+        let spans: Vec<i64> = g
+            .vertex_indices()
+            .map(|v| g.vertex(v).lifespan.len())
+            .collect();
+        let short = spans.iter().filter(|&&l| l <= 4).count();
+        let long = spans.iter().filter(|&&l| l >= 20).count();
+        // The majority bursts in briefly; a visible minority persists.
+        assert!(
+            short * 2 > spans.len(),
+            "only {short}/{} short-lived vertices",
+            spans.len()
+        );
+        assert!(long * 50 > spans.len(), "only {long} long-lived vertices");
     }
 
     #[test]

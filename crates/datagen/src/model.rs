@@ -46,6 +46,20 @@ pub enum LifespanModel {
         /// Mean lifespan of the non-unit remainder.
         mean: f64,
     },
+    /// Bimodal "bursty" churn: a small `heavy_fraction` of entities are
+    /// long-lived (geometric with mean `heavy_mean`), the rest flash in
+    /// and out in short bursts (geometric with mean `burst_mean`). The
+    /// per-entity interval weight is heavy-tailed, so hash placement
+    /// shows real interval-load imbalance — the shape the `skew` profile
+    /// and `graphite-part`'s temporal-balance strategy are built around.
+    Bursty {
+        /// Fraction of long-lived entities (0..=1).
+        heavy_fraction: f64,
+        /// Mean lifespan of the long-lived minority.
+        heavy_mean: f64,
+        /// Mean lifespan of the short-lived majority.
+        burst_mean: f64,
+    },
 }
 
 /// Edge-property model: `travel-time` and `travel-cost` timelines whose

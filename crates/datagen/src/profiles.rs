@@ -29,10 +29,19 @@ pub enum Profile {
     Twitter,
     /// WebUK: 12 snapshots; mixed lifespans (edges ~9.4, properties ~4.7).
     WebUk,
+    /// Synthetic stress profile (not in Table 1): power-law degree plus
+    /// bursty bimodal lifespans, so per-vertex interval weight is
+    /// heavy-tailed. Built for the partitioning study (DESIGN.md §13) —
+    /// the profile where hash placement shows real interval-load
+    /// imbalance and `graphite-part`'s temporal-balance strategy wins.
+    Skew,
 }
 
 impl Profile {
-    /// All six, in Table 1's order.
+    /// The paper's six datasets, in Table 1's order. The synthetic
+    /// [`Profile::Skew`] stress profile is deliberately excluded: it is
+    /// not part of the paper's evaluation, and keeping this array stable
+    /// keeps every recorded figure pipeline byte-identical.
     pub const ALL: [Profile; 6] = [
         Profile::GPlus,
         Profile::Usrn,
@@ -51,6 +60,7 @@ impl Profile {
             Profile::Mag => "MAG",
             Profile::Twitter => "Twitter",
             Profile::WebUk => "WebUK",
+            Profile::Skew => "Skew",
         }
     }
 
@@ -156,6 +166,35 @@ impl Profile {
                 },
                 seed,
             },
+            Profile::Skew => GenParams {
+                vertices: 1_500 * s,
+                edges: 18_000 * s,
+                snapshots: 32,
+                topology: Topology::PowerLaw {
+                    edges_per_vertex: 12,
+                },
+                // ~8 % of vertices live most of the horizon; the rest
+                // flash in for a couple of snapshots. Combined with
+                // preferential attachment the long-lived hubs also hold
+                // most of the long-lived edges, so hash placement puts
+                // wildly different interval loads on equal-sized parts.
+                vertex_lifespans: LifespanModel::Bursty {
+                    heavy_fraction: 0.08,
+                    heavy_mean: 28.0,
+                    burst_mean: 2.0,
+                },
+                edge_lifespans: LifespanModel::Bursty {
+                    heavy_fraction: 0.10,
+                    heavy_mean: 24.0,
+                    burst_mean: 1.5,
+                },
+                props: PropModel {
+                    mean_segment: 4.0,
+                    max_cost: 10,
+                    max_travel_time: 1,
+                },
+                seed,
+            },
         }
     }
 
@@ -219,6 +258,37 @@ mod tests {
         let unit = g.edges().filter(|(_, e)| e.lifespan.is_unit()).count();
         let frac = unit as f64 / g.num_edges() as f64;
         assert!(frac > 0.9, "unit fraction {frac}");
+    }
+
+    #[test]
+    fn skew_profile_has_heavy_tailed_interval_weights() {
+        let g = Profile::Skew.generate(1, 42);
+        assert!(g.num_vertices() > 0);
+        assert!(g.num_edges() > 0);
+        // Per-vertex temporal weight (own span + out-edge spans) must be
+        // heavy-tailed: the top 1 % of vertices should carry far more
+        // than their uniform share of the total interval load.
+        let mut weights: Vec<u64> = g
+            .vertex_indices()
+            .map(|v| g.vertex_temporal_weight(v))
+            .collect();
+        weights.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = weights.iter().sum();
+        let top_1pct: u64 = weights.iter().take(weights.len() / 100).sum();
+        assert!(
+            top_1pct * 8 > total,
+            "top 1% holds {top_1pct} of {total} interval weight — not skewed enough"
+        );
+    }
+
+    #[test]
+    fn skew_profile_is_deterministic_and_excluded_from_all() {
+        let a = Profile::Skew.generate(1, 7);
+        let b = Profile::Skew.generate(1, 7);
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert!(!Profile::ALL.contains(&Profile::Skew));
+        assert_eq!(Profile::Skew.name(), "Skew");
     }
 
     #[test]

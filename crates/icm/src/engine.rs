@@ -33,6 +33,7 @@ use graphite_bsp::recover::{run_bsp_recoverable, RecoveryConfig};
 use graphite_bsp::snapshot::Snapshot;
 use graphite_bsp::trace::{TraceConfig, TraceSink};
 use graphite_bsp::MasterHook;
+use graphite_part::PartitionStrategy;
 use graphite_tgraph::graph::{EIdx, TemporalGraph, VIdx, VertexId};
 use graphite_tgraph::iset::IntervalPartition;
 use graphite_tgraph::time::{Interval, Time, TIME_MAX, TIME_MIN};
@@ -67,6 +68,11 @@ pub struct IcmConfig {
     /// injection (fault-tolerance harness use; recovered results must be
     /// bit-identical to fault-free ones).
     pub fault_plan: Option<FaultPlan>,
+    /// Vertex-placement strategy (see `graphite-part`, DESIGN.md §13).
+    /// Results are placement-invariant — strategies only move work and
+    /// message traffic between workers. Default: hash, the paper's
+    /// (Sec. VII-A4).
+    pub partition: PartitionStrategy,
 }
 
 impl Default for IcmConfig {
@@ -80,6 +86,7 @@ impl Default for IcmConfig {
             perturb_schedule: None,
             trace: TraceConfig::default(),
             fault_plan: None,
+            partition: PartitionStrategy::default(),
         }
     }
 }
@@ -612,7 +619,7 @@ pub fn try_run_icm_with_master<P: IntervalProgram>(
     config: &IcmConfig,
     master: Option<MasterHook<'_>>,
 ) -> Result<IcmResult<P::State>, BspError> {
-    let partition = Arc::new(PartitionMap::hash(&graph, config.workers));
+    let partition = Arc::new(config.partition.build(&graph, config.workers)?);
     let workers = build_workers(&graph, &program, config, &partition);
     let bsp = bsp_config(config);
     let mut wrapper = keepalive_master(Arc::clone(&program), master);
@@ -643,7 +650,7 @@ pub fn try_run_icm_recoverable<P: IntervalProgram>(
 where
     P::State: Wire,
 {
-    let partition = Arc::new(PartitionMap::hash(&graph, config.workers));
+    let partition = Arc::new(config.partition.build(&graph, config.workers)?);
     let workers = build_workers(&graph, &program, config, &partition);
     let bsp = bsp_config(config);
     let mut wrapper = keepalive_master(Arc::clone(&program), None);

@@ -59,6 +59,7 @@ pub use engine::{
     run_icm, run_icm_with_master, try_run_icm, try_run_icm_recoverable, try_run_icm_with_master,
     IcmConfig, IcmResult,
 };
+pub use graphite_part::PartitionStrategy;
 pub use program::{ComputeContext, EdgeDirection, IntervalProgram, ScatterContext, VertexContext};
 pub use warp::{time_join, time_warp, time_warp_spans, warp_view, JoinTuple, WarpTuple};
 

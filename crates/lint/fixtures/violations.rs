@@ -46,6 +46,15 @@ fn bad_wall_clock() -> Instant {
     Instant::now() // violation: wall-clock
 }
 
+fn bad_worker_assignment(vid: u64, workers: usize) -> usize {
+    (vid % workers as u64) as usize // violation: worker-assignment
+}
+
+fn allowed_worker_modulo(token: u64, n_workers: usize) -> usize {
+    // lint:allow(worker-assignment) — fixture-sanctioned escape hatch.
+    (token % n_workers as u64) as usize
+}
+
 fn string_mention_is_fine() -> &'static str {
     // The rule patterns inside this literal must NOT fire:
     "call .unwrap() and Instant::now() and Interval { start }"

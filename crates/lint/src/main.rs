@@ -1,6 +1,6 @@
 //! `graphite-lint` — repo-specific source-level lints (DESIGN.md §10).
 //!
-//! Five rules that rustc/clippy cannot express, each protecting one of the
+//! Six rules that rustc/clippy cannot express, each protecting one of the
 //! reproduction's determinism or robustness invariants:
 //!
 //! * `no-unwrap` — no `.unwrap()` / `.expect(` in `bsp`/`icm` non-test
@@ -24,6 +24,12 @@
 //!   would make fault tests exercise a different engine. Unlike the
 //!   other rules this one is checked inside test-gated code too — that
 //!   is where the leakage would hide.
+//! * `worker-assignment` — no `% workers`-style vertex-to-worker
+//!   arithmetic outside `graphite-part` and `bsp::partition`: placement
+//!   is a pluggable subsystem (DESIGN.md §13), and an ad-hoc modulo in an
+//!   engine or algorithm would silently bypass the configured
+//!   `PartitionStrategy`, breaking the digest-invariance matrix's
+//!   guarantee that strategy selection is the *only* placement input.
 //!
 //! A violation line (or the line directly above it) may carry a
 //! `lint:allow(<rule>)` comment with a justification to opt out.
@@ -50,15 +56,17 @@ enum Rule {
     NoRawInterval,
     WallClock,
     FaultIsolation,
+    WorkerAssignment,
 }
 
 impl Rule {
-    const ALL: [Rule; 5] = [
+    const ALL: [Rule; 6] = [
         Rule::NoUnwrap,
         Rule::HashIteration,
         Rule::NoRawInterval,
         Rule::WallClock,
         Rule::FaultIsolation,
+        Rule::WorkerAssignment,
     ];
 
     fn name(self) -> &'static str {
@@ -68,6 +76,7 @@ impl Rule {
             Rule::NoRawInterval => "no-raw-interval",
             Rule::WallClock => "wall-clock",
             Rule::FaultIsolation => "fault-isolation",
+            Rule::WorkerAssignment => "worker-assignment",
         }
     }
 
@@ -87,6 +96,10 @@ impl Rule {
             Rule::FaultIsolation => {
                 "cfg-gated fault hook: fault injection is FaultPlan configuration, \
                  active in every build, never a compile-time feature"
+            }
+            Rule::WorkerAssignment => {
+                "ad-hoc `% workers` placement arithmetic: vertex-to-worker \
+                 assignment belongs to graphite-part / bsp::partition only"
             }
         }
     }
@@ -215,6 +228,15 @@ fn rules_for(path: &Path) -> Vec<Rule> {
     if !timing_module {
         rules.push(Rule::WallClock);
     }
+    // Vertex placement is owned by two modules: the graphite-part crate
+    // (the strategies) and bsp::partition (the map they produce). A
+    // `% workers` anywhere else is a placement decision smuggled past the
+    // configured strategy.
+    let placement_module =
+        p.contains("crates/partition/src/") || p.ends_with("crates/bsp/src/partition.rs");
+    if !placement_module {
+        rules.push(Rule::WorkerAssignment);
+    }
     rules
 }
 
@@ -260,6 +282,7 @@ fn lint_file(path: &Path, source: &str, rules: &[Rule], out: &mut Vec<Violation>
                         || code_line.contains("time::Instant")
                 }
                 Rule::FaultIsolation => fault_gated(&code, i),
+                Rule::WorkerAssignment => computes_worker_modulo(code_line),
             };
             if hit && !allowed(&raw, i, rule) {
                 out.push(Violation {
@@ -324,6 +347,32 @@ fn has_raw_interval_literal(code_line: &str) -> bool {
 
 fn is_ident_char(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// A `%` whose right operand is a worker count: `% workers`,
+/// `% self.workers`, `% config.workers.max(1)`, `% n_workers`, … — the
+/// shape of ad-hoc vertex placement. Percent signs in stripped strings
+/// and comments never reach this function.
+fn computes_worker_modulo(code_line: &str) -> bool {
+    let mut from = 0;
+    while let Some(off) = code_line[from..].find('%') {
+        let at = from + off;
+        from = at + 1;
+        // Walk the path expression after the operator: identifiers
+        // separated by `.`, any segment naming a worker count is a hit.
+        let rest = code_line[at + 1..].trim_start();
+        for segment in rest
+            .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.'))
+            .next()
+            .unwrap_or("")
+            .split('.')
+        {
+            if segment == "workers" || segment.ends_with("_workers") {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 /// Identifiers that mark fault-injection hook code.
@@ -738,6 +787,18 @@ mod tests {
             !fault_gated(&unrelated_gate, 3),
             "a test merely *using* a fault plan is not a gated hook"
         );
+    }
+
+    #[test]
+    fn worker_modulo_detection() {
+        assert!(computes_worker_modulo("let w = vid % workers;"));
+        assert!(computes_worker_modulo("(splitmix64(v) % workers as u64)"));
+        assert!(computes_worker_modulo("idx % self.workers"));
+        assert!(computes_worker_modulo("h % config.workers.max(1)"));
+        assert!(computes_worker_modulo("x % n_workers"));
+        assert!(!computes_worker_modulo("let r = i % 7;"));
+        assert!(!computes_worker_modulo("a % buckets"));
+        assert!(!computes_worker_modulo("let workers = 4;"));
     }
 
     #[test]

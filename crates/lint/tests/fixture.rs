@@ -32,6 +32,7 @@ fn fixture_trips_every_rule() {
         "no-raw-interval",
         "wall-clock",
         "fault-isolation",
+        "worker-assignment",
     ] {
         assert!(
             text.contains(&format!("[{rule}]")),
@@ -42,10 +43,11 @@ fn fixture_trips_every_rule() {
     // Exactly the seeded violations: 2 unwrap/expect (the allowed one is
     // excused), 2 hash iterations, 1 raw interval literal, 2 wall-clock
     // hits (the `time::Instant` import and the `Instant::now()` call),
-    // 2 cfg-gated fault hooks (the allowed one is excused).
+    // 2 cfg-gated fault hooks (the allowed one is excused), 1 worker
+    // modulo placement (the allowed one is excused).
     assert!(
-        text.contains("9 violation(s)"),
-        "expected 9 violations in:\n{text}"
+        text.contains("10 violation(s)"),
+        "expected 10 violations in:\n{text}"
     );
 
     // The escaped line and the test-module unwrap must not be flagged.

@@ -1,0 +1,157 @@
+//! Trace-driven repartitioning: turn observed per-worker compute skew
+//! from a prior run into a better placement.
+//!
+//! The structured-trace layer (`graphite-trace/1`, DESIGN.md §12) records
+//! per-worker compute nanoseconds every superstep. Summed over a run,
+//! those totals say how the *actual* cost of the current placement was
+//! distributed. [`rebalance`] spreads each worker's observed cost over
+//! the vertices it owned — proportional to their temporal weight, which is
+//! the best stationary predictor we have — and then re-packs vertices
+//! greedily (heaviest first, onto the lightest worker). The result is a
+//! recommendation, not a mandate: the caller decides whether to adopt it
+//! for the next run.
+//!
+//! The procedure is seeded and deterministic: identical `(graph, current
+//! placement, observed loads, seed)` always produce the identical
+//! recommended assignment, so reports are reproducible and testable. The
+//! seed only perturbs the order of *exactly tied* vertices.
+
+use graphite_bsp::error::BspError;
+use graphite_bsp::partition::{splitmix64, PartitionMap};
+use graphite_tgraph::graph::TemporalGraph;
+
+/// Recommends a new assignment over `workers` workers from the per-worker
+/// cost observations of a prior run under `current`.
+///
+/// `observed` holds one non-negative cost per *current* worker (typically
+/// summed compute-ns from a `graphite-trace/1` run; any consistent unit
+/// works — only ratios matter). Each vertex inherits a share of its
+/// worker's observed cost proportional to its temporal weight, and the
+/// weighted vertices are re-packed by longest-processing-time greedy.
+///
+/// # Errors
+///
+/// [`BspError::Config`] when `observed` does not have one entry per
+/// current worker, any entry is negative or non-finite, or `workers` is
+/// out of range for a partition map.
+pub fn rebalance(
+    graph: &TemporalGraph,
+    current: &PartitionMap,
+    observed: &[f64],
+    workers: usize,
+    seed: u64,
+) -> Result<PartitionMap, BspError> {
+    if observed.len() != current.workers() {
+        return Err(BspError::Config {
+            detail: format!(
+                "{} observed load(s) supplied for {} current worker(s)",
+                observed.len(),
+                current.workers()
+            ),
+        });
+    }
+    if let Some(bad) = observed.iter().find(|c| !c.is_finite() || **c < 0.0) {
+        return Err(BspError::Config {
+            detail: format!("observed loads must be finite and non-negative, got {bad}"),
+        });
+    }
+    // Temporal weight of each current worker, to apportion observed cost.
+    let mut worker_weight = vec![0u128; current.workers()];
+    for v in graph.vertex_indices() {
+        worker_weight[current.worker_of(v)] += u128::from(graph.vertex_temporal_weight(v));
+    }
+    // Estimated per-vertex cost under the observation. Workers that
+    // reported zero cost (or owned nothing) fall back to temporal weight
+    // alone so their vertices still pack sensibly.
+    let mut costed: Vec<(f64, u64, u32)> = graph
+        .vertex_indices()
+        .map(|v| {
+            let w = current.worker_of(v);
+            let weight = graph.vertex_temporal_weight(v) as f64;
+            let denom = worker_weight[w] as f64;
+            let cost = if observed[w] > 0.0 && denom > 0.0 {
+                observed[w] * weight / denom
+            } else {
+                weight
+            };
+            (cost, splitmix64(seed ^ u64::from(v.0)), v.0)
+        })
+        .collect();
+    // Heaviest first; exact cost ties are ordered by the seeded hash (and
+    // finally by index, so the full order is total and reproducible).
+    costed.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    let mut loads = vec![0f64; workers];
+    let mut assignment = vec![0u16; graph.num_vertices()];
+    for (cost, _, v) in costed {
+        let w = (0..workers)
+            .min_by(|&a, &b| loads[a].total_cmp(&loads[b]).then(a.cmp(&b)))
+            .unwrap_or_default();
+        assignment[v as usize] = w as u16;
+        loads[w] += cost;
+    }
+    PartitionMap::from_assignment(assignment, workers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::interval_loads;
+    use crate::PartitionStrategy;
+    use graphite_tgraph::builder::TemporalGraphBuilder;
+    use graphite_tgraph::graph::{TemporalGraph, VertexId};
+    use graphite_tgraph::time::Interval;
+
+    fn graph(n: u64) -> TemporalGraph {
+        let mut b = TemporalGraphBuilder::new();
+        for i in 0..n {
+            // Lifespans of wildly different lengths.
+            let len = 1 + (i % 7) * (i % 7) * 10;
+            b.add_vertex(VertexId(i), Interval::new(0, 1 + len as i64))
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn same_inputs_same_recommendation() {
+        let g = graph(120);
+        let current = PartitionStrategy::Hash.build(&g, 4).unwrap();
+        let observed = vec![9.0e9, 1.0e9, 1.1e9, 0.9e9];
+        let a = rebalance(&g, &current, &observed, 4, 42).unwrap();
+        let b = rebalance(&g, &current, &observed, 4, 42).unwrap();
+        for v in g.vertex_indices() {
+            assert_eq!(a.worker_of(v), b.worker_of(v));
+        }
+    }
+
+    #[test]
+    fn rebalancing_skewed_observations_evens_the_load() {
+        let g = graph(120);
+        let current = PartitionStrategy::Hash.build(&g, 4).unwrap();
+        // Worker 0 was observed 9x slower than the rest.
+        let observed = vec![9.0e9, 1.0e9, 1.0e9, 1.0e9];
+        let next = rebalance(&g, &current, &observed, 4, 7).unwrap();
+        // The recommendation must spread worker 0's old vertices out:
+        // projected cost spread under the model is near-uniform.
+        let spread = |loads: &[u128]| {
+            let max = *loads.iter().max().unwrap();
+            let min = *loads.iter().min().unwrap();
+            (max - min) as f64 / max.max(1) as f64
+        };
+        // Interval loads are our cost proxy; they should not be worse
+        // than the hash baseline's.
+        assert!(spread(&interval_loads(&g, &next)) <= spread(&interval_loads(&g, &current)));
+    }
+
+    #[test]
+    fn shape_mismatch_and_bad_loads_are_config_errors() {
+        let g = graph(10);
+        let current = PartitionStrategy::Hash.build(&g, 2).unwrap();
+        assert!(rebalance(&g, &current, &[1.0], 2, 0).is_err());
+        assert!(rebalance(&g, &current, &[1.0, f64::NAN], 2, 0).is_err());
+        assert!(rebalance(&g, &current, &[1.0, -2.0], 2, 0).is_err());
+        // Worker-count change is allowed: recommend for 3 from a 2-run.
+        let widened = rebalance(&g, &current, &[1.0, 1.0], 3, 0).unwrap();
+        assert_eq!(widened.workers(), 3);
+    }
+}

@@ -1,0 +1,182 @@
+//! Partition quality measurement.
+//!
+//! [`stats`] answers, for one placement of one graph: how even are the
+//! vertex counts, how even is the *temporal* work, how many edges cross
+//! workers, and what fraction of message traffic those crossings should
+//! translate into. These are the quantities a partitioner can change;
+//! engine result digests, by design, are not among them.
+
+use graphite_bsp::partition::PartitionMap;
+use graphite_tgraph::graph::TemporalGraph;
+
+/// Quality report for one `(graph, PartitionMap)` pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionStats {
+    /// Worker count of the measured map.
+    pub workers: usize,
+    /// Vertices covered by the map.
+    pub vertices: usize,
+    /// Edges in the graph.
+    pub edges: usize,
+    /// Max-over-mean vertex count: 1.0 is perfect count balance.
+    pub balance: f64,
+    /// Max-over-mean interval-weighted load (vertex + out-edge lifespan
+    /// lengths per worker): 1.0 is perfect temporal balance. This is the
+    /// number `TemporalBalance` optimizes and hash partitioning leaves to
+    /// chance.
+    pub interval_balance: f64,
+    /// Edges whose endpoints live on different workers.
+    pub cut_edges: usize,
+    /// `cut_edges / edges` (0.0 for edge-free graphs).
+    pub cut_fraction: f64,
+    /// Estimated fraction of message traffic that crosses workers:
+    /// lifespan-weighted edge cut, i.e. cut-edge lifespan length over
+    /// total edge lifespan length. Scatter emits along an edge for as
+    /// long as the edge exists, so weighting the cut by lifespan tracks
+    /// `remote_messages / messages_sent` far better than the raw cut.
+    pub est_remote_fraction: f64,
+}
+
+impl PartitionStats {
+    /// Renders the report as aligned `key value` lines (CLI use).
+    pub fn render(&self) -> String {
+        format!(
+            "workers              {}\n\
+             vertices             {}\n\
+             edges                {}\n\
+             balance              {:.4}\n\
+             interval_balance     {:.4}\n\
+             cut_edges            {}\n\
+             cut_fraction         {:.4}\n\
+             est_remote_fraction  {:.4}\n",
+            self.workers,
+            self.vertices,
+            self.edges,
+            self.balance,
+            self.interval_balance,
+            self.cut_edges,
+            self.cut_fraction,
+            self.est_remote_fraction,
+        )
+    }
+}
+
+/// Max-over-mean of a non-negative load vector; 1.0 when empty or zero.
+fn max_over_mean(loads: &[u128]) -> f64 {
+    let total: u128 = loads.iter().sum();
+    if loads.is_empty() || total == 0 {
+        return 1.0;
+    }
+    let max = *loads.iter().max().unwrap_or(&0) as f64;
+    let mean = total as f64 / loads.len() as f64;
+    max / mean
+}
+
+/// Measures `map` against `graph`.
+pub fn stats(graph: &TemporalGraph, map: &PartitionMap) -> PartitionStats {
+    let counts: Vec<u128> = map.load().iter().map(|&c| c as u128).collect();
+    let interval: Vec<u128> = crate::strategies::interval_loads(graph, map);
+    let mut cut_edges = 0usize;
+    let mut cut_span = 0u128;
+    let mut total_span = 0u128;
+    let mut edges = 0usize;
+    for (_, e) in graph.edges() {
+        edges += 1;
+        let span = u128::from(e.lifespan.len().max(1) as u64);
+        total_span += span;
+        if map.worker_of(e.src) != map.worker_of(e.dst) {
+            cut_edges += 1;
+            cut_span += span;
+        }
+    }
+    PartitionStats {
+        workers: map.workers(),
+        vertices: map.len(),
+        edges,
+        balance: max_over_mean(&counts),
+        interval_balance: max_over_mean(&interval),
+        cut_edges,
+        cut_fraction: if edges == 0 {
+            0.0
+        } else {
+            cut_edges as f64 / edges as f64
+        },
+        est_remote_fraction: if total_span == 0 {
+            0.0
+        } else {
+            cut_span as f64 / total_span as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PartitionStrategy;
+    use graphite_tgraph::builder::TemporalGraphBuilder;
+    use graphite_tgraph::graph::{EdgeId, VertexId};
+    use graphite_tgraph::time::Interval;
+
+    fn ring(n: u64) -> TemporalGraph {
+        let mut b = TemporalGraphBuilder::new();
+        for i in 0..n {
+            b.add_vertex(VertexId(i), Interval::new(0, 10)).unwrap();
+        }
+        for i in 0..n {
+            b.add_edge(
+                EdgeId(i),
+                VertexId(i),
+                VertexId((i + 1) % n),
+                Interval::new(0, 10),
+            )
+            .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_worker_has_perfect_stats() {
+        let g = ring(16);
+        let p = PartitionStrategy::Hash.build(&g, 1).unwrap();
+        let s = stats(&g, &p);
+        assert_eq!(s.workers, 1);
+        assert_eq!(s.vertices, 16);
+        assert_eq!(s.edges, 16);
+        assert_eq!(s.cut_edges, 0);
+        assert!((s.balance - 1.0).abs() < 1e-12);
+        assert!((s.interval_balance - 1.0).abs() < 1e-12);
+        assert!(s.est_remote_fraction == 0.0);
+    }
+
+    #[test]
+    fn chunked_cuts_fewer_ring_edges_than_hash() {
+        let g = ring(64);
+        let hash = PartitionStrategy::Hash.build(&g, 4).unwrap();
+        let chunk = PartitionStrategy::Chunked.build(&g, 4).unwrap();
+        let sh = stats(&g, &hash);
+        let sc = stats(&g, &chunk);
+        // A ring chunked into 4 contiguous arcs cuts exactly 4 edges.
+        assert_eq!(sc.cut_edges, 4);
+        assert!(sc.cut_edges < sh.cut_edges, "hash cut {}", sh.cut_edges);
+        assert!(sc.est_remote_fraction < sh.est_remote_fraction);
+    }
+
+    #[test]
+    fn render_mentions_every_field() {
+        let g = ring(8);
+        let p = PartitionStrategy::Chunked.build(&g, 2).unwrap();
+        let r = stats(&g, &p).render();
+        for key in [
+            "workers",
+            "vertices",
+            "edges",
+            "balance",
+            "interval_balance",
+            "cut_edges",
+            "cut_fraction",
+            "est_remote_fraction",
+        ] {
+            assert!(r.contains(key), "missing {key} in:\n{r}");
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! The placement-invariance matrix: every partitioning strategy, at every
+//! worker count, on every profile, must land on the **bit-identical**
+//! result digest of the default hash placement — including when composed
+//! with schedule-perturbation seeds and injected faults.
+//!
+//! Placement only moves interval-vertices (and therefore messages)
+//! between workers; the ICM/VCM semantics are defined on the graph, not
+//! on the assignment. Results are keyed by external `VertexId`s in
+//! ordered maps, so the digest of a run is a pure function of (graph,
+//! program, config-semantics) — never of the partition map. The
+//! *placement-invariant* counter key (supersteps, compute/scatter calls,
+//! messages sent, warp counters) is pinned too; `remote_messages` and
+//! `bytes_sent` legitimately vary with placement and are excluded.
+//!
+//! Two of the profiles here are byte-identical to the ones pinned in
+//! `crates/bsp/tests/result_digest_pin.rs`, so the hash baselines are
+//! additionally asserted against those recorded digests — the matrix is
+//! anchored to the pre-partitioning recording, not merely self-consistent.
+
+use graphite_algorithms::bfs::{IcmBfs, VcmBfs};
+use graphite_algorithms::td_paths::IcmEat;
+use graphite_algorithms::AlgLabels;
+use graphite_baselines::vcm::{try_run_vcm, try_run_vcm_recoverable, VcmConfig};
+use graphite_baselines::{EdgeWeights, SnapshotTopology};
+use graphite_bsp::fault::FaultPlan;
+use graphite_bsp::metrics::RunMetrics;
+use graphite_bsp::recover::RecoveryConfig;
+use graphite_bsp::trace::TraceConfig;
+use graphite_datagen::{generate, GenParams, LifespanModel, PropModel, Topology};
+use graphite_icm::engine::{try_run_icm, try_run_icm_recoverable, IcmConfig};
+use graphite_part::PartitionStrategy;
+use graphite_tgraph::graph::{TemporalGraph, VertexId};
+use std::sync::Arc;
+
+/// Identical to `result_digest_pin::profile_long` — anchors the hash
+/// baseline to the recorded digest.
+fn profile_long() -> GenParams {
+    GenParams {
+        vertices: 150,
+        edges: 900,
+        snapshots: 16,
+        topology: Topology::PowerLaw {
+            edges_per_vertex: 6,
+        },
+        vertex_lifespans: LifespanModel::Full,
+        edge_lifespans: LifespanModel::Geometric { mean: 12.0 },
+        props: PropModel {
+            mean_segment: 6.0,
+            max_cost: 10,
+            max_travel_time: 3,
+        },
+        seed: 7,
+    }
+}
+
+/// A laptop-scale slice of the `skew` profile shape: power-law degree
+/// with bursty bimodal lifespans, so the strategies produce genuinely
+/// different assignments (which the digests must not see).
+fn profile_skew() -> GenParams {
+    GenParams {
+        vertices: 150,
+        edges: 900,
+        snapshots: 24,
+        topology: Topology::PowerLaw {
+            edges_per_vertex: 6,
+        },
+        vertex_lifespans: LifespanModel::Bursty {
+            heavy_fraction: 0.08,
+            heavy_mean: 20.0,
+            burst_mean: 2.0,
+        },
+        edge_lifespans: LifespanModel::Bursty {
+            heavy_fraction: 0.10,
+            heavy_mean: 16.0,
+            burst_mean: 1.5,
+        },
+        props: PropModel {
+            mean_segment: 4.0,
+            max_cost: 10,
+            max_travel_time: 2,
+        },
+        seed: 19,
+    }
+}
+
+fn profiles() -> [(&'static str, GenParams); 2] {
+    [("long", profile_long()), ("skew", profile_skew())]
+}
+
+fn source(graph: &TemporalGraph) -> VertexId {
+    graph
+        .vertices()
+        .map(|(_, v)| v.vid)
+        .min()
+        .expect("non-empty graph")
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The placement-invariant slice of the counter key: everything except
+/// `remote_messages` / `bytes_sent`, which measure the wire and *should*
+/// change when vertices move between workers.
+fn inv_counters(m: &RunMetrics) -> [u64; 6] {
+    [
+        m.supersteps,
+        m.counters.compute_calls,
+        m.counters.scatter_calls,
+        m.counters.messages_sent,
+        m.counters.warp_invocations,
+        m.counters.warp_suppressions,
+    ]
+}
+
+fn icm_cfg(strategy: PartitionStrategy, workers: usize) -> IcmConfig {
+    IcmConfig {
+        workers,
+        combiner: true,
+        suppression_threshold: Some(0.7),
+        max_supersteps: 10_000,
+        keep_per_step_timing: false,
+        perturb_schedule: None,
+        trace: TraceConfig::default(),
+        fault_plan: None,
+        partition: strategy,
+    }
+}
+
+fn vcm_cfg(strategy: PartitionStrategy, workers: usize) -> VcmConfig {
+    VcmConfig {
+        workers,
+        max_supersteps: 10_000,
+        need_in_edges: false,
+        keep_per_step_timing: false,
+        perturb_schedule: None,
+        trace: TraceConfig::default(),
+        fault_plan: None,
+        partition: strategy,
+    }
+}
+
+fn icm_fingerprint<P>(
+    graph: &Arc<TemporalGraph>,
+    program: &Arc<P>,
+    cfg: &IcmConfig,
+) -> (u64, [u64; 6])
+where
+    P: graphite_icm::program::IntervalProgram<State = i64>,
+{
+    let r =
+        try_run_icm(Arc::clone(graph), Arc::clone(program), cfg).expect("matrix run must succeed");
+    (
+        fnv1a(format!("{:?}", r.states).as_bytes()),
+        inv_counters(&r.metrics),
+    )
+}
+
+fn vcm_digest(states: std::collections::HashMap<u32, i64>) -> u64 {
+    let mut states: Vec<(u32, i64)> = states.into_iter().collect();
+    states.sort_unstable();
+    fnv1a(format!("{states:?}").as_bytes())
+}
+
+fn vcm_topology(graph: &Arc<TemporalGraph>, params: &GenParams) -> Arc<SnapshotTopology> {
+    let weights = EdgeWeights {
+        w1: graph.label("travel-cost"),
+        w2: graph.label("travel-time"),
+    };
+    Arc::new(SnapshotTopology::new(
+        Arc::clone(graph),
+        params.snapshots / 2,
+        weights,
+    ))
+}
+
+const WORKER_COUNTS: [usize; 2] = [2, 5];
+
+/// State digests of the hash/4-worker baseline recorded in
+/// `result_digest_pin.rs` — the long-profile anchors.
+const ANCHORED: [(&str, u64); 2] = [
+    ("bfs/long", 0x0727_4081_2ec0_284e),
+    ("eat/long", 0x189c_95d8_c097_8d98),
+];
+
+#[test]
+fn icm_digests_are_placement_invariant() {
+    for (pname, params) in profiles() {
+        let graph = Arc::new(generate(&params));
+        let bfs = Arc::new(IcmBfs {
+            source: source(&graph),
+        });
+        let eat = Arc::new(IcmEat {
+            source: source(&graph),
+            start: 0,
+            labels: AlgLabels::resolve(&graph),
+        });
+        for (aname, base) in [
+            (
+                "bfs",
+                icm_fingerprint(&graph, &bfs, &icm_cfg(PartitionStrategy::Hash, 4)),
+            ),
+            (
+                "eat",
+                icm_fingerprint(&graph, &eat, &icm_cfg(PartitionStrategy::Hash, 4)),
+            ),
+        ] {
+            if let Some((_, pin)) = ANCHORED
+                .iter()
+                .find(|(l, _)| *l == format!("{aname}/{pname}"))
+            {
+                assert_eq!(
+                    base.0, *pin,
+                    "{aname}/{pname}: hash baseline diverged from the recorded pin"
+                );
+            }
+            for strategy in PartitionStrategy::ALL {
+                for workers in WORKER_COUNTS {
+                    let cfg = icm_cfg(strategy, workers);
+                    let got = if aname == "bfs" {
+                        icm_fingerprint(&graph, &bfs, &cfg)
+                    } else {
+                        icm_fingerprint(&graph, &eat, &cfg)
+                    };
+                    assert_eq!(
+                        got,
+                        base,
+                        "ICM/{aname}/{pname}: {} × {workers} workers diverged from hash/4",
+                        strategy.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn vcm_digests_are_placement_invariant() {
+    for (pname, params) in profiles() {
+        let graph = Arc::new(generate(&params));
+        let topo = vcm_topology(&graph, &params);
+        let program = Arc::new(VcmBfs {
+            source: source(&graph),
+        });
+        let base = try_run_vcm(
+            Arc::clone(&topo),
+            Arc::clone(&program),
+            &vcm_cfg(PartitionStrategy::Hash, 4),
+        )
+        .expect("baseline VCM run must succeed");
+        let baseline = (vcm_digest(base.states), inv_counters(&base.metrics));
+        for strategy in PartitionStrategy::ALL {
+            for workers in WORKER_COUNTS {
+                let r = try_run_vcm(
+                    Arc::clone(&topo),
+                    Arc::clone(&program),
+                    &vcm_cfg(strategy, workers),
+                )
+                .expect("matrix VCM run must succeed");
+                assert_eq!(
+                    (vcm_digest(r.states), inv_counters(&r.metrics)),
+                    baseline,
+                    "VCM/BFS/{pname}: {} × {workers} workers diverged from hash/4",
+                    strategy.name()
+                );
+            }
+        }
+    }
+}
+
+/// Placement composed with schedule perturbation: a perturbed schedule
+/// under any strategy must still land on the unperturbed hash digest.
+#[test]
+fn strategies_compose_with_schedule_perturbation() {
+    let params = profile_skew();
+    let graph = Arc::new(generate(&params));
+    let bfs = Arc::new(IcmBfs {
+        source: source(&graph),
+    });
+    let baseline = icm_fingerprint(&graph, &bfs, &icm_cfg(PartitionStrategy::Hash, 4));
+    for strategy in PartitionStrategy::ALL {
+        for seed in [1u64, 0xDEAD_BEEF] {
+            let cfg = IcmConfig {
+                perturb_schedule: Some(seed),
+                ..icm_cfg(strategy, 4)
+            };
+            let got = icm_fingerprint(&graph, &bfs, &cfg);
+            assert_eq!(
+                got,
+                baseline,
+                "{} + perturb {seed:#x}: diverged from unperturbed hash",
+                strategy.name()
+            );
+        }
+    }
+}
+
+/// Satellite: a fault-injected run under Ldg / TemporalBalance must
+/// recover to the digest of a **clean hash** run — fault tolerance and
+/// placement compose without either becoming observable in results.
+#[test]
+fn faulted_runs_under_alternative_strategies_recover_to_clean_hash_digest() {
+    for (pname, params) in profiles() {
+        let graph = Arc::new(generate(&params));
+        let bfs = Arc::new(IcmBfs {
+            source: source(&graph),
+        });
+        let clean_hash = icm_fingerprint(&graph, &bfs, &icm_cfg(PartitionStrategy::Hash, 4));
+        for strategy in [PartitionStrategy::Ldg, PartitionStrategy::TemporalBalance] {
+            for step in [2u64, 3] {
+                let cfg = IcmConfig {
+                    fault_plan: Some(FaultPlan::panic_at(1, step)),
+                    ..icm_cfg(strategy, 4)
+                };
+                let r = try_run_icm_recoverable(
+                    Arc::clone(&graph),
+                    Arc::clone(&bfs),
+                    &cfg,
+                    &RecoveryConfig::every(2),
+                )
+                .expect("recoverable run must converge");
+                assert_eq!(
+                    (
+                        fnv1a(format!("{:?}", r.states).as_bytes()),
+                        inv_counters(&r.metrics)
+                    ),
+                    clean_hash,
+                    "{pname}: faulted {} run at step {step} diverged from clean hash",
+                    strategy.name()
+                );
+                assert_eq!(
+                    r.metrics.recovery.rollbacks,
+                    1,
+                    "{pname}/{}: the injected panic must have fired",
+                    strategy.name()
+                );
+            }
+        }
+    }
+}
+
+/// The VCM recoverable path composes with non-hash placement too. Runs
+/// on the long profile — the skew snapshot converges before the fault
+/// step, so the panic would never fire there.
+#[test]
+fn faulted_vcm_runs_under_temporal_balance_recover_to_clean_hash_digest() {
+    let params = profile_long();
+    let graph = Arc::new(generate(&params));
+    let topo = vcm_topology(&graph, &params);
+    let program = Arc::new(VcmBfs {
+        source: source(&graph),
+    });
+    let clean = try_run_vcm(
+        Arc::clone(&topo),
+        Arc::clone(&program),
+        &vcm_cfg(PartitionStrategy::Hash, 4),
+    )
+    .expect("clean VCM run must succeed");
+    let baseline = (vcm_digest(clean.states), inv_counters(&clean.metrics));
+    let cfg = VcmConfig {
+        fault_plan: Some(FaultPlan::panic_at(1, 2)),
+        ..vcm_cfg(PartitionStrategy::TemporalBalance, 4)
+    };
+    let r = try_run_vcm_recoverable(
+        Arc::clone(&topo),
+        Arc::clone(&program),
+        &cfg,
+        &RecoveryConfig::every(2),
+    )
+    .expect("recoverable VCM run must converge");
+    assert_eq!(
+        (vcm_digest(r.states), inv_counters(&r.metrics)),
+        baseline,
+        "faulted temporal-balance VCM run diverged from clean hash"
+    );
+    assert_eq!(r.metrics.recovery.rollbacks, 1);
+}

@@ -230,6 +230,28 @@ impl TemporalGraph {
         &self.in_edges[s..e]
     }
 
+    /// The lifespan length of vertex `v`, clamped to at least 1 so that
+    /// instantaneous vertices still carry weight. This is the unit of
+    /// *temporal load*: an interval-centric engine does work proportional
+    /// to how long an entity exists, not merely to its existence.
+    #[inline]
+    pub fn vertex_span_weight(&self, v: VIdx) -> u64 {
+        self.vertex(v).lifespan.len().max(1) as u64
+    }
+
+    /// The temporal load weight of vertex `v`: its own lifespan length
+    /// plus the lifespan lengths of its out-edges (each edge is charged to
+    /// its source, so summing over all vertices counts every edge exactly
+    /// once). Interval-weighted partitioners balance this quantity across
+    /// workers instead of raw vertex counts.
+    pub fn vertex_temporal_weight(&self, v: VIdx) -> u64 {
+        let mut w = self.vertex_span_weight(v);
+        for &e in self.out_edges(v) {
+            w = w.saturating_add(self.edge(e).lifespan.len().max(1) as u64);
+        }
+        w
+    }
+
     /// Out-degree of `v` over the whole lifespan (multi-edges counted).
     pub fn out_degree(&self, v: VIdx) -> usize {
         self.out_edges(v).len()

@@ -25,4 +25,7 @@ cargo test --workspace -q
 echo "==> fault-injection matrix (release)"
 scripts/fault_matrix.sh
 
+echo "==> placement-invariance matrix (release)"
+scripts/partition_matrix.sh
+
 echo "==> all checks passed"

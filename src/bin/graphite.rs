@@ -20,13 +20,17 @@
 //! `run` honors the tracing environment (EXPERIMENTS.md "Reading a
 //! trace"): `GRAPHITE_TRACE=off|counters|full` sets the recording level
 //! and `GRAPHITE_TRACE_JSON=<file>` writes the `graphite-trace/1` JSONL
-//! stream for `trace_report`.
+//! stream for `trace_report`. Vertex placement is selected with
+//! `--partition hash|chunked|ldg|temporal` or the `GRAPHITE_PARTITION`
+//! environment variable (the flag wins; results are identical either
+//! way — see DESIGN.md §13).
 
 #![forbid(unsafe_code)]
 
 use graphite::algorithms::registry::{run, Algo, Platform, RunOpts};
 use graphite::bsp::trace::TraceConfig;
 use graphite::datagen::Profile;
+use graphite::part::PartitionStrategy;
 use graphite::tgraph::graph::VertexId;
 use graphite::tgraph::io;
 use graphite::tgraph::stats::dataset_stats;
@@ -37,8 +41,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  graphite stats <graph.tg>\n  graphite run <graph.tg> --algo \
          <bfs|wcc|scc|pr|sssp|eat|fast|ld|tmst|rh|lcc|tc>\n      [--platform icm|msb|chl|tgb|gof] \
-         [--source VID] [--workers N]\n      [--start T] [--deadline T] [--counts]\n  graphite \
-         gen <gplus|usrn|reddit|mag|twitter|webuk|ldbc> <out.tg> [--scale N] [--seed N]"
+         [--source VID] [--workers N]\n      [--partition hash|chunked|ldg|temporal] [--start T] \
+         [--deadline T] [--counts]\n  graphite \
+         gen <gplus|usrn|reddit|mag|twitter|webuk|skew|ldbc> <out.tg> [--scale N] [--seed N]"
     );
     ExitCode::from(2)
 }
@@ -155,6 +160,16 @@ fn cmd_run(path: &str, flags: &Flags) -> ExitCode {
     }
     opts.digest = false;
     opts.trace = TraceConfig::from_env();
+    opts.partition = match flags.get("--partition") {
+        None => PartitionStrategy::from_env(),
+        Some(p) => match PartitionStrategy::parse(p) {
+            Some(s) => s,
+            None => {
+                eprintln!("unknown partition strategy {p:?}");
+                return usage();
+            }
+        },
+    };
 
     match run(algo, platform, Arc::clone(&graph), None, &opts) {
         Ok(outcome) => {
@@ -201,6 +216,7 @@ fn cmd_gen(profile: &str, out: &str, flags: &Flags) -> ExitCode {
         "mag" => Profile::Mag.generate(scale, seed),
         "twitter" => Profile::Twitter.generate(scale, seed),
         "webuk" => Profile::WebUk.generate(scale, seed),
+        "skew" => Profile::Skew.generate(scale, seed),
         "ldbc" => graphite::datagen::weak_scaling_graph(scale.max(1), 250, seed),
         other => {
             eprintln!("unknown profile {other:?}");

@@ -15,6 +15,7 @@
 //! * [`icm`] — the interval-centric model and time-warp (Sec. IV)
 //! * [`algorithms`] — the 12 algorithms in ICM and baseline forms (Sec. V)
 //! * [`baselines`] — MSB, Chlonos, TGB and GoFFish-TS (Sec. VII-A3)
+//! * [`part`] — pluggable temporal-aware vertex partitioning (DESIGN.md §13)
 //! * [`datagen`] — seeded workload generators shaped like Table 1
 //!
 //! ```
@@ -38,6 +39,7 @@ pub use graphite_baselines as baselines;
 pub use graphite_bsp as bsp;
 pub use graphite_datagen as datagen;
 pub use graphite_icm as icm;
+pub use graphite_part as part;
 pub use graphite_tgraph as tgraph;
 
 /// The common imports for applications: graph building, the ICM engine,
