@@ -257,6 +257,9 @@ fn default_source(graph: &TemporalGraph) -> VertexId {
 /// Digest per-snapshot platform results (`Vec<(Time, HashMap<dense, S>)>`).
 fn digest_per_snapshot<S, F>(
     graph: &TemporalGraph,
+    // lint:allow(determinism-flow) — ResultDigest::fold is an
+    // order-independent (wrapping-add) combiner, so hash iteration
+    // order cannot change the digest
     per_snapshot: &[(Time, HashMap<u32, S>)],
     mut encode: F,
 ) -> ResultDigest
@@ -472,6 +475,8 @@ pub fn run(
             RunOutcome {
                 digest: opts.digest.then(|| {
                     digest_icm(&graph, &r, |s: &pagerank::PrState| {
+                        // lint:allow(determinism-flow) — same 1e-6
+                        // quantization as ResultDigest::fold_f64
                         (s.1 * 1e6).round() as u64
                     })
                 }),

@@ -1,0 +1,17 @@
+//! Drift-fixture trace consumer: parses the event lines and extras the
+//! fixture producers write. Never compiled.
+
+pub fn parse_event(ev: &Json, n: usize) -> Option<(u64, u64)> {
+    let _ = ev.get("ev");
+    let step = get_u64(&ev, "step", n);
+    let sent = get_u64(&ev, "sent", n);
+    Some((step, sent))
+}
+
+pub fn parse_extras(extras: &Json, n: usize) -> u64 {
+    let tuples = get_u64(extras, "warp_tuples", n);
+    // ghost_metric is read but no fixture producer ever writes it
+    // (seeded drift, read side).
+    let ghost = get_u64(extras, "ghost_metric", n);
+    tuples + ghost
+}

@@ -1,0 +1,18 @@
+//! Drift-fixture trace producer: writes `graphite-trace/1` event lines.
+//! Never compiled; scanned by the schema-drift integration test.
+
+pub struct TraceSink;
+
+impl TraceSink {
+    pub fn add(&mut self, key: &str, val: u64) {
+        let _ = (key, val);
+    }
+}
+
+pub fn emit_step(out: &mut String, step: u64, sent: u64) {
+    // Writes the fields ev, step, sent — and orphan_field, which the
+    // fixture tracefmt never reads (seeded drift, write side).
+    out.push_str(&format!(
+        "{{\"ev\":\"step_end\",\"step\":{step},\"sent\":{sent},\"orphan_field\":0}}"
+    ));
+}

@@ -1,0 +1,9 @@
+//! Drift-fixture extras producer: a warp engine writing per-step extras
+//! through the trace sink. Never compiled.
+
+pub fn record_warp(sink: &mut TraceSink) {
+    sink.add("warp_tuples", 1);
+    // phantom_extra is written but the fixture tracefmt never reads it
+    // (seeded drift, write side).
+    sink.add("phantom_extra", 2);
+}

@@ -1,0 +1,155 @@
+//! Negative fixture for the graphite-analyze integration test. This file
+//! is never compiled — it lives outside any `src/` tree and exists only
+//! to be scanned by the analyzer, which must flag every block below
+//! except the explicitly allowed ones.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant; // violation: wall-clock (clock-type import)
+
+struct Holder {
+    counts: HashMap<u32, u64>,
+}
+
+fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // violation: no-unwrap
+}
+
+fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("present") // violation: no-unwrap
+}
+
+fn allowed_unwrap(x: Option<u32>) -> u32 {
+    // lint:allow(no-unwrap) — fixture-sanctioned escape hatch.
+    x.unwrap()
+}
+
+fn bad_hash_iteration(h: &Holder) -> u64 {
+    let mut seen = HashSet::new();
+    seen.insert(1u32);
+    let mut total = 0;
+    for (_, v) in h.counts.iter() {
+        // violation: hash-iteration
+        total += v;
+    }
+    for s in seen {
+        // violation: hash-iteration
+        total += u64::from(s);
+    }
+    total
+}
+
+fn bad_interval_literal() -> Interval {
+    Interval { start: 0, end: 1 } // violation: no-raw-interval
+}
+
+fn bad_wall_clock() -> Instant {
+    Instant::now() // violation: wall-clock
+}
+
+fn bad_worker_assignment(vid: u64, workers: usize) -> usize {
+    (vid % workers as u64) as usize // violation: worker-assignment
+}
+
+fn allowed_worker_modulo(token: u64, n_workers: usize) -> usize {
+    // lint:allow(worker-assignment) — fixture-sanctioned escape hatch.
+    (token % n_workers as u64) as usize
+}
+
+fn string_mention_is_fine() -> &'static str {
+    // The rule patterns inside this literal must NOT fire:
+    "call .unwrap() and Instant::now() and Interval { start }"
+}
+
+#[cfg(test)]
+fn gated_fault_hook(plan: &FaultPlan) -> bool {
+    // The fn line above is a violation: fault-isolation (a fault hook
+    // compiled only under cfg(test) — release builds would run an engine
+    // the fault tests never exercised).
+    plan.faults.is_empty()
+}
+
+fn inline_gated_fault_check(fault_plan: &Option<FaultPlan>) -> bool {
+    cfg!(debug_assertions) && fault_plan.is_some() // violation: fault-isolation
+}
+
+fn allowed_fault_mention(fault_plan: &Option<FaultPlan>) -> bool {
+    // lint:allow(fault-isolation) — fixture-sanctioned escape hatch.
+    cfg!(test) || fault_plan.is_none()
+}
+
+// --- cases the old regex scanner got wrong, pinned correct -----------
+
+fn multiline_worker_modulo(vid: u64, workers: u64) -> u64 {
+    // violation: worker-assignment — the line break between `%` and
+    // `workers` hid this from the old line-based regex (missed TP).
+    vid %
+        workers
+}
+
+fn multiline_interval_literal() -> Interval {
+    // violation: no-raw-interval — same line-break blind spot.
+    Interval
+        { start: 0, end: 1 }
+}
+
+fn local_vec_named_like_a_hash_field() -> u64 {
+    // NOT a violation: `counts` here is a fn-local Vec, even though a
+    // `counts: HashMap` field exists above. The old scanner flagged this
+    // iteration (false positive); the token engine resolves the binding.
+    let counts: Vec<u64> = vec![1, 2, 3];
+    let mut total = 0;
+    for c in counts {
+        total += c;
+    }
+    total
+}
+
+// --- determinism-flow ------------------------------------------------
+
+fn flow_float_into_digest(values: &[f64]) -> u64 {
+    // The fn line above is a violation: determinism-flow (float
+    // arithmetic in the same fn as a digest computation).
+    let sum: f64 = values.iter().sum();
+    update_digest(sum.to_bits())
+}
+
+fn flow_hash_into_outbox(outbox: &mut Outbox) {
+    let pending: HashMap<u32, u64> = build_pending(); // violation: determinism-flow
+    for (dst, msg) in drain(pending) {
+        outbox.send(dst, msg);
+    }
+}
+
+fn flow_pointer_into_trace(sink: &mut TraceSink, buf: &[u8]) {
+    let addr = buf.as_ptr() as usize; // violation: determinism-flow
+    sink.add("addr", addr as u64);
+}
+
+// lint:allow(determinism-flow) — fixture-sanctioned escape hatch.
+fn allowed_flow(digest: &mut u64, value: f64) {
+    *digest = update_digest(value.to_bits());
+}
+
+// --- allow-without-reason --------------------------------------------
+
+fn bare_allowed_unwrap(x: Option<u32>) -> u32 {
+    // lint:allow(no-unwrap)
+    // The marker above is a violation: allow-without-reason (it still
+    // suppresses the unwrap below, but must say why).
+    x.unwrap()
+}
+
+fn typoed_allow_rule(x: Option<u32>) -> u32 {
+    // lint:allow(no-unwarp) — violation: allow-without-reason (unknown
+    // rule name, so this escape suppresses nothing).
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1); // exempt: inside #[cfg(test)]
+    }
+}

@@ -1,0 +1,258 @@
+//! The determinism-flow pass.
+//!
+//! The reproduction's headline guarantee is bit-identical result digests
+//! across schedules, partitions and fault recoveries (ICM §6). The
+//! per-container rules (`hash-iteration`, `wall-clock`) catch individual
+//! nondeterministic constructs; this pass catches the *combination* that
+//! actually breaks the guarantee: a nondeterministic source lexically
+//! inside the same function as an order-sensitive sink.
+//!
+//! **Sinks** (where ordering becomes observable):
+//! * digest computation — an identifier containing `digest` that is
+//!   called or path-qualified, or a fn/impl whose name says digest;
+//! * message emission — `outbox.send(…)` in `bsp::engine`;
+//! * codec emission — the `bsp::codec` wire entry points
+//!   (`encode_batch`, `put_varint`, `put_signed`, `put_interval`, …);
+//! * trace emission — `sink.add(…)` / `sink.timed(…)` on a `TraceSink`.
+//!
+//! **Sources** (where nondeterminism enters):
+//! * float arithmetic — float literals or `f32`/`f64` conversions
+//!   (rounding is order-sensitive, so folding floats into a digest is
+//!   only sound with explicit quantization, which a human must bless);
+//! * hash containers — `HashMap`/`HashSet` construction (their
+//!   iteration order feeding the sink is schedule-dependent);
+//! * pointer addresses — `as_ptr` or an `as *` cast (addresses change
+//!   per run under ASLR).
+//!
+//! A hit is reported at the source line; `lint:allow(determinism-flow)`
+//! with a justification blesses deliberate cases (e.g. fixed-precision
+//! quantization before digesting).
+
+use crate::lexer::TokKind;
+use crate::report::Rule;
+use crate::rules::Hit;
+use crate::scope::FileModel;
+
+/// The `bsp::codec` wire emission entry points.
+const CODEC_SINKS: [&str; 5] = [
+    "encode_batch",
+    "put_varint",
+    "put_signed",
+    "put_interval",
+    "put_interval_fixed",
+];
+
+/// Runs the pass over every non-test fn in `model`.
+pub(crate) fn check(model: &FileModel, hits: &mut Vec<Hit>) {
+    let t = &model.tokens;
+    for (fi, f) in model.fns.iter().enumerate() {
+        if model.is_test(f.start) {
+            continue;
+        }
+        // Nested fns are analyzed on their own — exclude their tokens so
+        // "same function" stays literal.
+        let nested: Vec<(usize, usize)> = model
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|&(gi, g)| gi != fi && g.start > f.start && g.end <= f.end)
+            .map(|(_, g)| (g.start, g.end))
+            .collect();
+        let skip = |i: usize| nested.iter().any(|&(s, e)| s <= i && i <= e);
+
+        let mut sink: Option<String> = None;
+        let describe_sink = |s: String, slot: &mut Option<String>| {
+            if slot.is_none() {
+                *slot = Some(s);
+            }
+        };
+        if f.name.to_ascii_lowercase().contains("digest")
+            || f.impl_type
+                .as_deref()
+                .is_some_and(|ty| ty.to_ascii_lowercase().contains("digest"))
+        {
+            describe_sink(format!("digest computation (fn `{}`)", f.name), &mut sink);
+        }
+        let mut sources: Vec<(usize, String)> = Vec::new();
+        for i in f.start..=f.end.min(t.len().saturating_sub(1)) {
+            if skip(i) {
+                continue;
+            }
+            let tok = &t[i];
+            // Sinks.
+            if tok.kind == TokKind::Ident {
+                let lower = tok.text.to_ascii_lowercase();
+                let called = t
+                    .get(i + 1)
+                    .is_some_and(|x| x.is_punct("(") || x.is_punct("::"));
+                if lower.contains("digest") && called {
+                    describe_sink(format!("digest computation (`{}`)", tok.text), &mut sink);
+                }
+                if CODEC_SINKS.contains(&tok.text.as_str())
+                    && t.get(i + 1).is_some_and(|x| x.is_punct("("))
+                {
+                    describe_sink(format!("codec emission (`{}`)", tok.text), &mut sink);
+                }
+            }
+            if tok.is_punct(".") && i > 0 && t[i - 1].kind == TokKind::Ident {
+                let recv = t[i - 1].text.to_ascii_lowercase();
+                let method = t.get(i + 1);
+                let open = t.get(i + 2).is_some_and(|x| x.is_punct("("));
+                if open {
+                    if recv.contains("outbox") && method.is_some_and(|x| x.is_ident("send")) {
+                        describe_sink(
+                            format!("message emission (`{}.send`)", t[i - 1].text),
+                            &mut sink,
+                        );
+                    }
+                    if recv.contains("sink")
+                        && method.is_some_and(|x| x.is_ident("add") || x.is_ident("timed"))
+                    {
+                        describe_sink(format!("trace emission (`{}`)", t[i - 1].text), &mut sink);
+                    }
+                }
+            }
+            // Sources. One report per (fn, kind), at the first source
+            // line, so a blessing covers the whole flow, not every line.
+            let src = if tok.kind == TokKind::Float || tok.is_ident("f32") || tok.is_ident("f64") {
+                Some("float arithmetic")
+            } else if tok.is_ident("HashMap") || tok.is_ident("HashSet") {
+                Some("hash-container construction (iteration order)")
+            } else if tok.is_ident("as_ptr")
+                || (tok.is_ident("as") && t.get(i + 1).is_some_and(|x| x.is_punct("*")))
+            {
+                Some("pointer-address use")
+            } else {
+                None
+            };
+            if let Some(kind) = src {
+                if !sources.iter().any(|(_, k)| k.as_str() == kind) {
+                    sources.push((tok.line as usize, kind.to_string()));
+                }
+            }
+        }
+        if let Some(sink) = sink {
+            for (line, kind) in sources {
+                hits.push((
+                    Rule::DeterminismFlow,
+                    line,
+                    format!("{kind} in fn `{}`, which feeds {sink}", f.name),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::report::Rule;
+    use crate::rules::check_file;
+    use crate::scope::FileModel;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<(usize, String)> {
+        let m = FileModel::build(PathBuf::from("t.rs"), src);
+        check_file(&m, &[Rule::DeterminismFlow])
+            .into_iter()
+            .map(|v| (v.line, v.message().to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn float_feeding_a_digest_fires_at_the_source_line() {
+        let src = "fn fold(digest: &mut D, v: f64) {\n\
+                       let q = (v * 1e6).round() as i64;\n\
+                       fold_digest(q);\n\
+                   }\n";
+        let vs = run(src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].0, 1, "reported at the first float source line");
+        assert!(vs[0].1.contains("float"));
+        assert!(vs[0].1.contains("digest"));
+    }
+
+    #[test]
+    fn hash_map_feeding_an_outbox_fires() {
+        let src = "fn scatter(outbox: &mut Outbox) {\n\
+                       let pending: HashMap<u32, u32> = build();\n\
+                       for (dst, msg) in drain(pending) {\n\
+                           outbox.send(dst, msg);\n\
+                       }\n\
+                   }\n";
+        let vs = run(src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].0, 2);
+        assert!(vs[0].1.contains("hash-container"));
+    }
+
+    #[test]
+    fn pointer_cast_feeding_a_trace_sink_fires() {
+        let src = "fn record(sink: &mut TraceSink, buf: &[u8]) {\n\
+                       let addr = buf.as_ptr() as usize;\n\
+                       sink.add(\"addr\", addr as u64);\n\
+                   }\n";
+        let vs = run(src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].1.contains("pointer"));
+    }
+
+    #[test]
+    fn source_without_a_sink_is_fine() {
+        let src = "fn stats(xs: &[u64]) -> f64 {\n\
+                       let mean = xs.iter().sum::<u64>() as f64 / xs.len() as f64;\n\
+                       mean * 1.5\n\
+                   }\n";
+        assert!(run(src).is_empty(), "floats with no sink are not flagged");
+    }
+
+    #[test]
+    fn sink_without_a_source_is_fine() {
+        let src = "fn emit(outbox: &mut Outbox, msgs: &[(u32, u64)]) {\n\
+                       for &(dst, m) in msgs {\n\
+                           outbox.send(dst, m);\n\
+                       }\n\
+                   }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn codec_entry_points_are_sinks() {
+        let src = "fn ship(out: &mut Vec<u8>, v: f64) {\n\
+                       put_varint(out, v.to_bits());\n\
+                   }\n";
+        let vs = run(src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].1.contains("codec"));
+    }
+
+    #[test]
+    fn nested_fn_sources_stay_in_the_nested_fn() {
+        let src = "fn outer(digest: &mut D) {\n\
+                       fn helper() -> f64 { 1.5 }\n\
+                       compute_digest(digest);\n\
+                   }\n";
+        assert!(
+            run(src).is_empty(),
+            "a float inside a nested fn does not feed the outer sink, \
+             and the nested fn has no sink of its own"
+        );
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "fn fold(v: f64) {\n\
+                       // lint:allow(determinism-flow) — quantized to 1e-6 before digesting\n\
+                       let q = (v * 1e6).round() as i64;\n\
+                       fold_digest(q);\n\
+                   }\n";
+        let hits = run(src);
+        // Line 1 (the `f64` in the signature) still fires; line 3 is blessed.
+        assert!(hits.iter().all(|(l, _)| *l != 3), "{hits:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t(d: &mut D) { let x = 1.5; my_digest(d); }\n}\n";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,631 @@
+//! Per-file item/scope model built on the token stream.
+//!
+//! [`FileModel`] is what the rules actually consume: tokens plus the
+//! structure the old regex scanner faked with indentation heuristics —
+//! `#[cfg(test)]` extents resolved by brace matching, `fn` boundaries
+//! with their enclosing `impl` type, a `use`-map for the names the rules
+//! care about (`Instant`, `HashMap`, …), and parsed `lint:allow`
+//! markers with their justification state.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use crate::lexer::{lex, Comment, TokKind, Token};
+
+/// One `lint:allow(<rule>)` escape comment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowMarker {
+    /// The rule name inside the parentheses (not yet validated).
+    pub rule: String,
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// Whether a justification follows the marker: after stripping
+    /// leading dashes/colons, at least one alphabetic word of length ≥ 3.
+    pub has_reason: bool,
+}
+
+/// One `fn` item with its body extent and enclosing `impl` type.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Self type of the enclosing `impl`, if any (last path segment).
+    pub impl_type: Option<String>,
+    /// Token index of the `fn` keyword.
+    pub start: usize,
+    /// Token index of the closing `}` of the body (inclusive).
+    pub end: usize,
+    /// 1-based line of the `fn` keyword.
+    pub start_line: usize,
+    /// 1-based line of the closing `}`.
+    pub end_line: usize,
+}
+
+/// The analyzed shape of one source file.
+#[derive(Clone, Debug)]
+pub struct FileModel {
+    /// File path, as given to [`FileModel::build`].
+    pub path: PathBuf,
+    /// Source lines (index 0 is line 1), for snippets.
+    pub lines: Vec<String>,
+    /// Code tokens.
+    pub tokens: Vec<Token>,
+    /// Comment lines.
+    pub comments: Vec<Comment>,
+    /// Per-token: inside a `#[cfg(test)]`-gated (or `#[test]`) item.
+    pub test_mask: Vec<bool>,
+    /// All `fn` items, outermost first (nested fns appear separately).
+    pub fns: Vec<FnItem>,
+    /// `use` resolution: simple (possibly `as`-renamed) name → full path.
+    pub uses: BTreeMap<String, String>,
+    /// Every `lint:allow(...)` marker found in comments.
+    pub allows: Vec<AllowMarker>,
+    line_has_code: Vec<bool>,
+    line_has_comment: Vec<bool>,
+}
+
+impl FileModel {
+    /// Lexes and models `source`.
+    pub fn build(path: PathBuf, source: &str) -> FileModel {
+        let lexed = lex(source);
+        let lines: Vec<String> = source.lines().map(str::to_owned).collect();
+        let mut line_has_code = vec![false; lines.len() + 1];
+        let mut line_has_comment = vec![false; lines.len() + 1];
+        for t in &lexed.tokens {
+            if let Some(slot) = line_has_code.get_mut(t.line as usize - 1) {
+                *slot = true;
+            }
+        }
+        for cm in &lexed.comments {
+            if let Some(slot) = line_has_comment.get_mut(cm.line as usize - 1) {
+                *slot = true;
+            }
+        }
+        let test_mask = build_test_mask(&lexed.tokens);
+        let fns = build_fns(&lexed.tokens);
+        let uses = build_uses(&lexed.tokens);
+        let allows = build_allows(&lexed.comments);
+        FileModel {
+            path,
+            lines,
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            test_mask,
+            fns,
+            uses,
+            allows,
+            line_has_code,
+            line_has_comment,
+        }
+    }
+
+    /// The source text of a 1-based line (empty if out of range).
+    pub fn line_text(&self, line: usize) -> &str {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .map_or("", String::as_str)
+    }
+
+    /// True when the token at `idx` is inside test-gated code.
+    pub fn is_test(&self, idx: usize) -> bool {
+        self.test_mask.get(idx).copied().unwrap_or(false)
+    }
+
+    /// 1-based line of the token at `idx`.
+    pub fn tok_line(&self, idx: usize) -> usize {
+        self.tokens.get(idx).map_or(0, |t| t.line as usize)
+    }
+
+    /// Looks up a `lint:allow(rule)` marker covering `line`: either on
+    /// the line itself, or in the contiguous run of comment-only lines
+    /// directly above it (a blank or code line breaks the run).
+    pub fn allow_for(&self, rule: &str, line: usize) -> Option<&AllowMarker> {
+        let at = |l: usize| self.allows.iter().find(|m| m.line == l && m.rule == rule);
+        if let Some(m) = at(line) {
+            return Some(m);
+        }
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            let has_code = self.line_has_code.get(l - 1).copied().unwrap_or(false);
+            let has_comment = self.line_has_comment.get(l - 1).copied().unwrap_or(false);
+            if has_code || !has_comment {
+                break;
+            }
+            if let Some(m) = at(l) {
+                return Some(m);
+            }
+        }
+        None
+    }
+
+    /// True when `simple` is `use`-bound to a path ending in `suffix`
+    /// (e.g. `use_resolves("Instant", "std::time::Instant")`).
+    pub fn use_resolves(&self, simple: &str, suffix: &str) -> bool {
+        self.uses
+            .get(simple)
+            .is_some_and(|full| full == suffix || full.ends_with(&format!("::{suffix}")))
+    }
+}
+
+/// True for an attribute token slice (the tokens between `#[` and `]`)
+/// that gates the following item to test builds.
+fn is_test_attr(attr: &[Token]) -> bool {
+    let mut idents = attr.iter().filter(|t| t.kind == TokKind::Ident);
+    match idents.next() {
+        Some(first) if first.text == "test" => true,
+        Some(first) if first.text == "cfg" => {
+            let mut saw_test = false;
+            let mut saw_not = false;
+            for t in attr.iter().filter(|t| t.kind == TokKind::Ident) {
+                saw_test |= t.text == "test";
+                saw_not |= t.text == "not";
+            }
+            saw_test && !saw_not
+        }
+        _ => false,
+    }
+}
+
+/// Marks every token belonging to a `#[cfg(test)]`/`#[test]`-gated item:
+/// the attribute itself, any stacked attributes, and the item through
+/// its closing `}` (or terminating `;` for brace-less items).
+fn build_test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))) {
+            i += 1;
+            continue;
+        }
+        let Some(attr_end) = match_close(tokens, i + 1, "[", "]") else {
+            break;
+        };
+        if !is_test_attr(&tokens[i + 2..attr_end]) {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further stacked attributes before the item.
+        let mut j = attr_end + 1;
+        while j < tokens.len()
+            && tokens[j].is_punct("#")
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct("["))
+        {
+            match match_close(tokens, j + 1, "[", "]") {
+                Some(e) => j = e + 1,
+                None => break,
+            }
+        }
+        // Item extent: first `;` at depth 0, or matched `{ … }`.
+        let mut end = tokens.len().saturating_sub(1);
+        let mut depth = 0i32;
+        let mut k = j;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    ";" if depth == 0 => {
+                        end = k;
+                        break;
+                    }
+                    "{" if depth == 0 => {
+                        end = match_close(tokens, k, "{", "}").unwrap_or(tokens.len() - 1);
+                        break;
+                    }
+                    "{" => depth += 1,
+                    "}" => depth -= 1,
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        for slot in mask.iter_mut().take(end + 1).skip(i) {
+            *slot = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// Index of the punct closing the `open` at `start` (depth-matched).
+fn match_close(tokens: &[Token], start: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(start) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Extracts `fn` items with enclosing-`impl` context via a brace stack.
+fn build_fns(tokens: &[Token]) -> Vec<FnItem> {
+    // Pre-pass: map each impl-opening `{` token index to the impl type.
+    let mut impl_open: BTreeMap<usize, String> = BTreeMap::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("impl") {
+            let mut j = i + 1;
+            // Skip the generic parameter list, if any.
+            if tokens.get(j).is_some_and(|t| t.is_punct("<")) {
+                let mut angle = 0i32;
+                while j < tokens.len() {
+                    if tokens[j].is_punct("<") || tokens[j].is_punct("<<") {
+                        angle += if tokens[j].text == "<<" { 2 } else { 1 };
+                    } else if tokens[j].is_punct(">") || tokens[j].is_punct(">>") {
+                        angle -= if tokens[j].text == ">>" { 2 } else { 1 };
+                        if angle <= 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            // Collect the self type: path idents until `{`/`where`;
+            // `for` (trait impl) resets — the type follows it.
+            let mut ty: Option<String> = None;
+            let mut angle = 0i32;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct("<") {
+                    angle += 1;
+                } else if t.is_punct(">") {
+                    angle -= 1;
+                } else if angle == 0 {
+                    if t.is_ident("for") {
+                        ty = None;
+                    } else if t.is_ident("where") || t.is_punct("{") || t.is_punct(";") {
+                        break;
+                    } else if t.kind == TokKind::Ident {
+                        ty = Some(t.text.clone());
+                    }
+                }
+                j += 1;
+            }
+            // Find the opening `{` of the impl body.
+            while j < tokens.len() && !tokens[j].is_punct("{") {
+                j += 1;
+            }
+            if let (Some(ty), true) = (ty, j < tokens.len()) {
+                impl_open.insert(j, ty);
+            }
+            i = j;
+        }
+        i += 1;
+    }
+
+    let mut fns = Vec::new();
+    let mut stack: Vec<Option<String>> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("{") {
+            stack.push(impl_open.get(&i).cloned());
+        } else if t.is_punct("}") {
+            stack.pop();
+        } else if t.is_ident("fn") {
+            if let Some(name_tok) = tokens.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                // Walk the signature for the body `{` (or `;` for a
+                // trait method declaration, which has no body).
+                let mut depth = 0i32;
+                let mut k = i + 2;
+                let mut body_open = None;
+                while k < tokens.len() {
+                    let t = &tokens[k];
+                    if t.kind == TokKind::Punct {
+                        match t.text.as_str() {
+                            "(" | "[" => depth += 1,
+                            ")" | "]" => depth -= 1,
+                            ";" if depth == 0 => break,
+                            "{" if depth == 0 => {
+                                body_open = Some(k);
+                                break;
+                            }
+                            "{" => depth += 1,
+                            "}" => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    k += 1;
+                }
+                if let Some(open) = body_open {
+                    let end = match_close(tokens, open, "{", "}").unwrap_or(tokens.len() - 1);
+                    let impl_type = stack.iter().rev().find_map(|f| f.clone());
+                    fns.push(FnItem {
+                        name: name_tok.text.clone(),
+                        impl_type,
+                        start: i,
+                        end,
+                        start_line: t.line as usize,
+                        end_line: tokens[end].line as usize,
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// Parses `use` statements into a simple-name → full-path map, handling
+/// groups (`{A, B}`), renames (`as`), and ignoring globs.
+fn build_uses(tokens: &[Token]) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("use") {
+            let end = tokens
+                .iter()
+                .enumerate()
+                .skip(i + 1)
+                .find(|(_, t)| t.is_punct(";"))
+                .map_or(tokens.len(), |(k, _)| k);
+            use_tree(&tokens[i + 1..end], 0, &mut Vec::new(), &mut map);
+            i = end;
+        }
+        i += 1;
+    }
+    map
+}
+
+/// Recursive use-tree walk; returns the index just past the tree.
+fn use_tree(
+    toks: &[Token],
+    mut i: usize,
+    prefix: &mut Vec<String>,
+    map: &mut BTreeMap<String, String>,
+) -> usize {
+    let depth_at_entry = prefix.len();
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("{") {
+            i += 1;
+            loop {
+                i = use_tree(toks, i, &mut prefix.clone(), map);
+                match toks.get(i) {
+                    Some(t) if t.is_punct(",") => i += 1,
+                    Some(t) if t.is_punct("}") => {
+                        i += 1;
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+            break;
+        }
+        if t.is_punct("*") {
+            i += 1;
+            break;
+        }
+        if t.kind == TokKind::Ident && t.text != "as" {
+            prefix.push(t.text.clone());
+            i += 1;
+            if toks.get(i).is_some_and(|t| t.is_punct("::")) {
+                i += 1;
+                continue;
+            }
+            // Leaf: `as` rename or the segment itself names the binding.
+            let name = if toks.get(i).is_some_and(|t| t.is_ident("as")) {
+                i += 1;
+                let alias = toks.get(i).map(|t| t.text.clone());
+                i += 1;
+                alias
+            } else {
+                prefix.last().cloned()
+            };
+            if let Some(name) = name {
+                map.insert(name, prefix.join("::"));
+            }
+            break;
+        }
+        i += 1;
+        break;
+    }
+    prefix.truncate(depth_at_entry);
+    i
+}
+
+/// Finds every `lint:allow(<rule>)` marker in comment text and decides
+/// whether a justification follows it on the same comment line.
+///
+/// Doc comments (`///`, `//!`, `/** .. */`) are skipped: they *document*
+/// the escape-hatch syntax; only regular comments can invoke it.
+fn build_allows(comments: &[Comment]) -> Vec<AllowMarker> {
+    const NEEDLE: &str = "lint:allow(";
+    let mut out = Vec::new();
+    for cm in comments {
+        if matches!(cm.text.bytes().next(), Some(b'/' | b'!' | b'*')) {
+            continue;
+        }
+        let mut rest = cm.text.as_str();
+        while let Some(pos) = rest.find(NEEDLE) {
+            let after = &rest[pos + NEEDLE.len()..];
+            let Some(close) = after.find(')') else { break };
+            let rule = after[..close].trim().to_string();
+            let tail = &after[close + 1..];
+            out.push(AllowMarker {
+                rule,
+                line: cm.line as usize,
+                has_reason: has_reason(tail),
+            });
+            rest = tail;
+        }
+    }
+    out
+}
+
+/// A justification is real when, after stripping leading separators,
+/// the tail contains at least one alphabetic word of length ≥ 3.
+fn has_reason(tail: &str) -> bool {
+    let stripped = tail.trim_start_matches([' ', '\t', '—', '–', '-', ':', ',', '.', ';']);
+    let mut run = 0usize;
+    for c in stripped.chars() {
+        if c.is_ascii_alphabetic() {
+            run += 1;
+            if run >= 3 {
+                return true;
+            }
+        } else {
+            run = 0;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::build(PathBuf::from("test.rs"), src)
+    }
+
+    #[test]
+    fn cfg_test_mask_covers_the_gated_item_only() {
+        let m = model(
+            "fn live() { a(); }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn gated() { b(); }\n\
+             }\n\
+             fn live2() { c(); }\n",
+        );
+        let a = m.tokens.iter().position(|t| t.is_ident("a")).unwrap();
+        let b = m.tokens.iter().position(|t| t.is_ident("b")).unwrap();
+        let c = m.tokens.iter().position(|t| t.is_ident("c")).unwrap();
+        assert!(!m.is_test(a));
+        assert!(m.is_test(b));
+        assert!(!m.is_test(c));
+    }
+
+    #[test]
+    fn cfg_all_test_and_stacked_attrs_are_gated() {
+        let m = model(
+            "#[cfg(all(test, feature = \"x\"))]\n\
+             #[allow(dead_code)]\n\
+             fn gated() { g(); }\n\
+             #[cfg(not(test))]\n\
+             fn live() { l(); }\n",
+        );
+        let g = m.tokens.iter().position(|t| t.is_ident("g")).unwrap();
+        let l = m.tokens.iter().position(|t| t.is_ident("l")).unwrap();
+        assert!(m.is_test(g));
+        assert!(!m.is_test(l), "cfg(not(test)) is live code");
+    }
+
+    #[test]
+    fn fn_items_carry_their_impl_type() {
+        let m = model(
+            "impl<'a, T: Clone> Engine<T> {\n\
+                 fn step(&mut self) { body(); }\n\
+             }\n\
+             impl Wire for f64 {\n\
+                 fn put(&self) {}\n\
+             }\n\
+             fn free() {}\n\
+             trait T { fn decl(&self); }\n",
+        );
+        let names: Vec<(&str, Option<&str>)> = m
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.impl_type.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("step", Some("Engine")),
+                ("put", Some("f64")),
+                ("free", None),
+            ]
+        );
+    }
+
+    #[test]
+    fn fn_extents_cover_the_body() {
+        let m = model("fn outer() {\n    x.unwrap();\n}\nfn after() {}\n");
+        let f = &m.fns[0];
+        assert_eq!(f.start_line, 1);
+        assert_eq!(f.end_line, 3);
+        let unwrap = m.tokens.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(f.start <= unwrap && unwrap <= f.end);
+    }
+
+    #[test]
+    fn use_map_resolves_groups_and_renames() {
+        let m = model(
+            "use std::time::{Instant, Duration};\n\
+             use std::collections::HashMap as Map;\n\
+             use std::sync::Arc;\n\
+             use crate::prelude::*;\n",
+        );
+        assert_eq!(m.uses.get("Instant").unwrap(), "std::time::Instant");
+        assert_eq!(m.uses.get("Duration").unwrap(), "std::time::Duration");
+        assert_eq!(m.uses.get("Map").unwrap(), "std::collections::HashMap");
+        assert_eq!(m.uses.get("Arc").unwrap(), "std::sync::Arc");
+        assert!(m.use_resolves("Instant", "std::time::Instant"));
+        assert!(m.use_resolves("Map", "std::collections::HashMap"));
+        assert!(!m.use_resolves("Arc", "std::time::Instant"));
+    }
+
+    #[test]
+    fn allow_markers_detect_reasons() {
+        let m = model(
+            "// lint:allow(no-unwrap) — checked non-empty above\n\
+             x.unwrap();\n\
+             // lint:allow(wall-clock)\n\
+             y();\n\
+             // lint:allow(hash-iteration).\n\
+             z();\n",
+        );
+        assert_eq!(m.allows.len(), 3);
+        assert!(m.allows[0].has_reason);
+        assert!(!m.allows[1].has_reason, "bare allow has no reason");
+        assert!(!m.allows[2].has_reason, "punctuation is not a reason");
+    }
+
+    #[test]
+    fn allow_lookup_spans_contiguous_comment_lines() {
+        let m = model(
+            "// lint:allow(no-unwrap) — seed corpus is non-empty\n\
+             // (second comment line)\n\
+             x.unwrap();\n\
+             \n\
+             // lint:allow(no-unwrap) — blocked by the blank line\n\
+             \n\
+             y.unwrap();\n",
+        );
+        assert!(m.allow_for("no-unwrap", 3).is_some());
+        assert!(m.allow_for("wall-clock", 3).is_none(), "rule must match");
+        assert!(
+            m.allow_for("no-unwrap", 7).is_none(),
+            "a blank line breaks the comment run"
+        );
+    }
+
+    #[test]
+    fn doc_comments_do_not_carry_allow_markers() {
+        let m = model(
+            "/// Mentions `lint:allow(no-unwrap)` as documentation.\n\
+             //! So does `lint:allow(wall-clock)` in module docs.\n\
+             // lint:allow(no-unwrap) — this regular comment does count\n\
+             fn f() {}\n",
+        );
+        assert_eq!(m.allows.len(), 1, "{:?}", m.allows);
+        assert_eq!(m.allows[0].line, 3);
+    }
+
+    #[test]
+    fn allow_on_the_violation_line_itself() {
+        let m = model("x.unwrap(); // lint:allow(no-unwrap) — startup only\n");
+        assert!(m.allow_for("no-unwrap", 1).is_some());
+        assert!(m.allow_for("no-unwrap", 1).unwrap().has_reason);
+    }
+}

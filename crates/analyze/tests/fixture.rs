@@ -1,0 +1,202 @@
+//! Integration tests: the built `graphite-analyze` binary must flag
+//! every seeded violation in the negative fixtures (exit 1) and report
+//! the real workspace clean (exit 0); and the schema-drift pass must
+//! catch a drift seeded into the *real* trace producer.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_analyze(args: &[&str], cwd: &Path) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_graphite-analyze"))
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("spawn graphite-analyze");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.code().unwrap_or(-1), text)
+}
+
+#[test]
+fn fixture_trips_every_per_file_rule() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let fixture = manifest.join("fixtures/violations.rs");
+    let (code, text) = run_analyze(&[fixture.to_str().unwrap()], manifest);
+    assert_eq!(code, 1, "fixture must fail analysis, output:\n{text}");
+
+    for rule in [
+        "no-unwrap",
+        "hash-iteration",
+        "no-raw-interval",
+        "wall-clock",
+        "fault-isolation",
+        "worker-assignment",
+        "determinism-flow",
+        "allow-without-reason",
+    ] {
+        assert!(
+            text.contains(&format!("[{rule}]")),
+            "missing rule {rule} in:\n{text}"
+        );
+    }
+
+    // The seeded violations, per rule: 2 unwrap/expect (the reasoned
+    // allow is excused; the bare allow suppresses its unwrap but fires
+    // allow-without-reason), 2 hash iterations (the shadowing local Vec
+    // is pinned NOT to fire), 2 raw interval literals (one split across
+    // lines — the old regex missed it), 2 wall-clock hits, 2 cfg-gated
+    // fault hooks, 2 worker modulos (one split across lines), 3
+    // determinism flows (the allowed one is excused), 2 bad allows.
+    assert!(
+        text.contains("17 violation(s)"),
+        "expected 17 violations in:\n{text}"
+    );
+    for (rule, want) in [
+        ("[no-unwrap]", 2),
+        ("[hash-iteration]", 2),
+        ("[no-raw-interval]", 2),
+        ("[wall-clock]", 2),
+        ("[fault-isolation]", 2),
+        ("[worker-assignment]", 2),
+        ("[determinism-flow]", 3),
+        ("[allow-without-reason]", 2),
+    ] {
+        assert_eq!(
+            text.matches(rule).count(),
+            want,
+            "wrong {rule} count in:\n{text}"
+        );
+    }
+
+    // The regex scanner's false positive stays fixed: the fn-local
+    // `counts` Vec shares its name with a hash field, and must not be
+    // reported as hash iteration.
+    assert!(
+        !text.contains("for c in counts"),
+        "local Vec shadowing a hash field was flagged:\n{text}"
+    );
+}
+
+#[test]
+fn drift_fixture_trips_schema_drift_both_directions() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let drift = manifest.join("fixtures/drift");
+    let (code, text) = run_analyze(&[drift.to_str().unwrap()], manifest);
+    assert_eq!(code, 1, "drift fixture must fail, output:\n{text}");
+    assert_eq!(
+        text.matches("[schema-drift]").count(),
+        3,
+        "expected exactly the 3 seeded drifts in:\n{text}"
+    );
+    // Write side: an extras key and an event field nobody parses.
+    assert!(text.contains("phantom_extra"), "{text}");
+    assert!(text.contains("orphan_field"), "{text}");
+    // Read side: an extras key nobody emits.
+    assert!(text.contains("ghost_metric"), "{text}");
+    // The aligned keys are not reported.
+    for ok in ["warp_tuples", "\"step\"", "\"sent\"", "\"ev\""] {
+        assert!(!text.contains(ok), "aligned key {ok} flagged in:\n{text}");
+    }
+}
+
+#[test]
+fn json_format_is_machine_readable() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let fixture = manifest.join("fixtures/violations.rs");
+    let (code, text) = run_analyze(&[fixture.to_str().unwrap(), "--format", "json"], manifest);
+    assert_eq!(code, 1);
+    assert!(
+        text.contains("\"schema\": \"graphite-analyze/1\""),
+        "{text}"
+    );
+    assert!(text.contains("\"deny_count\": 17"), "{text}");
+    assert!(text.contains("\"files_scanned\": 1"), "{text}");
+    assert!(text.contains("\"rule\": \"no-unwrap\""), "{text}");
+    assert!(text.contains("\"severity\": \"deny\""), "{text}");
+}
+
+#[test]
+fn warn_severity_downgrades_the_exit_code() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let fixture = manifest.join("fixtures/violations.rs");
+    let mut args = vec![fixture.to_str().unwrap().to_string()];
+    for rule in [
+        "no-unwrap",
+        "hash-iteration",
+        "no-raw-interval",
+        "wall-clock",
+        "fault-isolation",
+        "worker-assignment",
+        "determinism-flow",
+        "allow-without-reason",
+        "schema-drift",
+    ] {
+        args.push("--warn".to_string());
+        args.push(rule.to_string());
+    }
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (code, text) = run_analyze(&argv, manifest);
+    assert_eq!(code, 0, "all-warn run must exit clean, output:\n{text}");
+    assert!(text.contains("(warn)"), "{text}");
+    assert!(!text.contains("(deny)"), "{text}");
+}
+
+#[test]
+fn missing_path_is_an_io_error() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let (code, text) = run_analyze(&["does/not/exist.rs"], manifest);
+    assert_eq!(code, 2, "output:\n{text}");
+    assert!(text.contains("no such path"), "{text}");
+}
+
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (code, text) = run_analyze(&[], &root);
+    assert_eq!(code, 0, "workspace must analyze clean, output:\n{text}");
+    assert!(text.contains("clean"), "unexpected output:\n{text}");
+}
+
+/// Acceptance check for the schema-drift pass against the *real*
+/// sources: seeding a new extras key into `bsp::trace` without touching
+/// `bench::tracefmt` must be caught.
+#[test]
+fn seeded_drift_in_the_real_trace_producer_is_caught() {
+    use graphite_analyze::schema;
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let read = |rel: &str| std::fs::read_to_string(root.join(rel)).expect(rel);
+    let trace = read("crates/bsp/src/trace.rs");
+    let icm = read("crates/icm/src/engine.rs");
+    let fmt = read("crates/bench/src/tracefmt.rs");
+
+    let mirror = |trace_src: &str| {
+        schema::check_sources(&[
+            (Path::new("crates/bsp/src/trace.rs"), trace_src),
+            (Path::new("crates/icm/src/engine.rs"), &icm),
+            (Path::new("crates/bench/src/tracefmt.rs"), &fmt),
+        ])
+    };
+
+    // The unmodified mirror is clean (the workspace passes the gate).
+    let clean = mirror(&trace);
+    assert!(
+        clean.is_empty(),
+        "unexpected drift in real sources: {clean:?}"
+    );
+
+    // Seed: a producer starts emitting an extras key, tracefmt untouched.
+    let seeded = format!(
+        "{trace}\npub fn seeded(sink: &mut TraceSink) {{\n    \
+         sink.add(\"seeded_drift_key\", 1);\n}}\n"
+    );
+    let vs = mirror(&seeded);
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert!(
+        vs[0].message().contains("seeded_drift_key") && vs[0].message().contains("never read"),
+        "{vs:?}"
+    );
+}

@@ -11,6 +11,31 @@ use graphite_bench::json::Json;
 use graphite_bench::record::SCHEMA;
 use std::process::ExitCode;
 
+/// Every counter key a producer may attach to a result row: the engine
+/// metrics flattened by `Recorder::push_with_metrics` plus the partition
+/// report's quality extras. A key outside this list means the producer
+/// and this validator have drifted apart — fail loudly instead of
+/// silently ignoring a metric nobody will ever look at.
+const KNOWN_COUNTERS: [&str; 17] = [
+    "supersteps",
+    "compute_calls",
+    "scatter_calls",
+    "messages_sent",
+    "remote_messages",
+    "bytes_sent",
+    "warp_invocations",
+    "warp_suppressions",
+    "routing_growths",
+    "checkpoints_taken",
+    "checkpoint_bytes",
+    "rollbacks",
+    "supersteps_replayed",
+    "balance_milli",
+    "interval_balance_milli",
+    "cut_edges",
+    "est_remote_milli",
+];
+
 /// All problems found in one recorded file.
 fn problems(doc: &Json) -> Vec<String> {
     let mut out = Vec::new();
@@ -62,6 +87,30 @@ fn problems(doc: &Json) -> Vec<String> {
                     "results[{i}] {label}: all counters zero (dead run?)"
                 ));
             }
+            for (k, _) in pairs {
+                if !KNOWN_COUNTERS.contains(&k.as_str()) {
+                    out.push(format!("results[{i}] {label}: unknown counter {k:?}"));
+                }
+            }
+        }
+        // A row with a baseline attached must carry a speedup consistent
+        // with it (the Recorder derives one from the other).
+        let baseline = row.get("baseline_mean_ns").and_then(Json::as_f64);
+        let speedup = row.get("speedup").and_then(Json::as_f64);
+        match (baseline, speedup) {
+            (None, None) => {}
+            (Some(base), Some(sp)) => {
+                let mean = row.get("mean_ns").and_then(Json::as_f64).unwrap_or(0.0);
+                if mean > 0.0 && (sp - base / mean).abs() > sp.abs() * 1e-6 + 1e-9 {
+                    out.push(format!(
+                        "results[{i}] {label}: speedup {sp} inconsistent with \
+                         baseline_mean_ns {base} / mean_ns {mean}"
+                    ));
+                }
+            }
+            _ => out.push(format!(
+                "results[{i}] {label}: baseline_mean_ns and speedup must appear together"
+            )),
         }
     }
     if doc.get("name").and_then(Json::as_str) == Some("partition") {
@@ -205,6 +254,38 @@ mod tests {
         ))
         .expect("parses");
         assert!(problems(&other).is_empty());
+    }
+
+    #[test]
+    fn rejects_counters_the_validator_does_not_know() {
+        let text = r#"{"schema": "graphite-bench/1", "name": "x", "results": [
+            {"label": "a", "mean_ns": 10, "best_ns": 9, "iters": 5,
+             "counters": {"messages_sent": 3, "mystery_metric": 7}}]}"#;
+        let errs = problems(&Json::parse(text).expect("parses"));
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("unknown counter \"mystery_metric\"")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn baseline_and_speedup_must_agree() {
+        let doc = |extra: &str| {
+            Json::parse(&format!(
+                r#"{{"schema": "graphite-bench/1", "name": "x", "results": [
+                    {{"label": "a", "mean_ns": 10, "best_ns": 9, "iters": 5{extra}}}]}}"#
+            ))
+            .expect("parses")
+        };
+        assert!(problems(&doc(r#", "baseline_mean_ns": 30, "speedup": 3"#)).is_empty());
+        let errs = problems(&doc(r#", "baseline_mean_ns": 30, "speedup": 2"#));
+        assert!(errs.iter().any(|e| e.contains("inconsistent")), "{errs:?}");
+        let errs = problems(&doc(r#", "baseline_mean_ns": 30"#));
+        assert!(
+            errs.iter().any(|e| e.contains("must appear together")),
+            "{errs:?}"
+        );
     }
 
     #[test]

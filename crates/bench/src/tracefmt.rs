@@ -24,6 +24,8 @@ pub struct WorkerRow {
     pub msgs_in: u64,
     /// User compute invocations this worker made.
     pub compute_calls: u64,
+    /// User scatter invocations this worker made.
+    pub scatter_calls: u64,
     /// Messages this worker emitted.
     pub msgs_out: u64,
     /// Of those, messages that crossed a worker boundary.
@@ -204,6 +206,7 @@ pub fn parse(text: &str) -> Result<TraceDoc, String> {
                     active: get_u64(&ev, "active", n)?,
                     msgs_in: get_u64(&ev, "msgs_in", n)?,
                     compute_calls: get_u64(&ev, "compute_calls", n)?,
+                    scatter_calls: get_u64(&ev, "scatter_calls", n)?,
                     msgs_out: get_u64(&ev, "msgs_out", n)?,
                     remote_msgs: get_u64(&ev, "remote_msgs", n)?,
                     bytes_out: get_u64(&ev, "bytes_out", n)?,
@@ -331,12 +334,13 @@ pub fn render(doc: &TraceDoc, top_k: usize) -> String {
         .count();
     let _ = writeln!(
         out,
-        "total: {} step(s), {} msgs, {} remote, {} bytes, {} compute calls",
+        "total: {} step(s), {} msgs, {} remote, {} bytes, {} compute calls, {} scatter calls",
         steps,
         doc.sum(|w| w.msgs_out),
         doc.sum(|w| w.remote_msgs),
         doc.sum(|w| w.bytes_out),
         doc.sum(|w| w.compute_calls),
+        doc.sum(|w| w.scatter_calls),
     );
     out
 }
@@ -528,6 +532,7 @@ mod tests {
         assert_eq!(s.workers[1].warp_suppressions, 1);
         assert_eq!(doc.sum(|w| w.msgs_out), 6);
         assert_eq!(doc.sum(|w| w.bytes_out), 48);
+        assert_eq!(doc.sum(|w| w.scatter_calls), 3);
         // skew: loads [3000, 1000] → max 3000 * 2 / 4000 = 1.5
         assert!((s.skew() - 1.5).abs() < 1e-9);
         // amplification: 12 group msgs over 8 delivered.

@@ -39,7 +39,7 @@ fn synthetic_trace() -> String {
     for (worker, ns) in [(0u64, 7_000u64), (1, 1_000), (2, 1_000), (3, 1_000)] {
         out.push_str(&format!(
             "{{\"ev\":\"worker_step\",\"step\":1,\"worker\":{worker},\"active\":5,\
-             \"msgs_in\":10,\"compute_calls\":5,\"msgs_out\":8,\"remote_msgs\":4,\
+             \"msgs_in\":10,\"compute_calls\":5,\"scatter_calls\":3,\"msgs_out\":8,\"remote_msgs\":4,\
              \"bytes_out\":64,\"warp_invocations\":1,\"warp_suppressions\":0,\
              \"compute_ns\":{ns}}}\n"
         ));

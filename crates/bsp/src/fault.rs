@@ -4,7 +4,7 @@
 //! on [`crate::engine::BspConfig::fault_plan`] and is evaluated by release
 //! and debug builds alike, so the recovery layer is exercised against
 //! exactly the code that ships (the `fault-isolation` rule of
-//! `graphite-lint` rejects any `cfg`-gating of these hooks). With no plan
+//! `graphite-analyze` rejects any `cfg`-gating of these hooks). With no plan
 //! configured the hooks are two branch-free `None` checks per superstep.
 //!
 //! Two fault kinds are injectable, matching the two recoverable

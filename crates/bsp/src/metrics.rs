@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 ///
 /// Timing belongs to metrics and nowhere else: wall-clock reads anywhere
 /// else in the engines would be invisible nondeterminism (and are denied by
-/// the `wall-clock` rule of `graphite-lint`). Everything that needs a
+/// the `wall-clock` rule of `graphite-analyze`). Everything that needs a
 /// timestamp goes through this function so the policy has one audited
 /// exception.
 #[inline]

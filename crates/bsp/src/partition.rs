@@ -11,7 +11,7 @@
 //! assignment, which is what the pluggable strategies in `graphite-part`
 //! (chunked, LDG, temporal-balance) produce. This module and that crate
 //! are the *only* places allowed to compute a worker from a vertex id —
-//! enforced by graphite-lint's `worker-assignment` rule — so every engine
+//! enforced by graphite-analyze's `worker-assignment` rule — so every engine
 //! routes through a [`PartitionMap`] and placement stays swappable.
 
 use crate::error::BspError;

@@ -22,7 +22,7 @@
 //!    fields and never enter result digests or pinned counter keys.
 //! 3. **Clock confinement.** The only clock reads happen in
 //!    [`TraceSink::timed`] via [`metrics::now`](crate::metrics::now);
-//!    `graphite-lint` blesses exactly this module, `bsp::metrics`, and
+//!    `graphite-analyze` blesses exactly this module, `bsp::metrics`, and
 //!    `bench::timing` for wall-clock access.
 //!
 //! Collection is lock-free: each worker thread owns a [`TraceSink`]

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full local verification gate — everything CI runs, in the same order.
 # Fast failures first: formatting, then static analysis (clippy + the
-# repo's own graphite-lint pass), then the full workspace test suite.
+# repo's own graphite-analyze pass), then the full workspace test suite.
 #
 # Usage: scripts/check.sh          (from anywhere inside the repo)
 set -euo pipefail
@@ -13,8 +13,8 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> graphite-lint"
-cargo run -q -p graphite-lint
+echo "==> graphite-analyze"
+cargo run -q -p graphite-analyze
 
 echo "==> doc link check"
 scripts/check_links.sh
