@@ -105,7 +105,7 @@ mod tests {
     fn icm_bfs_matches_per_snapshot_bfs() {
         let graph = Arc::new(transit_graph());
         let icm = run_icm(
-            Arc::clone(&graph),
+            &graph,
             Arc::new(IcmBfs {
                 source: transit_ids::A,
             }),
@@ -142,7 +142,7 @@ mod tests {
     fn icm_bfs_interval_structure() {
         let graph = Arc::new(transit_graph());
         let icm = run_icm(
-            Arc::clone(&graph),
+            &graph,
             Arc::new(IcmBfs {
                 source: transit_ids::A,
             }),
@@ -164,7 +164,7 @@ mod tests {
     fn icm_shares_compute_across_snapshots() {
         let graph = Arc::new(transit_graph());
         let icm = run_icm(
-            Arc::clone(&graph),
+            &graph,
             Arc::new(IcmBfs {
                 source: transit_ids::A,
             }),

@@ -153,7 +153,7 @@ mod tests {
     fn gof_lcc_matches_icm_lcc_per_snapshot() {
         let graph = Arc::new(triangle());
         let icm = run_icm(
-            Arc::clone(&graph),
+            &graph,
             Arc::new(crate::lcc::IcmLcc),
             &IcmConfig {
                 workers: 2,
@@ -182,7 +182,7 @@ mod tests {
     fn gof_tc_matches_icm_tc_per_snapshot() {
         let graph = Arc::new(triangle());
         let icm = run_icm(
-            Arc::clone(&graph),
+            &graph,
             Arc::new(crate::tc::IcmTc),
             &IcmConfig {
                 workers: 2,

@@ -222,7 +222,7 @@ mod tests {
     fn triangle_counts_respect_concurrency() {
         let graph = Arc::new(triangle_graph());
         let r = run_icm(
-            Arc::clone(&graph),
+            &graph,
             Arc::new(IcmLcc),
             &IcmConfig {
                 workers: 2,
@@ -251,7 +251,7 @@ mod tests {
     #[test]
     fn coefficients_divide_by_degree_pairs() {
         let graph = Arc::new(triangle_graph());
-        let r = run_icm(Arc::clone(&graph), Arc::new(IcmLcc), &IcmConfig::default());
+        let r = run_icm(&graph, Arc::new(IcmLcc), &IcmConfig::default());
         let coeffs = lcc_coefficients(&graph, &r);
         // Vertex 0 has out-degree 2 over [0,6): d(d-1) = 2 and count 1 on
         // [2,6) -> coefficient 0.5 there.
@@ -271,7 +271,7 @@ mod tests {
     fn counts_are_stable_across_workers() {
         let graph = Arc::new(triangle_graph());
         let r1 = run_icm(
-            Arc::clone(&graph),
+            &graph,
             Arc::new(IcmLcc),
             &IcmConfig {
                 workers: 1,
@@ -279,7 +279,7 @@ mod tests {
             },
         );
         let r4 = run_icm(
-            Arc::clone(&graph),
+            &graph,
             Arc::new(IcmLcc),
             &IcmConfig {
                 workers: 4,

@@ -169,7 +169,7 @@ mod tests {
 
     fn icm_vs_msb(graph: Arc<TemporalGraph>, iterations: u64) {
         let icm = run_icm(
-            Arc::clone(&graph),
+            &graph,
             Arc::new(IcmPageRank { iterations }),
             &IcmConfig {
                 workers: 2,
@@ -237,7 +237,7 @@ mod tests {
         }
         let graph = Arc::new(b.build().unwrap());
         let icm = run_icm(
-            Arc::clone(&graph),
+            &graph,
             Arc::new(IcmPageRank::default()),
             &IcmConfig::default(),
         );
@@ -254,7 +254,7 @@ mod tests {
     fn icm_pr_runs_exactly_the_fixed_supersteps() {
         let graph = Arc::new(transit_graph());
         let icm = run_icm(
-            Arc::clone(&graph),
+            &graph,
             Arc::new(IcmPageRank { iterations: 5 }),
             &IcmConfig::default(),
         );

@@ -12,7 +12,11 @@ use graphite_baselines::msb::{run_msb, MsbConfig};
 use graphite_baselines::tgb::run_tgb;
 use graphite_baselines::vcm::VcmConfig;
 use graphite_baselines::EdgeWeights;
+use graphite_bsp::codec::Wire;
+use graphite_bsp::error::BspError;
+use graphite_bsp::fault::FaultPlan;
 use graphite_bsp::metrics::RunMetrics;
+use graphite_bsp::recover::RecoveryConfig;
 use graphite_bsp::trace::TraceConfig;
 use graphite_icm::prelude::*;
 use graphite_icm::PartitionStrategy;
@@ -184,6 +188,21 @@ pub struct RunOpts {
     /// (see `graphite-part`; results are placement-invariant). Hash — the
     /// paper's — by default.
     pub partition: PartitionStrategy,
+    /// Schedule-perturbation seed, forwarded to the ICM engine config and
+    /// the TGB runner's inner VCM config (race-harness use; results are
+    /// bit-identical for every seed). The MSB/Chlonos/GoFFish wrappers run
+    /// their per-snapshot inner engines unperturbed.
+    pub perturb_schedule: Option<u64>,
+    /// Deterministic fault injection, applied to `Platform::Icm` runs
+    /// (wrapper platforms do not thread fault plans). Without
+    /// [`RunOpts::recovery`] an injected fault fails the run with a typed
+    /// error via [`try_run`]; with it, the run rolls back and replays to a
+    /// bit-identical result.
+    pub fault_plan: Option<FaultPlan>,
+    /// When set, `Platform::Icm` runs execute over the checkpoint/rollback
+    /// driver with this recovery configuration (every ICM algorithm state
+    /// is wire-encodable, so the whole registry is recoverable).
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl Default for RunOpts {
@@ -202,6 +221,9 @@ impl Default for RunOpts {
             static_topology_reuse: true,
             trace: TraceConfig::default(),
             partition: PartitionStrategy::default(),
+            perturb_schedule: None,
+            fault_plan: None,
+            recovery: None,
         }
     }
 }
@@ -238,6 +260,40 @@ impl fmt::Display for Unsupported {
 }
 
 impl std::error::Error for Unsupported {}
+
+/// Why a [`try_run`] failed: either the combination is not implemented, or
+/// the execution itself failed (worker panic, codec corruption, admission
+/// rejection at a serving layer, exhausted recovery budget, ...).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// The (algorithm, platform) cell is not implemented.
+    Unsupported(Unsupported),
+    /// The run started and failed with a typed engine error.
+    Bsp(BspError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Unsupported(u) => u.fmt(f),
+            RunError::Bsp(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<Unsupported> for RunError {
+    fn from(u: Unsupported) -> Self {
+        RunError::Unsupported(u)
+    }
+}
+
+impl From<BspError> for RunError {
+    fn from(e: BspError) -> Self {
+        RunError::Bsp(e)
+    }
+}
 
 fn weights(graph: &TemporalGraph) -> EdgeWeights {
     EdgeWeights {
@@ -284,22 +340,72 @@ where
     digest_interval_states(&result.states, window, encode)
 }
 
-/// Runs `algo` on `platform` over `graph`. A pre-built transformed graph
-/// may be supplied for TGB runs (otherwise one is built on the fly).
+/// Runs `algo` on `platform` over a *borrowed* `graph` (the caller keeps
+/// its handle — resident processes execute many runs against one load). A
+/// pre-built transformed graph may be supplied for TGB runs (otherwise one
+/// is built on the fly).
+///
+/// # Panics
+///
+/// Panics when the execution itself fails (worker panic, codec corruption,
+/// exhausted recovery); use [`try_run`] to handle those as typed errors.
 pub fn run(
     algo: Algo,
     platform: Platform,
-    graph: Arc<TemporalGraph>,
-    transformed: Option<Arc<TransformedGraph>>,
+    graph: &Arc<TemporalGraph>,
+    transformed: Option<&Arc<TransformedGraph>>,
     opts: &RunOpts,
 ) -> Result<RunOutcome, Unsupported> {
-    if !platform.supports(algo) {
-        return Err(Unsupported { algo, platform });
+    match try_run(algo, platform, graph, transformed, opts) {
+        Ok(outcome) => Ok(outcome),
+        Err(RunError::Unsupported(u)) => Err(u),
+        // lint:allow(no-unwrap) — documented panicking convenience wrapper.
+        Err(RunError::Bsp(e)) => panic!("{} on {} failed: {e}", algo.name(), platform.name()),
     }
-    let labels = AlgLabels::resolve(&graph);
-    let w = weights(&graph);
-    let source = opts.source.unwrap_or_else(|| default_source(&graph));
-    let window = snapshot_window(&graph).unwrap_or_else(|| Interval::new(0, 1));
+}
+
+/// All ICM algorithm states are wire-encodable scalars or tuples, so any
+/// registry cell on `Platform::Icm` can execute over the
+/// checkpoint/rollback driver when the caller requests recovery.
+fn icm_run<P>(
+    graph: &Arc<TemporalGraph>,
+    program: Arc<P>,
+    cfg: &IcmConfig,
+    recovery: Option<&RecoveryConfig>,
+) -> Result<IcmResult<P::State>, BspError>
+where
+    P: IntervalProgram,
+    P::State: Wire,
+{
+    match recovery {
+        Some(rc) => try_run_icm_recoverable(graph, program, cfg, rc),
+        None => try_run_icm(graph, program, cfg),
+    }
+}
+
+/// Fallible [`run`]: execution failures (injected faults without recovery,
+/// worker panics, exhausted recovery budgets) surface as [`RunError::Bsp`]
+/// instead of panicking. This is the entry point the serving layer uses —
+/// a failing query must never take the resident engine down with it.
+///
+/// # Errors
+///
+/// [`RunError::Unsupported`] when the platform does not implement the
+/// algorithm; [`RunError::Bsp`] when execution fails.
+pub fn try_run(
+    algo: Algo,
+    platform: Platform,
+    graph: &Arc<TemporalGraph>,
+    transformed: Option<&Arc<TransformedGraph>>,
+    opts: &RunOpts,
+) -> Result<RunOutcome, RunError> {
+    if !platform.supports(algo) {
+        return Err(RunError::Unsupported(Unsupported { algo, platform }));
+    }
+    let labels = AlgLabels::resolve(graph);
+    let w = weights(graph);
+    let source = opts.source.unwrap_or_else(|| default_source(graph));
+    let window = snapshot_window(graph).unwrap_or_else(|| Interval::new(0, 1));
     let deadline = opts.deadline.unwrap_or(window.end() - 1);
 
     let icm_cfg = IcmConfig {
@@ -308,10 +414,10 @@ pub fn run(
         suppression_threshold: opts.suppression,
         max_supersteps: opts.max_supersteps,
         keep_per_step_timing: false,
-        perturb_schedule: None,
+        perturb_schedule: opts.perturb_schedule,
         trace: opts.trace,
-        fault_plan: None,
-        partition: opts.partition,
+        fault_plan: opts.fault_plan.clone(),
+        partition: opts.partition.clone(),
     };
     let msb_cfg = |need_in: bool| MsbConfig {
         workers: opts.workers,
@@ -345,10 +451,11 @@ pub fn run(
         max_supersteps: opts.max_supersteps,
         need_in_edges: need_in,
         keep_per_step_timing: false,
-        perturb_schedule: None,
+        perturb_schedule: opts.perturb_schedule,
         trace: opts.trace,
+        // Wrapper platforms do not thread fault plans (see RunOpts docs).
         fault_plan: None,
-        partition: opts.partition,
+        partition: opts.partition.clone(),
     };
     let transform_opts = TransformOptions {
         window: Some(window),
@@ -356,8 +463,8 @@ pub fn run(
     };
     let get_transformed = || {
         transformed
-            .clone()
-            .unwrap_or_else(|| Arc::new(transform_for_paths(&graph, &transform_opts)))
+            .cloned()
+            .unwrap_or_else(|| Arc::new(transform_for_paths(graph, &transform_opts)))
     };
 
     // Encoders shared by equivalent state types across platforms.
@@ -368,113 +475,117 @@ pub fn run(
     let outcome = match (algo, platform) {
         // ---------------- TI ----------------
         (Algo::Bfs, Platform::Icm) => {
-            let r = run_icm(
-                Arc::clone(&graph),
+            let r = icm_run(
+                graph,
                 Arc::new(bfs::IcmBfs { source }),
                 &icm_cfg,
-            );
+                opts.recovery.as_ref(),
+            )?;
             RunOutcome {
-                digest: opts.digest.then(|| digest_icm(&graph, &r, enc_i64)),
+                digest: opts.digest.then(|| digest_icm(graph, &r, enc_i64)),
                 metrics: r.metrics,
             }
         }
         (Algo::Bfs, Platform::Msb) => {
             let r = run_msb(
-                Arc::clone(&graph),
+                Arc::clone(graph),
                 |_| Arc::new(bfs::VcmBfs { source }),
                 &msb_cfg(false),
             );
             RunOutcome {
                 digest: opts
                     .digest
-                    .then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_i64)),
+                    .then(|| digest_per_snapshot(graph, &r.per_snapshot, enc_i64)),
                 metrics: r.metrics,
             }
         }
         (Algo::Bfs, Platform::Chlonos) => {
             let r = run_chlonos(
-                Arc::clone(&graph),
+                Arc::clone(graph),
                 Arc::new(bfs::VcmBfs { source }),
                 &chl_cfg(false),
             );
             RunOutcome {
                 digest: opts
                     .digest
-                    .then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_i64)),
+                    .then(|| digest_per_snapshot(graph, &r.per_snapshot, enc_i64)),
                 metrics: r.metrics,
             }
         }
         (Algo::Wcc, Platform::Icm) => {
-            let r = run_icm(Arc::clone(&graph), Arc::new(wcc::IcmWcc), &icm_cfg);
+            let r = icm_run(
+                graph,
+                Arc::new(wcc::IcmWcc),
+                &icm_cfg,
+                opts.recovery.as_ref(),
+            )?;
             RunOutcome {
-                digest: opts.digest.then(|| digest_icm(&graph, &r, enc_u64)),
+                digest: opts.digest.then(|| digest_icm(graph, &r, enc_u64)),
                 metrics: r.metrics,
             }
         }
         (Algo::Wcc, Platform::Msb) => {
-            let r = run_msb(
-                Arc::clone(&graph),
-                |_| Arc::new(wcc::VcmWcc),
-                &msb_cfg(true),
-            );
+            let r = run_msb(Arc::clone(graph), |_| Arc::new(wcc::VcmWcc), &msb_cfg(true));
             RunOutcome {
                 digest: opts
                     .digest
-                    .then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_u64)),
+                    .then(|| digest_per_snapshot(graph, &r.per_snapshot, enc_u64)),
                 metrics: r.metrics,
             }
         }
         (Algo::Wcc, Platform::Chlonos) => {
-            let r = run_chlonos(Arc::clone(&graph), Arc::new(wcc::VcmWcc), &chl_cfg(true));
+            let r = run_chlonos(Arc::clone(graph), Arc::new(wcc::VcmWcc), &chl_cfg(true));
             RunOutcome {
                 digest: opts
                     .digest
-                    .then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_u64)),
+                    .then(|| digest_per_snapshot(graph, &r.per_snapshot, enc_u64)),
                 metrics: r.metrics,
             }
         }
         (Algo::Scc, Platform::Icm) => {
-            let r = run_icm(Arc::clone(&graph), Arc::new(scc::IcmScc), &icm_cfg);
+            let r = icm_run(
+                graph,
+                Arc::new(scc::IcmScc),
+                &icm_cfg,
+                opts.recovery.as_ref(),
+            )?;
             RunOutcome {
                 digest: opts
                     .digest
-                    .then(|| digest_icm(&graph, &r, |s: &scc::SccState| s.0)),
+                    .then(|| digest_icm(graph, &r, |s: &scc::SccState| s.0)),
                 metrics: r.metrics,
             }
         }
         (Algo::Scc, Platform::Msb) => {
-            let r = run_msb(
-                Arc::clone(&graph),
-                |_| Arc::new(scc::VcmScc),
-                &msb_cfg(true),
-            );
+            let r = run_msb(Arc::clone(graph), |_| Arc::new(scc::VcmScc), &msb_cfg(true));
             RunOutcome {
                 digest: opts
                     .digest
-                    .then(|| digest_per_snapshot(&graph, &r.per_snapshot, |s: &scc::SccState| s.0)),
+                    .then(|| digest_per_snapshot(graph, &r.per_snapshot, |s: &scc::SccState| s.0)),
                 metrics: r.metrics,
             }
         }
         (Algo::Scc, Platform::Chlonos) => {
-            let r = run_chlonos(Arc::clone(&graph), Arc::new(scc::VcmScc), &chl_cfg(true));
+            let r = run_chlonos(Arc::clone(graph), Arc::new(scc::VcmScc), &chl_cfg(true));
             RunOutcome {
                 digest: opts
                     .digest
-                    .then(|| digest_per_snapshot(&graph, &r.per_snapshot, |s: &scc::SccState| s.0)),
+                    .then(|| digest_per_snapshot(graph, &r.per_snapshot, |s: &scc::SccState| s.0)),
                 metrics: r.metrics,
             }
         }
         (Algo::Pr, Platform::Icm) => {
-            let r = run_icm(
-                Arc::clone(&graph),
+            let r = icm_run(
+                graph,
                 Arc::new(pagerank::IcmPageRank {
                     iterations: opts.pr_iterations,
                 }),
                 &icm_cfg,
-            );
+                opts.recovery.as_ref(),
+            )?;
             RunOutcome {
                 digest: opts.digest.then(|| {
-                    digest_icm(&graph, &r, |s: &pagerank::PrState| {
+                    digest_icm(graph, &r, |s: &pagerank::PrState| {
                         // lint:allow(determinism-flow) — same 1e-6
                         // quantization as ResultDigest::fold_f64
                         (s.1 * 1e6).round() as u64
@@ -485,7 +596,7 @@ pub fn run(
         }
         (Algo::Pr, Platform::Msb) => {
             let r = run_msb(
-                Arc::clone(&graph),
+                Arc::clone(graph),
                 |_| {
                     Arc::new(pagerank::VcmPageRank {
                         iterations: opts.pr_iterations,
@@ -495,14 +606,14 @@ pub fn run(
             );
             RunOutcome {
                 digest: opts.digest.then(|| {
-                    digest_per_snapshot(&graph, &r.per_snapshot, |s: &f64| (s * 1e6).round() as u64)
+                    digest_per_snapshot(graph, &r.per_snapshot, |s: &f64| (s * 1e6).round() as u64)
                 }),
                 metrics: r.metrics,
             }
         }
         (Algo::Pr, Platform::Chlonos) => {
             let r = run_chlonos(
-                Arc::clone(&graph),
+                Arc::clone(graph),
                 Arc::new(pagerank::VcmPageRank {
                     iterations: opts.pr_iterations,
                 }),
@@ -510,7 +621,7 @@ pub fn run(
             );
             RunOutcome {
                 digest: opts.digest.then(|| {
-                    digest_per_snapshot(&graph, &r.per_snapshot, |s: &f64| (s * 1e6).round() as u64)
+                    digest_per_snapshot(graph, &r.per_snapshot, |s: &f64| (s * 1e6).round() as u64)
                 }),
                 metrics: r.metrics,
             }
@@ -518,39 +629,40 @@ pub fn run(
 
         // ---------------- TD paths ----------------
         (Algo::Sssp, Platform::Icm) => {
-            let r = run_icm(
-                Arc::clone(&graph),
+            let r = icm_run(
+                graph,
                 Arc::new(td_paths::IcmSssp { source, labels }),
                 &icm_cfg,
-            );
+                opts.recovery.as_ref(),
+            )?;
             RunOutcome {
-                digest: opts.digest.then(|| digest_icm(&graph, &r, enc_i64)),
+                digest: opts.digest.then(|| digest_icm(graph, &r, enc_i64)),
                 metrics: r.metrics,
             }
         }
         (Algo::Sssp, Platform::Goffish) => {
             let r = run_goffish(
-                Arc::clone(&graph),
+                Arc::clone(graph),
                 Arc::new(gof_paths::GofSssp { source }),
                 &gof_cfg(false),
             );
             RunOutcome {
                 digest: opts
                     .digest
-                    .then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_i64)),
+                    .then(|| digest_per_snapshot(graph, &r.per_snapshot, enc_i64)),
                 metrics: r.metrics,
             }
         }
         (Algo::Sssp, Platform::Tgb) => {
             let r = run_tgb(
-                Arc::clone(&graph),
+                Arc::clone(graph),
                 Some(get_transformed()),
                 &transform_opts,
                 Arc::new(tgb_paths::TgbSssp { source }),
                 &vcm_cfg(false),
             );
             let digest = opts.digest.then(|| {
-                let mut projected = r.project(&graph, crate::common::INF);
+                let mut projected = r.project(graph, crate::common::INF);
                 // Alg. 1 pins the source's cost to 0 for its whole
                 // lifespan; the replica projection only starts at the
                 // source's first replica, so align it explicitly.
@@ -563,23 +675,24 @@ pub fn run(
             }
         }
         (Algo::Eat, Platform::Icm) => {
-            let r = run_icm(
-                Arc::clone(&graph),
+            let r = icm_run(
+                graph,
                 Arc::new(td_paths::IcmEat {
                     source,
                     start: opts.start,
                     labels,
                 }),
                 &icm_cfg,
-            );
+                opts.recovery.as_ref(),
+            )?;
             RunOutcome {
-                digest: opts.digest.then(|| digest_icm(&graph, &r, enc_i64)),
+                digest: opts.digest.then(|| digest_icm(graph, &r, enc_i64)),
                 metrics: r.metrics,
             }
         }
         (Algo::Eat, Platform::Goffish) => {
             let r = run_goffish(
-                Arc::clone(&graph),
+                Arc::clone(graph),
                 Arc::new(gof_paths::GofEat {
                     source,
                     start: opts.start,
@@ -589,14 +702,14 @@ pub fn run(
             RunOutcome {
                 digest: opts
                     .digest
-                    .then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_i64)),
+                    .then(|| digest_per_snapshot(graph, &r.per_snapshot, enc_i64)),
                 metrics: r.metrics,
             }
         }
         (Algo::Eat, Platform::Tgb) => {
             let tg = get_transformed();
             let r = run_tgb(
-                Arc::clone(&graph),
+                Arc::clone(graph),
                 Some(Arc::clone(&tg)),
                 &transform_opts,
                 Arc::new(tgb_paths::TgbReach {
@@ -612,11 +725,12 @@ pub fn run(
             }
         }
         (Algo::Fast, Platform::Icm) => {
-            let r = run_icm(
-                Arc::clone(&graph),
+            let r = icm_run(
+                graph,
                 Arc::new(td_paths::IcmFast { source, labels }),
                 &icm_cfg,
-            );
+                opts.recovery.as_ref(),
+            )?;
             RunOutcome {
                 digest: None,
                 metrics: r.metrics,
@@ -624,7 +738,7 @@ pub fn run(
         }
         (Algo::Fast, Platform::Goffish) => {
             let r = run_goffish(
-                Arc::clone(&graph),
+                Arc::clone(graph),
                 Arc::new(gof_paths::GofFast { source }),
                 &gof_cfg(false),
             );
@@ -636,7 +750,7 @@ pub fn run(
         (Algo::Fast, Platform::Tgb) => {
             let tg = get_transformed();
             let r = run_tgb(
-                Arc::clone(&graph),
+                Arc::clone(graph),
                 Some(Arc::clone(&tg)),
                 &transform_opts,
                 Arc::new(tgb_paths::TgbFast {
@@ -651,15 +765,16 @@ pub fn run(
             }
         }
         (Algo::Ld, Platform::Icm) => {
-            let r = run_icm(
-                Arc::clone(&graph),
+            let r = icm_run(
+                graph,
                 Arc::new(td_paths::IcmLd {
                     target: source,
                     deadline,
                     labels,
                 }),
                 &icm_cfg,
-            );
+                opts.recovery.as_ref(),
+            )?;
             RunOutcome {
                 digest: None,
                 metrics: r.metrics,
@@ -667,7 +782,7 @@ pub fn run(
         }
         (Algo::Ld, Platform::Goffish) => {
             let r = run_goffish(
-                Arc::clone(&graph),
+                Arc::clone(graph),
                 Arc::new(gof_paths::GofLd {
                     target: source,
                     deadline,
@@ -682,7 +797,7 @@ pub fn run(
         (Algo::Ld, Platform::Tgb) => {
             let tg = get_transformed();
             let r = run_tgb(
-                Arc::clone(&graph),
+                Arc::clone(graph),
                 Some(Arc::clone(&tg)),
                 &transform_opts,
                 Arc::new(tgb_paths::TgbLd {
@@ -698,18 +813,19 @@ pub fn run(
             }
         }
         (Algo::Tmst, Platform::Icm) => {
-            let r = run_icm(
-                Arc::clone(&graph),
+            let r = icm_run(
+                graph,
                 Arc::new(td_paths::IcmTmst {
                     source,
                     start: opts.start,
                     labels,
                 }),
                 &icm_cfg,
-            );
+                opts.recovery.as_ref(),
+            )?;
             RunOutcome {
                 digest: opts.digest.then(|| {
-                    digest_icm(&graph, &r, |s: &td_paths::TmstState| {
+                    digest_icm(graph, &r, |s: &td_paths::TmstState| {
                         (s.0 as u64).wrapping_mul(31).wrapping_add(s.1)
                     })
                 }),
@@ -718,7 +834,7 @@ pub fn run(
         }
         (Algo::Tmst, Platform::Goffish) => {
             let r = run_goffish(
-                Arc::clone(&graph),
+                Arc::clone(graph),
                 Arc::new(gof_paths::GofTmst {
                     source,
                     start: opts.start,
@@ -727,7 +843,7 @@ pub fn run(
             );
             RunOutcome {
                 digest: opts.digest.then(|| {
-                    digest_per_snapshot(&graph, &r.per_snapshot, |s: &gof_paths::TmstState| {
+                    digest_per_snapshot(graph, &r.per_snapshot, |s: &gof_paths::TmstState| {
                         (s.0 as u64).wrapping_mul(31).wrapping_add(s.1)
                     })
                 }),
@@ -737,7 +853,7 @@ pub fn run(
         (Algo::Tmst, Platform::Tgb) => {
             let tg = get_transformed();
             let r = run_tgb(
-                Arc::clone(&graph),
+                Arc::clone(graph),
                 Some(Arc::clone(&tg)),
                 &transform_opts,
                 Arc::new(tgb_paths::TgbTmst {
@@ -753,23 +869,24 @@ pub fn run(
             }
         }
         (Algo::Reach, Platform::Icm) => {
-            let r = run_icm(
-                Arc::clone(&graph),
+            let r = icm_run(
+                graph,
                 Arc::new(td_paths::IcmReach {
                     source,
                     start: opts.start,
                     labels,
                 }),
                 &icm_cfg,
-            );
+                opts.recovery.as_ref(),
+            )?;
             RunOutcome {
-                digest: opts.digest.then(|| digest_icm(&graph, &r, enc_bool)),
+                digest: opts.digest.then(|| digest_icm(graph, &r, enc_bool)),
                 metrics: r.metrics,
             }
         }
         (Algo::Reach, Platform::Goffish) => {
             let r = run_goffish(
-                Arc::clone(&graph),
+                Arc::clone(graph),
                 Arc::new(gof_paths::GofReach {
                     source,
                     start: opts.start,
@@ -779,14 +896,14 @@ pub fn run(
             RunOutcome {
                 digest: opts
                     .digest
-                    .then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_bool)),
+                    .then(|| digest_per_snapshot(graph, &r.per_snapshot, enc_bool)),
                 metrics: r.metrics,
             }
         }
         (Algo::Reach, Platform::Tgb) => {
             let tg = get_transformed();
             let r = run_tgb(
-                Arc::clone(&graph),
+                Arc::clone(graph),
                 Some(Arc::clone(&tg)),
                 &transform_opts,
                 Arc::new(tgb_paths::TgbReach {
@@ -804,46 +921,51 @@ pub fn run(
 
         // ---------------- TD clustering ----------------
         (Algo::Lcc, Platform::Icm) => {
-            let r = run_icm(Arc::clone(&graph), Arc::new(lcc::IcmLcc), &icm_cfg);
+            let r = icm_run(
+                graph,
+                Arc::new(lcc::IcmLcc),
+                &icm_cfg,
+                opts.recovery.as_ref(),
+            )?;
             RunOutcome {
-                digest: opts.digest.then(|| digest_icm(&graph, &r, enc_u64)),
+                digest: opts.digest.then(|| digest_icm(graph, &r, enc_u64)),
                 metrics: r.metrics,
             }
         }
         (Algo::Lcc, Platform::Goffish) => {
             let r = run_goffish(
-                Arc::clone(&graph),
+                Arc::clone(graph),
                 Arc::new(gof_cluster::GofLcc),
                 &gof_cfg(false),
             );
             RunOutcome {
                 digest: opts
                     .digest
-                    .then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_u64)),
+                    .then(|| digest_per_snapshot(graph, &r.per_snapshot, enc_u64)),
                 metrics: r.metrics,
             }
         }
         (Algo::Tc, Platform::Icm) => {
-            let r = run_icm(Arc::clone(&graph), Arc::new(tc::IcmTc), &icm_cfg);
+            let r = icm_run(graph, Arc::new(tc::IcmTc), &icm_cfg, opts.recovery.as_ref())?;
             RunOutcome {
-                digest: opts.digest.then(|| digest_icm(&graph, &r, enc_u64)),
+                digest: opts.digest.then(|| digest_icm(graph, &r, enc_u64)),
                 metrics: r.metrics,
             }
         }
         (Algo::Tc, Platform::Goffish) => {
             let r = run_goffish(
-                Arc::clone(&graph),
+                Arc::clone(graph),
                 Arc::new(gof_cluster::GofTc),
                 &gof_cfg(false),
             );
             RunOutcome {
                 digest: opts
                     .digest
-                    .then(|| digest_per_snapshot(&graph, &r.per_snapshot, enc_u64)),
+                    .then(|| digest_per_snapshot(graph, &r.per_snapshot, enc_u64)),
                 metrics: r.metrics,
             }
         }
-        _ => return Err(Unsupported { algo, platform }),
+        _ => return Err(RunError::Unsupported(Unsupported { algo, platform })),
     };
     Ok(outcome)
 }
@@ -869,7 +991,7 @@ mod tests {
     #[test]
     fn unsupported_combos_are_rejected() {
         let g = Arc::new(transit_graph());
-        let err = run(Algo::Bfs, Platform::Tgb, g, None, &RunOpts::default()).unwrap_err();
+        let err = run(Algo::Bfs, Platform::Tgb, &g, None, &RunOpts::default()).unwrap_err();
         assert_eq!(err.algo, Algo::Bfs);
         assert!(err.to_string().contains("TGB"));
     }
@@ -878,30 +1000,9 @@ mod tests {
     fn ti_digests_agree_across_platforms() {
         let g = Arc::new(transit_graph());
         for algo in [Algo::Bfs, Algo::Wcc, Algo::Scc, Algo::Pr] {
-            let icm = run(
-                algo,
-                Platform::Icm,
-                Arc::clone(&g),
-                None,
-                &RunOpts::default(),
-            )
-            .unwrap();
-            let msb = run(
-                algo,
-                Platform::Msb,
-                Arc::clone(&g),
-                None,
-                &RunOpts::default(),
-            )
-            .unwrap();
-            let chl = run(
-                algo,
-                Platform::Chlonos,
-                Arc::clone(&g),
-                None,
-                &RunOpts::default(),
-            )
-            .unwrap();
+            let icm = run(algo, Platform::Icm, &g, None, &RunOpts::default()).unwrap();
+            let msb = run(algo, Platform::Msb, &g, None, &RunOpts::default()).unwrap();
+            let chl = run(algo, Platform::Chlonos, &g, None, &RunOpts::default()).unwrap();
             assert_eq!(icm.digest, msb.digest, "{algo:?} icm vs msb");
             assert_eq!(msb.digest, chl.digest, "{algo:?} msb vs chl");
         }
@@ -910,22 +1011,8 @@ mod tests {
     #[test]
     fn sssp_digests_agree_between_icm_and_tgb() {
         let g = Arc::new(transit_graph());
-        let icm = run(
-            Algo::Sssp,
-            Platform::Icm,
-            Arc::clone(&g),
-            None,
-            &RunOpts::default(),
-        )
-        .unwrap();
-        let tgb = run(
-            Algo::Sssp,
-            Platform::Tgb,
-            Arc::clone(&g),
-            None,
-            &RunOpts::default(),
-        )
-        .unwrap();
+        let icm = run(Algo::Sssp, Platform::Icm, &g, None, &RunOpts::default()).unwrap();
+        let tgb = run(Algo::Sssp, Platform::Tgb, &g, None, &RunOpts::default()).unwrap();
         assert_eq!(icm.digest, tgb.digest);
     }
 
@@ -933,22 +1020,8 @@ mod tests {
     fn clustering_digests_agree_between_icm_and_gof() {
         let g = Arc::new(transit_graph());
         for algo in [Algo::Lcc, Algo::Tc] {
-            let icm = run(
-                algo,
-                Platform::Icm,
-                Arc::clone(&g),
-                None,
-                &RunOpts::default(),
-            )
-            .unwrap();
-            let gof = run(
-                algo,
-                Platform::Goffish,
-                Arc::clone(&g),
-                None,
-                &RunOpts::default(),
-            )
-            .unwrap();
+            let icm = run(algo, Platform::Icm, &g, None, &RunOpts::default()).unwrap();
+            let gof = run(algo, Platform::Goffish, &g, None, &RunOpts::default()).unwrap();
             assert_eq!(icm.digest, gof.digest, "{algo:?}");
         }
     }

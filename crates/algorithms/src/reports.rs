@@ -103,7 +103,7 @@ mod tests {
     #[test]
     fn component_reports_on_transit() {
         let g = Arc::new(transit_graph());
-        let wcc = run_icm(Arc::clone(&g), Arc::new(IcmWcc), &IcmConfig::default());
+        let wcc = run_icm(&g, Arc::new(IcmWcc), &IcmConfig::default());
         // t=4: live edges A->B and E->F => components {A,B},{C},{D},{E,F}.
         let sizes = component_sizes_at(&g, &wcc, 4);
         assert_eq!(sizes.len(), 4);
@@ -120,7 +120,7 @@ mod tests {
         let g = Arc::new(transit_graph());
         let labels = AlgLabels::resolve(&g);
         let sssp = run_icm(
-            Arc::clone(&g),
+            &g,
             Arc::new(IcmSssp {
                 source: transit_ids::A,
                 labels,

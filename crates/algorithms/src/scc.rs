@@ -392,7 +392,7 @@ mod tests {
     fn icm_scc_labels_follow_structure_changes() {
         let graph = Arc::new(scc_fixture());
         let icm = run_icm(
-            Arc::clone(&graph),
+            &graph,
             Arc::new(IcmScc),
             &IcmConfig {
                 workers: 2,
@@ -422,7 +422,7 @@ mod tests {
     fn icm_scc_matches_per_snapshot_scc() {
         let graph = Arc::new(scc_fixture());
         let icm = run_icm(
-            Arc::clone(&graph),
+            &graph,
             Arc::new(IcmScc),
             &IcmConfig {
                 workers: 2,
@@ -464,7 +464,7 @@ mod tests {
         b.add_edge(EdgeId(1), VertexId(1), VertexId(2), life)
             .unwrap();
         let graph = Arc::new(b.build().unwrap());
-        let icm = run_icm(Arc::clone(&graph), Arc::new(IcmScc), &IcmConfig::default());
+        let icm = run_icm(&graph, Arc::new(IcmScc), &IcmConfig::default());
         for i in 0..3 {
             assert_eq!(icm.state_at(VertexId(i), 1).map(|s| s.0), Some(i));
         }

@@ -202,7 +202,7 @@ mod tests {
     fn cycle_counted_exactly_in_overlap() {
         let graph = Arc::new(cycle_graph());
         let r = run_icm(
-            Arc::clone(&graph),
+            &graph,
             Arc::new(IcmTc),
             &IcmConfig {
                 workers: 2,
@@ -235,7 +235,7 @@ mod tests {
     fn counts_stable_across_workers() {
         let graph = Arc::new(cycle_graph());
         let r1 = run_icm(
-            Arc::clone(&graph),
+            &graph,
             Arc::new(IcmTc),
             &IcmConfig {
                 workers: 1,
@@ -243,7 +243,7 @@ mod tests {
             },
         );
         let r3 = run_icm(
-            Arc::clone(&graph),
+            &graph,
             Arc::new(IcmTc),
             &IcmConfig {
                 workers: 3,

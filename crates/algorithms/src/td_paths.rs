@@ -402,7 +402,7 @@ mod tests {
     fn sssp_paper_trace() {
         let g = Arc::new(transit_graph());
         let r = run_icm(
-            Arc::clone(&g),
+            &g,
             Arc::new(IcmSssp {
                 source: transit_ids::A,
                 labels: labels(&g),
@@ -419,7 +419,7 @@ mod tests {
     fn eat_earliest_arrivals() {
         let g = Arc::new(transit_graph());
         let r = run_icm(
-            Arc::clone(&g),
+            &g,
             Arc::new(IcmEat {
                 source: transit_ids::A,
                 start: 0,
@@ -436,7 +436,7 @@ mod tests {
         assert_eq!(IcmEat::earliest(&r, transit_ids::F), None);
         // Starting later than every A departure: nothing reachable.
         let late = run_icm(
-            Arc::clone(&g),
+            &g,
             Arc::new(IcmEat {
                 source: transit_ids::A,
                 start: 6,
@@ -451,7 +451,7 @@ mod tests {
     fn tmst_parents_rebuild_tree() {
         let g = Arc::new(transit_graph());
         let r = run_icm(
-            Arc::clone(&g),
+            &g,
             Arc::new(IcmTmst {
                 source: transit_ids::A,
                 start: 0,
@@ -479,7 +479,7 @@ mod tests {
     fn fast_durations() {
         let g = Arc::new(transit_graph());
         let r = run_icm(
-            Arc::clone(&g),
+            &g,
             Arc::new(IcmFast {
                 source: transit_ids::A,
                 labels: labels(&g),
@@ -501,7 +501,7 @@ mod tests {
     fn ld_latest_departures() {
         let g = Arc::new(transit_graph());
         let r = run_icm(
-            Arc::clone(&g),
+            &g,
             Arc::new(IcmLd {
                 target: transit_ids::E,
                 deadline: 9,
@@ -524,7 +524,7 @@ mod tests {
         // Tighter deadline 8: B's edge arrives at 9 — too late; only C
         // works (arrive 7), so A must go via C by 2.
         let tight = run_icm(
-            Arc::clone(&g),
+            &g,
             Arc::new(IcmLd {
                 target: transit_ids::E,
                 deadline: 8,
@@ -541,7 +541,7 @@ mod tests {
     fn reach_flags() {
         let g = Arc::new(transit_graph());
         let r = run_icm(
-            Arc::clone(&g),
+            &g,
             Arc::new(IcmReach {
                 source: transit_ids::A,
                 start: 0,

@@ -102,7 +102,7 @@ mod tests {
     fn icm_wcc_matches_per_snapshot_wcc() {
         let graph = Arc::new(transit_graph());
         let icm = run_icm(
-            Arc::clone(&graph),
+            &graph,
             Arc::new(IcmWcc),
             &IcmConfig {
                 workers: 2,
@@ -129,7 +129,7 @@ mod tests {
     #[test]
     fn components_follow_edge_lifespans() {
         let graph = Arc::new(transit_graph());
-        let icm = run_icm(Arc::clone(&graph), Arc::new(IcmWcc), &IcmConfig::default());
+        let icm = run_icm(&graph, Arc::new(IcmWcc), &IcmConfig::default());
         // At t=4 the live edges are A->B and E->F: components {A,B},
         // {C}, {D}, {E,F}.
         assert_eq!(icm.state_at(transit_ids::A, 4), Some(&0));
@@ -153,7 +153,7 @@ mod tests {
             Default::default(),
         ));
         let r = run_vcm(
-            topo,
+            &topo,
             Arc::new(VcmWcc),
             &VcmConfig {
                 workers: 2,

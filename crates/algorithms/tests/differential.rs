@@ -66,7 +66,7 @@ fn opts() -> RunOpts {
 /// asserts digest equality.
 fn differential(graph: &Arc<TemporalGraph>, algos: &[Algo], baselines: &[Platform], ctx: &str) {
     for &algo in algos {
-        let icm = run(algo, Platform::Icm, Arc::clone(graph), None, &opts())
+        let icm = run(algo, Platform::Icm, graph, None, &opts())
             .unwrap_or_else(|e| panic!("{ctx}/{}: {e}", algo.name()));
         assert!(
             icm.digest.is_some(),
@@ -77,7 +77,7 @@ fn differential(graph: &Arc<TemporalGraph>, algos: &[Algo], baselines: &[Platfor
             if !platform.supports(algo) {
                 continue;
             }
-            let base = run(algo, platform, Arc::clone(graph), None, &opts())
+            let base = run(algo, platform, graph, None, &opts())
                 .unwrap_or_else(|e| panic!("{ctx}/{}: {e}", algo.name()));
             assert_eq!(
                 icm.digest,

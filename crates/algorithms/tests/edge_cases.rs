@@ -37,7 +37,7 @@ fn travel_time_greater_than_one() {
             .unwrap();
     });
     let sssp = run_icm(
-        Arc::clone(&g),
+        &g,
         Arc::new(IcmSssp {
             source: VertexId(0),
             labels: labels(&g),
@@ -48,7 +48,7 @@ fn travel_time_greater_than_one() {
     assert_eq!(sssp.state_at(VertexId(1), 4), Some(&INF));
     assert_eq!(sssp.state_at(VertexId(1), 5), Some(&4));
     let eat = run_icm(
-        Arc::clone(&g),
+        &g,
         Arc::new(IcmEat {
             source: VertexId(0),
             start: 0,
@@ -59,7 +59,7 @@ fn travel_time_greater_than_one() {
     assert_eq!(IcmEat::earliest(&eat, VertexId(1)), Some(5));
     // Starting after the edge's last departure (5): unreachable.
     let late = run_icm(
-        Arc::clone(&g),
+        &g,
         Arc::new(IcmEat {
             source: VertexId(0),
             start: 6,
@@ -88,7 +88,7 @@ fn parallel_edges_with_different_costs() {
             .unwrap();
     });
     let sssp = run_icm(
-        Arc::clone(&g),
+        &g,
         Arc::new(IcmSssp {
             source: VertexId(0),
             labels: labels(&g),
@@ -116,7 +116,7 @@ fn ld_deadline_boundaries() {
             .unwrap();
     });
     let tight = run_icm(
-        Arc::clone(&g),
+        &g,
         Arc::new(IcmLd {
             target: VertexId(1),
             deadline: 4,
@@ -126,7 +126,7 @@ fn ld_deadline_boundaries() {
     );
     assert_eq!(IcmLd::latest(&tight, VertexId(0)), None, "arrival is 5 > 4");
     let exact = run_icm(
-        Arc::clone(&g),
+        &g,
         Arc::new(IcmLd {
             target: VertexId(1),
             deadline: 5,
@@ -159,7 +159,7 @@ fn tmst_tie_breaks_deterministically() {
     });
     for workers in [1, 2, 4] {
         let r = run_icm(
-            Arc::clone(&g),
+            &g,
             Arc::new(IcmTmst {
                 source: VertexId(0),
                 start: 0,
@@ -188,7 +188,7 @@ fn singleton_graph_terminates() {
         b.add_vertex(VertexId(7), Interval::new(0, 5)).unwrap();
     });
     let sssp = run_icm(
-        Arc::clone(&g),
+        &g,
         Arc::new(IcmSssp {
             source: VertexId(7),
             labels: labels(&g),
@@ -197,7 +197,7 @@ fn singleton_graph_terminates() {
     );
     assert_eq!(sssp.state_at(VertexId(7), 0), Some(&0));
     assert_eq!(sssp.metrics.supersteps, 1);
-    let wcc = run_icm(Arc::clone(&g), Arc::new(IcmWcc), &IcmConfig::default());
+    let wcc = run_icm(&g, Arc::new(IcmWcc), &IcmConfig::default());
     assert_eq!(wcc.state_at(VertexId(7), 4), Some(&7));
 }
 
@@ -221,7 +221,7 @@ fn fast_prefers_late_departures() {
             .unwrap();
     });
     let fast = run_icm(
-        Arc::clone(&g),
+        &g,
         Arc::new(IcmFast {
             source: VertexId(0),
             labels: labels(&g),
@@ -246,7 +246,7 @@ fn death_clips_propagation() {
             .unwrap();
     });
     let sssp = run_icm(
-        Arc::clone(&g),
+        &g,
         Arc::new(IcmSssp {
             source: VertexId(0),
             labels: labels(&g),

@@ -102,7 +102,7 @@ where
             t0,
             config.weights,
         ));
-        let result = run_vcm(topo, make_program(t0), &vcm);
+        let result = run_vcm(&topo, make_program(t0), &vcm);
         metrics.merge(&result.metrics);
         if config.collect_states {
             for t in window.points() {
@@ -116,7 +116,7 @@ where
     }
     for t in window.points() {
         let topo = Arc::new(SnapshotTopology::new(Arc::clone(&graph), t, config.weights));
-        let result = run_vcm(topo, make_program(t), &vcm);
+        let result = run_vcm(&topo, make_program(t), &vcm);
         metrics.merge(&result.metrics);
         if config.collect_states {
             per_snapshot.push((t, result.states));

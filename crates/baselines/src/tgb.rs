@@ -87,7 +87,7 @@ pub fn run_tgb<P: VcmProgram>(
     let transformed =
         transformed.unwrap_or_else(|| Arc::new(transform_for_paths(&graph, transform_opts)));
     let topology = Arc::new(TransformedTopology::new(Arc::clone(&graph), transformed));
-    let vcm = run_vcm(Arc::clone(&topology), program, config);
+    let vcm = run_vcm(&topology, program, config);
     TgbResult { vcm, topology }
 }
 

@@ -373,7 +373,7 @@ where
 fn topology_partition<T: VcmTopology>(
     topology: &T,
     workers: usize,
-    strategy: PartitionStrategy,
+    strategy: &PartitionStrategy,
 ) -> Result<PartitionMap, BspError> {
     // PartitionMap is keyed by a TemporalGraph; build a synthetic one with
     // vids equal to the topology's partition keys so the same placement
@@ -398,7 +398,7 @@ fn topology_partition<T: VcmTopology>(
 /// Panics when the run fails (a worker thread panicked or the wire codec
 /// rejected a batch); use [`try_run_vcm`] to handle those as errors.
 pub fn run_vcm<T: VcmTopology, P: VcmProgram>(
-    topology: Arc<T>,
+    topology: &Arc<T>,
     program: Arc<P>,
     config: &VcmConfig,
 ) -> VcmResult<P::State> {
@@ -412,7 +412,7 @@ pub fn run_vcm<T: VcmTopology, P: VcmProgram>(
 /// Panics when the run fails; use [`try_run_vcm_with_master`] to handle
 /// failures as errors.
 pub fn run_vcm_with_master<T: VcmTopology, P: VcmProgram>(
-    topology: Arc<T>,
+    topology: &Arc<T>,
     program: Arc<P>,
     config: &VcmConfig,
     master: Option<MasterHook<'_>>,
@@ -428,7 +428,7 @@ pub fn run_vcm_with_master<T: VcmTopology, P: VcmProgram>(
 ///
 /// See [`BspError`].
 pub fn try_run_vcm<T: VcmTopology, P: VcmProgram>(
-    topology: Arc<T>,
+    topology: &Arc<T>,
     program: Arc<P>,
     config: &VcmConfig,
 ) -> Result<VcmResult<P::State>, BspError> {
@@ -441,7 +441,7 @@ pub fn try_run_vcm<T: VcmTopology, P: VcmProgram>(
 ///
 /// See [`BspError`].
 pub fn try_run_vcm_with_master<T: VcmTopology, P: VcmProgram>(
-    topology: Arc<T>,
+    topology: &Arc<T>,
     program: Arc<P>,
     config: &VcmConfig,
     master: Option<MasterHook<'_>>,
@@ -449,9 +449,9 @@ pub fn try_run_vcm_with_master<T: VcmTopology, P: VcmProgram>(
     let partition = Arc::new(topology_partition(
         topology.as_ref(),
         config.workers,
-        config.partition,
+        &config.partition,
     )?);
-    let workers = build_workers(&topology, &program, config, &partition);
+    let workers = build_workers(topology, &program, config, &partition);
     let bsp = bsp_config(config);
     let mut wrapper = keepalive_master(Arc::clone(&program), master);
     let (workers, metrics) = run_bsp(&bsp, workers, partition, Some(&mut wrapper))?;
@@ -469,7 +469,7 @@ pub fn try_run_vcm_with_master<T: VcmTopology, P: VcmProgram>(
 /// See [`BspError`]; exhausting the retry budget is
 /// [`BspError::RecoveryExhausted`].
 pub fn try_run_vcm_recoverable<T: VcmTopology, P: VcmProgram>(
-    topology: Arc<T>,
+    topology: &Arc<T>,
     program: Arc<P>,
     config: &VcmConfig,
     recovery: &RecoveryConfig,
@@ -480,9 +480,9 @@ where
     let partition = Arc::new(topology_partition(
         topology.as_ref(),
         config.workers,
-        config.partition,
+        &config.partition,
     )?);
-    let workers = build_workers(&topology, &program, config, &partition);
+    let workers = build_workers(topology, &program, config, &partition);
     let bsp = bsp_config(config);
     let mut wrapper = keepalive_master(Arc::clone(&program), None);
     let (workers, metrics) =
@@ -621,7 +621,7 @@ mod tests {
     fn static_sssp_converges() {
         for workers in [1, 2, 3] {
             let r = run_vcm(
-                Arc::new(Dag),
+                &Arc::new(Dag),
                 Arc::new(Sssp),
                 &VcmConfig {
                     workers,
@@ -637,7 +637,7 @@ mod tests {
     #[test]
     fn counts_are_stable_across_workers() {
         let r1 = run_vcm(
-            Arc::new(Dag),
+            &Arc::new(Dag),
             Arc::new(Sssp),
             &VcmConfig {
                 workers: 1,
@@ -645,7 +645,7 @@ mod tests {
             },
         );
         let r3 = run_vcm(
-            Arc::new(Dag),
+            &Arc::new(Dag),
             Arc::new(Sssp),
             &VcmConfig {
                 workers: 3,
@@ -697,7 +697,7 @@ mod tests {
     #[test]
     fn inactive_vertices_are_skipped() {
         let r = run_vcm(
-            Arc::new(HalfActive),
+            &Arc::new(HalfActive),
             Arc::new(CountOnly),
             &VcmConfig::default(),
         );

@@ -56,14 +56,7 @@ fn case(
 ) {
     let mut last_metrics = None;
     let result = bench(label, || {
-        let outcome = run(
-            algo,
-            platform,
-            Arc::clone(graph),
-            transformed.map(Arc::clone),
-            &opts(),
-        )
-        .unwrap();
+        let outcome = run(algo, platform, graph, transformed, &opts()).unwrap();
         last_metrics = Some(outcome.metrics.clone());
         black_box(outcome)
     });

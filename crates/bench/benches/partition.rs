@@ -91,7 +91,7 @@ fn main() {
         let quality = stats(&graph, &map);
         let mut last_metrics = None;
         let result = bench(&format!("skew/{}", strategy.name()), || {
-            let outcome = try_run_icm(Arc::clone(&graph), Arc::clone(&bfs), &cfg(strategy))
+            let outcome = try_run_icm(&graph, Arc::clone(&bfs), &cfg(strategy.clone()))
                 .expect("bench run must succeed");
             last_metrics = Some(outcome.metrics.clone());
             black_box(outcome)

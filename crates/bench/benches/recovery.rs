@@ -76,10 +76,10 @@ fn case<P>(
     let mut last_metrics = None;
     let result = bench(label, || {
         let outcome = if interval == 0 {
-            try_run_icm(Arc::clone(graph), Arc::clone(program), &cfg())
+            try_run_icm(graph, Arc::clone(program), &cfg())
         } else {
             try_run_icm_recoverable(
-                Arc::clone(graph),
+                graph,
                 Arc::clone(program),
                 &cfg(),
                 &RecoveryConfig::every(interval),

@@ -1,0 +1,181 @@
+//! Serving-throughput bench: the resident `ServeEngine` against the
+//! status-quo batch pipeline on the engine bench workload.
+//!
+//! Three rows, one shared query mix (four distinct registry queries,
+//! three repeats each, interleaved):
+//!
+//! * `serve/sequential` — the pre-serve workflow: every query pays the
+//!   dominant cost of temporal analytics again, rebuilding the graph
+//!   before running solo against the registry. No sharing, no cache.
+//! * `serve/inflight1` — the resident engine with one executor: the
+//!   graph is loaded once and borrowed by every query, repeats hit the
+//!   deterministic result cache.
+//! * `serve/inflight4` — the same engine with four queries in flight,
+//!   the configuration the serving-layer acceptance gate compares
+//!   against sequential submission (`bench_validate` enforces the >= 2x
+//!   throughput ratio on the recorded file).
+//!
+//! On a single-core host the win is load amortization plus caching, not
+//! CPU parallelism — see EXPERIMENTS.md §"Serving throughput
+//! methodology" before reading anything into inflight4 vs inflight1.
+
+use graphite_algorithms::registry::{self, Algo, Platform};
+use graphite_bench::record::Recorder;
+use graphite_bench::timing::bench;
+use graphite_bsp::metrics::RunMetrics;
+use graphite_datagen::{generate, GenParams, LifespanModel, PropModel, Topology};
+use graphite_serve::{QuerySpec, ServeConfig, ServeEngine, ServeStats};
+use graphite_tgraph::graph::{TemporalGraph, VertexId};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// The engine bench workload (`benches/engine.rs::small_long_lifespan`).
+fn workload() -> GenParams {
+    GenParams {
+        vertices: 300,
+        edges: 2400,
+        snapshots: 24,
+        topology: Topology::PowerLaw {
+            edges_per_vertex: 8,
+        },
+        vertex_lifespans: LifespanModel::Full,
+        edge_lifespans: LifespanModel::Geometric { mean: 18.0 },
+        props: PropModel {
+            mean_segment: 9.0,
+            max_cost: 10,
+            max_travel_time: 1,
+        },
+        seed: 99,
+    }
+}
+
+fn source(graph: &TemporalGraph) -> VertexId {
+    graph
+        .vertices()
+        .map(|(_, v)| v.vid)
+        .min()
+        .expect("non-empty graph")
+}
+
+/// The query mix: four distinct queries, three repeats each, interleaved
+/// so repeats arrive after other work (the realistic cache-hit pattern).
+fn batch(src: VertexId) -> Vec<QuerySpec> {
+    let base = QuerySpec {
+        workers: 2,
+        source: Some(src),
+        ..QuerySpec::default()
+    };
+    let distinct = [
+        QuerySpec {
+            algo: Algo::Bfs,
+            platform: Platform::Icm,
+            ..base.clone()
+        },
+        QuerySpec {
+            algo: Algo::Eat,
+            platform: Platform::Icm,
+            ..base.clone()
+        },
+        QuerySpec {
+            algo: Algo::Reach,
+            platform: Platform::Icm,
+            ..base.clone()
+        },
+        QuerySpec {
+            algo: Algo::Bfs,
+            platform: Platform::Msb,
+            ..base
+        },
+    ];
+    (0..3).flat_map(|_| distinct.iter().cloned()).collect()
+}
+
+/// Sums the deterministic engine counters over one batch's outcomes, so a
+/// row's counters describe the work of a whole iteration.
+fn merged(metrics: impl IntoIterator<Item = RunMetrics>) -> RunMetrics {
+    let mut total = RunMetrics::default();
+    for m in metrics {
+        total.merge(&m);
+    }
+    total
+}
+
+/// Milli-queries-per-second derived from the measured mean: the
+/// throughput figure `bench_validate` compares across rows.
+fn qps_milli(queries: usize, mean_ns: f64) -> u64 {
+    if mean_ns <= 0.0 {
+        return 0;
+    }
+    (queries as f64 * 1e12 / mean_ns) as u64
+}
+
+fn main() {
+    let mut rec = Recorder::new("serve");
+    let params = workload();
+    let graph = Arc::new(generate(&params));
+    let src = source(&graph);
+    let queries = batch(src);
+    let n = queries.len();
+
+    // Status quo: every query is its own batch job — rebuild the graph,
+    // run solo, throw the load away. No resident state, no cache.
+    let mut last = Vec::new();
+    let result = bench("serve/sequential", || {
+        last.clear();
+        for spec in &queries {
+            let fresh = Arc::new(generate(&params));
+            let outcome = registry::run(spec.algo, spec.platform, &fresh, None, &spec.to_opts())
+                .expect("sequential run succeeds");
+            last.push(outcome.metrics.clone());
+            black_box(outcome);
+        }
+    });
+    let mean_latency = (result.mean_ns / n as f64 / 1000.0) as u64;
+    let extras = vec![
+        ("queries", n as u64),
+        ("accepted", n as u64),
+        ("rejected", 0),
+        ("cache_hits", 0),
+        ("queries_per_sec_milli", qps_milli(n, result.mean_ns)),
+        ("mean_latency_micros", mean_latency),
+    ];
+    rec.push_with_metrics_and(result, &merged(last.drain(..)), extras);
+
+    // Resident engine: graph loaded once, borrowed by every query;
+    // repeats hit the result cache. One row per in-flight budget.
+    for in_flight in [1usize, 4] {
+        let mut last_metrics = Vec::new();
+        let mut last_stats = ServeStats::default();
+        let mut last_micros = 0u64;
+        let result = bench(&format!("serve/inflight{in_flight}"), || {
+            let engine = ServeEngine::new(
+                Arc::clone(&graph),
+                ServeConfig {
+                    max_in_flight: in_flight,
+                    ..ServeConfig::default()
+                },
+            );
+            let outcomes = engine.serve_batch(&queries);
+            last_metrics.clear();
+            last_micros = 0;
+            for outcome in outcomes {
+                let outcome = outcome.expect("served query succeeds");
+                last_micros += outcome.micros;
+                last_metrics.push(outcome.metrics.clone());
+                black_box(outcome.digest);
+            }
+            last_stats = engine.stats();
+        });
+        let extras = vec![
+            ("queries", n as u64),
+            ("accepted", last_stats.accepted),
+            ("rejected", last_stats.rejected),
+            ("cache_hits", last_stats.cache_hits),
+            ("queries_per_sec_milli", qps_milli(n, result.mean_ns)),
+            ("mean_latency_micros", last_micros / n as u64),
+        ];
+        rec.push_with_metrics_and(result, &merged(last_metrics.drain(..)), extras);
+    }
+
+    rec.finish();
+}

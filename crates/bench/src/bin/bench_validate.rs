@@ -16,7 +16,7 @@ use std::process::ExitCode;
 /// report's quality extras. A key outside this list means the producer
 /// and this validator have drifted apart — fail loudly instead of
 /// silently ignoring a metric nobody will ever look at.
-const KNOWN_COUNTERS: [&str; 17] = [
+const KNOWN_COUNTERS: [&str; 23] = [
     "supersteps",
     "compute_calls",
     "scatter_calls",
@@ -34,6 +34,12 @@ const KNOWN_COUNTERS: [&str; 17] = [
     "interval_balance_milli",
     "cut_edges",
     "est_remote_milli",
+    "queries",
+    "accepted",
+    "rejected",
+    "cache_hits",
+    "queries_per_sec_milli",
+    "mean_latency_micros",
 ];
 
 /// All problems found in one recorded file.
@@ -116,6 +122,9 @@ fn problems(doc: &Json) -> Vec<String> {
     if doc.get("name").and_then(Json::as_str) == Some("partition") {
         out.extend(partition_problems(results));
     }
+    if doc.get("name").and_then(Json::as_str) == Some("serve") {
+        out.extend(serve_problems(results));
+    }
     out
 }
 
@@ -149,6 +158,54 @@ fn partition_problems(results: &[Json]) -> Vec<String> {
                 .to_string(),
         ),
         _ => out.push("partition: missing skew/hash and/or skew/temporal rows".to_string()),
+    }
+    out
+}
+
+/// Extra checks for the serving bench: it substantiates the serving
+/// layer's acceptance claim — a resident engine with four queries in
+/// flight delivers at least twice the throughput of sequential
+/// per-query submission (graph rebuilt every time, no cache) — so a
+/// recording that does not carry that ratio is invalid.
+fn serve_problems(results: &[Json]) -> Vec<String> {
+    let mut out = Vec::new();
+    let counter = |label: &str, key: &str| {
+        results
+            .iter()
+            .find(|r| r.get("label").and_then(Json::as_str) == Some(label))
+            .map(|r| {
+                r.get("counters")
+                    .and_then(|c| c.get(key))
+                    .and_then(Json::as_f64)
+            })
+    };
+    match (
+        counter("serve/sequential", "queries_per_sec_milli"),
+        counter("serve/inflight4", "queries_per_sec_milli"),
+    ) {
+        (Some(Some(seq)), Some(Some(conc))) => {
+            if seq <= 0.0 || conc < 2.0 * seq {
+                out.push(format!(
+                    "serve: inflight4 queries_per_sec_milli {conc} is not >= 2x \
+                     sequential's {seq}"
+                ));
+            }
+        }
+        (Some(None), _) | (_, Some(None)) => out.push(
+            "serve: serve/sequential or serve/inflight4 row carries no \
+             queries_per_sec_milli counter"
+                .to_string(),
+        ),
+        _ => out.push("serve: missing serve/sequential and/or serve/inflight4 rows".to_string()),
+    }
+    match counter("serve/inflight4", "cache_hits") {
+        Some(Some(hits)) if hits > 0.0 => {}
+        Some(Some(_)) | Some(None) => out.push(
+            "serve: serve/inflight4 recorded no cache hits (the query mix \
+             must exercise the result cache)"
+                .to_string(),
+        ),
+        None => {} // missing row already reported above
     }
     out
 }
@@ -254,6 +311,53 @@ mod tests {
         ))
         .expect("parses");
         assert!(problems(&other).is_empty());
+    }
+
+    #[test]
+    fn serve_reports_must_prove_the_throughput_claim() {
+        let row = |label: &str, qps: u64, hits: u64| {
+            format!(
+                r#"{{"label": "{label}", "mean_ns": 10, "best_ns": 9, "iters": 5,
+                 "counters": {{"queries_per_sec_milli": {qps}, "cache_hits": {hits},
+                               "queries": 12}}}}"#
+            )
+        };
+        let doc = |rows: &str| {
+            Json::parse(&format!(
+                r#"{{"schema": "graphite-bench/1", "name": "serve", "results": [{rows}]}}"#
+            ))
+            .expect("parses")
+        };
+        // inflight4 at >= 2x sequential throughput, with cache traffic: valid.
+        let good = format!(
+            "{}, {}",
+            row("serve/sequential", 80_000, 0),
+            row("serve/inflight4", 280_000, 8)
+        );
+        assert!(problems(&doc(&good)).is_empty());
+        // Below the 2x ratio: rejected.
+        let slow = format!(
+            "{}, {}",
+            row("serve/sequential", 80_000, 0),
+            row("serve/inflight4", 120_000, 8)
+        );
+        assert!(problems(&doc(&slow))
+            .iter()
+            .any(|e| e.contains("not >= 2x")));
+        // A cold cache cannot substantiate the serving claim: rejected.
+        let cold = format!(
+            "{}, {}",
+            row("serve/sequential", 80_000, 0),
+            row("serve/inflight4", 280_000, 0)
+        );
+        assert!(problems(&doc(&cold))
+            .iter()
+            .any(|e| e.contains("no cache hits")));
+        // Missing the concurrent row entirely: rejected.
+        let partial = row("serve/sequential", 80_000, 0);
+        assert!(problems(&doc(&partial))
+            .iter()
+            .any(|e| e.contains("missing serve/sequential and/or serve/inflight4")));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! ```text
 //! partition_report GRAPH.tg [--workers N] [--strategy NAME|all]
 //!                  [--trace TRACE.jsonl] [--seed N]
+//!                  [--emit-assignment FILE]
 //! ```
 //!
 //! Without `--trace`, prints the [`graphite_part::PartitionStats`] quality
@@ -17,9 +18,15 @@
 //! rebalancing recommendation of [`graphite_part::rebalance()`] — its
 //! quality report plus an assignment digest, so two invocations over the
 //! same inputs are trivially comparable.
+//!
+//! `--emit-assignment FILE` writes the recommended placement (the
+//! rebalanced map when `--trace` is given, otherwise the first requested
+//! strategy's map) in the `ExplicitAssignment` text format, ready to be
+//! replayed in a live run via [`PartitionStrategy::Explicit`] — closing
+//! the measure → rebalance → run loop.
 
 use graphite_bench::tracefmt;
-use graphite_part::{rebalance, stats, PartitionStrategy};
+use graphite_part::{rebalance, stats, ExplicitAssignment, PartitionStrategy};
 use graphite_tgraph::graph::TemporalGraph;
 use graphite_tgraph::io;
 use std::process::ExitCode;
@@ -45,7 +52,8 @@ fn assignment_digest(graph: &TemporalGraph, map: &graphite_bsp::partition::Parti
 fn usage() -> ExitCode {
     eprintln!(
         "usage: partition_report GRAPH.tg [--workers N] [--strategy \
-         hash|chunked|ldg|temporal|all] [--trace TRACE.jsonl] [--seed N]"
+         hash|chunked|ldg|temporal|all] [--trace TRACE.jsonl] [--seed N] \
+         [--emit-assignment FILE]"
     );
     ExitCode::from(2)
 }
@@ -55,6 +63,7 @@ fn main() -> ExitCode {
     let mut workers = 4usize;
     let mut strategy = String::from("all");
     let mut trace: Option<String> = None;
+    let mut emit: Option<String> = None;
     let mut seed = 42u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -69,6 +78,10 @@ fn main() -> ExitCode {
             },
             "--trace" => match args.next() {
                 Some(t) => trace = Some(t),
+                None => return usage(),
+            },
+            "--emit-assignment" => match args.next() {
+                Some(f) => emit = Some(f),
                 None => return usage(),
             },
             "--seed" => match args.next().and_then(|v| v.parse().ok()) {
@@ -102,6 +115,7 @@ fn main() -> ExitCode {
         }
     };
 
+    let mut first_map = None;
     for s in &strategies {
         let map = match s.build(&graph, workers) {
             Ok(m) => m,
@@ -117,7 +131,12 @@ fn main() -> ExitCode {
         );
         print!("{}", stats(&graph, &map).render());
         println!();
+        if first_map.is_none() {
+            first_map = Some(map);
+        }
     }
+    // Without --trace, the emitted assignment is the first strategy's map.
+    let mut recommended = first_map;
 
     if let Some(trace_path) = trace {
         let text = match std::fs::read_to_string(&trace_path) {
@@ -138,7 +157,7 @@ fn main() -> ExitCode {
         // The trace was recorded under the *first* requested strategy
         // (hash, unless --strategy narrowed it) — that is the placement
         // whose observed skew we are correcting.
-        let current_strategy = strategies.first().copied().unwrap_or_default();
+        let current_strategy = strategies.first().cloned().unwrap_or_default();
         let current = match current_strategy.build(&graph, observed.len().max(1)) {
             Ok(m) => m,
             Err(e) => {
@@ -159,12 +178,25 @@ fn main() -> ExitCode {
                     assignment_digest(&graph, &next)
                 );
                 print!("{}", stats(&graph, &next).render());
+                recommended = Some(next);
             }
             Err(e) => {
                 eprintln!("rebalance: {e}");
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if let Some(file) = emit {
+        let Some(map) = recommended.as_ref() else {
+            eprintln!("--emit-assignment: no placement was computed");
+            return ExitCode::FAILURE;
+        };
+        let text = ExplicitAssignment::from_map(&graph, map).to_text();
+        if let Err(e) = std::fs::write(&file, text) {
+            eprintln!("cannot write {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("assignment written to {file}");
     }
     ExitCode::SUCCESS
 }

@@ -159,14 +159,7 @@ pub fn run_cell(
     opts: &RunOpts,
 ) -> Option<MatrixCell> {
     let transformed = (platform == Platform::Tgb).then(|| dataset.transformed());
-    let outcome = registry::run(
-        algo,
-        platform,
-        Arc::clone(&dataset.graph),
-        transformed,
-        opts,
-    )
-    .ok()?;
+    let outcome = registry::run(algo, platform, &dataset.graph, transformed.as_ref(), opts).ok()?;
     Some(MatrixCell {
         dataset: dataset.profile.name(),
         algo,

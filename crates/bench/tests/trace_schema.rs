@@ -115,8 +115,7 @@ fn bfs_full_trace_round_trips_and_reconciles() {
     let program = Arc::new(IcmBfs {
         source: source(&graph),
     });
-    let r = try_run_icm(Arc::clone(&graph), program, &full_trace_cfg())
-        .expect("traced BFS run succeeds");
+    let r = try_run_icm(&graph, program, &full_trace_cfg()).expect("traced BFS run succeeds");
     let doc = round_trip(&r.metrics.trace, "bfs/icm");
     assert_reconciles(&doc, &r.metrics, "bfs/icm");
     // A rendered report mentions every superstep and the totals line.
@@ -133,8 +132,7 @@ fn eat_full_trace_carries_warp_extras() {
         start: 0,
         labels: AlgLabels::resolve(&graph),
     });
-    let r = try_run_icm(Arc::clone(&graph), program, &full_trace_cfg())
-        .expect("traced EAT run succeeds");
+    let r = try_run_icm(&graph, program, &full_trace_cfg()).expect("traced EAT run succeeds");
     let doc = round_trip(&r.metrics.trace, "eat/icm");
     assert_reconciles(&doc, &r.metrics, "eat/icm");
     // EAT exercises warp: the extras must survive serialization, and at

@@ -65,6 +65,20 @@ pub enum BspError {
         /// What went wrong.
         detail: String,
     },
+    /// A serving layer refused to admit a query: its estimated cost would
+    /// push the engine past its configured in-flight budget and the wait
+    /// queue is full. The query was *never executed* — resubmit later or
+    /// against a larger budget. Surfaced by `graphite-serve`'s admission
+    /// controller (DESIGN.md §14), typed here so callers can distinguish
+    /// overload from execution failure.
+    Admission {
+        /// Estimated cost units of the rejected query.
+        estimated_cost: u64,
+        /// The engine's total admission budget in the same units.
+        budget: u64,
+        /// Queue occupancy at rejection time (queued + in-flight).
+        occupancy: usize,
+    },
     /// The recovery driver's retry budget ran out: every attempt ended in
     /// a recoverable fault. Carries the full fault history for diagnosis.
     RecoveryExhausted {
@@ -80,8 +94,8 @@ pub enum BspError {
 impl BspError {
     /// Whether the checkpoint/rollback driver may retry after this error.
     /// Worker panics and wire corruption are execution faults a rollback
-    /// can undo; mismatched configuration, non-convergence, and checkpoint
-    /// failures are not.
+    /// can undo; mismatched configuration, non-convergence, checkpoint
+    /// failures, and admission rejections (the run never started) are not.
     #[must_use]
     pub fn is_recoverable(&self) -> bool {
         matches!(
@@ -130,6 +144,18 @@ impl fmt::Display for BspError {
             }
             BspError::Checkpoint { detail } => {
                 write!(f, "checkpoint failure: {detail}")
+            }
+            BspError::Admission {
+                estimated_cost,
+                budget,
+                occupancy,
+            } => {
+                write!(
+                    f,
+                    "query rejected by admission control: estimated cost \
+                     {estimated_cost} exceeds remaining budget (total {budget}, \
+                     {occupancy} queries queued or in flight)"
+                )
             }
             BspError::RecoveryExhausted {
                 attempts,
@@ -183,6 +209,14 @@ mod tests {
             detail: "0 workers requested".into(),
         };
         assert!(g.to_string().contains("0 workers requested"));
+        let a = BspError::Admission {
+            estimated_cost: 900,
+            budget: 500,
+            occupancy: 6,
+        };
+        let s = a.to_string();
+        assert!(s.contains("900") && s.contains("500") && s.contains('6'));
+        assert!(s.contains("admission"));
         let r = BspError::RecoveryExhausted {
             attempts: 3,
             last: Box::new(l.clone()),
@@ -212,5 +246,11 @@ mod tests {
         .is_recoverable());
         assert!(!BspError::Checkpoint { detail: "d".into() }.is_recoverable());
         assert!(!BspError::Config { detail: "d".into() }.is_recoverable());
+        assert!(!BspError::Admission {
+            estimated_cost: 1,
+            budget: 1,
+            occupancy: 0,
+        }
+        .is_recoverable());
     }
 }

@@ -98,8 +98,7 @@ fn fingerprint<P>(graph: &Arc<TemporalGraph>, program: Arc<P>) -> (u64, [u64; 8]
 where
     P: graphite_icm::program::IntervalProgram<State = i64>,
 {
-    let r = try_run_icm(Arc::clone(graph), program, &icm_cfg(None, None))
-        .expect("pinned run must succeed");
+    let r = try_run_icm(graph, program, &icm_cfg(None, None)).expect("pinned run must succeed");
     (
         fnv1a(format!("{:?}", r.states).as_bytes()),
         counter_key(&r.metrics),
@@ -236,7 +235,7 @@ where
     P: graphite_icm::program::IntervalProgram<State = i64>,
 {
     let r = try_run_icm_recoverable(
-        Arc::clone(graph),
+        graph,
         Arc::clone(program),
         &icm_cfg(Some(plan), perturb),
         &RecoveryConfig::every(2),
@@ -338,16 +337,12 @@ fn recovered_vcm_digests_match_fault_free() {
         let program = Arc::new(VcmBfs {
             source: source(&graph),
         });
-        let base = try_run_vcm(
-            Arc::clone(&topo),
-            Arc::clone(&program),
-            &vcm_cfg(None, None),
-        )
-        .expect("fault-free VCM run must succeed");
+        let base = try_run_vcm(&topo, Arc::clone(&program), &vcm_cfg(None, None))
+            .expect("fault-free VCM run must succeed");
         let baseline = (vcm_digest(base.states), counter_key(&base.metrics));
         assert_matrix_recovers(&format!("VCM/BFS/{name}"), baseline, |plan| {
             let r = try_run_vcm_recoverable(
-                Arc::clone(&topo),
+                &topo,
                 Arc::clone(&program),
                 &vcm_cfg(Some(plan), None),
                 &RecoveryConfig::every(2),
@@ -447,7 +442,7 @@ fn persistent_fault_exhausts_recovery_with_history() {
         ..RecoveryConfig::every(2)
     };
     let err = try_run_icm_recoverable(
-        Arc::clone(&graph),
+        &graph,
         Arc::clone(&bfs),
         &icm_cfg(Some(plan), None),
         &recovery,

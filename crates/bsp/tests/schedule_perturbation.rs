@@ -143,7 +143,7 @@ fn icm_fingerprint<P>(
 where
     P: graphite_icm::program::IntervalProgram<State = i64>,
 {
-    let r = try_run_icm(Arc::clone(graph), Arc::clone(program), &icm_cfg(perturb))
+    let r = try_run_icm(graph, Arc::clone(program), &icm_cfg(perturb))
         .expect("perturbed ICM run must succeed");
     // BTreeMap renders in vid order; the interval lists are canonical
     // (sorted, coalesced) by construction.
@@ -158,7 +158,7 @@ fn vcm_fingerprint(
     program: &Arc<VcmBfs>,
     perturb: Option<u64>,
 ) -> (u64, [u64; 8]) {
-    let r = try_run_vcm(Arc::clone(topo), Arc::clone(program), &vcm_cfg(perturb))
+    let r = try_run_vcm(topo, Arc::clone(program), &vcm_cfg(perturb))
         .expect("perturbed VCM run must succeed");
     let mut states: Vec<(u32, i64)> = r.states.into_iter().collect();
     states.sort_unstable();

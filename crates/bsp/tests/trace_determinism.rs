@@ -97,8 +97,7 @@ fn bfs_run(
     let program = Arc::new(IcmBfs {
         source: source(graph),
     });
-    let r = try_run_icm(Arc::clone(graph), program, &icm_cfg(trace, perturb))
-        .expect("traced run must succeed");
+    let r = try_run_icm(graph, program, &icm_cfg(trace, perturb)).expect("traced run must succeed");
     (
         fnv1a(format!("{:?}", r.states).as_bytes()),
         counter_key(&r.metrics),
@@ -112,8 +111,7 @@ fn eat_run(graph: &Arc<TemporalGraph>, trace: TraceConfig) -> (u64, [u64; 8], Ru
         start: 0,
         labels: AlgLabels::resolve(graph),
     });
-    let r = try_run_icm(Arc::clone(graph), program, &icm_cfg(trace, None))
-        .expect("traced run must succeed");
+    let r = try_run_icm(graph, program, &icm_cfg(trace, None)).expect("traced run must succeed");
     (
         fnv1a(format!("{:?}", r.states).as_bytes()),
         counter_key(&r.metrics),
@@ -219,7 +217,7 @@ fn recovery_markers_bracket_replayed_supersteps() {
     let baseline = bfs_run(&graph, TraceConfig::off(), None);
     let mut cfg = icm_cfg(TraceConfig::counters(), None);
     cfg.fault_plan = Some(FaultPlan::panic_at(1, 3));
-    let r = try_run_icm_recoverable(Arc::clone(&graph), program, &cfg, &RecoveryConfig::every(2))
+    let r = try_run_icm_recoverable(&graph, program, &cfg, &RecoveryConfig::every(2))
         .expect("recoverable traced run must converge");
     assert_eq!(
         fnv1a(format!("{:?}", r.states).as_bytes()),

@@ -564,12 +564,16 @@ where
 /// Runs `program` over `graph` with `config`, returning final states and
 /// metrics. Deterministic for a fixed worker count.
 ///
+/// The graph is *borrowed*: the engine clones the `Arc` per worker, so a
+/// resident process (the serving layer, a bench loop) can execute many
+/// runs against one loaded graph without ever giving up its handle.
+///
 /// # Panics
 ///
 /// Panics when the run fails (a worker thread panicked or the wire codec
 /// rejected a batch); use [`try_run_icm`] to handle those as errors.
 pub fn run_icm<P: IntervalProgram>(
-    graph: Arc<TemporalGraph>,
+    graph: &Arc<TemporalGraph>,
     program: Arc<P>,
     config: &IcmConfig,
 ) -> IcmResult<P::State> {
@@ -584,7 +588,7 @@ pub fn run_icm<P: IntervalProgram>(
 /// Panics when the run fails; use [`try_run_icm_with_master`] to handle
 /// failures as errors.
 pub fn run_icm_with_master<P: IntervalProgram>(
-    graph: Arc<TemporalGraph>,
+    graph: &Arc<TemporalGraph>,
     program: Arc<P>,
     config: &IcmConfig,
     master: Option<MasterHook<'_>>,
@@ -601,7 +605,7 @@ pub fn run_icm_with_master<P: IntervalProgram>(
 ///
 /// See [`BspError`].
 pub fn try_run_icm<P: IntervalProgram>(
-    graph: Arc<TemporalGraph>,
+    graph: &Arc<TemporalGraph>,
     program: Arc<P>,
     config: &IcmConfig,
 ) -> Result<IcmResult<P::State>, BspError> {
@@ -614,13 +618,13 @@ pub fn try_run_icm<P: IntervalProgram>(
 ///
 /// See [`BspError`].
 pub fn try_run_icm_with_master<P: IntervalProgram>(
-    graph: Arc<TemporalGraph>,
+    graph: &Arc<TemporalGraph>,
     program: Arc<P>,
     config: &IcmConfig,
     master: Option<MasterHook<'_>>,
 ) -> Result<IcmResult<P::State>, BspError> {
-    let partition = Arc::new(config.partition.build(&graph, config.workers)?);
-    let workers = build_workers(&graph, &program, config, &partition);
+    let partition = Arc::new(config.partition.build(graph, config.workers)?);
+    let workers = build_workers(graph, &program, config, &partition);
     let bsp = bsp_config(config);
     let mut wrapper = keepalive_master(Arc::clone(&program), master);
     let (workers, metrics) = run_bsp(&bsp, workers, partition, Some(&mut wrapper))?;
@@ -642,7 +646,7 @@ pub fn try_run_icm_with_master<P: IntervalProgram>(
 /// See [`BspError`]; exhausting the retry budget is
 /// [`BspError::RecoveryExhausted`].
 pub fn try_run_icm_recoverable<P: IntervalProgram>(
-    graph: Arc<TemporalGraph>,
+    graph: &Arc<TemporalGraph>,
     program: Arc<P>,
     config: &IcmConfig,
     recovery: &RecoveryConfig,
@@ -650,8 +654,8 @@ pub fn try_run_icm_recoverable<P: IntervalProgram>(
 where
     P::State: Wire,
 {
-    let partition = Arc::new(config.partition.build(&graph, config.workers)?);
-    let workers = build_workers(&graph, &program, config, &partition);
+    let partition = Arc::new(config.partition.build(graph, config.workers)?);
+    let workers = build_workers(graph, &program, config, &partition);
     let bsp = bsp_config(config);
     let mut wrapper = keepalive_master(Arc::clone(&program), None);
     let (workers, metrics) =

@@ -43,7 +43,7 @@
 //!     tt: g.label("travel-time").unwrap(),
 //!     tc: g.label("travel-cost").unwrap(),
 //! });
-//! let result = run_icm(g, prog, &IcmConfig::default());
+//! let result = run_icm(&g, prog, &IcmConfig::default());
 //! assert_eq!(result.state_at(transit_ids::E, 10), Some(&5));
 //! ```
 
@@ -135,7 +135,7 @@ mod engine_tests {
             tt: g.label("travel-time").unwrap(),
             tc: g.label("travel-cost").unwrap(),
         });
-        run_icm(g, prog, config)
+        run_icm(&g, prog, config)
     }
 
     fn expected_states() -> Vec<(VertexId, Vec<(Interval, i64)>)> {

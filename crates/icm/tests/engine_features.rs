@@ -51,11 +51,7 @@ impl IntervalProgram for Prepartitioned {
 #[test]
 fn prepartition_splits_initial_state_and_compute_calls() {
     let g = Arc::new(line(3, 8));
-    let r = run_icm(
-        Arc::clone(&g),
-        Arc::new(Prepartitioned),
-        &IcmConfig::default(),
-    );
+    let r = run_icm(&g, Arc::new(Prepartitioned), &IcmConfig::default());
     // Lifespan [0,8) split at 2 and 5: superstep-1 computes saw entries of
     // lengths 2, 3 and 3; result extraction coalesces the two adjacent
     // equal values into [2,8) -> 3.
@@ -113,7 +109,7 @@ impl IntervalProgram for DirectRelay {
 fn direct_sends_bypass_scatter_and_respect_intervals() {
     let g = Arc::new(line(4, 8));
     let r = run_icm(
-        Arc::clone(&g),
+        &g,
         Arc::new(DirectRelay { last: 3 }),
         &IcmConfig {
             workers: 2,
@@ -175,7 +171,7 @@ impl IntervalProgram for BothFlood {
 #[test]
 fn both_direction_reaches_ancestors_and_descendants() {
     let g = Arc::new(line(5, 4));
-    let r = run_icm(Arc::clone(&g), Arc::new(BothFlood), &IcmConfig::default());
+    let r = run_icm(&g, Arc::new(BothFlood), &IcmConfig::default());
     for v in 0..5 {
         assert_eq!(r.state_at(VertexId(v), 0), Some(&true), "vertex {v}");
     }
@@ -216,7 +212,7 @@ fn all_active_supersteps_compute_without_messages() {
         graphite_bsp::MasterDecision::Continue
     };
     let r = run_icm_with_master(
-        Arc::clone(&g),
+        &g,
         Arc::new(CountAllActive),
         &IcmConfig {
             workers: 2,
@@ -266,7 +262,7 @@ impl IntervalProgram for NonCombinable {
 fn non_combinable_messages_arrive_individually() {
     let g = Arc::new(line(2, 4));
     let r = run_icm(
-        Arc::clone(&g),
+        &g,
         Arc::new(NonCombinable),
         &IcmConfig {
             combiner: true,

@@ -31,8 +31,10 @@ pub mod strategies;
 
 pub use rebalance::rebalance;
 pub use stats::{stats, PartitionStats};
+use std::sync::Arc;
 pub use strategies::{
-    ChunkedPartitioner, HashPartitioner, LdgPartitioner, TemporalBalancePartitioner,
+    ChunkedPartitioner, ExplicitAssignment, ExplicitPartitioner, HashPartitioner, LdgPartitioner,
+    TemporalBalancePartitioner,
 };
 
 use graphite_bsp::error::BspError;
@@ -62,7 +64,11 @@ pub trait Partitioner {
 
 /// Strategy selector threaded through `IcmConfig`/`VcmConfig`, the
 /// algorithm registry's `RunOpts`, and the CLI (`GRAPHITE_PARTITION`).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+///
+/// Not `Copy` since the [`PartitionStrategy::Explicit`] variant carries a
+/// shared assignment table; configs clone it, which is an `Arc` bump at
+/// worst.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub enum PartitionStrategy {
     /// Splitmix64 of the external vertex id, modulo workers — the paper's
     /// (and Giraph's) default, and the compatibility baseline.
@@ -79,10 +85,19 @@ pub enum PartitionStrategy {
     /// lifespan lengths per worker — so workers receive equal temporal
     /// work, not equal vertex counts.
     TemporalBalance,
+    /// Replays a pinned external-vid → worker table — typically the
+    /// rebalancer recommendation emitted by `partition_report
+    /// --emit-assignment` — closing the measure → rebalance → run loop.
+    /// Excluded from [`PartitionStrategy::ALL`] (it needs a payload) and
+    /// not constructible via [`PartitionStrategy::parse`]; load a table
+    /// with [`ExplicitAssignment::parse`] instead.
+    Explicit(Arc<ExplicitAssignment>),
 }
 
 impl PartitionStrategy {
-    /// Every strategy, in documentation order.
+    /// Every *parameter-free* strategy, in documentation order. `Explicit`
+    /// is excluded: it carries a payload, so matrices that sweep `ALL`
+    /// construct it separately from a concrete assignment.
     pub const ALL: [PartitionStrategy; 4] = [
         PartitionStrategy::Hash,
         PartitionStrategy::Chunked,
@@ -91,12 +106,13 @@ impl PartitionStrategy {
     ];
 
     /// Stable lower-case name (CLI / env / bench labels).
-    pub fn name(self) -> &'static str {
+    pub fn name(&self) -> &'static str {
         match self {
             PartitionStrategy::Hash => "hash",
             PartitionStrategy::Chunked => "chunked",
             PartitionStrategy::Ldg => "ldg",
             PartitionStrategy::TemporalBalance => "temporal",
+            PartitionStrategy::Explicit(_) => "explicit",
         }
     }
 
@@ -127,13 +143,21 @@ impl PartitionStrategy {
     }
 
     /// The boxed [`Partitioner`] implementing this strategy.
-    pub fn partitioner(self) -> Box<dyn Partitioner> {
+    pub fn partitioner(&self) -> Box<dyn Partitioner> {
         match self {
             PartitionStrategy::Hash => Box::new(HashPartitioner),
             PartitionStrategy::Chunked => Box::new(ChunkedPartitioner),
             PartitionStrategy::Ldg => Box::new(LdgPartitioner),
             PartitionStrategy::TemporalBalance => Box::new(TemporalBalancePartitioner),
+            PartitionStrategy::Explicit(table) => Box::new(ExplicitPartitioner {
+                assignment: (**table).clone(),
+            }),
         }
+    }
+
+    /// Wraps an assignment table as a strategy (convenience constructor).
+    pub fn explicit(assignment: ExplicitAssignment) -> Self {
+        PartitionStrategy::Explicit(Arc::new(assignment))
     }
 
     /// Computes the assignment for this strategy (dispatch convenience).
@@ -141,7 +165,7 @@ impl PartitionStrategy {
     /// # Errors
     ///
     /// See [`Partitioner::partition`].
-    pub fn build(self, graph: &TemporalGraph, workers: usize) -> Result<PartitionMap, BspError> {
+    pub fn build(&self, graph: &TemporalGraph, workers: usize) -> Result<PartitionMap, BspError> {
         self.partitioner().partition(graph, workers)
     }
 }

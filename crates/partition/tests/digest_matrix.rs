@@ -153,8 +153,7 @@ fn icm_fingerprint<P>(
 where
     P: graphite_icm::program::IntervalProgram<State = i64>,
 {
-    let r =
-        try_run_icm(Arc::clone(graph), Arc::clone(program), cfg).expect("matrix run must succeed");
+    let r = try_run_icm(graph, Arc::clone(program), cfg).expect("matrix run must succeed");
     (
         fnv1a(format!("{:?}", r.states).as_bytes()),
         inv_counters(&r.metrics),
@@ -221,7 +220,7 @@ fn icm_digests_are_placement_invariant() {
             }
             for strategy in PartitionStrategy::ALL {
                 for workers in WORKER_COUNTS {
-                    let cfg = icm_cfg(strategy, workers);
+                    let cfg = icm_cfg(strategy.clone(), workers);
                     let got = if aname == "bfs" {
                         icm_fingerprint(&graph, &bfs, &cfg)
                     } else {
@@ -248,7 +247,7 @@ fn vcm_digests_are_placement_invariant() {
             source: source(&graph),
         });
         let base = try_run_vcm(
-            Arc::clone(&topo),
+            &topo,
             Arc::clone(&program),
             &vcm_cfg(PartitionStrategy::Hash, 4),
         )
@@ -257,9 +256,9 @@ fn vcm_digests_are_placement_invariant() {
         for strategy in PartitionStrategy::ALL {
             for workers in WORKER_COUNTS {
                 let r = try_run_vcm(
-                    Arc::clone(&topo),
+                    &topo,
                     Arc::clone(&program),
-                    &vcm_cfg(strategy, workers),
+                    &vcm_cfg(strategy.clone(), workers),
                 )
                 .expect("matrix VCM run must succeed");
                 assert_eq!(
@@ -287,7 +286,7 @@ fn strategies_compose_with_schedule_perturbation() {
         for seed in [1u64, 0xDEAD_BEEF] {
             let cfg = IcmConfig {
                 perturb_schedule: Some(seed),
-                ..icm_cfg(strategy, 4)
+                ..icm_cfg(strategy.clone(), 4)
             };
             let got = icm_fingerprint(&graph, &bfs, &cfg);
             assert_eq!(
@@ -315,10 +314,10 @@ fn faulted_runs_under_alternative_strategies_recover_to_clean_hash_digest() {
             for step in [2u64, 3] {
                 let cfg = IcmConfig {
                     fault_plan: Some(FaultPlan::panic_at(1, step)),
-                    ..icm_cfg(strategy, 4)
+                    ..icm_cfg(strategy.clone(), 4)
                 };
                 let r = try_run_icm_recoverable(
-                    Arc::clone(&graph),
+                    &graph,
                     Arc::clone(&bfs),
                     &cfg,
                     &RecoveryConfig::every(2),
@@ -344,6 +343,47 @@ fn faulted_runs_under_alternative_strategies_recover_to_clean_hash_digest() {
     }
 }
 
+/// The explicit strategy closes the measure → rebalance → run loop: a
+/// pinned assignment (here: the temporal-balance map, round-tripped
+/// through the `partition_report --emit-assignment` text format) replays
+/// placement exactly — and, like every other strategy, is invisible in
+/// the result digest.
+#[test]
+fn explicit_assignments_replay_and_stay_placement_invariant() {
+    use graphite_part::ExplicitAssignment;
+    for (pname, params) in profiles() {
+        let graph = Arc::new(generate(&params));
+        let bfs = Arc::new(IcmBfs {
+            source: source(&graph),
+        });
+        let baseline = icm_fingerprint(&graph, &bfs, &icm_cfg(PartitionStrategy::Hash, 4));
+        let workers = 3;
+        let map = PartitionStrategy::TemporalBalance
+            .build(&graph, workers)
+            .expect("temporal map must build");
+        // Round-trip through the on-disk text format, exactly as a
+        // `--emit-assignment` file would be reloaded.
+        let text = ExplicitAssignment::from_map(&graph, &map).to_text();
+        let pinned = ExplicitAssignment::parse(&text).expect("emitted text must parse");
+        let strategy = PartitionStrategy::explicit(pinned);
+        let replayed = strategy
+            .build(&graph, workers)
+            .expect("explicit map must build");
+        for v in graph.vertex_indices() {
+            assert_eq!(
+                map.worker_of(v),
+                replayed.worker_of(v),
+                "{pname}: explicit replay moved a vertex"
+            );
+        }
+        let got = icm_fingerprint(&graph, &bfs, &icm_cfg(strategy, workers));
+        assert_eq!(
+            got, baseline,
+            "{pname}: explicit placement diverged from hash/4"
+        );
+    }
+}
+
 /// The VCM recoverable path composes with non-hash placement too. Runs
 /// on the long profile — the skew snapshot converges before the fault
 /// step, so the panic would never fire there.
@@ -356,7 +396,7 @@ fn faulted_vcm_runs_under_temporal_balance_recover_to_clean_hash_digest() {
         source: source(&graph),
     });
     let clean = try_run_vcm(
-        Arc::clone(&topo),
+        &topo,
         Arc::clone(&program),
         &vcm_cfg(PartitionStrategy::Hash, 4),
     )
@@ -366,13 +406,8 @@ fn faulted_vcm_runs_under_temporal_balance_recover_to_clean_hash_digest() {
         fault_plan: Some(FaultPlan::panic_at(1, 2)),
         ..vcm_cfg(PartitionStrategy::TemporalBalance, 4)
     };
-    let r = try_run_vcm_recoverable(
-        Arc::clone(&topo),
-        Arc::clone(&program),
-        &cfg,
-        &RecoveryConfig::every(2),
-    )
-    .expect("recoverable VCM run must converge");
+    let r = try_run_vcm_recoverable(&topo, Arc::clone(&program), &cfg, &RecoveryConfig::every(2))
+        .expect("recoverable VCM run must converge");
     assert_eq!(
         (vcm_digest(r.states), inv_counters(&r.metrics)),
         baseline,

@@ -1,0 +1,168 @@
+//! The deterministic result cache.
+//!
+//! Keyed by `(algorithm/params digest, graph digest)`: a hit returns a
+//! stored clone of the original [`RunOutcome`] — bit-identical digest,
+//! bit-identical counters — because the engines themselves are
+//! deterministic, so the first execution's outcome *is* the outcome.
+//! The cache's own accounting (hits, misses, evictions) lives beside the
+//! entries, never inside them: serving a result from cache changes
+//! nothing about the result.
+//!
+//! Eviction is deterministic FIFO by insertion order. Replay the same
+//! sequence of lookups and inserts against the same capacity and the
+//! same entries survive — which makes cache behavior testable with
+//! seeded property streams, exactly like everything else in this
+//! workspace.
+
+use graphite_algorithms::registry::RunOutcome;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Full identity of a cacheable result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// [`crate::spec::QuerySpec::params_digest`] — algorithm, platform,
+    /// and every result-relevant parameter.
+    pub params: u64,
+    /// [`graphite_tgraph::graph::TemporalGraph::structure_digest`] of the
+    /// resident graph, so a cache can never serve results for a different
+    /// graph (or an edited reload of the same file).
+    pub graph: u64,
+}
+
+/// Insertion-ordered bounded map of recorded outcomes.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    capacity: usize,
+    entries: BTreeMap<CacheKey, RunOutcome>,
+    order: VecDeque<CacheKey>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            ..Default::default()
+        }
+    }
+
+    /// Looks up `key`, counting a hit or a miss.
+    pub fn get(&mut self, key: CacheKey) -> Option<RunOutcome> {
+        match self.entries.get(&key) {
+            Some(outcome) => {
+                self.hits += 1;
+                Some(outcome.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records `outcome` under `key`, evicting the oldest insertion when
+    /// the cache is full. Re-inserting an existing key refreshes the
+    /// value without changing its insertion order (the engines are
+    /// deterministic, so the value cannot actually differ).
+    pub fn insert(&mut self, key: CacheKey, outcome: RunOutcome) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.insert(key, outcome).is_some() {
+            return;
+        }
+        self.order.push_back(key);
+        if self.order.len() > self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.entries.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries evicted by capacity so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// The keys currently cached, oldest insertion first (test hook for
+    /// asserting deterministic eviction).
+    pub fn keys_by_insertion(&self) -> Vec<CacheKey> {
+        self.order
+            .iter()
+            .filter(|k| self.entries.contains_key(k))
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphite_algorithms::common::ResultDigest;
+    use graphite_bsp::metrics::RunMetrics;
+
+    fn outcome(tag: u64) -> RunOutcome {
+        RunOutcome {
+            metrics: RunMetrics::default(),
+            digest: Some(ResultDigest(tag)),
+        }
+    }
+
+    fn key(params: u64, graph: u64) -> CacheKey {
+        CacheKey { params, graph }
+    }
+
+    #[test]
+    fn fifo_eviction_is_deterministic_and_keys_do_not_collide() {
+        let mut c = ResultCache::new(2);
+        assert!(c.get(key(1, 9)).is_none());
+        c.insert(key(1, 9), outcome(11));
+        c.insert(key(2, 9), outcome(22));
+        // Same params on a *different graph* is a different entry.
+        c.insert(key(1, 8), outcome(33));
+        assert_eq!(c.len(), 2, "capacity bound holds");
+        assert!(c.get(key(1, 9)).is_none(), "oldest insertion evicted");
+        assert_eq!(
+            c.get(key(2, 9)).and_then(|o| o.digest),
+            Some(ResultDigest(22))
+        );
+        assert_eq!(
+            c.get(key(1, 8)).and_then(|o| o.digest),
+            Some(ResultDigest(33))
+        );
+        assert_eq!(c.keys_by_insertion(), vec![key(2, 9), key(1, 8)]);
+        assert_eq!((c.hits(), c.misses(), c.evictions()), (2, 2, 1));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.insert(key(1, 1), outcome(1));
+        assert!(c.is_empty());
+        assert!(c.get(key(1, 1)).is_none());
+    }
+}

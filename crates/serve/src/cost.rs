@@ -1,0 +1,146 @@
+//! Admission cost estimation from graph statistics.
+//!
+//! The serving layer decides whether to admit a query *before* running
+//! it, so the estimate must come from data that exists at load time: the
+//! same interval-weighted statistics `graphite-part` uses to measure
+//! placements (`PartitionStats`). A query's cost is the graph's temporal
+//! work — the summed lifespan lengths of vertices and edges, which is
+//! what ICM supersteps actually iterate over — scaled by a per-algorithm
+//! factor (iterative algorithms sweep the graph more often than
+//! traversals) and a per-platform factor (snapshot-replay baselines pay
+//! once per snapshot).
+//!
+//! The estimate is intentionally coarse: admission control needs a
+//! *monotone, deterministic* proxy for load, not a prediction. Costs are
+//! pure functions of `(graph, spec)`, so a given stream of queries is
+//! admitted or rejected identically on every replay at the same
+//! occupancy.
+
+use crate::spec::QuerySpec;
+use graphite_algorithms::registry::{Algo, Platform};
+use graphite_tgraph::graph::TemporalGraph;
+
+/// Interval-weighted size of the resident graph, measured once at load.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Vertices in the graph.
+    pub vertices: u64,
+    /// Edges in the graph.
+    pub edges: u64,
+    /// Summed lifespan lengths of all vertices and edges — the
+    /// interval-weighted load `PartitionStats` balances, totalled over
+    /// the whole graph instead of per worker.
+    pub interval_weight: u64,
+}
+
+impl CostModel {
+    /// Measures `graph`.
+    pub fn measure(graph: &TemporalGraph) -> Self {
+        let mut weight: u64 = 0;
+        for (_, v) in graph.vertices() {
+            weight = weight.saturating_add(v.lifespan.len().max(1) as u64);
+        }
+        for (_, e) in graph.edges() {
+            weight = weight.saturating_add(e.lifespan.len().max(1) as u64);
+        }
+        CostModel {
+            vertices: graph.num_vertices() as u64,
+            edges: graph.num_edges() as u64,
+            interval_weight: weight,
+        }
+    }
+
+    /// Estimated cost of `spec` in abstract interval-work units; always
+    /// at least 1 so accounting can never admit for free.
+    pub fn estimate(&self, spec: &QuerySpec) -> u64 {
+        let base = self.interval_weight.max(1);
+        base.saturating_mul(algo_factor(spec.algo))
+            .saturating_mul(platform_factor(spec.platform))
+            .max(1)
+    }
+}
+
+/// How many graph sweeps an algorithm costs relative to one traversal.
+fn algo_factor(algo: Algo) -> u64 {
+    match algo {
+        // Single-wave traversals.
+        Algo::Bfs | Algo::Eat | Algo::Ld | Algo::Reach => 1,
+        // Path costs relax repeatedly.
+        Algo::Sssp | Algo::Fast | Algo::Tmst => 2,
+        // Label propagation to a fixpoint.
+        Algo::Wcc | Algo::Scc => 2,
+        // Fixed iteration counts over every vertex.
+        Algo::Pr => 3,
+        // Neighborhood-intersection heavy.
+        Algo::Lcc | Algo::Tc => 3,
+    }
+}
+
+/// Relative platform overhead: wrapper baselines replay per snapshot or
+/// run over an expanded graph.
+fn platform_factor(platform: Platform) -> u64 {
+    match platform {
+        Platform::Icm => 1,
+        Platform::Msb | Platform::Chlonos | Platform::Goffish => 3,
+        Platform::Tgb => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphite_tgraph::builder::TemporalGraphBuilder;
+    use graphite_tgraph::graph::{EdgeId, VertexId};
+    use graphite_tgraph::time::Interval;
+
+    fn chain(n: u64, span: i64) -> TemporalGraph {
+        let mut b = TemporalGraphBuilder::new();
+        for i in 0..n {
+            b.add_vertex(VertexId(i), Interval::new(0, span)).unwrap();
+        }
+        for i in 0..n - 1 {
+            b.add_edge(
+                EdgeId(i),
+                VertexId(i),
+                VertexId(i + 1),
+                Interval::new(0, span),
+            )
+            .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cost_is_deterministic_and_monotone_in_graph_and_algo() {
+        let small = CostModel::measure(&chain(10, 4));
+        let big = CostModel::measure(&chain(100, 4));
+        let long = CostModel::measure(&chain(10, 40));
+        let bfs = QuerySpec::default();
+        let pr = QuerySpec {
+            algo: Algo::Pr,
+            ..QuerySpec::default()
+        };
+        let msb = QuerySpec {
+            platform: Platform::Msb,
+            ..QuerySpec::default()
+        };
+        assert_eq!(small.estimate(&bfs), small.estimate(&bfs));
+        assert!(
+            big.estimate(&bfs) > small.estimate(&bfs),
+            "more vertices cost more"
+        );
+        assert!(
+            long.estimate(&bfs) > small.estimate(&bfs),
+            "longer lifespans cost more"
+        );
+        assert!(
+            small.estimate(&pr) > small.estimate(&bfs),
+            "PR costs more than BFS"
+        );
+        assert!(
+            small.estimate(&msb) > small.estimate(&bfs),
+            "MSB costs more than ICM"
+        );
+        assert!(small.estimate(&bfs) >= 1);
+    }
+}

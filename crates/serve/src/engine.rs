@@ -1,0 +1,485 @@
+//! The resident serving engine: one loaded graph, many queries.
+//!
+//! A [`ServeEngine`] owns an immutable [`TemporalGraph`] and a bounded
+//! pool of executor threads. Queries enter a FIFO queue through
+//! [`ServeEngine::submit`] (or in bulk through
+//! [`ServeEngine::serve_batch`]); each admitted query is executed against
+//! the *shared* graph with its own isolated engine configuration — the
+//! registry builds a fresh BSP run (workers, state, schedule) per query,
+//! so concurrent queries cannot observe each other. Determinism is
+//! end-to-end: a query's digest is bit-identical whether it runs alone,
+//! concurrently with seven others, from the result cache, or next to a
+//! neighbor that is busy crash-recovering.
+//!
+//! Cacheable queries are executed **single-flight**: concurrent
+//! duplicates of a key coalesce onto one execution and are served its
+//! cached result, so a burst of identical queries costs one run, not
+//! `max_in_flight` runs.
+//!
+//! Admission control is decided at submission, before any work happens:
+//! each query gets a cost estimate from the load-time [`CostModel`]
+//! (interval-weighted graph size × algorithm/platform factors), and the
+//! engine tracks the total estimated cost and count of queries queued or
+//! in flight. Beyond the configured budget the query is *rejected* with
+//! [`BspError::Admission`] — never silently dropped, never blocking the
+//! client. A rejected query was never executed; resubmission is safe.
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::cost::CostModel;
+use crate::spec::QuerySpec;
+use graphite_algorithms::common::ResultDigest;
+use graphite_algorithms::registry::{self, Algo, Platform, RunError, RunOutcome};
+use graphite_bsp::error::BspError;
+use graphite_bsp::metrics::{now, RunMetrics};
+use graphite_tgraph::graph::TemporalGraph;
+use graphite_tgraph::transform::{transform_for_paths, TransformOptions, TransformedGraph};
+use std::collections::{BTreeSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
+
+/// Sizing and policy of a [`ServeEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Executor threads — the maximum number of queries executing
+    /// concurrently.
+    pub max_in_flight: usize,
+    /// Maximum queries queued *or* executing; a submission beyond this is
+    /// rejected with [`BspError::Admission`].
+    pub max_pending: usize,
+    /// Total estimated cost (see [`CostModel::estimate`]) allowed queued
+    /// or executing at once. A query that would exceed it is rejected —
+    /// unless the engine is completely idle, which guarantees progress
+    /// for queries costlier than the whole budget.
+    pub cost_budget: u64,
+    /// Result-cache entries ([`ResultCache`]); 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_in_flight: 4,
+            max_pending: 64,
+            cost_budget: u64::MAX,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// What the serving layer returns for one executed query.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// Submission id (FIFO order, starting at 0).
+    pub id: u64,
+    /// Algorithm that ran.
+    pub algo: Algo,
+    /// Platform it ran on.
+    pub platform: Platform,
+    /// The per-(vertex, time-point) result digest — always computed; this
+    /// is the bit-identity the matrix tests pin.
+    pub digest: Option<ResultDigest>,
+    /// The run's metrics (a stored clone on cache hits — bit-identical to
+    /// the original execution's).
+    pub metrics: RunMetrics,
+    /// Whether this outcome was served from the result cache.
+    pub cached: bool,
+    /// Wall-clock latency of serving this query (execution or cache
+    /// lookup), in microseconds. Excluded from all digests.
+    pub micros: u64,
+}
+
+/// Engine accounting, snapshot via [`ServeEngine::stats`]. Counters only
+/// ever increase; `accepted + rejected == submitted` at every instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Queries ever submitted.
+    pub submitted: u64,
+    /// Queries admitted to the queue.
+    pub accepted: u64,
+    /// Queries rejected by admission control.
+    pub rejected: u64,
+    /// Admitted queries that finished (successfully or with a typed
+    /// error).
+    pub completed: u64,
+    /// Outcomes served from the result cache (including queries coalesced
+    /// onto an in-flight duplicate's execution).
+    pub cache_hits: u64,
+    /// Cache lookups that missed (each fresh execution counts at least
+    /// one; a query that waited for an in-flight duplicate counts one
+    /// miss before its eventual hit).
+    pub cache_misses: u64,
+    /// Cache entries evicted by capacity.
+    pub cache_evictions: u64,
+}
+
+/// A submitted query's receipt: wait on it for the outcome.
+pub struct Ticket {
+    id: u64,
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// The submission id this ticket refers to.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the query completes.
+    ///
+    /// # Errors
+    ///
+    /// The query's own typed failure, if it failed.
+    pub fn wait(self) -> Result<QueryOutcome, BspError> {
+        let mut ready = lock(&self.slot.ready);
+        loop {
+            if let Some(result) = ready.take() {
+                return result;
+            }
+            ready = wait(&self.slot.done, ready);
+        }
+    }
+}
+
+/// Per-job completion slot.
+struct Slot {
+    ready: Mutex<Option<Result<QueryOutcome, BspError>>>,
+    done: Condvar,
+}
+
+struct Job {
+    id: u64,
+    spec: QuerySpec,
+    cost: u64,
+    slot: Arc<Slot>,
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    /// Queries queued or executing.
+    pending: usize,
+    /// Total estimated cost queued or executing.
+    outstanding_cost: u64,
+    /// Cache keys currently being executed — the single-flight set.
+    /// A cacheable query whose key is already here waits for that
+    /// execution's cached result instead of re-running it.
+    in_flight_keys: BTreeSet<CacheKey>,
+    cache: ResultCache,
+    stats: ServeStats,
+    next_id: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    graph: Arc<TemporalGraph>,
+    transformed: OnceLock<Arc<TransformedGraph>>,
+    graph_digest: u64,
+    cost: CostModel,
+    cfg: ServeConfig,
+    state: Mutex<State>,
+    work: Condvar,
+    /// Signalled whenever a single-flight execution finishes (so waiting
+    /// duplicates re-check the cache).
+    flight: Condvar,
+}
+
+/// Acquires a mutex, recovering the data from a poisoned lock (a worker
+/// that panicked mid-update holds only counters here — the data stays
+/// structurally valid, and refusing to serve would turn one poisoned
+/// query into a dead engine).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Condvar wait with the same poisoning policy as [`lock`].
+fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match cv.wait(guard) {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The resident engine. Dropping it shuts the pool down after the queue
+/// drains the jobs already admitted.
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    pool: Vec<JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Loads `graph` into a resident engine with `cfg` executors.
+    pub fn new(graph: Arc<TemporalGraph>, cfg: ServeConfig) -> Self {
+        let cfg = ServeConfig {
+            max_in_flight: cfg.max_in_flight.max(1),
+            max_pending: cfg.max_pending.max(1),
+            ..cfg
+        };
+        let shared = Arc::new(Shared {
+            graph_digest: graph.structure_digest(),
+            cost: CostModel::measure(&graph),
+            transformed: OnceLock::new(),
+            graph,
+            cfg,
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                pending: 0,
+                outstanding_cost: 0,
+                in_flight_keys: BTreeSet::new(),
+                cache: ResultCache::new(cfg.cache_capacity),
+                stats: ServeStats::default(),
+                next_id: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            flight: Condvar::new(),
+        });
+        let pool = (0..cfg.max_in_flight)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || executor_loop(&shared))
+            })
+            .collect();
+        ServeEngine { shared, pool }
+    }
+
+    /// The structure digest of the resident graph — the graph half of
+    /// every cache key.
+    pub fn graph_digest(&self) -> u64 {
+        self.shared.graph_digest
+    }
+
+    /// The load-time cost model.
+    pub fn cost_model(&self) -> CostModel {
+        self.shared.cost
+    }
+
+    /// The admission cost this engine charges `spec`.
+    pub fn estimate(&self, spec: &QuerySpec) -> u64 {
+        self.shared.cost.estimate(spec)
+    }
+
+    /// Current accounting snapshot.
+    pub fn stats(&self) -> ServeStats {
+        let state = lock(&self.shared.state);
+        let mut stats = state.stats;
+        stats.cache_hits = state.cache.hits();
+        stats.cache_misses = state.cache.misses();
+        stats.cache_evictions = state.cache.evictions();
+        stats
+    }
+
+    /// Submits one query to the FIFO queue.
+    ///
+    /// # Errors
+    ///
+    /// [`BspError::Admission`] when the engine is over its pending-count
+    /// or cost budget; the query was never executed and may be
+    /// resubmitted.
+    pub fn submit(&self, spec: QuerySpec) -> Result<Ticket, BspError> {
+        let cost = self.shared.cost.estimate(&spec);
+        let mut state = lock(&self.shared.state);
+        state.stats.submitted += 1;
+        let over_count = state.pending >= self.shared.cfg.max_pending;
+        let over_cost = state.pending > 0
+            && state.outstanding_cost.saturating_add(cost) > self.shared.cfg.cost_budget;
+        if over_count || over_cost {
+            state.stats.rejected += 1;
+            return Err(BspError::Admission {
+                estimated_cost: cost,
+                budget: if over_count {
+                    self.shared.cfg.max_pending as u64
+                } else {
+                    self.shared.cfg.cost_budget
+                },
+                occupancy: state.pending,
+            });
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        state.stats.accepted += 1;
+        state.pending += 1;
+        state.outstanding_cost = state.outstanding_cost.saturating_add(cost);
+        let slot = Arc::new(Slot {
+            ready: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        state.queue.push_back(Job {
+            id,
+            spec,
+            cost,
+            slot: Arc::clone(&slot),
+        });
+        drop(state);
+        self.shared.work.notify_one();
+        Ok(Ticket { id, slot })
+    }
+
+    /// Submits a whole batch FIFO, then waits for every admitted query.
+    /// Output order matches input order; rejected queries keep their
+    /// [`BspError::Admission`].
+    pub fn serve_batch(&self, specs: &[QuerySpec]) -> Vec<Result<QueryOutcome, BspError>> {
+        let tickets: Vec<Result<Ticket, BspError>> =
+            specs.iter().map(|s| self.submit(s.clone())).collect();
+        tickets
+            .into_iter()
+            .map(|t| match t {
+                Ok(ticket) => ticket.wait(),
+                Err(e) => Err(e),
+            })
+            .collect()
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        {
+            let mut state = lock(&self.shared.state);
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.pool.drain(..) {
+            // A panicked executor already delivered a typed error to its
+            // job before unwinding; nothing further to report here.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Executor thread: pop FIFO, serve from cache or run, account, deliver.
+fn executor_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = lock(&shared.state);
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = wait(&shared.work, state);
+            }
+        };
+        let result = serve_one(shared, &job);
+        {
+            let mut state = lock(&shared.state);
+            state.pending -= 1;
+            state.outstanding_cost = state.outstanding_cost.saturating_sub(job.cost);
+            state.stats.completed += 1;
+        }
+        let mut ready = lock(&job.slot.ready);
+        *ready = Some(result);
+        drop(ready);
+        job.slot.done.notify_all();
+    }
+}
+
+/// Serves one admitted query: cache hit, coalesced wait on an in-flight
+/// duplicate, or an isolated registry run.
+///
+/// Cacheable queries are **single-flight**: the first executor to miss on
+/// a key becomes its leader and runs it; duplicates arriving while the
+/// leader executes wait on [`Shared::flight`] and are served the leader's
+/// cached result — bit-identical, counted as hits, and never re-executed.
+/// If the leader fails (its key leaves the set with nothing cached), a
+/// waiting duplicate takes over as the new leader, so coalescing can
+/// never deadlock or lose a query.
+fn serve_one(shared: &Shared, job: &Job) -> Result<QueryOutcome, BspError> {
+    let started = now();
+    let key = CacheKey {
+        params: job.spec.params_digest(),
+        graph: shared.graph_digest,
+    };
+    if job.spec.cacheable() {
+        let mut state = lock(&shared.state);
+        loop {
+            if let Some(stored) = state.cache.get(key) {
+                drop(state);
+                return Ok(QueryOutcome {
+                    id: job.id,
+                    algo: job.spec.algo,
+                    platform: job.spec.platform,
+                    digest: stored.digest,
+                    metrics: stored.metrics,
+                    cached: true,
+                    micros: started.elapsed().as_micros() as u64,
+                });
+            }
+            if state.in_flight_keys.insert(key) {
+                // This executor is now the key's leader.
+                break;
+            }
+            state = wait(&shared.flight, state);
+        }
+    }
+    let outcome = execute(shared, &job.spec);
+    if job.spec.cacheable() {
+        // Leader epilogue: publish on success, and *always* release the
+        // key and wake waiters — on failure they retry as new leaders.
+        let mut state = lock(&shared.state);
+        if let Ok(ref ok) = outcome {
+            state.cache.insert(key, ok.clone());
+        }
+        state.in_flight_keys.remove(&key);
+        drop(state);
+        shared.flight.notify_all();
+    }
+    let outcome = outcome?;
+    Ok(QueryOutcome {
+        id: job.id,
+        algo: job.spec.algo,
+        platform: job.spec.platform,
+        digest: outcome.digest,
+        metrics: outcome.metrics,
+        cached: false,
+        micros: started.elapsed().as_micros() as u64,
+    })
+}
+
+/// One isolated registry execution over the shared graph. Panics from the
+/// wrapper platforms (whose inner engines use panicking entry points) are
+/// converted to a typed error so one poisoned query can never take down
+/// the pool or its neighbors.
+fn execute(shared: &Shared, spec: &QuerySpec) -> Result<RunOutcome, BspError> {
+    let transformed = if spec.platform == Platform::Tgb {
+        Some(Arc::clone(shared.transformed.get_or_init(|| {
+            Arc::new(transform_for_paths(
+                &shared.graph,
+                &TransformOptions::default(),
+            ))
+        })))
+    } else {
+        None
+    };
+    let opts = spec.to_opts();
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        registry::try_run(
+            spec.algo,
+            spec.platform,
+            &shared.graph,
+            transformed.as_ref(),
+            &opts,
+        )
+    }));
+    match run {
+        Ok(Ok(outcome)) => Ok(outcome),
+        Ok(Err(RunError::Bsp(e))) => Err(e),
+        Ok(Err(RunError::Unsupported(u))) => Err(BspError::Config {
+            detail: format!("serve: {u}"),
+        }),
+        Err(payload) => {
+            let detail = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            Err(BspError::WorkerPanicked {
+                step: 0,
+                workers: vec![(0, detail)],
+            })
+        }
+    }
+}

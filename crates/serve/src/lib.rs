@@ -1,0 +1,43 @@
+//! # graphite-serve — the resident serving layer
+//!
+//! The batch tools in this workspace pay the dominant cost of temporal
+//! analytics — loading and indexing the graph — once *per query*. This
+//! crate inverts that: a [`ServeEngine`] loads a [`TemporalGraph`] once
+//! and executes many registry queries against the shared immutable graph
+//! state, each with its own isolated engine configuration (DESIGN.md
+//! §14).
+//!
+//! The moving parts, in query order:
+//!
+//! 1. **Admission** ([`cost`]): a deterministic cost estimate from
+//!    load-time interval statistics decides reject-or-queue *before* any
+//!    work happens. Overload surfaces as the typed
+//!    [`BspError::Admission`](graphite_bsp::error::BspError::Admission).
+//! 2. **FIFO queue + bounded pool** ([`engine`]): admitted queries run on
+//!    at most `max_in_flight` executor threads, in submission order.
+//! 3. **Result cache** ([`cache`]): keyed by `(algorithm, params, graph
+//!    digest)`; hits return a bit-identical stored [`RunOutcome`]
+//!    (deterministic engines make the first execution's outcome *the*
+//!    outcome), with deterministic FIFO eviction. Cache accounting lives
+//!    outside results, so serving from cache changes no digest.
+//!
+//! Concurrency is never allowed to become observable: the matrix test in
+//! `tests/concurrent_digest_matrix.rs` pins that a query's digest is
+//! bit-identical solo, at 2/4/8 in flight, perturbed, cached, and next to
+//! a crash-recovering neighbor.
+//!
+//! [`TemporalGraph`]: graphite_tgraph::graph::TemporalGraph
+//! [`RunOutcome`]: graphite_algorithms::registry::RunOutcome
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cost;
+pub mod engine;
+pub mod spec;
+
+pub use cache::{CacheKey, ResultCache};
+pub use cost::CostModel;
+pub use engine::{QueryOutcome, ServeConfig, ServeEngine, ServeStats, Ticket};
+pub use spec::QuerySpec;

@@ -1,0 +1,351 @@
+//! Query specifications: what a client asks the resident engine to run.
+//!
+//! A [`QuerySpec`] is the serving layer's unit of work — one registry cell
+//! plus its semantic parameters. It carries everything needed to build an
+//! isolated `RunOpts` for the execution (each query gets its own engine
+//! configuration; only the graph is shared), and it canonicalizes itself
+//! into the [`params_digest`](QuerySpec::params_digest) half of the result
+//! cache key.
+//!
+//! The batch text format (one query per line, `#` comments) is what
+//! `graphite serve` reads:
+//!
+//! ```text
+//! # algo platform [key=value ...]
+//! bfs icm
+//! eat icm source=3 start=0
+//! sssp tgb workers=2
+//! bfs msb perturb=7
+//! ```
+
+use graphite_algorithms::registry::{Algo, Platform, RunOpts};
+use graphite_bsp::error::BspError;
+use graphite_bsp::fault::FaultPlan;
+use graphite_bsp::recover::RecoveryConfig;
+use graphite_part::PartitionStrategy;
+use graphite_tgraph::graph::VertexId;
+use graphite_tgraph::time::Time;
+
+/// One query against the resident graph: a registry cell plus parameters.
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    /// Algorithm to run.
+    pub algo: Algo,
+    /// Platform to run it on.
+    pub platform: Platform,
+    /// BSP workers for this query's isolated engine.
+    pub workers: usize,
+    /// Source vertex (TD traversals); `None` = registry default.
+    pub source: Option<VertexId>,
+    /// Journey start time (EAT/TMST/RH).
+    pub start: Time,
+    /// Deadline (LD); `None` = window end.
+    pub deadline: Option<Time>,
+    /// Vertex-placement strategy (results are placement-invariant).
+    pub partition: PartitionStrategy,
+    /// Schedule-perturbation seed (results are bit-identical per seed).
+    pub perturb_schedule: Option<u64>,
+    /// Deterministic fault injection for this query alone. Faulted
+    /// queries bypass the result cache.
+    pub fault_plan: Option<FaultPlan>,
+    /// Recovery configuration; required for a faulted query to converge.
+    pub recovery: Option<RecoveryConfig>,
+}
+
+impl Default for QuerySpec {
+    fn default() -> Self {
+        QuerySpec {
+            algo: Algo::Bfs,
+            platform: Platform::Icm,
+            workers: 4,
+            source: None,
+            start: 0,
+            deadline: None,
+            partition: PartitionStrategy::default(),
+            perturb_schedule: None,
+            fault_plan: None,
+            recovery: None,
+        }
+    }
+}
+
+impl QuerySpec {
+    /// A spec for `algo` on `platform` with default parameters.
+    pub fn new(algo: Algo, platform: Platform) -> Self {
+        QuerySpec {
+            algo,
+            platform,
+            ..Default::default()
+        }
+    }
+
+    /// The isolated per-query run options: every query gets its own
+    /// engine configuration — only the graph is shared. Digests are
+    /// always computed: they are the cache's identity and the client's
+    /// proof of determinism.
+    pub fn to_opts(&self) -> RunOpts {
+        RunOpts {
+            workers: self.workers,
+            source: self.source,
+            start: self.start,
+            deadline: self.deadline,
+            digest: true,
+            partition: self.partition.clone(),
+            perturb_schedule: self.perturb_schedule,
+            fault_plan: self.fault_plan.clone(),
+            recovery: self.recovery.clone(),
+            ..Default::default()
+        }
+    }
+
+    /// Whether results of this query may be cached and served from the
+    /// cache. Fault-injected queries execute for real every time — their
+    /// *results* are bit-identical to clean runs, but their recovery
+    /// metrics are the thing under test, so caching would mask them.
+    pub fn cacheable(&self) -> bool {
+        self.fault_plan.is_none()
+    }
+
+    /// Canonical digest of every result-relevant parameter — the
+    /// `(algorithm, params)` part of the cache key. Two specs share a
+    /// digest iff a cached result of one is bit-identical to a fresh run
+    /// of the other: semantic parameters (source, times) *and* execution
+    /// parameters that metrics observe (workers, partition, perturbation)
+    /// are all folded in.
+    pub fn params_digest(&self) -> u64 {
+        let mut acc = 0x7365_7276_6530_3031u64; // "serve001"
+        let mut fold = |x: u64| {
+            acc ^= x;
+            acc = acc.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            acc ^= acc >> 29;
+            acc = acc.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            acc ^= acc >> 32;
+        };
+        fold(algo_index(self.algo));
+        fold(platform_index(self.platform));
+        fold(self.workers as u64);
+        fold(match self.source {
+            None => u64::MAX,
+            Some(v) => v.0,
+        });
+        fold(self.start as u64);
+        fold(match self.deadline {
+            None => u64::MAX,
+            Some(t) => t as u64,
+        });
+        fold(partition_tag(&self.partition));
+        fold(match self.perturb_schedule {
+            None => 0,
+            Some(s) => s | 1 << 63,
+        });
+        acc
+    }
+
+    /// Parses one batch-file line (`algo platform [key=value ...]`).
+    /// Returns `Ok(None)` for blank lines and `#` comments.
+    ///
+    /// # Errors
+    ///
+    /// [`BspError::Config`] naming the offending token.
+    pub fn parse_line(line: &str) -> Result<Option<QuerySpec>, BspError> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        let mut tokens = line.split_whitespace();
+        let bad = |what: &str, tok: &str| BspError::Config {
+            detail: format!("serve batch: {what} {tok:?} in line {line:?}"),
+        };
+        let algo_tok = tokens.next().unwrap_or_default();
+        let Some(algo) = parse_algo(algo_tok) else {
+            return Err(bad("unknown algorithm", algo_tok));
+        };
+        let platform_tok = tokens.next().unwrap_or_default();
+        let Some(platform) = parse_platform(platform_tok) else {
+            return Err(bad("unknown platform", platform_tok));
+        };
+        let mut spec = QuerySpec::new(algo, platform);
+        for tok in tokens {
+            let Some((key, value)) = tok.split_once('=') else {
+                return Err(bad("malformed key=value token", tok));
+            };
+            let num: Option<u64> = value.parse().ok();
+            match (key, num) {
+                ("workers", Some(n)) if n > 0 => spec.workers = n as usize,
+                ("source", Some(v)) => spec.source = Some(VertexId(v)),
+                ("start", Some(t)) => spec.start = t as Time,
+                ("deadline", Some(t)) => spec.deadline = Some(t as Time),
+                ("perturb", Some(s)) => spec.perturb_schedule = Some(s),
+                ("partition", _) => match PartitionStrategy::parse(value) {
+                    Some(p) => spec.partition = p,
+                    None => return Err(bad("unknown partition strategy", value)),
+                },
+                _ => return Err(bad("unknown or malformed parameter", tok)),
+            }
+        }
+        Ok(Some(spec))
+    }
+
+    /// Parses a whole batch file; line numbers in errors are 1-based.
+    ///
+    /// # Errors
+    ///
+    /// [`BspError::Config`] for the first malformed line.
+    pub fn parse_batch(text: &str) -> Result<Vec<QuerySpec>, BspError> {
+        let mut specs = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            match Self::parse_line(line) {
+                Ok(Some(spec)) => specs.push(spec),
+                Ok(None) => {}
+                Err(BspError::Config { detail }) => {
+                    return Err(BspError::Config {
+                        detail: format!("line {}: {detail}", i + 1),
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(specs)
+    }
+}
+
+/// Stable index of `algo` in [`Algo::ALL`] (the cache-key encoding).
+fn algo_index(algo: Algo) -> u64 {
+    // lint:allow(no-unwrap) — Algo::ALL contains every variant by
+    // construction; position() cannot miss.
+    Algo::ALL.iter().position(|a| *a == algo).unwrap() as u64
+}
+
+/// Stable index of `platform` in [`Platform::ALL`].
+fn platform_index(platform: Platform) -> u64 {
+    // lint:allow(no-unwrap) — Platform::ALL contains every variant.
+    Platform::ALL.iter().position(|p| *p == platform).unwrap() as u64
+}
+
+/// Canonical tag of a partition strategy for the params digest. Explicit
+/// tables fold their full pinned assignment, so two different tables
+/// never share a cache key.
+fn partition_tag(strategy: &PartitionStrategy) -> u64 {
+    match strategy {
+        PartitionStrategy::Explicit(table) => {
+            let mut acc = 0xeeee_0000_0000_0005u64;
+            for line in table.to_text().lines() {
+                for b in line.bytes() {
+                    acc = acc.wrapping_mul(31).wrapping_add(u64::from(b));
+                }
+            }
+            acc
+        }
+        PartitionStrategy::Hash => 1,
+        PartitionStrategy::Chunked => 2,
+        PartitionStrategy::Ldg => 3,
+        PartitionStrategy::TemporalBalance => 4,
+    }
+}
+
+/// CLI algorithm names (lower-case; mirrors `graphite run --algo`).
+pub fn parse_algo(s: &str) -> Option<Algo> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "bfs" => Algo::Bfs,
+        "wcc" => Algo::Wcc,
+        "scc" => Algo::Scc,
+        "pr" | "pagerank" => Algo::Pr,
+        "sssp" => Algo::Sssp,
+        "eat" => Algo::Eat,
+        "fast" => Algo::Fast,
+        "ld" => Algo::Ld,
+        "tmst" => Algo::Tmst,
+        "rh" | "reach" => Algo::Reach,
+        "lcc" => Algo::Lcc,
+        "tc" => Algo::Tc,
+        _ => return None,
+    })
+}
+
+/// CLI platform names (mirrors `graphite run --platform`).
+pub fn parse_platform(s: &str) -> Option<Platform> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "icm" | "graphite" => Platform::Icm,
+        "msb" => Platform::Msb,
+        "chl" | "chlonos" => Platform::Chlonos,
+        "tgb" => Platform::Tgb,
+        "gof" | "goffish" => Platform::Goffish,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_lines_parse_and_reject() {
+        let text = "# header comment\n\nbfs icm\neat icm source=3 start=2 workers=2\n\
+                    sssp tgb deadline=9 partition=temporal\nbfs msb perturb=7\n";
+        let specs = QuerySpec::parse_batch(text).expect("well-formed batch");
+        assert_eq!(specs.len(), 4);
+        assert_eq!(specs[0].algo, Algo::Bfs);
+        assert_eq!(specs[1].source, Some(VertexId(3)));
+        assert_eq!(specs[1].start, 2);
+        assert_eq!(specs[1].workers, 2);
+        assert_eq!(specs[2].deadline, Some(9));
+        assert_eq!(specs[2].partition, PartitionStrategy::TemporalBalance);
+        assert_eq!(specs[3].perturb_schedule, Some(7));
+
+        for bad in [
+            "zfs icm",
+            "bfs vax",
+            "bfs icm workers=0",
+            "bfs icm nonsense",
+            "bfs icm depth=3",
+            "bfs icm partition=metis",
+        ] {
+            let err = QuerySpec::parse_line(bad).expect_err("must reject");
+            assert!(matches!(err, BspError::Config { .. }), "{bad}: {err}");
+        }
+        assert!(QuerySpec::parse_line("   ").expect("blank ok").is_none());
+    }
+
+    #[test]
+    fn params_digest_separates_every_parameter() {
+        let base = QuerySpec::new(Algo::Bfs, Platform::Icm);
+        let mut seen = vec![base.params_digest()];
+        let variants = [
+            QuerySpec::new(Algo::Wcc, Platform::Icm),
+            QuerySpec::new(Algo::Bfs, Platform::Msb),
+            QuerySpec {
+                workers: 2,
+                ..base.clone()
+            },
+            QuerySpec {
+                source: Some(VertexId(1)),
+                ..base.clone()
+            },
+            QuerySpec {
+                start: 5,
+                ..base.clone()
+            },
+            QuerySpec {
+                deadline: Some(9),
+                ..base.clone()
+            },
+            QuerySpec {
+                partition: PartitionStrategy::TemporalBalance,
+                ..base.clone()
+            },
+            QuerySpec {
+                perturb_schedule: Some(0),
+                ..base.clone()
+            },
+        ];
+        for v in variants {
+            let d = v.params_digest();
+            assert!(!seen.contains(&d), "digest collision for {v:?}");
+            seen.push(d);
+        }
+        // Fault plans are deliberately NOT part of the digest: faulted
+        // queries never touch the cache at all.
+        assert!(base.cacheable());
+        assert_eq!(base.params_digest(), seen[0], "digest must be stable");
+    }
+}

@@ -1,0 +1,191 @@
+//! Admission-control soak: a seeded 200-query stream against a
+//! deliberately tiny budget. The engine must never deadlock (this test
+//! finishing *is* the liveness proof — every accepted ticket is waited
+//! on), the accounting must balance exactly
+//! (`accepted + rejected == submitted`), and every rejection must be the
+//! typed [`BspError::Admission`] — never a hang, never a panic, never a
+//! silent drop.
+
+use graphite_algorithms::registry::{Algo, Platform};
+use graphite_bsp::error::BspError;
+use graphite_datagen::{generate, GenParams, LifespanModel, PropModel, Topology};
+use graphite_serve::{QuerySpec, ServeConfig, ServeEngine, Ticket};
+use graphite_tgraph::graph::{TemporalGraph, VertexId};
+use graphite_tgraph::rng::SplitMix64;
+use std::sync::Arc;
+
+const STREAM: usize = 200;
+const SEED: u64 = 0x50A4_0001;
+
+fn soak_params() -> GenParams {
+    GenParams {
+        vertices: 40,
+        edges: 160,
+        snapshots: 6,
+        topology: Topology::PowerLaw {
+            edges_per_vertex: 4,
+        },
+        vertex_lifespans: LifespanModel::Full,
+        edge_lifespans: LifespanModel::Geometric { mean: 4.0 },
+        props: PropModel {
+            mean_segment: 3.0,
+            max_cost: 8,
+            max_travel_time: 2,
+        },
+        seed: 11,
+    }
+}
+
+fn source(graph: &TemporalGraph) -> VertexId {
+    graph
+        .vertices()
+        .map(|(_, v)| v.vid)
+        .min()
+        .expect("non-empty graph")
+}
+
+/// Draws a pseudo-random supported query (mixed algorithms, platforms,
+/// worker counts — some repeats so the cache also sees traffic).
+fn draw(rng: &mut SplitMix64, src: VertexId) -> QuerySpec {
+    let algos = [Algo::Bfs, Algo::Wcc, Algo::Eat, Algo::Reach, Algo::Pr];
+    let algo = algos[(rng.next_u64() % algos.len() as u64) as usize];
+    // Every algorithm runs on ICM; every fourth query uses a baseline
+    // platform that supports it.
+    let platform = if rng.next_u64().is_multiple_of(4) {
+        if algo.is_ti() {
+            Platform::Msb
+        } else {
+            Platform::Goffish
+        }
+    } else {
+        Platform::Icm
+    };
+    QuerySpec {
+        algo,
+        platform,
+        workers: 1 + (rng.next_u64() % 3) as usize,
+        source: Some(src),
+        perturb_schedule: (rng.next_u64().is_multiple_of(3)).then(|| rng.next_u64()),
+        ..QuerySpec::default()
+    }
+}
+
+#[test]
+fn soak_never_deadlocks_and_accounting_balances() {
+    let graph = Arc::new(generate(&soak_params()));
+    let src = source(&graph);
+    let engine = ServeEngine::new(
+        Arc::clone(&graph),
+        ServeConfig {
+            max_in_flight: 2,
+            // Tiny: force the count-based rejection path under load.
+            max_pending: 4,
+            // A handful of average queries' worth: force the cost-based
+            // rejection path too.
+            cost_budget: ServeEngine::new(Arc::clone(&graph), ServeConfig::default())
+                .estimate(&QuerySpec::new(Algo::Bfs, Platform::Icm))
+                .saturating_mul(6),
+            cache_capacity: 16,
+        },
+    );
+
+    let mut rng = SplitMix64::new(SEED);
+    let mut accepted_tickets: Vec<Ticket> = Vec::new();
+    let mut rejected = 0u64;
+    for _ in 0..STREAM {
+        match engine.submit(draw(&mut rng, src)) {
+            Ok(ticket) => accepted_tickets.push(ticket),
+            Err(BspError::Admission {
+                estimated_cost,
+                budget,
+                occupancy,
+            }) => {
+                rejected += 1;
+                assert!(estimated_cost > 0, "estimates are never free");
+                assert!(budget > 0, "budget is part of the error surface");
+                assert!(occupancy > 0, "an idle engine must never reject");
+            }
+            Err(other) => panic!("rejection must be typed Admission, got: {other}"),
+        }
+    }
+
+    let accepted = accepted_tickets.len() as u64;
+    assert_eq!(
+        accepted + rejected,
+        STREAM as u64,
+        "accounting must balance"
+    );
+    assert!(
+        rejected > 0,
+        "the tiny budget must actually reject under load"
+    );
+    assert!(accepted > 0, "the stream must not be rejected wholesale");
+
+    // Drain every accepted query. Completing this loop is the
+    // no-deadlock guarantee; each outcome must be a real result.
+    for ticket in accepted_tickets {
+        let outcome = ticket.wait().expect("accepted queries must complete");
+        assert!(outcome.digest.is_some(), "served queries always digest");
+    }
+
+    let stats = engine.stats();
+    assert_eq!(stats.submitted, STREAM as u64);
+    assert_eq!(stats.accepted, accepted);
+    assert_eq!(stats.rejected, rejected);
+    assert_eq!(stats.completed, accepted, "every admitted query completed");
+    assert_eq!(
+        stats.accepted + stats.rejected,
+        stats.submitted,
+        "engine-side accounting must balance too"
+    );
+}
+
+/// Rejection is stateless: after the backlog drains, a previously
+/// rejected query is admitted and completes — `Admission` genuinely means
+/// "try again later", not "never".
+#[test]
+fn rejected_queries_succeed_on_resubmission_after_drain() {
+    let graph = Arc::new(generate(&soak_params()));
+    let src = source(&graph);
+    let spec = QuerySpec {
+        source: Some(src),
+        ..QuerySpec::new(Algo::Bfs, Platform::Icm)
+    };
+    let engine = ServeEngine::new(
+        Arc::clone(&graph),
+        ServeConfig {
+            max_in_flight: 1,
+            max_pending: 1,
+            ..ServeConfig::default()
+        },
+    );
+    // Flood: with one slot, at least one of these must be rejected.
+    let tickets: Vec<Result<Ticket, BspError>> =
+        (0..8).map(|_| engine.submit(spec.clone())).collect();
+    let mut saw_rejection = false;
+    for t in tickets {
+        match t {
+            Ok(ticket) => {
+                ticket.wait().expect("admitted query completes");
+            }
+            Err(e) => {
+                assert!(
+                    matches!(e, BspError::Admission { .. }),
+                    "typed admission error expected, got {e}"
+                );
+                saw_rejection = true;
+            }
+        }
+    }
+    assert!(
+        saw_rejection,
+        "one pending slot cannot absorb eight queries"
+    );
+    // The engine is idle now: resubmission must be admitted.
+    let outcome = engine
+        .submit(spec)
+        .expect("idle engine admits")
+        .wait()
+        .expect("resubmitted query completes");
+    assert!(outcome.digest.is_some());
+}

@@ -1,0 +1,198 @@
+//! Result-cache correctness: bit-identical hits, accounting outside the
+//! results, no collisions across distinct parameters or graphs, and
+//! deterministic FIFO eviction under a seeded property stream.
+
+use graphite_algorithms::common::ResultDigest;
+use graphite_algorithms::registry::{Algo, Platform, RunOutcome};
+use graphite_bsp::metrics::RunMetrics;
+use graphite_datagen::{generate, GenParams, LifespanModel, PropModel, Topology};
+use graphite_serve::{CacheKey, QuerySpec, ResultCache, ServeConfig, ServeEngine};
+use graphite_tgraph::graph::{TemporalGraph, VertexId};
+use graphite_tgraph::rng::SplitMix64;
+use std::sync::Arc;
+
+fn small_params(seed: u64) -> GenParams {
+    GenParams {
+        vertices: 60,
+        edges: 240,
+        snapshots: 8,
+        topology: Topology::PowerLaw {
+            edges_per_vertex: 4,
+        },
+        vertex_lifespans: LifespanModel::Full,
+        edge_lifespans: LifespanModel::Geometric { mean: 5.0 },
+        props: PropModel {
+            mean_segment: 4.0,
+            max_cost: 10,
+            max_travel_time: 2,
+        },
+        seed,
+    }
+}
+
+fn source(graph: &TemporalGraph) -> VertexId {
+    graph
+        .vertices()
+        .map(|(_, v)| v.vid)
+        .min()
+        .expect("non-empty graph")
+}
+
+/// Cache hits return the bit-identical outcome of the first execution,
+/// and the serving accounting (hit counters, latency) lives outside the
+/// result: digest and metrics agree exactly between the miss and the hit.
+#[test]
+fn hits_are_bit_identical_and_accounting_stays_outside_results() {
+    let graph = Arc::new(generate(&small_params(3)));
+    let engine = ServeEngine::new(
+        Arc::clone(&graph),
+        ServeConfig {
+            max_in_flight: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let spec = QuerySpec {
+        algo: Algo::Eat,
+        platform: Platform::Icm,
+        workers: 2,
+        source: Some(source(&graph)),
+        ..QuerySpec::default()
+    };
+    let results = engine.serve_batch(&[spec.clone(), spec.clone(), spec]);
+    let miss = results[0].as_ref().expect("first run succeeds");
+    assert!(!miss.cached);
+    for hit in &results[1..] {
+        let hit = hit.as_ref().expect("hit succeeds");
+        assert!(hit.cached, "single in-flight repeats must hit");
+        assert_eq!(hit.digest, miss.digest, "hit digest must be bit-identical");
+        assert_eq!(
+            format!("{:?}", hit.metrics.counters),
+            format!("{:?}", miss.metrics.counters),
+            "hit counters must be the stored clone"
+        );
+    }
+    let stats = engine.stats();
+    assert_eq!((stats.cache_hits, stats.cache_misses), (2, 1));
+}
+
+/// Distinct parameters and distinct graphs never share a cache entry:
+/// same spec on two graphs, and two specs on one graph, all produce
+/// distinct keys — and the served digests prove nothing leaked.
+#[test]
+fn no_collisions_across_params_or_graph_digests() {
+    let graph_a = Arc::new(generate(&small_params(3)));
+    let graph_b = Arc::new(generate(&small_params(4)));
+    assert_ne!(
+        graph_a.structure_digest(),
+        graph_b.structure_digest(),
+        "different datasets must have different structure digests"
+    );
+    let spec = |src: VertexId| QuerySpec {
+        algo: Algo::Bfs,
+        platform: Platform::Icm,
+        workers: 2,
+        source: Some(src),
+        ..QuerySpec::default()
+    };
+    // Two sources on graph A, one spec on graph B: three distinct keys.
+    let sources: Vec<VertexId> = {
+        let mut vids: Vec<VertexId> = graph_a.vertices().map(|(_, v)| v.vid).collect();
+        vids.sort_unstable();
+        vids.truncate(2);
+        vids
+    };
+    let key = |params: u64, graph: u64| CacheKey { params, graph };
+    let k0 = key(spec(sources[0]).params_digest(), graph_a.structure_digest());
+    let k1 = key(spec(sources[1]).params_digest(), graph_a.structure_digest());
+    let k2 = key(spec(sources[0]).params_digest(), graph_b.structure_digest());
+    assert!(k0 != k1 && k0 != k2 && k1 != k2, "cache keys must separate");
+
+    let engine_a = ServeEngine::new(Arc::clone(&graph_a), ServeConfig::default());
+    let engine_b = ServeEngine::new(Arc::clone(&graph_b), ServeConfig::default());
+    let a0 = engine_a.serve_batch(&[spec(sources[0])]);
+    let b0 = engine_b.serve_batch(&[spec(sources[0])]);
+    let da = a0[0].as_ref().expect("graph A run").digest;
+    let db = b0[0].as_ref().expect("graph B run").digest;
+    assert_ne!(da, db, "same spec on different graphs must differ");
+}
+
+/// Seeded property test: a pseudo-random stream of inserts and lookups
+/// over a small key space, against a naive FIFO model. The real cache
+/// must agree with the model op-for-op, and replaying the same seed must
+/// land on the identical final state — eviction is deterministic.
+#[test]
+fn seeded_streams_match_a_naive_fifo_model_and_replay_identically() {
+    const CAPACITY: usize = 3;
+    const KEYS: u64 = 8;
+    const OPS: usize = 400;
+
+    fn outcome(tag: u64) -> RunOutcome {
+        RunOutcome {
+            metrics: RunMetrics::default(),
+            digest: Some(ResultDigest(tag ^ 0xABCD)),
+        }
+    }
+
+    /// The executable spec of the cache: an insertion-ordered Vec.
+    #[derive(Default)]
+    struct Model {
+        entries: Vec<(CacheKey, u64)>,
+    }
+    impl Model {
+        fn get(&self, key: CacheKey) -> Option<u64> {
+            self.entries
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| *v)
+        }
+        fn insert(&mut self, key: CacheKey, tag: u64) {
+            if self.get(key).is_some() {
+                return;
+            }
+            self.entries.push((key, tag));
+            if self.entries.len() > CAPACITY {
+                self.entries.remove(0);
+            }
+        }
+    }
+
+    let run_stream = |seed: u64| -> (Vec<CacheKey>, u64, u64, u64) {
+        let mut rng = SplitMix64::new(seed);
+        let mut cache = ResultCache::new(CAPACITY);
+        let mut model = Model::default();
+        for _ in 0..OPS {
+            let k = CacheKey {
+                params: rng.next_u64() % KEYS,
+                graph: 7,
+            };
+            if rng.next_u64().is_multiple_of(2) {
+                assert_eq!(
+                    cache.get(k).and_then(|o| o.digest).map(|d| d.0),
+                    model.get(k).map(|t| t ^ 0xABCD),
+                    "lookup of {k:?} disagrees with the model"
+                );
+            } else {
+                cache.insert(k, outcome(k.params));
+                model.insert(k, k.params);
+            }
+        }
+        assert_eq!(
+            cache.keys_by_insertion(),
+            model.entries.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            "surviving entries or their order diverge from the FIFO model"
+        );
+        (
+            cache.keys_by_insertion(),
+            cache.hits(),
+            cache.misses(),
+            cache.evictions(),
+        )
+    };
+
+    for seed in [1u64, 42, 7777, 0xFEED_F00D] {
+        let first = run_stream(seed);
+        let replay = run_stream(seed);
+        assert_eq!(first, replay, "seed {seed:#x}: replay diverged");
+        assert!(first.3 > 0, "seed {seed:#x}: stream must exercise eviction");
+    }
+}

@@ -1,0 +1,324 @@
+//! The concurrency-invisibility matrix: every query's result under the
+//! resident engine — at 2, 4, and 8 queries in flight, composed with
+//! schedule perturbation, the result cache, and a crash-recovering
+//! neighbor — must be **bit-identical** to its solo registry run.
+//!
+//! The serving layer shares exactly one thing between queries: the
+//! immutable graph. Everything else (BSP config, run state, schedule) is
+//! per-query, so concurrency has nothing it could legally perturb. These
+//! tests pin that: digests and deterministic counters are compared, not
+//! just digests, so even a counter leak between neighbors would fail the
+//! matrix.
+
+use graphite_algorithms::registry::{self, Algo, Platform};
+use graphite_bsp::fault::FaultPlan;
+use graphite_bsp::recover::RecoveryConfig;
+use graphite_datagen::{generate, GenParams, LifespanModel, PropModel, Topology};
+use graphite_serve::{QuerySpec, ServeConfig, ServeEngine};
+use graphite_tgraph::graph::{TemporalGraph, VertexId};
+use std::sync::Arc;
+
+/// Identical to the `long` profile of `crates/partition/tests/digest_matrix.rs`.
+fn profile_long() -> GenParams {
+    GenParams {
+        vertices: 150,
+        edges: 900,
+        snapshots: 16,
+        topology: Topology::PowerLaw {
+            edges_per_vertex: 6,
+        },
+        vertex_lifespans: LifespanModel::Full,
+        edge_lifespans: LifespanModel::Geometric { mean: 12.0 },
+        props: PropModel {
+            mean_segment: 6.0,
+            max_cost: 10,
+            max_travel_time: 3,
+        },
+        seed: 7,
+    }
+}
+
+/// Identical to the `skew` profile of the partition digest matrix.
+fn profile_skew() -> GenParams {
+    GenParams {
+        vertices: 150,
+        edges: 900,
+        snapshots: 24,
+        topology: Topology::PowerLaw {
+            edges_per_vertex: 6,
+        },
+        vertex_lifespans: LifespanModel::Bursty {
+            heavy_fraction: 0.08,
+            heavy_mean: 20.0,
+            burst_mean: 2.0,
+        },
+        edge_lifespans: LifespanModel::Bursty {
+            heavy_fraction: 0.10,
+            heavy_mean: 16.0,
+            burst_mean: 1.5,
+        },
+        props: PropModel {
+            mean_segment: 4.0,
+            max_cost: 10,
+            max_travel_time: 2,
+        },
+        seed: 19,
+    }
+}
+
+fn profiles() -> [(&'static str, GenParams); 2] {
+    [("long", profile_long()), ("skew", profile_skew())]
+}
+
+fn source(graph: &TemporalGraph) -> VertexId {
+    graph
+        .vertices()
+        .map(|(_, v)| v.vid)
+        .min()
+        .expect("non-empty graph")
+}
+
+/// The three matrix queries: ICM BFS, ICM EAT, and BFS on the MSB
+/// baseline (whose inner engine is the vertex-centric VCM).
+fn matrix_specs(graph: &TemporalGraph) -> Vec<(&'static str, QuerySpec)> {
+    let src = source(graph);
+    let base = QuerySpec {
+        workers: 3,
+        source: Some(src),
+        ..QuerySpec::default()
+    };
+    vec![
+        (
+            "icm-bfs",
+            QuerySpec {
+                algo: Algo::Bfs,
+                platform: Platform::Icm,
+                ..base.clone()
+            },
+        ),
+        (
+            "icm-eat",
+            QuerySpec {
+                algo: Algo::Eat,
+                platform: Platform::Icm,
+                ..base.clone()
+            },
+        ),
+        (
+            "vcm-bfs",
+            QuerySpec {
+                algo: Algo::Bfs,
+                platform: Platform::Msb,
+                ..base
+            },
+        ),
+    ]
+}
+
+/// The full bit-identity of an outcome: result digest plus every
+/// deterministic counter (same workers and placement everywhere, so even
+/// the wire counters must agree).
+type Fingerprint = (u64, [u64; 8]);
+
+fn fingerprint_run(
+    digest: Option<graphite_algorithms::common::ResultDigest>,
+    m: &graphite_bsp::metrics::RunMetrics,
+) -> Fingerprint {
+    (
+        digest.expect("matrix queries always digest").0,
+        [
+            m.supersteps,
+            m.counters.compute_calls,
+            m.counters.scatter_calls,
+            m.counters.messages_sent,
+            m.counters.remote_messages,
+            m.counters.bytes_sent,
+            m.counters.warp_invocations,
+            m.counters.warp_suppressions,
+        ],
+    )
+}
+
+/// Ground truth: the solo registry run of `spec`, no serving layer.
+fn solo(graph: &Arc<TemporalGraph>, spec: &QuerySpec) -> Fingerprint {
+    let outcome = registry::run(spec.algo, spec.platform, graph, None, &spec.to_opts())
+        .expect("solo run must succeed");
+    fingerprint_run(outcome.digest, &outcome.metrics)
+}
+
+#[test]
+fn concurrent_results_are_bit_identical_to_solo_runs() {
+    for (pname, params) in profiles() {
+        let graph = Arc::new(generate(&params));
+        let specs = matrix_specs(&graph);
+        let baselines: Vec<(&str, Fingerprint)> =
+            specs.iter().map(|(n, s)| (*n, solo(&graph, s))).collect();
+        for in_flight in [2usize, 4, 8] {
+            let engine = ServeEngine::new(
+                Arc::clone(&graph),
+                ServeConfig {
+                    max_in_flight: in_flight,
+                    ..ServeConfig::default()
+                },
+            );
+            // Three copies of every query, interleaved: later copies are
+            // cache hits — or single-flight waits coalesced onto the
+            // first copy's execution — and must be bit-identical too.
+            let batch: Vec<QuerySpec> = (0..3)
+                .flat_map(|_| specs.iter().map(|(_, s)| s.clone()))
+                .collect();
+            let results = engine.serve_batch(&batch);
+            assert_eq!(results.len(), batch.len());
+            let executed = results
+                .iter()
+                .filter(|r| r.as_ref().is_ok_and(|o| !o.cached))
+                .count();
+            assert_eq!(
+                executed,
+                specs.len(),
+                "{pname}@{in_flight}: single-flight must run each distinct query exactly once"
+            );
+            for (i, result) in results.iter().enumerate() {
+                let (name, expected) = baselines[i % specs.len()];
+                let outcome = result
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("{pname}/{name}@{in_flight}: {e}"));
+                assert_eq!(
+                    fingerprint_run(outcome.digest, &outcome.metrics),
+                    expected,
+                    "{pname}/{name}: copy {i} at {in_flight} in flight diverged from solo \
+                     (cached={})",
+                    outcome.cached
+                );
+            }
+            // A second identical batch is fully warm: every result must
+            // come from the cache and stay bit-identical.
+            let hits_before = engine.stats().cache_hits;
+            for (i, result) in engine.serve_batch(&batch).iter().enumerate() {
+                let (name, expected) = baselines[i % specs.len()];
+                let outcome = result
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("{pname}/{name} warm: {e}"));
+                assert!(
+                    outcome.cached,
+                    "{pname}/{name}: warm copy {i} missed the cache"
+                );
+                assert_eq!(
+                    fingerprint_run(outcome.digest, &outcome.metrics),
+                    expected,
+                    "{pname}/{name}: cached copy {i} is not bit-identical"
+                );
+            }
+            let stats = engine.stats();
+            assert_eq!(stats.accepted, 2 * batch.len() as u64);
+            assert_eq!(stats.rejected, 0);
+            assert_eq!(
+                stats.cache_hits - hits_before,
+                batch.len() as u64,
+                "{pname}@{in_flight}: warm batch must be all hits"
+            );
+        }
+    }
+}
+
+/// Perturbed schedules compose with concurrency: a query carrying any
+/// perturbation seed still lands on the unperturbed solo fingerprint,
+/// even while seven other (differently perturbed) queries are in flight.
+#[test]
+fn perturbed_concurrent_results_match_unperturbed_solo_runs() {
+    for (pname, params) in profiles() {
+        let graph = Arc::new(generate(&params));
+        let specs = matrix_specs(&graph);
+        let baselines: Vec<(&str, Fingerprint)> =
+            specs.iter().map(|(n, s)| (*n, solo(&graph, s))).collect();
+        let engine = ServeEngine::new(
+            Arc::clone(&graph),
+            ServeConfig {
+                max_in_flight: 8,
+                ..ServeConfig::default()
+            },
+        );
+        let seeds = [1u64, 42, 0xDEAD_BEEF];
+        let batch: Vec<QuerySpec> = seeds
+            .iter()
+            .flat_map(|&seed| {
+                specs.iter().map(move |(_, s)| QuerySpec {
+                    perturb_schedule: Some(seed),
+                    ..s.clone()
+                })
+            })
+            .collect();
+        for (i, result) in engine.serve_batch(&batch).iter().enumerate() {
+            let (name, expected) = baselines[i % specs.len()];
+            let seed = seeds[i / specs.len()];
+            let outcome = result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{pname}/{name} seed {seed}: {e}"));
+            assert_eq!(
+                fingerprint_run(outcome.digest, &outcome.metrics),
+                expected,
+                "{pname}/{name}: perturb seed {seed:#x} became observable under concurrency"
+            );
+        }
+    }
+}
+
+/// The composed satellite: one in-flight query crashes (injected fault)
+/// and recovers via checkpoint/rollback while neighbors run beside it.
+/// The recovering query must land on the clean solo fingerprint's digest
+/// and the neighbors must be bit-identical — recovery must not perturb
+/// anyone, including itself.
+#[test]
+fn recovering_query_matches_clean_digest_and_does_not_perturb_neighbors() {
+    for (pname, params) in profiles() {
+        let graph = Arc::new(generate(&params));
+        let specs = matrix_specs(&graph);
+        let baselines: Vec<(&str, Fingerprint)> =
+            specs.iter().map(|(n, s)| (*n, solo(&graph, s))).collect();
+        let engine = ServeEngine::new(
+            Arc::clone(&graph),
+            ServeConfig {
+                max_in_flight: 4,
+                ..ServeConfig::default()
+            },
+        );
+        let faulted = QuerySpec {
+            fault_plan: Some(FaultPlan::panic_at(1, 2)),
+            recovery: Some(RecoveryConfig::every(2)),
+            ..specs[0].1.clone()
+        };
+        // The faulted ICM BFS runs concurrently with all three clean
+        // queries.
+        let mut batch = vec![faulted];
+        batch.extend(specs.iter().map(|(_, s)| s.clone()));
+        let results = engine.serve_batch(&batch);
+
+        let recovered = results[0]
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{pname}: recovering query failed: {e}"));
+        assert_eq!(
+            recovered.digest.expect("digest computed").0,
+            baselines[0].1 .0,
+            "{pname}: recovered digest diverged from the clean solo run"
+        );
+        assert_eq!(
+            recovered.metrics.recovery.rollbacks, 1,
+            "{pname}: the injected panic must actually have fired"
+        );
+        assert!(
+            !recovered.cached,
+            "{pname}: faulted queries must bypass the cache"
+        );
+        for (i, result) in results.iter().enumerate().skip(1) {
+            let (name, expected) = baselines[i - 1];
+            let outcome = result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{pname}/{name} neighbor: {e}"));
+            assert_eq!(
+                fingerprint_run(outcome.digest, &outcome.metrics),
+                expected,
+                "{pname}/{name}: neighbor of a recovering query was perturbed"
+            );
+        }
+    }
+}

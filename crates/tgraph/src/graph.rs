@@ -161,6 +161,73 @@ impl TemporalGraph {
         self.lifespan
     }
 
+    /// A 64-bit digest of the graph's full logical content: every vertex
+    /// and edge (external ids, lifespans, property timelines, resolved
+    /// label *names* so interning order cannot matter) folded in index
+    /// order through a splitmix64-style mixer.
+    ///
+    /// Two graphs with equal logical content produce equal digests on
+    /// every platform; any insertion, removal, lifespan change, or
+    /// property edit changes it with overwhelming probability. The serving
+    /// layer keys its result cache by this value (DESIGN.md §14), so the
+    /// digest must be cheap relative to a run — it is a single linear
+    /// pass — and stable across save/load round-trips.
+    pub fn structure_digest(&self) -> u64 {
+        // Two-round splitmix64 finalizer over an accumulating state: the
+        // same mixing discipline as `crate::rng::SplitMix64`, applied as a
+        // sequential fold (order is part of the content here).
+        fn mix(acc: u64, x: u64) -> u64 {
+            let mut z = acc
+                .wrapping_add(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(x.wrapping_mul(0xff51_afd7_ed55_8ccd));
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        fn mix_str(acc: u64, s: &str) -> u64 {
+            let mut h = mix(acc, s.len() as u64);
+            for chunk in s.as_bytes().chunks(8) {
+                let mut w = [0u8; 8];
+                w[..chunk.len()].copy_from_slice(chunk);
+                h = mix(h, u64::from_le_bytes(w));
+            }
+            h
+        }
+        fn mix_props(mut h: u64, labels: &LabelInterner, props: &Properties) -> u64 {
+            for (label, iv, value) in props.iter() {
+                h = mix_str(h, labels.name(label).unwrap_or(""));
+                h = mix(h, iv.start() as u64);
+                h = mix(h, iv.end() as u64);
+                h = match value {
+                    PropValue::Long(v) => mix(h, 1 ^ *v as u64),
+                    // lint:allow(determinism-flow) — bit-exact fold of the
+                    // stored IEEE value, no float arithmetic involved
+                    PropValue::Double(v) => mix(h, 2 ^ v.to_bits()),
+                    PropValue::Bool(v) => mix(h, 3 ^ u64::from(*v)),
+                    PropValue::Text(v) => mix_str(mix(h, 4), v),
+                };
+            }
+            h
+        }
+        let mut h = mix(0x6772_6170_6869_7465, self.vertices.len() as u64); // "graphite"
+        h = mix(h, self.edges.len() as u64);
+        for v in &self.vertices {
+            h = mix(h, v.vid.0);
+            h = mix(h, v.lifespan.start() as u64);
+            h = mix(h, v.lifespan.end() as u64);
+            h = mix_props(h, &self.labels, &v.props);
+        }
+        for e in &self.edges {
+            h = mix(h, e.eid.0);
+            h = mix(h, self.vertices[e.src.idx()].vid.0);
+            h = mix(h, self.vertices[e.dst.idx()].vid.0);
+            h = mix(h, e.lifespan.start() as u64);
+            h = mix(h, e.lifespan.end() as u64);
+            h = mix_props(h, &self.labels, &e.props);
+        }
+        h
+    }
+
     /// The label interner (for resolving property names).
     pub fn labels(&self) -> &LabelInterner {
         &self.labels
@@ -330,6 +397,54 @@ mod tests {
         assert_eq!(g.num_vertices(), 6);
         assert_eq!(g.num_edges(), 6);
         assert_eq!(g.lifespan(), Interval::from_start(0));
+    }
+
+    #[test]
+    fn structure_digest_tracks_logical_content() {
+        let g = transit();
+        // Stable across calls and across an independent rebuild.
+        assert_eq!(g.structure_digest(), g.structure_digest());
+        assert_eq!(g.structure_digest(), transit().structure_digest());
+
+        // Any logical change — one more vertex, or one shifted lifespan —
+        // moves the digest.
+        let grown = {
+            let mut b = TemporalGraphBuilder::new();
+            for (_, v) in g.vertices() {
+                b.add_vertex(v.vid, v.lifespan).unwrap();
+            }
+            b.add_vertex(VertexId(999), Interval::new(0, 5)).unwrap();
+            for (_, e) in g.edges() {
+                b.add_edge(e.eid, g.vertex(e.src).vid, g.vertex(e.dst).vid, e.lifespan)
+                    .unwrap();
+            }
+            b.build().unwrap()
+        };
+        assert_ne!(g.structure_digest(), grown.structure_digest());
+
+        let shifted = {
+            let mut b = TemporalGraphBuilder::new();
+            for (i, (_, v)) in g.vertices().enumerate() {
+                let iv = if i == 0 {
+                    Interval::new(v.lifespan.start(), v.lifespan.end().saturating_sub(1))
+                } else {
+                    v.lifespan
+                };
+                b.add_vertex(v.vid, iv).unwrap();
+            }
+            b.build().unwrap()
+        };
+        assert_ne!(
+            {
+                let mut b = TemporalGraphBuilder::new();
+                for (_, v) in g.vertices() {
+                    b.add_vertex(v.vid, v.lifespan).unwrap();
+                }
+                b.build().unwrap()
+            }
+            .structure_digest(),
+            shifted.structure_digest()
+        );
     }
 
     #[test]

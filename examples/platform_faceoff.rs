@@ -45,8 +45,7 @@ fn main() {
             if !platform.supports(algo) {
                 continue;
             }
-            let out = run(algo, platform, Arc::clone(&graph), None, &opts)
-                .expect("supported combination");
+            let out = run(algo, platform, &graph, None, &opts).expect("supported combination");
             let c = &out.metrics.counters;
             println!(
                 "{:<5} {:>12} {:>12} {:>12} {:>9.1}ms {:>16}",

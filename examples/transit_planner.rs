@@ -38,7 +38,7 @@ fn main() {
 
     // 1. Cheapest cost per arrival window (temporal SSSP).
     let sssp = run_icm(
-        Arc::clone(&graph),
+        &graph,
         Arc::new(IcmSssp {
             source: origin,
             labels,
@@ -56,7 +56,7 @@ fn main() {
 
     // 2. Earliest arrival when departing at tick 0 (EAT).
     let eat = run_icm(
-        Arc::clone(&graph),
+        &graph,
         Arc::new(IcmEat {
             source: origin,
             start: 0,
@@ -71,7 +71,7 @@ fn main() {
 
     // 3. Fastest door-to-door duration over all departure times (FAST).
     let fast = run_icm(
-        Arc::clone(&graph),
+        &graph,
         Arc::new(IcmFast {
             source: origin,
             labels,
@@ -87,7 +87,7 @@ fn main() {
     //    day (LD — reverse traversal in space and time).
     let deadline = graph.lifespan().end() - 1;
     let ld = run_icm(
-        Arc::clone(&graph),
+        &graph,
         Arc::new(IcmLd {
             target: destination,
             deadline,

@@ -28,4 +28,7 @@ scripts/fault_matrix.sh
 echo "==> placement-invariance matrix (release)"
 scripts/partition_matrix.sh
 
+echo "==> serve matrix + soak (release)"
+scripts/serve_soak.sh
+
 echo "==> all checks passed"

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# The serving-layer gate: runs every suite that proves the resident
+# engine's contract — concurrency is never observable in results, the
+# cache returns bit-identical outcomes with deterministic eviction, and
+# admission control degrades loudly (typed BspError::Admission) instead
+# of deadlocking or dropping queries.
+#
+#   * crates/serve/tests/concurrent_digest_matrix.rs — {2,4,8} in flight
+#     x {ICM BFS, ICM EAT, VCM BFS} x two datagen profiles, every
+#     concurrent result pinned bit-identical to its solo registry run,
+#     composed with schedule-perturbation seeds and a crash-recovering
+#     neighbor.
+#   * crates/serve/tests/cache_properties.rs — bit-identical hits,
+#     accounting outside results, key separation across params/graphs,
+#     seeded FIFO-eviction property stream against a naive model.
+#   * crates/serve/tests/admission_soak.rs — seeded 200-query stream
+#     against a tiny budget: accepted + rejected == submitted, every
+#     rejection typed, every admitted query drained (liveness).
+#   * graphite-serve unit tests — spec parsing, cost model, cache module.
+#
+# A quick end-to-end pass through the CLI follows: generate a graph, run
+# a batch through `graphite serve`, and check every query reports ok.
+#
+# Usage: scripts/serve_soak.sh [extra cargo-test args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> serve matrix + soak (release)"
+cargo test --release -q -p graphite-serve \
+    --lib \
+    --test concurrent_digest_matrix \
+    --test cache_properties \
+    --test admission_soak \
+    "$@"
+
+echo "==> graphite serve end-to-end"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run --release -q --bin graphite -- gen gplus "$tmp/g.tg" >/dev/null
+cat > "$tmp/batch.txt" <<'EOF'
+# serve smoke batch: repeats exercise the result cache
+bfs icm workers=2
+eat icm workers=2
+bfs msb workers=2
+bfs icm workers=2
+eat icm workers=2 perturb=7
+EOF
+# Concurrent pass: every query must complete ok.
+cargo run --release -q --bin graphite -- serve "$tmp/g.tg" "$tmp/batch.txt" \
+    --in-flight 4 > "$tmp/out.jsonl"
+ok_lines="$(grep -c '"status": "ok"' "$tmp/out.jsonl")"
+if [ "$ok_lines" -ne 5 ]; then
+    echo "serve end-to-end: expected 5 ok results, got $ok_lines" >&2
+    cat "$tmp/out.jsonl" >&2
+    exit 1
+fi
+# Sequential pass: with one executor the repeated bfs query
+# deterministically hits the result cache.
+cargo run --release -q --bin graphite -- serve "$tmp/g.tg" "$tmp/batch.txt" \
+    --in-flight 1 > "$tmp/seq.jsonl"
+grep -q '"cached": true' "$tmp/seq.jsonl" || {
+    echo "serve end-to-end: expected a cache hit in the sequential pass" >&2
+    cat "$tmp/seq.jsonl" >&2
+    exit 1
+}
+# The two passes must agree bit-for-bit on every digest.
+if ! diff <(grep -o '"digest": "[^"]*"' "$tmp/out.jsonl") \
+          <(grep -o '"digest": "[^"]*"' "$tmp/seq.jsonl"); then
+    echo "serve end-to-end: concurrent and sequential digests differ" >&2
+    exit 1
+fi
+
+echo "==> serve gate passed"

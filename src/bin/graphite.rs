@@ -7,6 +7,8 @@
 //! graphite run    <graph.tg> --algo sssp [--platform icm] [--source 0]
 //!                 [--workers 4] [--start 0] [--deadline T] [--counts]
 //! graphite gen    <profile|ldbc> <out.tg> [--scale 1] [--seed 42]
+//! graphite serve  <graph.tg> <batch.txt> [--in-flight 4] [--max-pending 64]
+//!                 [--cost-budget N] [--cache 256]
 //! ```
 //!
 //! Example session:
@@ -17,20 +19,32 @@
 //! cargo run --release --bin graphite -- run /tmp/tw.tg --algo sssp --counts
 //! ```
 //!
+//! `serve` loads the graph once into a resident engine
+//! (`graphite-serve`) and executes the batch file's queries — one per
+//! line, `algo platform [key=value ...]`, `#` comments — concurrently
+//! against the shared graph, printing one JSON result object per line
+//! (JSONL) in batch order. Rejected queries (admission control) report
+//! `"status": "rejected"`; results are bit-identical at every
+//! `--in-flight` level (DESIGN.md §14).
+//!
 //! `run` honors the tracing environment (EXPERIMENTS.md "Reading a
 //! trace"): `GRAPHITE_TRACE=off|counters|full` sets the recording level
 //! and `GRAPHITE_TRACE_JSON=<file>` writes the `graphite-trace/1` JSONL
 //! stream for `trace_report`. Vertex placement is selected with
 //! `--partition hash|chunked|ldg|temporal` or the `GRAPHITE_PARTITION`
 //! environment variable (the flag wins; results are identical either
-//! way — see DESIGN.md §13).
+//! way — see DESIGN.md §13). `--partition-file <assignment.txt>` replays
+//! a pinned explicit assignment instead — the file format is what
+//! `partition_report --emit-assignment` writes, so a trace-driven
+//! rebalancing recommendation feeds straight back into a live run.
 
 #![forbid(unsafe_code)]
 
 use graphite::algorithms::registry::{run, Algo, Platform, RunOpts};
 use graphite::bsp::trace::TraceConfig;
 use graphite::datagen::Profile;
-use graphite::part::PartitionStrategy;
+use graphite::part::{ExplicitAssignment, PartitionStrategy};
+use graphite::serve::{QuerySpec, ServeConfig, ServeEngine};
 use graphite::tgraph::graph::VertexId;
 use graphite::tgraph::io;
 use graphite::tgraph::stats::dataset_stats;
@@ -41,9 +55,11 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  graphite stats <graph.tg>\n  graphite run <graph.tg> --algo \
          <bfs|wcc|scc|pr|sssp|eat|fast|ld|tmst|rh|lcc|tc>\n      [--platform icm|msb|chl|tgb|gof] \
-         [--source VID] [--workers N]\n      [--partition hash|chunked|ldg|temporal] [--start T] \
+         [--source VID] [--workers N]\n      [--partition hash|chunked|ldg|temporal]\n      [--partition-file assignment.txt] [--start T] \
          [--deadline T] [--counts]\n  graphite \
-         gen <gplus|usrn|reddit|mag|twitter|webuk|skew|ldbc> <out.tg> [--scale N] [--seed N]"
+         gen <gplus|usrn|reddit|mag|twitter|webuk|skew|ldbc> <out.tg> [--scale N] [--seed \
+         N]\n  graphite serve <graph.tg> <batch.txt> [--in-flight N] [--max-pending N] \
+         [--cost-budget N] [--cache N]"
     );
     ExitCode::from(2)
 }
@@ -160,9 +176,25 @@ fn cmd_run(path: &str, flags: &Flags) -> ExitCode {
     }
     opts.digest = false;
     opts.trace = TraceConfig::from_env();
-    opts.partition = match flags.get("--partition") {
-        None => PartitionStrategy::from_env(),
-        Some(p) => match PartitionStrategy::parse(p) {
+    opts.partition = match (flags.get("--partition-file"), flags.get("--partition")) {
+        (Some(file), _) => {
+            let text = match std::fs::read_to_string(file) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read assignment file {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match ExplicitAssignment::parse(&text) {
+                Ok(table) => PartitionStrategy::explicit(table),
+                Err(e) => {
+                    eprintln!("malformed assignment file {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        (None, None) => PartitionStrategy::from_env(),
+        (None, Some(p)) => match PartitionStrategy::parse(p) {
             Some(s) => s,
             None => {
                 eprintln!("unknown partition strategy {p:?}");
@@ -171,7 +203,7 @@ fn cmd_run(path: &str, flags: &Flags) -> ExitCode {
         },
     };
 
-    match run(algo, platform, Arc::clone(&graph), None, &opts) {
+    match run(algo, platform, &graph, None, &opts) {
         Ok(outcome) => {
             let m = &outcome.metrics;
             m.trace
@@ -235,6 +267,104 @@ fn cmd_gen(profile: &str, out: &str, flags: &Flags) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Escapes a string into a JSON literal (the serve JSONL emitter).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn cmd_serve(path: &str, batch_path: &str, flags: &Flags) -> ExitCode {
+    let graph = match io::load(path) {
+        Ok(g) => Arc::new(g),
+        Err(e) => {
+            eprintln!("cannot load {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let batch_text = match std::fs::read_to_string(batch_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {batch_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let specs = match QuerySpec::parse_batch(&batch_text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{batch_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let defaults = ServeConfig::default();
+    let get_num = |name: &str, default: u64| {
+        flags
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let cfg = ServeConfig {
+        max_in_flight: get_num("--in-flight", defaults.max_in_flight as u64) as usize,
+        max_pending: get_num("--max-pending", defaults.max_pending as u64) as usize,
+        cost_budget: get_num("--cost-budget", defaults.cost_budget),
+        cache_capacity: get_num("--cache", defaults.cache_capacity as u64) as usize,
+    };
+    let engine = ServeEngine::new(graph, cfg);
+    let results = engine.serve_batch(&specs);
+    for (i, result) in results.iter().enumerate() {
+        let spec = &specs[i];
+        match result {
+            Ok(outcome) => {
+                let digest = outcome
+                    .digest
+                    .map_or_else(|| "null".to_string(), |d| format!("\"{:#018x}\"", d.0));
+                println!(
+                    "{{\"id\": {i}, \"algo\": \"{}\", \"platform\": \"{}\", \
+                     \"status\": \"ok\", \"digest\": {digest}, \"supersteps\": {}, \
+                     \"cached\": {}, \"micros\": {}}}",
+                    spec.algo.name(),
+                    spec.platform.name(),
+                    outcome.metrics.supersteps,
+                    outcome.cached,
+                    outcome.micros
+                );
+            }
+            Err(e) => {
+                let status = if matches!(e, graphite::bsp::error::BspError::Admission { .. }) {
+                    "rejected"
+                } else {
+                    "error"
+                };
+                println!(
+                    "{{\"id\": {i}, \"algo\": \"{}\", \"platform\": \"{}\", \
+                     \"status\": \"{status}\", \"error\": \"{}\"}}",
+                    spec.algo.name(),
+                    spec.platform.name(),
+                    json_escape(&e.to_string())
+                );
+            }
+        }
+    }
+    let stats = engine.stats();
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    let errored = results.len() - ok - stats.rejected as usize;
+    eprintln!(
+        "served {} queries: {ok} ok, {errored} errored, {} rejected, {} cache hits",
+        stats.submitted, stats.rejected, stats.cache_hits
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
@@ -242,6 +372,9 @@ fn main() -> ExitCode {
         [cmd, path, rest @ ..] if cmd == "run" => cmd_run(path, &Flags(rest.to_vec())),
         [cmd, profile, out, rest @ ..] if cmd == "gen" => {
             cmd_gen(profile, out, &Flags(rest.to_vec()))
+        }
+        [cmd, path, batch, rest @ ..] if cmd == "serve" => {
+            cmd_serve(path, batch, &Flags(rest.to_vec()))
         }
         _ => usage(),
     }

@@ -27,7 +27,7 @@
 //! let graph = Arc::new(transit_graph());
 //! let labels = AlgLabels::resolve(&graph);
 //! let program = Arc::new(IcmSssp { source: transit_ids::A, labels });
-//! let result = run_icm(graph, program, &IcmConfig::default());
+//! let result = run_icm(&graph, program, &IcmConfig::default());
 //! assert_eq!(result.state_at(transit_ids::E, 10), Some(&5));
 //! ```
 
@@ -40,6 +40,7 @@ pub use graphite_bsp as bsp;
 pub use graphite_datagen as datagen;
 pub use graphite_icm as icm;
 pub use graphite_part as part;
+pub use graphite_serve as serve;
 pub use graphite_tgraph as tgraph;
 
 /// The common imports for applications: graph building, the ICM engine,

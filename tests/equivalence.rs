@@ -62,9 +62,9 @@ fn ti_algorithms_agree_across_platforms_and_seeds() {
     for seed in [1u64, 2, 3] {
         let g = ti_graph(seed);
         for algo in [Algo::Bfs, Algo::Wcc, Algo::Scc, Algo::Pr] {
-            let icm = run(algo, Platform::Icm, Arc::clone(&g), None, &opts(3)).unwrap();
-            let msb = run(algo, Platform::Msb, Arc::clone(&g), None, &opts(3)).unwrap();
-            let chl = run(algo, Platform::Chlonos, Arc::clone(&g), None, &opts(3)).unwrap();
+            let icm = run(algo, Platform::Icm, &g, None, &opts(3)).unwrap();
+            let msb = run(algo, Platform::Msb, &g, None, &opts(3)).unwrap();
+            let chl = run(algo, Platform::Chlonos, &g, None, &opts(3)).unwrap();
             assert!(icm.digest.is_some());
             assert_eq!(icm.digest, msb.digest, "{algo:?} ICM vs MSB (seed {seed})");
             assert_eq!(msb.digest, chl.digest, "{algo:?} MSB vs CHL (seed {seed})");
@@ -76,8 +76,8 @@ fn ti_algorithms_agree_across_platforms_and_seeds() {
 fn sssp_agrees_between_icm_and_tgb() {
     for seed in [1u64, 2] {
         let g = td_graph(seed);
-        let icm = run(Algo::Sssp, Platform::Icm, Arc::clone(&g), None, &opts(3)).unwrap();
-        let tgb = run(Algo::Sssp, Platform::Tgb, Arc::clone(&g), None, &opts(3)).unwrap();
+        let icm = run(Algo::Sssp, Platform::Icm, &g, None, &opts(3)).unwrap();
+        let tgb = run(Algo::Sssp, Platform::Tgb, &g, None, &opts(3)).unwrap();
         assert!(icm.digest.is_some());
         assert_eq!(icm.digest, tgb.digest, "seed {seed}");
     }
@@ -88,8 +88,8 @@ fn clustering_agrees_between_icm_and_goffish() {
     for seed in [1u64, 2] {
         let g = td_graph(seed);
         for algo in [Algo::Lcc, Algo::Tc] {
-            let icm = run(algo, Platform::Icm, Arc::clone(&g), None, &opts(3)).unwrap();
-            let gof = run(algo, Platform::Goffish, Arc::clone(&g), None, &opts(3)).unwrap();
+            let icm = run(algo, Platform::Icm, &g, None, &opts(3)).unwrap();
+            let gof = run(algo, Platform::Goffish, &g, None, &opts(3)).unwrap();
             assert!(icm.digest.is_some());
             assert_eq!(icm.digest, gof.digest, "{algo:?} seed {seed}");
         }
@@ -100,8 +100,8 @@ fn clustering_agrees_between_icm_and_goffish() {
 fn results_are_invariant_to_worker_count() {
     let g = td_graph(5);
     for algo in [Algo::Bfs, Algo::Sssp, Algo::Tmst, Algo::Lcc] {
-        let d1 = run(algo, Platform::Icm, Arc::clone(&g), None, &opts(1)).unwrap();
-        let d4 = run(algo, Platform::Icm, Arc::clone(&g), None, &opts(4)).unwrap();
+        let d1 = run(algo, Platform::Icm, &g, None, &opts(1)).unwrap();
+        let d4 = run(algo, Platform::Icm, &g, None, &opts(4)).unwrap();
         assert_eq!(d1.digest, d4.digest, "{algo:?}");
         // Primitive counts are intrinsic to the model (Sec. VII-B1).
         assert_eq!(
@@ -119,13 +119,13 @@ fn results_are_invariant_to_worker_count() {
 fn icm_results_are_invariant_to_engine_optimizations() {
     let g = td_graph(9);
     for algo in [Algo::Sssp, Algo::Eat, Algo::Reach] {
-        let base = run(algo, Platform::Icm, Arc::clone(&g), None, &opts(2)).unwrap();
+        let base = run(algo, Platform::Icm, &g, None, &opts(2)).unwrap();
         let mut o = opts(2);
         o.combiner = false;
-        let no_combiner = run(algo, Platform::Icm, Arc::clone(&g), None, &o).unwrap();
+        let no_combiner = run(algo, Platform::Icm, &g, None, &o).unwrap();
         let mut o = opts(2);
         o.suppression = None;
-        let no_suppression = run(algo, Platform::Icm, Arc::clone(&g), None, &o).unwrap();
+        let no_suppression = run(algo, Platform::Icm, &g, None, &o).unwrap();
         assert_eq!(base.digest, no_combiner.digest, "{algo:?} combiner");
         assert_eq!(base.digest, no_suppression.digest, "{algo:?} suppression");
     }

@@ -40,8 +40,8 @@ fn msb_and_chlonos_have_identical_compute_calls() {
     for lifespans in [LifespanModel::Unit, LifespanModel::Geometric { mean: 8.0 }] {
         let g = graph(lifespans, 11);
         for algo in [Algo::Bfs, Algo::Wcc, Algo::Pr] {
-            let msb = run(algo, Platform::Msb, Arc::clone(&g), None, &opts()).unwrap();
-            let chl = run(algo, Platform::Chlonos, Arc::clone(&g), None, &opts()).unwrap();
+            let msb = run(algo, Platform::Msb, &g, None, &opts()).unwrap();
+            let chl = run(algo, Platform::Chlonos, &g, None, &opts()).unwrap();
             assert_eq!(
                 msb.metrics.counters.compute_calls, chl.metrics.counters.compute_calls,
                 "{algo:?}"
@@ -61,8 +61,8 @@ fn msb_and_chlonos_have_identical_compute_calls() {
 fn unit_lifespans_equalize_message_counts() {
     let g = graph(LifespanModel::Unit, 17);
     for algo in [Algo::Bfs, Algo::Wcc] {
-        let icm = run(algo, Platform::Icm, Arc::clone(&g), None, &opts()).unwrap();
-        let msb = run(algo, Platform::Msb, Arc::clone(&g), None, &opts()).unwrap();
+        let icm = run(algo, Platform::Icm, &g, None, &opts()).unwrap();
+        let msb = run(algo, Platform::Msb, &g, None, &opts()).unwrap();
         assert_eq!(
             icm.metrics.counters.messages_sent, msb.metrics.counters.messages_sent,
             "{algo:?}"
@@ -77,8 +77,8 @@ fn unit_lifespans_equalize_message_counts() {
 fn long_lifespans_let_icm_share_compute_and_messages() {
     let g = graph(LifespanModel::Geometric { mean: 10.0 }, 23);
     for algo in [Algo::Bfs, Algo::Wcc, Algo::Pr] {
-        let icm = run(algo, Platform::Icm, Arc::clone(&g), None, &opts()).unwrap();
-        let msb = run(algo, Platform::Msb, Arc::clone(&g), None, &opts()).unwrap();
+        let icm = run(algo, Platform::Icm, &g, None, &opts()).unwrap();
+        let msb = run(algo, Platform::Msb, &g, None, &opts()).unwrap();
         // The sharing factor depends on how much the algorithm fragments
         // vertex states (BFS barely fragments; WCC's label propagation
         // splits more), but ICM is strictly cheaper on both axes.
@@ -94,8 +94,8 @@ fn long_lifespans_let_icm_share_compute_and_messages() {
         );
     }
     // BFS keeps maximal intervals: the sharing factor is large.
-    let icm = run(Algo::Bfs, Platform::Icm, Arc::clone(&g), None, &opts()).unwrap();
-    let msb = run(Algo::Bfs, Platform::Msb, Arc::clone(&g), None, &opts()).unwrap();
+    let icm = run(Algo::Bfs, Platform::Icm, &g, None, &opts()).unwrap();
+    let msb = run(Algo::Bfs, Platform::Msb, &g, None, &opts()).unwrap();
     assert!(2 * icm.metrics.counters.compute_calls < msb.metrics.counters.compute_calls);
 }
 
@@ -105,8 +105,8 @@ fn long_lifespans_let_icm_share_compute_and_messages() {
 #[test]
 fn tgb_pays_replica_traffic_on_long_lifespans() {
     let g = graph(LifespanModel::Geometric { mean: 10.0 }, 29);
-    let icm = run(Algo::Sssp, Platform::Icm, Arc::clone(&g), None, &opts()).unwrap();
-    let tgb = run(Algo::Sssp, Platform::Tgb, Arc::clone(&g), None, &opts()).unwrap();
+    let icm = run(Algo::Sssp, Platform::Icm, &g, None, &opts()).unwrap();
+    let tgb = run(Algo::Sssp, Platform::Tgb, &g, None, &opts()).unwrap();
     assert!(icm.metrics.counters.messages_sent < tgb.metrics.counters.messages_sent);
     assert!(icm.metrics.counters.compute_calls < tgb.metrics.counters.compute_calls);
 }
@@ -116,13 +116,13 @@ fn tgb_pays_replica_traffic_on_long_lifespans() {
 #[test]
 fn suppression_engages_on_unit_lifespans_only() {
     let unit = graph(LifespanModel::Unit, 31);
-    let icm = run(Algo::Bfs, Platform::Icm, Arc::clone(&unit), None, &opts()).unwrap();
+    let icm = run(Algo::Bfs, Platform::Icm, &unit, None, &opts()).unwrap();
     assert!(
         icm.metrics.counters.warp_suppressions > 0,
         "unit graph should suppress"
     );
     let long = graph(LifespanModel::Geometric { mean: 10.0 }, 31);
-    let icm = run(Algo::Bfs, Platform::Icm, Arc::clone(&long), None, &opts()).unwrap();
+    let icm = run(Algo::Bfs, Platform::Icm, &long, None, &opts()).unwrap();
     assert!(icm.metrics.counters.warp_invocations > icm.metrics.counters.warp_suppressions);
 }
 
@@ -131,7 +131,7 @@ fn suppression_engages_on_unit_lifespans_only() {
 #[test]
 fn wire_bytes_stay_below_fixed_encoding() {
     let g = graph(LifespanModel::Geometric { mean: 8.0 }, 37);
-    let icm = run(Algo::Sssp, Platform::Icm, Arc::clone(&g), None, &opts()).unwrap();
+    let icm = run(Algo::Sssp, Platform::Icm, &g, None, &opts()).unwrap();
     let c = &icm.metrics.counters;
     if c.remote_messages > 0 {
         let bytes_per_msg = c.bytes_sent as f64 / c.remote_messages as f64;

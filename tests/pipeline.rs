@@ -32,8 +32,8 @@ fn save_load_round_trip_preserves_results() {
         ..Default::default()
     };
     for algo in [Algo::Bfs, Algo::Wcc, Algo::Sssp, Algo::Tc] {
-        let a = run(algo, Platform::Icm, Arc::clone(&g), None, &opts).unwrap();
-        let b = run(algo, Platform::Icm, Arc::clone(&reloaded), None, &opts).unwrap();
+        let a = run(algo, Platform::Icm, &g, None, &opts).unwrap();
+        let b = run(algo, Platform::Icm, &reloaded, None, &opts).unwrap();
         assert_eq!(a.digest, b.digest, "{algo:?}");
         assert_eq!(
             a.metrics.counters.compute_calls, b.metrics.counters.compute_calls,
@@ -78,7 +78,7 @@ fn worker_panics_propagate() {
 
     let result = std::panic::catch_unwind(|| {
         run_icm(
-            Arc::new(transit_graph()),
+            &Arc::new(transit_graph()),
             Arc::new(Bomb),
             &IcmConfig::default(),
         )
