@@ -174,6 +174,13 @@ pub struct RunOpts {
     pub pr_iterations: u64,
     /// Superstep safety cap.
     pub max_supersteps: u64,
+    /// Optional per-query execution budget below the safety cap, forwarded
+    /// to the ICM engine config and the TGB runner's inner VCM config
+    /// (like [`RunOpts::fault_plan`], wrapper platforms do not thread it).
+    /// Exhausting it is the typed
+    /// [`graphite_bsp::error::BspError::BudgetExceeded`] — the serving
+    /// layer derives this from its admission cost model (DESIGN.md §15).
+    pub superstep_budget: Option<u64>,
     /// Compute the result digest (costs per-point expansion).
     pub digest: bool,
     /// Let MSB/Chlonos reuse a single snapshot on fully static topologies
@@ -217,6 +224,7 @@ impl Default for RunOpts {
             suppression: Some(0.7),
             pr_iterations: pagerank::DEFAULT_ITERATIONS,
             max_supersteps: 100_000,
+            superstep_budget: None,
             digest: true,
             static_topology_reuse: true,
             trace: TraceConfig::default(),
@@ -413,6 +421,7 @@ pub fn try_run(
         combiner: opts.combiner,
         suppression_threshold: opts.suppression,
         max_supersteps: opts.max_supersteps,
+        superstep_budget: opts.superstep_budget,
         keep_per_step_timing: false,
         perturb_schedule: opts.perturb_schedule,
         trace: opts.trace,
@@ -449,6 +458,7 @@ pub fn try_run(
     let vcm_cfg = |need_in: bool| VcmConfig {
         workers: opts.workers,
         max_supersteps: opts.max_supersteps,
+        superstep_budget: opts.superstep_budget,
         need_in_edges: need_in,
         keep_per_step_timing: false,
         perturb_schedule: opts.perturb_schedule,

@@ -6,8 +6,9 @@
 //!
 //! * **`graphite-trace/1`** — `bsp::trace` writes the JSONL event
 //!   fields; `TraceSink::add`/`timed` callers (the ICM warp extras in
-//!   `icm::engine`) write the per-step `extras` keys; `bench::tracefmt`
-//!   parses both.
+//!   `icm::engine`, the serving-layer health extras in
+//!   `serve::faultdom`) write the per-step `extras` keys;
+//!   `bench::tracefmt` parses both.
 //! * **`BENCH_*.json`** — `bench::Recorder` (and the partition bench's
 //!   extra counters) write result/counter fields; `bench_validate` and
 //!   the `Recorder` baseline loader read them.
@@ -38,7 +39,8 @@ pub fn check(models: &[&FileModel], out: &mut Vec<Violation>) {
     let any = |pred: &dyn Fn(&str) -> bool| norm.iter().any(|p| pred(p));
 
     // trace extras: sink.add/timed keys vs. tracefmt's extras reads.
-    let is_extras_producer = |p: &str| p.contains("bsp/src/") || p.contains("icm/src/");
+    let is_extras_producer =
+        |p: &str| p.contains("bsp/src/") || p.contains("icm/src/") || p.contains("serve/src/");
     let is_tracefmt = |p: &str| p.ends_with("tracefmt.rs");
     if any(&is_extras_producer) && any(&is_tracefmt) {
         let mut producers = Vec::new();

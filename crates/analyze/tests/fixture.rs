@@ -171,12 +171,14 @@ fn seeded_drift_in_the_real_trace_producer_is_caught() {
     let read = |rel: &str| std::fs::read_to_string(root.join(rel)).expect(rel);
     let trace = read("crates/bsp/src/trace.rs");
     let icm = read("crates/icm/src/engine.rs");
+    let serve = read("crates/serve/src/faultdom.rs");
     let fmt = read("crates/bench/src/tracefmt.rs");
 
     let mirror = |trace_src: &str| {
         schema::check_sources(&[
             (Path::new("crates/bsp/src/trace.rs"), trace_src),
             (Path::new("crates/icm/src/engine.rs"), &icm),
+            (Path::new("crates/serve/src/faultdom.rs"), &serve),
             (Path::new("crates/bench/src/tracefmt.rs"), &fmt),
         ])
     };

@@ -168,6 +168,10 @@ pub struct VcmConfig {
     pub workers: usize,
     /// Safety cap on supersteps.
     pub max_supersteps: u64,
+    /// Forwarded to [`BspConfig::superstep_budget`]: an optional per-query
+    /// execution budget below the safety cap (serving-layer fault domain,
+    /// DESIGN.md §15).
+    pub superstep_budget: Option<u64>,
     /// Also materialize in-edges for the user logic.
     pub need_in_edges: bool,
     /// Record per-superstep timing.
@@ -194,6 +198,7 @@ impl Default for VcmConfig {
         VcmConfig {
             workers: 4,
             max_supersteps: 100_000,
+            superstep_budget: None,
             need_in_edges: false,
             keep_per_step_timing: false,
             perturb_schedule: None,
@@ -514,6 +519,7 @@ fn build_workers<T: VcmTopology, P: VcmProgram>(
 fn bsp_config(config: &VcmConfig) -> BspConfig {
     BspConfig {
         max_supersteps: config.max_supersteps,
+        superstep_budget: config.superstep_budget,
         keep_per_step_timing: config.keep_per_step_timing,
         perturb_schedule: config.perturb_schedule,
         trace: config.trace,

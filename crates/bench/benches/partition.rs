@@ -56,6 +56,7 @@ fn cfg(strategy: PartitionStrategy) -> IcmConfig {
         combiner: true,
         suppression_threshold: Some(0.7),
         max_supersteps: 10_000,
+        superstep_budget: None,
         keep_per_step_timing: false,
         perturb_schedule: None,
         trace: graphite_bsp::trace::TraceConfig::default(),

@@ -22,10 +22,13 @@
 use graphite_algorithms::registry::{self, Algo, Platform};
 use graphite_bench::record::Recorder;
 use graphite_bench::timing::bench;
+use graphite_bsp::fault::FaultPlan;
 use graphite_bsp::metrics::RunMetrics;
+use graphite_bsp::recover::RecoveryConfig;
 use graphite_datagen::{generate, GenParams, LifespanModel, PropModel, Topology};
 use graphite_serve::{QuerySpec, ServeConfig, ServeEngine, ServeStats};
 use graphite_tgraph::graph::{TemporalGraph, VertexId};
+use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -171,6 +174,80 @@ fn main() {
             ("accepted", last_stats.accepted),
             ("rejected", last_stats.rejected),
             ("cache_hits", last_stats.cache_hits),
+            ("queries_per_sec_milli", qps_milli(n, result.mean_ns)),
+            ("mean_latency_micros", last_micros / n as u64),
+        ];
+        rec.push_with_metrics_and(result, &merged(last_metrics.drain(..)), extras);
+    }
+
+    // Fault-domain rows: the same mix at four in flight, with 0%, 5%
+    // (1 of 12) and 15% (2 of 12) of queries carrying seeded transient
+    // fault plans plus checkpoint-every-2 recovery. `serve/faults0` is
+    // the clean baseline for the validator's 0.7x throughput gate;
+    // `digest_mismatches` counts recovered queries whose result digest
+    // drifted from the clean solo pin — recovery that changes answers
+    // is not recovery, so the validator requires it present and zero.
+    let pins: BTreeMap<u64, u64> = queries
+        .iter()
+        .map(|spec| {
+            let digest = registry::run(spec.algo, spec.platform, &graph, None, &spec.to_opts())
+                .expect("clean pin run succeeds")
+                .digest
+                .expect("digests always computed")
+                .0;
+            (spec.params_digest(), digest)
+        })
+        .collect();
+    // Faulted slots are spread through the mix so recovery overlaps
+    // clean traffic; seeds differ per slot so the plans do too.
+    let fault_slots: [(usize, u64); 2] = [(2, 11), (7, 23)];
+    for (rate, faulted) in [(0u32, 0usize), (5, 1), (15, 2)] {
+        let mut mix = queries.clone();
+        for &(slot, seed) in &fault_slots[..faulted] {
+            let spec = &mut mix[slot];
+            spec.fault_plan = Some(FaultPlan::seeded(seed, spec.workers, 6, 2));
+            spec.recovery = Some(RecoveryConfig::every(2));
+        }
+        let mut last_metrics = Vec::new();
+        let mut last_stats = ServeStats::default();
+        let mut last_micros = 0u64;
+        let mut last_mismatches = 0u64;
+        let result = bench(&format!("serve/faults{rate}"), || {
+            let engine = ServeEngine::new(
+                Arc::clone(&graph),
+                ServeConfig {
+                    max_in_flight: 4,
+                    ..ServeConfig::default()
+                },
+            );
+            let outcomes = engine.serve_batch(&mix);
+            last_metrics.clear();
+            last_micros = 0;
+            last_mismatches = 0;
+            for (spec, outcome) in mix.iter().zip(outcomes) {
+                let outcome = outcome.expect("faulted query recovers");
+                let digest = outcome.digest.expect("digests always computed").0;
+                if digest != pins[&spec.params_digest()] {
+                    last_mismatches += 1;
+                }
+                last_micros += outcome.micros;
+                last_metrics.push(outcome.metrics.clone());
+                black_box(digest);
+            }
+            last_stats = engine.stats();
+        });
+        let extras = vec![
+            ("queries", n as u64),
+            ("accepted", last_stats.accepted),
+            ("rejected", last_stats.rejected),
+            ("cache_hits", last_stats.cache_hits),
+            ("retries", last_stats.retries),
+            ("recovered", last_stats.recovered),
+            ("shed", last_stats.shed),
+            ("quarantined", last_stats.quarantined),
+            ("budget_exceeded", last_stats.budget_exceeded),
+            ("failed", last_stats.failed),
+            ("digest_mismatches", last_mismatches),
             ("queries_per_sec_milli", qps_milli(n, result.mean_ns)),
             ("mean_latency_micros", last_micros / n as u64),
         ];

@@ -16,7 +16,7 @@ use std::process::ExitCode;
 /// report's quality extras. A key outside this list means the producer
 /// and this validator have drifted apart — fail loudly instead of
 /// silently ignoring a metric nobody will ever look at.
-const KNOWN_COUNTERS: [&str; 23] = [
+const KNOWN_COUNTERS: [&str; 30] = [
     "supersteps",
     "compute_calls",
     "scatter_calls",
@@ -40,6 +40,13 @@ const KNOWN_COUNTERS: [&str; 23] = [
     "cache_hits",
     "queries_per_sec_milli",
     "mean_latency_micros",
+    "retries",
+    "recovered",
+    "shed",
+    "quarantined",
+    "budget_exceeded",
+    "failed",
+    "digest_mismatches",
 ];
 
 /// All problems found in one recorded file.
@@ -207,6 +214,44 @@ fn serve_problems(results: &[Json]) -> Vec<String> {
         ),
         None => {} // missing row already reported above
     }
+    // Fault-domain gate: under a 5% injected-fault rate the engine must
+    // keep at least 70% of its clean throughput, and every recovered
+    // query must still produce the clean run's digest. A recording that
+    // recovers fast by returning wrong answers is worse than one that
+    // fails — `digest_mismatches` must be present and zero on every
+    // fault row.
+    match (
+        counter("serve/faults0", "queries_per_sec_milli"),
+        counter("serve/faults5", "queries_per_sec_milli"),
+    ) {
+        (Some(Some(clean)), Some(Some(faulted))) => {
+            if clean <= 0.0 || faulted < 0.7 * clean {
+                out.push(format!(
+                    "serve: faults5 queries_per_sec_milli {faulted} is below 0.7x \
+                     clean faults0's {clean} (fault recovery too expensive)"
+                ));
+            }
+        }
+        (Some(None), _) | (_, Some(None)) => out.push(
+            "serve: serve/faults0 or serve/faults5 row carries no \
+             queries_per_sec_milli counter"
+                .to_string(),
+        ),
+        _ => out.push("serve: missing serve/faults0 and/or serve/faults5 rows".to_string()),
+    }
+    for label in ["serve/faults0", "serve/faults5", "serve/faults15"] {
+        match counter(label, "digest_mismatches") {
+            Some(Some(0.0)) => {}
+            Some(Some(n)) => out.push(format!(
+                "serve: {label} recorded {n} digest mismatch(es) — recovered \
+                 queries must be bit-identical to clean runs"
+            )),
+            Some(None) => out.push(format!(
+                "serve: {label} row carries no digest_mismatches counter"
+            )),
+            None => {} // faults15 is optional depth; faults0/faults5 absence reported above
+        }
+    }
     out
 }
 
@@ -322,6 +367,18 @@ mod tests {
                                "queries": 12}}}}"#
             )
         };
+        let fault_row = |label: &str, qps: u64, mismatches: u64| {
+            format!(
+                r#"{{"label": "{label}", "mean_ns": 10, "best_ns": 9, "iters": 5,
+                 "counters": {{"queries_per_sec_milli": {qps}, "queries": 12,
+                               "digest_mismatches": {mismatches}}}}}"#
+            )
+        };
+        let fault_rows = format!(
+            "{}, {}",
+            fault_row("serve/faults0", 200_000, 0),
+            fault_row("serve/faults5", 180_000, 0)
+        );
         let doc = |rows: &str| {
             Json::parse(&format!(
                 r#"{{"schema": "graphite-bench/1", "name": "serve", "results": [{rows}]}}"#
@@ -330,14 +387,14 @@ mod tests {
         };
         // inflight4 at >= 2x sequential throughput, with cache traffic: valid.
         let good = format!(
-            "{}, {}",
+            "{}, {}, {fault_rows}",
             row("serve/sequential", 80_000, 0),
             row("serve/inflight4", 280_000, 8)
         );
         assert!(problems(&doc(&good)).is_empty());
         // Below the 2x ratio: rejected.
         let slow = format!(
-            "{}, {}",
+            "{}, {}, {fault_rows}",
             row("serve/sequential", 80_000, 0),
             row("serve/inflight4", 120_000, 8)
         );
@@ -346,7 +403,7 @@ mod tests {
             .any(|e| e.contains("not >= 2x")));
         // A cold cache cannot substantiate the serving claim: rejected.
         let cold = format!(
-            "{}, {}",
+            "{}, {}, {fault_rows}",
             row("serve/sequential", 80_000, 0),
             row("serve/inflight4", 280_000, 0)
         );
@@ -358,6 +415,62 @@ mod tests {
         assert!(problems(&doc(&partial))
             .iter()
             .any(|e| e.contains("missing serve/sequential and/or serve/inflight4")));
+    }
+
+    #[test]
+    fn serve_reports_must_prove_the_fault_tolerance_claim() {
+        let fault_row = |label: &str, qps: u64, mismatches: u64| {
+            format!(
+                r#"{{"label": "{label}", "mean_ns": 10, "best_ns": 9, "iters": 5,
+                 "counters": {{"queries_per_sec_milli": {qps}, "queries": 12,
+                               "digest_mismatches": {mismatches}}}}}"#
+            )
+        };
+        let throughput_rows = r#"{"label": "serve/sequential", "mean_ns": 10, "best_ns": 9,
+                "iters": 5, "counters": {"queries_per_sec_milli": 80000, "cache_hits": 0}},
+               {"label": "serve/inflight4", "mean_ns": 10, "best_ns": 9, "iters": 5,
+                "counters": {"queries_per_sec_milli": 280000, "cache_hits": 8}}"#;
+        let doc = |fault_rows: &str| {
+            Json::parse(&format!(
+                r#"{{"schema": "graphite-bench/1", "name": "serve",
+                     "results": [{throughput_rows}, {fault_rows}]}}"#
+            ))
+            .expect("parses")
+        };
+        // 5%-fault throughput within 0.7x of clean, no mismatches: valid.
+        let good = format!(
+            "{}, {}, {}",
+            fault_row("serve/faults0", 200_000, 0),
+            fault_row("serve/faults5", 150_000, 0),
+            fault_row("serve/faults15", 90_000, 0)
+        );
+        assert!(
+            problems(&doc(&good)).is_empty(),
+            "{:?}",
+            problems(&doc(&good))
+        );
+        // Recovery costing more than 30% of clean throughput: rejected.
+        let slow = format!(
+            "{}, {}",
+            fault_row("serve/faults0", 200_000, 0),
+            fault_row("serve/faults5", 120_000, 0)
+        );
+        assert!(problems(&doc(&slow))
+            .iter()
+            .any(|e| e.contains("below 0.7x")));
+        // A recovered query that drifted from the clean digest: rejected.
+        let wrong = format!(
+            "{}, {}",
+            fault_row("serve/faults0", 200_000, 0),
+            fault_row("serve/faults5", 190_000, 1)
+        );
+        assert!(problems(&doc(&wrong))
+            .iter()
+            .any(|e| e.contains("digest mismatch")));
+        // Missing the fault rows entirely: rejected.
+        assert!(problems(&doc(&fault_row("serve/faults0", 200_000, 0)))
+            .iter()
+            .any(|e| e.contains("missing serve/faults0 and/or serve/faults5")));
     }
 
     #[test]

@@ -130,6 +130,25 @@ pub enum Entry {
     Marker(Marker),
 }
 
+/// Serving-layer fault-domain counters, carried as `serve_*` extras on
+/// the health row `graphite serve` appends to the stream (DESIGN.md
+/// §15). All zero when the stream has no serving-layer events.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeHealthRow {
+    /// Serve-level retry attempts after transient failures.
+    pub retries: u64,
+    /// Queries that succeeded on a retry attempt.
+    pub recovered: u64,
+    /// Queries shed at the pending-depth watermark.
+    pub sheds: u64,
+    /// Submissions fast-failed by the quarantine table.
+    pub quarantined: u64,
+    /// Queries terminated by their superstep budget.
+    pub budget_exceeded: u64,
+    /// Queries that terminally failed.
+    pub failed: u64,
+}
+
 /// A parsed `graphite-trace/1` stream.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct TraceDoc {
@@ -137,6 +156,8 @@ pub struct TraceDoc {
     pub label: String,
     /// Steps and markers in stream order.
     pub entries: Vec<Entry>,
+    /// Serving-layer health counters summed over the stream's rows.
+    pub serve: ServeHealthRow,
 }
 
 impl TraceDoc {
@@ -194,6 +215,7 @@ pub fn parse(text: &str) -> Result<TraceDoc, String> {
     let mut doc = TraceDoc {
         label,
         entries: Vec::new(),
+        serve: ServeHealthRow::default(),
     };
     let mut pending: Vec<WorkerRow> = Vec::new();
     for (i, line) in lines {
@@ -219,6 +241,15 @@ pub fn parse(text: &str) -> Result<TraceDoc, String> {
                     row.warp_tuples = get_u64(extras, "warp_tuples", n).unwrap_or(0);
                     row.warp_group_msgs = get_u64(extras, "warp_group_msgs", n).unwrap_or(0);
                     row.warp_ns = get_u64(extras, "warp_ns", n).unwrap_or(0);
+                    // Serving-layer health counters ride the same extras
+                    // slot on the health row `graphite serve` appends.
+                    doc.serve.retries += get_u64(extras, "serve_retries", n).unwrap_or(0);
+                    doc.serve.recovered += get_u64(extras, "serve_recovered", n).unwrap_or(0);
+                    doc.serve.sheds += get_u64(extras, "serve_sheds", n).unwrap_or(0);
+                    doc.serve.quarantined += get_u64(extras, "serve_quarantined", n).unwrap_or(0);
+                    doc.serve.budget_exceeded +=
+                        get_u64(extras, "serve_budget_exceeded", n).unwrap_or(0);
+                    doc.serve.failed += get_u64(extras, "serve_failed", n).unwrap_or(0);
                 }
                 pending.push(row);
             }
@@ -545,6 +576,38 @@ mod tests {
                 bytes: 128
             })
         ));
+    }
+
+    #[test]
+    fn serve_health_extras_accumulate_on_the_doc() {
+        let stream = concat!(
+            "{\"schema\":\"graphite-trace/1\",\"label\":\"serve/health\"}\n",
+            "{\"ev\":\"worker_step\",\"step\":0,\"worker\":0,\"active\":0,\"msgs_in\":0,",
+            "\"compute_calls\":0,\"scatter_calls\":0,\"msgs_out\":0,\"remote_msgs\":0,",
+            "\"bytes_out\":0,\"warp_invocations\":0,\"warp_suppressions\":0,",
+            "\"compute_ns\":0,\"extras\":{\"serve_retries\":1,\"serve_recovered\":2,",
+            "\"serve_sheds\":3,\"serve_quarantined\":4,\"serve_budget_exceeded\":5,",
+            "\"serve_failed\":6}}\n",
+            "{\"ev\":\"step_end\",\"step\":0,\"sent\":0,\"halted\":true,",
+            "\"compute_ns\":0,\"messaging_ns\":0,\"barrier_ns\":0}\n",
+        );
+        let doc = parse(stream).expect("health stream parses");
+        assert_eq!(
+            doc.serve,
+            ServeHealthRow {
+                retries: 1,
+                recovered: 2,
+                sheds: 3,
+                quarantined: 4,
+                budget_exceeded: 5,
+                failed: 6,
+            }
+        );
+        // Streams with no serving-layer rows stay all-zero.
+        assert_eq!(
+            parse(SAMPLE).expect("sample parses").serve,
+            ServeHealthRow::default()
+        );
     }
 
     #[test]

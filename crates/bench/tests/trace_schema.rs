@@ -49,6 +49,7 @@ fn full_trace_cfg() -> IcmConfig {
         combiner: true,
         suppression_threshold: Some(0.7),
         max_supersteps: 10_000,
+        superstep_budget: None,
         keep_per_step_timing: false,
         perturb_schedule: None,
         trace: TraceConfig::full(),

@@ -48,6 +48,14 @@ pub struct BspConfig {
     /// as [`BspError::SuperstepLimit`] (non-convergence is an error, not a
     /// silently truncated result).
     pub max_supersteps: u64,
+    /// Optional per-query execution budget, enforced cooperatively at the
+    /// BSP barrier exactly like `max_supersteps` but surfaced as the
+    /// distinct [`BspError::BudgetExceeded`]. The serving layer derives
+    /// this from its admission cost model (DESIGN.md §15) so a runaway
+    /// query releases its executor slot deterministically — no wall
+    /// clock is involved. `None` (the default) enforces nothing beyond
+    /// `max_supersteps`.
+    pub superstep_budget: Option<u64>,
     /// Record per-superstep timing splits in the metrics.
     pub keep_per_step_timing: bool,
     /// When `Some(seed)`, deterministically permutes — per superstep — the
@@ -81,6 +89,7 @@ impl Default for BspConfig {
     fn default() -> Self {
         BspConfig {
             max_supersteps: Self::DEFAULT_MAX_SUPERSTEPS,
+            superstep_budget: None,
             keep_per_step_timing: false,
             perturb_schedule: None,
             fault_plan: None,
@@ -667,7 +676,8 @@ impl<L: WorkerLogic> RunState<L> {
     /// # Errors
     ///
     /// Propagates superstep failures; exhausting `config.max_supersteps`
-    /// without halting is [`BspError::SuperstepLimit`].
+    /// without halting is [`BspError::SuperstepLimit`]; exhausting an
+    /// explicit `config.superstep_budget` is [`BspError::BudgetExceeded`].
     pub(crate) fn drive(
         &mut self,
         config: &BspConfig,
@@ -679,6 +689,11 @@ impl<L: WorkerLogic> RunState<L> {
                 return Err(BspError::SuperstepLimit {
                     limit: config.max_supersteps,
                 });
+            }
+            if let Some(budget) = config.superstep_budget {
+                if self.step >= budget {
+                    return Err(BspError::BudgetExceeded { budget });
+                }
             }
             self.superstep(config, master, injector)?;
         }

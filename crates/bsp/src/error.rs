@@ -89,6 +89,36 @@ pub enum BspError {
         /// Every recoverable error observed, in order of occurrence.
         history: Vec<BspError>,
     },
+    /// The query's deterministic execution budget — a superstep ceiling
+    /// derived from the serving layer's admission cost model (or set
+    /// explicitly in the batch spec) — was exhausted at the barrier. The
+    /// partial state is discarded; the executor slot is released. Unlike
+    /// [`BspError::SuperstepLimit`] (an engine-wide convergence cap),
+    /// this is a per-query serving policy and deliberately small.
+    BudgetExceeded {
+        /// The superstep budget that was exhausted.
+        budget: u64,
+    },
+    /// The serving layer fast-failed this query without executing it:
+    /// its parameter digest is quarantined after repeated terminal
+    /// failures (DESIGN.md §15). Quarantine decays deterministically, so
+    /// resubmission eventually executes again.
+    Quarantined {
+        /// Quarantine key (params digest folded with the fault plan).
+        digest: u64,
+        /// Terminal failures observed before quarantine engaged.
+        failures: u64,
+    },
+    /// The serving layer shed this queued query to relieve overload:
+    /// pending depth crossed the configured watermark and this query was
+    /// among the cheapest-oldest queued (never-executing) work. The query
+    /// was *never executed* — resubmit when the backlog drains.
+    Shed {
+        /// Queue occupancy (queued + in-flight) when the shed fired.
+        occupancy: usize,
+        /// The pending-depth watermark that was crossed.
+        watermark: usize,
+    },
 }
 
 impl BspError {
@@ -102,6 +132,54 @@ impl BspError {
             self,
             BspError::WorkerPanicked { .. } | BspError::Codec { .. }
         )
+    }
+
+    /// Whether the *serving* retry layer may re-run a query that ended in
+    /// this error (DESIGN.md §15). Transient means "an identical query
+    /// could plausibly succeed on another attempt with an escalated
+    /// recovery budget": execution faults (panics, wire corruption), an
+    /// exhausted inner recovery budget, and checkpoint-store failures.
+    /// Everything else — bad configuration, non-convergence, budget,
+    /// admission, shed, quarantine — is deterministic policy and retrying
+    /// would burn workers for the same answer.
+    ///
+    /// The match is deliberately exhaustive (no `_` arm): adding a
+    /// variant forces a classification decision here.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            BspError::WorkerPanicked { .. }
+            | BspError::Codec { .. }
+            | BspError::Checkpoint { .. }
+            | BspError::RecoveryExhausted { .. } => true,
+            BspError::Config { .. }
+            | BspError::WorkerMismatch { .. }
+            | BspError::SuperstepLimit { .. }
+            | BspError::Admission { .. }
+            | BspError::BudgetExceeded { .. }
+            | BspError::Quarantined { .. }
+            | BspError::Shed { .. } => false,
+        }
+    }
+
+    /// Stable machine-readable tag for this variant, used by the
+    /// `graphite serve` JSONL error rows. Exhaustive for the same reason
+    /// as [`BspError::is_transient`].
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BspError::WorkerPanicked { .. } => "worker_panicked",
+            BspError::Codec { .. } => "codec",
+            BspError::Config { .. } => "config",
+            BspError::WorkerMismatch { .. } => "worker_mismatch",
+            BspError::SuperstepLimit { .. } => "superstep_limit",
+            BspError::Checkpoint { .. } => "checkpoint",
+            BspError::Admission { .. } => "admission",
+            BspError::RecoveryExhausted { .. } => "recovery_exhausted",
+            BspError::BudgetExceeded { .. } => "budget_exceeded",
+            BspError::Quarantined { .. } => "quarantined",
+            BspError::Shed { .. } => "shed",
+        }
     }
 }
 
@@ -169,6 +247,26 @@ impl fmt::Display for BspError {
                     history.len()
                 )
             }
+            BspError::BudgetExceeded { budget } => {
+                write!(f, "query exceeded its superstep budget of {budget}")
+            }
+            BspError::Quarantined { digest, failures } => {
+                write!(
+                    f,
+                    "query {digest:#018x} is quarantined after {failures} \
+                     terminal failure(s); resubmit after decay"
+                )
+            }
+            BspError::Shed {
+                occupancy,
+                watermark,
+            } => {
+                write!(
+                    f,
+                    "query shed under load: pending depth {occupancy} crossed \
+                     the shed watermark {watermark}"
+                )
+            }
         }
     }
 }
@@ -223,6 +321,18 @@ mod tests {
             history: vec![l],
         };
         assert!(r.to_string().contains('3') && r.to_string().contains("42"));
+        let b = BspError::BudgetExceeded { budget: 17 };
+        assert!(b.to_string().contains("17") && b.to_string().contains("budget"));
+        let q = BspError::Quarantined {
+            digest: 0xABCD,
+            failures: 4,
+        };
+        assert!(q.to_string().contains("quarantined") && q.to_string().contains('4'));
+        let sh = BspError::Shed {
+            occupancy: 9,
+            watermark: 8,
+        };
+        assert!(sh.to_string().contains('9') && sh.to_string().contains('8'));
     }
 
     #[test]
@@ -252,5 +362,21 @@ mod tests {
             occupancy: 0,
         }
         .is_recoverable());
+        // The new serving-policy outcomes are neither recoverable (no
+        // rollback helps) nor transient (retrying reproduces them).
+        for e in [
+            BspError::BudgetExceeded { budget: 1 },
+            BspError::Quarantined {
+                digest: 1,
+                failures: 1,
+            },
+            BspError::Shed {
+                occupancy: 2,
+                watermark: 1,
+            },
+        ] {
+            assert!(!e.is_recoverable(), "{e}");
+            assert!(!e.is_transient(), "{e}");
+        }
     }
 }

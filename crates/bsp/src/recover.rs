@@ -84,8 +84,8 @@ impl RecoveryConfig {
 /// # Errors
 ///
 /// Non-recoverable failures ([`BspError::WorkerMismatch`],
-/// [`BspError::SuperstepLimit`], [`BspError::Checkpoint`]) propagate
-/// immediately. Recoverable faults trigger rollback; once
+/// [`BspError::SuperstepLimit`], [`BspError::BudgetExceeded`],
+/// [`BspError::Checkpoint`]) propagate immediately. Recoverable faults trigger rollback; once
 /// `recovery.max_attempts` rollbacks are spent, the driver returns
 /// [`BspError::RecoveryExhausted`] with the full fault history.
 pub fn run_bsp_recoverable<L: WorkerLogic + Snapshot>(
@@ -118,6 +118,11 @@ pub fn run_bsp_recoverable<L: WorkerLogic + Snapshot>(
             return Err(BspError::SuperstepLimit {
                 limit: config.max_supersteps,
             });
+        }
+        if let Some(budget) = config.superstep_budget {
+            if state.step >= budget {
+                return Err(BspError::BudgetExceeded { budget });
+            }
         }
         match state.superstep(config, &mut master, &mut injector) {
             Ok(()) => {

@@ -1,0 +1,175 @@
+//! The [`BspError`] taxonomy contract: every variant has a stable
+//! `Display` rendering, a stable machine-readable `kind()` tag, and an
+//! explicit transience classification.
+//!
+//! `graphite serve` writes `kind()` into JSONL error rows and clients
+//! grep `Display` output, so both are *wire formats*: this test pins the
+//! exact strings, table-driven over one exemplar per variant. Changing a
+//! message is allowed — but it must be a deliberate edit here, not an
+//! accident elsewhere. The table is also the exhaustiveness backstop:
+//! `all_variants` constructs every variant, and `is_transient`/`kind`
+//! match on all of them without a `_` arm, so a new variant fails to
+//! compile until it is classified *and* fails this test until it is
+//! pinned.
+
+use graphite_bsp::error::BspError;
+
+/// One exemplar of every variant, with its pinned `kind` tag, pinned
+/// `Display` rendering, and expected classification flags
+/// `(is_recoverable, is_transient)`.
+fn all_variants() -> Vec<(BspError, &'static str, String, (bool, bool))> {
+    vec![
+        (
+            BspError::WorkerPanicked {
+                step: 7,
+                workers: vec![(1, "boom".into()), (3, "bang".into())],
+            },
+            "worker_panicked",
+            "2 worker(s) panicked in superstep 7: worker 1 (boom), worker 3 (bang)".into(),
+            (true, true),
+        ),
+        (
+            BspError::Codec {
+                worker: 2,
+                step: 5,
+                detail: "vid varint",
+            },
+            "codec",
+            "self-encoded batch for worker 2 failed to decode in superstep 5: vid varint".into(),
+            (true, true),
+        ),
+        (
+            BspError::Config {
+                detail: "0 workers requested".into(),
+            },
+            "config",
+            "invalid configuration: 0 workers requested".into(),
+            (false, false),
+        ),
+        (
+            BspError::WorkerMismatch {
+                logics: 2,
+                partitions: 4,
+            },
+            "worker_mismatch",
+            "2 worker logics supplied for 4 partitions".into(),
+            (false, false),
+        ),
+        (
+            BspError::SuperstepLimit { limit: 42 },
+            "superstep_limit",
+            "run did not converge within 42 supersteps".into(),
+            (false, false),
+        ),
+        (
+            BspError::Checkpoint {
+                detail: "truncated blob".into(),
+            },
+            "checkpoint",
+            "checkpoint failure: truncated blob".into(),
+            (false, true),
+        ),
+        (
+            BspError::Admission {
+                estimated_cost: 900,
+                budget: 500,
+                occupancy: 6,
+            },
+            "admission",
+            "query rejected by admission control: estimated cost 900 exceeds remaining \
+             budget (total 500, 6 queries queued or in flight)"
+                .into(),
+            (false, false),
+        ),
+        (
+            BspError::RecoveryExhausted {
+                attempts: 3,
+                last: Box::new(BspError::SuperstepLimit { limit: 42 }),
+                history: vec![BspError::SuperstepLimit { limit: 42 }],
+            },
+            "recovery_exhausted",
+            "recovery exhausted after 3 attempt(s) (1 fault(s) observed); last: \
+             run did not converge within 42 supersteps"
+                .into(),
+            (false, true),
+        ),
+        (
+            BspError::BudgetExceeded { budget: 17 },
+            "budget_exceeded",
+            "query exceeded its superstep budget of 17".into(),
+            (false, false),
+        ),
+        (
+            BspError::Quarantined {
+                digest: 0xABCD,
+                failures: 4,
+            },
+            "quarantined",
+            "query 0x000000000000abcd is quarantined after 4 terminal failure(s); \
+             resubmit after decay"
+                .into(),
+            (false, false),
+        ),
+        (
+            BspError::Shed {
+                occupancy: 9,
+                watermark: 8,
+            },
+            "shed",
+            "query shed under load: pending depth 9 crossed the shed watermark 8".into(),
+            (false, false),
+        ),
+    ]
+}
+
+#[test]
+fn display_renderings_are_stable() {
+    for (err, kind, display, _) in all_variants() {
+        assert_eq!(
+            err.to_string(),
+            display,
+            "Display of `{kind}` drifted — if deliberate, update the pin"
+        );
+    }
+}
+
+#[test]
+fn kind_tags_are_stable_and_unique() {
+    let variants = all_variants();
+    for (err, kind, _, _) in &variants {
+        assert_eq!(err.kind(), *kind, "kind tag drifted for {err}");
+        assert!(
+            kind.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+            "kind tags are snake_case tokens, got {kind:?}"
+        );
+    }
+    let mut tags: Vec<&str> = variants.iter().map(|(_, k, _, _)| *k).collect();
+    tags.sort_unstable();
+    tags.dedup();
+    assert_eq!(
+        tags.len(),
+        variants.len(),
+        "two variants share a kind tag — JSONL rows would be ambiguous"
+    );
+}
+
+#[test]
+fn transience_classification_is_pinned_per_variant() {
+    for (err, kind, _, (recoverable, transient)) in all_variants() {
+        assert_eq!(
+            err.is_recoverable(),
+            recoverable,
+            "is_recoverable drifted for `{kind}`"
+        );
+        assert_eq!(
+            err.is_transient(),
+            transient,
+            "is_transient drifted for `{kind}`"
+        );
+        // Rollback-recoverable faults are by definition transient at the
+        // serving layer too: a retry re-enters the recovery driver.
+        if recoverable {
+            assert!(transient, "`{kind}` is recoverable but not transient");
+        }
+    }
+}

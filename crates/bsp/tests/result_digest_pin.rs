@@ -111,6 +111,7 @@ fn icm_cfg(fault_plan: Option<FaultPlan>, perturb: Option<u64>) -> IcmConfig {
         combiner: true,
         suppression_threshold: Some(0.7),
         max_supersteps: 10_000,
+        superstep_budget: None,
         keep_per_step_timing: false,
         perturb_schedule: perturb,
         trace: TraceConfig::default(),
@@ -123,6 +124,7 @@ fn vcm_cfg(fault_plan: Option<FaultPlan>, perturb: Option<u64>) -> VcmConfig {
     VcmConfig {
         workers: 4,
         max_supersteps: 10_000,
+        superstep_budget: None,
         need_in_edges: false,
         keep_per_step_timing: false,
         perturb_schedule: perturb,

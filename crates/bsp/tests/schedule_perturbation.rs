@@ -113,6 +113,7 @@ fn icm_cfg(perturb: Option<u64>) -> IcmConfig {
         combiner: true,
         suppression_threshold: Some(0.7),
         max_supersteps: 10_000,
+        superstep_budget: None,
         keep_per_step_timing: false,
         perturb_schedule: perturb,
         trace: TraceConfig::default(),
@@ -125,6 +126,7 @@ fn vcm_cfg(perturb: Option<u64>) -> VcmConfig {
     VcmConfig {
         workers: WORKERS,
         max_supersteps: 10_000,
+        superstep_budget: None,
         need_in_edges: false,
         keep_per_step_timing: false,
         perturb_schedule: perturb,

@@ -55,6 +55,11 @@ pub struct IcmConfig {
     pub suppression_threshold: Option<f64>,
     /// Safety cap on supersteps.
     pub max_supersteps: u64,
+    /// Forwarded to [`BspConfig::superstep_budget`]: an optional per-query
+    /// execution budget below the safety cap, surfaced as
+    /// [`graphite_bsp::error::BspError::BudgetExceeded`] (serving-layer
+    /// fault domain, DESIGN.md §15).
+    pub superstep_budget: Option<u64>,
     /// Record per-superstep timing splits.
     pub keep_per_step_timing: bool,
     /// Forwarded to [`BspConfig::perturb_schedule`]: permute the BSP
@@ -82,6 +87,7 @@ impl Default for IcmConfig {
             combiner: true,
             suppression_threshold: Some(0.7),
             max_supersteps: 100_000,
+            superstep_budget: None,
             keep_per_step_timing: false,
             perturb_schedule: None,
             trace: TraceConfig::default(),
@@ -689,6 +695,7 @@ fn build_workers<P: IntervalProgram>(
 fn bsp_config(config: &IcmConfig) -> BspConfig {
     BspConfig {
         max_supersteps: config.max_supersteps,
+        superstep_budget: config.superstep_budget,
         keep_per_step_timing: config.keep_per_step_timing,
         perturb_schedule: config.perturb_schedule,
         trace: config.trace,

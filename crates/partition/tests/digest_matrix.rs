@@ -124,6 +124,7 @@ fn icm_cfg(strategy: PartitionStrategy, workers: usize) -> IcmConfig {
         combiner: true,
         suppression_threshold: Some(0.7),
         max_supersteps: 10_000,
+        superstep_budget: None,
         keep_per_step_timing: false,
         perturb_schedule: None,
         trace: TraceConfig::default(),
@@ -136,6 +137,7 @@ fn vcm_cfg(strategy: PartitionStrategy, workers: usize) -> VcmConfig {
     VcmConfig {
         workers,
         max_supersteps: 10_000,
+        superstep_budget: None,
         need_in_edges: false,
         keep_per_step_timing: false,
         perturb_schedule: None,

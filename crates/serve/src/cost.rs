@@ -58,6 +58,25 @@ impl CostModel {
             .saturating_mul(platform_factor(spec.platform))
             .max(1)
     }
+
+    /// Derived superstep budget for `spec`: the deterministic execution
+    /// ceiling the serving layer enforces at the BSP barrier when the
+    /// spec carries no explicit override (DESIGN.md §15).
+    ///
+    /// The bound is deliberately generous — orders of magnitude above any
+    /// converging run on this graph, derived from the same load-time
+    /// statistics as [`CostModel::estimate`]: a traversal's superstep
+    /// count is bounded by the temporal diameter (≤ interval weight, even
+    /// on time-expanded TGB replicas), scaled by the algorithm's sweep
+    /// factor. It exists to catch *runaway* queries, never to clip
+    /// legitimate ones, and is always below the engine-wide
+    /// `max_supersteps` safety cap in spirit: a tighter, per-graph bound.
+    pub fn superstep_budget(&self, spec: &QuerySpec) -> u64 {
+        self.interval_weight
+            .max(self.vertices)
+            .saturating_add(64)
+            .saturating_mul(algo_factor(spec.algo))
+    }
 }
 
 /// How many graph sweeps an algorithm costs relative to one traversal.
@@ -142,5 +161,28 @@ mod tests {
             "MSB costs more than ICM"
         );
         assert!(small.estimate(&bfs) >= 1);
+    }
+
+    #[test]
+    fn superstep_budget_is_generous_deterministic_and_algo_scaled() {
+        let model = CostModel::measure(&chain(10, 4));
+        let bfs = QuerySpec::default();
+        let pr = QuerySpec {
+            algo: Algo::Pr,
+            ..QuerySpec::default()
+        };
+        assert_eq!(
+            model.superstep_budget(&bfs),
+            model.superstep_budget(&bfs),
+            "budgets are pure functions of (graph, spec)"
+        );
+        assert!(
+            model.superstep_budget(&bfs) > model.vertices,
+            "a traversal's budget must exceed the diameter bound"
+        );
+        assert!(
+            model.superstep_budget(&pr) > model.superstep_budget(&bfs),
+            "heavier algorithms get more headroom"
+        );
     }
 }

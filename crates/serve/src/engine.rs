@@ -23,20 +23,31 @@
 //! in flight. Beyond the configured budget the query is *rejected* with
 //! [`BspError::Admission`] — never silently dropped, never blocking the
 //! client. A rejected query was never executed; resubmission is safe.
+//!
+//! On top of admission sits the serving fault domain (DESIGN.md §15,
+//! [`crate::faultdom`]): every execution runs under a deterministic
+//! superstep budget derived from the cost model; transient failures are
+//! retried with escalating inner recovery headroom; queries that keep
+//! failing are quarantined; and beyond the shed watermark the engine
+//! degrades gracefully by shedding the cheapest queued work with a typed
+//! [`BspError::Shed`] instead of stalling everything behind it.
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::cost::CostModel;
+use crate::faultdom::{self, QuarantineTable, ServeHealth};
 use crate::spec::QuerySpec;
 use graphite_algorithms::common::ResultDigest;
 use graphite_algorithms::registry::{self, Algo, Platform, RunError, RunOutcome};
 use graphite_bsp::error::BspError;
 use graphite_bsp::metrics::{now, RunMetrics};
+use graphite_bsp::trace::RunTrace;
 use graphite_tgraph::graph::TemporalGraph;
 use graphite_tgraph::transform::{transform_for_paths, TransformOptions, TransformedGraph};
 use std::collections::{BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Sizing and policy of a [`ServeEngine`].
 #[derive(Clone, Copy, Debug)]
@@ -54,6 +65,27 @@ pub struct ServeConfig {
     pub cost_budget: u64,
     /// Result-cache entries ([`ResultCache`]); 0 disables caching.
     pub cache_capacity: usize,
+    /// Serve-level retry allowance for transient failures, on top of the
+    /// BSP layer's own checkpoint-replay; overridable per query with
+    /// `retries=` ([`QuerySpec::retries`]).
+    pub retries: u64,
+    /// Consecutive transient-classed terminal failures after which a
+    /// query is quarantined ([`BspError::Quarantined`]); `0` disables
+    /// quarantine.
+    pub quarantine_after: u64,
+    /// Pending-depth watermark beyond which queued queries are shed
+    /// ([`BspError::Shed`], cheapest-first); `None` never sheds.
+    pub shed_watermark: Option<usize>,
+    /// Engine-wide superstep budget applied to every query that carries
+    /// no `budget=` override. `None` (the default) derives a per-query
+    /// budget from [`CostModel::superstep_budget`].
+    pub default_budget: Option<u64>,
+    /// Base delay of the seeded retry backoff. [`Duration::ZERO`] — the
+    /// default, and what every test uses — never sleeps and never reads
+    /// a clock ([`faultdom::backoff`]).
+    pub backoff_base: Duration,
+    /// Seed for quarantine decay and retry backoff draws.
+    pub fault_seed: u64,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +95,12 @@ impl Default for ServeConfig {
             max_pending: 64,
             cost_budget: u64::MAX,
             cache_capacity: 256,
+            retries: 2,
+            quarantine_after: 3,
+            shed_watermark: None,
+            default_budget: None,
+            backoff_base: Duration::ZERO,
+            fault_seed: 0x5EED_FA17,
         }
     }
 }
@@ -90,17 +128,21 @@ pub struct QueryOutcome {
 }
 
 /// Engine accounting, snapshot via [`ServeEngine::stats`]. Counters only
-/// ever increase; `accepted + rejected == submitted` at every instant.
+/// ever increase; `accepted + rejected == submitted` at every instant,
+/// and once the engine drains,
+/// `accepted == completed + failed + budget_exceeded + shed + quarantined`
+/// — every admitted query is accounted to exactly one terminal outcome.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Queries ever submitted.
     pub submitted: u64,
-    /// Queries admitted to the queue.
+    /// Queries admitted past admission control (including those the
+    /// quarantine table then fast-failed).
     pub accepted: u64,
     /// Queries rejected by admission control.
     pub rejected: u64,
-    /// Admitted queries that finished (successfully or with a typed
-    /// error).
+    /// Admitted queries that finished *successfully* (fresh run, cache
+    /// hit, or recovered on retry).
     pub completed: u64,
     /// Outcomes served from the result cache (including queries coalesced
     /// onto an in-flight duplicate's execution).
@@ -111,6 +153,20 @@ pub struct ServeStats {
     pub cache_misses: u64,
     /// Cache entries evicted by capacity.
     pub cache_evictions: u64,
+    /// Serve-level retry attempts issued after transient failures.
+    pub retries: u64,
+    /// Queries that succeeded on a retry attempt.
+    pub recovered: u64,
+    /// Queued queries shed at the pending-depth watermark.
+    pub shed: u64,
+    /// Submissions fast-failed by the quarantine table.
+    pub quarantined: u64,
+    /// Queries terminated by their superstep budget.
+    pub budget_exceeded: u64,
+    /// Queries that terminally failed after exhausting their retry
+    /// allowance (everything typed except budget overruns, which get
+    /// their own counter).
+    pub failed: u64,
 }
 
 /// A submitted query's receipt: wait on it for the outcome.
@@ -166,6 +222,7 @@ struct State {
     in_flight_keys: BTreeSet<CacheKey>,
     cache: ResultCache,
     stats: ServeStats,
+    quarantine: QuarantineTable,
     next_id: u64,
     shutdown: bool,
 }
@@ -230,6 +287,7 @@ impl ServeEngine {
                 in_flight_keys: BTreeSet::new(),
                 cache: ResultCache::new(cfg.cache_capacity),
                 stats: ServeStats::default(),
+                quarantine: QuarantineTable::new(cfg.quarantine_after, cfg.fault_seed),
                 next_id: 0,
                 shutdown: false,
             }),
@@ -276,10 +334,13 @@ impl ServeEngine {
     /// # Errors
     ///
     /// [`BspError::Admission`] when the engine is over its pending-count
-    /// or cost budget; the query was never executed and may be
-    /// resubmitted.
+    /// or cost budget, and [`BspError::Quarantined`] when the query's
+    /// fault-domain key is currently quarantined; either way the query
+    /// was never executed and may be resubmitted (a quarantined one after
+    /// the seeded decay releases it).
     pub fn submit(&self, spec: QuerySpec) -> Result<Ticket, BspError> {
         let cost = self.shared.cost.estimate(&spec);
+        let qkey = faultdom::quarantine_key(&spec);
         let mut state = lock(&self.shared.state);
         state.stats.submitted += 1;
         let over_count = state.pending >= self.shared.cfg.max_pending;
@@ -297,6 +358,18 @@ impl ServeEngine {
                 occupancy: state.pending,
             });
         }
+        if let Some(failures) = state.quarantine.check(qkey) {
+            // Counted under `accepted`: the query got past admission and
+            // reached a terminal fault-domain outcome, so the drain
+            // invariant on ServeStats still balances. It consumed no
+            // queue slot and no executor time.
+            state.stats.accepted += 1;
+            state.stats.quarantined += 1;
+            return Err(BspError::Quarantined {
+                digest: qkey,
+                failures,
+            });
+        }
         let id = state.next_id;
         state.next_id += 1;
         state.stats.accepted += 1;
@@ -312,9 +385,69 @@ impl ServeEngine {
             cost,
             slot: Arc::clone(&slot),
         });
+        let shed = self.shed_over_watermark(&mut state);
         drop(state);
         self.shared.work.notify_one();
+        for (job, occupancy, watermark) in shed {
+            let mut ready = lock(&job.slot.ready);
+            *ready = Some(Err(BspError::Shed {
+                occupancy,
+                watermark,
+            }));
+            drop(ready);
+            job.slot.done.notify_all();
+        }
         Ok(Ticket { id, slot })
+    }
+
+    /// Graceful degradation: while the pending depth exceeds the shed
+    /// watermark, remove the cheapest queued query (oldest wins ties) and
+    /// fail it with [`BspError::Shed`]. Only *queued* work is shed —
+    /// executing queries always finish — and the victim choice is a pure
+    /// function of queue contents, so a replayed submission stream sheds
+    /// identically. Victims are returned for delivery outside the state
+    /// lock; the freshly submitted query is itself a candidate.
+    fn shed_over_watermark(&self, state: &mut State) -> Vec<(Job, usize, usize)> {
+        let Some(watermark) = self.shared.cfg.shed_watermark else {
+            return Vec::new();
+        };
+        let mut shed = Vec::new();
+        while state.pending > watermark && !state.queue.is_empty() {
+            let occupancy = state.pending;
+            let victim = state
+                .queue
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, j)| (j.cost, j.id))
+                .map(|(i, _)| i)
+                .expect("queue checked non-empty");
+            let job = state.queue.remove(victim).expect("victim index in range");
+            state.pending -= 1;
+            state.outstanding_cost = state.outstanding_cost.saturating_sub(job.cost);
+            state.stats.shed += 1;
+            shed.push((job, occupancy, watermark));
+        }
+        shed
+    }
+
+    /// Fault-domain health snapshot (DESIGN.md §15).
+    pub fn health(&self) -> ServeHealth {
+        let state = lock(&self.shared.state);
+        ServeHealth {
+            retries: state.stats.retries,
+            recovered: state.stats.recovered,
+            shed: state.stats.shed,
+            quarantined: state.stats.quarantined,
+            budget_exceeded: state.stats.budget_exceeded,
+            failed: state.stats.failed,
+            quarantined_now: state.quarantine.quarantined_now(),
+        }
+    }
+
+    /// The health snapshot as a `graphite-trace/1` run
+    /// ([`faultdom::health_trace`]), ready for `maybe_emit`.
+    pub fn health_trace(&self) -> RunTrace {
+        faultdom::health_trace(&self.health())
     }
 
     /// Submits a whole batch FIFO, then waits for every admitted query.
@@ -368,7 +501,23 @@ fn executor_loop(shared: &Shared) {
             let mut state = lock(&shared.state);
             state.pending -= 1;
             state.outstanding_cost = state.outstanding_cost.saturating_sub(job.cost);
-            state.stats.completed += 1;
+            let qkey = faultdom::quarantine_key(&job.spec);
+            match &result {
+                Ok(_) => {
+                    state.stats.completed += 1;
+                    state.quarantine.note_success(qkey);
+                    // Every engine-wide success advances quarantine decay:
+                    // a healthy engine releases poisoned keys quickly.
+                    state.quarantine.tick_decay();
+                }
+                Err(BspError::BudgetExceeded { .. }) => state.stats.budget_exceeded += 1,
+                Err(e) => {
+                    state.stats.failed += 1;
+                    if e.is_transient() {
+                        state.quarantine.note_failure(qkey);
+                    }
+                }
+            }
         }
         let mut ready = lock(&job.slot.ready);
         *ready = Some(result);
@@ -415,7 +564,7 @@ fn serve_one(shared: &Shared, job: &Job) -> Result<QueryOutcome, BspError> {
             state = wait(&shared.flight, state);
         }
     }
-    let outcome = execute(shared, &job.spec);
+    let outcome = execute_with_retries(shared, &job.spec);
     if job.spec.cacheable() {
         // Leader epilogue: publish on success, and *always* release the
         // key and wake waiters — on failure they retry as new leaders.
@@ -439,10 +588,50 @@ fn serve_one(shared: &Shared, job: &Job) -> Result<QueryOutcome, BspError> {
     })
 }
 
+/// The serve-level retry loop above [`execute`]: transient failures are
+/// retried up to the query's allowance (`retries=` or the engine
+/// default), each attempt escalating the inner recovery budget
+/// ([`faultdom::escalate`]) and optionally sleeping a seeded,
+/// attempt-indexed backoff (never with the zero default base). Terminal
+/// errors — including budget overruns, which are deterministic and would
+/// only overrun again — propagate immediately.
+fn execute_with_retries(shared: &Shared, spec: &QuerySpec) -> Result<RunOutcome, BspError> {
+    let allowance = spec.retries.unwrap_or(shared.cfg.retries);
+    let key = faultdom::quarantine_key(spec);
+    let mut attempt: u64 = 0;
+    loop {
+        let run = if attempt == 0 {
+            execute(shared, spec)
+        } else {
+            execute(shared, &faultdom::escalate(spec, attempt))
+        };
+        match run {
+            Ok(outcome) => {
+                if attempt > 0 {
+                    lock(&shared.state).stats.recovered += 1;
+                }
+                return Ok(outcome);
+            }
+            Err(e) if e.is_transient() && attempt < allowance => {
+                lock(&shared.state).stats.retries += 1;
+                let delay =
+                    faultdom::backoff(shared.cfg.backoff_base, shared.cfg.fault_seed, key, attempt);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// One isolated registry execution over the shared graph. Panics from the
 /// wrapper platforms (whose inner engines use panicking entry points) are
 /// converted to a typed error so one poisoned query can never take down
-/// the pool or its neighbors.
+/// the pool or its neighbors. Every run gets a superstep budget: the
+/// spec's own `budget=`, else the engine's `default_budget`, else the
+/// cost model's derived ceiling (DESIGN.md §15).
 fn execute(shared: &Shared, spec: &QuerySpec) -> Result<RunOutcome, BspError> {
     let transformed = if spec.platform == Platform::Tgb {
         Some(Arc::clone(shared.transformed.get_or_init(|| {
@@ -454,7 +643,15 @@ fn execute(shared: &Shared, spec: &QuerySpec) -> Result<RunOutcome, BspError> {
     } else {
         None
     };
-    let opts = spec.to_opts();
+    let mut opts = spec.to_opts();
+    if opts.superstep_budget.is_none() {
+        opts.superstep_budget = Some(
+            shared
+                .cfg
+                .default_budget
+                .unwrap_or_else(|| shared.cost.superstep_budget(spec)),
+        );
+    }
     let run = catch_unwind(AssertUnwindSafe(|| {
         registry::try_run(
             spec.algo,

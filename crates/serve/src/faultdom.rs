@@ -1,0 +1,391 @@
+//! The serving-layer fault domain: quarantine, retry backoff, and health.
+//!
+//! The BSP layer already recovers *within* one run — checkpoint, roll
+//! back, replay (`run_bsp_recoverable`). This module is the layer above:
+//! what the resident engine does when a whole run comes back failed.
+//! Three mechanisms, all deterministic (DESIGN.md §15):
+//!
+//! 1. **Quarantine** ([`QuarantineTable`]): queries that terminally fail
+//!    with a *transient-classed* error `after` consecutive times are
+//!    poison — structurally prone to faulting, wasting executor slots on
+//!    every resubmission. They fast-fail with
+//!    [`BspError::Quarantined`](graphite_bsp::error::BspError::Quarantined)
+//!    until a seeded decay (counted in engine-wide successful
+//!    completions, never wall clock) releases them.
+//! 2. **Seeded retry backoff** ([`backoff`]): the serve-level retry loop
+//!    may sleep between attempts; the delay is a pure function of
+//!    `(seed, query, attempt)`, and the default base of zero never
+//!    sleeps at all — tests exercise the full retry path without timing.
+//! 3. **Escalation** ([`escalate`]): a deterministic engine replays the
+//!    *same* faults on a bare re-run, so a serve-level retry is only
+//!    meaningful if it changes something. It multiplies the inner
+//!    recovery attempt budget by the attempt index, giving checkpoint
+//!    replay more headroom each time around.
+//!
+//! [`ServeHealth`] is the aggregate view of all of it, exportable as a
+//! `graphite-trace/1` row ([`health_trace`]) so the existing trace
+//! pipeline (bench_validate counters, graphite-analyze schema checks)
+//! sees serving-layer faults with no new format.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::spec::QuerySpec;
+use graphite_bsp::metrics::UserCounters;
+use graphite_bsp::trace::{RunTrace, TraceConfig, TraceEvent, TraceSink};
+use graphite_tgraph::rng::SplitMix64;
+
+/// Identity under which a query accumulates failures.
+///
+/// The params digest alone would let a seeded-fault chaos twin (`faults=N`
+/// batch lines) quarantine the *clean* query with the same parameters —
+/// they intentionally share a digest for everything the result depends
+/// on. Folding the fault plan's debug form into the key keeps the two in
+/// separate quarantine cells while staying a pure function of the spec.
+pub fn quarantine_key(spec: &QuerySpec) -> u64 {
+    let mut key = spec.params_digest();
+    if let Some(plan) = &spec.fault_plan {
+        let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in format!("{plan:?}").bytes() {
+            acc ^= b as u64;
+            acc = acc.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        key ^= acc;
+    }
+    key
+}
+
+/// One quarantine cell: consecutive-failure count and remaining decay.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    /// Consecutive transient-classed terminal failures observed.
+    failures: u64,
+    /// Engine-wide successful completions remaining before release; only
+    /// meaningful while `quarantined`.
+    release_after: u64,
+    /// Whether the cell has crossed the engagement threshold.
+    quarantined: bool,
+}
+
+/// Poison-query table keyed by [`quarantine_key`].
+///
+/// All mutation is driven by the engine under its state lock, so the
+/// table itself needs no synchronization. Decay is counted in successful
+/// completions ([`QuarantineTable::tick_decay`]) rather than time: a
+/// healthy engine releases quarantined queries quickly, a struggling one
+/// keeps them out, and tests can drive release deterministically.
+#[derive(Debug)]
+pub struct QuarantineTable {
+    /// Consecutive failures that engage quarantine; `0` disables the
+    /// table entirely.
+    after: u64,
+    /// Seed for the decay draw.
+    seed: u64,
+    entries: BTreeMap<u64, Entry>,
+}
+
+impl QuarantineTable {
+    /// A table engaging after `after` consecutive failures (`0` disables).
+    pub fn new(after: u64, seed: u64) -> Self {
+        QuarantineTable {
+            after,
+            seed,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Returns `Some(failures)` if `key` is currently quarantined.
+    pub fn check(&self, key: u64) -> Option<u64> {
+        match self.entries.get(&key) {
+            Some(e) if e.quarantined => Some(e.failures),
+            _ => None,
+        }
+    }
+
+    /// Number of keys currently quarantined.
+    pub fn quarantined_now(&self) -> u64 {
+        self.entries.values().filter(|e| e.quarantined).count() as u64
+    }
+
+    /// Records a terminal transient-classed failure of `key`; returns
+    /// `true` if this failure engaged (or re-engaged) quarantine.
+    ///
+    /// The release horizon is a seeded draw in `1..=failures * 4`:
+    /// deterministic per `(seed, key, failures)`, growing with repeat
+    /// offenses, and small enough that tests can drain it.
+    pub fn note_failure(&mut self, key: u64) -> bool {
+        if self.after == 0 {
+            return false;
+        }
+        let entry = self.entries.entry(key).or_insert(Entry {
+            failures: 0,
+            release_after: 0,
+            quarantined: false,
+        });
+        entry.failures += 1;
+        if entry.failures >= self.after {
+            let span = entry.failures.saturating_mul(4).max(1);
+            let draw = SplitMix64::new(self.seed ^ key ^ entry.failures).next_u64();
+            entry.release_after = 1 + draw % span;
+            let engaged = !entry.quarantined;
+            entry.quarantined = true;
+            return engaged;
+        }
+        false
+    }
+
+    /// Records a successful completion of `key` itself: the streak is
+    /// broken and the cell forgotten.
+    pub fn note_success(&mut self, key: u64) {
+        self.entries.remove(&key);
+    }
+
+    /// Advances decay by one engine-wide successful completion; every
+    /// quarantined cell moves one step closer to release and is dropped
+    /// (streak forgiven) when its horizon reaches zero.
+    pub fn tick_decay(&mut self) {
+        self.entries.retain(|_, e| {
+            if !e.quarantined {
+                return true;
+            }
+            e.release_after = e.release_after.saturating_sub(1);
+            e.release_after > 0
+        });
+    }
+}
+
+/// Deterministic retry backoff: a pure function of `(seed, key, attempt)`.
+///
+/// A zero `base` — the engine default — always yields [`Duration::ZERO`],
+/// so the retry path never sleeps and never reads a clock unless the
+/// operator opted in. With a nonzero base the delay is `base` scaled by
+/// `attempt + 1` plus a seeded jitter of at most one extra `base`,
+/// identical on every replay.
+pub fn backoff(base: Duration, seed: u64, key: u64, attempt: u64) -> Duration {
+    if base.is_zero() {
+        return Duration::ZERO;
+    }
+    let jitter_num = SplitMix64::new(seed ^ key ^ attempt).next_u64() % 256;
+    let scaled = base.saturating_mul((attempt + 1).min(u32::MAX as u64) as u32);
+    scaled + base.mul_f64(jitter_num as f64 / 256.0)
+}
+
+/// The retry spec for attempt `attempt` (1-based over retries): same
+/// query, with the inner recovery attempt budget multiplied by
+/// `attempt + 1`.
+///
+/// This is what makes a serve-level retry of a deterministic engine
+/// meaningful: the replay sees the same injected faults, so the only
+/// lever is how much checkpoint-rollback headroom the inner loop gets
+/// before giving up with `RecoveryExhausted`.
+pub fn escalate(spec: &QuerySpec, attempt: u64) -> QuerySpec {
+    let mut next = spec.clone();
+    if let Some(recovery) = &mut next.recovery {
+        recovery.max_attempts = recovery
+            .max_attempts
+            .saturating_mul(attempt.saturating_add(1));
+    }
+    next
+}
+
+/// Aggregate fault-domain counters, snapshotted from the engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeHealth {
+    /// Serve-level retry attempts issued after transient failures.
+    pub retries: u64,
+    /// Queries that succeeded on a retry attempt.
+    pub recovered: u64,
+    /// Queries shed under load at the pending-depth watermark.
+    pub shed: u64,
+    /// Submissions fast-failed by the quarantine table.
+    pub quarantined: u64,
+    /// Queries terminated by their superstep budget.
+    pub budget_exceeded: u64,
+    /// Queries that terminally failed (after exhausting retries).
+    pub failed: u64,
+    /// Keys quarantined at snapshot time.
+    pub quarantined_now: u64,
+}
+
+/// Renders `health` as a one-step `graphite-trace/1` run so the existing
+/// trace pipeline carries serving-layer fault counters: a `worker_step`
+/// whose `extras` hold the six `serve_*` counters (the format has no
+/// other extensible slot), closed by a halted `step_end` barrier so the
+/// stream parses as a complete step.
+pub fn health_trace(health: &ServeHealth) -> RunTrace {
+    let mut sink = TraceSink::new(TraceConfig::counters());
+    sink.add("serve_retries", health.retries);
+    sink.add("serve_recovered", health.recovered);
+    sink.add("serve_sheds", health.shed);
+    sink.add("serve_quarantined", health.quarantined);
+    sink.add("serve_budget_exceeded", health.budget_exceeded);
+    sink.add("serve_failed", health.failed);
+    let mut trace = RunTrace::default();
+    trace.push(TraceEvent::WorkerStep {
+        step: 0,
+        worker: 0,
+        active_vertices: 0,
+        messages_in: 0,
+        counters: UserCounters::default(),
+        extras: sink.take_extras(),
+        compute_ns: 0,
+    });
+    trace.push(TraceEvent::StepEnd {
+        step: 0,
+        sent: 0,
+        halted: true,
+        compute_ns: 0,
+        messaging_ns: 0,
+        barrier_ns: 0,
+    });
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphite_bsp::fault::FaultPlan;
+
+    #[test]
+    fn quarantine_key_separates_chaos_twins_from_clean_queries() {
+        let clean = QuerySpec::default();
+        let mut faulted = QuerySpec::default();
+        faulted.fault_plan = Some(FaultPlan::seeded(7, faulted.workers, 6, 2));
+        assert_eq!(
+            clean.params_digest(),
+            faulted.params_digest(),
+            "precondition: the twins share a params digest"
+        );
+        assert_ne!(
+            quarantine_key(&clean),
+            quarantine_key(&faulted),
+            "a faulted twin must not quarantine the clean query"
+        );
+        assert_eq!(quarantine_key(&clean), quarantine_key(&clean));
+        assert_eq!(quarantine_key(&faulted), quarantine_key(&faulted));
+    }
+
+    #[test]
+    fn quarantine_engages_after_threshold_and_decays_by_successes() {
+        let mut table = QuarantineTable::new(2, 11);
+        let key = 0xfeed;
+        assert!(!table.note_failure(key), "first failure is tolerated");
+        assert_eq!(table.check(key), None);
+        assert!(table.note_failure(key), "second failure engages");
+        let failures = table.check(key).expect("quarantined");
+        assert_eq!(failures, 2);
+        assert_eq!(table.quarantined_now(), 1);
+        // release_after is in 1..=8; drain it with successes elsewhere.
+        for _ in 0..8 {
+            table.tick_decay();
+        }
+        assert_eq!(table.check(key), None, "decay releases the key");
+        assert_eq!(table.quarantined_now(), 0);
+    }
+
+    #[test]
+    fn quarantine_decay_is_seed_deterministic() {
+        let drain = |seed: u64| {
+            let mut table = QuarantineTable::new(1, seed);
+            table.note_failure(42);
+            let mut ticks = 0;
+            while table.check(42).is_some() {
+                table.tick_decay();
+                ticks += 1;
+                assert!(ticks <= 8, "release horizon is bounded");
+            }
+            ticks
+        };
+        assert_eq!(drain(3), drain(3), "same seed, same horizon");
+    }
+
+    #[test]
+    fn success_breaks_a_failure_streak() {
+        let mut table = QuarantineTable::new(3, 5);
+        table.note_failure(9);
+        table.note_failure(9);
+        table.note_success(9);
+        assert!(
+            !table.note_failure(9),
+            "streak restarted after a success; one failure must not engage"
+        );
+    }
+
+    #[test]
+    fn disabled_table_never_quarantines() {
+        let mut table = QuarantineTable::new(0, 5);
+        for _ in 0..10 {
+            assert!(!table.note_failure(1));
+        }
+        assert_eq!(table.check(1), None);
+    }
+
+    #[test]
+    fn backoff_is_zero_for_zero_base_and_deterministic_otherwise() {
+        assert_eq!(backoff(Duration::ZERO, 1, 2, 3), Duration::ZERO);
+        let base = Duration::from_millis(10);
+        assert_eq!(backoff(base, 1, 2, 0), backoff(base, 1, 2, 0));
+        assert!(
+            backoff(base, 1, 2, 3) >= backoff(base, 1, 2, 0),
+            "later attempts wait at least as long as the first"
+        );
+        assert!(backoff(base, 1, 2, 0) >= base);
+        assert!(backoff(base, 1, 2, 0) < base * 2);
+    }
+
+    #[test]
+    fn escalation_multiplies_inner_recovery_budget() {
+        use graphite_bsp::recover::RecoveryConfig;
+        let spec = QuerySpec {
+            recovery: Some(RecoveryConfig::every(2)),
+            ..QuerySpec::default()
+        };
+        let base_attempts = spec.recovery.as_ref().unwrap().max_attempts;
+        let second = escalate(&spec, 1);
+        assert_eq!(
+            second.recovery.as_ref().unwrap().max_attempts,
+            base_attempts * 2
+        );
+        let third = escalate(&spec, 2);
+        assert_eq!(
+            third.recovery.as_ref().unwrap().max_attempts,
+            base_attempts * 3
+        );
+        // No recovery config: escalation is the identity.
+        let bare = escalate(&QuerySpec::default(), 5);
+        assert!(bare.recovery.is_none());
+    }
+
+    #[test]
+    fn health_trace_exports_all_counters_as_extras() {
+        let health = ServeHealth {
+            retries: 1,
+            recovered: 2,
+            shed: 3,
+            quarantined: 4,
+            budget_exceeded: 5,
+            failed: 6,
+            quarantined_now: 0,
+        };
+        let trace = health_trace(&health);
+        assert_eq!(trace.events.len(), 2, "one worker row plus its barrier");
+        let TraceEvent::WorkerStep { extras, .. } = &trace.events[0] else {
+            panic!("health row must be a worker_step event");
+        };
+        assert!(
+            matches!(trace.events[1], TraceEvent::StepEnd { halted: true, .. }),
+            "the health step must close with a halted barrier so consumers parse it"
+        );
+        let expect = [
+            ("serve_retries", 1),
+            ("serve_recovered", 2),
+            ("serve_sheds", 3),
+            ("serve_quarantined", 4),
+            ("serve_budget_exceeded", 5),
+            ("serve_failed", 6),
+        ];
+        assert_eq!(extras.as_slice(), &expect);
+        let jsonl = trace.to_jsonl("serve/health");
+        assert!(jsonl.contains("\"serve_quarantined\":4"), "{jsonl}");
+    }
+}

@@ -21,10 +21,18 @@
 //!    outcome), with deterministic FIFO eviction. Cache accounting lives
 //!    outside results, so serving from cache changes no digest.
 //!
+//! 4. **Fault domain** ([`faultdom`], DESIGN.md §15): deterministic
+//!    superstep budgets at the BSP barrier, seeded serve-level retry with
+//!    escalating inner recovery, poison-query quarantine, and graceful
+//!    shedding past a pending-depth watermark — every degraded outcome a
+//!    typed [`BspError`](graphite_bsp::error::BspError) variant, never a
+//!    hang or a silent drop.
+//!
 //! Concurrency is never allowed to become observable: the matrix test in
 //! `tests/concurrent_digest_matrix.rs` pins that a query's digest is
 //! bit-identical solo, at 2/4/8 in flight, perturbed, cached, and next to
-//! a crash-recovering neighbor.
+//! a crash-recovering neighbor, and `tests/chaos_soak.rs` re-pins it
+//! under injected panics, budget overruns, quarantine, and shedding.
 //!
 //! [`TemporalGraph`]: graphite_tgraph::graph::TemporalGraph
 //! [`RunOutcome`]: graphite_algorithms::registry::RunOutcome
@@ -35,9 +43,11 @@
 pub mod cache;
 pub mod cost;
 pub mod engine;
+pub mod faultdom;
 pub mod spec;
 
 pub use cache::{CacheKey, ResultCache};
 pub use cost::CostModel;
 pub use engine::{QueryOutcome, ServeConfig, ServeEngine, ServeStats, Ticket};
+pub use faultdom::{QuarantineTable, ServeHealth};
 pub use spec::QuerySpec;

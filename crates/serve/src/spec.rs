@@ -16,7 +16,15 @@
 //! eat icm source=3 start=0
 //! sssp tgb workers=2
 //! bfs msb perturb=7
+//! bfs icm budget=64 retries=1
+//! eat icm faults=2 fault_seed=9
 //! ```
+//!
+//! `budget=` caps the query's supersteps (typed `BudgetExceeded` on
+//! exhaustion), `retries=` overrides the engine's serve-level retry
+//! allowance, and `faults=N` injects a seeded fault plan of `N` faults
+//! (with `RecoveryConfig::every(2)` supplied automatically) — the
+//! chaos-soak knobs of DESIGN.md §15.
 
 use graphite_algorithms::registry::{Algo, Platform, RunOpts};
 use graphite_bsp::error::BspError;
@@ -50,6 +58,16 @@ pub struct QuerySpec {
     pub fault_plan: Option<FaultPlan>,
     /// Recovery configuration; required for a faulted query to converge.
     pub recovery: Option<RecoveryConfig>,
+    /// Explicit superstep budget override. `None` (the default) lets the
+    /// engine derive one from its admission cost model (DESIGN.md §15).
+    /// Deliberately *not* part of [`QuerySpec::params_digest`]: a budget
+    /// cannot change a completed result, and a cache hit costs zero
+    /// supersteps, so any budget admits it.
+    pub budget: Option<u64>,
+    /// Per-query override of the engine's serve-level retry allowance for
+    /// transient faults. Also outside the params digest, for the same
+    /// reason as [`QuerySpec::budget`].
+    pub retries: Option<u64>,
 }
 
 impl Default for QuerySpec {
@@ -65,9 +83,20 @@ impl Default for QuerySpec {
             perturb_schedule: None,
             fault_plan: None,
             recovery: None,
+            budget: None,
+            retries: None,
         }
     }
 }
+
+/// Default seed for `faults=N` batch lines without an explicit
+/// `fault_seed=` (any fixed value works — the point is determinism).
+const DEFAULT_FAULT_SEED: u64 = 0xC4A0_5001;
+
+/// Supersteps within which seeded batch faults fire: early enough that
+/// short traversals still hit them, matching `FaultPlan::seeded` use in
+/// the fault-matrix tests.
+const SEEDED_FAULT_MAX_STEP: u64 = 6;
 
 impl QuerySpec {
     /// A spec for `algo` on `platform` with default parameters.
@@ -94,6 +123,7 @@ impl QuerySpec {
             perturb_schedule: self.perturb_schedule,
             fault_plan: self.fault_plan.clone(),
             recovery: self.recovery.clone(),
+            superstep_budget: self.budget,
             ..Default::default()
         }
     }
@@ -165,6 +195,8 @@ impl QuerySpec {
             return Err(bad("unknown platform", platform_tok));
         };
         let mut spec = QuerySpec::new(algo, platform);
+        let mut faults: Option<u64> = None;
+        let mut fault_seed = DEFAULT_FAULT_SEED;
         for tok in tokens {
             let Some((key, value)) = tok.split_once('=') else {
                 return Err(bad("malformed key=value token", tok));
@@ -176,11 +208,30 @@ impl QuerySpec {
                 ("start", Some(t)) => spec.start = t as Time,
                 ("deadline", Some(t)) => spec.deadline = Some(t as Time),
                 ("perturb", Some(s)) => spec.perturb_schedule = Some(s),
+                ("budget", Some(b)) if b > 0 => spec.budget = Some(b),
+                ("retries", Some(r)) => spec.retries = Some(r),
+                ("faults", Some(n)) => faults = Some(n),
+                ("fault_seed", Some(s)) => fault_seed = s,
                 ("partition", _) => match PartitionStrategy::parse(value) {
                     Some(p) => spec.partition = p,
                     None => return Err(bad("unknown partition strategy", value)),
                 },
                 _ => return Err(bad("unknown or malformed parameter", tok)),
+            }
+        }
+        // Applied after the loop so `faults=` composes with `workers=`
+        // regardless of token order.
+        if let Some(n) = faults {
+            if n > 0 {
+                spec.fault_plan = Some(FaultPlan::seeded(
+                    fault_seed,
+                    spec.workers,
+                    SEEDED_FAULT_MAX_STEP,
+                    n as usize,
+                ));
+                if spec.recovery.is_none() {
+                    spec.recovery = Some(RecoveryConfig::every(2));
+                }
             }
         }
         Ok(Some(spec))
@@ -292,12 +343,25 @@ mod tests {
         assert_eq!(specs[2].partition, PartitionStrategy::TemporalBalance);
         assert_eq!(specs[3].perturb_schedule, Some(7));
 
+        let faulted = QuerySpec::parse_line("eat icm workers=2 faults=2 fault_seed=9")
+            .expect("parses")
+            .expect("not blank");
+        assert!(faulted.fault_plan.is_some(), "faults= arms a plan");
+        assert!(faulted.recovery.is_some(), "faults= supplies recovery");
+        assert!(!faulted.cacheable(), "faulted queries bypass the cache");
+        let budgeted = QuerySpec::parse_line("bfs icm budget=64 retries=1")
+            .expect("parses")
+            .expect("not blank");
+        assert_eq!(budgeted.budget, Some(64));
+        assert_eq!(budgeted.retries, Some(1));
+
         for bad in [
             "zfs icm",
             "bfs vax",
             "bfs icm workers=0",
             "bfs icm nonsense",
             "bfs icm depth=3",
+            "bfs icm budget=0",
             "bfs icm partition=metis",
         ] {
             let err = QuerySpec::parse_line(bad).expect_err("must reject");
@@ -347,5 +411,14 @@ mod tests {
         // queries never touch the cache at all.
         assert!(base.cacheable());
         assert_eq!(base.params_digest(), seen[0], "digest must be stable");
+        // Budget and retries are also outside the digest: neither can
+        // change a completed result, and a cache hit costs zero
+        // supersteps, so any budget admits it.
+        let policied = QuerySpec {
+            budget: Some(3),
+            retries: Some(7),
+            ..base.clone()
+        };
+        assert_eq!(policied.params_digest(), base.params_digest());
     }
 }

@@ -86,6 +86,7 @@ fn soak_never_deadlocks_and_accounting_balances() {
                 .estimate(&QuerySpec::new(Algo::Bfs, Platform::Icm))
                 .saturating_mul(6),
             cache_capacity: 16,
+            ..ServeConfig::default()
         },
     );
 

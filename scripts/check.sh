@@ -31,4 +31,7 @@ scripts/partition_matrix.sh
 echo "==> serve matrix + soak (release)"
 scripts/serve_soak.sh
 
+echo "==> chaos soak (release)"
+scripts/chaos_soak.sh
+
 echo "==> all checks passed"

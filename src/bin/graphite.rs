@@ -8,7 +8,8 @@
 //!                 [--workers 4] [--start 0] [--deadline T] [--counts]
 //! graphite gen    <profile|ldbc> <out.tg> [--scale 1] [--seed 42]
 //! graphite serve  <graph.tg> <batch.txt> [--in-flight 4] [--max-pending 64]
-//!                 [--cost-budget N] [--cache 256]
+//!                 [--cost-budget N] [--cache 256] [--budget N] [--retries N]
+//!                 [--quarantine-after N] [--shed-watermark N] [--status]
 //! ```
 //!
 //! Example session:
@@ -23,9 +24,21 @@
 //! (`graphite-serve`) and executes the batch file's queries — one per
 //! line, `algo platform [key=value ...]`, `#` comments — concurrently
 //! against the shared graph, printing one JSON result object per line
-//! (JSONL) in batch order. Rejected queries (admission control) report
-//! `"status": "rejected"`; results are bit-identical at every
+//! (JSONL) in batch order. Results are bit-identical at every
 //! `--in-flight` level (DESIGN.md §14).
+//!
+//! Degraded outcomes are part of the serve contract (DESIGN.md §15), not
+//! failures: `"status"` is `"rejected"` (admission control), `"shed"`
+//! (load shedding at `--shed-watermark`), `"quarantined"` (poison-query
+//! quarantine after `--quarantine-after` terminal failures), or
+//! `"budget"` (superstep budget exhausted — `--budget` or the cost
+//! model's derived ceiling). Each such row carries a structured
+//! `"error": {"kind", "query", "detail"}` object. Only `"status":
+//! "error"` rows — queries that *terminally failed* after `--retries`
+//! serve-level retries — make the process exit non-zero. `--status`
+//! appends one health JSONL row with the engine's fault-domain counters,
+//! which are also exported as `serve_*` extras on the
+//! `graphite-trace/1` stream when `GRAPHITE_TRACE_JSON` is set.
 //!
 //! `run` honors the tracing environment (EXPERIMENTS.md "Reading a
 //! trace"): `GRAPHITE_TRACE=off|counters|full` sets the recording level
@@ -59,7 +72,8 @@ fn usage() -> ExitCode {
          [--deadline T] [--counts]\n  graphite \
          gen <gplus|usrn|reddit|mag|twitter|webuk|skew|ldbc> <out.tg> [--scale N] [--seed \
          N]\n  graphite serve <graph.tg> <batch.txt> [--in-flight N] [--max-pending N] \
-         [--cost-budget N] [--cache N]"
+         [--cost-budget N] [--cache N]\n      [--budget N] [--retries N] [--quarantine-after N] \
+         [--shed-watermark N] [--status]"
     );
     ExitCode::from(2)
 }
@@ -318,9 +332,24 @@ fn cmd_serve(path: &str, batch_path: &str, flags: &Flags) -> ExitCode {
         max_pending: get_num("--max-pending", defaults.max_pending as u64) as usize,
         cost_budget: get_num("--cost-budget", defaults.cost_budget),
         cache_capacity: get_num("--cache", defaults.cache_capacity as u64) as usize,
+        retries: get_num("--retries", defaults.retries),
+        quarantine_after: get_num("--quarantine-after", defaults.quarantine_after),
+        shed_watermark: flags
+            .get("--shed-watermark")
+            .and_then(|v| v.parse().ok())
+            .or(defaults.shed_watermark),
+        default_budget: flags
+            .get("--budget")
+            .and_then(|v| v.parse().ok())
+            .or(defaults.default_budget),
+        ..defaults
     };
     let engine = ServeEngine::new(graph, cfg);
     let results = engine.serve_batch(&specs);
+    // Degraded-but-typed outcomes (rejected, shed, quarantined, budget)
+    // are part of the serve contract; only terminal execution failures
+    // make the process exit non-zero.
+    let mut terminal_failures = 0usize;
     for (i, result) in results.iter().enumerate() {
         let spec = &specs[i];
         match result {
@@ -340,14 +369,24 @@ fn cmd_serve(path: &str, batch_path: &str, flags: &Flags) -> ExitCode {
                 );
             }
             Err(e) => {
-                let status = if matches!(e, graphite::bsp::error::BspError::Admission { .. }) {
-                    "rejected"
-                } else {
-                    "error"
+                use graphite::bsp::error::BspError;
+                let status = match e {
+                    BspError::Admission { .. } => "rejected",
+                    BspError::Shed { .. } => "shed",
+                    BspError::Quarantined { .. } => "quarantined",
+                    BspError::BudgetExceeded { .. } => "budget",
+                    _ => {
+                        terminal_failures += 1;
+                        "error"
+                    }
                 };
                 println!(
                     "{{\"id\": {i}, \"algo\": \"{}\", \"platform\": \"{}\", \
-                     \"status\": \"{status}\", \"error\": \"{}\"}}",
+                     \"status\": \"{status}\", \"error\": {{\"kind\": \"{}\", \
+                     \"query\": \"{} {}\", \"detail\": \"{}\"}}}}",
+                    spec.algo.name(),
+                    spec.platform.name(),
+                    e.kind(),
                     spec.algo.name(),
                     spec.platform.name(),
                     json_escape(&e.to_string())
@@ -355,14 +394,40 @@ fn cmd_serve(path: &str, batch_path: &str, flags: &Flags) -> ExitCode {
             }
         }
     }
+    let health = engine.health();
+    if flags.has("--status") {
+        println!(
+            "{{\"status\": \"health\", \"retries\": {}, \"recovered\": {}, \
+             \"shed\": {}, \"quarantined\": {}, \"budget_exceeded\": {}, \
+             \"failed\": {}, \"quarantined_now\": {}}}",
+            health.retries,
+            health.recovered,
+            health.shed,
+            health.quarantined,
+            health.budget_exceeded,
+            health.failed,
+            health.quarantined_now
+        );
+    }
+    engine.health_trace().maybe_emit("serve/health");
     let stats = engine.stats();
     let ok = results.iter().filter(|r| r.is_ok()).count();
-    let errored = results.len() - ok - stats.rejected as usize;
     eprintln!(
-        "served {} queries: {ok} ok, {errored} errored, {} rejected, {} cache hits",
-        stats.submitted, stats.rejected, stats.cache_hits
+        "served {} queries: {ok} ok, {terminal_failures} errored, {} rejected, \
+         {} shed, {} quarantined, {} over budget, {} retried, {} cache hits",
+        stats.submitted,
+        stats.rejected,
+        stats.shed,
+        stats.quarantined,
+        stats.budget_exceeded,
+        stats.retries,
+        stats.cache_hits
     );
-    ExitCode::SUCCESS
+    if terminal_failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn main() -> ExitCode {
