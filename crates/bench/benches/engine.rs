@@ -4,37 +4,13 @@
 //! under ICM vs. MSB. These are the microscale versions of Fig. 5.
 
 use graphite_algorithms::registry::{run, Algo, Platform, RunOpts};
+use graphite_bench::engine_dataset;
 use graphite_bench::record::Recorder;
 use graphite_bench::timing::bench;
-use graphite_bench::Dataset;
-use graphite_datagen::{GenParams, LifespanModel, Profile, PropModel, Topology};
 use graphite_tgraph::graph::TemporalGraph;
 use graphite_tgraph::transform::TransformedGraph;
 use std::hint::black_box;
 use std::sync::Arc;
-
-fn small_long_lifespan() -> Dataset {
-    let params = GenParams {
-        vertices: 300,
-        edges: 2400,
-        snapshots: 24,
-        topology: Topology::PowerLaw {
-            edges_per_vertex: 8,
-        },
-        vertex_lifespans: LifespanModel::Full,
-        edge_lifespans: LifespanModel::Geometric { mean: 18.0 },
-        props: PropModel {
-            mean_segment: 9.0,
-            max_cost: 10,
-            max_travel_time: 1,
-        },
-        seed: 99,
-    };
-    Dataset::from_graph(
-        Profile::Twitter,
-        Arc::new(graphite_datagen::generate(&params)),
-    )
-}
 
 fn opts() -> RunOpts {
     RunOpts {
@@ -66,7 +42,7 @@ fn case(
 
 fn main() {
     let mut rec = Recorder::new("engine");
-    let dataset = small_long_lifespan();
+    let dataset = engine_dataset();
     let transformed = dataset.transformed();
 
     case(

@@ -1,0 +1,75 @@
+//! Micro-bench: the storage-layout pass (DESIGN.md §16).
+//!
+//! Re-measures the ICM rows of the engine bench on the exact same
+//! dataset, seeds, and run options, and additionally pins each case's
+//! *result digest* into the recording (as `result_digest_hi`/`_lo`
+//! counter halves), so a before/after pair proves the layout change is
+//! purely physical: identical deterministic counters, identical
+//! digests, different wall-clock.
+//!
+//! Phases: `GRAPHITE_LAYOUT_PHASE=pre` records `BENCH_layout-pre.json`
+//! (run against the pre-layout engine); the default records
+//! `BENCH_layout.json`, typically with `GRAPHITE_BENCH_BASELINE`
+//! pointing at the pre recording so every row carries a speedup.
+//! `bench_validate` enforces the ≥1.5× geo-mean floor and the
+//! counters/digest-identical cross-check.
+
+use graphite_algorithms::registry::{run, Algo, Platform, RunOpts};
+use graphite_bench::engine_dataset;
+use graphite_bench::record::Recorder;
+use graphite_bench::timing::bench;
+use std::hint::black_box;
+
+fn opts() -> RunOpts {
+    RunOpts {
+        workers: 2,
+        digest: false,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let phase = std::env::var("GRAPHITE_LAYOUT_PHASE").unwrap_or_default();
+    let name = if phase == "pre" {
+        "layout-pre"
+    } else {
+        "layout"
+    };
+    let mut rec = Recorder::new(name);
+    let dataset = engine_dataset();
+
+    for (label, algo) in [
+        ("engine/sssp/icm", Algo::Sssp),
+        ("engine/bfs/icm", Algo::Bfs),
+        ("engine/eat/icm", Algo::Eat),
+    ] {
+        // One untimed run with digesting on: the digest is pinned into
+        // the recording, but digest folding stays off the timed path
+        // (matching the engine bench's run options exactly).
+        let digest_opts = RunOpts {
+            digest: true,
+            ..opts()
+        };
+        let outcome =
+            run(algo, Platform::Icm, &dataset.graph, None, &digest_opts).expect("ICM run succeeds");
+        let digest = outcome.digest.expect("digest requested").0;
+
+        let mut last_metrics = None;
+        let result = bench(label, || {
+            let outcome = run(algo, Platform::Icm, &dataset.graph, None, &opts()).unwrap();
+            last_metrics = Some(outcome.metrics.clone());
+            black_box(outcome)
+        });
+        let metrics = last_metrics.expect("bench ran at least once");
+        rec.push_with_metrics_and(
+            result,
+            &metrics,
+            vec![
+                ("result_digest_hi", digest >> 32),
+                ("result_digest_lo", digest & 0xffff_ffff),
+            ],
+        );
+    }
+
+    rec.finish();
+}

@@ -5,7 +5,11 @@
 //! job after a short-budget pass over every bench target.
 //!
 //! Usage: `bench_validate FILE...` — exits nonzero on the first invalid
-//! file, printing every problem found.
+//! file, printing every problem found. When the file set contains the
+//! `layout` recording together with its `layout-pre` baseline and/or the
+//! `engine` recording, shared labels are also cross-checked: the layout
+//! pass must be purely physical, so deterministic counters and result
+//! digests must be bit-identical across recordings.
 
 use graphite_bench::json::Json;
 use graphite_bench::record::SCHEMA;
@@ -16,7 +20,7 @@ use std::process::ExitCode;
 /// report's quality extras. A key outside this list means the producer
 /// and this validator have drifted apart — fail loudly instead of
 /// silently ignoring a metric nobody will ever look at.
-const KNOWN_COUNTERS: [&str; 30] = [
+const KNOWN_COUNTERS: [&str; 32] = [
     "supersteps",
     "compute_calls",
     "scatter_calls",
@@ -47,7 +51,32 @@ const KNOWN_COUNTERS: [&str; 30] = [
     "budget_exceeded",
     "failed",
     "digest_mismatches",
+    "result_digest_hi",
+    "result_digest_lo",
 ];
+
+/// Counters that must be bit-identical across the storage-layout pass:
+/// the deterministic engine counters plus the result-digest halves the
+/// layout bench pins. `routing_growths` is deliberately excluded — it
+/// counts peak-buffer growth events, which depend on message arrival
+/// order, and the layout pass is allowed to reorder sends within a
+/// superstep (the digest is an order-independent fold, so correctness
+/// is unaffected).
+const LAYOUT_PINNED: [&str; 10] = [
+    "supersteps",
+    "compute_calls",
+    "scatter_calls",
+    "messages_sent",
+    "remote_messages",
+    "bytes_sent",
+    "warp_invocations",
+    "warp_suppressions",
+    "result_digest_hi",
+    "result_digest_lo",
+];
+
+/// The geo-mean speedup the committed layout recording must clear.
+const LAYOUT_SPEEDUP_FLOOR: f64 = 1.5;
 
 /// All problems found in one recorded file.
 fn problems(doc: &Json) -> Vec<String> {
@@ -131,6 +160,141 @@ fn problems(doc: &Json) -> Vec<String> {
     }
     if doc.get("name").and_then(Json::as_str) == Some("serve") {
         out.extend(serve_problems(results));
+    }
+    if matches!(
+        doc.get("name").and_then(Json::as_str),
+        Some("layout") | Some("layout-pre")
+    ) {
+        out.extend(layout_problems(results));
+    }
+    out
+}
+
+/// Extra checks for the layout recordings (`layout` and its `layout-pre`
+/// baseline): every ICM row must be present and carry a nonzero pinned
+/// result digest, and when the rows carry speedups (i.e. the recording
+/// was taken against a baseline) their geo-mean must clear the ≥1.5×
+/// floor the storage-layout pass claims.
+fn layout_problems(results: &[Json]) -> Vec<String> {
+    let mut out = Vec::new();
+    for label in ["engine/sssp/icm", "engine/bfs/icm", "engine/eat/icm"] {
+        if !results
+            .iter()
+            .any(|r| r.get("label").and_then(Json::as_str) == Some(label))
+        {
+            out.push(format!("layout: missing {label} row"));
+        }
+    }
+    for row in results {
+        let label = row.get("label").and_then(Json::as_str).unwrap_or_default();
+        let half = |key: &str| {
+            row.get("counters")
+                .and_then(|c| c.get(key))
+                .and_then(Json::as_f64)
+        };
+        match (half("result_digest_hi"), half("result_digest_lo")) {
+            (Some(hi), Some(lo)) if hi > 0.0 || lo > 0.0 => {}
+            (Some(_), Some(_)) => out.push(format!("layout: {label} result digest is zero")),
+            _ => out.push(format!(
+                "layout: {label} row carries no result_digest_hi/_lo counters"
+            )),
+        }
+    }
+    let speedups: Vec<f64> = results
+        .iter()
+        .filter_map(|r| r.get("speedup").and_then(Json::as_f64))
+        .collect();
+    if !speedups.is_empty() {
+        if speedups.len() != results.len() {
+            out.push(
+                "layout: some rows carry a speedup and some do not \
+                 (the baseline must cover every label)"
+                    .to_string(),
+            );
+        }
+        let geo = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+        if geo < LAYOUT_SPEEDUP_FLOOR {
+            out.push(format!(
+                "layout: geo-mean speedup {geo:.3} is below the \
+                 {LAYOUT_SPEEDUP_FLOOR}x floor"
+            ));
+        }
+    }
+    out
+}
+
+/// Cross-recording checks over every file passed in one invocation: the
+/// layout pass claims to be purely physical, so whenever the `layout`
+/// recording is validated together with `layout-pre` (digests + engine
+/// counters) or `engine` (engine counters), every shared label's pinned
+/// counters must be bit-identical.
+fn cross_problems(docs: &[Json]) -> Vec<String> {
+    let mut out = Vec::new();
+    let find = |name: &str| {
+        docs.iter()
+            .find(|d| d.get("name").and_then(Json::as_str) == Some(name))
+    };
+    let Some(layout) = find("layout") else {
+        return out;
+    };
+    if let Some(pre) = find("layout-pre") {
+        out.extend(counters_identical(
+            layout,
+            pre,
+            "layout-pre",
+            &LAYOUT_PINNED,
+        ));
+    }
+    if let Some(engine) = find("engine") {
+        // The engine recording carries no digest halves, so compare the
+        // engine-counter prefix of the pinned set only.
+        out.extend(counters_identical(
+            layout,
+            engine,
+            "engine",
+            &LAYOUT_PINNED[..8],
+        ));
+    }
+    out
+}
+
+/// Compares the `keys` counters of every label present in both
+/// recordings; they must match exactly.
+fn counters_identical(a: &Json, b: &Json, b_name: &str, keys: &[&str]) -> Vec<String> {
+    let mut out = Vec::new();
+    fn rows(d: &Json) -> &[Json] {
+        d.get("results").and_then(Json::as_arr).unwrap_or(&[])
+    }
+    let counter = |row: &Json, key: &str| {
+        row.get("counters")
+            .and_then(|c| c.get(key))
+            .and_then(Json::as_f64)
+    };
+    let mut shared = 0usize;
+    for row in rows(a) {
+        let Some(label) = row.get("label").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(other) = rows(b)
+            .iter()
+            .find(|r| r.get("label").and_then(Json::as_str) == Some(label))
+        else {
+            continue;
+        };
+        shared += 1;
+        for &key in keys {
+            let (av, bv) = (counter(row, key), counter(other, key));
+            if av != bv {
+                out.push(format!(
+                    "layout vs {b_name}: {label} counter {key:?} differs ({av:?} vs {bv:?})"
+                ));
+            }
+        }
+    }
+    if shared == 0 {
+        out.push(format!(
+            "layout vs {b_name}: no shared labels to cross-check"
+        ));
     }
     out
 }
@@ -262,6 +426,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let mut failed = false;
+    let mut parsed = Vec::new();
     for file in &files {
         let text = match std::fs::read_to_string(file) {
             Ok(t) => t,
@@ -292,6 +457,11 @@ fn main() -> ExitCode {
                 eprintln!("FAIL {file}: {e}");
             }
         }
+        parsed.push(doc);
+    }
+    for e in cross_problems(&parsed) {
+        eprintln!("FAIL cross-check: {e}");
+        failed = true;
     }
     if failed {
         ExitCode::FAILURE
@@ -471,6 +641,120 @@ mod tests {
         assert!(problems(&doc(&fault_row("serve/faults0", 200_000, 0)))
             .iter()
             .any(|e| e.contains("missing serve/faults0 and/or serve/faults5")));
+    }
+
+    /// A layout-bench row with the given digest/speedup shape.
+    fn layout_row(label: &str, digest_lo: u64, speedup: Option<f64>) -> String {
+        let speedup_fields = speedup.map_or(String::new(), |s| {
+            format!(r#", "baseline_mean_ns": {}, "speedup": {s}"#, 10.0 * s)
+        });
+        format!(
+            r#"{{"label": "{label}", "mean_ns": 10, "best_ns": 9, "iters": 5{speedup_fields},
+             "counters": {{"supersteps": 7, "messages_sent": 3,
+                           "result_digest_hi": 1, "result_digest_lo": {digest_lo}}}}}"#
+        )
+    }
+
+    fn layout_doc(name: &str, rows: &str) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema": "graphite-bench/1", "name": "{name}", "results": [{rows}]}}"#
+        ))
+        .expect("parses")
+    }
+
+    #[test]
+    fn layout_reports_must_pin_digests_and_clear_the_floor() {
+        let all = |speedup: Option<f64>| {
+            format!(
+                "{}, {}, {}",
+                layout_row("engine/sssp/icm", 11, speedup),
+                layout_row("engine/bfs/icm", 22, speedup),
+                layout_row("engine/eat/icm", 33, speedup)
+            )
+        };
+        // No speedups (smoke emission without a baseline): structurally valid.
+        assert!(problems(&layout_doc("layout", &all(None))).is_empty());
+        // Speedups clearing the 1.5x geo-mean floor: valid.
+        assert!(problems(&layout_doc("layout", &all(Some(1.6)))).is_empty());
+        // Below the floor: rejected.
+        let errs = problems(&layout_doc("layout", &all(Some(1.2))));
+        assert!(
+            errs.iter().any(|e| e.contains("below the 1.5x floor")),
+            "{errs:?}"
+        );
+        // Missing a required ICM row: rejected.
+        let errs = problems(&layout_doc(
+            "layout",
+            &layout_row("engine/sssp/icm", 11, None),
+        ));
+        assert!(
+            errs.iter().any(|e| e.contains("missing engine/bfs/icm")),
+            "{errs:?}"
+        );
+        // A row without the pinned digest halves: rejected.
+        let bare = r#"{"label": "engine/sssp/icm", "mean_ns": 10, "best_ns": 9, "iters": 5,
+             "counters": {"supersteps": 7}}"#;
+        let rows = format!(
+            "{bare}, {}, {}",
+            layout_row("engine/bfs/icm", 22, None),
+            layout_row("engine/eat/icm", 33, None)
+        );
+        let errs = problems(&layout_doc("layout", &rows));
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("no result_digest_hi/_lo counters")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn layout_cross_check_pins_counters_and_digests() {
+        let post = layout_doc(
+            "layout",
+            &format!(
+                "{}, {}",
+                layout_row("engine/sssp/icm", 11, None),
+                layout_row("engine/bfs/icm", 22, None)
+            ),
+        );
+        let pre_same = layout_doc(
+            "layout-pre",
+            &format!(
+                "{}, {}",
+                layout_row("engine/sssp/icm", 11, None),
+                layout_row("engine/bfs/icm", 22, None)
+            ),
+        );
+        assert!(cross_problems(&[post.clone(), pre_same]).is_empty());
+        // A digest that drifted between pre and post: rejected.
+        let pre_drift = layout_doc("layout-pre", &layout_row("engine/sssp/icm", 99, None));
+        let errs = cross_problems(&[post.clone(), pre_drift]);
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("result_digest_lo") && e.contains("differs")),
+            "{errs:?}"
+        );
+        // An engine recording whose shared label disagrees on a counter.
+        let engine = layout_doc(
+            "engine",
+            r#"{"label": "engine/sssp/icm", "mean_ns": 10, "best_ns": 9, "iters": 5,
+                "counters": {"supersteps": 8, "messages_sent": 3}}"#,
+        );
+        let errs = cross_problems(&[post.clone(), engine]);
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("supersteps") && e.contains("engine")),
+            "{errs:?}"
+        );
+        // No layout doc in the set: nothing to cross-check.
+        assert!(cross_problems(&[layout_doc("engine", &layout_row("a", 1, None))]).is_empty());
+        // Disjoint labels cannot substantiate the claim: rejected.
+        let disjoint = layout_doc("layout-pre", &layout_row("engine/wcc/icm", 11, None));
+        let errs = cross_problems(&[post, disjoint]);
+        assert!(
+            errs.iter().any(|e| e.contains("no shared labels")),
+            "{errs:?}"
+        );
     }
 
     #[test]

@@ -131,6 +131,35 @@ impl Dataset {
     }
 }
 
+/// The engine bench's dataset: a small power-law graph with long edge
+/// lifespans — the regime where warp's interval sharing pays off.
+///
+/// Shared between `benches/engine.rs` and `benches/layout.rs` so the
+/// storage-layout pass (DESIGN.md §16) is measured on exactly the
+/// workload whose counters the committed `BENCH_engine.json` pins.
+pub fn engine_dataset() -> Dataset {
+    let params = graphite_datagen::GenParams {
+        vertices: 300,
+        edges: 2400,
+        snapshots: 24,
+        topology: graphite_datagen::Topology::PowerLaw {
+            edges_per_vertex: 8,
+        },
+        vertex_lifespans: graphite_datagen::LifespanModel::Full,
+        edge_lifespans: graphite_datagen::LifespanModel::Geometric { mean: 18.0 },
+        props: graphite_datagen::PropModel {
+            mean_segment: 9.0,
+            max_cost: 10,
+            max_travel_time: 1,
+        },
+        seed: 99,
+    };
+    Dataset::from_graph(
+        Profile::Twitter,
+        Arc::new(graphite_datagen::generate(&params)),
+    )
+}
+
 /// One cell of the evaluation matrix.
 #[derive(Clone, Debug)]
 pub struct MatrixCell {

@@ -38,6 +38,7 @@ use crate::snapshot::{Checkpoint, Snapshot};
 use crate::trace::{duration_ns, TraceConfig, TraceEvent, TraceSink};
 use graphite_tgraph::graph::VIdx;
 use graphite_tgraph::rng::SplitMix64;
+use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -169,7 +170,16 @@ impl<M> Inbox<M> {
     /// the same grouping the previous tree-based inbox produced, without
     /// its per-vertex node allocations.
     fn seal(&mut self) {
-        self.staging.sort_unstable_by_key(|&(v, seq, _)| (v, seq));
+        // Arrivals are frequently already vertex-grouped (single-source
+        // routing, low fan-in steps); skipping the sort then saves the
+        // dominant cost of sealing.
+        let sorted = self
+            .staging
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1));
+        if !sorted {
+            self.staging.sort_unstable_by_key(|&(v, seq, _)| (v, seq));
+        }
         for (v, _, m) in self.staging.drain(..) {
             let start = self.msgs.len();
             match self.index.last_mut() {
@@ -363,6 +373,162 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Everything one worker's compute phase needs, moved to its pool thread
+/// at the start of the phase and moved back (inside [`ComputeDone`]) at
+/// the end. Ownership transfer instead of shared borrows is what lets the
+/// pool threads outlive a single superstep.
+struct ComputeJob<L: WorkerLogic> {
+    step: u64,
+    worker: usize,
+    /// Injected-fault arming for this worker at this step.
+    bomb: bool,
+    logic: L,
+    inbox: Inbox<L::Msg>,
+    outbox: Outbox<L::Msg>,
+    globals: Aggregators,
+    trace: TraceConfig,
+}
+
+/// A finished compute phase: the moved-in pieces come home along with the
+/// worker's per-step products. `panic` carries the payload message when
+/// the logic panicked — the logic itself still comes home (mid-superstep
+/// garbage, exactly like the panicked-thread state of a spawn-per-step
+/// scheme), so the recovery driver can roll it back and retry.
+struct ComputeDone<L: WorkerLogic> {
+    logic: L,
+    inbox: Inbox<L::Msg>,
+    outbox: Outbox<L::Msg>,
+    partial: Aggregators,
+    counters: UserCounters,
+    sink: TraceSink,
+    took: Duration,
+    panic: Option<String>,
+}
+
+/// Runs one worker's compute phase to completion: the single execution
+/// path shared by the pool threads and the inline (small-step) path, so
+/// fault arming, timing and panic capture are identical wherever a
+/// superstep runs.
+fn execute_compute<L: WorkerLogic>(mut job: ComputeJob<L>) -> ComputeDone<L> {
+    let mut partial = Aggregators::new();
+    let mut counters = UserCounters::default();
+    let mut sink = TraceSink::new(job.trace);
+    let (step, w, bomb) = (job.step, job.worker, job.bomb);
+    let t0 = now();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        assert!(!bomb, "injected fault: worker {w} at superstep {step}");
+        job.logic.superstep(
+            step,
+            &job.inbox,
+            &mut job.outbox,
+            &job.globals,
+            &mut partial,
+            &mut counters,
+            &mut sink,
+        );
+    }));
+    let took = t0.elapsed();
+    ComputeDone {
+        logic: job.logic,
+        inbox: job.inbox,
+        outbox: job.outbox,
+        partial,
+        counters,
+        sink,
+        took,
+        panic: outcome.err().map(panic_message),
+    }
+}
+
+/// A superstep whose total staged work (owned vertices at superstep 1,
+/// delivered messages afterwards) is at or below this bound runs its
+/// compute phases *inline* on the driver thread instead of fanning out to
+/// the pool. At that scale a worker's compute costs a few microseconds —
+/// less than a single cross-thread wakeup — so parallelism is pure loss.
+/// The measure is a deterministic function of the message flow, never of
+/// wall time, so the same run always picks the same path (and results are
+/// path-independent anyway: both paths feed identical per-worker products
+/// to the same single-threaded exchange).
+const INLINE_COMPUTE_WORK: usize = 4096;
+
+/// A resident pool of compute threads, one per worker, living for a whole
+/// run. Spawning OS threads per superstep costs tens of microseconds per
+/// barrier — comparable to an entire superstep's compute on bench-sized
+/// graphs — so the pool amortizes thread creation across the run and
+/// synchronizes each phase with two channel hops instead of spawn + join.
+/// Threads spawn lazily at the first dispatched superstep: a run whose
+/// supersteps all stay under [`INLINE_COMPUTE_WORK`] never creates them.
+///
+/// Determinism is unaffected: the same per-worker products are handed to
+/// the same single-threaded exchange phase, and worker panics are caught
+/// and reported through the same [`BspError::WorkerPanicked`] path
+/// (message text included) as thread-per-step joins produced.
+pub(crate) struct ComputePool<'scope, 'env, L: WorkerLogic> {
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    n: usize,
+    jobs: Vec<mpsc::Sender<ComputeJob<L>>>,
+    dones: Vec<mpsc::Receiver<ComputeDone<L>>>,
+}
+
+impl<'scope, 'env, L: WorkerLogic + 'scope> ComputePool<'scope, 'env, L> {
+    /// A pool of `n` threads attached to `scope`. Threads are not created
+    /// until the first [`dispatch`](Self::dispatch); once spawned they exit
+    /// when the pool (and with it the job senders) drops, and the scope
+    /// then joins them.
+    pub(crate) fn start(scope: &'scope std::thread::Scope<'scope, 'env>, n: usize) -> Self {
+        ComputePool {
+            scope,
+            n,
+            jobs: Vec::new(),
+            dones: Vec::new(),
+        }
+    }
+
+    fn ensure_spawned(&mut self) {
+        if self.jobs.len() == self.n {
+            return;
+        }
+        for _ in 0..self.n {
+            let (jtx, jrx) = mpsc::channel::<ComputeJob<L>>();
+            let (dtx, drx) = mpsc::channel::<ComputeDone<L>>();
+            self.scope.spawn(move || {
+                while let Ok(job) = jrx.recv() {
+                    if dtx.send(execute_compute(job)).is_err() {
+                        break; // driver gone; shut down
+                    }
+                }
+            });
+            self.jobs.push(jtx);
+            self.dones.push(drx);
+        }
+    }
+
+    /// Hands a worker's compute phase to its pool thread.
+    fn dispatch(&mut self, job: ComputeJob<L>) -> Result<(), BspError> {
+        self.ensure_spawned();
+        let (step, w) = (job.step, job.worker);
+        self.jobs[w]
+            .send(job)
+            .map_err(|_| Self::thread_lost(step, w))
+    }
+
+    /// Blocks until worker `w`'s compute phase finishes.
+    fn collect(&mut self, step: u64, w: usize) -> Result<ComputeDone<L>, BspError> {
+        self.dones[w].recv().map_err(|_| Self::thread_lost(step, w))
+    }
+
+    /// A pool thread disappeared without handing its pieces back. Panics
+    /// inside worker logic are caught and reported via [`ComputeDone`],
+    /// so this is only reachable through catastrophic thread death; it is
+    /// surfaced as the same error the old spawn-per-step join produced.
+    fn thread_lost(step: u64, w: usize) -> BspError {
+        BspError::WorkerPanicked {
+            step,
+            workers: vec![(w, "compute pool thread terminated".to_string())],
+        }
+    }
+}
+
 /// The complete state of a run between superstep boundaries. [`run_bsp`]
 /// drives it to convergence in one sweep; the recovery driver additionally
 /// captures it into [`Checkpoint`]s and rolls it back after faults.
@@ -379,6 +545,10 @@ pub(crate) struct RunState<L: WorkerLogic> {
     pub(crate) step: u64,
     /// Set when a barrier finalized the halt vote.
     pub(crate) halted: bool,
+    /// Total vertices across all partitions — the superstep-1 work bound
+    /// for the inline-vs-pool compute decision (every owned vertex
+    /// computes at initialization).
+    total_vertices: usize,
 }
 
 impl<L: WorkerLogic> RunState<L> {
@@ -401,6 +571,7 @@ impl<L: WorkerLogic> RunState<L> {
             metrics: RunMetrics::default(),
             step: 0,
             halted: false,
+            total_vertices: partition.len(),
         })
     }
 
@@ -408,12 +579,16 @@ impl<L: WorkerLogic> RunState<L> {
     /// exchange, barrier. On success `self.step` advances and `self.halted`
     /// reflects the halt vote; on error the state is mid-superstep garbage
     /// and must be either dropped or rolled back before reuse.
-    pub(crate) fn superstep(
+    pub(crate) fn superstep<'scope>(
         &mut self,
         config: &BspConfig,
         master: &mut Option<MasterHook<'_>>,
         injector: &mut FaultInjector,
-    ) -> Result<(), BspError> {
+        pool: &mut ComputePool<'scope, '_, L>,
+    ) -> Result<(), BspError>
+    where
+        L: 'scope,
+    {
         let n = self.workers.len();
         let step = self.step + 1;
         self.checker.begin_compute(step);
@@ -443,8 +618,22 @@ impl<L: WorkerLogic> RunState<L> {
             Vec::new()
         };
 
-        // --- Compute phase: one thread per worker. ---
-        let globals_ref = &self.globals;
+        // --- Compute phase: inline for small steps, pooled for large. ---
+        // The workers, inboxes and outboxes move to the compute phases and
+        // come home with the per-step products. When the staged work is at
+        // or below INLINE_COMPUTE_WORK the phases run sequentially right
+        // here (a cross-thread wakeup costs more than the whole phase);
+        // otherwise one resident pool thread per worker runs them and the
+        // driver collects in (possibly perturbed) order. Every outstanding
+        // phase is collected — even after failures — so a panicking worker
+        // cannot leave its state stranded, and *every* poisoned worker is
+        // reported, not just the first.
+        let work = if step == 1 {
+            self.total_vertices
+        } else {
+            self.inboxes.iter().map(Inbox::total_messages).sum()
+        };
+        let inline = n <= 1 || work <= INLINE_COMPUTE_WORK;
         let mut slots: Vec<Option<ComputeSlot>> = (0..n).map(|_| None).collect();
         let mut compute_max = Duration::ZERO;
         let mut tooks: Vec<Duration> = if trace_full {
@@ -453,57 +642,60 @@ impl<L: WorkerLogic> RunState<L> {
             Vec::new()
         };
         let mut panicked: Vec<(usize, String)> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles: Vec<_> = self
-                .workers
-                .iter_mut()
-                .zip(self.inboxes.iter())
-                .zip(self.outboxes.iter_mut())
-                .zip(bombs.iter())
-                .enumerate()
-                .map(|(w, (((logic, inbox), outbox), &bomb))| {
-                    Some(scope.spawn(move || {
-                        assert!(!bomb, "injected fault: worker {w} at superstep {step}");
-                        let mut partial = Aggregators::new();
-                        let mut counters = UserCounters::default();
-                        let mut sink = TraceSink::new(trace_cfg);
-                        let t0 = now();
-                        logic.superstep(
-                            step,
-                            inbox,
-                            outbox,
-                            globals_ref,
-                            &mut partial,
-                            &mut counters,
-                            &mut sink,
-                        );
-                        (partial, counters, sink, t0.elapsed())
-                    }))
-                })
-                .collect();
-            // Join in (possibly perturbed) order. Every handle is joined —
-            // even after failures — so a panicking worker cannot escape the
-            // scope and bring the driver down with it, and *every* poisoned
-            // worker is collected into the error, not just the first.
+        let workers = std::mem::take(&mut self.workers);
+        let inboxes = std::mem::take(&mut self.inboxes);
+        let outboxes = std::mem::take(&mut self.outboxes);
+        let mut returned: Vec<Option<ComputeDone<L>>> = (0..n).map(|_| None).collect();
+        let jobs = workers
+            .into_iter()
+            .zip(inboxes)
+            .zip(outboxes)
+            .enumerate()
+            .map(|(w, ((logic, inbox), outbox))| ComputeJob {
+                step,
+                worker: w,
+                bomb: bombs[w],
+                logic,
+                inbox,
+                outbox,
+                globals: self.globals.clone(),
+                trace: trace_cfg,
+            });
+        if inline {
+            for job in jobs {
+                let w = job.worker;
+                returned[w] = Some(execute_compute(job));
+            }
+        } else {
+            for job in jobs {
+                pool.dispatch(job)?;
+            }
             for &w in &join_order {
-                let Some(handle) = handles[w].take() else {
-                    continue;
-                };
-                match handle.join() {
-                    Ok((partial, counters, sink, took)) => {
-                        compute_max = compute_max.max(took);
-                        if trace_full {
-                            tooks[w] = took;
-                        }
-                        slots[w] = Some((partial, counters, sink));
+                returned[w] = Some(pool.collect(step, w)?);
+            }
+        }
+        self.workers = Vec::with_capacity(n);
+        self.inboxes = Vec::with_capacity(n);
+        self.outboxes = Vec::with_capacity(n);
+        for (w, done) in returned.into_iter().enumerate() {
+            let Some(done) = done else {
+                continue; // unreachable: every index was collected above
+            };
+            self.workers.push(done.logic);
+            self.inboxes.push(done.inbox);
+            self.outboxes.push(done.outbox);
+            match done.panic {
+                Some(msg) => panicked.push((w, msg)),
+                None => {
+                    compute_max = compute_max.max(done.took);
+                    if trace_full {
+                        tooks[w] = done.took;
                     }
-                    Err(payload) => panicked.push((w, panic_message(payload))),
+                    slots[w] = Some((done.partial, done.counters, done.sink));
                 }
             }
-        });
+        }
         if !panicked.is_empty() {
-            // Join order may be perturbed; report in worker order.
-            panicked.sort_by_key(|p| p.0);
             return Err(BspError::WorkerPanicked {
                 step,
                 workers: panicked,
@@ -678,12 +870,16 @@ impl<L: WorkerLogic> RunState<L> {
     /// Propagates superstep failures; exhausting `config.max_supersteps`
     /// without halting is [`BspError::SuperstepLimit`]; exhausting an
     /// explicit `config.superstep_budget` is [`BspError::BudgetExceeded`].
-    pub(crate) fn drive(
+    pub(crate) fn drive<'scope>(
         &mut self,
         config: &BspConfig,
         master: &mut Option<MasterHook<'_>>,
         injector: &mut FaultInjector,
-    ) -> Result<(), BspError> {
+        pool: &mut ComputePool<'scope, '_, L>,
+    ) -> Result<(), BspError>
+    where
+        L: 'scope,
+    {
         while !self.halted {
             if self.step >= config.max_supersteps {
                 return Err(BspError::SuperstepLimit {
@@ -695,7 +891,7 @@ impl<L: WorkerLogic> RunState<L> {
                     return Err(BspError::BudgetExceeded { budget });
                 }
             }
-            self.superstep(config, master, injector)?;
+            self.superstep(config, master, injector, pool)?;
         }
         Ok(())
     }
@@ -811,7 +1007,11 @@ pub fn run_bsp<L: WorkerLogic>(
     let mut injector = FaultInjector::new(config.fault_plan.clone());
     let mut state = RunState::new(workers, &partition)?;
     let run_start = now();
-    state.drive(config, &mut master, &mut injector)?;
+    let n = state.workers.len();
+    std::thread::scope(|scope| {
+        let mut pool = ComputePool::start(scope, n);
+        state.drive(config, &mut master, &mut injector, &mut pool)
+    })?;
     state.metrics.makespan = run_start.elapsed();
     Ok((state.workers, state.metrics))
 }

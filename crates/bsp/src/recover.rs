@@ -20,7 +20,7 @@
 //! return a wrong answer. Non-recoverable errors (configuration mismatch,
 //! non-convergence, checkpoint I/O) propagate immediately.
 
-use crate::engine::{BspConfig, MasterHook, RunState, WorkerLogic};
+use crate::engine::{BspConfig, ComputePool, MasterHook, RunState, WorkerLogic};
 use crate::error::BspError;
 use crate::fault::FaultInjector;
 use crate::metrics::{now, RunMetrics};
@@ -113,62 +113,70 @@ pub fn run_bsp_recoverable<L: WorkerLogic + Snapshot>(
     save_checkpoint(&mut store, &mut state, tracing)?;
     let mut since_checkpoint = 0u64;
 
-    while !state.halted {
-        if state.step >= config.max_supersteps {
-            return Err(BspError::SuperstepLimit {
-                limit: config.max_supersteps,
-            });
-        }
-        if let Some(budget) = config.superstep_budget {
-            if state.step >= budget {
-                return Err(BspError::BudgetExceeded { budget });
+    // The compute pool lives for the whole recovered run — across
+    // checkpoints, rollbacks and retries — so recovery pays thread
+    // creation once, like the straight-through driver.
+    let n = state.workers.len();
+    std::thread::scope(|scope| {
+        let mut pool = ComputePool::start(scope, n);
+        while !state.halted {
+            if state.step >= config.max_supersteps {
+                return Err(BspError::SuperstepLimit {
+                    limit: config.max_supersteps,
+                });
             }
-        }
-        match state.superstep(config, &mut master, &mut injector) {
-            Ok(()) => {
-                since_checkpoint += 1;
-                if !state.halted && since_checkpoint >= recovery.checkpoint_interval {
-                    save_checkpoint(&mut store, &mut state, tracing)?;
+            if let Some(budget) = config.superstep_budget {
+                if state.step >= budget {
+                    return Err(BspError::BudgetExceeded { budget });
+                }
+            }
+            match state.superstep(config, &mut master, &mut injector, &mut pool) {
+                Ok(()) => {
+                    since_checkpoint += 1;
+                    if !state.halted && since_checkpoint >= recovery.checkpoint_interval {
+                        save_checkpoint(&mut store, &mut state, tracing)?;
+                        since_checkpoint = 0;
+                    }
+                }
+                Err(err) if err.is_recoverable() => {
+                    history.push(err.clone());
+                    if rollbacks >= recovery.max_attempts {
+                        return Err(BspError::RecoveryExhausted {
+                            attempts: history.len() as u64,
+                            last: Box::new(err),
+                            history,
+                        });
+                    }
+                    if !recovery.backoff.is_zero() {
+                        // Exponential: 1x, 2x, 4x, ... per consecutive rollback.
+                        let factor = 1u32 << rollbacks.min(16) as u32;
+                        std::thread::sleep(recovery.backoff.saturating_mul(factor));
+                    }
+                    let ckpt: Checkpoint = store.load()?.ok_or_else(|| BspError::Checkpoint {
+                        detail: "no checkpoint available for rollback".into(),
+                    })?;
+                    // Supersteps to re-execute: the completed ones since the
+                    // checkpoint, plus the faulted superstep's retry.
+                    let lost = state.step.saturating_sub(ckpt.step) + 1;
+                    let from_step = state.step;
+                    state.rollback(&ckpt)?;
+                    if tracing {
+                        state.metrics.trace.push(TraceEvent::Rollback {
+                            from_step,
+                            to_step: ckpt.step,
+                        });
+                    }
+                    state.metrics.recovery.rollbacks += 1;
+                    state.metrics.recovery.supersteps_replayed += lost;
+                    rollbacks += 1;
                     since_checkpoint = 0;
+                    injector.next_attempt();
                 }
+                Err(err) => return Err(err),
             }
-            Err(err) if err.is_recoverable() => {
-                history.push(err.clone());
-                if rollbacks >= recovery.max_attempts {
-                    return Err(BspError::RecoveryExhausted {
-                        attempts: history.len() as u64,
-                        last: Box::new(err),
-                        history,
-                    });
-                }
-                if !recovery.backoff.is_zero() {
-                    // Exponential: 1x, 2x, 4x, ... per consecutive rollback.
-                    let factor = 1u32 << rollbacks.min(16) as u32;
-                    std::thread::sleep(recovery.backoff.saturating_mul(factor));
-                }
-                let ckpt: Checkpoint = store.load()?.ok_or_else(|| BspError::Checkpoint {
-                    detail: "no checkpoint available for rollback".into(),
-                })?;
-                // Supersteps to re-execute: the completed ones since the
-                // checkpoint, plus the faulted superstep's retry.
-                let lost = state.step.saturating_sub(ckpt.step) + 1;
-                let from_step = state.step;
-                state.rollback(&ckpt)?;
-                if tracing {
-                    state.metrics.trace.push(TraceEvent::Rollback {
-                        from_step,
-                        to_step: ckpt.step,
-                    });
-                }
-                state.metrics.recovery.rollbacks += 1;
-                state.metrics.recovery.supersteps_replayed += lost;
-                rollbacks += 1;
-                since_checkpoint = 0;
-                injector.next_attempt();
-            }
-            Err(err) => return Err(err),
         }
-    }
+        Ok(())
+    })?;
     state.metrics.makespan = run_start.elapsed();
     Ok((state.workers, state.metrics))
 }

@@ -34,6 +34,13 @@ pub enum Profile {
     /// heavy-tailed. Built for the partitioning study (DESIGN.md §13) —
     /// the profile where hash placement shows real interval-load
     /// imbalance and `graphite-part`'s temporal-balance strategy wins.
+    ///
+    /// Deliberately **excluded from [`Profile::ALL`]**: `ALL` is pinned to
+    /// the paper's six evaluated datasets, and every recorded figure
+    /// pipeline (BENCH files, reports) iterates it — admitting `Skew`
+    /// would silently change those artifacts. Name it explicitly where a
+    /// stress run is wanted; `all_is_exactly_the_papers_six_datasets`
+    /// guards the membership.
     Skew,
 }
 
@@ -208,6 +215,29 @@ impl Profile {
 mod tests {
     use super::*;
     use graphite_tgraph::stats::dataset_stats;
+
+    #[test]
+    fn all_is_exactly_the_papers_six_datasets() {
+        // `ALL` feeds every recorded figure pipeline, so its membership is
+        // part of the repo's reproducibility contract: exactly the paper's
+        // six datasets, in Table 1's order, and never the synthetic
+        // `Skew` stress profile.
+        assert_eq!(
+            Profile::ALL,
+            [
+                Profile::GPlus,
+                Profile::Usrn,
+                Profile::Reddit,
+                Profile::Mag,
+                Profile::Twitter,
+                Profile::WebUk,
+            ]
+        );
+        assert!(
+            !Profile::ALL.contains(&Profile::Skew),
+            "Skew is a stress profile, not a paper dataset"
+        );
+    }
 
     #[test]
     fn all_profiles_generate_sound_graphs() {

@@ -20,7 +20,7 @@
 use crate::program::{
     ComputeContext, EdgeDirection, IntervalProgram, ScatterContext, VertexContext,
 };
-use crate::state::StateUpdates;
+use crate::state::{StateArena, StateUpdates};
 use crate::warp::WarpScratch;
 use graphite_bsp::aggregate::{Aggregators, MasterDecision};
 use graphite_bsp::codec::{get_varint, put_varint, Wire};
@@ -34,10 +34,11 @@ use graphite_bsp::snapshot::Snapshot;
 use graphite_bsp::trace::{TraceConfig, TraceSink};
 use graphite_bsp::MasterHook;
 use graphite_part::PartitionStrategy;
-use graphite_tgraph::graph::{EIdx, TemporalGraph, VIdx, VertexId};
+use graphite_tgraph::graph::{TemporalGraph, VIdx, VertexId};
 use graphite_tgraph::iset::IntervalPartition;
 use graphite_tgraph::time::{Interval, Time, TIME_MAX, TIME_MIN};
-use std::collections::{BTreeMap, HashMap};
+use std::borrow::Cow;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Configuration of one GRAPHITE run.
@@ -132,67 +133,46 @@ struct IcmWorker<P: IntervalProgram> {
     owned: Vec<VIdx>,
     combiner: bool,
     suppression: Option<f64>,
-    /// Final-state collection iterates this map, so it must be ordered:
-    /// a hash map here would make the result order (and any downstream
-    /// float folds) depend on the hasher.
-    states: BTreeMap<u32, IntervalPartition<P::State>>,
-    /// Property-refined lifespan segments per edge, materialized on first
-    /// scatter over the edge. Keyed lookups only — never iterated — so a
-    /// hash map is safe and its O(1) probes are on the scatter hot path.
-    segment_cache: HashMap<u32, Box<[Interval]>>,
+    /// Per-vertex interval partitions in a flat, id-sorted arena.
+    /// Iteration is ascending by vertex id, so final-state collection and
+    /// checkpoint encodings are deterministic (and byte-identical to the
+    /// ordered-map representation this replaced).
+    states: StateArena<P::State>,
     /// Reusable warp arena: all kernel allocations (events, active set,
     /// tuples, groups) plus the staged span lists amortize across every
     /// vertex and superstep this worker executes.
     scratch: WarpScratch,
     /// Reusable scatter emission buffer.
     emitted: Vec<(Interval, P::Msg)>,
+    /// Reusable warp-group message buffer: one tuple's message group is
+    /// assembled (and combiner-folded) here instead of allocating a fresh
+    /// vector per compute call.
+    group: Vec<P::Msg>,
 }
 
 impl<P: IntervalProgram> IcmWorker<P> {
-    /// Edge lifespan refined at every property-interval boundary, so each
-    /// segment has constant property values ("scatter is called once for
-    /// each overlapping interval of its out-edges having a distinct
-    /// property", Sec. IV-A).
-    fn edge_segments<'a>(
-        graph: &TemporalGraph,
-        cache: &'a mut HashMap<u32, Box<[Interval]>>,
-        e: EIdx,
-        refine: bool,
-    ) -> &'a [Interval] {
-        cache.entry(e.0).or_insert_with(|| {
-            let ed = graph.edge(e);
-            let life = ed.lifespan;
-            let mut bounds = vec![life.start(), life.end()];
-            if refine {
-                for (_, iv, _) in ed.props.iter() {
-                    bounds.push(iv.start());
-                    bounds.push(iv.end());
-                }
-            }
-            bounds.sort_unstable();
-            bounds.dedup();
-            bounds
-                .windows(2)
-                .filter_map(|w| Interval::try_new(w[0], w[1]))
-                .filter_map(|iv| iv.intersect(life))
-                .collect()
-        })
-    }
-
-    /// Folds a warp tuple's message group through the combiner. Returns
-    /// the original list when the program declines to combine.
-    fn fold(&self, msgs: Vec<P::Msg>) -> Vec<P::Msg> {
+    /// Folds a warp tuple's message group through the combiner, in place.
+    /// Leaves the list untouched when the program declines to combine.
+    fn fold_in_place(&self, msgs: &mut Vec<P::Msg>) {
         if !self.combiner || msgs.len() <= 1 {
-            return msgs;
+            return;
         }
         let mut acc = msgs[0].clone();
         for m in &msgs[1..] {
             match self.program.combine(&acc, m) {
                 Some(c) => acc = c,
-                None => return msgs,
+                None => return,
             }
         }
-        vec![acc]
+        msgs.clear();
+        msgs.push(acc);
+    }
+
+    /// Owned-vector variant of [`fold_in_place`](Self::fold_in_place) for
+    /// the per-point suppressed path, whose buckets are already owned.
+    fn fold(&self, mut msgs: Vec<P::Msg>) -> Vec<P::Msg> {
+        self.fold_in_place(&mut msgs);
+        msgs
     }
 
     /// Runs scatter over the changed sub-intervals of vertex `v`.
@@ -215,28 +195,42 @@ impl<P: IntervalProgram> IcmWorker<P> {
             EdgeDirection::In => &[EdgeDirection::In],
             EdgeDirection::Both => &[EdgeDirection::Out, EdgeDirection::In],
         };
+        // Last instant any changed interval reaches: edge runs are sorted
+        // by lifespan start, so the scan below can stop at the first edge
+        // starting at or after it.
+        let max_end = changed
+            .iter()
+            .map(|(iv, _)| iv.end())
+            .max()
+            .unwrap_or(TIME_MIN);
+        let refine = self.program.refine_scatter_by_properties();
         for &dir in passes {
-            let edges: &[EIdx] = match dir {
-                EdgeDirection::Out => graph.out_edges(v),
-                EdgeDirection::In | EdgeDirection::Both => graph.in_edges(v),
+            let run = match dir {
+                EdgeDirection::Out => graph.out_run(v),
+                EdgeDirection::In | EdgeDirection::Both => graph.in_run(v),
             };
-            for &e in edges {
-                let ed = graph.edge(e);
-                let target = match dir {
-                    EdgeDirection::Out => ed.dst,
-                    EdgeDirection::In | EdgeDirection::Both => ed.src,
-                };
-                // Cheap reject before materializing segments.
-                let covers = changed.iter().any(|(iv, _)| iv.intersects(ed.lifespan));
+            for i in 0..run.len() {
+                // The hot loop reads only the mirror columns (span, then
+                // neighbor) — sequential scans over two flat arrays; the
+                // edge row itself is never touched here.
+                let span = run.span[i];
+                if span.start() >= max_end {
+                    break; // sorted run: nothing further can intersect
+                }
+                // Cheap reject before touching segments.
+                let covers = changed.iter().any(|(iv, _)| iv.intersects(span));
                 if !covers {
                     continue;
                 }
-                let segments = Self::edge_segments(
-                    graph,
-                    &mut self.segment_cache,
-                    e,
-                    self.program.refine_scatter_by_properties(),
-                );
+                let e = run.edges[i];
+                let target = run.nbr[i];
+                // Property-refined segments are precomputed into the frozen
+                // graph; the unrefined case is exactly the lifespan.
+                let segments: &[Interval] = if refine {
+                    graph.scatter_segments(e)
+                } else {
+                    std::slice::from_ref(&run.span[i])
+                };
                 for seg in segments.iter() {
                     for (civ, state) in changed {
                         let Some(cap) = civ.intersect(*seg) else {
@@ -267,9 +261,11 @@ impl<P: IntervalProgram> IcmWorker<P> {
 
     /// Sender-side pre-warp combining: messages bound for the same vertex
     /// with *identical* intervals fold into one when a combiner exists.
-    fn precombine(&self, msgs: &[(Interval, P::Msg)]) -> Vec<(Interval, P::Msg)> {
+    /// Borrows the inbox slice unchanged when there is nothing to combine
+    /// — the common single-message case costs no allocation at all.
+    fn precombine<'m>(&self, msgs: &'m [(Interval, P::Msg)]) -> Cow<'m, [(Interval, P::Msg)]> {
         if !self.combiner || msgs.len() <= 1 {
-            return msgs.to_vec();
+            return Cow::Borrowed(msgs);
         }
         let mut sorted: Vec<(Interval, P::Msg)> = msgs.to_vec();
         sorted.sort_by_key(|(iv, _)| (iv.start(), iv.end()));
@@ -285,7 +281,7 @@ impl<P: IntervalProgram> IcmWorker<P> {
                 _ => out.push((iv, m)),
             }
         }
-        out
+        Cow::Owned(out)
     }
 
     /// Whether this vertex's inbox qualifies for warp suppression.
@@ -337,9 +333,7 @@ impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
                     partition.split_at(t);
                 }
                 let mut updates = StateUpdates::new();
-                let entries: Vec<(Interval, P::State)> =
-                    partition.iter().map(|(iv, s)| (iv, s.clone())).collect();
-                for (iv, state) in entries {
+                for (iv, state) in partition.iter() {
                     let mut ctx = ComputeContext {
                         graph: &graph,
                         vertex: v,
@@ -351,10 +345,10 @@ impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
                         direct: &mut direct,
                     };
                     counters.compute_calls += 1;
-                    self.program.compute(&mut ctx, iv, &state, &[]);
+                    self.program.compute(&mut ctx, iv, state, &[]);
                 }
                 let changed = updates.apply(&mut partition);
-                self.states.insert(v.0, partition);
+                self.states.put(v, partition);
                 self.scatter_changes(v, &changed, step, outbox, globals, counters);
             }
             self.owned = owned;
@@ -368,16 +362,16 @@ impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
         // program asks for an all-active superstep (fixed-iteration or
         // phased algorithms), every vertex participates over its whole
         // lifespan.
-        type ActiveSet<M> = Vec<(VIdx, Vec<(Interval, M)>)>;
+        type ActiveSet<'m, M> = Vec<(VIdx, Cow<'m, [(Interval, M)]>)>;
         let all_active = self.program.all_active(step, globals);
-        let mut active: ActiveSet<P::Msg> = Vec::new();
+        let mut active: ActiveSet<'_, P::Msg> = Vec::new();
         if all_active {
-            let owned = self.owned.clone();
-            for v in owned {
+            for i in 0..self.owned.len() {
+                let v = self.owned[i];
                 let msgs = inbox
                     .messages_for(v)
                     .map(|raw| self.precombine(raw))
-                    .unwrap_or_default();
+                    .unwrap_or(Cow::Borrowed(&[]));
                 active.push((v, msgs));
             }
         } else {
@@ -385,14 +379,16 @@ impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
                 active.push((v, self.precombine(raw)));
             }
         }
-        // The warp arena moves into a local for the superstep so its
-        // borrows don't pin `self` while `fold`/`scatter_changes` run.
+        // The warp arena and group buffer move into locals for the
+        // superstep so their borrows don't pin `self` while
+        // `fold_in_place`/`scatter_changes` run.
         let mut scratch = std::mem::take(&mut self.scratch);
+        let mut group = std::mem::take(&mut self.group);
         for (v, msgs) in active {
             // Take the vertex state out of the map for the superstep and
             // reinsert it after the writes are applied: one lookup, no
             // re-borrow, no "checked above" unwrap.
-            let Some(mut partition) = self.states.remove(&v.0) else {
+            let Some(mut partition) = self.states.take(v) else {
                 continue;
             };
             let lifespan = partition.lifespan();
@@ -410,7 +406,7 @@ impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
                 // suppression).
                 let base = lifespan.start();
                 let mut table: Vec<Vec<P::Msg>> = vec![Vec::new(); lifespan.len() as usize];
-                for (iv, m) in &msgs {
+                for (iv, m) in msgs.iter() {
                     let Some(clipped) = iv.intersect(lifespan) else {
                         continue;
                     };
@@ -472,14 +468,16 @@ impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
                         // (state) interval, so the lookup cannot miss.
                         .expect("warp tuple inside lifespan")
                         .clone();
-                    let group: Vec<P::Msg> = tuple
-                        .inner
-                        .iter()
-                        .filter(|&&i| i < msgs.len())
-                        .map(|&i| msgs[i].1.clone())
-                        .collect();
+                    group.clear();
+                    group.extend(
+                        tuple
+                            .inner
+                            .iter()
+                            .filter(|&&i| i < msgs.len())
+                            .map(|&i| msgs[i].1.clone()),
+                    );
                     sink.add("warp_group_msgs", group.len() as u64);
-                    let group = self.fold(group);
+                    self.fold_in_place(&mut group);
                     let mut ctx = ComputeContext {
                         graph: &graph,
                         vertex: v,
@@ -497,10 +495,11 @@ impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
             }
 
             let changed = updates.apply(&mut partition);
-            self.states.insert(v.0, partition);
+            self.states.put(v, partition);
             self.scatter_changes(v, &changed, step, outbox, globals, counters);
         }
         self.scratch = scratch;
+        self.group = group;
         for (v, iv, m) in direct {
             outbox.send(v, (iv, m));
         }
@@ -509,17 +508,19 @@ impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
 
 /// Checkpointing for ICM workers (available when the program's state is
 /// wire-encodable): the per-vertex interval partitions are the complete
-/// user state — `segment_cache`, `scratch` and `emitted` are derived or
-/// ephemeral and rebuild on demand, and the config fields never change
-/// mid-run.
+/// user state — `scratch` and `emitted` are ephemeral, scatter segments
+/// live precomputed in the frozen graph, and the config fields never
+/// change mid-run. The arena iterates in ascending vertex-id order, so
+/// the encoding is byte-identical to the ordered-map representation it
+/// replaced (and stable across checkpoint/restore cycles).
 impl<P: IntervalProgram> Snapshot for IcmWorker<P>
 where
     P::State: Wire,
 {
     fn checkpoint(&self, buf: &mut Vec<u8>) {
         put_varint(self.states.len() as u64, buf);
-        for (&v, partition) in &self.states {
-            put_varint(u64::from(v), buf);
+        for (v, partition) in self.states.iter() {
+            put_varint(u64::from(v.0), buf);
             partition.lifespan().encode(buf);
             put_varint(partition.len() as u64, buf);
             for (iv, s) in partition.iter() {
@@ -532,7 +533,7 @@ where
     fn restore(&mut self, bytes: &[u8]) -> Result<(), &'static str> {
         let mut cur = bytes;
         let count = get_varint(&mut cur).ok_or("vertex state count")?;
-        let mut states = BTreeMap::new();
+        let mut states = StateArena::new(&self.owned);
         for _ in 0..count {
             let raw = get_varint(&mut cur).ok_or("vertex id")?;
             let v = u32::try_from(raw).map_err(|_| "vertex id exceeds u32")?;
@@ -554,15 +555,14 @@ where
             if !tiles {
                 return Err("checkpoint entries do not tile the lifespan");
             }
-            states.insert(v, IntervalPartition::from_entries(lifespan, entries));
+            states
+                .try_put(VIdx(v), IntervalPartition::from_entries(lifespan, entries))
+                .map_err(|_| "checkpoint vertex not owned by this worker")?;
         }
         if !cur.is_empty() {
             return Err("trailing bytes in worker checkpoint");
         }
         self.states = states;
-        // Derived cache: cheap to rebuild, and keeping it is also correct —
-        // cleared anyway so restored runs start from a canonical footprint.
-        self.segment_cache.clear();
         Ok(())
     }
 }
@@ -669,7 +669,7 @@ where
     Ok(collect_result(workers, metrics))
 }
 
-/// One ICM worker per partition, with empty state maps and fresh arenas.
+/// One ICM worker per partition, with empty state arenas and fresh scratch.
 fn build_workers<P: IntervalProgram>(
     graph: &Arc<TemporalGraph>,
     program: &Arc<P>,
@@ -683,10 +683,10 @@ fn build_workers<P: IntervalProgram>(
             owned: partition.owned_by(w),
             combiner: config.combiner,
             suppression: config.suppression_threshold,
-            states: BTreeMap::new(),
-            segment_cache: HashMap::new(),
+            states: StateArena::new(&partition.owned_by(w)),
             scratch: WarpScratch::new(),
             emitted: Vec::new(),
+            group: Vec::new(),
         })
         .collect()
 }
@@ -728,10 +728,10 @@ fn collect_result<P: IntervalProgram>(
     metrics: RunMetrics,
 ) -> IcmResult<P::State> {
     let mut states = BTreeMap::new();
-    for worker in workers {
-        for (v, mut partition) in worker.states {
+    for mut worker in workers {
+        for (v, mut partition) in worker.states.drain() {
             partition.coalesce();
-            let vid = worker.graph.vertex(VIdx(v)).vid;
+            let vid = worker.graph.vertex(v).vid;
             states.insert(vid, partition.into_entries());
         }
     }

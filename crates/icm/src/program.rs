@@ -11,7 +11,7 @@
 use crate::state::StateUpdates;
 use graphite_bsp::aggregate::Aggregators;
 use graphite_bsp::codec::Wire;
-use graphite_tgraph::graph::{EIdx, EdgeData, TemporalGraph, VIdx, VertexData, VertexId};
+use graphite_tgraph::graph::{EIdx, EdgeRef, TemporalGraph, VIdx, VertexId, VertexRef};
 use graphite_tgraph::property::{LabelId, PropValue};
 use graphite_tgraph::time::{Interval, Time};
 
@@ -138,7 +138,7 @@ impl<'a> VertexContext<'a> {
     }
 
     /// The vertex's static data (external id, lifespan, properties).
-    pub fn data(&self) -> &'a VertexData {
+    pub fn data(&self) -> VertexRef<'a> {
         self.graph.vertex(self.vertex)
     }
 
@@ -178,7 +178,7 @@ impl<'a, S: Clone, M> ComputeContext<'a, S, M> {
     }
 
     /// The vertex being computed.
-    pub fn vertex(&self) -> &'a VertexData {
+    pub fn vertex(&self) -> VertexRef<'a> {
         self.graph.vertex(self.vertex)
     }
 
@@ -249,7 +249,7 @@ impl<'a, M> ScatterContext<'a, M> {
     }
 
     /// The edge being scattered over.
-    pub fn edge(&self) -> &'a EdgeData {
+    pub fn edge(&self) -> EdgeRef<'a> {
         self.graph.edge(self.edge)
     }
 
@@ -294,7 +294,9 @@ impl<'a, M> ScatterContext<'a, M> {
     /// refines edge segments at property boundaries, so the value is
     /// constant across the whole interval.
     pub fn edge_prop(&self, label: LabelId) -> Option<&'a PropValue> {
-        self.edge().props.value_at(label, self.interval.start())
+        self.graph
+            .edge_props(self.edge)
+            .value_at(label, self.interval.start())
     }
 
     /// Shorthand for an integer edge property.

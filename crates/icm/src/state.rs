@@ -3,8 +3,108 @@
 //! which sub-intervals `compute` changed in the current superstep (those —
 //! and only those — feed the pre-scatter warp).
 
+use graphite_tgraph::graph::VIdx;
 use graphite_tgraph::iset::IntervalPartition;
 use graphite_tgraph::time::Interval;
+
+/// Arena of per-vertex interval partitions for the vertices one worker
+/// owns (DESIGN.md §16).
+///
+/// The owned set is fixed at worker construction, so instead of a tree
+/// keyed by vertex id the arena stores one slot per owned vertex in a
+/// flat, id-sorted array: lookups are a binary search over a dense `u32`
+/// index (one cache line covers 16 candidates), and the partitions
+/// themselves sit contiguously in slot order. Iteration is always in
+/// ascending vertex-id order — exactly the order the old ordered-map
+/// representation produced — so checkpoint encodings and result collection
+/// are byte-for-byte unchanged.
+#[derive(Debug)]
+pub struct StateArena<S> {
+    /// Owned vertex ids, ascending; position = slot number.
+    index: Vec<u32>,
+    /// One slot per owned vertex, aligned with `index`. `None` until the
+    /// vertex is initialized (or while its partition is checked out for a
+    /// superstep).
+    slots: Vec<Option<IntervalPartition<S>>>,
+}
+
+impl<S> StateArena<S> {
+    /// An empty arena with one slot for each vertex in `owned`.
+    pub fn new(owned: &[VIdx]) -> Self {
+        let mut index: Vec<u32> = owned.iter().map(|v| v.0).collect();
+        index.sort_unstable();
+        index.dedup();
+        let slots = index.iter().map(|_| None).collect();
+        StateArena { index, slots }
+    }
+
+    fn slot(&self, v: VIdx) -> Option<usize> {
+        self.index.binary_search(&v.0).ok()
+    }
+
+    /// Number of vertices currently holding a partition.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// `true` when no vertex holds a partition.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// Checks the partition of `v` out of the arena (for a superstep), or
+    /// `None` when `v` is unowned or uninitialized.
+    pub fn take(&mut self, v: VIdx) -> Option<IntervalPartition<S>> {
+        let i = self.slot(v)?;
+        self.slots[i].take()
+    }
+
+    /// Stores the partition of owned vertex `v`.
+    ///
+    /// # Panics
+    /// Panics when `v` is not in the arena's owned set; the engine only
+    /// ever stores vertices it was constructed with.
+    pub fn put(&mut self, v: VIdx, partition: IntervalPartition<S>) {
+        // lint:allow(no-unwrap) — the engine only stores vertices from the
+        // owned set the arena was constructed with; a miss is a logic bug.
+        let i = self.slot(v).expect("vertex not owned by this worker");
+        self.slots[i] = Some(partition);
+    }
+
+    /// Fallible [`put`](Self::put) for restore paths: `Err` (with the
+    /// partition handed back) when `v` is not owned, instead of panicking
+    /// on corrupted input.
+    pub fn try_put(
+        &mut self,
+        v: VIdx,
+        partition: IntervalPartition<S>,
+    ) -> Result<(), IntervalPartition<S>> {
+        match self.slot(v) {
+            Some(i) => {
+                self.slots[i] = Some(partition);
+                Ok(())
+            }
+            None => Err(partition),
+        }
+    }
+
+    /// The held partitions in ascending vertex-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (VIdx, &IntervalPartition<S>)> {
+        self.index
+            .iter()
+            .zip(&self.slots)
+            .filter_map(|(&v, s)| s.as_ref().map(|p| (VIdx(v), p)))
+    }
+
+    /// Removes and yields every held partition in ascending vertex-id
+    /// order, leaving the arena empty (slots stay allocated).
+    pub fn drain(&mut self) -> impl Iterator<Item = (VIdx, IntervalPartition<S>)> + '_ {
+        self.index
+            .iter()
+            .zip(self.slots.iter_mut())
+            .filter_map(|(&v, s)| s.take().map(|p| (VIdx(v), p)))
+    }
+}
 
 /// The state writes produced by the `compute` calls of one vertex in one
 /// superstep. Warp tuples are disjoint, so writes never overlap across
@@ -53,9 +153,37 @@ impl<S: Clone + PartialEq> StateUpdates<S> {
     /// re-stores an unchanged value, matching the paper's "any state update
     /// causes scatter to be called" (a value-identical store is not an
     /// update).
-    pub fn apply(self, partition: &mut IntervalPartition<S>) -> Vec<(Interval, S)> {
+    pub fn apply(mut self, partition: &mut IntervalPartition<S>) -> Vec<(Interval, S)> {
         if self.writes.is_empty() {
             return Vec::new();
+        }
+        // Fast path for the dominant case — one write per compute call —
+        // which needs no overlap resolution: diff the single interval
+        // against the partition directly, skipping the scratch cover (an
+        // allocation per active vertex per superstep on the general path).
+        if self.writes.len() == 1 {
+            let Some((iv, value)) = self.writes.pop() else {
+                return Vec::new(); // unreachable: length was checked above
+            };
+            let diffs: Vec<Interval> = partition
+                .overlapping(iv)
+                .filter(|(_, old)| *old != &value)
+                .map(|(piece, _)| piece)
+                .collect();
+            let mut changed: Vec<(Interval, S)> = Vec::new();
+            for piece in diffs {
+                partition.set(piece, value.clone());
+                match changed.last_mut() {
+                    Some((last, lv)) if last.meets(piece) && *lv == value => {
+                        *last = last.span(piece);
+                    }
+                    _ => changed.push((piece, value.clone())),
+                }
+            }
+            if !changed.is_empty() {
+                partition.coalesce();
+            }
+            return changed;
         }
         // Resolve overlapping writes (later wins) onto a scratch cover of
         // the written span, then diff that cover against the partition.

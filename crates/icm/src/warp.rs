@@ -58,6 +58,13 @@ pub struct WarpTuple {
     pub inner: Vec<usize>,
 }
 
+/// One linear pass over an event list: `true` when already non-decreasing,
+/// letting the kernel skip the event sort for inboxes that arrive in run
+/// order from the frozen graph's lifespan-sorted adjacency.
+fn is_sorted_pairs(events: &[(Time, usize)]) -> bool {
+    events.windows(2).all(|w| w[0] <= w[1])
+}
+
 /// Requirements on the outer set: temporally partitioned — sorted by start
 /// and non-overlapping (gaps allowed). Debug-asserted.
 fn debug_check_outer<S>(outer: &[(Interval, S)]) {
@@ -222,8 +229,20 @@ impl WarpScratch {
             starts.push((iv.start(), i));
             ends.push((iv.end(), i));
         }
-        starts.sort_unstable();
-        ends.sort_unstable();
+        // The frozen graph's adjacency runs are lifespan-sorted, so a
+        // vertex's inbox — filled run by run — usually arrives with starts
+        // already non-decreasing: detect that in one linear scan and skip
+        // the sort. When the check fails (multi-source inboxes, sentinel
+        // spans), the pattern-sensitive sort degrades the concatenated
+        // sorted sub-runs to ascending-run merges rather than a full
+        // shuffle sort. Every `(Time, usize)` event is distinct (the index
+        // disambiguates), so stability cannot affect output.
+        if !is_sorted_pairs(starts) {
+            starts.sort_unstable();
+        }
+        if !is_sorted_pairs(ends) {
+            ends.sort_unstable();
+        }
 
         let m = inner.len();
         let n = outer.len();

@@ -233,3 +233,56 @@ fn unsorted_outer_is_rejected_in_debug() {
     let inner = [Interval::new(0, 30)];
     time_warp_spans(&outer, &inner);
 }
+
+/// A tuple group projected onto its message *intervals* (sorted), so two
+/// kernel runs over permutations of the same inner list can be compared
+/// even though `WarpTuple::inner` indexes into the caller's ordering.
+fn groups(tuples: &[WarpTuple], inner: &[Interval]) -> Vec<(Interval, usize, Vec<Interval>)> {
+    tuples
+        .iter()
+        .map(|t| {
+            let mut g: Vec<Interval> = t.inner.iter().map(|&i| inner[i]).collect();
+            g.sort_by_key(|iv| (iv.start(), iv.end()));
+            (t.interval, t.outer, g)
+        })
+        .collect()
+}
+
+/// The frozen layout's sorted adjacency runs deliver message intervals in
+/// ascending `(start, end)` order, which the kernel detects and services
+/// with a merge instead of a sort. A deliberately unsorted permutation of
+/// the same messages must take the sort fallback and produce the same
+/// tuples (same intervals, same outers, same message groups).
+#[test]
+fn sorted_fast_path_matches_unsorted_fallback() {
+    let mut rng = SplitMix64::new(0x0050_5245_534f_5254);
+    let mut scratch = WarpScratch::new();
+    for case in 0..256 {
+        let outer = rand_outer(&mut rng);
+        let mut sorted = rand_inner(&mut rng);
+        sorted.sort_by_key(|iv| (iv.start(), iv.end()));
+        let t_sorted: Vec<WarpTuple> = time_warp_spans_into(&outer, &sorted, &mut scratch).to_vec();
+        check(
+            &outer,
+            &sorted,
+            &t_sorted,
+            &format!("sorted case {case} outer={outer:?} inner={sorted:?}"),
+        );
+        // Reversing a sorted list is the worst case for the sortedness
+        // check: it bails at the first window.
+        let reversed: Vec<Interval> = sorted.iter().rev().copied().collect();
+        let t_reversed: Vec<WarpTuple> =
+            time_warp_spans_into(&outer, &reversed, &mut scratch).to_vec();
+        check(
+            &outer,
+            &reversed,
+            &t_reversed,
+            &format!("reversed case {case} outer={outer:?} inner={reversed:?}"),
+        );
+        assert_eq!(
+            groups(&t_sorted, &sorted),
+            groups(&t_reversed, &reversed),
+            "case {case}: fast path and fallback disagree (outer={outer:?} inner={sorted:?})"
+        );
+    }
+}

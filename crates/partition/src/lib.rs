@@ -25,6 +25,9 @@
 //! layer: observed per-worker compute skew from a `graphite-trace/1` run
 //! drives a seeded, deterministic re-assignment.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod rebalance;
 pub mod stats;
 pub mod strategies;

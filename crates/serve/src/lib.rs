@@ -38,7 +38,7 @@
 //! [`RunOutcome`]: graphite_algorithms::registry::RunOutcome
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cache;
 pub mod cost;

@@ -1,11 +1,25 @@
 //! The temporal property graph `G = (V, E, L, AV, AE)` (Sec. III,
-//! Definition 1) and its in-memory storage.
+//! Definition 1) and its frozen, cache-conscious storage (DESIGN.md §16).
 //!
 //! Externally, vertices and edges are identified by opaque [`VertexId`] /
 //! [`EdgeId`] values chosen by the user. Internally, the graph assigns dense
-//! indices ([`VIdx`], [`EIdx`]) and stores adjacency in CSR form (one
-//! contiguous edge-index array with per-vertex offsets, forward and
-//! reverse), so workers can scan out-edges without pointer chasing.
+//! indices ([`VIdx`], [`EIdx`]) and freezes into a structure-of-arrays
+//! layout at build time:
+//!
+//! * **Entity columns** — per-vertex and per-edge attribute columns
+//!   (`vid`/`eid`, lifespan, properties) indexed by `VIdx`/`EIdx`, where
+//!   `EIdx` is *insertion order* — the order every digest and codec folds
+//!   in, which is what makes the physical layout invisible to them.
+//! * **CSR adjacency** — one contiguous edge-index array per direction
+//!   with per-vertex offsets. Each vertex's run is pre-sorted by edge
+//!   lifespan `(start, end, EIdx)`, and carries *mirror columns* (neighbor
+//!   endpoint, lifespan) aligned with the run, so the scatter hot loop
+//!   scans three flat arrays instead of chasing per-edge rows.
+//! * **Scatter segments** — every edge's property-refined lifespan
+//!   segments, precomputed into one CSR-shaped pool ([`scatter_segments`])
+//!   so the engine never materializes them per run.
+//!
+//! [`scatter_segments`]: TemporalGraph::scatter_segments
 
 use crate::iset::IntervalMap;
 use crate::property::{LabelId, LabelInterner, PropValue, Properties};
@@ -20,7 +34,7 @@ pub struct VertexId(pub u64);
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EdgeId(pub u64);
 
-/// Dense internal vertex index (position in the graph's vertex table).
+/// Dense internal vertex index (position in the graph's vertex columns).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VIdx(pub u32);
 
@@ -32,7 +46,8 @@ impl VIdx {
     }
 }
 
-/// Dense internal edge index (position in the graph's edge table).
+/// Dense internal edge index (position in the graph's edge columns,
+/// always equal to insertion order — the digest and codec fold order).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EIdx(pub u32);
 
@@ -44,7 +59,9 @@ impl EIdx {
     }
 }
 
-/// A temporal vertex `⟨vid, τ⟩` plus its property timelines.
+/// A temporal vertex `⟨vid, τ⟩` plus its property timelines, as one owned
+/// row — the builder-side staging shape. The frozen graph decomposes rows
+/// into columns; reads go through the [`VertexRef`] view.
 #[derive(Clone, Debug)]
 pub struct VertexData {
     /// External identifier.
@@ -55,7 +72,9 @@ pub struct VertexData {
     pub props: Properties,
 }
 
-/// A temporal edge `⟨eid, vid_i, vid_j, τ⟩` plus its property timelines.
+/// A temporal edge `⟨eid, vid_i, vid_j, τ⟩` plus its property timelines,
+/// as one owned row — the builder-side staging shape. The frozen graph
+/// decomposes rows into columns; reads go through the [`EdgeRef`] view.
 #[derive(Clone, Debug)]
 pub struct EdgeData {
     /// External identifier.
@@ -70,7 +89,66 @@ pub struct EdgeData {
     pub props: Properties,
 }
 
-/// An immutable temporal property multigraph.
+/// Read view of one vertex, assembled from the graph's columns. The
+/// scalars are copied out (they are two words each); the property
+/// timelines stay borrowed from the graph.
+#[derive(Clone, Copy, Debug)]
+pub struct VertexRef<'a> {
+    /// External identifier.
+    pub vid: VertexId,
+    /// Lifespan `[ts, te)` of the vertex.
+    pub lifespan: Interval,
+    /// Vertex property timelines (`AV`).
+    pub props: &'a Properties,
+}
+
+/// Read view of one edge, assembled from the graph's columns. The scalars
+/// are copied out; the property timelines stay borrowed from the graph.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeRef<'a> {
+    /// External identifier.
+    pub eid: EdgeId,
+    /// Source vertex (internal index).
+    pub src: VIdx,
+    /// Sink vertex (internal index).
+    pub dst: VIdx,
+    /// Lifespan `[ts, te)` of the edge.
+    pub lifespan: Interval,
+    /// Edge property timelines (`AE`).
+    pub props: &'a Properties,
+}
+
+/// One vertex's CSR adjacency run together with its mirror columns, all
+/// aligned index-by-index and pre-sorted by edge lifespan
+/// `(start, end, EIdx)`. The scatter hot loop iterates `span` (early
+/// exit on the sorted starts) and only touches `edges`/`nbr` for the
+/// survivors — three sequential scans, no per-edge row loads.
+#[derive(Clone, Copy, Debug)]
+pub struct AdjRun<'a> {
+    /// Edge indices of the run.
+    pub edges: &'a [EIdx],
+    /// The neighbor endpoint of each edge (`dst` for out-runs, `src` for
+    /// in-runs), aligned with `edges`.
+    pub nbr: &'a [VIdx],
+    /// Edge lifespans, aligned with `edges`; `span[i].start()` is
+    /// non-decreasing along the run.
+    pub span: &'a [Interval],
+}
+
+impl<'a> AdjRun<'a> {
+    /// Number of edges in the run.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the run is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// An immutable temporal property multigraph, frozen into the
+/// structure-of-arrays layout described in the module docs.
 ///
 /// Construct one with [`crate::builder::TemporalGraphBuilder`], which
 /// enforces the paper's soundness constraints, or deserialize a previously
@@ -78,19 +156,82 @@ pub struct EdgeData {
 #[derive(Clone, Debug)]
 pub struct TemporalGraph {
     labels: LabelInterner,
-    vertices: Vec<VertexData>,
-    edges: Vec<EdgeData>,
+    // Vertex columns, indexed by `VIdx`.
+    v_vid: Vec<VertexId>,
+    v_lifespan: Vec<Interval>,
+    v_props: Vec<Properties>,
+    // Edge columns, indexed by `EIdx` = insertion order.
+    e_eid: Vec<EdgeId>,
+    e_src: Vec<VIdx>,
+    e_dst: Vec<VIdx>,
+    e_lifespan: Vec<Interval>,
+    e_props: Vec<Properties>,
     vid_index: HashMap<VertexId, VIdx>,
+    // CSR adjacency with lifespan-sorted runs and aligned mirror columns.
     out_offsets: Vec<u32>,
     out_edges: Vec<EIdx>,
+    out_dst: Vec<VIdx>,
+    out_span: Vec<Interval>,
     in_offsets: Vec<u32>,
     in_edges: Vec<EIdx>,
+    in_src: Vec<VIdx>,
+    in_span: Vec<Interval>,
+    // Property-refined scatter segments, CSR-shaped over `EIdx`.
+    seg_offsets: Vec<u32>,
+    segs: Vec<Interval>,
     lifespan: Interval,
 }
 
+/// Builds one direction of CSR adjacency: offsets, lifespan-sorted edge
+/// runs, and the aligned neighbor/span mirror columns. `key(e)` is the
+/// vertex each edge is charged to; `nbr(e)` the mirrored endpoint.
+fn build_csr(
+    n: usize,
+    edges: &[EdgeData],
+    key: impl Fn(&EdgeData) -> VIdx,
+    nbr: impl Fn(&EdgeData) -> VIdx,
+) -> (Vec<u32>, Vec<EIdx>, Vec<VIdx>, Vec<Interval>) {
+    let mut degree = vec![0u32; n];
+    for e in edges {
+        degree[key(e).idx()] += 1;
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0u32);
+    let mut acc = 0u32;
+    for &d in &degree {
+        acc += d;
+        offsets.push(acc);
+    }
+    // One global sort produces every per-vertex run already ordered by
+    // (lifespan start, lifespan end, EIdx): the CSR fill below preserves
+    // the relative order of a vertex's edges.
+    let mut order: Vec<u32> = (0..edges.len() as u32).collect();
+    order.sort_unstable_by_key(|&i| {
+        let e = &edges[i as usize];
+        (key(e).0, e.lifespan.start(), e.lifespan.end(), i)
+    });
+    let mut run = vec![EIdx(0); edges.len()];
+    let mut mirror_nbr = vec![VIdx(0); edges.len()];
+    let mut mirror_span = vec![Interval::all(); edges.len()];
+    let mut fill = offsets.clone();
+    for &i in &order {
+        let e = &edges[i as usize];
+        let slot = &mut fill[key(e).idx()];
+        run[*slot as usize] = EIdx(i);
+        mirror_nbr[*slot as usize] = nbr(e);
+        mirror_span[*slot as usize] = e.lifespan;
+        *slot += 1;
+    }
+    (offsets, run, mirror_nbr, mirror_span)
+}
+
 impl TemporalGraph {
-    /// Assembles a graph from validated parts. Intended for the builder;
-    /// most users should go through [`crate::builder::TemporalGraphBuilder`].
+    /// Assembles (freezes) a graph from validated row-shaped parts: the
+    /// rows are decomposed into columns, CSR adjacency is built with
+    /// lifespan-sorted runs and mirror columns, and every edge's
+    /// property-refined scatter segments are precomputed. Intended for the
+    /// builder; most users should go through
+    /// [`crate::builder::TemporalGraphBuilder`].
     pub(crate) fn assemble(
         labels: LabelInterner,
         vertices: Vec<VertexData>,
@@ -98,62 +239,98 @@ impl TemporalGraph {
         vid_index: HashMap<VertexId, VIdx>,
     ) -> Self {
         let n = vertices.len();
-        let mut out_degree = vec![0u32; n];
-        let mut in_degree = vec![0u32; n];
-        for e in &edges {
-            out_degree[e.src.idx()] += 1;
-            in_degree[e.dst.idx()] += 1;
-        }
-        let prefix = |deg: &[u32]| {
-            let mut off = Vec::with_capacity(deg.len() + 1);
-            off.push(0u32);
-            let mut acc = 0u32;
-            for &d in deg {
-                acc += d;
-                off.push(acc);
-            }
-            off
-        };
-        let out_offsets = prefix(&out_degree);
-        let in_offsets = prefix(&in_degree);
-        let mut out_fill = out_offsets.clone();
-        let mut in_fill = in_offsets.clone();
-        let mut out_edges = vec![EIdx(0); edges.len()];
-        let mut in_edges = vec![EIdx(0); edges.len()];
-        for (i, e) in edges.iter().enumerate() {
-            let o = &mut out_fill[e.src.idx()];
-            out_edges[*o as usize] = EIdx(i as u32);
-            *o += 1;
-            let ii = &mut in_fill[e.dst.idx()];
-            in_edges[*ii as usize] = EIdx(i as u32);
-            *ii += 1;
-        }
+        let (out_offsets, out_edges, out_dst, out_span) =
+            build_csr(n, &edges, |e| e.src, |e| e.dst);
+        let (in_offsets, in_edges, in_src, in_span) = build_csr(n, &edges, |e| e.dst, |e| e.src);
         let lifespan = vertices
             .iter()
             .map(|v| v.lifespan)
             .reduce(|a, b| a.span(b))
             .unwrap_or_else(Interval::all);
+
+        // Property-refined scatter segments (Sec. IV-A: "scatter is called
+        // once for each overlapping interval of its out-edges having a
+        // distinct property"): the edge lifespan split at every property
+        // boundary. Pooled CSR-style so the common no-property case costs
+        // one interval and zero extra allocations.
+        let mut seg_offsets = Vec::with_capacity(edges.len() + 1);
+        seg_offsets.push(0u32);
+        let mut segs = Vec::with_capacity(edges.len());
+        let mut bounds: Vec<Time> = Vec::new();
+        for e in &edges {
+            let life = e.lifespan;
+            bounds.clear();
+            bounds.push(life.start());
+            bounds.push(life.end());
+            for (_, iv, _) in e.props.iter() {
+                bounds.push(iv.start());
+                bounds.push(iv.end());
+            }
+            bounds.sort_unstable();
+            bounds.dedup();
+            segs.extend(
+                bounds
+                    .windows(2)
+                    .filter_map(|w| Interval::try_new(w[0], w[1]))
+                    .filter_map(|iv| iv.intersect(life)),
+            );
+            seg_offsets.push(segs.len() as u32);
+        }
+
+        let mut v_vid = Vec::with_capacity(n);
+        let mut v_lifespan = Vec::with_capacity(n);
+        let mut v_props = Vec::with_capacity(n);
+        for v in vertices {
+            v_vid.push(v.vid);
+            v_lifespan.push(v.lifespan);
+            v_props.push(v.props);
+        }
+        let m = edges.len();
+        let mut e_eid = Vec::with_capacity(m);
+        let mut e_src = Vec::with_capacity(m);
+        let mut e_dst = Vec::with_capacity(m);
+        let mut e_lifespan = Vec::with_capacity(m);
+        let mut e_props = Vec::with_capacity(m);
+        for e in edges {
+            e_eid.push(e.eid);
+            e_src.push(e.src);
+            e_dst.push(e.dst);
+            e_lifespan.push(e.lifespan);
+            e_props.push(e.props);
+        }
         TemporalGraph {
             labels,
-            vertices,
-            edges,
+            v_vid,
+            v_lifespan,
+            v_props,
+            e_eid,
+            e_src,
+            e_dst,
+            e_lifespan,
+            e_props,
             vid_index,
             out_offsets,
             out_edges,
+            out_dst,
+            out_span,
             in_offsets,
             in_edges,
+            in_src,
+            in_span,
+            seg_offsets,
+            segs,
             lifespan,
         }
     }
 
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
-        self.vertices.len()
+        self.v_vid.len()
     }
 
     /// Number of edges.
     pub fn num_edges(&self) -> usize {
-        self.edges.len()
+        self.e_eid.len()
     }
 
     /// The smallest interval containing every vertex lifespan.
@@ -172,6 +349,10 @@ impl TemporalGraph {
     /// layer keys its result cache by this value (DESIGN.md §14), so the
     /// digest must be cheap relative to a run — it is a single linear
     /// pass — and stable across save/load round-trips.
+    ///
+    /// The fold visits edges in `EIdx` order, which the frozen layout
+    /// keeps equal to insertion order (only the CSR *runs* are sorted), so
+    /// the digest is invariant under the physical layout (DESIGN.md §16).
     pub fn structure_digest(&self) -> u64 {
         // Two-round splitmix64 finalizer over an accumulating state: the
         // same mixing discipline as `crate::rng::SplitMix64`, applied as a
@@ -209,21 +390,21 @@ impl TemporalGraph {
             }
             h
         }
-        let mut h = mix(0x6772_6170_6869_7465, self.vertices.len() as u64); // "graphite"
-        h = mix(h, self.edges.len() as u64);
-        for v in &self.vertices {
-            h = mix(h, v.vid.0);
-            h = mix(h, v.lifespan.start() as u64);
-            h = mix(h, v.lifespan.end() as u64);
-            h = mix_props(h, &self.labels, &v.props);
+        let mut h = mix(0x6772_6170_6869_7465, self.v_vid.len() as u64); // "graphite"
+        h = mix(h, self.e_eid.len() as u64);
+        for i in 0..self.v_vid.len() {
+            h = mix(h, self.v_vid[i].0);
+            h = mix(h, self.v_lifespan[i].start() as u64);
+            h = mix(h, self.v_lifespan[i].end() as u64);
+            h = mix_props(h, &self.labels, &self.v_props[i]);
         }
-        for e in &self.edges {
-            h = mix(h, e.eid.0);
-            h = mix(h, self.vertices[e.src.idx()].vid.0);
-            h = mix(h, self.vertices[e.dst.idx()].vid.0);
-            h = mix(h, e.lifespan.start() as u64);
-            h = mix(h, e.lifespan.end() as u64);
-            h = mix_props(h, &self.labels, &e.props);
+        for i in 0..self.e_eid.len() {
+            h = mix(h, self.e_eid[i].0);
+            h = mix(h, self.v_vid[self.e_src[i].idx()].0);
+            h = mix(h, self.v_vid[self.e_dst[i].idx()].0);
+            h = mix(h, self.e_lifespan[i].start() as u64);
+            h = mix(h, self.e_lifespan[i].end() as u64);
+            h = mix_props(h, &self.labels, &self.e_props[i]);
         }
         h
     }
@@ -243,45 +424,72 @@ impl TemporalGraph {
         self.vid_index.get(&vid).copied()
     }
 
-    /// Vertex data at internal index `v`.
+    /// Read view of the vertex at internal index `v`.
     #[inline]
-    pub fn vertex(&self, v: VIdx) -> &VertexData {
-        &self.vertices[v.idx()]
+    pub fn vertex(&self, v: VIdx) -> VertexRef<'_> {
+        let i = v.idx();
+        VertexRef {
+            vid: self.v_vid[i],
+            lifespan: self.v_lifespan[i],
+            props: &self.v_props[i],
+        }
     }
 
-    /// Edge data at internal index `e`.
+    /// Read view of the edge at internal index `e`.
     #[inline]
-    pub fn edge(&self, e: EIdx) -> &EdgeData {
-        &self.edges[e.idx()]
+    pub fn edge(&self, e: EIdx) -> EdgeRef<'_> {
+        let i = e.idx();
+        EdgeRef {
+            eid: self.e_eid[i],
+            src: self.e_src[i],
+            dst: self.e_dst[i],
+            lifespan: self.e_lifespan[i],
+            props: &self.e_props[i],
+        }
+    }
+
+    /// The lifespan of vertex `v`, read straight from the interval column.
+    #[inline]
+    pub fn vertex_lifespan(&self, v: VIdx) -> Interval {
+        self.v_lifespan[v.idx()]
+    }
+
+    /// The lifespan of edge `e`, read straight from the interval column.
+    #[inline]
+    pub fn edge_lifespan(&self, e: EIdx) -> Interval {
+        self.e_lifespan[e.idx()]
+    }
+
+    /// The properties of edge `e`, read straight from the property column
+    /// — the scatter hot path's lookup, skipping the other four edge
+    /// columns an [`EdgeRef`] would touch.
+    #[inline]
+    pub fn edge_props(&self, e: EIdx) -> &Properties {
+        &self.e_props[e.idx()]
     }
 
     /// All internal vertex indices.
     pub fn vertex_indices(&self) -> impl Iterator<Item = VIdx> {
-        (0..self.vertices.len() as u32).map(VIdx)
+        (0..self.v_vid.len() as u32).map(VIdx)
     }
 
     /// All internal edge indices.
     pub fn edge_indices(&self) -> impl Iterator<Item = EIdx> {
-        (0..self.edges.len() as u32).map(EIdx)
+        (0..self.e_eid.len() as u32).map(EIdx)
     }
 
     /// All vertices in index order.
-    pub fn vertices(&self) -> impl Iterator<Item = (VIdx, &VertexData)> {
-        self.vertices
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (VIdx(i as u32), v))
+    pub fn vertices(&self) -> impl Iterator<Item = (VIdx, VertexRef<'_>)> {
+        (0..self.v_vid.len() as u32).map(|i| (VIdx(i), self.vertex(VIdx(i))))
     }
 
-    /// All edges in index order.
-    pub fn edges(&self) -> impl Iterator<Item = (EIdx, &EdgeData)> {
-        self.edges
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (EIdx(i as u32), e))
+    /// All edges in index (= insertion) order.
+    pub fn edges(&self) -> impl Iterator<Item = (EIdx, EdgeRef<'_>)> {
+        (0..self.e_eid.len() as u32).map(|i| (EIdx(i), self.edge(EIdx(i))))
     }
 
-    /// Out-edge indices of `v`.
+    /// Out-edge indices of `v`, sorted by edge lifespan
+    /// `(start, end, EIdx)`.
     #[inline]
     pub fn out_edges(&self, v: VIdx) -> &[EIdx] {
         let s = self.out_offsets[v.idx()] as usize;
@@ -289,12 +497,49 @@ impl TemporalGraph {
         &self.out_edges[s..e]
     }
 
-    /// In-edge indices of `v`.
+    /// In-edge indices of `v`, sorted by edge lifespan `(start, end, EIdx)`.
     #[inline]
     pub fn in_edges(&self, v: VIdx) -> &[EIdx] {
         let s = self.in_offsets[v.idx()] as usize;
         let e = self.in_offsets[v.idx() + 1] as usize;
         &self.in_edges[s..e]
+    }
+
+    /// The out-adjacency run of `v` with its aligned mirror columns
+    /// (neighbor = `dst`) — the scatter hot loop's view.
+    #[inline]
+    pub fn out_run(&self, v: VIdx) -> AdjRun<'_> {
+        let s = self.out_offsets[v.idx()] as usize;
+        let e = self.out_offsets[v.idx() + 1] as usize;
+        AdjRun {
+            edges: &self.out_edges[s..e],
+            nbr: &self.out_dst[s..e],
+            span: &self.out_span[s..e],
+        }
+    }
+
+    /// The in-adjacency run of `v` with its aligned mirror columns
+    /// (neighbor = `src`).
+    #[inline]
+    pub fn in_run(&self, v: VIdx) -> AdjRun<'_> {
+        let s = self.in_offsets[v.idx()] as usize;
+        let e = self.in_offsets[v.idx() + 1] as usize;
+        AdjRun {
+            edges: &self.in_edges[s..e],
+            nbr: &self.in_src[s..e],
+            span: &self.in_span[s..e],
+        }
+    }
+
+    /// The precomputed property-refined scatter segments of edge `e`: its
+    /// lifespan split at every property-interval boundary, in temporal
+    /// order, so each segment has constant property values. For an edge
+    /// without properties this is exactly `[lifespan]`.
+    #[inline]
+    pub fn scatter_segments(&self, e: EIdx) -> &[Interval] {
+        let s = self.seg_offsets[e.idx()] as usize;
+        let t = self.seg_offsets[e.idx() + 1] as usize;
+        &self.segs[s..t]
     }
 
     /// The lifespan length of vertex `v`, clamped to at least 1 so that
@@ -303,18 +548,19 @@ impl TemporalGraph {
     /// to how long an entity exists, not merely to its existence.
     #[inline]
     pub fn vertex_span_weight(&self, v: VIdx) -> u64 {
-        self.vertex(v).lifespan.len().max(1) as u64
+        self.v_lifespan[v.idx()].len().max(1) as u64
     }
 
     /// The temporal load weight of vertex `v`: its own lifespan length
     /// plus the lifespan lengths of its out-edges (each edge is charged to
     /// its source, so summing over all vertices counts every edge exactly
     /// once). Interval-weighted partitioners balance this quantity across
-    /// workers instead of raw vertex counts.
+    /// workers instead of raw vertex counts. One scan over the mirrored
+    /// span column — no per-edge row loads.
     pub fn vertex_temporal_weight(&self, v: VIdx) -> u64 {
         let mut w = self.vertex_span_weight(v);
-        for &e in self.out_edges(v) {
-            w = w.saturating_add(self.edge(e).lifespan.len().max(1) as u64);
+        for span in self.out_run(v).span {
+            w = w.saturating_add(span.len().max(1) as u64);
         }
         w
     }
@@ -329,53 +575,63 @@ impl TemporalGraph {
         self.in_edges(v).len()
     }
 
-    /// Out-edges of `v` whose lifespan intersects `window`.
+    /// Out-edges of `v` whose lifespan intersects `window`. The run is
+    /// start-sorted, so the scan stops at the first edge starting at or
+    /// after the window's end.
     pub fn out_edges_overlapping(
         &self,
         v: VIdx,
         window: Interval,
-    ) -> impl Iterator<Item = (EIdx, &EdgeData)> + '_ {
-        self.out_edges(v).iter().filter_map(move |&e| {
-            let ed = self.edge(e);
-            ed.lifespan.intersects(window).then_some((e, ed))
-        })
+    ) -> impl Iterator<Item = (EIdx, EdgeRef<'_>)> + '_ {
+        let run = self.out_run(v);
+        run.span
+            .iter()
+            .take_while(move |span| span.start() < window.end())
+            .enumerate()
+            .filter(move |(_, span)| span.intersects(window))
+            .map(move |(i, _)| (run.edges[i], self.edge(run.edges[i])))
     }
 
-    /// In-edges of `v` whose lifespan intersects `window`.
+    /// In-edges of `v` whose lifespan intersects `window`. The run is
+    /// start-sorted, so the scan stops at the first edge starting at or
+    /// after the window's end.
     pub fn in_edges_overlapping(
         &self,
         v: VIdx,
         window: Interval,
-    ) -> impl Iterator<Item = (EIdx, &EdgeData)> + '_ {
-        self.in_edges(v).iter().filter_map(move |&e| {
-            let ed = self.edge(e);
-            ed.lifespan.intersects(window).then_some((e, ed))
-        })
+    ) -> impl Iterator<Item = (EIdx, EdgeRef<'_>)> + '_ {
+        let run = self.in_run(v);
+        run.span
+            .iter()
+            .take_while(move |span| span.start() < window.end())
+            .enumerate()
+            .filter(move |(_, span)| span.intersects(window))
+            .map(move |(i, _)| (run.edges[i], self.edge(run.edges[i])))
     }
 
     /// The timeline of edge property `label` on edge `e`, or `None`.
     pub fn edge_property(&self, e: EIdx, label: LabelId) -> Option<&IntervalMap<PropValue>> {
-        self.edge(e).props.timeline(label)
+        self.e_props[e.idx()].timeline(label)
     }
 
     /// Value of edge property `label` on `e` at time `t`.
     pub fn edge_property_at(&self, e: EIdx, label: LabelId, t: Time) -> Option<&PropValue> {
-        self.edge(e).props.value_at(label, t)
+        self.e_props[e.idx()].value_at(label, t)
     }
 
     /// Value of vertex property `label` on `v` at time `t`.
     pub fn vertex_property_at(&self, v: VIdx, label: LabelId, t: Time) -> Option<&PropValue> {
-        self.vertex(v).props.value_at(label, t)
+        self.v_props[v.idx()].value_at(label, t)
     }
 
     /// Rebuilds the transient lookup structures after deserialization.
     pub fn rebuild_after_deserialize(&mut self) {
         self.labels.rebuild_index();
         self.vid_index = self
-            .vertices
+            .v_vid
             .iter()
             .enumerate()
-            .map(|(i, v)| (v.vid, VIdx(i as u32)))
+            .map(|(i, &vid)| (vid, VIdx(i as u32)))
             .collect();
     }
 }
@@ -471,6 +727,56 @@ mod tests {
         assert_eq!(ins, vec![VertexId(0)]);
         assert_eq!(g.out_degree(a), 3);
         assert_eq!(g.in_degree(a), 0);
+    }
+
+    #[test]
+    fn runs_are_sorted_and_mirror_columns_agree() {
+        let g = transit();
+        for v in g.vertex_indices() {
+            for (run, label) in [(g.out_run(v), "out"), (g.in_run(v), "in")] {
+                assert_eq!(run.edges.len(), run.nbr.len());
+                assert_eq!(run.edges.len(), run.span.len());
+                assert_eq!(run.len(), run.edges.len());
+                for i in 0..run.len() {
+                    let e = g.edge(run.edges[i]);
+                    assert_eq!(run.span[i], e.lifespan, "{label} span mirror");
+                    let expect = if label == "out" { e.dst } else { e.src };
+                    assert_eq!(run.nbr[i], expect, "{label} nbr mirror");
+                }
+                for w in run.span.windows(2) {
+                    assert!(
+                        (w[0].start(), w[0].end()) <= (w[1].start(), w[1].end()),
+                        "{label} run must be lifespan-sorted"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_segments_refine_at_property_boundaries() {
+        let g = transit();
+        let a = g.vertex_index(VertexId(0)).unwrap();
+        // A->B lives over [3,6) with travel-cost 4 on [3,5) and 3 on
+        // [5,6): two segments split at 5.
+        let ab = g
+            .out_edges(a)
+            .iter()
+            .copied()
+            .find(|&e| g.vertex(g.edge(e).dst).vid == VertexId(1))
+            .unwrap();
+        assert_eq!(
+            g.scatter_segments(ab),
+            &[Interval::new(3, 5), Interval::new(5, 6)]
+        );
+        // A property-free edge keeps its whole lifespan as one segment.
+        let mut b = TemporalGraphBuilder::new();
+        b.add_vertex(VertexId(1), Interval::new(0, 10)).unwrap();
+        b.add_vertex(VertexId(2), Interval::new(0, 10)).unwrap();
+        b.add_edge(EdgeId(7), VertexId(1), VertexId(2), Interval::new(2, 9))
+            .unwrap();
+        let g2 = b.build().unwrap();
+        assert_eq!(g2.scatter_segments(EIdx(0)), &[Interval::new(2, 9)]);
     }
 
     #[test]

@@ -247,7 +247,13 @@ mod tests {
         }
         let cost = g2.label("travel-cost").unwrap();
         let a = g2.vertex_index(VertexId(0)).unwrap();
-        let e = g2.out_edges(a)[0];
+        // A->B is the edge carrying travel-cost over [3,6).
+        let e = g2
+            .out_edges(a)
+            .iter()
+            .copied()
+            .find(|&e| g2.vertex(g2.edge(e).dst).vid == VertexId(1))
+            .unwrap();
         assert!(g2.edge_property_at(e, cost, 3).is_some());
     }
 

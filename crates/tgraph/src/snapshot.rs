@@ -7,7 +7,7 @@
 //! per-snapshot graphs, while still being charged per-snapshot compute and
 //! messaging by the metrics layer (matching how MSB behaves in the paper).
 
-use crate::graph::{EIdx, EdgeData, TemporalGraph, VIdx, VertexData};
+use crate::graph::{EIdx, EdgeRef, TemporalGraph, VIdx, VertexRef};
 use crate::property::{LabelId, PropValue};
 use crate::time::{Interval, Time, TIME_MAX, TIME_MIN};
 
@@ -47,14 +47,14 @@ impl<'g> SnapshotView<'g> {
     }
 
     /// The vertices alive at this time-point.
-    pub fn vertices(&self) -> impl Iterator<Item = (VIdx, &'g VertexData)> + '_ {
+    pub fn vertices(&self) -> impl Iterator<Item = (VIdx, VertexRef<'g>)> + '_ {
         self.graph
             .vertices()
             .filter(move |(_, v)| v.lifespan.contains_point(self.t))
     }
 
     /// The edges alive at this time-point.
-    pub fn edges(&self) -> impl Iterator<Item = (EIdx, &'g EdgeData)> + '_ {
+    pub fn edges(&self) -> impl Iterator<Item = (EIdx, EdgeRef<'g>)> + '_ {
         self.graph
             .edges()
             .filter(move |(_, e)| e.lifespan.contains_point(self.t))
@@ -71,7 +71,7 @@ impl<'g> SnapshotView<'g> {
     }
 
     /// Out-edges of `v` alive at this time-point.
-    pub fn out_edges(&self, v: VIdx) -> impl Iterator<Item = (EIdx, &'g EdgeData)> + '_ {
+    pub fn out_edges(&self, v: VIdx) -> impl Iterator<Item = (EIdx, EdgeRef<'g>)> + '_ {
         let t = self.t;
         self.graph.out_edges(v).iter().filter_map(move |&e| {
             let ed = self.graph.edge(e);
@@ -80,7 +80,7 @@ impl<'g> SnapshotView<'g> {
     }
 
     /// In-edges of `v` alive at this time-point.
-    pub fn in_edges(&self, v: VIdx) -> impl Iterator<Item = (EIdx, &'g EdgeData)> + '_ {
+    pub fn in_edges(&self, v: VIdx) -> impl Iterator<Item = (EIdx, EdgeRef<'g>)> + '_ {
         let t = self.t;
         self.graph.in_edges(v).iter().filter_map(move |&e| {
             let ed = self.graph.edge(e);
@@ -249,7 +249,11 @@ mod tests {
             Some(3)
         );
         let s3 = SnapshotView::new(&g, 3);
-        let (e3, _) = s3.out_edges(a).next().unwrap();
+        // Alive at 3: A->D ([1,4)) and A->B ([3,6)); only A->B carries cost.
+        let (e3, _) = s3
+            .out_edges(a)
+            .find(|(_, e)| e.dst == g.vertex_index(transit_ids::B).unwrap())
+            .unwrap();
         assert_eq!(
             s3.edge_property(e3, cost).and_then(PropValue::as_long),
             Some(4)

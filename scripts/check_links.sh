@@ -9,7 +9,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-docs=(README.md DESIGN.md EXPERIMENTS.md SEMANTICS.md ROADMAP.md CHANGES.md)
+docs=(README.md ARCHITECTURE.md DESIGN.md EXPERIMENTS.md SEMANTICS.md ROADMAP.md CHANGES.md)
 
 fail=0
 for doc in "${docs[@]}"; do
