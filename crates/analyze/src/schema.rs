@@ -39,8 +39,12 @@ pub fn check(models: &[&FileModel], out: &mut Vec<Violation>) {
     let any = |pred: &dyn Fn(&str) -> bool| norm.iter().any(|p| pred(p));
 
     // trace extras: sink.add/timed keys vs. tracefmt's extras reads.
-    let is_extras_producer =
-        |p: &str| p.contains("bsp/src/") || p.contains("icm/src/") || p.contains("serve/src/");
+    let is_extras_producer = |p: &str| {
+        p.contains("bsp/src/")
+            || p.contains("icm/src/")
+            || p.contains("serve/src/")
+            || p.contains("stream/src/")
+    };
     let is_tracefmt = |p: &str| p.ends_with("tracefmt.rs");
     if any(&is_extras_producer) && any(&is_tracefmt) {
         let mut producers = Vec::new();

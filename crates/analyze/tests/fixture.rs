@@ -172,6 +172,7 @@ fn seeded_drift_in_the_real_trace_producer_is_caught() {
     let trace = read("crates/bsp/src/trace.rs");
     let icm = read("crates/icm/src/engine.rs");
     let serve = read("crates/serve/src/faultdom.rs");
+    let stream = read("crates/stream/src/engine.rs");
     let fmt = read("crates/bench/src/tracefmt.rs");
 
     let mirror = |trace_src: &str| {
@@ -179,6 +180,7 @@ fn seeded_drift_in_the_real_trace_producer_is_caught() {
             (Path::new("crates/bsp/src/trace.rs"), trace_src),
             (Path::new("crates/icm/src/engine.rs"), &icm),
             (Path::new("crates/serve/src/faultdom.rs"), &serve),
+            (Path::new("crates/stream/src/engine.rs"), &stream),
             (Path::new("crates/bench/src/tracefmt.rs"), &fmt),
         ])
     };

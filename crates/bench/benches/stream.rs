@@ -1,0 +1,213 @@
+//! Streaming-maintenance bench: incremental recomputation against
+//! from-scratch recomputation over the same sparse update batches.
+//!
+//! Two rows, one shared workload — a settled power-law graph plus eight
+//! sparse batches, each hanging a few fresh vertices and edges off
+//! existing ones (the serving-layer "live updates" shape, where a batch
+//! touches a handful of vertices in a graph of hundreds):
+//!
+//! * `stream/incremental` — the `graphite-stream` path: a resident
+//!   `StreamEngine` registers BFS, EAT and Reachability (paying their
+//!   initial from-scratch runs once), then ingests every batch, applying
+//!   the delta through the overlay and re-converging each algorithm from
+//!   its carried fixpoint with only the dirty vertices re-seeded.
+//! * `stream/full` — the status-quo path: the same initial runs, then
+//!   after every batch a from-scratch recomputation of all three
+//!   algorithms. The refreshed graphs are pre-applied *outside* the
+//!   measured region, so this row pays recomputation only — the
+//!   comparison is conservative in full recompute's favor.
+//!
+//! `bench_validate` enforces the >= 2x gate on the recorded file: on
+//! sparse batches the incremental row must finish at least twice as fast
+//! as the full-recompute row. The differential test suite
+//! (`crates/stream/tests/differential.rs`) pins that the two paths
+//! produce bit-identical result digests, so the speedup is not bought
+//! with approximation.
+
+use graphite_algorithms::registry::{self, Algo, Platform, RunOpts};
+use graphite_bench::record::Recorder;
+use graphite_bench::timing::bench;
+use graphite_bsp::metrics::RunMetrics;
+use graphite_datagen::{generate, GenParams, LifespanModel, PropModel, Topology};
+use graphite_stream::prelude::*;
+use graphite_tgraph::graph::{EdgeId, TemporalGraph, VertexId};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// The settled base graph: full-lifespan vertices and long-lived edges,
+/// so batches change little of the warp alignment they touch.
+fn workload() -> GenParams {
+    GenParams {
+        vertices: 300,
+        edges: 2400,
+        snapshots: 24,
+        topology: Topology::PowerLaw {
+            edges_per_vertex: 8,
+        },
+        vertex_lifespans: LifespanModel::Full,
+        edge_lifespans: LifespanModel::Geometric { mean: 18.0 },
+        props: PropModel {
+            mean_segment: 9.0,
+            max_cost: 10,
+            max_travel_time: 1,
+        },
+        seed: 99,
+    }
+}
+
+fn source(graph: &TemporalGraph) -> VertexId {
+    graph
+        .vertices()
+        .map(|(_, v)| v.vid)
+        .min()
+        .expect("non-empty graph")
+}
+
+/// Deterministic sparse batches: each hangs `per_batch` fresh vertices
+/// off existing full-lifespan vertices, with `travel-time` props so the
+/// temporal-path algorithms treat the new edges like generated ones.
+fn sparse_batches(base: &TemporalGraph, batches: u64, per_batch: u64) -> Vec<GraphDelta> {
+    let n = base.num_vertices() as u64;
+    let max_vid = base.vertices().map(|(_, v)| v.vid.0).max().unwrap_or(0);
+    let max_eid = base
+        .edge_indices()
+        .map(|e| base.edge(e).eid.0)
+        .max()
+        .unwrap_or(0);
+    // Any full-lifespan vertex works as an attachment point; with
+    // `LifespanModel::Full` that is every vertex, so a fixed-stride walk
+    // over the id space spreads the updates deterministically.
+    let vids: Vec<VertexId> = base.vertices().map(|(_, v)| v.vid).collect();
+    let vid_at = |row: u64| vids[(row % n) as usize];
+    (0..batches)
+        .map(|b| {
+            let mut delta = GraphDelta::new();
+            for j in 0..per_batch {
+                let k = b * per_batch + j;
+                let anchor = vid_at(k.wrapping_mul(7919).wrapping_add(17));
+                let span = base
+                    .vertex_index(anchor)
+                    .map(|v| base.vertex_lifespan(v))
+                    .expect("anchor exists");
+                let vid = VertexId(max_vid + 1 + k);
+                let eid = EdgeId(max_eid + 1 + k);
+                delta.insert_vertex(vid, span);
+                delta.insert_edge(eid, anchor, vid, span);
+                delta.edge_property(eid, "travel-time", span, 1i64.into());
+            }
+            delta
+        })
+        .collect()
+}
+
+fn algo_mix(src: VertexId) -> [AlgoSpec; 3] {
+    [
+        AlgoSpec::Bfs { source: src },
+        AlgoSpec::Eat {
+            source: src,
+            start: 0,
+        },
+        AlgoSpec::Reach {
+            source: src,
+            start: 0,
+        },
+    ]
+}
+
+fn main() {
+    let mut rec = Recorder::new("stream");
+    let base = Arc::new(generate(&workload()));
+    let src = source(&base);
+    let deltas = sparse_batches(&base, 8, 6);
+    let total_ops: u64 = deltas.iter().map(|d| d.len() as u64).sum();
+
+    // Incremental path: initial runs once at registration, then every
+    // batch is applied and maintained from the carried fixpoints.
+    let mut last_reports: Vec<BatchReport> = Vec::new();
+    let result = bench("stream/incremental", || {
+        let mut engine = StreamEngine::new(
+            Arc::clone(&base),
+            StreamConfig {
+                workers: 2,
+                compact_every: 4,
+                check_every: 0,
+                ..StreamConfig::default()
+            },
+        );
+        for spec in algo_mix(src) {
+            engine.register(spec).expect("initial run succeeds");
+        }
+        last_reports.clear();
+        for delta in &deltas {
+            last_reports.push(engine.ingest(delta).expect("batch applies cleanly"));
+        }
+        black_box(engine.structure_digest());
+    });
+    let dirty: u64 = last_reports.iter().map(|r| r.dirty as u64).sum();
+    let inc_compute: u64 = last_reports
+        .iter()
+        .flat_map(|r| r.algos.iter())
+        .map(|a| a.compute_calls)
+        .sum();
+    rec.push_with_metrics_and(
+        result,
+        &RunMetrics::default(),
+        vec![
+            ("batches", deltas.len() as u64),
+            ("ops", total_ops),
+            ("dirty_vertices", dirty),
+            ("inc_compute_calls", inc_compute),
+        ],
+    );
+
+    // Full-recompute path: the same initial runs, then after every batch
+    // all three algorithms from scratch on the refreshed graph. Deltas
+    // are pre-applied here, outside the measured region.
+    let mut refreshed = Vec::with_capacity(deltas.len());
+    let mut g = (*base).clone();
+    for delta in &deltas {
+        g = g.apply_delta(delta).expect("batch applies cleanly");
+        refreshed.push(Arc::new(g.clone()));
+    }
+    let opts = RunOpts {
+        workers: 2,
+        source: Some(src),
+        digest: false,
+        ..RunOpts::default()
+    };
+    let algos = [Algo::Bfs, Algo::Eat, Algo::Reach];
+    let mut last_metrics: Vec<RunMetrics> = Vec::new();
+    let result = bench("stream/full", || {
+        last_metrics.clear();
+        for graph in std::iter::once(&base).chain(refreshed.iter()) {
+            for algo in algos {
+                let outcome = registry::run(algo, Platform::Icm, graph, None, &opts)
+                    .expect("from-scratch run succeeds");
+                last_metrics.push(outcome.metrics.clone());
+                black_box(outcome);
+            }
+        }
+    });
+    let full_compute: u64 = last_metrics
+        .iter()
+        // The initial runs (first three) are common to both rows; the
+        // per-batch recompute cost is what the counter describes.
+        .skip(algos.len())
+        .map(|m| m.counters.compute_calls)
+        .sum();
+    let mut merged = RunMetrics::default();
+    for m in last_metrics.drain(..) {
+        merged.merge(&m);
+    }
+    rec.push_with_metrics_and(
+        result,
+        &merged,
+        vec![
+            ("batches", deltas.len() as u64),
+            ("ops", total_ops),
+            ("full_compute_calls", full_compute),
+        ],
+    );
+
+    rec.finish();
+}

@@ -20,7 +20,7 @@ use std::process::ExitCode;
 /// report's quality extras. A key outside this list means the producer
 /// and this validator have drifted apart — fail loudly instead of
 /// silently ignoring a metric nobody will ever look at.
-const KNOWN_COUNTERS: [&str; 32] = [
+const KNOWN_COUNTERS: [&str; 37] = [
     "supersteps",
     "compute_calls",
     "scatter_calls",
@@ -53,6 +53,11 @@ const KNOWN_COUNTERS: [&str; 32] = [
     "digest_mismatches",
     "result_digest_hi",
     "result_digest_lo",
+    "batches",
+    "ops",
+    "dirty_vertices",
+    "inc_compute_calls",
+    "full_compute_calls",
 ];
 
 /// Counters that must be bit-identical across the storage-layout pass:
@@ -160,6 +165,9 @@ fn problems(doc: &Json) -> Vec<String> {
     }
     if doc.get("name").and_then(Json::as_str) == Some("serve") {
         out.extend(serve_problems(results));
+    }
+    if doc.get("name").and_then(Json::as_str) == Some("stream") {
+        out.extend(stream_problems(results));
     }
     if matches!(
         doc.get("name").and_then(Json::as_str),
@@ -415,6 +423,84 @@ fn serve_problems(results: &[Json]) -> Vec<String> {
             )),
             None => {} // faults15 is optional depth; faults0/faults5 absence reported above
         }
+    }
+    out
+}
+
+/// Extra checks for the `stream` recording: both rows present over the
+/// same batch sequence, and the incremental path at least 2x faster than
+/// full recomputation — the streaming subsystem's headline claim. The
+/// differential test suite pins bit-identical results, so a recording
+/// that fails this gate is slow, not wrong — but it still fails, because
+/// an incremental engine without the speedup is pure complexity.
+const STREAM_SPEEDUP_FLOOR: f64 = 2.0;
+
+fn stream_problems(results: &[Json]) -> Vec<String> {
+    let mut out = Vec::new();
+    let row = |label: &str| {
+        results
+            .iter()
+            .find(|r| r.get("label").and_then(Json::as_str) == Some(label))
+    };
+    let counter = |label: &str, key: &str| {
+        row(label).map(|r| {
+            r.get("counters")
+                .and_then(|c| c.get(key))
+                .and_then(Json::as_f64)
+        })
+    };
+    let (Some(inc), Some(full)) = (row("stream/incremental"), row("stream/full")) else {
+        out.push("stream: missing stream/incremental and/or stream/full rows".to_string());
+        return out;
+    };
+    match (
+        inc.get("mean_ns").and_then(Json::as_f64),
+        full.get("mean_ns").and_then(Json::as_f64),
+    ) {
+        (Some(i), Some(f)) if i > 0.0 => {
+            if f < STREAM_SPEEDUP_FLOOR * i {
+                out.push(format!(
+                    "stream: incremental mean_ns {i} is not >= {STREAM_SPEEDUP_FLOOR}x \
+                     faster than full recompute's {f} (ratio {:.2})",
+                    f / i
+                ));
+            }
+        }
+        _ => out.push("stream: rows missing positive mean_ns".to_string()),
+    }
+    match (
+        counter("stream/incremental", "batches"),
+        counter("stream/full", "batches"),
+    ) {
+        (Some(Some(a)), Some(Some(b))) if a == b && a > 0.0 => {}
+        (Some(Some(a)), Some(Some(b))) => out.push(format!(
+            "stream: rows measure different batch sequences ({a} vs {b} batches)"
+        )),
+        _ => out.push("stream: rows carry no batches counter".to_string()),
+    }
+    match counter("stream/incremental", "dirty_vertices") {
+        Some(Some(d)) if d > 0.0 => {}
+        _ => out.push(
+            "stream: stream/incremental recorded no dirty_vertices (the \
+             batches must exercise the warm-start path)"
+                .to_string(),
+        ),
+    }
+    match (
+        counter("stream/incremental", "inc_compute_calls"),
+        counter("stream/full", "full_compute_calls"),
+    ) {
+        (Some(Some(i)), Some(Some(f))) if i > 0.0 && f > 0.0 => {
+            if i >= f {
+                out.push(format!(
+                    "stream: incremental compute calls {i} not below full \
+                     recompute's {f} — the warm start is not reusing fixpoints"
+                ));
+            }
+        }
+        _ => out.push(
+            "stream: rows carry no inc_compute_calls / full_compute_calls counters".to_string(),
+        ),
     }
     out
 }

@@ -149,6 +149,32 @@ pub struct ServeHealthRow {
     pub failed: u64,
 }
 
+/// Streaming-layer counters, carried as `stream_*` extras on the
+/// per-batch rows `graphite stream` appends (DESIGN.md §17). All zero
+/// when the stream has no streaming-layer events. The `_ns` spans are
+/// populated only under `GRAPHITE_TRACE=full`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamRow {
+    /// Update batches ingested.
+    pub batches: u64,
+    /// Delta operations applied.
+    pub ops: u64,
+    /// Vertices re-seeded by warm-started maintenance runs.
+    pub dirty_vertices: u64,
+    /// Compute calls across the incremental maintenance runs.
+    pub inc_compute_calls: u64,
+    /// Batches that ran the differential from-scratch check.
+    pub digest_checks: u64,
+    /// Differential checks that caught a divergence (must stay zero).
+    pub digest_mismatches: u64,
+    /// Nanoseconds applying deltas through the overlay.
+    pub apply_ns: u64,
+    /// Nanoseconds in warm-started incremental recomputation.
+    pub incremental_ns: u64,
+    /// Nanoseconds in differential from-scratch recomputation.
+    pub full_check_ns: u64,
+}
+
 /// A parsed `graphite-trace/1` stream.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct TraceDoc {
@@ -158,6 +184,8 @@ pub struct TraceDoc {
     pub entries: Vec<Entry>,
     /// Serving-layer health counters summed over the stream's rows.
     pub serve: ServeHealthRow,
+    /// Streaming-layer counters summed over the stream's rows.
+    pub stream: StreamRow,
 }
 
 impl TraceDoc {
@@ -216,6 +244,7 @@ pub fn parse(text: &str) -> Result<TraceDoc, String> {
         label,
         entries: Vec::new(),
         serve: ServeHealthRow::default(),
+        stream: StreamRow::default(),
     };
     let mut pending: Vec<WorkerRow> = Vec::new();
     for (i, line) in lines {
@@ -250,6 +279,23 @@ pub fn parse(text: &str) -> Result<TraceDoc, String> {
                     doc.serve.budget_exceeded +=
                         get_u64(extras, "serve_budget_exceeded", n).unwrap_or(0);
                     doc.serve.failed += get_u64(extras, "serve_failed", n).unwrap_or(0);
+                    // Streaming-layer per-batch counters ride the same
+                    // slot on the rows `graphite stream` appends.
+                    doc.stream.batches += get_u64(extras, "stream_batches", n).unwrap_or(0);
+                    doc.stream.ops += get_u64(extras, "stream_ops", n).unwrap_or(0);
+                    doc.stream.dirty_vertices +=
+                        get_u64(extras, "stream_dirty_vertices", n).unwrap_or(0);
+                    doc.stream.inc_compute_calls +=
+                        get_u64(extras, "stream_inc_compute_calls", n).unwrap_or(0);
+                    doc.stream.digest_checks +=
+                        get_u64(extras, "stream_digest_checks", n).unwrap_or(0);
+                    doc.stream.digest_mismatches +=
+                        get_u64(extras, "stream_digest_mismatches", n).unwrap_or(0);
+                    doc.stream.apply_ns += get_u64(extras, "stream_apply_ns", n).unwrap_or(0);
+                    doc.stream.incremental_ns +=
+                        get_u64(extras, "stream_incremental_ns", n).unwrap_or(0);
+                    doc.stream.full_check_ns +=
+                        get_u64(extras, "stream_full_check_ns", n).unwrap_or(0);
                 }
                 pending.push(row);
             }
@@ -607,6 +653,43 @@ mod tests {
         assert_eq!(
             parse(SAMPLE).expect("sample parses").serve,
             ServeHealthRow::default()
+        );
+    }
+
+    #[test]
+    fn stream_extras_accumulate_on_the_doc() {
+        let stream = concat!(
+            "{\"schema\":\"graphite-trace/1\",\"label\":\"stream/batch1\"}\n",
+            "{\"ev\":\"worker_step\",\"step\":1,\"worker\":0,\"active\":0,\"msgs_in\":0,",
+            "\"compute_calls\":0,\"scatter_calls\":0,\"msgs_out\":0,\"remote_msgs\":0,",
+            "\"bytes_out\":0,\"warp_invocations\":0,\"warp_suppressions\":0,",
+            "\"compute_ns\":0,\"extras\":{\"stream_batches\":1,\"stream_ops\":40,",
+            "\"stream_dirty_vertices\":7,\"stream_inc_compute_calls\":120,",
+            "\"stream_digest_checks\":1,\"stream_digest_mismatches\":0,",
+            "\"stream_apply_ns\":500,\"stream_incremental_ns\":2000,",
+            "\"stream_full_check_ns\":9000}}\n",
+            "{\"ev\":\"step_end\",\"step\":1,\"sent\":0,\"halted\":true,",
+            "\"compute_ns\":0,\"messaging_ns\":0,\"barrier_ns\":0}\n",
+        );
+        let doc = parse(stream).expect("stream batch row parses");
+        assert_eq!(
+            doc.stream,
+            StreamRow {
+                batches: 1,
+                ops: 40,
+                dirty_vertices: 7,
+                inc_compute_calls: 120,
+                digest_checks: 1,
+                digest_mismatches: 0,
+                apply_ns: 500,
+                incremental_ns: 2000,
+                full_check_ns: 9000,
+            }
+        );
+        // Streams with no streaming-layer rows stay all-zero.
+        assert_eq!(
+            parse(SAMPLE).expect("sample parses").stream,
+            StreamRow::default()
         );
     }
 

@@ -13,8 +13,10 @@ pub mod generate;
 pub mod ldbc;
 pub mod model;
 pub mod profiles;
+pub mod stream;
 
 pub use generate::generate;
 pub use ldbc::{weak_scaling_graph, weak_scaling_params, WEAK_SCALING_SNAPSHOTS};
 pub use model::{GenParams, LifespanModel, PropModel, Topology};
 pub use profiles::Profile;
+pub use stream::{derive_update_stream, UpdateStream};

@@ -1,0 +1,267 @@
+//! Seeded update-stream derivation: any generated profile, replayed as a
+//! base graph plus timestamped [`GraphDelta`] batches (DESIGN.md §17).
+//!
+//! The derivation is *time-prefix clipping*: generate the final graph `F`
+//! over the full horizon, pick cut points `c₀ < c₁ < … < c_B = horizon`,
+//! and let snapshot `k` be `F` clipped at `c_k` — every entity whose
+//! lifespan starts before the cut, with lifespans and property entries
+//! truncated to it. The base graph is the clip at `c₀`; batch `k` is the
+//! delta transforming clip `c_{k-1}` into clip `c_k`:
+//!
+//! * entities whose lifespan starts in `[c_{k-1}, c_k)` are **inserted**
+//!   (already truncated to `c_k`);
+//! * entities alive across `c_{k-1}` are **extended** to
+//!   `min(end, c_k)` — strictly monotone by construction;
+//! * edge-property entries starting in the window are inserted, and the
+//!   one entry per label that straddles `c_{k-1}` is extended — it is
+//!   necessarily the label's right-most entry at that point, which is
+//!   exactly what [`GraphDelta::extend_edge_property`] targets.
+//!
+//! Clipping preserves every soundness constraint (uniform truncation
+//! keeps properties inside lifespans and edges inside endpoints), each
+//! intermediate graph is the honest "state of the world at time `c_k`",
+//! and the last batch converges **bit-exactly** onto `F` — pinned by
+//! [`UpdateStream::final_digest`] and the crate tests.
+
+use crate::generate::generate;
+use crate::model::GenParams;
+use graphite_tgraph::builder::TemporalGraphBuilder;
+use graphite_tgraph::delta::GraphDelta;
+use graphite_tgraph::error::GraphError;
+use graphite_tgraph::graph::TemporalGraph;
+use graphite_tgraph::time::{Interval, Time};
+
+/// A derived update stream: the base graph at the first cut plus the
+/// delta batches that replay the rest of the horizon.
+#[derive(Debug)]
+pub struct UpdateStream {
+    /// The world at cut `c₀` — what a streaming engine loads at startup.
+    pub base: TemporalGraph,
+    /// One delta per subsequent cut, in replay order.
+    pub batches: Vec<GraphDelta>,
+    /// Structure digest of the fully-replayed graph — identical to the
+    /// one-shot generation of the same parameters.
+    pub final_digest: u64,
+}
+
+impl UpdateStream {
+    /// Replays every batch onto a copy of the base and returns the final
+    /// graph (used by tests; real consumers feed the batches to a
+    /// `DeltaOverlay` or `StreamEngine` incrementally).
+    ///
+    /// # Errors
+    ///
+    /// Any [`GraphError`] a batch application can produce — for a derived
+    /// stream this would indicate a derivation bug.
+    pub fn replay(&self) -> Result<TemporalGraph, GraphError> {
+        let mut g = self.base.clone();
+        for delta in &self.batches {
+            g = g.apply_delta(delta)?;
+        }
+        Ok(g)
+    }
+}
+
+/// Derives an [`UpdateStream`] with `batches` delta batches from `params`
+/// (any profile, Skew included). The first half of the horizon forms the
+/// base graph; the remaining snapshots are dealt evenly across the
+/// batches. Deterministic: same params + batch count → same stream.
+///
+/// # Panics
+///
+/// Panics when `batches == 0` or the params have no positive horizon
+/// (mirrors [`generate`]'s own parameter validation).
+pub fn derive_update_stream(params: &GenParams, batches: usize) -> UpdateStream {
+    assert!(batches > 0, "need at least one update batch");
+    let horizon = params.snapshots;
+    assert!(horizon > 0, "need a positive horizon");
+    let full = generate(params);
+    // Base cut at mid-horizon (at least 1 so the base is non-degenerate),
+    // then evenly-spaced cuts ending exactly at the horizon.
+    let c0 = (horizon / 2).max(1);
+    let cuts: Vec<Time> = (1..=batches as Time)
+        .map(|k| c0 + ((horizon - c0) * k) / batches as Time)
+        .collect();
+
+    let base = build_clip(&full, c0);
+    let deltas: Vec<GraphDelta> = cuts
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| {
+            let a = if i == 0 { c0 } else { cuts[i - 1] };
+            derive_batch(&full, a, b)
+        })
+        .collect();
+    UpdateStream {
+        base,
+        batches: deltas,
+        final_digest: full.structure_digest(),
+    }
+}
+
+/// Clips an interval to end at `cut`; `None` when nothing of it starts
+/// before the cut.
+fn clip(iv: Interval, cut: Time) -> Option<Interval> {
+    Interval::try_new(iv.start(), iv.end().min(cut))
+}
+
+/// Builds the world at `cut` from scratch — the stream's base graph.
+fn build_clip(full: &TemporalGraph, cut: Time) -> TemporalGraph {
+    let mut b = TemporalGraphBuilder::new();
+    for (_, v) in full.vertices() {
+        let Some(span) = clip(v.lifespan, cut) else {
+            continue;
+        };
+        b.add_vertex(v.vid, span).expect("clipped vertex is fresh");
+        for (label, iv, value) in v.props.iter() {
+            // Vertex-property entries carry no extension op in the delta
+            // model, so they enter whole once fully inside a clip.
+            if iv.end() <= cut {
+                let name = full.labels().name(label).expect("interned label");
+                b.vertex_property(v.vid, name, iv, value.clone())
+                    .expect("clipped prop inside clipped lifespan");
+            }
+        }
+    }
+    for (e, ed) in full.edges() {
+        let Some(span) = clip(ed.lifespan, cut) else {
+            continue;
+        };
+        let (src, dst) = (full.vertex(ed.src).vid, full.vertex(ed.dst).vid);
+        b.add_edge(ed.eid, src, dst, span)
+            .expect("clipped edge inside clipped endpoints");
+        for (label, iv, value) in full.edge_props(e).iter() {
+            let Some(piv) = clip(iv, cut) else {
+                continue;
+            };
+            let name = full.labels().name(label).expect("interned label");
+            b.edge_property(ed.eid, name, piv, value.clone())
+                .expect("clipped prop inside clipped lifespan");
+        }
+    }
+    b.build().expect("clip of a sound graph is sound")
+}
+
+/// The delta transforming the clip at `a` into the clip at `b`.
+fn derive_batch(full: &TemporalGraph, a: Time, b: Time) -> GraphDelta {
+    let mut delta = GraphDelta::new();
+    if b <= a {
+        return delta; // coincident cuts: an empty batch
+    }
+    for (_, v) in full.vertices() {
+        let span = v.lifespan;
+        if span.start() >= a && span.start() < b {
+            delta.insert_vertex(v.vid, clip(span, b).expect("starts before b"));
+        } else if span.start() < a && span.end() > a {
+            // Alive across the previous cut; grow the truncated tail.
+            delta.extend_vertex(v.vid, span.end().min(b));
+        }
+        for (label, iv, value) in v.props.iter() {
+            if iv.end() > a && iv.end() <= b {
+                let name = full.labels().name(label).expect("interned label");
+                delta.vertex_property(v.vid, name, iv, value.clone());
+            }
+        }
+    }
+    for (e, ed) in full.edges() {
+        let span = ed.lifespan;
+        let inserted_now = span.start() >= a && span.start() < b;
+        if inserted_now {
+            let (src, dst) = (full.vertex(ed.src).vid, full.vertex(ed.dst).vid);
+            delta.insert_edge(ed.eid, src, dst, clip(span, b).expect("starts before b"));
+        } else if span.start() < a && span.end() > a {
+            delta.extend_edge(ed.eid, span.end().min(b));
+        } else if span.start() >= b {
+            continue; // not yet born; its props aren't either
+        }
+        for (label, iv, value) in full.edge_props(e).iter() {
+            let name = full.labels().name(label).expect("interned label");
+            if iv.start() >= a && iv.start() < b {
+                delta.edge_property(
+                    ed.eid,
+                    name,
+                    clip(iv, b).expect("starts before b"),
+                    value.clone(),
+                );
+            } else if iv.start() < a && iv.end() > a && iv.end().min(b) > a {
+                // The straddling entry is the label's right-most at cut
+                // `a` (later entries start past it and aren't inserted
+                // yet), which is the entry extension targets.
+                delta.extend_edge_property(ed.eid, name, iv.end().min(b));
+            }
+        }
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LifespanModel, PropModel};
+
+    fn churny(seed: u64) -> GenParams {
+        GenParams {
+            vertex_lifespans: LifespanModel::Geometric { mean: 8.0 },
+            edge_lifespans: LifespanModel::Geometric { mean: 4.0 },
+            props: PropModel {
+                mean_segment: 3.0,
+                max_cost: 10,
+                max_travel_time: 2,
+            },
+            ..GenParams::small(seed)
+        }
+    }
+
+    #[test]
+    fn replay_converges_bit_exactly_onto_the_one_shot_generation() {
+        for seed in [3u64, 17, 0xFEED] {
+            let params = churny(seed);
+            for batches in [1usize, 4, 7] {
+                let stream = derive_update_stream(&params, batches);
+                assert_eq!(stream.batches.len(), batches);
+                let replayed = stream.replay().expect("derived batches apply cleanly");
+                assert_eq!(
+                    replayed.structure_digest(),
+                    stream.final_digest,
+                    "seed {seed} batches {batches}: replay diverged from F"
+                );
+                assert_eq!(
+                    stream.final_digest,
+                    generate(&params).structure_digest(),
+                    "final digest must be the one-shot generation's"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derivation_is_deterministic_and_batches_carry_real_work() {
+        let params = churny(5);
+        let s1 = derive_update_stream(&params, 5);
+        let s2 = derive_update_stream(&params, 5);
+        assert_eq!(s1.base.structure_digest(), s2.base.structure_digest());
+        assert_eq!(s1.final_digest, s2.final_digest);
+        for (a, b) in s1.batches.iter().zip(&s2.batches) {
+            assert_eq!(a.len(), b.len());
+        }
+        let total: usize = s1.batches.iter().map(|d| d.len()).sum();
+        assert!(total > 0, "a churny profile must produce update ops");
+        assert!(
+            s1.base.num_vertices() > 0,
+            "mid-horizon base must be non-degenerate"
+        );
+    }
+
+    #[test]
+    fn base_is_a_strict_time_prefix() {
+        let params = churny(9);
+        let stream = derive_update_stream(&params, 3);
+        let full = generate(&params);
+        assert!(stream.base.num_edges() <= full.num_edges());
+        let cut = (params.snapshots / 2).max(1);
+        for (_, v) in stream.base.vertices() {
+            assert!(v.lifespan.start() < cut);
+            assert!(v.lifespan.end() <= cut);
+        }
+    }
+}

@@ -332,6 +332,19 @@ impl<P: IntervalProgram> WorkerLogic for IcmWorker<P> {
                 for t in self.program.prepartition(&vctx) {
                     partition.split_at(t);
                 }
+                // Warm start (DESIGN.md §17): overlay pre-converged entries
+                // *directly* into the partition, bypassing StateUpdates so
+                // they are never reported as changes — a warm vertex holds
+                // its fixpoint silently and only scatters if compute below
+                // (or later messages) genuinely improves on it.
+                if let Some(entries) = self.program.warm_start(&vctx) {
+                    for (iv, s) in entries {
+                        if let Some(clipped) = iv.intersect(lifespan) {
+                            partition.set(clipped, s);
+                        }
+                    }
+                    partition.coalesce();
+                }
                 let mut updates = StateUpdates::new();
                 for (iv, state) in partition.iter() {
                     let mut ctx = ComputeContext {

@@ -103,6 +103,22 @@ pub trait IntervalProgram: Send + Sync + 'static {
         Vec::new()
     }
 
+    /// Pre-converged state entries to seed the vertex's partition with
+    /// before superstep 1, or `None` (the default) for a cold start from
+    /// [`init`](Self::init).
+    ///
+    /// The incremental-recomputation layer (`graphite-stream`, DESIGN.md
+    /// §17) returns a previous run's entries here for vertices the latest
+    /// update batch did not touch. The engine overlays them **without
+    /// marking them changed**: the vertex begins the run already holding
+    /// its fixpoint and stays silent unless messages improve it. Entries
+    /// are clipped to the vertex lifespan and may cover it partially
+    /// (uncovered sub-intervals keep the `init` value).
+    fn warm_start(&self, vertex: &VertexContext<'_>) -> Option<Vec<(Interval, Self::State)>> {
+        let _ = vertex;
+        None
+    }
+
     /// When `true` for a superstep, *every* vertex is active over its whole
     /// lifespan that superstep — vertices without messages get compute
     /// calls with empty message groups. Fixed-iteration algorithms

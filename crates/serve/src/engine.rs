@@ -45,7 +45,7 @@ use graphite_tgraph::graph::TemporalGraph;
 use graphite_tgraph::transform::{transform_for_paths, TransformOptions, TransformedGraph};
 use std::collections::{BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -227,17 +227,56 @@ struct State {
     shutdown: bool,
 }
 
-struct Shared {
+/// One installed graph generation (DESIGN.md §17). Everything derived
+/// from the graph — its structure digest, the lazily-built path transform,
+/// the admission cost model — lives *with* the graph, so swapping in an
+/// updated graph atomically refreshes all of it. Executions snapshot the
+/// `Arc<Epoch>` once at start and run against that generation to
+/// completion even if a newer graph is installed mid-run; their cache
+/// entries stay keyed by their own generation's digest, so a stale result
+/// can never answer a query against the new graph.
+struct Epoch {
+    /// Installation counter, starting at 0 for the load-time graph.
+    serial: u64,
     graph: Arc<TemporalGraph>,
     transformed: OnceLock<Arc<TransformedGraph>>,
     graph_digest: u64,
     cost: CostModel,
+}
+
+impl Epoch {
+    fn over(serial: u64, graph: Arc<TemporalGraph>) -> Self {
+        Epoch {
+            serial,
+            graph_digest: graph.structure_digest(),
+            cost: CostModel::measure(&graph),
+            transformed: OnceLock::new(),
+            graph,
+        }
+    }
+}
+
+struct Shared {
+    /// The current graph generation; replaced whole by
+    /// [`ServeEngine::install_graph`].
+    epoch: RwLock<Arc<Epoch>>,
     cfg: ServeConfig,
     state: Mutex<State>,
     work: Condvar,
     /// Signalled whenever a single-flight execution finishes (so waiting
     /// duplicates re-check the cache).
     flight: Condvar,
+}
+
+impl Shared {
+    /// Snapshots the current epoch (recovering from lock poisoning with
+    /// the same policy as [`lock`]).
+    fn epoch(&self) -> Arc<Epoch> {
+        match self.epoch.read() {
+            Ok(g) => Arc::clone(&g),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
 }
 
 /// Acquires a mutex, recovering the data from a poisoned lock (a worker
@@ -275,10 +314,7 @@ impl ServeEngine {
             ..cfg
         };
         let shared = Arc::new(Shared {
-            graph_digest: graph.structure_digest(),
-            cost: CostModel::measure(&graph),
-            transformed: OnceLock::new(),
-            graph,
+            epoch: RwLock::new(Arc::new(Epoch::over(0, graph))),
             cfg,
             state: Mutex::new(State {
                 queue: VecDeque::new(),
@@ -304,19 +340,51 @@ impl ServeEngine {
     }
 
     /// The structure digest of the resident graph — the graph half of
-    /// every cache key.
+    /// every cache key. Changes when a new graph generation is installed.
     pub fn graph_digest(&self) -> u64 {
-        self.shared.graph_digest
+        self.shared.epoch().graph_digest
     }
 
-    /// The load-time cost model.
+    /// The current generation's cost model (measured at installation).
     pub fn cost_model(&self) -> CostModel {
-        self.shared.cost
+        self.shared.epoch().cost
     }
 
-    /// The admission cost this engine charges `spec`.
+    /// Installation serial of the resident graph: 0 for the load-time
+    /// graph, incremented by every [`install_graph`](Self::install_graph).
+    pub fn epoch_serial(&self) -> u64 {
+        self.shared.epoch().serial
+    }
+
+    /// The resident graph generation queries currently run against.
+    pub fn graph(&self) -> Arc<TemporalGraph> {
+        Arc::clone(&self.shared.epoch().graph)
+    }
+
+    /// Installs an updated graph as the next generation and returns its
+    /// serial. Atomic from the queries' perspective: executions already
+    /// past their epoch snapshot finish against the generation they
+    /// started on; everything submitted or executed afterwards sees the
+    /// new graph, a freshly measured admission cost model, and — because
+    /// cache keys carry the structure digest — an effectively invalidated
+    /// result cache (old entries can no longer match and age out by LRU).
+    ///
+    /// This is the serving side of the streaming loop (DESIGN.md §17):
+    /// `graphite-stream` refreshes the graph per update batch and the
+    /// serving layer re-points at it between queries.
+    pub fn install_graph(&self, graph: Arc<TemporalGraph>) -> u64 {
+        let mut slot = match self.shared.epoch.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let serial = slot.serial + 1;
+        *slot = Arc::new(Epoch::over(serial, graph));
+        serial
+    }
+
+    /// The admission cost the current generation charges `spec`.
     pub fn estimate(&self, spec: &QuerySpec) -> u64 {
-        self.shared.cost.estimate(spec)
+        self.shared.epoch().cost.estimate(spec)
     }
 
     /// Current accounting snapshot.
@@ -339,7 +407,7 @@ impl ServeEngine {
     /// was never executed and may be resubmitted (a quarantined one after
     /// the seeded decay releases it).
     pub fn submit(&self, spec: QuerySpec) -> Result<Ticket, BspError> {
-        let cost = self.shared.cost.estimate(&spec);
+        let cost = self.shared.epoch().cost.estimate(&spec);
         let qkey = faultdom::quarantine_key(&spec);
         let mut state = lock(&self.shared.state);
         state.stats.submitted += 1;
@@ -538,9 +606,13 @@ fn executor_loop(shared: &Shared) {
 /// never deadlock or lose a query.
 fn serve_one(shared: &Shared, job: &Job) -> Result<QueryOutcome, BspError> {
     let started = now();
+    // One epoch snapshot per served query: the whole execution — cache
+    // key, transform, budget derivation, registry run — binds to this
+    // generation even if a newer graph is installed mid-run.
+    let epoch = shared.epoch();
     let key = CacheKey {
         params: job.spec.params_digest(),
-        graph: shared.graph_digest,
+        graph: epoch.graph_digest,
     };
     if job.spec.cacheable() {
         let mut state = lock(&shared.state);
@@ -564,7 +636,7 @@ fn serve_one(shared: &Shared, job: &Job) -> Result<QueryOutcome, BspError> {
             state = wait(&shared.flight, state);
         }
     }
-    let outcome = execute_with_retries(shared, &job.spec);
+    let outcome = execute_with_retries(shared, &epoch, &job.spec);
     if job.spec.cacheable() {
         // Leader epilogue: publish on success, and *always* release the
         // key and wake waiters — on failure they retry as new leaders.
@@ -595,15 +667,19 @@ fn serve_one(shared: &Shared, job: &Job) -> Result<QueryOutcome, BspError> {
 /// attempt-indexed backoff (never with the zero default base). Terminal
 /// errors — including budget overruns, which are deterministic and would
 /// only overrun again — propagate immediately.
-fn execute_with_retries(shared: &Shared, spec: &QuerySpec) -> Result<RunOutcome, BspError> {
+fn execute_with_retries(
+    shared: &Shared,
+    epoch: &Epoch,
+    spec: &QuerySpec,
+) -> Result<RunOutcome, BspError> {
     let allowance = spec.retries.unwrap_or(shared.cfg.retries);
     let key = faultdom::quarantine_key(spec);
     let mut attempt: u64 = 0;
     loop {
         let run = if attempt == 0 {
-            execute(shared, spec)
+            execute(shared, epoch, spec)
         } else {
-            execute(shared, &faultdom::escalate(spec, attempt))
+            execute(shared, epoch, &faultdom::escalate(spec, attempt))
         };
         match run {
             Ok(outcome) => {
@@ -632,11 +708,11 @@ fn execute_with_retries(shared: &Shared, spec: &QuerySpec) -> Result<RunOutcome,
 /// the pool or its neighbors. Every run gets a superstep budget: the
 /// spec's own `budget=`, else the engine's `default_budget`, else the
 /// cost model's derived ceiling (DESIGN.md §15).
-fn execute(shared: &Shared, spec: &QuerySpec) -> Result<RunOutcome, BspError> {
+fn execute(shared: &Shared, epoch: &Epoch, spec: &QuerySpec) -> Result<RunOutcome, BspError> {
     let transformed = if spec.platform == Platform::Tgb {
-        Some(Arc::clone(shared.transformed.get_or_init(|| {
+        Some(Arc::clone(epoch.transformed.get_or_init(|| {
             Arc::new(transform_for_paths(
-                &shared.graph,
+                &epoch.graph,
                 &TransformOptions::default(),
             ))
         })))
@@ -649,14 +725,14 @@ fn execute(shared: &Shared, spec: &QuerySpec) -> Result<RunOutcome, BspError> {
             shared
                 .cfg
                 .default_budget
-                .unwrap_or_else(|| shared.cost.superstep_budget(spec)),
+                .unwrap_or_else(|| epoch.cost.superstep_budget(spec)),
         );
     }
     let run = catch_unwind(AssertUnwindSafe(|| {
         registry::try_run(
             spec.algo,
             spec.platform,
-            &shared.graph,
+            &epoch.graph,
             transformed.as_ref(),
             &opts,
         )

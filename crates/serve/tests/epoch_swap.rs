@@ -1,0 +1,189 @@
+//! Graph-generation (epoch) swaps in the resident engine: installing an
+//! updated graph atomically refreshes the structure digest, the admission
+//! cost model, and — because cache keys carry the digest — invalidates
+//! every cached result, while queries keep executing correctly before and
+//! after the swap (DESIGN.md §17).
+
+use graphite_algorithms::registry::{Algo, Platform};
+use graphite_datagen::{generate, GenParams, LifespanModel, PropModel, Topology};
+use graphite_serve::{QuerySpec, ServeConfig, ServeEngine};
+use graphite_tgraph::delta::GraphDelta;
+use graphite_tgraph::graph::{EdgeId, TemporalGraph, VertexId};
+use std::sync::Arc;
+
+fn params(seed: u64) -> GenParams {
+    GenParams {
+        vertices: 60,
+        edges: 240,
+        snapshots: 8,
+        topology: Topology::PowerLaw {
+            edges_per_vertex: 4,
+        },
+        vertex_lifespans: LifespanModel::Full,
+        edge_lifespans: LifespanModel::Geometric { mean: 5.0 },
+        props: PropModel {
+            mean_segment: 4.0,
+            max_cost: 10,
+            max_travel_time: 2,
+        },
+        seed,
+    }
+}
+
+fn source(graph: &TemporalGraph) -> VertexId {
+    graph
+        .vertices()
+        .map(|(_, v)| v.vid)
+        .min()
+        .expect("non-empty graph")
+}
+
+fn bfs_spec(graph: &TemporalGraph) -> QuerySpec {
+    QuerySpec {
+        algo: Algo::Bfs,
+        platform: Platform::Icm,
+        workers: 2,
+        source: Some(source(graph)),
+        ..QuerySpec::default()
+    }
+}
+
+/// A delta that densifies the graph around the BFS source: fresh vertices
+/// hanging off it, so reachability genuinely changes.
+fn densify(graph: &TemporalGraph) -> GraphDelta {
+    let src = source(graph);
+    let lifespan = graph
+        .vertex_index(src)
+        .map(|v| graph.vertex_lifespan(v))
+        .expect("source exists");
+    let base_vid = graph.vertices().map(|(_, v)| v.vid.0).max().unwrap_or(0) + 1;
+    let base_eid = graph
+        .edge_indices()
+        .map(|e| graph.edge(e).eid.0)
+        .max()
+        .unwrap_or(0)
+        + 1;
+    let mut delta = GraphDelta::new();
+    for k in 0..8u64 {
+        let vid = VertexId(base_vid + k);
+        delta.insert_vertex(vid, lifespan);
+        delta.insert_edge(EdgeId(base_eid + k), src, vid, lifespan);
+    }
+    delta
+}
+
+/// Installing an updated graph bumps the epoch serial, re-keys the cache
+/// through the new structure digest (the warm entry no longer answers),
+/// and serves results computed on the new graph.
+#[test]
+fn install_invalidates_cache_through_the_digest() {
+    let graph = Arc::new(generate(&params(11)));
+    let engine = ServeEngine::new(
+        Arc::clone(&graph),
+        ServeConfig {
+            max_in_flight: 1,
+            ..ServeConfig::default()
+        },
+    );
+    assert_eq!(engine.epoch_serial(), 0);
+    let spec = bfs_spec(&graph);
+
+    // Warm the cache on generation 0.
+    let gen0 = engine.serve_batch(&[spec.clone(), spec.clone()]);
+    let cold = gen0[0].as_ref().expect("gen0 run");
+    let warm = gen0[1].as_ref().expect("gen0 hit");
+    assert!(!cold.cached && warm.cached);
+
+    // Install the densified graph as generation 1.
+    let updated = Arc::new(graph.apply_delta(&densify(&graph)).expect("valid delta"));
+    assert_ne!(updated.structure_digest(), graph.structure_digest());
+    let serial = engine.install_graph(Arc::clone(&updated));
+    assert_eq!(serial, 1);
+    assert_eq!(engine.epoch_serial(), 1);
+    assert_eq!(engine.graph_digest(), updated.structure_digest());
+    assert_eq!(
+        engine.graph().structure_digest(),
+        updated.structure_digest(),
+        "engine must expose the installed generation"
+    );
+
+    // The identical spec re-executes (cache keyed by the new digest) and
+    // reflects the new topology.
+    let gen1 = engine.serve_batch(&[spec.clone(), spec]);
+    let fresh = gen1[0].as_ref().expect("gen1 run");
+    let hit = gen1[1].as_ref().expect("gen1 hit");
+    assert!(
+        !fresh.cached,
+        "the old generation's cache entry must not answer after install"
+    );
+    assert!(hit.cached, "the new generation caches normally");
+    assert_ne!(
+        fresh.digest, cold.digest,
+        "densified graph must change the BFS result digest"
+    );
+    assert_eq!(hit.digest, fresh.digest);
+}
+
+/// The admission cost model is re-measured per generation: growing the
+/// graph raises the per-query estimate, and the estimate the engine
+/// charges always comes from the current generation.
+#[test]
+fn admission_costs_refresh_per_epoch() {
+    let graph = Arc::new(generate(&params(12)));
+    let engine = ServeEngine::new(Arc::clone(&graph), ServeConfig::default());
+    let spec = bfs_spec(&graph);
+    let before = engine.estimate(&spec);
+
+    // Grow the graph substantially (twice the vertices via a second
+    // generated graph's worth of fresh entities hanging off the source).
+    let mut current = (*graph).clone();
+    for _ in 0..4 {
+        let delta = densify(&current);
+        current = current.apply_delta(&delta).expect("valid delta");
+    }
+    engine.install_graph(Arc::new(current));
+    let after = engine.estimate(&spec);
+    assert!(
+        after > before,
+        "estimate must track the installed generation ({after} vs {before})"
+    );
+}
+
+/// Digest-identity across the swap boundary: a query executed on the old
+/// generation before install and the same spec executed solo on a fresh
+/// engine over the updated graph agree — the resident swap is invisible
+/// to per-generation results.
+#[test]
+fn swap_is_invisible_to_per_generation_results() {
+    let graph = Arc::new(generate(&params(13)));
+    let updated = Arc::new(graph.apply_delta(&densify(&graph)).expect("valid delta"));
+    let spec = bfs_spec(&graph);
+
+    let resident = ServeEngine::new(Arc::clone(&graph), ServeConfig::default());
+    let old = resident.serve_batch(std::slice::from_ref(&spec))[0]
+        .as_ref()
+        .expect("old generation run")
+        .digest;
+    resident.install_graph(Arc::clone(&updated));
+    let new = resident.serve_batch(std::slice::from_ref(&spec))[0]
+        .as_ref()
+        .expect("new generation run")
+        .digest;
+
+    let solo_old = ServeEngine::new(Arc::clone(&graph), ServeConfig::default());
+    let solo_new = ServeEngine::new(Arc::clone(&updated), ServeConfig::default());
+    assert_eq!(
+        old,
+        solo_old.serve_batch(std::slice::from_ref(&spec))[0]
+            .as_ref()
+            .expect("solo old")
+            .digest
+    );
+    assert_eq!(
+        new,
+        solo_new.serve_batch(&[spec])[0]
+            .as_ref()
+            .expect("solo new")
+            .digest
+    );
+}

@@ -1,0 +1,535 @@
+//! The [`StreamEngine`]: ingest [`GraphDelta`] batches against a resident
+//! frozen graph and keep registered monotone algorithms current by
+//! warm-started incremental recomputation (DESIGN.md §17).
+//!
+//! Per batch the engine (1) computes the dirty vertex set against the
+//! pre-batch graph, (2) applies the delta through the [`DeltaOverlay`]
+//! (with its deterministic compaction cadence), (3) re-converges every
+//! registered algorithm from its previous fixpoint via
+//! [`Resumed`](crate::resume::Resumed), and (4) on the configured
+//! differential cadence re-runs each algorithm from scratch and demands
+//! bit-identical result digests — the correctness instrument the whole
+//! subsystem is pinned by.
+//!
+//! All measurement goes through the engine's [`TraceSink`] (`stream_*`
+//! extras in the `graphite-trace/1` vocabulary); stream code never touches
+//! the clock directly.
+
+use crate::resume::{dirty_vertices, PrevStates, Resumed};
+use graphite_algorithms::bfs::IcmBfs;
+use graphite_algorithms::common::{digest_interval_states, AlgLabels};
+use graphite_algorithms::td_paths::{IcmEat, IcmReach};
+use graphite_bsp::error::BspError;
+use graphite_bsp::metrics::UserCounters;
+use graphite_bsp::trace::{RunTrace, TraceConfig, TraceEvent, TraceSink};
+use graphite_icm::prelude::*;
+use graphite_part::PartitionStrategy;
+use graphite_tgraph::delta::{DeltaOverlay, GraphDelta};
+use graphite_tgraph::error::GraphError;
+use graphite_tgraph::graph::{TemporalGraph, VertexId};
+use graphite_tgraph::snapshot::snapshot_window;
+use graphite_tgraph::time::{Interval, Time};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// Streaming-engine configuration.
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// BSP workers per maintenance run.
+    pub workers: usize,
+    /// Verifying-compaction cadence of the delta overlay: every
+    /// `compact_every`-th batch re-derives the structure digest from
+    /// content and fails on drift. `0` disables verification (every batch
+    /// is a fast freeze).
+    pub compact_every: u64,
+    /// Differential cadence: every `check_every`-th batch re-runs each
+    /// registered algorithm from scratch and compares result digests.
+    /// `0` disables the in-line check (the test matrix still enforces it).
+    pub check_every: u64,
+    /// Permute BSP scheduling freedoms with this seed (results must not
+    /// change; composed with the differential matrix in tests).
+    pub perturb_schedule: Option<u64>,
+    /// Vertex-placement strategy for maintenance runs.
+    pub partition: PartitionStrategy,
+    /// Trace level for the engine's own `stream_*` extras.
+    pub trace: TraceConfig,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            workers: 2,
+            compact_every: 8,
+            check_every: 0,
+            perturb_schedule: None,
+            partition: PartitionStrategy::default(),
+            trace: TraceConfig::default(),
+        }
+    }
+}
+
+/// A registered algorithm: the monotone programs the incremental protocol
+/// is sound for (min-merge / or-merge over insert/extend-only deltas).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlgoSpec {
+    /// Per-snapshot hop distance from `source`.
+    Bfs {
+        /// BFS source vertex.
+        source: VertexId,
+    },
+    /// Earliest arrival time from `source`, departing at `start`.
+    Eat {
+        /// Journey source vertex.
+        source: VertexId,
+        /// Journey start time.
+        start: Time,
+    },
+    /// Temporal reachability from `source`, departing at `start`.
+    Reach {
+        /// Journey source vertex.
+        source: VertexId,
+        /// Journey start time.
+        start: Time,
+    },
+}
+
+/// Renders one ingested batch's `stream_*` extras as a one-step
+/// `graphite-trace/1` run (mirroring the serving layer's health row): a
+/// `worker_step` whose `extras` carry the counters, closed by a halted
+/// `step_end` so the stream parses as a complete step. Ready for
+/// `maybe_emit`.
+pub fn batch_trace(report: &BatchReport) -> RunTrace {
+    let mut trace = RunTrace::default();
+    trace.push(TraceEvent::WorkerStep {
+        step: report.batch,
+        worker: 0,
+        active_vertices: 0,
+        messages_in: 0,
+        counters: UserCounters::default(),
+        extras: report.extras.clone(),
+        compute_ns: 0,
+    });
+    trace.push(TraceEvent::StepEnd {
+        step: report.batch,
+        sent: 0,
+        halted: true,
+        compute_ns: 0,
+        messaging_ns: 0,
+        barrier_ns: 0,
+    });
+    trace
+}
+
+impl AlgoSpec {
+    /// Stable short name (used in reports and traces).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgoSpec::Bfs { .. } => "bfs",
+            AlgoSpec::Eat { .. } => "eat",
+            AlgoSpec::Reach { .. } => "reach",
+        }
+    }
+}
+
+/// Per-algorithm slice of a [`BatchReport`].
+#[derive(Clone, Debug)]
+pub struct AlgoReport {
+    /// Algorithm short name.
+    pub name: &'static str,
+    /// Result digest after this batch (per-(vertex, time-point) fold over
+    /// the snapshot window).
+    pub result_digest: u64,
+    /// Supersteps the incremental maintenance run took.
+    pub supersteps: u64,
+    /// Compute calls the incremental maintenance run took.
+    pub compute_calls: u64,
+}
+
+/// What one ingested batch did.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// 1-based batch number.
+    pub batch: u64,
+    /// Operations in the delta.
+    pub ops: usize,
+    /// Dirty vertices re-seeded by the maintenance runs.
+    pub dirty: usize,
+    /// Structure digest of the refreshed graph.
+    pub graph_digest: u64,
+    /// Whether this batch ran the differential full-recompute check.
+    pub checked: bool,
+    /// Per-algorithm results.
+    pub algos: Vec<AlgoReport>,
+    /// Drained `stream_*` trace extras (empty when tracing is off).
+    pub extras: Vec<(&'static str, u64)>,
+}
+
+/// Streaming failures.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The delta violated graph constraints or the overlay digest drifted.
+    Graph(GraphError),
+    /// A maintenance run failed in the BSP runtime.
+    Run(BspError),
+    /// The differential check caught an incremental/from-scratch mismatch.
+    DifferentialMismatch {
+        /// Algorithm short name.
+        algo: &'static str,
+        /// Batch at which the divergence surfaced.
+        batch: u64,
+        /// Digest of the incrementally maintained result.
+        incremental: u64,
+        /// Digest of the from-scratch recomputation.
+        from_scratch: u64,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Graph(e) => write!(f, "delta rejected: {e}"),
+            StreamError::Run(e) => write!(f, "maintenance run failed: {e}"),
+            StreamError::DifferentialMismatch {
+                algo,
+                batch,
+                incremental,
+                from_scratch,
+            } => write!(
+                f,
+                "batch {batch}: incremental {algo} digest {incremental:#018x} != from-scratch {from_scratch:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<GraphError> for StreamError {
+    fn from(e: GraphError) -> Self {
+        StreamError::Graph(e)
+    }
+}
+
+impl From<BspError> for StreamError {
+    fn from(e: BspError) -> Self {
+        StreamError::Run(e)
+    }
+}
+
+/// One registered algorithm plus its carried fixpoint.
+struct Slot {
+    spec: AlgoSpec,
+    prev_long: PrevStates<i64>,
+    prev_bool: PrevStates<bool>,
+}
+
+/// The resident streaming engine. See the module docs for the per-batch
+/// protocol; see [`crate::resume`] for the warm-start soundness argument.
+pub struct StreamEngine {
+    graph: Arc<TemporalGraph>,
+    overlay: DeltaOverlay,
+    cfg: StreamConfig,
+    slots: Vec<Slot>,
+    batches: u64,
+    sink: TraceSink,
+}
+
+impl StreamEngine {
+    /// Takes residence over `graph`.
+    pub fn new(graph: Arc<TemporalGraph>, cfg: StreamConfig) -> Self {
+        let overlay = DeltaOverlay::new(&graph, cfg.compact_every);
+        let sink = TraceSink::new(cfg.trace);
+        StreamEngine {
+            graph,
+            overlay,
+            cfg,
+            slots: Vec::new(),
+            batches: 0,
+            sink,
+        }
+    }
+
+    /// The current frozen graph (refreshed after every ingested batch).
+    pub fn graph(&self) -> Arc<TemporalGraph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// Structure digest of the current graph (O(1), memoized).
+    pub fn structure_digest(&self) -> u64 {
+        self.graph.structure_digest()
+    }
+
+    /// Batches ingested so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    fn icm_config(&self) -> IcmConfig {
+        IcmConfig {
+            workers: self.cfg.workers,
+            perturb_schedule: self.cfg.perturb_schedule,
+            partition: self.cfg.partition.clone(),
+            ..Default::default()
+        }
+    }
+
+    fn window(graph: &TemporalGraph) -> Interval {
+        snapshot_window(graph).unwrap_or(Interval::new(0, 1))
+    }
+
+    /// Registers `spec` and runs its initial from-scratch computation on
+    /// the current graph, returning the initial result digest.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Run`] when the initial computation fails.
+    pub fn register(&mut self, spec: AlgoSpec) -> Result<u64, StreamError> {
+        let cfg = self.icm_config();
+        let window = Self::window(&self.graph);
+        let mut slot = Slot {
+            spec,
+            prev_long: Arc::new(Default::default()),
+            prev_bool: Arc::new(Default::default()),
+        };
+        let digest = match spec {
+            AlgoSpec::Bfs { source } => {
+                let r = try_run_icm(&self.graph, Arc::new(IcmBfs { source }), &cfg)?;
+                let d = digest_interval_states(&r.states, window, |s: &i64| *s as u64);
+                slot.prev_long = Arc::new(r.states);
+                d.0
+            }
+            AlgoSpec::Eat { source, start } => {
+                let labels = AlgLabels::resolve(&self.graph);
+                let r = try_run_icm(
+                    &self.graph,
+                    Arc::new(IcmEat {
+                        source,
+                        start,
+                        labels,
+                    }),
+                    &cfg,
+                )?;
+                let d = digest_interval_states(&r.states, window, |s: &i64| *s as u64);
+                slot.prev_long = Arc::new(r.states);
+                d.0
+            }
+            AlgoSpec::Reach { source, start } => {
+                let labels = AlgLabels::resolve(&self.graph);
+                let r = try_run_icm(
+                    &self.graph,
+                    Arc::new(IcmReach {
+                        source,
+                        start,
+                        labels,
+                    }),
+                    &cfg,
+                )?;
+                let d = digest_interval_states(&r.states, window, |s: &bool| u64::from(*s));
+                slot.prev_bool = Arc::new(r.states);
+                d.0
+            }
+        };
+        self.slots.push(slot);
+        Ok(digest)
+    }
+
+    /// Ingests one update batch: applies the delta (with the overlay's
+    /// compaction cadence), re-converges every registered algorithm from
+    /// its previous fixpoint, and on the differential cadence verifies
+    /// against from-scratch recomputation.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Graph`] on a rejected delta or digest drift;
+    /// [`StreamError::Run`] on a failed maintenance run;
+    /// [`StreamError::DifferentialMismatch`] when an incremental result
+    /// diverges from the from-scratch recomputation.
+    pub fn ingest(&mut self, delta: &GraphDelta) -> Result<BatchReport, StreamError> {
+        let dirty = Arc::new(dirty_vertices(&self.graph, delta));
+        let overlay = &mut self.overlay;
+        let graph = Arc::new(
+            self.sink
+                .timed("stream_apply_ns", || overlay.apply_and_freeze(delta))?,
+        );
+        self.batches += 1;
+        let batch = self.batches;
+        let check = self.cfg.check_every > 0 && batch.is_multiple_of(self.cfg.check_every);
+        let cfg = self.icm_config();
+        let window = Self::window(&graph);
+
+        let mut algos = Vec::with_capacity(self.slots.len());
+        let mut inc_compute = 0u64;
+        for slot in &mut self.slots {
+            let report = match slot.spec {
+                AlgoSpec::Bfs { source } => maintain_long(
+                    &graph,
+                    |prev, dirty| Resumed::new(IcmBfs { source }, prev, dirty),
+                    || IcmBfs { source },
+                    slot,
+                    &dirty,
+                    &cfg,
+                    window,
+                    check,
+                    batch,
+                    &mut self.sink,
+                )?,
+                AlgoSpec::Eat { source, start } => {
+                    let labels = AlgLabels::resolve(&graph);
+                    let mk = |l: &AlgLabels| IcmEat {
+                        source,
+                        start,
+                        labels: *l,
+                    };
+                    maintain_long(
+                        &graph,
+                        |prev, dirty| Resumed::new(mk(&labels), prev, dirty),
+                        || mk(&labels),
+                        slot,
+                        &dirty,
+                        &cfg,
+                        window,
+                        check,
+                        batch,
+                        &mut self.sink,
+                    )?
+                }
+                AlgoSpec::Reach { source, start } => {
+                    let labels = AlgLabels::resolve(&graph);
+                    let mk = |l: &AlgLabels| IcmReach {
+                        source,
+                        start,
+                        labels: *l,
+                    };
+                    maintain_bool(
+                        &graph,
+                        |prev, dirty| Resumed::new(mk(&labels), prev, dirty),
+                        || mk(&labels),
+                        slot,
+                        &dirty,
+                        &cfg,
+                        window,
+                        check,
+                        batch,
+                        &mut self.sink,
+                    )?
+                }
+            };
+            inc_compute += report.compute_calls;
+            algos.push(report);
+        }
+
+        self.sink.add("stream_batches", 1);
+        self.sink.add("stream_ops", delta.len() as u64);
+        self.sink.add("stream_dirty_vertices", dirty.len() as u64);
+        self.sink.add("stream_inc_compute_calls", inc_compute);
+        if check {
+            self.sink.add("stream_digest_checks", 1);
+        }
+        self.graph = graph;
+        Ok(BatchReport {
+            batch,
+            ops: delta.len(),
+            dirty: dirty.len(),
+            graph_digest: self.graph.structure_digest(),
+            checked: check,
+            algos,
+            extras: self.sink.take_extras(),
+        })
+    }
+}
+
+/// Warm-started maintenance for `i64`-state programs (BFS, EAT), with the
+/// optional differential check.
+#[allow(clippy::too_many_arguments)]
+fn maintain_long<P, W, C>(
+    graph: &Arc<TemporalGraph>,
+    warm: W,
+    cold: C,
+    slot: &mut Slot,
+    dirty: &Arc<BTreeSet<VertexId>>,
+    cfg: &IcmConfig,
+    window: Interval,
+    check: bool,
+    batch: u64,
+    sink: &mut TraceSink,
+) -> Result<AlgoReport, StreamError>
+where
+    P: IntervalProgram<State = i64>,
+    W: FnOnce(PrevStates<i64>, Arc<BTreeSet<VertexId>>) -> Resumed<P>,
+    C: FnOnce() -> P,
+{
+    let program = Arc::new(warm(Arc::clone(&slot.prev_long), Arc::clone(dirty)));
+    let r = sink.timed("stream_incremental_ns", || try_run_icm(graph, program, cfg))?;
+    let digest = digest_interval_states(&r.states, window, |s: &i64| *s as u64);
+    if check {
+        let scratch = sink.timed("stream_full_check_ns", || {
+            try_run_icm(graph, Arc::new(cold()), cfg)
+        })?;
+        let expect = digest_interval_states(&scratch.states, window, |s: &i64| *s as u64);
+        if digest != expect {
+            sink.add("stream_digest_mismatches", 1);
+            return Err(StreamError::DifferentialMismatch {
+                algo: slot.spec.name(),
+                batch,
+                incremental: digest.0,
+                from_scratch: expect.0,
+            });
+        }
+    }
+    let report = AlgoReport {
+        name: slot.spec.name(),
+        result_digest: digest.0,
+        supersteps: r.metrics.supersteps,
+        compute_calls: r.metrics.counters.compute_calls,
+    };
+    slot.prev_long = Arc::new(r.states);
+    Ok(report)
+}
+
+/// Warm-started maintenance for `bool`-state programs (Reachability).
+#[allow(clippy::too_many_arguments)]
+fn maintain_bool<P, W, C>(
+    graph: &Arc<TemporalGraph>,
+    warm: W,
+    cold: C,
+    slot: &mut Slot,
+    dirty: &Arc<BTreeSet<VertexId>>,
+    cfg: &IcmConfig,
+    window: Interval,
+    check: bool,
+    batch: u64,
+    sink: &mut TraceSink,
+) -> Result<AlgoReport, StreamError>
+where
+    P: IntervalProgram<State = bool>,
+    W: FnOnce(PrevStates<bool>, Arc<BTreeSet<VertexId>>) -> Resumed<P>,
+    C: FnOnce() -> P,
+{
+    let program = Arc::new(warm(Arc::clone(&slot.prev_bool), Arc::clone(dirty)));
+    let r = sink.timed("stream_incremental_ns", || try_run_icm(graph, program, cfg))?;
+    let digest = digest_interval_states(&r.states, window, |s: &bool| u64::from(*s));
+    if check {
+        let scratch = sink.timed("stream_full_check_ns", || {
+            try_run_icm(graph, Arc::new(cold()), cfg)
+        })?;
+        let expect = digest_interval_states(&scratch.states, window, |s: &bool| u64::from(*s));
+        if digest != expect {
+            sink.add("stream_digest_mismatches", 1);
+            return Err(StreamError::DifferentialMismatch {
+                algo: slot.spec.name(),
+                batch,
+                incremental: digest.0,
+                from_scratch: expect.0,
+            });
+        }
+    }
+    let report = AlgoReport {
+        name: slot.spec.name(),
+        result_digest: digest.0,
+        supersteps: r.metrics.supersteps,
+        compute_calls: r.metrics.counters.compute_calls,
+    };
+    slot.prev_bool = Arc::new(r.states);
+    Ok(report)
+}

@@ -1,0 +1,191 @@
+//! Warm-started resumption of monotone interval programs (DESIGN.md §17).
+//!
+//! [`Resumed`] wraps an [`IntervalProgram`] together with a previous run's
+//! converged states and the set of *dirty* vertices — the vertices whose
+//! time-warp alignment the latest update batch may have changed. The
+//! wrapped program re-converges with work proportional to the batch:
+//!
+//! * **Clean vertices** restore their previous states through the engine's
+//!   `warm_start` hook, which overlays them *without* marking them changed:
+//!   a clean vertex holds its fixpoint silently — no compute activity, no
+//!   scatter — unless messages from the dirty frontier improve on it.
+//! * **Dirty vertices** start cold and have their previous states written
+//!   back as *real* state changes in superstep 1, so they re-scatter their
+//!   full converged state over **all** incident edges — including edges the
+//!   batch just inserted or extended — before the inner program's own
+//!   superstep-1 logic (source seeding) runs.
+//!
+//! Soundness for monotone programs (min-merge BFS/EAT, or-merge
+//! reachability) over insert/extend-only deltas: the previous fixpoint is
+//! achievable in the new graph (updates never remove reachability), so
+//! restoring it cannot over-claim; every improvement the new elements
+//! enable originates at a dirty endpoint, whose full re-scatter injects the
+//! frontier messages; from there change-driven propagation completes
+//! exactly as in a cold run. The differential harness
+//! ([`crate::engine::StreamEngine`]) verifies the resulting states
+//! digest-identical to a from-scratch recomputation.
+
+use graphite_icm::prelude::*;
+use graphite_tgraph::delta::GraphDelta;
+use graphite_tgraph::graph::{TemporalGraph, VertexId};
+use graphite_tgraph::time::{Interval, Time};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// The converged per-vertex interval states of a previous run, as produced
+/// by [`IcmResult::states`].
+pub type PrevStates<S> = Arc<BTreeMap<VertexId, Vec<(Interval, S)>>>;
+
+/// A monotone interval program resumed from a previous run's fixpoint.
+/// See the module docs for the clean/dirty protocol.
+pub struct Resumed<P: IntervalProgram> {
+    inner: P,
+    prev: PrevStates<P::State>,
+    dirty: Arc<BTreeSet<VertexId>>,
+}
+
+impl<P: IntervalProgram> Resumed<P> {
+    /// Wraps `inner` with the previous states and the dirty set of the
+    /// latest update batch (see [`dirty_vertices`]).
+    pub fn new(inner: P, prev: PrevStates<P::State>, dirty: Arc<BTreeSet<VertexId>>) -> Self {
+        Resumed { inner, prev, dirty }
+    }
+}
+
+impl<P: IntervalProgram> IntervalProgram for Resumed<P> {
+    type State = P::State;
+    type Msg = P::Msg;
+
+    fn init(&self, vertex: &VertexContext<'_>) -> Self::State {
+        self.inner.init(vertex)
+    }
+
+    fn warm_start(&self, vertex: &VertexContext<'_>) -> Option<Vec<(Interval, Self::State)>> {
+        if self.dirty.contains(&vertex.vid()) {
+            return None; // cold start; compute below restores with changes
+        }
+        self.prev.get(&vertex.vid()).cloned()
+    }
+
+    fn compute(
+        &self,
+        ctx: &mut ComputeContext<'_, Self::State, Self::Msg>,
+        interval: Interval,
+        state: &Self::State,
+        msgs: &[Self::Msg],
+    ) {
+        if ctx.superstep() == 1 && self.dirty.contains(&ctx.vid()) {
+            // Restore the previous fixpoint as genuine state changes: the
+            // engine reports them and scatters the full converged state
+            // over every incident edge (the frontier re-injection).
+            // Value-identical pieces (e.g. unreached ∞ over init ∞) are
+            // filtered by the engine and stay silent.
+            if let Some(entries) = self.prev.get(&ctx.vid()) {
+                for (iv, s) in entries {
+                    if let Some(clipped) = iv.intersect(interval) {
+                        ctx.set_state(clipped, s.clone());
+                    }
+                }
+            }
+        }
+        self.inner.compute(ctx, interval, state, msgs);
+    }
+
+    fn scatter(
+        &self,
+        ctx: &mut ScatterContext<'_, Self::Msg>,
+        interval: Interval,
+        state: &Self::State,
+    ) {
+        self.inner.scatter(ctx, interval, state);
+    }
+
+    fn direction(&self) -> EdgeDirection {
+        self.inner.direction()
+    }
+
+    fn refine_scatter_by_properties(&self) -> bool {
+        self.inner.refine_scatter_by_properties()
+    }
+
+    fn prepartition(&self, vertex: &VertexContext<'_>) -> Vec<Time> {
+        self.inner.prepartition(vertex)
+    }
+
+    fn all_active(&self, step: u64, globals: &graphite_bsp::aggregate::Aggregators) -> bool {
+        self.inner.all_active(step, globals)
+    }
+
+    fn combine(&self, a: &Self::Msg, b: &Self::Msg) -> Option<Self::Msg> {
+        self.inner.combine(a, b)
+    }
+}
+
+/// The vertices whose warp alignment `delta` may change relative to
+/// `base` (the graph *before* the batch) — the set that must re-scatter.
+///
+/// * endpoints of inserted edges (the new edge carries state across);
+/// * endpoints of edges whose lifespan or properties changed (their
+///   scatter intervals / payloads changed);
+/// * lifespan-extended vertices (their partition grows a fresh tail);
+/// * in-neighbors of lifespan-extended vertices — regenerating their
+///   scatter reconstructs open-ended messages (e.g. EAT's `[arrival, ∞)`)
+///   over the extended tail;
+/// * inserted vertices (no previous state exists for them).
+///
+/// Over-approximation is sound (a dirty vertex merely re-announces its
+/// fixpoint); under-approximation is what the differential harness exists
+/// to catch.
+pub fn dirty_vertices(base: &TemporalGraph, delta: &GraphDelta) -> BTreeSet<VertexId> {
+    let mut dirty = BTreeSet::new();
+    for &(vid, _) in &delta.insert_vertices {
+        dirty.insert(vid);
+    }
+    for &(_, src, dst, _) in &delta.insert_edges {
+        dirty.insert(src);
+        dirty.insert(dst);
+    }
+    // Endpoints of touched pre-existing edges, resolved against the base
+    // rows (one id→endpoints table for the whole batch); edges inserted by
+    // this very batch are already covered above.
+    let touched: Vec<graphite_tgraph::graph::EdgeId> = delta
+        .extend_edges
+        .iter()
+        .map(|&(eid, _)| eid)
+        .chain(delta.edge_props.iter().map(|(eid, _, _, _)| *eid))
+        .chain(delta.extend_edge_props.iter().map(|(eid, _, _)| *eid))
+        .collect();
+    if !touched.is_empty() {
+        let endpoints: std::collections::HashMap<_, _> = base
+            .edge_indices()
+            .map(|e| {
+                let row = base.edge(e);
+                (
+                    row.eid,
+                    (base.vertex(row.src).vid, base.vertex(row.dst).vid),
+                )
+            })
+            .collect();
+        for eid in touched {
+            if let Some(&(src, dst)) = endpoints.get(&eid) {
+                dirty.insert(src);
+                dirty.insert(dst);
+            }
+        }
+    }
+    for &(vid, _) in &delta.extend_vertices {
+        dirty.insert(vid);
+        if let Some(v) = base.vertex_index(vid) {
+            for &e in base.in_edges(v) {
+                dirty.insert(base.vertex(base.edge(e).src).vid);
+            }
+        }
+        // Same-batch inserted edges pointing at the extended vertex.
+        for &(_, src, dst, _) in &delta.insert_edges {
+            if dst == vid {
+                dirty.insert(src);
+            }
+        }
+    }
+    dirty
+}

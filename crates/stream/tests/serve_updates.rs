@@ -1,0 +1,98 @@
+//! Streaming × serving integration (DESIGN.md §17): a resident
+//! `ServeEngine` answers queries *between* update batches. Each ingested
+//! batch installs the refreshed graph as a new serve epoch; cached
+//! results from older epochs can never answer (cache keys carry the
+//! structure digest) and every served digest is bit-identical to a solo
+//! engine over the same generation.
+
+use graphite_algorithms::registry::{Algo, Platform};
+use graphite_datagen::stream::derive_update_stream;
+use graphite_datagen::{GenParams, LifespanModel, PropModel};
+use graphite_serve::{QuerySpec, ServeConfig, ServeEngine};
+use graphite_stream::prelude::*;
+use graphite_tgraph::graph::VertexId;
+use std::sync::Arc;
+
+fn churny(seed: u64) -> GenParams {
+    GenParams {
+        vertices: 60,
+        edges: 240,
+        snapshots: 10,
+        vertex_lifespans: LifespanModel::Geometric { mean: 6.0 },
+        edge_lifespans: LifespanModel::Geometric { mean: 4.0 },
+        props: PropModel {
+            mean_segment: 3.0,
+            max_cost: 10,
+            max_travel_time: 2,
+        },
+        ..GenParams::small(seed)
+    }
+}
+
+fn bfs_spec(source: VertexId) -> QuerySpec {
+    QuerySpec {
+        algo: Algo::Bfs,
+        platform: Platform::Icm,
+        workers: 2,
+        source: Some(source),
+        ..QuerySpec::default()
+    }
+}
+
+/// Queries interleaved with batches: after each ingest + install, the
+/// resident engine re-executes (no stale cache hit), matches a solo
+/// engine over the same graph, and caches normally within the epoch.
+#[test]
+fn queries_between_batches_track_each_installed_epoch() {
+    let stream = derive_update_stream(&churny(61), 4);
+    let source = stream
+        .base
+        .vertices()
+        .map(|(_, v)| v.vid)
+        .min()
+        .expect("non-empty base");
+    let spec = bfs_spec(source);
+
+    let mut engine = StreamEngine::new(
+        Arc::new(stream.base.clone()),
+        StreamConfig {
+            check_every: 1,
+            ..StreamConfig::default()
+        },
+    );
+    engine.register(AlgoSpec::Bfs { source }).expect("register");
+    let serve = ServeEngine::new(engine.graph(), ServeConfig::default());
+
+    let warm = serve.serve_batch(&[spec.clone(), spec.clone()]);
+    assert!(!warm[0].as_ref().expect("cold run").cached);
+    assert!(warm[1].as_ref().expect("warm hit").cached);
+
+    for (i, delta) in stream.batches.iter().enumerate() {
+        let report = engine.ingest(delta).expect("differentially clean batch");
+        let serial = serve.install_graph(engine.graph());
+        assert_eq!(serial, i as u64 + 1);
+        assert_eq!(serve.graph_digest(), report.graph_digest);
+
+        let results = serve.serve_batch(&[spec.clone(), spec.clone()]);
+        let fresh = results[0].as_ref().expect("epoch run");
+        let hit = results[1].as_ref().expect("epoch hit");
+        assert!(
+            !fresh.cached,
+            "batch {}: an older epoch's cache entry must not answer",
+            i + 1
+        );
+        assert!(hit.cached, "within-epoch repeat caches normally");
+
+        let solo = ServeEngine::new(engine.graph(), ServeConfig::default());
+        assert_eq!(
+            fresh.digest,
+            solo.serve_batch(std::slice::from_ref(&spec))[0]
+                .as_ref()
+                .expect("solo run")
+                .digest,
+            "batch {}: resident result must match a solo engine",
+            i + 1
+        );
+    }
+    assert_eq!(serve.graph_digest(), stream.final_digest);
+}

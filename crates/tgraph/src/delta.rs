@@ -1,0 +1,712 @@
+//! Live graph updates (DESIGN.md §17): [`GraphDelta`] batches of inserts
+//! and lifespan/property extensions, applied to a frozen [`TemporalGraph`]
+//! through the row-staging [`DeltaOverlay`].
+//!
+//! The frozen CSR/SoA layout (DESIGN.md §16) is immutable by design, so
+//! mutation happens in two phases:
+//!
+//! 1. **Overlay** — the overlay holds the graph in its builder-shaped row
+//!    staging form (entity rows plus id indexes) and applies delta batches
+//!    directly to the rows, enforcing exactly the builder's soundness
+//!    constraints plus the streaming monotonicity rule (lifespans and
+//!    property intervals may only *extend* to the right). Alongside the
+//!    rows it carries the structure digest's section accumulators,
+//!    updated **incrementally** — O(changed records) per batch, never a
+//!    re-hash of the graph.
+//! 2. **Compaction** — [`DeltaOverlay::freeze`] assembles the rows back
+//!    into a frozen CSR graph carrying the memoized accumulators;
+//!    [`DeltaOverlay::compact`] additionally re-derives the digest from
+//!    content and fails with [`GraphError::DigestDrift`] on divergence.
+//!    [`DeltaOverlay::apply_and_freeze`] runs the configured cadence:
+//!    every `compact_every`-th batch is a verifying compaction, the rest
+//!    are fast freezes.
+//!
+//! Because the digest folds records by their *external* identities (vid,
+//! eid, label names) into an order-independent multiset sum, a delta-built
+//! graph is digest-identical to the same content built from scratch in any
+//! insertion order — the layout-invariance contract extends to the update
+//! path (pinned by `tests/layout_equiv.rs`).
+
+use crate::error::GraphError;
+use crate::graph::{
+    combine_digest, edge_record_hash, vertex_record_hash, EdgeData, EdgeId, TemporalGraph, VIdx,
+    VertexData, VertexId,
+};
+use crate::property::{LabelInterner, PropValue, Properties};
+use crate::time::{Interval, Time};
+use std::collections::HashMap;
+
+/// One batch of timestamped graph updates: entity inserts, lifespan
+/// extensions, and property inserts/extensions. Removals are deliberately
+/// absent — the streaming model is insert/extend-only, which is what makes
+/// warm-started incremental recomputation sound for monotone algorithms
+/// (see `graphite-stream`).
+///
+/// Application order within a batch is fixed: vertex inserts, vertex
+/// extensions, edge inserts, edge extensions, edge property extensions,
+/// vertex properties, edge properties — so an edge inserted in a batch may
+/// span a lifespan extension from the same batch, and a property extension
+/// always targets an entry that existed *before* the batch (an entry
+/// inserted by the batch is already complete as written).
+#[derive(Clone, Debug, Default)]
+pub struct GraphDelta {
+    /// New vertices `(vid, lifespan)`.
+    pub insert_vertices: Vec<(VertexId, Interval)>,
+    /// New edges `(eid, src, dst, lifespan)`.
+    pub insert_edges: Vec<(EdgeId, VertexId, VertexId, Interval)>,
+    /// Vertex lifespan extensions `(vid, new_end)`; `new_end` is absolute
+    /// and must lie strictly past the current end.
+    pub extend_vertices: Vec<(VertexId, Time)>,
+    /// Edge lifespan extensions `(eid, new_end)`.
+    pub extend_edges: Vec<(EdgeId, Time)>,
+    /// New vertex property entries `(vid, label, interval, value)`.
+    pub vertex_props: Vec<(VertexId, String, Interval, PropValue)>,
+    /// New edge property entries `(eid, label, interval, value)`.
+    pub edge_props: Vec<(EdgeId, String, Interval, PropValue)>,
+    /// Extensions of an edge label's right-most entry `(eid, label,
+    /// new_end)`.
+    pub extend_edge_props: Vec<(EdgeId, String, Time)>,
+}
+
+impl GraphDelta {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a vertex insert.
+    pub fn insert_vertex(&mut self, vid: VertexId, lifespan: Interval) {
+        self.insert_vertices.push((vid, lifespan));
+    }
+
+    /// Queues an edge insert.
+    pub fn insert_edge(&mut self, eid: EdgeId, src: VertexId, dst: VertexId, lifespan: Interval) {
+        self.insert_edges.push((eid, src, dst, lifespan));
+    }
+
+    /// Queues a vertex lifespan extension to the absolute `new_end`.
+    pub fn extend_vertex(&mut self, vid: VertexId, new_end: Time) {
+        self.extend_vertices.push((vid, new_end));
+    }
+
+    /// Queues an edge lifespan extension to the absolute `new_end`.
+    pub fn extend_edge(&mut self, eid: EdgeId, new_end: Time) {
+        self.extend_edges.push((eid, new_end));
+    }
+
+    /// Queues a new vertex property entry.
+    pub fn vertex_property(
+        &mut self,
+        vid: VertexId,
+        label: &str,
+        interval: Interval,
+        value: PropValue,
+    ) {
+        self.vertex_props
+            .push((vid, label.to_owned(), interval, value));
+    }
+
+    /// Queues a new edge property entry.
+    pub fn edge_property(
+        &mut self,
+        eid: EdgeId,
+        label: &str,
+        interval: Interval,
+        value: PropValue,
+    ) {
+        self.edge_props
+            .push((eid, label.to_owned(), interval, value));
+    }
+
+    /// Queues an extension of `label`'s right-most entry on edge `eid`.
+    pub fn extend_edge_property(&mut self, eid: EdgeId, label: &str, new_end: Time) {
+        self.extend_edge_props
+            .push((eid, label.to_owned(), new_end));
+    }
+
+    /// Total number of queued operations.
+    pub fn len(&self) -> usize {
+        self.insert_vertices.len()
+            + self.insert_edges.len()
+            + self.extend_vertices.len()
+            + self.extend_edges.len()
+            + self.vertex_props.len()
+            + self.edge_props.len()
+            + self.extend_edge_props.len()
+    }
+
+    /// `true` when no operation is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Mutable row-staging overlay over a frozen [`TemporalGraph`] (module
+/// docs). Create one per update stream, feed it [`GraphDelta`] batches,
+/// and freeze/compact back into CSR form per batch.
+#[derive(Debug)]
+pub struct DeltaOverlay {
+    labels: LabelInterner,
+    vertices: Vec<VertexData>,
+    edges: Vec<EdgeData>,
+    vid_index: HashMap<VertexId, VIdx>,
+    eid_index: HashMap<EdgeId, u32>,
+    v_acc: u64,
+    e_acc: u64,
+    batches: u64,
+    compact_every: u64,
+}
+
+impl DeltaOverlay {
+    /// Thaws `base` into row staging. `compact_every` sets the verifying
+    /// compaction cadence of [`apply_and_freeze`](Self::apply_and_freeze)
+    /// (`0` = never verify, every freeze is a fast freeze).
+    pub fn new(base: &TemporalGraph, compact_every: u64) -> Self {
+        let (labels, vertices, edges, vid_index) = base.clone_rows();
+        let eid_index = edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.eid, i as u32))
+            .collect();
+        let (v_acc, e_acc) = base.digest_accumulators();
+        DeltaOverlay {
+            labels,
+            vertices,
+            edges,
+            vid_index,
+            eid_index,
+            v_acc,
+            e_acc,
+            batches: 0,
+            compact_every,
+        }
+    }
+
+    /// Number of vertices currently staged.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges currently staged.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of delta batches applied so far.
+    pub fn batches_applied(&self) -> u64 {
+        self.batches
+    }
+
+    /// The structure digest the staged rows will have once frozen —
+    /// predicted purely from the incrementally-folded accumulators, O(1).
+    pub fn structure_digest(&self) -> u64 {
+        combine_digest(
+            self.vertices.len() as u64,
+            self.edges.len() as u64,
+            self.v_acc,
+            self.e_acc,
+        )
+    }
+
+    /// Applies one batch, op by op in the documented order. Validation
+    /// mirrors the builder's Constraints 1–3 plus streaming monotonicity;
+    /// the first violation aborts the batch mid-application, so callers
+    /// treating a delta as transactional should discard the overlay on
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Any [`GraphError`] a [`crate::builder::TemporalGraphBuilder`] could
+    /// produce, plus [`GraphError::NonMonotoneExtension`] and
+    /// [`GraphError::UnknownProperty`] for invalid extensions.
+    pub fn apply(&mut self, delta: &GraphDelta) -> Result<(), GraphError> {
+        for &(vid, lifespan) in &delta.insert_vertices {
+            self.insert_vertex(vid, lifespan)?;
+        }
+        for &(vid, new_end) in &delta.extend_vertices {
+            self.extend_vertex(vid, new_end)?;
+        }
+        for &(eid, src, dst, lifespan) in &delta.insert_edges {
+            self.insert_edge(eid, src, dst, lifespan)?;
+        }
+        for &(eid, new_end) in &delta.extend_edges {
+            self.extend_edge(eid, new_end)?;
+        }
+        for (eid, label, new_end) in &delta.extend_edge_props {
+            self.extend_edge_property(*eid, label, *new_end)?;
+        }
+        for (vid, label, interval, value) in &delta.vertex_props {
+            self.vertex_property(*vid, label, *interval, value.clone())?;
+        }
+        for (eid, label, interval, value) in &delta.edge_props {
+            self.edge_property(*eid, label, *interval, value.clone())?;
+        }
+        self.batches += 1;
+        Ok(())
+    }
+
+    /// Freezes the staged rows back into a CSR graph, carrying the
+    /// memoized digest accumulators — no re-hash of the content.
+    pub fn freeze(&self) -> TemporalGraph {
+        TemporalGraph::assemble_with_digest(
+            self.labels.clone(),
+            self.vertices.clone(),
+            self.edges.clone(),
+            self.vid_index.clone(),
+            (self.v_acc, self.e_acc),
+        )
+    }
+
+    /// Verifying compaction: assembles the rows with a full digest
+    /// re-fold from content and checks it against the incremental
+    /// prediction.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::DigestDrift`] when the incrementally-folded digest
+    /// disagrees with the re-derived one.
+    pub fn compact(&self) -> Result<TemporalGraph, GraphError> {
+        let g = TemporalGraph::assemble(
+            self.labels.clone(),
+            self.vertices.clone(),
+            self.edges.clone(),
+            self.vid_index.clone(),
+        );
+        let expected = self.structure_digest();
+        let actual = g.structure_digest();
+        if expected != actual {
+            return Err(GraphError::DigestDrift { expected, actual });
+        }
+        Ok(g)
+    }
+
+    /// Applies `delta` and returns the refreshed frozen graph, running a
+    /// verifying [`compact`](Self::compact) on every `compact_every`-th
+    /// batch (deterministic cadence) and a fast [`freeze`](Self::freeze)
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors from [`apply`](Self::apply) and
+    /// [`GraphError::DigestDrift`] from compaction points.
+    pub fn apply_and_freeze(&mut self, delta: &GraphDelta) -> Result<TemporalGraph, GraphError> {
+        self.apply(delta)?;
+        if self.compact_every > 0 && self.batches.is_multiple_of(self.compact_every) {
+            self.compact()
+        } else {
+            Ok(self.freeze())
+        }
+    }
+
+    fn vertex_hash(&self, v: VIdx) -> u64 {
+        let row = &self.vertices[v.idx()];
+        vertex_record_hash(&self.labels, row.vid, row.lifespan, &row.props)
+    }
+
+    fn edge_hash(&self, e: u32) -> u64 {
+        let row = &self.edges[e as usize];
+        edge_record_hash(
+            &self.labels,
+            row.eid,
+            self.vertices[row.src.idx()].vid,
+            self.vertices[row.dst.idx()].vid,
+            row.lifespan,
+            &row.props,
+        )
+    }
+
+    fn insert_vertex(&mut self, vid: VertexId, lifespan: Interval) -> Result<(), GraphError> {
+        if self.vid_index.contains_key(&vid) {
+            return Err(GraphError::DuplicateVertex(vid));
+        }
+        let idx = VIdx(self.vertices.len() as u32);
+        self.vertices.push(VertexData {
+            vid,
+            lifespan,
+            props: Properties::new(),
+        });
+        self.vid_index.insert(vid, idx);
+        self.v_acc = self.v_acc.wrapping_add(self.vertex_hash(idx));
+        Ok(())
+    }
+
+    fn extend_vertex(&mut self, vid: VertexId, new_end: Time) -> Result<(), GraphError> {
+        let v = *self
+            .vid_index
+            .get(&vid)
+            .ok_or(GraphError::UnknownVertex(vid))?;
+        let current = self.vertices[v.idx()].lifespan;
+        if new_end <= current.end() {
+            return Err(GraphError::NonMonotoneExtension {
+                owner: format!("vertex {}", vid.0),
+                current,
+                requested_end: new_end,
+            });
+        }
+        let old = self.vertex_hash(v);
+        self.vertices[v.idx()].lifespan = Interval::new(current.start(), new_end);
+        let new = self.vertex_hash(v);
+        self.v_acc = self.v_acc.wrapping_sub(old).wrapping_add(new);
+        Ok(())
+    }
+
+    fn insert_edge(
+        &mut self,
+        eid: EdgeId,
+        src: VertexId,
+        dst: VertexId,
+        lifespan: Interval,
+    ) -> Result<(), GraphError> {
+        if self.eid_index.contains_key(&eid) {
+            return Err(GraphError::DuplicateEdge(eid));
+        }
+        let s = *self
+            .vid_index
+            .get(&src)
+            .ok_or(GraphError::UnknownVertex(src))?;
+        let d = *self
+            .vid_index
+            .get(&dst)
+            .ok_or(GraphError::UnknownVertex(dst))?;
+        for (vid, v) in [(src, s), (dst, d)] {
+            let vspan = self.vertices[v.idx()].lifespan;
+            if !lifespan.during_or_equals(vspan) {
+                return Err(GraphError::EdgeOutsideVertexLifespan {
+                    eid,
+                    vid,
+                    edge: lifespan,
+                    vertex: vspan,
+                });
+            }
+        }
+        let idx = self.edges.len() as u32;
+        self.eid_index.insert(eid, idx);
+        self.edges.push(EdgeData {
+            eid,
+            src: s,
+            dst: d,
+            lifespan,
+            props: Properties::new(),
+        });
+        self.e_acc = self.e_acc.wrapping_add(self.edge_hash(idx));
+        Ok(())
+    }
+
+    fn extend_edge(&mut self, eid: EdgeId, new_end: Time) -> Result<(), GraphError> {
+        let e = *self
+            .eid_index
+            .get(&eid)
+            .ok_or(GraphError::UnknownEdge(eid))?;
+        let (current, src, dst) = {
+            let row = &self.edges[e as usize];
+            (row.lifespan, row.src, row.dst)
+        };
+        if new_end <= current.end() {
+            return Err(GraphError::NonMonotoneExtension {
+                owner: format!("edge {}", eid.0),
+                current,
+                requested_end: new_end,
+            });
+        }
+        let extended = Interval::new(current.start(), new_end);
+        for v in [src, dst] {
+            let vspan = self.vertices[v.idx()].lifespan;
+            if !extended.during_or_equals(vspan) {
+                return Err(GraphError::EdgeOutsideVertexLifespan {
+                    eid,
+                    vid: self.vertices[v.idx()].vid,
+                    edge: extended,
+                    vertex: vspan,
+                });
+            }
+        }
+        let old = self.edge_hash(e);
+        self.edges[e as usize].lifespan = extended;
+        let new = self.edge_hash(e);
+        self.e_acc = self.e_acc.wrapping_sub(old).wrapping_add(new);
+        Ok(())
+    }
+
+    fn vertex_property(
+        &mut self,
+        vid: VertexId,
+        label: &str,
+        interval: Interval,
+        value: PropValue,
+    ) -> Result<(), GraphError> {
+        let v = *self
+            .vid_index
+            .get(&vid)
+            .ok_or(GraphError::UnknownVertex(vid))?;
+        let lifespan = self.vertices[v.idx()].lifespan;
+        if !interval.during_or_equals(lifespan) {
+            return Err(GraphError::PropertyOutsideLifespan {
+                owner: format!("vertex {}", vid.0),
+                property: interval,
+                lifespan,
+            });
+        }
+        let lid = self.labels.intern(label);
+        let old = self.vertex_hash(v);
+        self.vertices[v.idx()]
+            .props
+            .insert(lid, interval, value)
+            .map_err(|source| GraphError::PropertyOverlap {
+                owner: format!("vertex {}", vid.0),
+                source,
+            })?;
+        let new = self.vertex_hash(v);
+        self.v_acc = self.v_acc.wrapping_sub(old).wrapping_add(new);
+        Ok(())
+    }
+
+    fn edge_property(
+        &mut self,
+        eid: EdgeId,
+        label: &str,
+        interval: Interval,
+        value: PropValue,
+    ) -> Result<(), GraphError> {
+        let e = *self
+            .eid_index
+            .get(&eid)
+            .ok_or(GraphError::UnknownEdge(eid))?;
+        let lifespan = self.edges[e as usize].lifespan;
+        if !interval.during_or_equals(lifespan) {
+            return Err(GraphError::PropertyOutsideLifespan {
+                owner: format!("edge {}", eid.0),
+                property: interval,
+                lifespan,
+            });
+        }
+        let lid = self.labels.intern(label);
+        let old = self.edge_hash(e);
+        self.edges[e as usize]
+            .props
+            .insert(lid, interval, value)
+            .map_err(|source| GraphError::PropertyOverlap {
+                owner: format!("edge {}", eid.0),
+                source,
+            })?;
+        let new = self.edge_hash(e);
+        self.e_acc = self.e_acc.wrapping_sub(old).wrapping_add(new);
+        Ok(())
+    }
+
+    fn extend_edge_property(
+        &mut self,
+        eid: EdgeId,
+        label: &str,
+        new_end: Time,
+    ) -> Result<(), GraphError> {
+        let e = *self
+            .eid_index
+            .get(&eid)
+            .ok_or(GraphError::UnknownEdge(eid))?;
+        let owner = || format!("edge {}", eid.0);
+        let lid = self
+            .labels
+            .get(label)
+            .ok_or_else(|| GraphError::UnknownProperty {
+                owner: owner(),
+                label: label.to_owned(),
+            })?;
+        let lifespan = self.edges[e as usize].lifespan;
+        // The right-most entry of the label's timeline: entries never
+        // overlap, so the maximal end is also the only entry an extension
+        // to the right can target without colliding.
+        let target = self.edges[e as usize]
+            .props
+            .timeline(lid)
+            .and_then(|tl| tl.iter().map(|(iv, _)| iv).max_by_key(|iv| iv.end()))
+            .ok_or_else(|| GraphError::UnknownProperty {
+                owner: owner(),
+                label: label.to_owned(),
+            })?;
+        if new_end <= target.end() {
+            return Err(GraphError::NonMonotoneExtension {
+                owner: format!("property {label:?} on edge {}", eid.0),
+                current: target,
+                requested_end: new_end,
+            });
+        }
+        let extended = Interval::new(target.start(), new_end);
+        if !extended.during_or_equals(lifespan) {
+            return Err(GraphError::PropertyOutsideLifespan {
+                owner: owner(),
+                property: extended,
+                lifespan,
+            });
+        }
+        let old = self.edge_hash(e);
+        // Properties are append-only by API; rebuild the entity's set with
+        // the one entry widened (timelines are small — a handful of
+        // segments per label).
+        let mut rebuilt = Properties::new();
+        for (l, iv, value) in self.edges[e as usize].props.iter() {
+            let iv = if l == lid && iv == target {
+                extended
+            } else {
+                iv
+            };
+            rebuilt
+                .insert(l, iv, value.clone())
+                .map_err(|source| GraphError::PropertyOverlap {
+                    owner: owner(),
+                    source,
+                })?;
+        }
+        self.edges[e as usize].props = rebuilt;
+        let new = self.edge_hash(e);
+        self.e_acc = self.e_acc.wrapping_sub(old).wrapping_add(new);
+        Ok(())
+    }
+}
+
+impl TemporalGraph {
+    /// Applies one delta batch to this graph, returning the updated frozen
+    /// graph — one-shot convenience over [`DeltaOverlay`] (which amortizes
+    /// the row thaw across many batches).
+    ///
+    /// # Errors
+    ///
+    /// See [`DeltaOverlay::apply`].
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Result<TemporalGraph, GraphError> {
+        let mut overlay = DeltaOverlay::new(self, 0);
+        overlay.apply(delta)?;
+        Ok(overlay.freeze())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TemporalGraphBuilder;
+
+    fn base() -> TemporalGraph {
+        let mut b = TemporalGraphBuilder::new();
+        b.add_vertex(VertexId(1), Interval::new(0, 10)).unwrap();
+        b.add_vertex(VertexId(2), Interval::new(0, 8)).unwrap();
+        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(2, 6))
+            .unwrap();
+        b.edge_property(EdgeId(1), "w", Interval::new(2, 6), 4i64.into())
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn delta_built_graph_matches_from_scratch_digest() {
+        let g = base();
+        let mut delta = GraphDelta::new();
+        delta.insert_vertex(VertexId(3), Interval::new(1, 9));
+        delta.extend_vertex(VertexId(2), 12);
+        delta.insert_edge(EdgeId(2), VertexId(2), VertexId(3), Interval::new(3, 9));
+        delta.extend_edge(EdgeId(1), 9);
+        delta.edge_property(EdgeId(2), "w", Interval::new(3, 7), PropValue::Long(2));
+        delta.extend_edge_property(EdgeId(1), "w", 8);
+        let updated = g.apply_delta(&delta).unwrap();
+
+        // The same final content built through the builder from scratch.
+        let mut b = TemporalGraphBuilder::new();
+        b.add_vertex(VertexId(1), Interval::new(0, 10)).unwrap();
+        b.add_vertex(VertexId(2), Interval::new(0, 12)).unwrap();
+        b.add_edge(EdgeId(1), VertexId(1), VertexId(2), Interval::new(2, 9))
+            .unwrap();
+        b.edge_property(EdgeId(1), "w", Interval::new(2, 8), 4i64.into())
+            .unwrap();
+        b.add_vertex(VertexId(3), Interval::new(1, 9)).unwrap();
+        b.add_edge(EdgeId(2), VertexId(2), VertexId(3), Interval::new(3, 9))
+            .unwrap();
+        b.edge_property(EdgeId(2), "w", Interval::new(3, 7), 2i64.into())
+            .unwrap();
+        let scratch = b.build().unwrap();
+
+        assert_eq!(updated.structure_digest(), scratch.structure_digest());
+        assert_eq!(updated.num_vertices(), 3);
+        assert_eq!(updated.num_edges(), 2);
+        assert_eq!(
+            updated.lifespan(),
+            scratch.lifespan(),
+            "graph lifespan tracks extensions"
+        );
+    }
+
+    #[test]
+    fn overlay_digest_prediction_matches_frozen_graph() {
+        let g = base();
+        let mut overlay = DeltaOverlay::new(&g, 2);
+        assert_eq!(overlay.structure_digest(), g.structure_digest());
+        let mut d1 = GraphDelta::new();
+        d1.insert_vertex(VertexId(7), Interval::new(0, 4));
+        let g1 = overlay.apply_and_freeze(&d1).unwrap();
+        assert_eq!(overlay.structure_digest(), g1.structure_digest());
+        let mut d2 = GraphDelta::new();
+        d2.extend_vertex(VertexId(7), 6);
+        // Batch 2 hits the compaction cadence: full re-fold + drift check.
+        let g2 = overlay.apply_and_freeze(&d2).unwrap();
+        assert_eq!(overlay.structure_digest(), g2.structure_digest());
+        assert_eq!(overlay.batches_applied(), 2);
+    }
+
+    #[test]
+    fn monotonicity_is_enforced() {
+        let g = base();
+        let mut shrink = GraphDelta::new();
+        shrink.extend_vertex(VertexId(1), 5);
+        assert!(matches!(
+            g.apply_delta(&shrink),
+            Err(GraphError::NonMonotoneExtension { .. })
+        ));
+        let mut shrink_edge = GraphDelta::new();
+        shrink_edge.extend_edge(EdgeId(1), 6);
+        assert!(matches!(
+            g.apply_delta(&shrink_edge),
+            Err(GraphError::NonMonotoneExtension { .. })
+        ));
+        let mut shrink_prop = GraphDelta::new();
+        shrink_prop.extend_edge_property(EdgeId(1), "w", 5);
+        assert!(matches!(
+            g.apply_delta(&shrink_prop),
+            Err(GraphError::NonMonotoneExtension { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_constraints_hold_for_deltas() {
+        let g = base();
+        let mut dup = GraphDelta::new();
+        dup.insert_vertex(VertexId(1), Interval::new(0, 3));
+        assert!(matches!(
+            g.apply_delta(&dup),
+            Err(GraphError::DuplicateVertex(VertexId(1)))
+        ));
+        let mut loose = GraphDelta::new();
+        loose.insert_edge(EdgeId(9), VertexId(1), VertexId(2), Interval::new(0, 9));
+        assert!(matches!(
+            g.apply_delta(&loose),
+            Err(GraphError::EdgeOutsideVertexLifespan { .. })
+        ));
+        let mut over = GraphDelta::new();
+        over.extend_edge(EdgeId(1), 9); // vertex 2 ends at 8
+        assert!(matches!(
+            g.apply_delta(&over),
+            Err(GraphError::EdgeOutsideVertexLifespan { .. })
+        ));
+        let mut unknown = GraphDelta::new();
+        unknown.extend_edge_property(EdgeId(1), "missing", 7);
+        assert!(matches!(
+            g.apply_delta(&unknown),
+            Err(GraphError::UnknownProperty { .. })
+        ));
+    }
+
+    #[test]
+    fn extension_reaches_the_vertex_boundary() {
+        let g = base();
+        let mut d = GraphDelta::new();
+        d.extend_edge(EdgeId(1), 8); // exactly vertex 2's end
+        let updated = g.apply_delta(&d).unwrap();
+        let e = updated.edge_indices().next().unwrap();
+        assert_eq!(updated.edge_lifespan(e), Interval::new(2, 8));
+    }
+}

@@ -2,7 +2,7 @@
 
 use crate::graph::{EdgeId, VertexId};
 use crate::iset::OverlapError;
-use crate::time::Interval;
+use crate::time::{Interval, Time};
 use std::fmt;
 
 /// Violations of the temporal-graph soundness constraints (Sec. III,
@@ -46,6 +46,33 @@ pub enum GraphError {
         /// The underlying overlap.
         source: OverlapError,
     },
+    /// Streaming model (DESIGN.md §17): a delta may only *extend* a
+    /// lifespan or property interval to the right, never shrink, shift, or
+    /// detach it.
+    NonMonotoneExtension {
+        /// Printable owner description.
+        owner: String,
+        /// The interval currently stored.
+        current: Interval,
+        /// The requested (rejected) new end.
+        requested_end: Time,
+    },
+    /// A property extension referenced a label with no entry on the entity.
+    UnknownProperty {
+        /// Printable owner description.
+        owner: String,
+        /// The label that has no timeline on the entity.
+        label: String,
+    },
+    /// The incrementally-folded digest accumulators disagreed with a full
+    /// re-fold from content at a compaction point — the overlay and the
+    /// compacted CSR graph have diverged.
+    DigestDrift {
+        /// Digest predicted by the incremental fold.
+        expected: u64,
+        /// Digest re-derived from the compacted content.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -75,6 +102,21 @@ impl fmt::Display for GraphError {
             GraphError::PropertyOverlap { owner, source } => {
                 write!(f, "overlapping property values on {owner}: {source}")
             }
+            GraphError::NonMonotoneExtension {
+                owner,
+                current,
+                requested_end,
+            } => write!(
+                f,
+                "extension of {owner} to end {requested_end} does not extend its current interval {current}"
+            ),
+            GraphError::UnknownProperty { owner, label } => {
+                write!(f, "{owner} carries no property {label:?} to extend")
+            }
+            GraphError::DigestDrift { expected, actual } => write!(
+                f,
+                "incremental digest {expected:#018x} diverged from compacted content digest {actual:#018x}"
+            ),
         }
     }
 }

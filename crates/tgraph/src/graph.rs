@@ -180,6 +180,108 @@ pub struct TemporalGraph {
     seg_offsets: Vec<u32>,
     segs: Vec<Interval>,
     lifespan: Interval,
+    // Memoized structure-digest section accumulators: wrapping sums of the
+    // identity-keyed per-record hashes of every vertex / edge row. Computed
+    // once at assembly and carried forward incrementally by delta
+    // application (`crate::delta`), so `structure_digest` is O(1).
+    digest_v_acc: u64,
+    digest_e_acc: u64,
+}
+
+/// Salt the structure digest starts from (`"graphite"` in ASCII).
+const DIGEST_SALT: u64 = 0x6772_6170_6869_7465;
+/// Seed tag for vertex record hashes (`"vert"`).
+const VERTEX_TAG: u64 = 0x7665_7274;
+/// Seed tag for edge record hashes (`"edge"`).
+const EDGE_TAG: u64 = 0x6564_6765;
+
+/// Two-round splitmix64 finalizer over an accumulating state: the same
+/// mixing discipline as `crate::rng::SplitMix64`, applied as a sequential
+/// fold (order is part of the content within one record).
+pub(crate) fn mix(acc: u64, x: u64) -> u64 {
+    let mut z = acc
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(x.wrapping_mul(0xff51_afd7_ed55_8ccd));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Folds a string (length, then 8-byte little-endian chunks) into `acc`.
+pub(crate) fn mix_str(acc: u64, s: &str) -> u64 {
+    let mut h = mix(acc, s.len() as u64);
+    for chunk in s.as_bytes().chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        h = mix(h, u64::from_le_bytes(w));
+    }
+    h
+}
+
+/// Folds every property entry (resolved label *name* so interning order
+/// cannot matter, interval, tagged value) into `h`.
+pub(crate) fn mix_props(mut h: u64, labels: &LabelInterner, props: &Properties) -> u64 {
+    for (label, iv, value) in props.iter() {
+        h = mix_str(h, labels.name(label).unwrap_or(""));
+        h = mix(h, iv.start() as u64);
+        h = mix(h, iv.end() as u64);
+        h = match value {
+            PropValue::Long(v) => mix(h, 1 ^ *v as u64),
+            // lint:allow(determinism-flow) — bit-exact fold of the
+            // stored IEEE value, no float arithmetic involved
+            PropValue::Double(v) => mix(h, 2 ^ v.to_bits()),
+            PropValue::Bool(v) => mix(h, 3 ^ u64::from(*v)),
+            PropValue::Text(v) => mix_str(mix(h, 4), v),
+        };
+    }
+    h
+}
+
+/// The avalanched hash of one vertex row, keyed by the *external* `vid`
+/// only — never by row position, so a graph's digest is invariant under
+/// entity insertion order (a delta-built graph hashes identically to the
+/// same content built from scratch in any order). Summing these (wrapping)
+/// over all rows gives the digest's vertex section; a single row edit is a
+/// subtract-old / add-new update.
+pub(crate) fn vertex_record_hash(
+    labels: &LabelInterner,
+    vid: VertexId,
+    lifespan: Interval,
+    props: &Properties,
+) -> u64 {
+    let mut h = mix(VERTEX_TAG, vid.0);
+    h = mix(h, lifespan.start() as u64);
+    h = mix(h, lifespan.end() as u64);
+    mix_props(h, labels, props)
+}
+
+/// The avalanched hash of one edge row (endpoints fold by external vertex
+/// id, so the hash is invariant under internal indexing and row position;
+/// `eid` uniqueness keeps the multiset fold injective over records).
+pub(crate) fn edge_record_hash(
+    labels: &LabelInterner,
+    eid: EdgeId,
+    src: VertexId,
+    dst: VertexId,
+    lifespan: Interval,
+    props: &Properties,
+) -> u64 {
+    let mut h = mix(EDGE_TAG, eid.0);
+    h = mix(h, src.0);
+    h = mix(h, dst.0);
+    h = mix(h, lifespan.start() as u64);
+    h = mix(h, lifespan.end() as u64);
+    mix_props(h, labels, props)
+}
+
+/// Combines the entity counts and section accumulators into the final
+/// structure digest — the one formula [`TemporalGraph::structure_digest`]
+/// and the delta overlay's prediction share.
+pub(crate) fn combine_digest(nv: u64, ne: u64, v_acc: u64, e_acc: u64) -> u64 {
+    let mut h = mix(DIGEST_SALT, nv);
+    h = mix(h, ne);
+    h = mix(h, v_acc);
+    mix(h, e_acc)
 }
 
 /// Builds one direction of CSR adjacency: offsets, lifespan-sorted edge
@@ -238,7 +340,55 @@ impl TemporalGraph {
         edges: Vec<EdgeData>,
         vid_index: HashMap<VertexId, VIdx>,
     ) -> Self {
+        Self::assemble_inner(labels, vertices, edges, vid_index, None)
+    }
+
+    /// [`assemble`](Self::assemble) with pre-folded digest accumulators —
+    /// the delta-application path ([`crate::delta`]) carries them forward
+    /// incrementally instead of re-hashing every row per batch. The caller
+    /// is responsible for their correctness; compaction verifies them by
+    /// re-deriving from content.
+    pub(crate) fn assemble_with_digest(
+        labels: LabelInterner,
+        vertices: Vec<VertexData>,
+        edges: Vec<EdgeData>,
+        // lint:allow(determinism-flow) — the map is only the id→row index;
+        // the digest accumulators arrive pre-folded and no iteration order
+        // feeds them
+        vid_index: HashMap<VertexId, VIdx>,
+        digest_acc: (u64, u64),
+    ) -> Self {
+        Self::assemble_inner(labels, vertices, edges, vid_index, Some(digest_acc))
+    }
+
+    fn assemble_inner(
+        labels: LabelInterner,
+        vertices: Vec<VertexData>,
+        edges: Vec<EdgeData>,
+        vid_index: HashMap<VertexId, VIdx>,
+        digest_acc: Option<(u64, u64)>,
+    ) -> Self {
         let n = vertices.len();
+        // Digest section accumulators: either adopted from an incremental
+        // fold, or derived from the rows in one pass.
+        let (digest_v_acc, digest_e_acc) = digest_acc.unwrap_or_else(|| {
+            let mut va = 0u64;
+            for v in &vertices {
+                va = va.wrapping_add(vertex_record_hash(&labels, v.vid, v.lifespan, &v.props));
+            }
+            let mut ea = 0u64;
+            for e in &edges {
+                ea = ea.wrapping_add(edge_record_hash(
+                    &labels,
+                    e.eid,
+                    vertices[e.src.idx()].vid,
+                    vertices[e.dst.idx()].vid,
+                    e.lifespan,
+                    &e.props,
+                ));
+            }
+            (va, ea)
+        });
         let (out_offsets, out_edges, out_dst, out_span) =
             build_csr(n, &edges, |e| e.src, |e| e.dst);
         let (in_offsets, in_edges, in_src, in_span) = build_csr(n, &edges, |e| e.dst, |e| e.src);
@@ -320,6 +470,8 @@ impl TemporalGraph {
             seg_offsets,
             segs,
             lifespan,
+            digest_v_acc,
+            digest_e_acc,
         }
     }
 
@@ -340,73 +492,41 @@ impl TemporalGraph {
 
     /// A 64-bit digest of the graph's full logical content: every vertex
     /// and edge (external ids, lifespans, property timelines, resolved
-    /// label *names* so interning order cannot matter) folded in index
-    /// order through a splitmix64-style mixer.
+    /// label *names* so interning order cannot matter) hashed as an
+    /// identity-keyed record through a splitmix64-style mixer, with the
+    /// record hashes summed per section and the sections combined with the
+    /// entity counts.
     ///
     /// Two graphs with equal logical content produce equal digests on
     /// every platform; any insertion, removal, lifespan change, or
     /// property edit changes it with overwhelming probability. The serving
-    /// layer keys its result cache by this value (DESIGN.md §14), so the
-    /// digest must be cheap relative to a run — it is a single linear
-    /// pass — and stable across save/load round-trips.
+    /// layer keys its result cache by this value (DESIGN.md §14), and the
+    /// streaming layer invalidates through it after every update batch
+    /// (DESIGN.md §17), so the digest must be cheap relative to a run.
+    /// The section sums are memoized at assembly and carried forward
+    /// incrementally by delta application, making this call **O(1)** — no
+    /// re-hash of the graph, ever.
     ///
-    /// The fold visits edges in `EIdx` order, which the frozen layout
-    /// keeps equal to insertion order (only the CSR *runs* are sorted), so
-    /// the digest is invariant under the physical layout (DESIGN.md §16).
+    /// Records are keyed by external `vid` / `eid` (unique by Constraint 1,
+    /// so the multiset sum stays injective over records) and never by row
+    /// position: the digest is invariant under both the physical layout
+    /// (DESIGN.md §16) and the insertion order, which is what lets a
+    /// delta-built graph hash identically to the same content built from
+    /// scratch, while appends and in-place lifespan/property extensions
+    /// update the sums in O(changed records).
     pub fn structure_digest(&self) -> u64 {
-        // Two-round splitmix64 finalizer over an accumulating state: the
-        // same mixing discipline as `crate::rng::SplitMix64`, applied as a
-        // sequential fold (order is part of the content here).
-        fn mix(acc: u64, x: u64) -> u64 {
-            let mut z = acc
-                .wrapping_add(0x9e37_79b9_7f4a_7c15)
-                .wrapping_add(x.wrapping_mul(0xff51_afd7_ed55_8ccd));
-            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-            z ^ (z >> 31)
-        }
-        fn mix_str(acc: u64, s: &str) -> u64 {
-            let mut h = mix(acc, s.len() as u64);
-            for chunk in s.as_bytes().chunks(8) {
-                let mut w = [0u8; 8];
-                w[..chunk.len()].copy_from_slice(chunk);
-                h = mix(h, u64::from_le_bytes(w));
-            }
-            h
-        }
-        fn mix_props(mut h: u64, labels: &LabelInterner, props: &Properties) -> u64 {
-            for (label, iv, value) in props.iter() {
-                h = mix_str(h, labels.name(label).unwrap_or(""));
-                h = mix(h, iv.start() as u64);
-                h = mix(h, iv.end() as u64);
-                h = match value {
-                    PropValue::Long(v) => mix(h, 1 ^ *v as u64),
-                    // lint:allow(determinism-flow) — bit-exact fold of the
-                    // stored IEEE value, no float arithmetic involved
-                    PropValue::Double(v) => mix(h, 2 ^ v.to_bits()),
-                    PropValue::Bool(v) => mix(h, 3 ^ u64::from(*v)),
-                    PropValue::Text(v) => mix_str(mix(h, 4), v),
-                };
-            }
-            h
-        }
-        let mut h = mix(0x6772_6170_6869_7465, self.v_vid.len() as u64); // "graphite"
-        h = mix(h, self.e_eid.len() as u64);
-        for i in 0..self.v_vid.len() {
-            h = mix(h, self.v_vid[i].0);
-            h = mix(h, self.v_lifespan[i].start() as u64);
-            h = mix(h, self.v_lifespan[i].end() as u64);
-            h = mix_props(h, &self.labels, &self.v_props[i]);
-        }
-        for i in 0..self.e_eid.len() {
-            h = mix(h, self.e_eid[i].0);
-            h = mix(h, self.v_vid[self.e_src[i].idx()].0);
-            h = mix(h, self.v_vid[self.e_dst[i].idx()].0);
-            h = mix(h, self.e_lifespan[i].start() as u64);
-            h = mix(h, self.e_lifespan[i].end() as u64);
-            h = mix_props(h, &self.labels, &self.e_props[i]);
-        }
-        h
+        combine_digest(
+            self.v_vid.len() as u64,
+            self.e_eid.len() as u64,
+            self.digest_v_acc,
+            self.digest_e_acc,
+        )
+    }
+
+    /// The memoized digest section accumulators `(vertex sum, edge sum)` —
+    /// the incremental fold state that delta application carries forward.
+    pub(crate) fn digest_accumulators(&self) -> (u64, u64) {
+        (self.digest_v_acc, self.digest_e_acc)
     }
 
     /// The label interner (for resolving property names).
@@ -622,6 +742,36 @@ impl TemporalGraph {
     /// Value of vertex property `label` on `v` at time `t`.
     pub fn vertex_property_at(&self, v: VIdx, label: LabelId, t: Time) -> Option<&PropValue> {
         self.v_props[v.idx()].value_at(label, t)
+    }
+
+    /// Clones the graph back into builder-shaped rows (the staging form
+    /// [`crate::delta::DeltaOverlay`] mutates): label interner, vertex
+    /// rows, edge rows, and the vid index.
+    pub(crate) fn clone_rows(
+        &self,
+    ) -> (
+        LabelInterner,
+        Vec<VertexData>,
+        Vec<EdgeData>,
+        HashMap<VertexId, VIdx>,
+    ) {
+        let vertices = (0..self.v_vid.len())
+            .map(|i| VertexData {
+                vid: self.v_vid[i],
+                lifespan: self.v_lifespan[i],
+                props: self.v_props[i].clone(),
+            })
+            .collect();
+        let edges = (0..self.e_eid.len())
+            .map(|i| EdgeData {
+                eid: self.e_eid[i],
+                src: self.e_src[i],
+                dst: self.e_dst[i],
+                lifespan: self.e_lifespan[i],
+                props: self.e_props[i].clone(),
+            })
+            .collect();
+        (self.labels.clone(), vertices, edges, self.vid_index.clone())
     }
 
     /// Rebuilds the transient lookup structures after deserialization.

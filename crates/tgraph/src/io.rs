@@ -63,7 +63,9 @@ impl From<crate::error::GraphError> for IoError {
     }
 }
 
-fn fmt_time(t: Time) -> String {
+/// Formats a time endpoint (`-inf` / `inf` for the domain bounds). Shared
+/// with the update-stream text format (`graphite-stream`).
+pub fn fmt_time(t: Time) -> String {
     match t {
         TIME_MIN => "-inf".to_owned(),
         TIME_MAX => "inf".to_owned(),
@@ -71,7 +73,8 @@ fn fmt_time(t: Time) -> String {
     }
 }
 
-fn parse_time(s: &str) -> Option<Time> {
+/// Parses a time endpoint written by [`fmt_time`].
+pub fn parse_time(s: &str) -> Option<Time> {
     match s {
         "-inf" => Some(TIME_MIN),
         "inf" => Some(TIME_MAX),
@@ -79,7 +82,9 @@ fn parse_time(s: &str) -> Option<Time> {
     }
 }
 
-fn fmt_value(v: &PropValue) -> String {
+/// Formats a property value with its type tag (`i:`/`f:`/`b:`/`s:`).
+/// Shared with the update-stream text format (`graphite-stream`).
+pub fn fmt_value(v: &PropValue) -> String {
     match v {
         PropValue::Long(x) => format!("i:{x}"),
         PropValue::Double(x) => format!("f:{x}"),
@@ -88,7 +93,8 @@ fn fmt_value(v: &PropValue) -> String {
     }
 }
 
-fn parse_value(s: &str) -> Option<PropValue> {
+/// Parses a property value written by [`fmt_value`].
+pub fn parse_value(s: &str) -> Option<PropValue> {
     let (tag, rest) = s.split_once(':')?;
     match tag {
         "i" => rest.parse().ok().map(PropValue::Long),

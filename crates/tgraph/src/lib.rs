@@ -29,6 +29,7 @@
 #![deny(missing_docs)]
 
 pub mod builder;
+pub mod delta;
 pub mod error;
 pub mod fixtures;
 pub mod graph;
@@ -44,6 +45,7 @@ pub mod transform;
 /// The common imports: `use graphite_tgraph::prelude::*;`.
 pub mod prelude {
     pub use crate::builder::TemporalGraphBuilder;
+    pub use crate::delta::{DeltaOverlay, GraphDelta};
     pub use crate::error::GraphError;
     pub use crate::graph::{EIdx, EdgeData, EdgeId, TemporalGraph, VIdx, VertexData, VertexId};
     pub use crate::iset::{IntervalMap, IntervalPartition};

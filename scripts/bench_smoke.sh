@@ -19,7 +19,7 @@ export GRAPHITE_BENCH_JSON="$out"
 export GRAPHITE_BENCH_BUDGET_MS=5
 export GRAPHITE_PROFILES=gplus
 
-for target in warp codec state engine layout recovery partition serve; do
+for target in warp codec state engine layout recovery partition serve stream; do
     echo "==> cargo bench --bench $target (budget ${GRAPHITE_BENCH_BUDGET_MS} ms)"
     cargo bench -p graphite-bench --bench "$target"
 done

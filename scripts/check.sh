@@ -34,6 +34,9 @@ scripts/partition_matrix.sh
 echo "==> serve matrix + soak (release)"
 scripts/serve_soak.sh
 
+echo "==> stream matrix + soak (release)"
+scripts/stream_soak.sh
+
 echo "==> chaos soak (release)"
 scripts/chaos_soak.sh
 

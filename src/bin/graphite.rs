@@ -10,6 +10,9 @@
 //! graphite serve  <graph.tg> <batch.txt> [--in-flight 4] [--max-pending 64]
 //!                 [--cost-budget N] [--cache 256] [--budget N] [--retries N]
 //!                 [--quarantine-after N] [--shed-watermark N] [--status]
+//! graphite stream <graph.tg> <graph.tg.updates> [--algo bfs,eat,reach]
+//!                 [--source VID] [--start T] [--workers N]
+//!                 [--compact-every K] [--check-every K]
 //! ```
 //!
 //! Example session:
@@ -71,9 +74,11 @@ fn usage() -> ExitCode {
          [--source VID] [--workers N]\n      [--partition hash|chunked|ldg|temporal]\n      [--partition-file assignment.txt] [--start T] \
          [--deadline T] [--counts]\n  graphite \
          gen <gplus|usrn|reddit|mag|twitter|webuk|skew|ldbc> <out.tg> [--scale N] [--seed \
-         N]\n  graphite serve <graph.tg> <batch.txt> [--in-flight N] [--max-pending N] \
+         N] [--stream B]\n  graphite serve <graph.tg> <batch.txt> [--in-flight N] [--max-pending N] \
          [--cost-budget N] [--cache N]\n      [--budget N] [--retries N] [--quarantine-after N] \
-         [--shed-watermark N] [--status]"
+         [--shed-watermark N] [--status]\n  graphite stream <graph.tg> <graph.tg.updates> \
+         [--algo bfs,eat,reach] [--source VID] [--start T]\n      [--workers N] [--compact-every K] \
+         [--check-every K] [--partition hash|chunked|ldg|temporal]"
     );
     ExitCode::from(2)
 }
@@ -246,6 +251,19 @@ fn cmd_run(path: &str, flags: &Flags) -> ExitCode {
     }
 }
 
+fn parse_profile(name: &str) -> Option<Profile> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "gplus" => Profile::GPlus,
+        "usrn" => Profile::Usrn,
+        "reddit" => Profile::Reddit,
+        "mag" => Profile::Mag,
+        "twitter" => Profile::Twitter,
+        "webuk" => Profile::WebUk,
+        "skew" => Profile::Skew,
+        _ => return None,
+    })
+}
+
 fn cmd_gen(profile: &str, out: &str, flags: &Flags) -> ExitCode {
     let scale = flags
         .get("--scale")
@@ -255,19 +273,52 @@ fn cmd_gen(profile: &str, out: &str, flags: &Flags) -> ExitCode {
         .get("--seed")
         .and_then(|v| v.parse().ok())
         .unwrap_or(42);
-    let graph = match profile.to_ascii_lowercase().as_str() {
-        "gplus" => Profile::GPlus.generate(scale, seed),
-        "usrn" => Profile::Usrn.generate(scale, seed),
-        "reddit" => Profile::Reddit.generate(scale, seed),
-        "mag" => Profile::Mag.generate(scale, seed),
-        "twitter" => Profile::Twitter.generate(scale, seed),
-        "webuk" => Profile::WebUk.generate(scale, seed),
-        "skew" => Profile::Skew.generate(scale, seed),
-        "ldbc" => graphite::datagen::weak_scaling_graph(scale.max(1), 250, seed),
-        other => {
-            eprintln!("unknown profile {other:?}");
+    let stream_batches: Option<usize> = flags.get("--stream").and_then(|v| v.parse().ok());
+    if flags.has("--stream") && stream_batches.is_none() {
+        eprintln!("--stream needs a positive batch count");
+        return usage();
+    }
+
+    // `--stream N` splits the profile into a mid-horizon base graph plus
+    // N update batches (written next to the graph as `<out>.updates`) so
+    // `graphite stream` can replay the remaining horizon live.
+    if let Some(batches) = stream_batches.filter(|&b| b > 0) {
+        let Some(p) = parse_profile(profile) else {
+            eprintln!("--stream needs a parameterised profile (not ldbc)");
             return usage();
+        };
+        let stream = graphite::datagen::derive_update_stream(&p.params(scale, seed), batches);
+        if let Err(e) = io::save(&stream.base, out) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
         }
+        let upath = format!("{out}.updates");
+        if let Err(e) = graphite::stream::io::save_updates(&stream.batches, &upath) {
+            eprintln!("cannot write {upath}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let ops: usize = stream.batches.iter().map(|d| d.len()).sum();
+        println!(
+            "wrote {out}: {} vertices, {} edges (base)",
+            stream.base.num_vertices(),
+            stream.base.num_edges()
+        );
+        println!(
+            "wrote {upath}: {batches} batches, {ops} ops, final digest {:#018x}",
+            stream.final_digest
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let graph = match profile.to_ascii_lowercase().as_str() {
+        "ldbc" => graphite::datagen::weak_scaling_graph(scale.max(1), 250, seed),
+        other => match parse_profile(other) {
+            Some(p) => p.generate(scale, seed),
+            None => {
+                eprintln!("unknown profile {other:?}");
+                return usage();
+            }
+        },
     };
     if let Err(e) = io::save(&graph, out) {
         eprintln!("cannot write {out}: {e}");
@@ -277,6 +328,129 @@ fn cmd_gen(profile: &str, out: &str, flags: &Flags) -> ExitCode {
         "wrote {out}: {} vertices, {} edges",
         graph.num_vertices(),
         graph.num_edges()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_stream(path: &str, updates_path: &str, flags: &Flags) -> ExitCode {
+    use graphite::stream::prelude::*;
+
+    let graph = match io::load(path) {
+        Ok(g) => Arc::new(g),
+        Err(e) => {
+            eprintln!("cannot load {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let batches = match load_updates(updates_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot load {updates_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match flags.get("--source") {
+        Some(v) => match v.parse() {
+            Ok(s) => VertexId(s),
+            Err(_) => {
+                eprintln!("bad --source {v:?}");
+                return usage();
+            }
+        },
+        None => match graph.vertices().map(|(_, v)| v.vid).min() {
+            Some(v) => v,
+            None => {
+                eprintln!("{path}: empty graph");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let start = flags
+        .get("--start")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let defaults = StreamConfig::default();
+    let cfg = StreamConfig {
+        workers: flags
+            .get("--workers")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(defaults.workers),
+        compact_every: flags
+            .get("--compact-every")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(defaults.compact_every),
+        check_every: flags
+            .get("--check-every")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(defaults.check_every),
+        partition: match flags.get("--partition") {
+            None => PartitionStrategy::from_env(),
+            Some(p) => match PartitionStrategy::parse(p) {
+                Some(s) => s,
+                None => {
+                    eprintln!("unknown partition strategy {p:?}");
+                    return usage();
+                }
+            },
+        },
+        trace: TraceConfig::from_env(),
+        ..defaults
+    };
+
+    let mut engine = StreamEngine::new(graph, cfg);
+    let algo_list = flags.get("--algo").unwrap_or("bfs,eat,reach");
+    for name in algo_list.split(',').filter(|s| !s.is_empty()) {
+        let spec = match name.trim().to_ascii_lowercase().as_str() {
+            "bfs" => AlgoSpec::Bfs { source },
+            "eat" => AlgoSpec::Eat { source, start },
+            "rh" | "reach" => AlgoSpec::Reach { source, start },
+            other => {
+                eprintln!("unknown stream algo {other:?} (bfs|eat|reach)");
+                return usage();
+            }
+        };
+        if let Err(e) = engine.register(spec) {
+            eprintln!("cannot register {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // One trace frame per batch, accumulated and emitted once at the end:
+    // GRAPHITE_TRACE_JSON names a single file, and per-batch emission
+    // would leave only the last batch behind.
+    let mut trace = graphite::bsp::trace::RunTrace::default();
+    for (i, delta) in batches.iter().enumerate() {
+        let report = match engine.ingest(delta) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("batch {}: {e}", i + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        let algos = report
+            .algos
+            .iter()
+            .map(|a| {
+                format!(
+                    "{{\"name\": \"{}\", \"digest\": \"{:#018x}\", \
+                     \"supersteps\": {}, \"compute_calls\": {}}}",
+                    a.name, a.result_digest, a.supersteps, a.compute_calls
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "{{\"batch\": {}, \"ops\": {}, \"dirty\": {}, \
+             \"graph_digest\": \"{:#018x}\", \"checked\": {}, \"algos\": [{algos}]}}",
+            report.batch, report.ops, report.dirty, report.graph_digest, report.checked
+        );
+        trace.events.extend(batch_trace(&report).events);
+    }
+    trace.maybe_emit("stream");
+    eprintln!(
+        "ingested {} batches; final graph digest {:#018x}",
+        engine.batches(),
+        engine.structure_digest()
     );
     ExitCode::SUCCESS
 }
@@ -440,6 +614,9 @@ fn main() -> ExitCode {
         }
         [cmd, path, batch, rest @ ..] if cmd == "serve" => {
             cmd_serve(path, batch, &Flags(rest.to_vec()))
+        }
+        [cmd, path, updates, rest @ ..] if cmd == "stream" => {
+            cmd_stream(path, updates, &Flags(rest.to_vec()))
         }
         _ => usage(),
     }

@@ -17,6 +17,7 @@
 //! * [`baselines`] — MSB, Chlonos, TGB and GoFFish-TS (Sec. VII-A3)
 //! * [`part`] — pluggable temporal-aware vertex partitioning (DESIGN.md §13)
 //! * [`datagen`] — seeded workload generators shaped like Table 1
+//! * [`stream`] — live graph updates with incremental recomputation (§17)
 //!
 //! ```
 //! use graphite::prelude::*;
@@ -41,6 +42,7 @@ pub use graphite_datagen as datagen;
 pub use graphite_icm as icm;
 pub use graphite_part as part;
 pub use graphite_serve as serve;
+pub use graphite_stream as stream;
 pub use graphite_tgraph as tgraph;
 
 /// The common imports for applications: graph building, the ICM engine,
